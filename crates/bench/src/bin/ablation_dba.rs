@@ -1,0 +1,75 @@
+//! Ablation A3 — cluster representative: element-wise mean (paper) vs
+//! DTW barycenter averaging (extension).
+//!
+//! The paper trains each cluster's forecaster on "the average workload
+//! of traces within each cluster". When DTW clustering has grouped
+//! *time-shifted* twins, that mean blurs their shared peaks. This
+//! ablation builds such a cluster, compares both representatives by (i)
+//! mean DTW distance to the members and (ii) downstream forecast error
+//! when the cluster forecast is projected back onto each member.
+
+use dbaugur_bench::datasets::Scale;
+use dbaugur_bench::report::ResultTable;
+use dbaugur_bench::zoo;
+use dbaugur_cluster::{select_top_k, select_top_k_dba, Descender, DescenderParams};
+use dbaugur_dtw::{mean_dtw_to, DtwDistance};
+use dbaugur_models::eval::rolling_forecast;
+use dbaugur_trace::{mse, synth, Trace, WindowSpec};
+
+const HISTORY: usize = 30;
+const HORIZON: usize = 6;
+const DTW_W: usize = 10;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    // A cluster of time-shifted noisy twins of one bursty workload.
+    let days = if scale.name == "quick" { 3 } else { 8 };
+    let base = synth::bustracker(31, days);
+    let traces: Vec<Trace> = (0..5)
+        .map(|k| synth::add_noise(&synth::time_shift(&base, (k as i64 - 2) * 4), 10.0, k as u64))
+        .collect();
+    let clustering = Descender::new(
+        DescenderParams { rho: 6.0, min_size: 3, normalize: true },
+        DtwDistance::new(DTW_W),
+    )
+    .cluster(&traces);
+    assert_eq!(clustering.num_clusters, 1, "the twins must form one cluster");
+
+    let mean_rep = select_top_k(&traces, &clustering, 1).remove(0);
+    let dba_rep = select_top_k_dba(&traces, &clustering, 1, DTW_W, 4).remove(0);
+    let members: Vec<&[f64]> = traces.iter().map(|t| t.values()).collect();
+
+    let mut table = ResultTable::new(
+        "Ablation A3: cluster representative — mean vs DTW barycenter",
+        &["representative", "mean DTW to members", "projected member MSE (MLP forecaster)"],
+    );
+
+    for (name, rep) in [("element-wise mean", &mean_rep), ("DBA barycenter", &dba_rep)] {
+        let d = mean_dtw_to(rep.representative.values(), &members, DTW_W);
+        // Downstream: fit one forecaster on the representative, project
+        // the cluster forecast onto each member, measure MSE against the
+        // member's actual values.
+        let split = rep.representative.len() * 7 / 10;
+        let spec = WindowSpec::new(HISTORY, HORIZON);
+        let mut model = zoo::standalone("MLP", &scale);
+        let rep_eval = rolling_forecast(&mut model, rep.representative.values(), split, spec)
+            .expect("test region");
+        let mut member_mses = Vec::new();
+        for (mi, member) in rep.members.iter().enumerate() {
+            let projected: Vec<f64> =
+                rep_eval.predictions.iter().map(|&p| rep.project(mi, p)).collect();
+            let actual: Vec<f64> =
+                rep_eval.indices.iter().map(|&i| traces[*member].values()[i]).collect();
+            member_mses.push(mse(&projected, &actual));
+        }
+        let avg_mse = member_mses.iter().sum::<f64>() / member_mses.len() as f64;
+        table.add_row(vec![name.into(), format!("{d:.2}"), format!("{avg_mse:.1}")]);
+    }
+    table.print();
+    table.write_csv("ablation_dba");
+    println!(
+        "[shape] expected: DBA sits closer to the members in DTW; downstream forecast \
+         error is comparable or better (the mean's blurred peaks under-predict bursts)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Ablation A2 — WFGAN supervised-auxiliary weight λ.
+//!
+//! DESIGN.md documents one deliberate deviation from the paper: the
+//! generator loss is `adv + λ·MSE` (λ = 0 recovers the paper's pure
+//! adversarial objective of Eqn. 5). This binary sweeps λ on the
+//! BusTracker trace so the effect of the stabilization is measured, not
+//! assumed, and also reports the adversarial loss trajectory so
+//! convergence of the pure-adversarial mode is visible.
+
+use dbaugur_bench::datasets::{bustracker, split_point, Scale};
+use dbaugur_bench::report::ResultTable;
+use dbaugur_bench::zoo::MODEL_SEED;
+use dbaugur_models::eval::rolling_forecast;
+use dbaugur_models::{Wfgan, WfganConfig};
+use dbaugur_trace::WindowSpec;
+use std::time::Instant;
+
+const HISTORY: usize = 30;
+const HORIZON: usize = 6;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let trace = bustracker(&scale);
+    let split = split_point(&trace);
+    let spec = WindowSpec::new(HISTORY, HORIZON);
+
+    let lambdas = [0.0, 0.2, 0.7, 2.0];
+    let mut table = ResultTable::new(
+        format!(
+            "Ablation A2: WFGAN generator loss = adversarial + λ·MSE, horizon {}min ({} scale)",
+            HORIZON * 10,
+            scale.name
+        ),
+        &["λ", "MSE", "MAE", "final D loss", "final G adv loss"],
+    );
+    for &lambda in &lambdas {
+        let t0 = Instant::now();
+        let mut gan = Wfgan::with_config(WfganConfig {
+            epochs: scale.epochs_wfgan,
+            max_examples: scale.max_examples,
+            seed: MODEL_SEED.wrapping_add(3),
+            supervised_weight: lambda,
+            ..WfganConfig::default()
+        });
+        let rep = rolling_forecast(&mut gan, trace.values(), split, spec).expect("test region");
+        let (d_loss, g_loss) = gan.loss_history.last().copied().unwrap_or((f64::NAN, f64::NAN));
+        table.add_row(vec![
+            format!("{lambda:.1}"),
+            format!("{:.4}", rep.mse),
+            format!("{:.4}", rep.mae),
+            format!("{d_loss:.3}"),
+            format!("{g_loss:.3}"),
+        ]);
+        eprintln!("[ablation_wfgan] λ={lambda}: {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    table.print();
+    table.write_csv("ablation_wfgan_lambda");
+    println!(
+        "[shape] expected: λ = 0 (pure Eqn. 5) trains but with higher variance; a moderate λ \
+         tightens MSE without collapsing the adversarial signal (D loss stays near 2·ln 2 ≈ 1.386 \
+         at equilibrium)."
+    );
+}

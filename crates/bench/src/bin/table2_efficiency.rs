@@ -1,0 +1,138 @@
+//! Table II — Computation and Storage Efficiency.
+//!
+//! Per-epoch training CPU time on both datasets, single-prediction
+//! inference latency, and serialized model size for LR, MLP, LSTM, TCN
+//! and WFGAN. (As in the paper, ARIMA is excluded as an on-time
+//! algorithm and QB5000/DBAugur are derivable from their members.)
+
+use dbaugur_bench::datasets::{alibaba, bustracker, split_point, Scale};
+use dbaugur_bench::report::{fmt_bytes, fmt_secs, ResultTable};
+use dbaugur_bench::zoo;
+use dbaugur_models::util::prepare;
+use dbaugur_models::Forecaster;
+use dbaugur_nn::Adam;
+use dbaugur_trace::{Trace, WindowSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const HISTORY: usize = 30;
+
+/// Median-of-3 timing of one closure.
+fn time_once(mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+/// One-epoch train time for `name` on `trace` (full fit time for LR,
+/// which has no epochs).
+fn epoch_time(name: &str, trace: &Trace, scale: &Scale, spec: WindowSpec) -> f64 {
+    let train = &trace.values()[..split_point(trace)];
+    match name {
+        "LR" => {
+            let mut m = zoo::lr();
+            time_once(|| m.fit(train, spec))
+        }
+        "MLP" => {
+            let mut m = zoo::mlp(scale);
+            m.fit(train, spec); // initialize nets & scaler
+            let data = prepare(train, spec).expect("train data");
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut opt = Adam::new(1e-3);
+            time_once(|| {
+                m.train_epoch(&data, &mut rng, &mut opt);
+            })
+        }
+        "LSTM" => {
+            let mut m = zoo::lstm(scale);
+            m.fit(train, spec);
+            let data = prepare(train, spec).expect("train data");
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut opt = Adam::new(1e-3);
+            time_once(|| {
+                m.train_epoch(&data, &mut rng, &mut opt);
+            })
+        }
+        "TCN" => {
+            let mut m = zoo::tcn(scale);
+            m.fit(train, spec);
+            let data = prepare(train, spec).expect("train data");
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut opt = Adam::new(1e-3);
+            time_once(|| {
+                m.train_epoch(&data, &mut rng, &mut opt);
+            })
+        }
+        "WFGAN" => {
+            let mut m = zoo::wfgan(scale);
+            m.fit(train, spec);
+            let data = prepare(train, spec).expect("train data");
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut g = Adam::new(1e-3);
+            let mut d = Adam::new(1e-3);
+            time_once(|| {
+                m.train_epoch(&data, &mut rng, &mut g, &mut d);
+            })
+        }
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// Mean single-window inference time + storage for a fitted model.
+fn inference_and_storage(name: &str, trace: &Trace, scale: &Scale, spec: WindowSpec) -> (f64, usize) {
+    let train = &trace.values()[..split_point(trace)];
+    let mut model = zoo::standalone(name, scale);
+    model.fit(train, spec);
+    let window = &train[train.len() - HISTORY..];
+    // Warm up, then time a batch of predictions.
+    let mut sink = 0.0;
+    for _ in 0..10 {
+        sink += model.predict(window);
+    }
+    let reps = 200;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        sink += model.predict(window);
+    }
+    let per = t0.elapsed().as_secs_f64() / reps as f64;
+    assert!(sink.is_finite());
+    (per, model.storage_bytes())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let spec = WindowSpec::new(HISTORY, 1);
+    let bus = bustracker(&scale);
+    let ali = alibaba(&scale);
+
+    let mut table = ResultTable::new(
+        format!("Table II: computation and storage efficiency ({} scale)", scale.name),
+        &["model", "CPU time/epoch BusTrac", "CPU time/epoch AliClus", "inference", "storage"],
+    );
+    for name in ["LR", "MLP", "LSTM", "TCN", "WFGAN"] {
+        eprintln!("[table2] timing {name}…");
+        let t_bus = epoch_time(name, &bus, &scale, spec);
+        let t_ali = epoch_time(name, &ali, &scale, spec);
+        let (infer, storage) = inference_and_storage(name, &bus, &scale, spec);
+        table.add_row(vec![
+            name.into(),
+            fmt_secs(t_bus),
+            fmt_secs(t_ali),
+            fmt_secs(infer),
+            fmt_bytes(storage),
+        ]);
+    }
+    table.print();
+    table.write_csv("table2_efficiency");
+    println!(
+        "[shape] expected orderings (paper Table II): LR < MLP < LSTM ≤ TCN ≤ WFGAN in \
+         train time; TCN largest in storage; inference ≪ training."
+    );
+}

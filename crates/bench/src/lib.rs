@@ -1,0 +1,13 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every figure/table of the paper has one binary under `src/bin/`; they
+//! share the dataset definitions ([`datasets`]), the budgeted model
+//! factory ([`zoo`]) and the table/CSV reporting ([`report`]).
+//!
+//! Scale control: set `DBAUGUR_SCALE` to `quick` (smoke-test sizes),
+//! `standard` (default; minutes per figure on one core) or `full`
+//! (paper-sized data and epochs).
+
+pub mod datasets;
+pub mod report;
+pub mod zoo;

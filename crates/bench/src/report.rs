@@ -1,0 +1,184 @@
+//! Aligned-table printing and CSV output for the experiment binaries.
+//!
+//! Every binary prints the rows/series the paper's figure or table
+//! reports and mirrors them into `bench_results/<name>.csv` so
+//! EXPERIMENTS.md can record paper-vs-measured values.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable, CSV-mirrorable result table.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified by the caller).
+    ///
+    /// # Panics
+    /// Panics if the width disagrees with the headers.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: label + f64 cells with fixed precision.
+    pub fn add_numeric_row(&mut self, label: &str, values: &[f64], precision: usize) {
+        let mut cells = vec![label.to_string()];
+        for v in values {
+            cells.push(format!("{v:.precision$}"));
+        }
+        self.add_row(cells);
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{c:>w$}");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write as CSV under [`results_dir`]. Errors are reported, not
+    /// fatal — the printed table is the primary artifact.
+    pub fn write_csv(&self, name: &str) {
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let mut csv = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(csv, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match fs::write(&path, csv) {
+            Ok(()) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Where CSV mirrors land: `$DBAUGUR_RESULTS_DIR` or `./bench_results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var("DBAUGUR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results"))
+}
+
+/// Format seconds compactly (`1.23s` / `45ms`).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Format bytes compactly (`29KB` style, like the paper's Table II).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.1}MB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1024 {
+        format!("{:.0}KB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = ResultTable::new("demo", &["model", "mse"]);
+        t.add_numeric_row("LR", &[1.23456], 3);
+        t.add_numeric_row("WFGAN", &[0.5], 3);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("1.235"));
+        assert!(r.contains("WFGAN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = ResultTable::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = ResultTable::new("x", &["a,b", "c"]);
+        t.add_row(vec!["v\"1".into(), "plain".into()]);
+        let dir = std::env::temp_dir().join("dbaugur_csv_test");
+        std::env::set_var("DBAUGUR_RESULTS_DIR", &dir);
+        t.write_csv("escape_test");
+        let content = std::fs::read_to_string(dir.join("escape_test.csv")).expect("written");
+        assert!(content.starts_with("\"a,b\",c"));
+        assert!(content.contains("\"v\"\"1\""));
+        std::env::remove_var("DBAUGUR_RESULTS_DIR");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.004), "4.0ms");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(29 * 1024), "29KB");
+        assert_eq!(fmt_bytes(2 * 1024 * 1024), "2.0MB");
+    }
+}

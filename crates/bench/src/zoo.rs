@@ -1,0 +1,104 @@
+//! Budgeted model factory shared by the experiment binaries.
+
+use crate::datasets::Scale;
+use dbaugur_models::{
+    Arima, Forecaster, KernelRegression, LinearRegression, LstmForecaster, MlpForecaster,
+    TcnForecaster, Wfgan, WfganConfig,
+};
+
+/// Seed base for model initialization (distinct from the data seed).
+pub const MODEL_SEED: u64 = 7;
+
+/// The paper's LR baseline.
+pub fn lr() -> LinearRegression {
+    LinearRegression::default()
+}
+
+/// The paper's ARIMA(2, 1, 2) baseline.
+pub fn arima() -> Arima {
+    Arima::paper_default()
+}
+
+/// The QB5000 kernel-regression component.
+pub fn kr() -> KernelRegression {
+    KernelRegression::default()
+}
+
+/// MLP(32, 16) with this scale's budget.
+pub fn mlp(scale: &Scale) -> MlpForecaster {
+    let mut m = MlpForecaster::new(MODEL_SEED);
+    m.epochs = scale.epochs_mlp;
+    m.max_examples = scale.max_examples;
+    m
+}
+
+/// LSTM(30 → 16 → 1) with this scale's budget.
+pub fn lstm(scale: &Scale) -> LstmForecaster {
+    let mut m = LstmForecaster::new(MODEL_SEED.wrapping_add(1));
+    m.epochs = scale.epochs_lstm;
+    m.max_examples = scale.max_examples;
+    m
+}
+
+/// TCN (5 blocks, dilations 1,2,4,8,16) with this scale's budget.
+pub fn tcn(scale: &Scale) -> TcnForecaster {
+    let mut m = TcnForecaster::new(MODEL_SEED.wrapping_add(2));
+    m.epochs = scale.epochs_tcn;
+    m.max_examples = scale.max_examples;
+    m
+}
+
+/// WFGAN with this scale's budget.
+pub fn wfgan(scale: &Scale) -> Wfgan {
+    Wfgan::with_config(WfganConfig {
+        epochs: scale.epochs_wfgan,
+        max_examples: scale.max_examples,
+        seed: MODEL_SEED.wrapping_add(3),
+        ..WfganConfig::default()
+    })
+}
+
+/// Names of the Fig. 5 model lineup, in the paper's order.
+pub const FIG5_MODELS: [&str; 8] =
+    ["LR", "ARIMA", "MLP", "LSTM", "TCN", "QB5000", "WFGAN", "DBAugur"];
+
+/// Build one standalone (non-ensemble) model by name.
+///
+/// # Panics
+/// Panics on an unknown name — the binaries only pass fixed lists.
+pub fn standalone(name: &str, scale: &Scale) -> Box<dyn Forecaster> {
+    match name {
+        "LR" => Box::new(lr()),
+        "ARIMA" => Box::new(arima()),
+        "KR" => Box::new(kr()),
+        "MLP" => Box::new(mlp(scale)),
+        "LSTM" => Box::new(lstm(scale)),
+        "TCN" => Box::new(tcn(scale)),
+        "WFGAN" => Box::new(wfgan(scale)),
+        other => panic!("unknown standalone model {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::WindowSpec;
+
+    #[test]
+    fn standalone_builds_every_base_model() {
+        let scale = Scale::quick();
+        for name in ["LR", "ARIMA", "KR", "MLP", "LSTM", "TCN", "WFGAN"] {
+            let mut m = standalone(name, &scale);
+            assert_eq!(m.name(), name);
+            let series: Vec<f64> = (0..80).map(|i| (i % 7) as f64).collect();
+            m.fit(&series, WindowSpec::new(10, 1));
+            assert!(m.predict(&series[70..80]).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown standalone")]
+    fn unknown_model_panics() {
+        standalone("GPT", &Scale::quick());
+    }
+}

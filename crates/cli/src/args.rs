@@ -1,0 +1,143 @@
+//! A small hand-rolled argument parser (the workspace deliberately
+//! avoids dependencies beyond the approved list, so no `clap`).
+//!
+//! Grammar: `dbaugur <command> [positional…] [--flag value…]`. Flags
+//! take exactly one value; unknown flags are an error, as are missing
+//! positionals.
+
+use std::collections::HashMap;
+
+/// Parsed invocation: command, positionals, and `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut it = raw.into_iter();
+        let command = it.next().ok_or_else(|| ArgError("missing command".into()))?;
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+                if flags.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("flag --{key} given twice")));
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Self { command, positional, flags })
+    }
+
+    /// The positional at `i`, or an error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing <{name}> argument")))
+    }
+
+    /// An optional string flag.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A numeric flag with a default; errors on unparseable values.
+    pub fn flag_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} {v:?} is not a valid number"))),
+        }
+    }
+
+    /// Reject flags outside `allowed` (typo protection).
+    pub fn check_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let a = parse(&["evaluate", "trace.csv", "--model", "LR", "--horizon", "6"]).expect("ok");
+        assert_eq!(a.command, "evaluate");
+        assert_eq!(a.positional(0, "file").expect("present"), "trace.csv");
+        assert_eq!(a.flag("model"), Some("LR"));
+        assert_eq!(a.flag_num("horizon", 1usize).expect("ok"), 6);
+        assert_eq!(a.flag_num("history", 30usize).expect("ok"), 30);
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn flag_without_value_errors() {
+        assert!(parse(&["x", "--oops"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_errors() {
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let a = parse(&["x", "--n", "abc"]).expect("parses");
+        assert!(a.flag_num("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let a = parse(&["x", "--bogus", "1"]).expect("parses");
+        assert!(a.check_flags(&["real"]).is_err());
+        assert!(a.check_flags(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn missing_positional_named_in_error() {
+        let a = parse(&["x"]).expect("parses");
+        let err = a.positional(0, "logfile").expect_err("missing");
+        assert!(err.0.contains("logfile"));
+    }
+}

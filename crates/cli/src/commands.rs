@@ -1,0 +1,187 @@
+//! The CLI subcommand implementations.
+
+use crate::args::Args;
+use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur_cluster::{select_top_k, Descender, DescenderParams};
+use dbaugur_dtw::DtwDistance;
+use dbaugur_models::eval::rolling_forecast;
+use dbaugur_models::{
+    Arima, Forecaster, GruForecaster, KernelRegression, LinearRegression, LstmForecaster,
+    MlpForecaster, Qb5000, TcnForecaster, TimeSensitiveEnsemble, Wfgan,
+};
+use dbaugur_sqlproc::TemplateRegistry;
+use dbaugur_trace::{io as trace_io, synth, TraceKind, WindowSpec};
+use std::error::Error;
+use std::fs;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `templates <log>` — parse a query log and list templates by volume.
+pub fn templates(args: &Args) -> CmdResult {
+    args.check_flags(&["top"])?;
+    let path = args.positional(0, "log")?;
+    let text = fs::read_to_string(path)?;
+    let mut reg = TemplateRegistry::new();
+    let mut records = 0usize;
+    for line in text.lines() {
+        if let Some(rec) = dbaugur_sqlproc::parse_log_line(line) {
+            reg.observe(&rec.sql, rec.ts_secs);
+            records += 1;
+        }
+    }
+    let top: usize = args.flag_num("top", 20)?;
+    println!("{records} records → {} templates", reg.num_templates());
+    println!("{:>10}  template", "count");
+    for (id, count) in reg.by_volume_desc().into_iter().take(top) {
+        println!("{count:>10}  {}", reg.template(id));
+    }
+    Ok(())
+}
+
+/// `cluster <wide.csv>` — DTW-cluster equal-length traces.
+pub fn cluster(args: &Args) -> CmdResult {
+    args.check_flags(&["rho", "min", "window", "interval"])?;
+    let path = args.positional(0, "wide.csv")?;
+    let text = fs::read_to_string(path)?;
+    let interval: u64 = args.flag_num("interval", 600)?;
+    let traces = trace_io::parse_wide(&text, TraceKind::Query, interval)?;
+    let params = DescenderParams {
+        rho: args.flag_num("rho", 3.0)?,
+        min_size: args.flag_num("min", 2)?,
+        normalize: true,
+    };
+    let window: usize = args.flag_num("window", 14)?;
+    let clustering = Descender::new(params, DtwDistance::new(window)).cluster(&traces);
+    println!(
+        "{} traces → {} clusters, {} outliers",
+        traces.len(),
+        clustering.num_clusters,
+        clustering.outliers().len()
+    );
+    for summary in select_top_k(&traces, &clustering, usize::MAX) {
+        let names: Vec<&str> =
+            summary.members.iter().map(|&m| traces[m].name.as_str()).collect();
+        println!(
+            "cluster {} (volume {:.0}): {}",
+            summary.cluster_id,
+            summary.volume,
+            names.join(", ")
+        );
+    }
+    for o in clustering.outliers() {
+        println!("outlier: {}", traces[o].name);
+    }
+    Ok(())
+}
+
+/// Build a named model with a CLI-chosen epoch budget.
+fn make_model(name: &str, epochs: usize) -> Result<Box<dyn Forecaster>, Box<dyn Error>> {
+    Ok(match name {
+        "LR" => Box::new(LinearRegression::default()),
+        "ARIMA" => Box::new(Arima::paper_default()),
+        "KR" => Box::new(KernelRegression::default()),
+        "MLP" => Box::new(MlpForecaster::new(0).with_epochs(epochs)),
+        "LSTM" => Box::new(LstmForecaster::new(0).with_epochs(epochs)),
+        "GRU" => Box::new(GruForecaster::new(0).with_epochs(epochs)),
+        "TCN" => Box::new(TcnForecaster::new(0).with_epochs(epochs)),
+        "WFGAN" => Box::new(Wfgan::new(0).with_epochs(epochs)),
+        "QB5000" => Box::new(Qb5000::new(0)),
+        "DBAugur" => Box::new(TimeSensitiveEnsemble::dbaugur(0)),
+        other => return Err(format!("unknown model {other:?}").into()),
+    })
+}
+
+/// `evaluate <trace.csv> --model NAME` — rolling forecast over the tail.
+pub fn evaluate(args: &Args) -> CmdResult {
+    args.check_flags(&["model", "history", "horizon", "split", "epochs", "interval"])?;
+    let path = args.positional(0, "trace.csv")?;
+    let text = fs::read_to_string(path)?;
+    let interval: u64 = args.flag_num("interval", 600)?;
+    let trace = trace_io::parse_single(&text, path, TraceKind::Query, interval)?;
+    let history: usize = args.flag_num("history", 30)?;
+    let horizon: usize = args.flag_num("horizon", 1)?;
+    let split_frac: f64 = args.flag_num("split", 0.7)?;
+    let epochs: usize = args.flag_num("epochs", 20)?;
+    let model_name = args.flag("model").ok_or("--model is required")?;
+    let mut model = make_model(model_name, epochs)?;
+    let split = (trace.len() as f64 * split_frac) as usize;
+    let spec = WindowSpec::new(history, horizon);
+    let rep = rolling_forecast(model.as_mut(), trace.values(), split, spec)
+        .ok_or("trace too short for this history/horizon")?;
+    println!(
+        "{model_name} on {path}: {} test points, MSE {:.6}, MAE {:.6}",
+        rep.targets.len(),
+        rep.mse,
+        rep.mae
+    );
+    Ok(())
+}
+
+/// `forecast <log>` — full pipeline from a query log.
+pub fn forecast(args: &Args) -> CmdResult {
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs"])?;
+    let path = args.positional(0, "log")?;
+    let text = fs::read_to_string(path)?;
+    let mut cfg = DbAugurConfig {
+        interval_secs: args.flag_num("interval", 600)?,
+        history: args.flag_num("history", 30)?,
+        horizon: args.flag_num("horizon", 1)?,
+        top_k: args.flag_num("topk", 5)?,
+        epochs: args.flag_num("epochs", 10)?,
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    let mut system = DbAugur::new(cfg);
+    let n = system.ingest_log(&text);
+    if n == 0 {
+        return Err("no parseable records in the log".into());
+    }
+    // Train over the observed time span.
+    let (start, end) = {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for line in text.lines() {
+            if let Some(rec) = dbaugur_sqlproc::parse_log_line(line) {
+                min = min.min(rec.ts_secs);
+                max = max.max(rec.ts_secs);
+            }
+        }
+        (min, max + 1)
+    };
+    println!("{n} records, {} templates, span {}s", system.num_templates(), end - start);
+    system.train(start, end)?;
+    for (i, cluster) in system.clusters().iter().enumerate() {
+        let f = system.forecast_cluster(i).expect("trained cluster");
+        println!(
+            "cluster {i}: {} traces, volume {:.0}, next-interval forecast {:.2}",
+            cluster.summary.members.len(),
+            cluster.summary.volume,
+            f
+        );
+    }
+    Ok(())
+}
+
+/// `synth <kind>` — print a synthetic trace as single-metric CSV.
+pub fn synth(args: &Args) -> CmdResult {
+    args.check_flags(&["days", "seed", "out"])?;
+    let kind = args.positional(0, "kind")?;
+    let days: usize = args.flag_num("days", 7)?;
+    let seed: u64 = args.flag_num("seed", 42)?;
+    let trace = match kind {
+        "bustracker" => synth::bustracker(seed, days),
+        "alibaba" => synth::alibaba_disk(seed, days),
+        "periodic" => synth::periodic_workload(seed, days, 300.0, 200.0),
+        "complex" => synth::complex_workload(seed, days, 300.0),
+        other => return Err(format!("unknown synthetic kind {other:?}").into()),
+    };
+    let csv = trace_io::format_single(&trace);
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, csv)?;
+            println!("wrote {} samples to {path}", trace.len());
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! `dbaugur` — command-line interface to the workload forecasting
+//! system.
+//!
+//! ```text
+//! dbaugur templates <log>                       list query templates by volume
+//! dbaugur cluster <wide.csv> [--rho R]          DTW-cluster traces from a CSV
+//! dbaugur evaluate <trace.csv> --model NAME     rolling-forecast one trace
+//! dbaugur forecast <log> [--topk K]             full pipeline: log → forecasts
+//! dbaugur synth <bustracker|alibaba> [--days N] emit a synthetic trace CSV
+//! ```
+//!
+//! Logs use the `<epoch_secs>\t<sql>` format; trace CSVs use the formats
+//! of `dbaugur_trace::io`.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dbaugur <command> [args]
+
+commands:
+  templates <log>                          list query templates by volume
+  cluster <wide.csv> [--rho R] [--min N]   DTW-cluster traces from a wide CSV
+  evaluate <trace.csv> --model NAME        rolling forecast (LR|ARIMA|KR|MLP|LSTM|GRU|TCN|WFGAN|QB5000|DBAugur)
+           [--history T] [--horizon H] [--split FRAC] [--epochs E]
+  forecast <log> [--interval S] [--history T] [--horizon H] [--topk K] [--epochs E]
+  synth <bustracker|alibaba|periodic|complex> [--days N] [--seed S]
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        eprint!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "templates" => commands::templates(&args),
+        "cluster" => commands::cluster(&args),
+        "evaluate" => commands::evaluate(&args),
+        "forecast" => commands::forecast(&args),
+        "synth" => commands::synth(&args),
+        other => Err(format!("unknown command {other:?}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests of the `dbaugur` binary: real process, real files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dbaugur"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbaugur_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = bin().output().expect("runs");
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("usage: dbaugur"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn synth_then_evaluate_roundtrip() {
+    let dir = tmpdir("synth_eval");
+    let csv = dir.join("bt.csv");
+    let out = bin()
+        .args(["synth", "bustracker", "--days", "3", "--seed", "7", "--out"])
+        .arg(&csv)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "synth failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("432 samples"));
+
+    let out = bin()
+        .arg("evaluate")
+        .arg(&csv)
+        .args(["--model", "LR", "--horizon", "3", "--history", "12"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "evaluate failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MSE"), "got: {text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn evaluate_rejects_unknown_model() {
+    let dir = tmpdir("bad_model");
+    let csv = dir.join("t.csv");
+    std::fs::write(&csv, "1\n2\n3\n4\n5\n6\n7\n8\n").expect("write");
+    let out = bin()
+        .arg("evaluate")
+        .arg(&csv)
+        .args(["--model", "GPT9000"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown model"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn templates_lists_by_volume() {
+    let dir = tmpdir("templates");
+    let log = dir.join("app.log");
+    let mut text = String::new();
+    for i in 0..5u64 {
+        text.push_str(&format!("{i}\tSELECT a FROM t WHERE id = {i}\n"));
+    }
+    text.push_str("9\tSELECT b FROM u\n");
+    text.push_str("not a record\n");
+    std::fs::write(&log, text).expect("write");
+    let out = bin().arg("templates").arg(&log).output().expect("runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("6 records → 2 templates"), "got: {s}");
+    let a_pos = s.find("SELECT a FROM t").expect("template a listed");
+    let b_pos = s.find("SELECT b FROM u").expect("template b listed");
+    assert!(a_pos < b_pos, "higher-volume template first");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn cluster_groups_twins_and_flags_outliers() {
+    let dir = tmpdir("cluster");
+    let csv = dir.join("wide.csv");
+    let mut text = String::from("a,b,odd\n");
+    for j in 0..48 {
+        let base = (j as f64 * 0.3).sin() * 50.0 + 100.0;
+        let odd = (j % 7) as f64 * 20.0;
+        text.push_str(&format!("{base},{:.3},{odd}\n", base + 1.0));
+    }
+    std::fs::write(&csv, text).expect("write");
+    let out = bin()
+        .arg("cluster")
+        .arg(&csv)
+        .args(["--rho", "2.0", "--window", "5", "--min", "2"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("1 clusters"), "got: {s}");
+    assert!(s.contains("outlier: odd"), "got: {s}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn forecast_pipeline_runs_on_small_log() {
+    let dir = tmpdir("forecast");
+    let log = dir.join("app.log");
+    let mut text = String::new();
+    for m in 0..240u64 {
+        let n = 2 + (m % 8);
+        for k in 0..n {
+            text.push_str(&format!("{}\tSELECT x FROM t WHERE id = {k}\n", m * 60 + k));
+        }
+    }
+    std::fs::write(&log, text).expect("write");
+    let out = bin()
+        .arg("forecast")
+        .arg(&log)
+        .args(["--interval", "600", "--history", "8", "--topk", "2", "--epochs", "1"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("next-interval forecast"), "got: {s}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin().args(["templates", "/nonexistent/nowhere.log"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).starts_with("error:"));
+}

@@ -1,0 +1,276 @@
+//! Batch Descender: DBSCAN over DTW distances with Ball-Tree queries.
+
+use dbaugur_dtw::{BallTree, Distance};
+use dbaugur_trace::Trace;
+
+/// Parameters of the density clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct DescenderParams {
+    /// Neighbourhood radius ρ (in distance units of the chosen measure,
+    /// applied to z-normalized traces when `normalize` is set).
+    pub rho: f64,
+    /// Minimum neighbourhood size (including the point itself) for a
+    /// trace to be a *core point*.
+    pub min_size: usize,
+    /// Z-normalize each trace before computing distances, so clusters
+    /// capture *shape* rather than amplitude. Matches the paper's goal of
+    /// resisting "amplitude shifting/scaling".
+    pub normalize: bool,
+}
+
+impl Default for DescenderParams {
+    fn default() -> Self {
+        Self { rho: 3.0, min_size: 3, normalize: true }
+    }
+}
+
+/// The result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster id per input trace; `None` marks an outlier.
+    pub assignments: Vec<Option<usize>>,
+    /// Number of clusters produced.
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// Indices of the members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (*a == Some(c)).then_some(i))
+            .collect()
+    }
+
+    /// Indices of outliers (unassigned traces).
+    pub fn outliers(&self) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.is_none().then_some(i))
+            .collect()
+    }
+}
+
+/// Z-normalize one series; constant series map to all-zero.
+pub(crate) fn z_normalize(v: &[f64]) -> Vec<f64> {
+    let n = v.len() as f64;
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let mean = v.iter().sum::<f64>() / n;
+    let std = (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+    if std == 0.0 {
+        vec![0.0; v.len()]
+    } else {
+        v.iter().map(|x| (x - mean) / std).collect()
+    }
+}
+
+/// The batch clustering algorithm.
+pub struct Descender<D: Distance> {
+    params: DescenderParams,
+    metric: D,
+}
+
+impl<D: Distance> Descender<D> {
+    /// Create a Descender with the given distance measure.
+    pub fn new(params: DescenderParams, metric: D) -> Self {
+        Self { params, metric }
+    }
+
+    /// Cluster `traces`, returning per-trace assignments.
+    ///
+    /// Classic DBSCAN: BFS expansion from core points; border points join
+    /// the first cluster that reaches them; everything else is an
+    /// outlier.
+    pub fn cluster(self, traces: &[Trace]) -> Clustering {
+        let points: Vec<Vec<f64>> = traces
+            .iter()
+            .map(|t| {
+                if self.params.normalize {
+                    z_normalize(t.values())
+                } else {
+                    t.values().to_vec()
+                }
+            })
+            .collect();
+        let n = points.len();
+        let tree = BallTree::build(points, self.metric);
+        let mut assignments: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut num_clusters = 0;
+
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            visited[start] = true;
+            let neighbors = tree.within(tree.point(start).to_vec().as_slice(), self.params.rho);
+            if neighbors.len() < self.params.min_size {
+                continue; // provisional outlier; may become a border point later
+            }
+            let cluster = num_clusters;
+            num_clusters += 1;
+            assignments[start] = Some(cluster);
+            let mut queue: Vec<usize> = neighbors.iter().map(|&(i, _)| i).collect();
+            let mut qi = 0;
+            while qi < queue.len() {
+                let p = queue[qi];
+                qi += 1;
+                if assignments[p].is_none() {
+                    assignments[p] = Some(cluster);
+                }
+                if visited[p] {
+                    continue;
+                }
+                visited[p] = true;
+                let pn = tree.within(tree.point(p).to_vec().as_slice(), self.params.rho);
+                if pn.len() >= self.params.min_size {
+                    // p is itself a core point: expand through it.
+                    queue.extend(pn.iter().map(|&(i, _)| i));
+                }
+            }
+        }
+        Clustering { assignments, num_clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_dtw::{DtwDistance, EuclideanDistance};
+    use dbaugur_trace::synth;
+
+    fn sine_trace(name: &str, phase: f64, n: usize) -> Trace {
+        Trace::query(name, (0..n).map(|i| (i as f64 * 0.3 + phase).sin() * 10.0).collect())
+    }
+
+    fn sawtooth_trace(name: &str, n: usize) -> Trace {
+        Trace::query(name, (0..n).map(|i| (i % 7) as f64).collect())
+    }
+
+    #[test]
+    fn two_obvious_groups_form_two_clusters() {
+        let n = 48;
+        let mut traces = Vec::new();
+        for i in 0..5 {
+            traces.push(sine_trace(&format!("s{i}"), 0.01 * i as f64, n));
+        }
+        for i in 0..5 {
+            traces.push(sawtooth_trace(&format!("w{i}"), n));
+        }
+        let c = Descender::new(
+            DescenderParams { rho: 2.0, min_size: 3, normalize: true },
+            DtwDistance::new(5),
+        )
+        .cluster(&traces);
+        assert_eq!(c.num_clusters, 2);
+        let first = c.assignments[0].expect("sine clustered");
+        for a in &c.assignments[..5] {
+            assert_eq!(*a, Some(first));
+        }
+        let second = c.assignments[5].expect("saw clustered");
+        assert_ne!(first, second);
+        for a in &c.assignments[5..] {
+            assert_eq!(*a, Some(second));
+        }
+    }
+
+    #[test]
+    fn time_shifted_twins_cluster_under_dtw_but_not_euclid() {
+        // The paper's planetarium example: near-identical traces with a
+        // small time shift must merge under DTW; Euclidean splits them.
+        let base = synth::bustracker(42, 2);
+        let mut traces = vec![base.clone()];
+        for k in 1..=4 {
+            traces.push(synth::time_shift(&base, k * 3));
+        }
+        // A genuinely different group so the clustering is non-trivial.
+        for i in 0..5u64 {
+            traces.push(synth::alibaba_disk(i, 2));
+        }
+        let params = DescenderParams { rho: 6.0, min_size: 3, normalize: true };
+        let dtw_c = Descender::new(params, DtwDistance::new(10)).cluster(&traces);
+        let shifted_cluster = dtw_c.assignments[0];
+        assert!(shifted_cluster.is_some(), "DTW should cluster the shifted family");
+        for a in &dtw_c.assignments[..5] {
+            assert_eq!(*a, shifted_cluster, "all shifts in one DTW cluster");
+        }
+        let euc_c = Descender::new(params, EuclideanDistance).cluster(&traces);
+        let euc_together = euc_c.assignments[..5]
+            .iter()
+            .all(|a| a.is_some() && *a == euc_c.assignments[0]);
+        assert!(
+            !euc_together,
+            "Euclidean at the same radius should fail to merge the shifted family"
+        );
+    }
+
+    #[test]
+    fn sparse_points_are_outliers() {
+        let n = 32;
+        let mut traces = vec![
+            sine_trace("a", 0.0, n),
+            sine_trace("b", 0.02, n),
+            sine_trace("c", 0.04, n),
+        ];
+        // One wildly different lone trace.
+        traces.push(Trace::query("lone", (0..n).map(|i| ((i * i) % 13) as f64 * 5.0).collect()));
+        let c = Descender::new(
+            DescenderParams { rho: 1.0, min_size: 3, normalize: true },
+            DtwDistance::new(4),
+        )
+        .cluster(&traces);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.outliers(), vec![3]);
+        assert_eq!(c.members(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn min_size_one_puts_every_trace_in_a_cluster() {
+        let traces = vec![sine_trace("a", 0.0, 16), sawtooth_trace("b", 16)];
+        let c = Descender::new(
+            DescenderParams { rho: 0.1, min_size: 1, normalize: true },
+            EuclideanDistance,
+        )
+        .cluster(&traces);
+        assert_eq!(c.num_clusters, 2);
+        assert!(c.outliers().is_empty());
+    }
+
+    #[test]
+    fn normalization_merges_scaled_copies() {
+        let base = sine_trace("a", 0.0, 32);
+        let traces = vec![base.clone(), synth::scale(&base, 10.0), synth::scale(&base, 0.1)];
+        let with_norm = Descender::new(
+            DescenderParams { rho: 0.5, min_size: 2, normalize: true },
+            DtwDistance::new(3),
+        )
+        .cluster(&traces);
+        assert_eq!(with_norm.num_clusters, 1, "scaling is invisible after z-normalization");
+        let without = Descender::new(
+            DescenderParams { rho: 0.5, min_size: 2, normalize: false },
+            DtwDistance::new(3),
+        )
+        .cluster(&traces);
+        assert!(without.num_clusters != 1 || !without.outliers().is_empty());
+    }
+
+    #[test]
+    fn empty_input_clusters_to_nothing() {
+        let c = Descender::new(DescenderParams::default(), EuclideanDistance).cluster(&[]);
+        assert_eq!(c.num_clusters, 0);
+        assert!(c.assignments.is_empty());
+    }
+
+    #[test]
+    fn z_normalize_properties() {
+        let v = z_normalize(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert_eq!(z_normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+        assert!(z_normalize(&[]).is_empty());
+    }
+}

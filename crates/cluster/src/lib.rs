@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Descender — Density-basEd Spatial ClustEriNg with Dynamic timE waRping
+//! (paper Sec. IV-C).
+//!
+//! Workload traces are grouped so that one forecasting model per
+//! *cluster* (not per trace) suffices. Descender is DBSCAN with two
+//! substitutions the paper makes:
+//!
+//! * distances come from **DTW** instead of Euclidean/cosine, so
+//!   time-shifted or warped twins land in one cluster;
+//! * neighbourhood queries go through a **Ball-Tree** instead of a linear
+//!   scan.
+//!
+//! [`descender::Descender`] is the batch algorithm;
+//! [`online::OnlineDescender`] is the incremental variant ("for a new
+//! trace, Descender will update the environment, merge or split the
+//! clusters based on the current clustering density. If the new trace
+//! fails to become a core point, we will create a new cluster with that
+//! trace as its sole member").
+//!
+//! [`topk`] selects the top-K clusters by workload volume and produces
+//! the average-trace representative each cluster's forecaster trains on,
+//! while remembering every member's proportion so per-trace forecasts can
+//! be recovered from the cluster forecast.
+
+pub mod descender;
+pub mod online;
+pub mod topk;
+
+pub use descender::{Clustering, Descender, DescenderParams};
+pub use online::OnlineDescender;
+pub use topk::{select_top_k, select_top_k_dba, ClusterSummary};

@@ -1,0 +1,237 @@
+//! Online Descender: incremental clustering of arriving traces.
+//!
+//! The paper: "For a new trace, Descender will update the environment,
+//! merge or split the clusters based on the current clustering density.
+//! If the new trace fails to become a core point, we will create a new
+//! cluster with that trace as its sole member."
+//!
+//! The incremental rule implemented here:
+//! * insert the (normalized) trace into the Ball-Tree;
+//! * query its ρ-neighbourhood;
+//! * if the neighbourhood reaches `min_size` the trace is a core point:
+//!   it joins — and thereby *merges* — every cluster its neighbours
+//!   belong to (union–find keeps merging O(α));
+//! * otherwise it starts a singleton cluster.
+
+use crate::descender::{z_normalize, DescenderParams};
+use dbaugur_dtw::{BallTree, Distance};
+use dbaugur_trace::Trace;
+
+/// Union–find over cluster ids.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn make(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+        ra
+    }
+}
+
+/// Incremental Descender over a stream of traces.
+pub struct OnlineDescender<D: Distance> {
+    params: DescenderParams,
+    tree: BallTree<D>,
+    /// Raw cluster id per inserted trace (resolve through union–find).
+    raw_cluster: Vec<usize>,
+    uf: UnionFind,
+    names: Vec<String>,
+    inserts_since_rebuild: usize,
+}
+
+impl<D: Distance> OnlineDescender<D> {
+    /// An empty online clusterer.
+    pub fn new(params: DescenderParams, metric: D) -> Self {
+        Self {
+            params,
+            tree: BallTree::build(Vec::new(), metric),
+            raw_cluster: Vec::new(),
+            uf: UnionFind::default(),
+            names: Vec::new(),
+            inserts_since_rebuild: 0,
+        }
+    }
+
+    /// Number of traces inserted so far.
+    pub fn len(&self) -> usize {
+        self.raw_cluster.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.raw_cluster.is_empty()
+    }
+
+    /// Insert one trace and return the (canonical) cluster id it ends up
+    /// in.
+    pub fn insert(&mut self, trace: &Trace) -> usize {
+        let point = if self.params.normalize {
+            z_normalize(trace.values())
+        } else {
+            trace.values().to_vec()
+        };
+        let neighbors = self.tree.within(&point, self.params.rho);
+        let idx = self.tree.insert(point);
+        debug_assert_eq!(idx, self.raw_cluster.len());
+        self.names.push(trace.name.clone());
+
+        // Including the new trace itself in the neighbourhood count.
+        let cluster = if neighbors.len() + 1 >= self.params.min_size && !neighbors.is_empty() {
+            // Core point: merge all neighbour clusters.
+            let mut root = self.uf.find(self.raw_cluster[neighbors[0].0]);
+            for &(n, _) in &neighbors[1..] {
+                let other = self.raw_cluster[n];
+                root = self.uf.union(root, other);
+            }
+            root
+        } else {
+            // Sole-member cluster.
+            self.uf.make()
+        };
+        self.raw_cluster.push(cluster);
+
+        // Amortized rebuild keeps the incrementally grown tree balanced.
+        self.inserts_since_rebuild += 1;
+        if self.inserts_since_rebuild >= 64 {
+            self.tree.rebuild();
+            self.inserts_since_rebuild = 0;
+        }
+        self.uf.find(cluster)
+    }
+
+    /// Canonical cluster id of the `i`-th inserted trace.
+    pub fn cluster_of(&mut self, i: usize) -> usize {
+        let raw = self.raw_cluster[i];
+        self.uf.find(raw)
+    }
+
+    /// Current clusters as lists of member indices, largest first.
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.raw_cluster.len() {
+            let c = self.cluster_of(i);
+            map.entry(c).or_default().push(i);
+        }
+        let mut v: Vec<Vec<usize>> = map.into_values().collect();
+        v.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        v
+    }
+
+    /// Name of the `i`-th inserted trace.
+    pub fn name_of(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_dtw::DtwDistance;
+    use dbaugur_trace::synth;
+    use dbaugur_trace::Trace;
+
+    fn sine(name: &str, phase: f64, n: usize) -> Trace {
+        Trace::query(name, (0..n).map(|i| (i as f64 * 0.3 + phase).sin()).collect())
+    }
+
+    fn params(rho: f64, min_size: usize) -> DescenderParams {
+        DescenderParams { rho, min_size, normalize: true }
+    }
+
+    #[test]
+    fn first_trace_forms_singleton() {
+        let mut od = OnlineDescender::new(params(1.0, 3), DtwDistance::new(4));
+        let c = od.insert(&sine("a", 0.0, 24));
+        assert_eq!(od.len(), 1);
+        assert_eq!(od.clusters(), vec![vec![0]]);
+        assert_eq!(od.cluster_of(0), c);
+    }
+
+    #[test]
+    fn similar_traces_coalesce_once_dense() {
+        let mut od = OnlineDescender::new(params(1.5, 3), DtwDistance::new(4));
+        od.insert(&sine("a", 0.00, 24));
+        od.insert(&sine("b", 0.01, 24));
+        // Third similar trace reaches min_size => its neighbourhood merges.
+        od.insert(&sine("c", 0.02, 24));
+        let clusters = od.clusters();
+        assert_eq!(clusters.len(), 1, "all three sines in one cluster: {clusters:?}");
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn dissimilar_traces_stay_apart() {
+        let mut od = OnlineDescender::new(params(0.8, 2), DtwDistance::new(3));
+        od.insert(&sine("a", 0.0, 24));
+        od.insert(&Trace::query("saw", (0..24).map(|i| (i % 5) as f64).collect()));
+        assert_eq!(od.clusters().len(), 2);
+    }
+
+    #[test]
+    fn online_matches_intuition_on_shifted_family() {
+        let base = synth::bustracker(9, 1);
+        let mut od = OnlineDescender::new(params(5.0, 2), DtwDistance::new(10));
+        od.insert(&base);
+        for k in 1..4 {
+            od.insert(&synth::time_shift(&base, k * 2));
+        }
+        assert_eq!(od.clusters().len(), 1);
+    }
+
+    #[test]
+    fn merge_bridges_two_groups() {
+        // Two pairs at a gap; a middle trace merges them when min_size
+        // permits.
+        let n = 24;
+        let make = |phase: f64| sine("t", phase, n);
+        let mut od = OnlineDescender::new(params(1.2, 2), DtwDistance::new(6));
+        od.insert(&make(0.0));
+        od.insert(&make(0.05));
+        od.insert(&make(1.2));
+        od.insert(&make(1.25));
+        let before = od.clusters().len();
+        assert_eq!(before, 2);
+        od.insert(&make(0.6)); // bridging trace (if within rho of both)
+        let after = od.clusters().len();
+        assert!(after <= before, "bridge can only merge, never split");
+    }
+
+    #[test]
+    fn rebuild_amortization_does_not_lose_traces() {
+        let mut od = OnlineDescender::new(params(0.5, 2), DtwDistance::new(2));
+        for i in 0..150 {
+            od.insert(&sine("t", i as f64 * 0.001, 16));
+        }
+        assert_eq!(od.len(), 150);
+        let total: usize = od.clusters().iter().map(|c| c.len()).sum();
+        assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn names_are_tracked() {
+        let mut od = OnlineDescender::new(params(1.0, 2), DtwDistance::new(2));
+        od.insert(&sine("alpha", 0.0, 8));
+        assert_eq!(od.name_of(0), "alpha");
+    }
+}

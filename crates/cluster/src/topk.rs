@@ -1,0 +1,247 @@
+//! Top-K representative cluster selection (paper Sec. IV-C).
+//!
+//! "We only select the top-K representative clusters (i.e., clusters with
+//! the largest workload volumes) and build a forecasting model for each
+//! cluster, for which we use average workload of traces within each
+//! cluster as the training data. During the clustering, we also track
+//! each trace and its proportion in the corresponding cluster."
+
+use crate::descender::Clustering;
+use dbaugur_trace::{Trace, TraceKind};
+
+/// One selected cluster: its average-trace representative plus the
+/// bookkeeping needed to project the cluster forecast back onto member
+/// traces.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Cluster id in the originating [`Clustering`].
+    pub cluster_id: usize,
+    /// Indices of member traces in the input slice.
+    pub members: Vec<usize>,
+    /// Per-member share of the cluster volume, aligned with `members`;
+    /// sums to 1 (or is uniform when the cluster volume is zero).
+    pub proportions: Vec<f64>,
+    /// Total workload volume of the cluster.
+    pub volume: f64,
+    /// The average trace the cluster's forecaster trains on.
+    pub representative: Trace,
+}
+
+impl ClusterSummary {
+    /// Project a forecast for the cluster representative onto member `i`
+    /// (an index into `members`): the member's predicted value is the
+    /// cluster prediction scaled by `member_count × proportion`, since the
+    /// representative is the *average* of members.
+    pub fn project(&self, member_idx: usize, cluster_prediction: f64) -> f64 {
+        cluster_prediction * self.members.len() as f64 * self.proportions[member_idx]
+    }
+}
+
+/// Select the `k` largest-volume clusters from `clustering` over
+/// `traces`, computing representatives and proportions.
+///
+/// Member traces must share one length (they do, coming out of the
+/// registry binning). Clusters are returned largest-volume first.
+pub fn select_top_k(traces: &[Trace], clustering: &Clustering, k: usize) -> Vec<ClusterSummary> {
+    let mut summaries: Vec<ClusterSummary> = (0..clustering.num_clusters)
+        .filter_map(|c| {
+            let members = clustering.members(c);
+            if members.is_empty() {
+                return None;
+            }
+            let len = traces[members[0]].len();
+            let mut avg = vec![0.0f64; len];
+            let mut volumes = Vec::with_capacity(members.len());
+            for &m in &members {
+                let t = &traces[m];
+                assert_eq!(t.len(), len, "cluster members must share one length");
+                for (a, v) in avg.iter_mut().zip(t.values()) {
+                    *a += v;
+                }
+                volumes.push(t.volume());
+            }
+            for a in &mut avg {
+                *a /= members.len() as f64;
+            }
+            let volume: f64 = volumes.iter().sum();
+            let proportions: Vec<f64> = if volume > 0.0 {
+                volumes.iter().map(|v| v / volume).collect()
+            } else {
+                vec![1.0 / members.len() as f64; members.len()]
+            };
+            let kind = traces[members[0]].kind;
+            let interval = traces[members[0]].interval_secs;
+            Some(ClusterSummary {
+                cluster_id: c,
+                members,
+                proportions,
+                volume,
+                representative: Trace::new(format!("cluster:{c}"), kind, interval, avg),
+            })
+        })
+        .collect();
+    summaries.sort_by(|a, b| b.volume.total_cmp(&a.volume));
+    summaries.truncate(k);
+    summaries
+}
+
+/// Like [`select_top_k`], but the representative is the DTW barycenter
+/// (DBA) of the members instead of the element-wise mean — an extension
+/// over the paper: when members are time-shifted twins (the very reason
+/// DTW clustering grouped them), the plain mean blurs their peaks while
+/// DBA preserves the shared shape. `window` is the DTW band half-width;
+/// `iterations` the DBA refinement count (3–5 suffices).
+pub fn select_top_k_dba(
+    traces: &[Trace],
+    clustering: &Clustering,
+    k: usize,
+    window: usize,
+    iterations: usize,
+) -> Vec<ClusterSummary> {
+    let mut summaries = select_top_k(traces, clustering, k);
+    for s in &mut summaries {
+        if s.members.len() < 2 {
+            continue; // the mean of one member is already exact
+        }
+        let members: Vec<&[f64]> = s.members.iter().map(|&m| traces[m].values()).collect();
+        let dba = dbaugur_dtw::dba_barycenter(&members, window, iterations);
+        s.representative = Trace::new(
+            s.representative.name.clone(),
+            s.representative.kind,
+            s.representative.interval_secs,
+            dba,
+        );
+    }
+    summaries
+}
+
+/// Convenience: kind-aware top-K over a mixed set, keeping query and
+/// resource clusters separate (their units are incomparable).
+pub fn select_top_k_by_kind(
+    traces: &[Trace],
+    clustering: &Clustering,
+    k: usize,
+    kind: TraceKind,
+) -> Vec<ClusterSummary> {
+    select_top_k(traces, clustering, usize::MAX)
+        .into_iter()
+        .filter(|s| s.representative.kind == kind)
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descender::Clustering;
+
+    fn clustering(assignments: Vec<Option<usize>>, n: usize) -> Clustering {
+        Clustering { assignments, num_clusters: n }
+    }
+
+    #[test]
+    fn representative_is_member_average() {
+        let traces = vec![
+            Trace::query("a", vec![2.0, 4.0]),
+            Trace::query("b", vec![4.0, 8.0]),
+        ];
+        let c = clustering(vec![Some(0), Some(0)], 1);
+        let top = select_top_k(&traces, &c, 5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].representative.values(), &[3.0, 6.0]);
+        assert_eq!(top[0].volume, 18.0);
+    }
+
+    #[test]
+    fn proportions_sum_to_one_and_project_back() {
+        let traces = vec![
+            Trace::query("a", vec![1.0, 1.0]), // volume 2
+            Trace::query("b", vec![3.0, 3.0]), // volume 6
+        ];
+        let c = clustering(vec![Some(0), Some(0)], 1);
+        let top = select_top_k(&traces, &c, 1);
+        let s = &top[0];
+        assert!((s.proportions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s.proportions[0] - 0.25).abs() < 1e-12);
+        // Cluster representative value 2.0 projects to 1.0 for member a
+        // and 3.0 for member b.
+        assert!((s.project(0, 2.0) - 1.0).abs() < 1e-12);
+        assert!((s.project(1, 2.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_by_volume_and_truncates() {
+        let traces = vec![
+            Trace::query("small", vec![1.0]),
+            Trace::query("large", vec![100.0]),
+            Trace::query("mid", vec![10.0]),
+        ];
+        let c = clustering(vec![Some(0), Some(1), Some(2)], 3);
+        let top = select_top_k(&traces, &c, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].members, vec![1]);
+        assert_eq!(top[1].members, vec![2]);
+    }
+
+    #[test]
+    fn outliers_are_excluded() {
+        let traces = vec![Trace::query("a", vec![1.0]), Trace::query("out", vec![9.0])];
+        let c = clustering(vec![Some(0), None], 1);
+        let top = select_top_k(&traces, &c, 10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].members, vec![0]);
+    }
+
+    #[test]
+    fn zero_volume_cluster_gets_uniform_proportions() {
+        let traces = vec![Trace::query("a", vec![0.0]), Trace::query("b", vec![0.0])];
+        let c = clustering(vec![Some(0), Some(0)], 1);
+        let top = select_top_k(&traces, &c, 1);
+        assert_eq!(top[0].proportions, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn dba_representative_preserves_shifted_peaks() {
+        let n = 40;
+        let peak = |center: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let d = i as f64 - center as f64;
+                    (-d * d / 8.0).exp() * 10.0
+                })
+                .collect()
+        };
+        let traces = vec![Trace::query("a", peak(15)), Trace::query("b", peak(25))];
+        let c = clustering(vec![Some(0), Some(0)], 1);
+        let mean_rep = &select_top_k(&traces, &c, 1)[0].representative;
+        let dba_rep = &select_top_k_dba(&traces, &c, 1, 12, 4)[0].representative;
+        assert!(
+            dba_rep.max().expect("non-empty") > mean_rep.max().expect("non-empty"),
+            "DBA keeps the peak height the mean blurs away"
+        );
+    }
+
+    #[test]
+    fn dba_singleton_cluster_is_untouched() {
+        let traces = vec![Trace::query("a", vec![1.0, 5.0, 2.0])];
+        let c = clustering(vec![Some(0)], 1);
+        let plain = select_top_k(&traces, &c, 1);
+        let dba = select_top_k_dba(&traces, &c, 1, 3, 3);
+        assert_eq!(plain[0].representative.values(), dba[0].representative.values());
+    }
+
+    #[test]
+    fn kind_filter_separates_query_and_resource() {
+        let traces = vec![
+            Trace::query("q", vec![5.0]),
+            Trace::resource("r", vec![0.9]),
+        ];
+        let c = clustering(vec![Some(0), Some(1)], 2);
+        let q = select_top_k_by_kind(&traces, &c, 10, TraceKind::Query);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].members, vec![0]);
+        let r = select_top_k_by_kind(&traces, &c, 10, TraceKind::Resource);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].members, vec![1]);
+    }
+}

@@ -1,0 +1,115 @@
+//! System configuration.
+
+use dbaugur_cluster::DescenderParams;
+
+/// Configuration of the end-to-end DBAugur pipeline.
+#[derive(Debug, Clone)]
+pub struct DbAugurConfig {
+    /// Forecasting interval in seconds (paper evaluation: 600 s).
+    pub interval_secs: u64,
+    /// History window length `T` (paper: 30).
+    pub history: usize,
+    /// Forecasting horizon `H` in intervals.
+    pub horizon: usize,
+    /// Number of representative clusters to train models for.
+    pub top_k: usize,
+    /// DTW Sakoe–Chiba band half-width for trace clustering.
+    pub dtw_window: usize,
+    /// Density clustering parameters.
+    pub clustering: DescenderParams,
+    /// Time-sensitive ensemble attenuation δ (paper: 0.9).
+    pub delta: f64,
+    /// Training epochs for the neural ensemble members.
+    pub epochs: usize,
+    /// Per-epoch example cap for the neural members.
+    pub max_examples: usize,
+    /// Base RNG seed for model initialization.
+    pub seed: u64,
+    /// Use the DTW barycenter (DBA) instead of the element-wise mean as
+    /// each cluster's representative — shape-preserving for clusters of
+    /// time-shifted twins (extension over the paper).
+    pub use_dba_representative: bool,
+}
+
+impl Default for DbAugurConfig {
+    fn default() -> Self {
+        Self {
+            interval_secs: 600,
+            history: 30,
+            horizon: 1,
+            top_k: 5,
+            dtw_window: 14,
+            clustering: DescenderParams::default(),
+            delta: 0.9,
+            epochs: 30,
+            max_examples: 2000,
+            seed: 42,
+            use_dba_representative: false,
+        }
+    }
+}
+
+impl DbAugurConfig {
+    /// Shrink every training budget to the minimum — for tests and doc
+    /// examples where statistical quality is irrelevant.
+    pub fn fast(&mut self) -> &mut Self {
+        self.epochs = 2;
+        self.max_examples = 64;
+        self
+    }
+
+    /// Validate invariants; called by the pipeline before training.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval_secs == 0 {
+            return Err("interval_secs must be positive".into());
+        }
+        if self.history == 0 || self.horizon == 0 {
+            return Err("history and horizon must be positive".into());
+        }
+        if self.top_k == 0 {
+            return Err("top_k must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.delta) || self.delta == 0.0 {
+            return Err("delta must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let cfg = DbAugurConfig::default();
+        cfg.validate().expect("default config is valid");
+        assert_eq!(cfg.interval_secs, 600);
+        assert_eq!(cfg.history, 30);
+        assert_eq!(cfg.delta, 0.9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut cfg = DbAugurConfig::default();
+        cfg.interval_secs = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DbAugurConfig::default();
+        cfg.horizon = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DbAugurConfig::default();
+        cfg.delta = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DbAugurConfig::default();
+        cfg.top_k = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fast_shrinks_budgets() {
+        let mut cfg = DbAugurConfig::default();
+        cfg.fast();
+        assert!(cfg.epochs <= 2);
+        cfg.validate().expect("fast config remains valid");
+    }
+}

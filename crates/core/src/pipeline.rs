@@ -1,0 +1,360 @@
+//! The end-to-end pipeline: ingest → templates → traces → clusters →
+//! ensembles → forecasts.
+
+use crate::config::DbAugurConfig;
+use dbaugur_cluster::{select_top_k, select_top_k_dba, ClusterSummary, Descender};
+use dbaugur_models::{
+    Forecaster, MlpForecaster, TcnForecaster, TimeSensitiveEnsemble, Wfgan, WfganConfig,
+};
+use dbaugur_dtw::DtwDistance;
+use dbaugur_sqlproc::{parse_log_line, TemplateRegistry};
+use dbaugur_trace::{Trace, WindowSpec};
+use parking_lot::RwLock;
+use std::fmt;
+
+/// Why training could not proceed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// No query or resource traces were ingested.
+    NoTraces,
+    /// Traces are shorter than `history + horizon`.
+    NotEnoughData {
+        /// Samples available per trace.
+        have: usize,
+        /// Samples needed for one supervised example.
+        need: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            TrainError::NoTraces => write!(f, "no workload traces ingested"),
+            TrainError::NotEnoughData { have, need } => {
+                write!(f, "traces have {have} samples, need at least {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// One trained representative cluster: the summary (members,
+/// proportions, representative trace) plus its ensemble, behind a lock so
+/// forecasting and error feedback can interleave.
+pub struct TrainedCluster {
+    /// Cluster membership and representative.
+    pub summary: ClusterSummary,
+    ensemble: RwLock<TimeSensitiveEnsemble>,
+}
+
+impl TrainedCluster {
+    /// Predict the representative's value `horizon` intervals past the
+    /// end of its trace.
+    pub fn forecast(&self, history: usize) -> f64 {
+        let rep = self.summary.representative.values();
+        let window = &rep[rep.len() - history..];
+        self.ensemble.read().predict(window)
+    }
+
+    /// Feed back an observed representative-level value so the
+    /// time-sensitive weights adapt (Eqn. 7 update).
+    pub fn observe(&self, history: usize, actual: f64) {
+        let rep = self.summary.representative.values();
+        let window = &rep[rep.len() - history..];
+        self.ensemble.write().observe(window, actual);
+    }
+
+    /// Current ensemble weights (for diagnostics).
+    pub fn weights(&self) -> Vec<f64> {
+        self.ensemble.read().weights()
+    }
+}
+
+/// The DBAugur system.
+pub struct DbAugur {
+    cfg: DbAugurConfig,
+    registry: TemplateRegistry,
+    resources: Vec<Trace>,
+    trained: Vec<TrainedCluster>,
+    /// Names of the traces used at training time, aligned with the
+    /// cluster summaries' member indices.
+    trace_names: Vec<String>,
+}
+
+impl DbAugur {
+    /// A new system with the given configuration.
+    pub fn new(cfg: DbAugurConfig) -> Self {
+        Self {
+            cfg,
+            registry: TemplateRegistry::new(),
+            resources: Vec::new(),
+            trained: Vec::new(),
+            trace_names: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DbAugurConfig {
+        &self.cfg
+    }
+
+    /// Ingest one executed statement with its timestamp.
+    pub fn ingest_record(&mut self, ts_secs: u64, sql: &str) {
+        self.registry.observe(sql, ts_secs);
+    }
+
+    /// Ingest a whole log text in the `<epoch>\t<sql>` format, skipping
+    /// malformed lines. Returns the number of records ingested.
+    pub fn ingest_log(&mut self, text: &str) -> usize {
+        let mut n = 0;
+        for line in text.lines() {
+            if let Some(rec) = parse_log_line(line) {
+                self.registry.observe(&rec.sql, rec.ts_secs);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Register a resource-utilization trace (CPU, memory, disk…)
+    /// gathered from runtime statistics.
+    pub fn add_resource_trace(&mut self, trace: Trace) {
+        self.resources.push(trace);
+    }
+
+    /// Number of distinct templates seen so far.
+    pub fn num_templates(&self) -> usize {
+        self.registry.num_templates()
+    }
+
+    /// Build traces over `[start_secs, end_secs)`, cluster them with
+    /// Descender, and train one time-sensitive ensemble per top-K
+    /// cluster. Retraining replaces earlier models.
+    pub fn train(&mut self, start_secs: u64, end_secs: u64) -> Result<(), TrainError> {
+        self.cfg.validate().map_err(TrainError::InvalidConfig)?;
+        let mut traces: Vec<Trace> = Vec::new();
+        if self.registry.num_templates() > 0 {
+            traces.extend(
+                self.registry
+                    .arrival_traces(start_secs, end_secs, self.cfg.interval_secs)
+                    ,
+            );
+        }
+        traces.extend(self.resources.iter().cloned());
+        if traces.is_empty() {
+            return Err(TrainError::NoTraces);
+        }
+        let need = self.cfg.history + self.cfg.horizon + 1;
+        let have = traces.iter().map(Trace::len).min().unwrap_or(0);
+        if have < need {
+            return Err(TrainError::NotEnoughData { have, need });
+        }
+        // Resource traces may be longer than the binned query traces;
+        // truncate everything to the common length so DTW compares
+        // aligned windows.
+        for t in &mut traces {
+            if t.len() > have {
+                *t = t.slice(t.len() - have..t.len());
+            }
+        }
+        self.trace_names = traces.iter().map(|t| t.name.clone()).collect();
+
+        let clustering = Descender::new(self.cfg.clustering, DtwDistance::new(self.cfg.dtw_window))
+            .cluster(&traces);
+        let summaries = if self.cfg.use_dba_representative {
+            select_top_k_dba(&traces, &clustering, self.cfg.top_k, self.cfg.dtw_window, 4)
+        } else {
+            select_top_k(&traces, &clustering, self.cfg.top_k)
+        };
+        let spec = WindowSpec::new(self.cfg.history, self.cfg.horizon);
+
+        self.trained = summaries
+            .into_iter()
+            .map(|summary| {
+                let mut ensemble = self.make_ensemble();
+                ensemble.fit(summary.representative.values(), spec);
+                TrainedCluster { summary, ensemble: RwLock::new(ensemble) }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn make_ensemble(&self) -> TimeSensitiveEnsemble {
+        let wf_cfg = WfganConfig {
+            epochs: self.cfg.epochs,
+            max_examples: self.cfg.max_examples,
+            seed: self.cfg.seed,
+            ..WfganConfig::default()
+        };
+        let mut tcn = TcnForecaster::new(self.cfg.seed.wrapping_add(1));
+        tcn.epochs = self.cfg.epochs;
+        tcn.max_examples = self.cfg.max_examples;
+        let mut mlp = MlpForecaster::new(self.cfg.seed.wrapping_add(2));
+        mlp.epochs = self.cfg.epochs.max(2);
+        mlp.max_examples = self.cfg.max_examples;
+        TimeSensitiveEnsemble::new(
+            "DBAugur",
+            vec![
+                Box::new(Wfgan::with_config(wf_cfg)),
+                Box::new(tcn),
+                Box::new(mlp),
+            ],
+            self.cfg.delta,
+        )
+    }
+
+    /// The trained representative clusters (largest volume first).
+    pub fn clusters(&self) -> &[TrainedCluster] {
+        &self.trained
+    }
+
+    /// Forecast the representative of cluster `i`.
+    pub fn forecast_cluster(&self, i: usize) -> Option<f64> {
+        self.trained.get(i).map(|c| c.forecast(self.cfg.history))
+    }
+
+    /// Forecast a specific trace by name, projecting the cluster-level
+    /// prediction through the trace's volume proportion. `None` when the
+    /// trace is unknown or fell outside the top-K clusters.
+    pub fn forecast_trace(&self, name: &str) -> Option<f64> {
+        let global_idx = self.trace_names.iter().position(|n| n == name)?;
+        for cluster in &self.trained {
+            if let Some(member_pos) =
+                cluster.summary.members.iter().position(|&m| m == global_idx)
+            {
+                let cluster_pred = cluster.forecast(self.cfg.history);
+                return Some(cluster.summary.project(member_pos, cluster_pred));
+            }
+        }
+        None
+    }
+
+    /// Forecast the arrival rate of the template matching `sql`
+    /// (canonicalized), `None` for unseen templates.
+    pub fn forecast_template(&self, sql: &str) -> Option<f64> {
+        let id = self.registry.lookup(sql)?;
+        self.forecast_trace(&format!("template:{}", id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::TraceKind;
+
+    fn tiny_cfg() -> DbAugurConfig {
+        let mut cfg = DbAugurConfig::default();
+        cfg.interval_secs = 60;
+        cfg.history = 8;
+        cfg.horizon = 1;
+        cfg.top_k = 3;
+        cfg.clustering.min_size = 1;
+        cfg.fast();
+        cfg
+    }
+
+    fn feed_periodic(sys: &mut DbAugur, sql: &str, minutes: u64, period: u64, amp: u64) {
+        for minute in 0..minutes {
+            let n = 2 + amp * u64::from(minute % period < period / 2);
+            for q in 0..n {
+                sys.ingest_record(minute * 60 + q, sql);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_training_and_forecast() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM bus WHERE route = 1", 120, 10, 6);
+        feed_periodic(&mut sys, "SELECT name FROM stop WHERE id = 2", 120, 14, 3);
+        assert_eq!(sys.num_templates(), 2);
+        sys.train(0, 120 * 60).expect("trains");
+        assert!(!sys.clusters().is_empty());
+        let f = sys.forecast_template("SELECT * FROM bus WHERE route = 777");
+        assert!(f.expect("same template, different literal").is_finite());
+        assert!(sys.forecast_template("SELECT unknown FROM nowhere").is_none());
+    }
+
+    #[test]
+    fn resource_traces_join_the_pipeline() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let res = Trace::new(
+            "cpu:host1",
+            TraceKind::Resource,
+            60,
+            (0..120).map(|i| 0.4 + 0.2 * ((i % 10) as f64 / 10.0)).collect(),
+        );
+        sys.add_resource_trace(res);
+        sys.train(0, 120 * 60).expect("trains");
+        let f = sys.forecast_trace("cpu:host1");
+        assert!(f.expect("resource trace forecastable").is_finite());
+    }
+
+    #[test]
+    fn train_without_data_errors() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        assert_eq!(sys.train(0, 1000), Err(TrainError::NoTraces));
+    }
+
+    #[test]
+    fn train_with_short_data_errors() {
+        let mut cfg = tiny_cfg();
+        cfg.history = 50;
+        let mut sys = DbAugur::new(cfg);
+        feed_periodic(&mut sys, "SELECT 1 FROM t", 20, 5, 2);
+        match sys.train(0, 20 * 60) {
+            Err(TrainError::NotEnoughData { have, need }) => {
+                assert_eq!(have, 20);
+                assert_eq!(need, 52);
+            }
+            other => panic!("expected NotEnoughData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_train() {
+        let mut cfg = tiny_cfg();
+        cfg.horizon = 0;
+        let mut sys = DbAugur::new(cfg);
+        sys.ingest_record(0, "SELECT 1 FROM t");
+        assert!(matches!(sys.train(0, 1000), Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn cluster_observe_updates_weights() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        let c = &sys.clusters()[0];
+        let before = c.weights();
+        c.observe(sys.config().history, 1000.0); // a surprising value
+        let after = c.weights();
+        assert_eq!(before.len(), after.len());
+        assert!((after.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retraining_replaces_models() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        let first = sys.clusters().len();
+        sys.train(0, 120 * 60).expect("retrains");
+        assert_eq!(sys.clusters().len(), first);
+    }
+
+    #[test]
+    fn equivalent_sql_shares_forecast() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT a, b FROM t WHERE x = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        let f1 = sys.forecast_template("SELECT a, b FROM t WHERE x = 5");
+        let f2 = sys.forecast_template("SELECT b, a FROM t WHERE x = 9");
+        assert_eq!(f1, f2, "semantically equivalent templates share a trace");
+    }
+}

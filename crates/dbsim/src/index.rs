@@ -1,0 +1,449 @@
+//! A cost-model database with an AutoAdmin-style greedy index advisor.
+//!
+//! The model is the textbook one: a query over a table either sequential
+//! scans (`rows · c_row`) or, when an index exists on one of its
+//! predicate columns, probes the index
+//! (`log₂(rows) · c_probe + selectivity · rows · c_fetch`) — the planner
+//! picks the cheapest usable plan. The advisor (after Chaudhuri &
+//! Narasayya's AutoAdmin) greedily adds the index with the largest
+//! expected workload-cost reduction until the index budget is exhausted.
+
+use std::collections::BTreeSet;
+
+/// Column identifier: `(table, column)`.
+pub type ColumnId = (u32, u32);
+
+/// A table: row count plus per-column distinct-value counts.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Rows in the table.
+    pub rows: u64,
+    /// Distinct values per column (column index = position).
+    pub distinct: Vec<u64>,
+}
+
+/// The database schema and statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table, returning its id.
+    ///
+    /// # Panics
+    /// Panics if any distinct count is 0 or exceeds the row count.
+    pub fn add_table(&mut self, rows: u64, distinct: Vec<u64>) -> u32 {
+        assert!(
+            distinct.iter().all(|&d| d > 0 && d <= rows.max(1)),
+            "distinct counts must be in [1, rows]"
+        );
+        self.tables.push(Table { rows, distinct });
+        (self.tables.len() - 1) as u32
+    }
+
+    /// The table with id `t`.
+    pub fn table(&self, t: u32) -> &Table {
+        &self.tables[t as usize]
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Selectivity of an equality predicate on `col`: `1 / distinct`.
+    pub fn eq_selectivity(&self, col: ColumnId) -> f64 {
+        let t = self.table(col.0);
+        1.0 / t.distinct[col.1 as usize] as f64
+    }
+}
+
+/// Predicate kinds a template can carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// `col = $x` — selectivity `1/distinct`.
+    Eq(ColumnId),
+    /// `col BETWEEN …` with the given fraction of rows selected.
+    Range(ColumnId, f64),
+}
+
+impl Predicate {
+    /// The predicate's column.
+    pub fn column(&self) -> ColumnId {
+        match self {
+            Predicate::Eq(c) | Predicate::Range(c, _) => *c,
+        }
+    }
+
+    /// Fraction of rows surviving the predicate.
+    pub fn selectivity(&self, catalog: &Catalog) -> f64 {
+        match self {
+            Predicate::Eq(c) => catalog.eq_selectivity(*c),
+            Predicate::Range(_, f) => f.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A query template: one table, a conjunction of predicates.
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    /// Target table.
+    pub table: u32,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A workload: expected executions per template over one period.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// `(template index, expected frequency)` pairs.
+    pub frequencies: Vec<f64>,
+}
+
+impl Workload {
+    /// A workload over `n` templates with the given frequencies.
+    pub fn new(frequencies: Vec<f64>) -> Self {
+        Self { frequencies }
+    }
+
+    /// Total query count.
+    pub fn total(&self) -> f64 {
+        self.frequencies.iter().sum()
+    }
+}
+
+/// The set of built single-column indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexSet {
+    cols: BTreeSet<ColumnId>,
+}
+
+impl IndexSet {
+    /// No indexes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if an index exists on `col`.
+    pub fn contains(&self, col: ColumnId) -> bool {
+        self.cols.contains(&col)
+    }
+
+    /// Build an index; returns false if it already existed.
+    pub fn add(&mut self, col: ColumnId) -> bool {
+        self.cols.insert(col)
+    }
+
+    /// Drop an index.
+    pub fn remove(&mut self, col: ColumnId) -> bool {
+        self.cols.remove(&col)
+    }
+
+    /// Number of indexes.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when no index exists.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Iterate the indexed columns.
+    pub fn iter(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.cols.iter().copied()
+    }
+}
+
+/// Cost-model constants, in abstract "work units" (1 unit ≈ reading one
+/// row sequentially).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-row sequential scan cost.
+    pub c_row: f64,
+    /// Per-level index probe cost.
+    pub c_probe: f64,
+    /// Per-fetched-row random-access cost (random I/O ≫ sequential).
+    pub c_fetch: f64,
+    /// Per-row index build cost.
+    pub c_build: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { c_row: 1.0, c_probe: 5.0, c_fetch: 4.0, c_build: 2.0 }
+    }
+}
+
+impl CostModel {
+    /// Cost of executing one instance of `q` under `indexes`.
+    pub fn query_cost(&self, catalog: &Catalog, q: &QueryTemplate, indexes: &IndexSet) -> f64 {
+        let rows = catalog.table(q.table).rows as f64;
+        let seq = rows * self.c_row;
+        let mut best = seq;
+        for p in &q.predicates {
+            if indexes.contains(p.column()) {
+                let sel = p.selectivity(catalog);
+                let probe = rows.max(2.0).log2() * self.c_probe + sel * rows * self.c_fetch;
+                if probe < best {
+                    best = probe;
+                }
+            }
+        }
+        best
+    }
+
+    /// Expected cost of a whole workload.
+    pub fn workload_cost(
+        &self,
+        catalog: &Catalog,
+        templates: &[QueryTemplate],
+        workload: &Workload,
+        indexes: &IndexSet,
+    ) -> f64 {
+        templates
+            .iter()
+            .zip(&workload.frequencies)
+            .map(|(q, &f)| f * self.query_cost(catalog, q, indexes))
+            .sum()
+    }
+
+    /// Cost of building an index on `col` (charged once, at build time).
+    pub fn build_cost(&self, catalog: &Catalog, col: ColumnId) -> f64 {
+        catalog.table(col.0).rows as f64 * self.c_build
+    }
+}
+
+/// Greedy AutoAdmin-style index advisor.
+#[derive(Debug, Clone)]
+pub struct AutoAdmin {
+    /// Maximum number of indexes the database may hold.
+    pub budget: usize,
+    /// Cost model used for what-if evaluation.
+    pub cost: CostModel,
+}
+
+impl AutoAdmin {
+    /// Advisor with the given index budget.
+    pub fn new(budget: usize) -> Self {
+        Self { budget, cost: CostModel::default() }
+    }
+
+    /// Candidate columns: every predicate column in the workload's
+    /// templates with non-zero frequency.
+    fn candidates(templates: &[QueryTemplate], workload: &Workload) -> Vec<ColumnId> {
+        let mut seen = BTreeSet::new();
+        for (q, &f) in templates.iter().zip(&workload.frequencies) {
+            if f <= 0.0 {
+                continue;
+            }
+            for p in &q.predicates {
+                seen.insert(p.column());
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Recommend an index set for `workload`, greedily maximizing
+    /// what-if cost reduction until the budget is filled or no candidate
+    /// helps.
+    pub fn recommend(
+        &self,
+        catalog: &Catalog,
+        templates: &[QueryTemplate],
+        workload: &Workload,
+    ) -> IndexSet {
+        let mut chosen = IndexSet::new();
+        let candidates = Self::candidates(templates, workload);
+        let mut current = self.cost.workload_cost(catalog, templates, workload, &chosen);
+        while chosen.len() < self.budget {
+            let mut best: Option<(ColumnId, f64)> = None;
+            for &cand in &candidates {
+                if chosen.contains(cand) {
+                    continue;
+                }
+                let mut with = chosen.clone();
+                with.add(cand);
+                let cost = self.cost.workload_cost(catalog, templates, workload, &with);
+                let gain = current - cost;
+                if gain > 1e-9 && best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((cand, gain));
+                }
+            }
+            match best {
+                Some((cand, gain)) => {
+                    chosen.add(cand);
+                    current -= gain;
+                }
+                None => break,
+            }
+        }
+        chosen
+    }
+}
+
+/// The resource envelope of one simulated period.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodBudget {
+    /// Index-build work charged this period (eats into the budget first
+    /// — the Fig. 8 warm-up dip).
+    pub build_cost: f64,
+    /// Total work units the server can spend this period.
+    pub work_budget: f64,
+    /// Period duration in seconds (for the qps denominator).
+    pub period_secs: f64,
+}
+
+/// Execute one period of `workload`: returns `(throughput_qps,
+/// avg_latency_units)` — how many queries the budget admits per second,
+/// and the mean per-query cost.
+pub fn run_period(
+    catalog: &Catalog,
+    cost: &CostModel,
+    templates: &[QueryTemplate],
+    workload: &Workload,
+    indexes: &IndexSet,
+    budget: PeriodBudget,
+) -> (f64, f64) {
+    let total_queries = workload.total();
+    if total_queries <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let wl_cost = cost.workload_cost(catalog, templates, workload, indexes);
+    let avg_cost = wl_cost / total_queries;
+    let usable = (budget.work_budget - budget.build_cost).max(0.0);
+    let executed = (usable / avg_cost.max(1e-9)).min(total_queries);
+    (executed / budget.period_secs, avg_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, Vec<QueryTemplate>) {
+        let mut cat = Catalog::new();
+        // bus(10k rows): id 10k distinct, route 50 distinct
+        let bus = cat.add_table(10_000, vec![10_000, 50]);
+        // stop(1k rows): id 1k distinct
+        let stop = cat.add_table(1_000, vec![1_000]);
+        let templates = vec![
+            QueryTemplate { table: bus, predicates: vec![Predicate::Eq((bus, 0))] },
+            QueryTemplate { table: bus, predicates: vec![Predicate::Eq((bus, 1))] },
+            QueryTemplate { table: stop, predicates: vec![Predicate::Eq((stop, 0))] },
+            QueryTemplate { table: bus, predicates: vec![Predicate::Range((bus, 1), 0.5)] },
+        ];
+        (cat, templates)
+    }
+
+    #[test]
+    fn index_beats_seqscan_when_selective() {
+        let (cat, templates) = setup();
+        let cost = CostModel::default();
+        let mut idx = IndexSet::new();
+        let seq = cost.query_cost(&cat, &templates[0], &idx);
+        idx.add((0, 0));
+        let probed = cost.query_cost(&cat, &templates[0], &idx);
+        assert!(probed < seq / 10.0, "selective probe {probed} vs seq {seq}");
+    }
+
+    #[test]
+    fn unselective_range_keeps_seqscan() {
+        let (cat, templates) = setup();
+        let cost = CostModel::default();
+        let mut idx = IndexSet::new();
+        idx.add((0, 1));
+        // 50% range: probing fetches half the table at random-access cost,
+        // worse than scanning it sequentially.
+        let c = cost.query_cost(&cat, &templates[3], &idx);
+        assert_eq!(c, 10_000.0, "planner must fall back to the seq scan");
+    }
+
+    #[test]
+    fn advisor_picks_hottest_useful_columns() {
+        let (cat, templates) = setup();
+        let advisor = AutoAdmin::new(2);
+        // Template 1 (route lookup) dominates; template 0 rare.
+        let wl = Workload::new(vec![1.0, 100.0, 50.0, 0.0]);
+        let rec = advisor.recommend(&cat, &templates, &wl);
+        assert!(rec.contains((0, 1)), "hot route column indexed: {rec:?}");
+        assert!(rec.contains((1, 0)), "stop id column indexed: {rec:?}");
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn advisor_respects_budget() {
+        let (cat, templates) = setup();
+        let advisor = AutoAdmin::new(1);
+        let wl = Workload::new(vec![100.0, 100.0, 100.0, 0.0]);
+        let rec = advisor.recommend(&cat, &templates, &wl);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn advisor_skips_useless_indexes() {
+        let (cat, templates) = setup();
+        let advisor = AutoAdmin::new(5);
+        // Only the unselective range template runs: no index helps.
+        let wl = Workload::new(vec![0.0, 0.0, 0.0, 100.0]);
+        let rec = advisor.recommend(&cat, &templates, &wl);
+        assert!(rec.is_empty(), "no helpful index exists: {rec:?}");
+    }
+
+    #[test]
+    fn advisor_is_workload_sensitive() {
+        let (cat, templates) = setup();
+        let advisor = AutoAdmin::new(1);
+        let wl_a = Workload::new(vec![100.0, 1.0, 0.0, 0.0]);
+        let wl_b = Workload::new(vec![1.0, 100.0, 0.0, 0.0]);
+        let rec_a = advisor.recommend(&cat, &templates, &wl_a);
+        let rec_b = advisor.recommend(&cat, &templates, &wl_b);
+        assert!(rec_a.contains((0, 0)));
+        assert!(rec_b.contains((0, 1)));
+    }
+
+    #[test]
+    fn run_period_throughput_improves_with_indexes() {
+        let (cat, templates) = setup();
+        let cost = CostModel::default();
+        let wl = Workload::new(vec![50.0, 50.0, 50.0, 0.0]);
+        let none = IndexSet::new();
+        let (tput0, lat0) = run_period(&cat, &cost, &templates, &wl, &none, PeriodBudget { build_cost: 0.0, work_budget: 1e6, period_secs: 60.0 });
+        let advisor = AutoAdmin::new(3);
+        let idx = advisor.recommend(&cat, &templates, &wl);
+        let (tput1, lat1) = run_period(&cat, &cost, &templates, &wl, &idx, PeriodBudget { build_cost: 0.0, work_budget: 1e6, period_secs: 60.0 });
+        assert!(tput1 > tput0, "indexed throughput {tput1} > {tput0}");
+        assert!(lat1 < lat0, "indexed latency {lat1} < {lat0}");
+    }
+
+    #[test]
+    fn build_cost_reduces_available_throughput() {
+        let (cat, templates) = setup();
+        let cost = CostModel::default();
+        let wl = Workload::new(vec![100.0, 0.0, 0.0, 0.0]);
+        let idx = IndexSet::new();
+        let (t_free, _) = run_period(&cat, &cost, &templates, &wl, &idx, PeriodBudget { build_cost: 0.0, work_budget: 5e4, period_secs: 60.0 });
+        let (t_building, _) = run_period(&cat, &cost, &templates, &wl, &idx, PeriodBudget { build_cost: 4e4, work_budget: 5e4, period_secs: 60.0 });
+        assert!(t_building < t_free);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        let (cat, templates) = setup();
+        let cost = CostModel::default();
+        let wl = Workload::new(vec![0.0; 4]);
+        let (t, l) = run_period(&cat, &cost, &templates, &wl, &IndexSet::new(), PeriodBudget { build_cost: 0.0, work_budget: 1e6, period_secs: 60.0 });
+        assert_eq!((t, l), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct counts")]
+    fn bad_statistics_rejected() {
+        Catalog::new().add_table(10, vec![100]);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Case-study substrates (paper Secs. VI-F and VI-G).
+//!
+//! The paper demonstrates DBAugur's value on two downstream tasks:
+//!
+//! * **Index selection** (Fig. 8): replaying BusTracker queries against
+//!   PostgreSQL-12 with AutoAdmin choosing indexes from either the
+//!   historical (Static) or forecasted (Auto) workload. Here a cost-model
+//!   database simulator ([`index`]) stands in for PostgreSQL: tables with
+//!   cardinalities, single-column indexes, a textbook seq-scan vs
+//!   index-scan cost model, and a greedy AutoAdmin-style advisor. The
+//!   case study's claim is *relational* (forecast-driven indexing
+//!   overtakes static indexing once the workload shifts), which the cost
+//!   model reproduces — the paper itself drives PostgreSQL through a
+//!   simulator.
+//! * **Data-region migration** (Fig. 9): a horizontally partitioned
+//!   cluster ([`migration`]) where regions move between servers to
+//!   balance load, guided by historical (Static) or forecasted (Auto)
+//!   per-region loads.
+
+pub mod index;
+pub mod migration;
+
+pub use index::{run_period, AutoAdmin, Catalog, CostModel, IndexSet, PeriodBudget, QueryTemplate, Workload};
+pub use migration::{balance_metric, Cluster, MigrationPlanner};

@@ -1,0 +1,244 @@
+//! Partitioned-cluster data-region migration (paper Sec. VI-G).
+//!
+//! "Assume that the database is partitioned horizontally into
+//! non-overlapping regions that [are] assigned to each server … we need
+//! to dynamically balance the system load by migrating data regions from
+//! the overloaded servers to slightly loaded ones."
+//!
+//! [`Cluster`] tracks the region → server assignment;
+//! [`MigrationPlanner`] greedily moves regions from the most loaded to
+//! the least loaded server, bounded by a per-period migration budget
+//! (moving data is not free). [`balance_metric`] is the "load balancing
+//! difference" the figure plots: the coefficient of variation of server
+//! loads (0 = perfectly balanced).
+
+/// A horizontally partitioned cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    servers: usize,
+    /// `assignment[r]` = server hosting region `r`.
+    assignment: Vec<usize>,
+}
+
+impl Cluster {
+    /// A cluster of `servers` servers with `regions` regions assigned
+    /// round-robin.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize, regions: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        Self { servers, assignment: (0..regions).map(|r| r % servers).collect() }
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Server hosting region `r`.
+    pub fn server_of(&self, r: usize) -> usize {
+        self.assignment[r]
+    }
+
+    /// Move region `r` to `server`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range server.
+    pub fn migrate(&mut self, r: usize, server: usize) {
+        assert!(server < self.servers, "server out of range");
+        self.assignment[r] = server;
+    }
+
+    /// Per-server total load given per-region loads.
+    ///
+    /// # Panics
+    /// Panics when `region_loads` does not match the region count.
+    pub fn server_loads(&self, region_loads: &[f64]) -> Vec<f64> {
+        assert_eq!(region_loads.len(), self.assignment.len(), "one load per region");
+        let mut loads = vec![0.0; self.servers];
+        for (r, &s) in self.assignment.iter().enumerate() {
+            loads[s] += region_loads[r];
+        }
+        loads
+    }
+}
+
+/// Load-balance difference: coefficient of variation (σ/μ) of server
+/// loads; 0 when perfectly balanced. Returns 0 for zero total load.
+pub fn balance_metric(server_loads: &[f64]) -> f64 {
+    let n = server_loads.len() as f64;
+    let mean = server_loads.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = server_loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Greedy migration planner.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationPlanner {
+    /// Maximum region moves per planning round (migration is costly).
+    pub max_moves: usize,
+}
+
+impl MigrationPlanner {
+    /// Planner with a per-round move budget.
+    pub fn new(max_moves: usize) -> Self {
+        Self { max_moves }
+    }
+
+    /// Plan and apply migrations against `expected_loads` (historical
+    /// loads for the Static strategy, forecasted loads for Auto).
+    /// Returns the number of regions moved.
+    ///
+    /// Strategy: repeatedly take the most loaded server and move its
+    /// best-fitting region (the one whose load is closest to half the
+    /// max-min gap) to the least loaded server, while doing so shrinks
+    /// the gap.
+    pub fn rebalance(&self, cluster: &mut Cluster, expected_loads: &[f64]) -> usize {
+        let mut moves = 0;
+        for _ in 0..self.max_moves {
+            let loads = cluster.server_loads(expected_loads);
+            let (max_s, max_l) = loads
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, &l)| (i, l))
+                .expect("at least one server");
+            let (min_s, min_l) = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, &l)| (i, l))
+                .expect("at least one server");
+            let gap = max_l - min_l;
+            if gap <= 0.0 || max_s == min_s {
+                break;
+            }
+            // Best region to move: load closest to gap/2 (moving more
+            // than the gap would invert the imbalance).
+            let target = gap / 2.0;
+            let candidate = (0..cluster.num_regions())
+                .filter(|&r| cluster.server_of(r) == max_s)
+                .filter(|&r| expected_loads[r] > 0.0 && expected_loads[r] < gap)
+                .min_by(|&a, &b| {
+                    (expected_loads[a] - target)
+                        .abs()
+                        .total_cmp(&(expected_loads[b] - target).abs())
+                });
+            match candidate {
+                Some(r) => {
+                    cluster.migrate(r, min_s);
+                    moves += 1;
+                }
+                None => break,
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_initial_assignment() {
+        let c = Cluster::new(3, 7);
+        assert_eq!(c.server_of(0), 0);
+        assert_eq!(c.server_of(4), 1);
+        assert_eq!(c.num_regions(), 7);
+    }
+
+    #[test]
+    fn server_loads_sum_regions() {
+        let c = Cluster::new(2, 4);
+        // regions 0,2 -> server 0; 1,3 -> server 1
+        let loads = c.server_loads(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(loads, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn balance_metric_zero_when_equal() {
+        assert_eq!(balance_metric(&[5.0, 5.0, 5.0]), 0.0);
+        assert!(balance_metric(&[1.0, 9.0]) > 0.5);
+        assert_eq!(balance_metric(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn rebalance_fixes_skew() {
+        let mut c = Cluster::new(2, 6);
+        // All load on server 0's regions.
+        let loads = [10.0, 0.0, 10.0, 0.0, 10.0, 0.0];
+        let before = balance_metric(&c.server_loads(&loads));
+        let planner = MigrationPlanner::new(3);
+        let moved = planner.rebalance(&mut c, &loads);
+        let after = balance_metric(&c.server_loads(&loads));
+        assert!(moved >= 1);
+        assert!(after < before, "after {after} < before {before}");
+    }
+
+    #[test]
+    fn rebalance_respects_move_budget() {
+        let mut c = Cluster::new(2, 10);
+        let loads: Vec<f64> = (0..10).map(|r| if r % 2 == 0 { 5.0 } else { 0.0 }).collect();
+        let planner = MigrationPlanner::new(1);
+        let moved = planner.rebalance(&mut c, &loads);
+        assert!(moved <= 1);
+    }
+
+    #[test]
+    fn balanced_cluster_is_left_alone() {
+        let mut c = Cluster::new(2, 4);
+        let loads = [5.0, 5.0, 5.0, 5.0];
+        let planner = MigrationPlanner::new(10);
+        assert_eq!(planner.rebalance(&mut c, &loads), 0);
+    }
+
+    #[test]
+    fn planner_converges_toward_balance_over_rounds() {
+        let mut c = Cluster::new(4, 32);
+        // Skewed loads: region r carries load r.
+        let loads: Vec<f64> = (0..32).map(|r| r as f64).collect();
+        let planner = MigrationPlanner::new(4);
+        let mut prev = balance_metric(&c.server_loads(&loads));
+        for _ in 0..8 {
+            planner.rebalance(&mut c, &loads);
+            let now = balance_metric(&c.server_loads(&loads));
+            assert!(now <= prev + 1e-9, "metric must not regress: {now} vs {prev}");
+            prev = now;
+        }
+        assert!(prev < 0.1, "should approach balance, got {prev}");
+    }
+
+    #[test]
+    fn forecast_guided_beats_stale_loads_after_shift() {
+        // The essence of Fig. 9: balancing on *last* period's loads is bad
+        // when the load pattern shifts; balancing on the *actual next*
+        // loads (a perfect forecast) stays balanced.
+        let mut static_c = Cluster::new(2, 8);
+        let mut auto_c = Cluster::new(2, 8);
+        let planner = MigrationPlanner::new(8);
+        let old_loads: Vec<f64> = (0..8).map(|r| if r < 4 { 10.0 } else { 0.0 }).collect();
+        let new_loads: Vec<f64> = (0..8).map(|r| if r >= 4 { 10.0 } else { 0.0 }).collect();
+        planner.rebalance(&mut static_c, &old_loads); // stale information
+        planner.rebalance(&mut auto_c, &new_loads); // forecast = truth
+        let b_static = balance_metric(&static_c.server_loads(&new_loads));
+        let b_auto = balance_metric(&auto_c.server_loads(&new_loads));
+        assert!(b_auto <= b_static, "auto {b_auto} vs static {b_static}");
+        assert!(b_auto < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per region")]
+    fn load_length_mismatch_panics() {
+        Cluster::new(2, 3).server_loads(&[1.0]);
+    }
+}

@@ -1,0 +1,491 @@
+//! Ball-Tree nearest-neighbour index (paper Sec. IV-B/IV-C).
+//!
+//! Descender "first builds a Ball-Tree on the current workload traces,
+//! which partitions traces into a nested set of hyperspheres known as
+//! 'balls' to speed up discovery of neighborhood workload traces".
+//!
+//! The tree here is generic over a [`Distance`]. Branch-and-bound pruning
+//! (`d(q, center) − radius > ρ` ⇒ skip subtree) is exact for true metrics
+//! (Euclidean). DTW violates the triangle inequality, so for DTW the tree
+//! additionally verifies every surviving candidate with the LB_Kim →
+//! LB_Keogh → early-abandoned-DTW cascade and, by default, disables the
+//! ball-level pruning (`prune = false`) which preserves exactness while
+//! still gaining the cascade's linear-time filtering and the tree's
+//! cache-friendly leaf grouping. Callers who accept approximate results
+//! (Descender's online path) can enable pruning for additional speed.
+
+use crate::distance::Distance;
+
+const LEAF_SIZE: usize = 8;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        center: Vec<f64>,
+        radius: f64,
+        points: Vec<usize>,
+    },
+    Internal {
+        center: Vec<f64>,
+        radius: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn center(&self) -> &[f64] {
+        match self {
+            Node::Leaf { center, .. } | Node::Internal { center, .. } => center,
+        }
+    }
+
+    fn radius(&self) -> f64 {
+        match self {
+            Node::Leaf { radius, .. } | Node::Internal { radius, .. } => *radius,
+        }
+    }
+
+    fn radius_mut(&mut self) -> &mut f64 {
+        match self {
+            Node::Leaf { radius, .. } | Node::Internal { radius, .. } => radius,
+        }
+    }
+}
+
+/// A Ball-Tree over fixed-length points with a pluggable distance.
+pub struct BallTree<D: Distance> {
+    metric: D,
+    points: Vec<Vec<f64>>,
+    root: Option<Node>,
+    /// Enable ball-level branch-and-bound pruning. Exact for metrics;
+    /// heuristic for DTW (see module docs).
+    pub prune: bool,
+}
+
+impl<D: Distance> BallTree<D> {
+    /// Build a tree over `points` (all the same length).
+    ///
+    /// # Panics
+    /// Panics if point lengths differ.
+    pub fn build(points: Vec<Vec<f64>>, metric: D) -> Self {
+        if let Some(first) = points.first() {
+            assert!(
+                points.iter().all(|p| p.len() == first.len()),
+                "all points must share one length"
+            );
+        }
+        let ids: Vec<usize> = (0..points.len()).collect();
+        let root = if ids.is_empty() { None } else { Some(Self::build_node(&points, ids, &metric)) };
+        Self { metric, points, root, prune: true }
+    }
+
+    fn centroid(points: &[Vec<f64>], ids: &[usize]) -> Vec<f64> {
+        let dim = points[ids[0]].len();
+        let mut c = vec![0.0; dim];
+        for &i in ids {
+            for (acc, v) in c.iter_mut().zip(&points[i]) {
+                *acc += v;
+            }
+        }
+        for v in &mut c {
+            *v /= ids.len() as f64;
+        }
+        c
+    }
+
+    fn build_node(points: &[Vec<f64>], ids: Vec<usize>, metric: &D) -> Node {
+        let center = Self::centroid(points, &ids);
+        let radius = ids
+            .iter()
+            .map(|&i| metric.dist(&center, &points[i]))
+            .fold(0.0f64, f64::max);
+        if ids.len() <= LEAF_SIZE {
+            return Node::Leaf { center, radius, points: ids };
+        }
+        // Pick two far-apart pivots: the point farthest from the centroid,
+        // then the point farthest from that pivot.
+        let p1 = *ids
+            .iter()
+            .max_by(|&&a, &&b| {
+                metric.dist(&center, &points[a]).total_cmp(&metric.dist(&center, &points[b]))
+            })
+            .expect("non-empty ids");
+        let p2 = *ids
+            .iter()
+            .max_by(|&&a, &&b| {
+                metric
+                    .dist(&points[p1], &points[a])
+                    .total_cmp(&metric.dist(&points[p1], &points[b]))
+            })
+            .expect("non-empty ids");
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        for &i in &ids {
+            let d1 = metric.dist(&points[p1], &points[i]);
+            let d2 = metric.dist(&points[p2], &points[i]);
+            if d1 <= d2 {
+                left_ids.push(i);
+            } else {
+                right_ids.push(i);
+            }
+        }
+        // Degenerate split (all points identical): fall back to a leaf.
+        if left_ids.is_empty() || right_ids.is_empty() {
+            return Node::Leaf { center, radius, points: ids };
+        }
+        Node::Internal {
+            center,
+            radius,
+            left: Box::new(Self::build_node(points, left_ids, metric)),
+            right: Box::new(Self::build_node(points, right_ids, metric)),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored point with index `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i]
+    }
+
+    /// Insert a point online. The point descends to the closer child at
+    /// each level; node radii are enlarged so pruning stays valid with
+    /// respect to the (unchanged) stored centers.
+    pub fn insert(&mut self, point: Vec<f64>) -> usize {
+        if let Some(first) = self.points.first() {
+            assert_eq!(first.len(), point.len(), "all points must share one length");
+        }
+        let id = self.points.len();
+        self.points.push(point);
+        let p = self.points[id].clone();
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf {
+                    center: p.clone(),
+                    radius: 0.0,
+                    points: vec![id],
+                });
+            }
+            Some(mut node) => {
+                Self::insert_into(&mut node, id, &p, &self.metric);
+                self.root = Some(node);
+            }
+        }
+        id
+    }
+
+    fn insert_into(node: &mut Node, id: usize, p: &[f64], metric: &D) {
+        let d_center = metric.dist(node.center(), p);
+        if d_center > node.radius() {
+            *node.radius_mut() = d_center;
+        }
+        match node {
+            Node::Leaf { points, .. } => {
+                points.push(id);
+                // Leaves are allowed to overflow; rebuild() restores balance.
+            }
+            Node::Internal { left, right, .. } => {
+                let dl = metric.dist(left.center(), p);
+                let dr = metric.dist(right.center(), p);
+                if dl <= dr {
+                    Self::insert_into(left, id, p, metric);
+                } else {
+                    Self::insert_into(right, id, p, metric);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the tree from the stored points (after many inserts).
+    pub fn rebuild(&mut self) {
+        let ids: Vec<usize> = (0..self.points.len()).collect();
+        self.root = if ids.is_empty() {
+            None
+        } else {
+            Some(Self::build_node(&self.points, ids, &self.metric))
+        };
+    }
+
+    /// All `(index, distance)` pairs within `radius` of `query`,
+    /// unsorted. Uses ball pruning if [`BallTree::prune`] is set, and the
+    /// metric's lower-bound cascade on every candidate.
+    pub fn within(&self, query: &[f64], radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.within_rec(root, query, radius, &mut out);
+        }
+        out
+    }
+
+    fn within_rec(&self, node: &Node, query: &[f64], radius: f64, out: &mut Vec<(usize, f64)>) {
+        if self.prune {
+            let d = self.metric.dist(node.center(), query);
+            if d - node.radius() > radius {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf { points, .. } => {
+                for &i in points {
+                    let p = &self.points[i];
+                    if self.metric.lower_bound(query, p) > radius {
+                        continue;
+                    }
+                    let d = self.metric.dist_with_cutoff(query, p, radius);
+                    if d <= radius {
+                        out.push((i, d));
+                    }
+                }
+            }
+            Node::Internal { left, right, .. } => {
+                self.within_rec(left, query, radius, out);
+                self.within_rec(right, query, radius, out);
+            }
+        }
+    }
+
+    /// Exact linear scan with the lower-bound cascade — the O(T)-per-pair
+    /// LB_Keogh-accelerated path the paper describes; used as the ground
+    /// truth for DTW queries.
+    pub fn scan_within(&self, query: &[f64], radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for (i, p) in self.points.iter().enumerate() {
+            if self.metric.lower_bound(query, p) > radius {
+                continue;
+            }
+            let d = self.metric.dist_with_cutoff(query, p, radius);
+            if d <= radius {
+                out.push((i, d));
+            }
+        }
+        out
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending
+    /// distance.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        if k == 0 {
+            return best;
+        }
+        if let Some(root) = &self.root {
+            self.knn_rec(root, query, k, &mut best);
+        }
+        best
+    }
+
+    fn knn_rec(&self, node: &Node, query: &[f64], k: usize, best: &mut Vec<(usize, f64)>) {
+        let worst = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
+        if self.prune {
+            let d = self.metric.dist(node.center(), query);
+            if d - node.radius() > worst {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf { points, .. } => {
+                for &i in points {
+                    let worst = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
+                    let p = &self.points[i];
+                    if self.metric.lower_bound(query, p) > worst {
+                        continue;
+                    }
+                    let d = self.metric.dist(query, p);
+                    if d < worst || best.len() < k {
+                        let pos = best.partition_point(|&(_, bd)| bd <= d);
+                        best.insert(pos, (i, d));
+                        best.truncate(k);
+                    }
+                }
+            }
+            Node::Internal { left, right, .. } => {
+                // Visit the closer child first for tighter bounds sooner.
+                let dl = self.metric.dist(left.center(), query);
+                let dr = self.metric.dist(right.center(), query);
+                if dl <= dr {
+                    self.knn_rec(left, query, k, best);
+                    self.knn_rec(right, query, k, best);
+                } else {
+                    self.knn_rec(right, query, k, best);
+                    self.knn_rec(left, query, k, best);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{DtwDistance, EuclideanDistance};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(seed: u64, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect()).collect()
+    }
+
+    fn brute_within(
+        points: &[Vec<f64>],
+        metric: &impl Distance,
+        q: &[f64],
+        r: f64,
+    ) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, metric.dist(q, p)))
+            .filter(|&(_, d)| d <= r)
+            .collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v
+    }
+
+    #[test]
+    fn euclidean_within_matches_brute_force() {
+        let pts = random_points(1, 200, 8);
+        let tree = BallTree::build(pts.clone(), EuclideanDistance);
+        let q = &pts[17];
+        for r in [0.5, 2.0, 8.0, 30.0] {
+            let mut got = tree.within(q, r);
+            got.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let want = brute_within(&pts, &EuclideanDistance, q, r);
+            assert_eq!(got.len(), want.len(), "radius {r}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0, w.0);
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_knn_matches_brute_force() {
+        let pts = random_points(2, 150, 6);
+        let tree = BallTree::build(pts.clone(), EuclideanDistance);
+        let q = vec![0.0; 6];
+        let got = tree.knn(&q, 10);
+        let mut all: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, EuclideanDistance.dist(&q, p)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        assert_eq!(got.len(), 10);
+        for (g, w) in got.iter().zip(&all[..10]) {
+            assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dtw_unpruned_tree_is_exact() {
+        let pts = random_points(3, 80, 12);
+        let metric = DtwDistance::new(3);
+        let mut tree = BallTree::build(pts.clone(), metric);
+        tree.prune = false;
+        let q = &pts[5];
+        for r in [1.0, 5.0, 20.0] {
+            let mut got = tree.within(q, r);
+            got.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let want = brute_within(&pts, &metric, q, r);
+            assert_eq!(
+                got.iter().map(|g| g.0).collect::<Vec<_>>(),
+                want.iter().map(|w| w.0).collect::<Vec<_>>(),
+                "radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_within_is_exact_for_dtw() {
+        let pts = random_points(4, 60, 10);
+        let metric = DtwDistance::new(4);
+        let tree = BallTree::build(pts.clone(), metric);
+        let q = &pts[0];
+        let mut got = tree.scan_within(q, 6.0);
+        got.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let want = brute_within(&pts, &metric, q, 6.0);
+        assert_eq!(
+            got.iter().map(|g| g.0).collect::<Vec<_>>(),
+            want.iter().map(|w| w.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn insert_then_query_finds_new_point() {
+        let pts = random_points(5, 40, 5);
+        let mut tree = BallTree::build(pts, EuclideanDistance);
+        let new_point = vec![100.0; 5];
+        let id = tree.insert(new_point.clone());
+        let got = tree.within(&new_point, 0.1);
+        assert!(got.iter().any(|&(i, _)| i == id));
+    }
+
+    #[test]
+    fn insert_into_empty_tree() {
+        let mut tree = BallTree::build(Vec::new(), EuclideanDistance);
+        assert!(tree.is_empty());
+        tree.insert(vec![1.0, 2.0]);
+        tree.insert(vec![1.1, 2.0]);
+        assert_eq!(tree.within(&[1.0, 2.0], 0.5).len(), 2);
+    }
+
+    #[test]
+    fn rebuild_preserves_results() {
+        let pts = random_points(6, 30, 4);
+        let mut tree = BallTree::build(pts.clone(), EuclideanDistance);
+        for _ in 0..20 {
+            tree.insert(vec![0.5; 4]);
+        }
+        let before = tree.within(&[0.5; 4], 1.0).len();
+        tree.rebuild();
+        let after = tree.within(&[0.5; 4], 1.0).len();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn knn_zero_k_is_empty() {
+        let tree = BallTree::build(random_points(7, 10, 3), EuclideanDistance);
+        assert!(tree.knn(&[0.0; 3], 0).is_empty());
+    }
+
+    #[test]
+    fn identical_points_build_a_leaf_not_a_loop() {
+        // Degenerate split must not recurse forever.
+        let pts = vec![vec![1.0, 1.0]; 50];
+        let tree = BallTree::build(pts, EuclideanDistance);
+        assert_eq!(tree.within(&[1.0, 1.0], 0.0).len(), 50);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Euclidean tree queries are exact for arbitrary point sets.
+        #[test]
+        fn prop_euclidean_tree_is_exact(
+            seed in 0u64..500,
+            n in 1usize..60,
+            r in 0.1f64..15.0,
+        ) {
+            let pts = random_points(seed, n, 4);
+            let tree = BallTree::build(pts.clone(), EuclideanDistance);
+            let q = pts[0].clone();
+            let mut got: Vec<usize> = tree.within(&q, r).into_iter().map(|g| g.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = brute_within(&pts, &EuclideanDistance, &q, r)
+                .into_iter()
+                .map(|w| w.0)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

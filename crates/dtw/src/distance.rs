@@ -1,0 +1,155 @@
+//! A pluggable distance abstraction so the clustering stage can swap the
+//! similarity measure (the paper compares DTW against the "exact"
+//! Euclidean/cosine measures that mis-cluster time-shifted twins).
+
+use crate::dtw::{dtw_distance, dtw_distance_early_abandon, euclidean};
+use crate::lb::{lb_keogh, lb_kim};
+
+/// A distance between two equal-or-variable-length series.
+pub trait Distance: Send + Sync {
+    /// The distance value; smaller is more similar.
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// A cheap lower bound on [`Distance::dist`]. The default (0) is
+    /// always sound; implementations override it to enable pruning.
+    fn lower_bound(&self, _a: &[f64], _b: &[f64]) -> f64 {
+        0.0
+    }
+
+    /// Distance that may return `f64::INFINITY` early once it can prove
+    /// the result exceeds `cutoff`.
+    fn dist_with_cutoff(&self, a: &[f64], b: &[f64], _cutoff: f64) -> f64 {
+        self.dist(a, b)
+    }
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Lock-step Euclidean distance (a true metric).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EuclideanDistance;
+
+impl Distance for EuclideanDistance {
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        euclidean(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Cosine *distance* `1 − cos(a, b)`, the measure QB5000 clusters with.
+/// Zero vectors are defined to be at distance 1 from everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosineDistance;
+
+impl Distance for CosineDistance {
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "cosine distance requires equal lengths");
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            1.0
+        } else {
+            (1.0 - dot / (na * nb)).max(0.0)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Banded DTW with LB_Kim → LB_Keogh cascading lower bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct DtwDistance {
+    /// Sakoe–Chiba band half-width.
+    pub window: usize,
+}
+
+impl DtwDistance {
+    /// DTW with the given band half-width.
+    pub fn new(window: usize) -> Self {
+        Self { window }
+    }
+}
+
+impl Default for DtwDistance {
+    /// The experiments use a band of 10% of a day (~14 samples at the
+    /// 10-minute interval).
+    fn default() -> Self {
+        Self { window: 14 }
+    }
+}
+
+impl Distance for DtwDistance {
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        dtw_distance(a, b, self.window)
+    }
+
+    fn lower_bound(&self, a: &[f64], b: &[f64]) -> f64 {
+        let kim = lb_kim(a, b);
+        if a.len() == b.len() {
+            kim.max(lb_keogh(a, b, self.window))
+        } else {
+            kim
+        }
+    }
+
+    fn dist_with_cutoff(&self, a: &[f64], b: &[f64], cutoff: f64) -> f64 {
+        dtw_distance_early_abandon(a, b, self.window, cutoff)
+    }
+
+    fn name(&self) -> &'static str {
+        "dtw"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_identical_is_zero() {
+        let d = CosineDistance;
+        assert!(d.dist(&[1.0, 2.0], &[2.0, 4.0]) < 1e-12, "colinear => 0");
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let d = CosineDistance;
+        assert!((d.dist(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_far() {
+        let d = CosineDistance;
+        assert_eq!(d.dist(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn dtw_lower_bound_is_sound_here() {
+        let d = DtwDistance::new(3);
+        let a = [0.0, 1.0, 5.0, 2.0, 0.0, 4.0];
+        let b = [1.0, 0.0, 2.0, 5.0, 1.0, 0.0];
+        assert!(d.lower_bound(&a, &b) <= d.dist(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn dtw_cutoff_variant_matches_when_uncut() {
+        let d = DtwDistance::new(3);
+        let a = [0.0, 1.0, 5.0, 2.0];
+        let b = [1.0, 0.0, 2.0, 5.0];
+        let exact = d.dist(&a, &b);
+        assert!((d.dist_with_cutoff(&a, &b, exact + 1.0) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(EuclideanDistance.name(), CosineDistance.name());
+        assert_ne!(CosineDistance.name(), DtwDistance::default().name());
+    }
+}

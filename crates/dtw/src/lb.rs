@@ -1,0 +1,195 @@
+//! Lower bounds for DTW (Keogh & Ratanamahatana), used to prune full DTW
+//! computations: `lb_keogh(q, c) ≤ dtw(q, c)` for equal-length sequences
+//! under the same band, so candidates whose bound already exceeds the
+//! current threshold can be skipped in O(T).
+
+/// The upper/lower running envelope of a sequence under band half-width
+/// `w`: `upper[i] = max(seq[i−w ..= i+w])`, `lower[i] = min(...)`.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Per-position maxima of the banded neighbourhood.
+    pub upper: Vec<f64>,
+    /// Per-position minima of the banded neighbourhood.
+    pub lower: Vec<f64>,
+}
+
+impl Envelope {
+    /// Build the envelope of `seq` for band half-width `w`.
+    ///
+    /// Uses the monotonic-deque sliding-window-extrema algorithm, so the
+    /// whole envelope costs O(T) regardless of `w`.
+    pub fn new(seq: &[f64], w: usize) -> Self {
+        let n = seq.len();
+        let mut upper = vec![0.0; n];
+        let mut lower = vec![0.0; n];
+        // Window at i covers [i-w, i+w] clamped; equivalent to a sliding
+        // window of width 2w+1 centred at i.
+        let mut maxq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut minq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut right = 0usize; // exclusive frontier of pushed elements
+        for i in 0..n {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w + 1).min(n); // exclusive
+            while right < hi {
+                while maxq.back().is_some_and(|&b| seq[b] <= seq[right]) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(right);
+                while minq.back().is_some_and(|&b| seq[b] >= seq[right]) {
+                    minq.pop_back();
+                }
+                minq.push_back(right);
+                right += 1;
+            }
+            while maxq.front().is_some_and(|&f| f < lo) {
+                maxq.pop_front();
+            }
+            while minq.front().is_some_and(|&f| f < lo) {
+                minq.pop_front();
+            }
+            upper[i] = seq[*maxq.front().expect("window is non-empty")];
+            lower[i] = seq[*minq.front().expect("window is non-empty")];
+        }
+        Self { upper, lower }
+    }
+
+    /// LB_Keogh of `query` against this (candidate's) envelope.
+    ///
+    /// # Panics
+    /// Panics if `query` length differs from the envelope length.
+    pub fn lb_keogh(&self, query: &[f64]) -> f64 {
+        assert_eq!(query.len(), self.upper.len(), "LB_Keogh requires equal lengths");
+        let mut acc = 0.0;
+        for ((&q, &u), &l) in query.iter().zip(&self.upper).zip(&self.lower) {
+            if q > u {
+                acc += (q - u) * (q - u);
+            } else if q < l {
+                acc += (l - q) * (l - q);
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// One-shot LB_Keogh: envelope of `candidate`, bound against `query`.
+pub fn lb_keogh(query: &[f64], candidate: &[f64], w: usize) -> f64 {
+    Envelope::new(candidate, w).lb_keogh(query)
+}
+
+/// LB_Kim (simplified 4-point variant): max of endpoint distances. A
+/// cheaper O(1) bound checked before LB_Keogh.
+pub fn lb_kim(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let first = (a[0] - b[0]).abs();
+    let last = (a[a.len() - 1] - b[b.len() - 1]).abs();
+    first.max(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn envelope_bounds_contain_sequence() {
+        let seq = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let env = Envelope::new(&seq, 2);
+        for (i, &v) in seq.iter().enumerate() {
+            assert!(env.lower[i] <= v && v <= env.upper[i]);
+        }
+    }
+
+    #[test]
+    fn envelope_matches_naive_computation() {
+        let seq = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        for w in [0usize, 1, 3, 20] {
+            let env = Envelope::new(&seq, w);
+            for i in 0..seq.len() {
+                let lo = i.saturating_sub(w);
+                let hi = (i + w).min(seq.len() - 1);
+                let naive_max =
+                    seq[lo..=hi].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let naive_min = seq[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min);
+                assert_eq!(env.upper[i], naive_max, "w={w} i={i}");
+                assert_eq!(env.lower[i], naive_min, "w={w} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_is_zero_inside_envelope() {
+        let c = [0.0, 1.0, 2.0, 1.0, 0.0];
+        assert_eq!(lb_keogh(&c, &c, 1), 0.0);
+    }
+
+    #[test]
+    fn lb_kim_zero_on_identical_endpoints() {
+        assert_eq!(lb_kim(&[1.0, 5.0, 2.0], &[1.0, 9.0, 2.0]), 0.0);
+        assert_eq!(lb_kim(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn lb_kim_bounds_dtw() {
+        // DTW must match endpoints, so |a0-b0| and |an-bm| both lower-bound it.
+        let a = [5.0, 1.0, 1.0];
+        let b = [0.0, 1.0, 2.0];
+        assert!(lb_kim(&a, &b) <= dtw_distance(&a, &b, 3) + 1e-12);
+    }
+
+    proptest! {
+        /// The core soundness property: LB_Keogh never exceeds true DTW
+        /// (equal lengths, same band).
+        #[test]
+        fn lb_keogh_lower_bounds_dtw(
+            a in proptest::collection::vec(-50.0f64..50.0, 4..24),
+            b in proptest::collection::vec(-50.0f64..50.0, 4..24),
+            w in 0usize..8,
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let lb = lb_keogh(a, b, w);
+            let d = dtw_distance(a, b, w);
+            prop_assert!(lb <= d + 1e-9, "lb {lb} > dtw {d}");
+        }
+
+        /// Early-abandoned DTW agrees with plain DTW when not cut.
+        #[test]
+        fn early_abandon_is_consistent(
+            a in proptest::collection::vec(-10.0f64..10.0, 4..16),
+            b in proptest::collection::vec(-10.0f64..10.0, 4..16),
+        ) {
+            let d = dtw_distance(&a, &b, 4);
+            let e = crate::dtw::dtw_distance_early_abandon(&a, &b, 4, d + 1.0);
+            prop_assert!((d - e).abs() < 1e-9);
+        }
+
+        /// DTW is symmetric and zero on identical inputs.
+        #[test]
+        fn dtw_metric_like_properties(
+            a in proptest::collection::vec(-10.0f64..10.0, 2..16),
+            b in proptest::collection::vec(-10.0f64..10.0, 2..16),
+        ) {
+            prop_assert!(dtw_distance(&a, &a, 3) == 0.0);
+            let ab = dtw_distance(&a, &b, usize::MAX);
+            let ba = dtw_distance(&b, &a, usize::MAX);
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!(ab >= 0.0);
+        }
+
+        /// DTW never exceeds lock-step Euclidean distance (equal lengths,
+        /// any band ≥ 0 includes the diagonal path).
+        #[test]
+        fn dtw_below_euclidean(
+            pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..20),
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let d = dtw_distance(&a, &b, 2);
+            let e = crate::dtw::euclidean(&a, &b);
+            prop_assert!(d <= e + 1e-9);
+        }
+    }
+}

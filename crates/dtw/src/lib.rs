@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Dynamic time warping and nearest-neighbour machinery (paper Sec. IV-B).
+//!
+//! The workload processor measures trace similarity with **Dynamic Time
+//! Warping** because "due to the possibility of temporal drift,
+//! [Euclidean/cosine distance] are unable to precisely match two warped
+//! workload traces". Three pieces live here:
+//!
+//! * [`dtw`] — Algorithm 1: banded (Sakoe–Chiba window `w`) DTW with the
+//!   squared point cost and a final square root;
+//! * [`lb`] — the LB_Keogh lower bound the paper adopts "to further
+//!   decrease the time complexity of DTW to linear time O(T)", plus the
+//!   cheaper LB_Kim bound and an early-abandoning DTW;
+//! * [`balltree`] — the Ball-Tree used by the Descender clustering
+//!   algorithm "to speed up discovery of neighborhood workload traces".
+//!
+//! [`distance::Distance`] abstracts over DTW / Euclidean / cosine so the
+//! clustering quality comparison in the ablation bench can swap measures.
+
+pub mod balltree;
+pub mod distance;
+pub mod dtw;
+pub mod lb;
+pub mod path;
+
+pub use balltree::BallTree;
+pub use distance::{CosineDistance, Distance, DtwDistance, EuclideanDistance};
+pub use dtw::{dtw_distance, dtw_distance_early_abandon};
+pub use lb::{lb_keogh, lb_kim, Envelope};
+pub use path::{dba_barycenter, dtw_path, mean_dtw_to};

@@ -1,0 +1,221 @@
+//! DTW alignment paths and DTW barycenter averaging (DBA).
+//!
+//! The clustering stage needs a *representative* per cluster. The paper
+//! uses the element-wise average of member traces, which blurs features
+//! when members are time-shifted — exactly the case DTW clustering
+//! produces. [`dba_barycenter`] implements Petitjean's DTW Barycenter
+//! Averaging: it iteratively refines a centroid by aligning every member
+//! to it with [`dtw_path`] and averaging the aligned values, yielding a
+//! representative whose *shape* matches the members. The ablation bench
+//! compares both representatives.
+
+use crate::dtw::dtw_distance;
+
+/// The optimal DTW alignment between two sequences under band `w`:
+/// a list of `(i, j)` index pairs, monotone in both coordinates, from
+/// `(0, 0)` to `(n−1, m−1)`, plus the distance.
+///
+/// Returns `None` when no path exists (one input empty).
+pub fn dtw_path(a: &[f64], b: &[f64], window: usize) -> Option<(Vec<(usize, usize)>, f64)> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return None;
+    }
+    let w = window.max(n.abs_diff(m));
+    // Full matrix (path recovery needs it); O(n·m) memory is fine for
+    // trace lengths in the hundreds.
+    let inf = f64::INFINITY;
+    let mut cost = vec![inf; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    cost[idx(0, 0)] = 0.0;
+    for i in 1..=n {
+        let lo = i.saturating_sub(w).max(1);
+        let hi = i.saturating_add(w).min(m);
+        for j in lo..=hi {
+            let d = a[i - 1] - b[j - 1];
+            let best = cost[idx(i - 1, j)]
+                .min(cost[idx(i, j - 1)])
+                .min(cost[idx(i - 1, j - 1)]);
+            if best.is_finite() {
+                cost[idx(i, j)] = d * d + best;
+            }
+        }
+    }
+    if !cost[idx(n, m)].is_finite() {
+        return None;
+    }
+    // Backtrack.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = cost[idx(i - 1, j - 1)];
+        let up = cost[idx(i - 1, j)];
+        let left = cost[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    Some((path, cost[idx(n, m)].sqrt()))
+}
+
+/// One DBA refinement step: align every member to `center`, collect the
+/// member values mapped to each center position, and average them.
+fn dba_step(center: &[f64], members: &[&[f64]], window: usize) -> Vec<f64> {
+    let mut sums = vec![0.0f64; center.len()];
+    let mut counts = vec![0usize; center.len()];
+    for member in members {
+        if let Some((path, _)) = dtw_path(center, member, window) {
+            for (ci, mi) in path {
+                sums[ci] += member[mi];
+                counts[ci] += 1;
+            }
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .zip(center)
+        .map(|((&s, &c), &old)| if c > 0 { s / c as f64 } else { old })
+        .collect()
+}
+
+/// DTW Barycenter Averaging: a shape-preserving centroid of `members`.
+///
+/// Starts from the element-wise mean and refines `iterations` times
+/// (3–5 is typically enough to converge). All members must share one
+/// length (they do, coming out of the trace registry). Returns an empty
+/// vector when `members` is empty.
+pub fn dba_barycenter(members: &[&[f64]], window: usize, iterations: usize) -> Vec<f64> {
+    let Some(first) = members.first() else {
+        return Vec::new();
+    };
+    let len = first.len();
+    // Initial centroid: element-wise mean.
+    let mut center = vec![0.0f64; len];
+    for m in members {
+        assert_eq!(m.len(), len, "DBA members must share one length");
+        for (c, v) in center.iter_mut().zip(*m) {
+            *c += v;
+        }
+    }
+    for c in &mut center {
+        *c /= members.len() as f64;
+    }
+    for _ in 0..iterations {
+        center = dba_step(&center, members, window);
+    }
+    center
+}
+
+/// Mean DTW distance from `center` to each member — the quantity DBA
+/// (approximately) minimizes; used to compare representatives.
+pub fn mean_dtw_to(center: &[f64], members: &[&[f64]], window: usize) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    members.iter().map(|m| dtw_distance(center, m, window)).sum::<f64>() / members.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_of_identical_sequences_is_diagonal() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let (path, d) = dtw_path(&a, &a, 2).expect("path exists");
+        assert_eq!(d, 0.0);
+        assert_eq!(path, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let a = [0.0, 1.0, 5.0, 2.0, 0.0];
+        let b = [0.0, 5.0, 5.0, 0.0];
+        let (path, _) = dtw_path(&a, &b, 5).expect("path exists");
+        assert_eq!(*path.first().expect("non-empty"), (0, 0));
+        assert_eq!(*path.last().expect("non-empty"), (4, 3));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0, "monotone");
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1, "single steps");
+        }
+    }
+
+    #[test]
+    fn path_cost_matches_dtw_distance() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let b = [2.0, 7.0, 1.0, 8.0];
+        let (path, d) = dtw_path(&a, &b, 4).expect("path exists");
+        assert!((d - dtw_distance(&a, &b, 4)).abs() < 1e-12);
+        // Recompute the cost along the path.
+        let recomputed: f64 = path.iter().map(|&(i, j)| (a[i] - b[j]) * (a[i] - b[j])).sum();
+        assert!((recomputed.sqrt() - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_none_for_empty_input() {
+        assert!(dtw_path(&[], &[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn dba_of_identical_members_is_the_member() {
+        let m = [1.0, 4.0, 2.0, 8.0];
+        let members: Vec<&[f64]> = vec![&m, &m, &m];
+        let c = dba_barycenter(&members, 2, 3);
+        for (a, b) in c.iter().zip(&m) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dba_beats_mean_on_shifted_peaks() {
+        // Two copies of a peak, shifted: the element-wise mean has two
+        // half-height bumps; DBA recovers a single full-height peak and
+        // sits closer (in DTW) to both members.
+        let n = 40;
+        let peak = |center: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let d = i as f64 - center as f64;
+                    (-d * d / 8.0).exp() * 10.0
+                })
+                .collect()
+        };
+        let a = peak(15);
+        let b = peak(25);
+        let members: Vec<&[f64]> = vec![&a, &b];
+        let mean: Vec<f64> = (0..n).map(|i| (a[i] + b[i]) / 2.0).collect();
+        let dba = dba_barycenter(&members, 10, 5);
+        let d_mean = mean_dtw_to(&mean, &members, 10);
+        let d_dba = mean_dtw_to(&dba, &members, 10);
+        assert!(
+            d_dba < d_mean,
+            "DBA ({d_dba:.3}) should sit closer to members than the mean ({d_mean:.3})"
+        );
+        // And the DBA centroid keeps the peak height.
+        let dba_max = dba.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean_max = mean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(dba_max > mean_max, "DBA peak {dba_max:.2} vs blurred mean {mean_max:.2}");
+    }
+
+    #[test]
+    fn dba_empty_members() {
+        assert!(dba_barycenter(&[], 3, 3).is_empty());
+    }
+
+    #[test]
+    fn mean_dtw_to_zero_for_exact_center() {
+        let m = [1.0, 2.0];
+        let members: Vec<&[f64]> = vec![&m];
+        assert_eq!(mean_dtw_to(&m, &members, 1), 0.0);
+    }
+}

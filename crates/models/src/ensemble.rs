@@ -1,0 +1,480 @@
+//! Ensembles: QB5000 (equal-weight LR+LSTM+KR) and DBAugur's
+//! time-sensitive ensemble of WFGAN, TCN and MLP (paper Sec. V-C).
+//!
+//! The time-sensitive ensemble maintains, per member `i`, the
+//! *forecasting distance* of Eqn. 7 — `Γ(e(i), t) = Σ_j δ^{t−j} e_j(i)`,
+//! an exponentially attenuated sum of squared errors — updated
+//! incrementally as `Γ ← δ·Γ + e_t`. Ensemble weights follow Eqn. 8:
+//! `w_t(i) = (Σ_j Γ(j) − Γ(i)) / (2 Σ_j Γ(j))`, which sum to 1 and give
+//! recently accurate members more say. Members train in parallel ("the
+//! three models can be trained in parallel", Sec. III).
+
+use crate::forecaster::Forecaster;
+use crate::kr::KernelRegression;
+use crate::lr::LinearRegression;
+use crate::lstm::LstmForecaster;
+use crate::mlp::MlpForecaster;
+use crate::tcn::TcnForecaster;
+use crate::wfgan::Wfgan;
+use dbaugur_trace::WindowSpec;
+
+/// Fit every member, in parallel when there is more than one.
+fn fit_members(members: &mut [Box<dyn Forecaster>], train: &[f64], spec: WindowSpec) {
+    if members.len() <= 1 {
+        for m in members.iter_mut() {
+            m.fit(train, spec);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        for m in members.iter_mut() {
+            s.spawn(move |_| m.fit(train, spec));
+        }
+    })
+    .expect("ensemble fit thread panicked");
+}
+
+/// A fixed-weight ensemble (the Fig. 7 baseline, and QB5000's mechanism).
+pub struct FixedEnsemble {
+    name: &'static str,
+    members: Vec<Box<dyn Forecaster>>,
+    weights: Vec<f64>,
+}
+
+impl FixedEnsemble {
+    /// Equal-weight ensemble over `members`.
+    ///
+    /// # Panics
+    /// Panics on an empty member list.
+    pub fn equal(name: &'static str, members: Vec<Box<dyn Forecaster>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let w = 1.0 / members.len() as f64;
+        let weights = vec![w; members.len()];
+        Self { name, members, weights }
+    }
+
+    /// Explicit weights (normalized by the caller).
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch or the list is empty.
+    pub fn weighted(
+        name: &'static str,
+        members: Vec<Box<dyn Forecaster>>,
+        weights: Vec<f64>,
+    ) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        assert_eq!(members.len(), weights.len(), "one weight per member");
+        Self { name, members, weights }
+    }
+
+    /// Member names (for reports).
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+}
+
+impl Forecaster for FixedEnsemble {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        fit_members(&mut self.members, train, spec);
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        self.members
+            .iter()
+            .zip(&self.weights)
+            .map(|(m, w)| w * m.predict(window))
+            .sum()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.members.iter().map(|m| m.storage_bytes()).sum()
+    }
+}
+
+/// QB5000 (Ma et al., SIGMOD'18): "QB5000 makes the forecast by equally
+/// averaging the results of LR, LSTM and KR."
+pub struct Qb5000 {
+    inner: FixedEnsemble,
+}
+
+impl Qb5000 {
+    /// The paper's QB5000 configuration.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: FixedEnsemble::equal(
+                "QB5000",
+                vec![
+                    Box::new(LinearRegression::default()),
+                    Box::new(LstmForecaster::new(seed)),
+                    Box::new(KernelRegression::default()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Forecaster for Qb5000 {
+    fn name(&self) -> &'static str {
+        "QB5000"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.inner.fit(train, spec);
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        self.inner.predict(window)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+}
+
+/// DBAugur's time-sensitive ensemble (Eqns. 7–8).
+pub struct TimeSensitiveEnsemble {
+    name: &'static str,
+    members: Vec<Box<dyn Forecaster>>,
+    /// Attenuation factor δ (paper: 0.9).
+    pub delta: f64,
+    /// Incrementally maintained forecasting distances Γ(e(i), t).
+    gamma: Vec<f64>,
+}
+
+impl TimeSensitiveEnsemble {
+    /// The DBAugur configuration: WFGAN + TCN + MLP, δ = 0.9.
+    pub fn dbaugur(seed: u64) -> Self {
+        Self::new(
+            "DBAugur",
+            vec![
+                Box::new(Wfgan::new(seed)),
+                Box::new(TcnForecaster::new(seed.wrapping_add(1))),
+                Box::new(MlpForecaster::new(seed.wrapping_add(2))),
+            ],
+            0.9,
+        )
+    }
+
+    /// A time-sensitive ensemble over arbitrary members.
+    ///
+    /// # Panics
+    /// Panics on an empty member list or δ outside `(0, 1]`.
+    pub fn new(name: &'static str, members: Vec<Box<dyn Forecaster>>, delta: f64) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        assert!(delta > 0.0 && delta <= 1.0, "attenuation must be in (0, 1]");
+        let gamma = vec![0.0; members.len()];
+        Self { name, members, delta, gamma }
+    }
+
+    /// Current ensemble weights (Eqn. 8); uniform while no error has been
+    /// observed.
+    pub fn weights(&self) -> Vec<f64> {
+        let total: f64 = self.gamma.iter().sum();
+        let k = self.members.len() as f64;
+        if total <= 0.0 {
+            return vec![1.0 / k; self.members.len()];
+        }
+        // For k members the normalization is (k−1)·ΣΓ so weights sum to
+        // 1; the paper's 2·ΣΓ is the k = 3 case.
+        self.gamma.iter().map(|g| (total - g) / ((k - 1.0) * total)).collect()
+    }
+
+    /// Current forecasting distances Γ (for inspection).
+    pub fn forecasting_distances(&self) -> &[f64] {
+        &self.gamma
+    }
+
+    /// Member names (for reports).
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Per-member predictions (for the harness's diagnostics).
+    pub fn member_predictions(&self, window: &[f64]) -> Vec<f64> {
+        self.members.iter().map(|m| m.predict(window)).collect()
+    }
+}
+
+impl Forecaster for TimeSensitiveEnsemble {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        fit_members(&mut self.members, train, spec);
+        self.gamma.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        let weights = self.weights();
+        self.members
+            .iter()
+            .zip(&weights)
+            .map(|(m, w)| w * m.predict(window))
+            .sum()
+    }
+
+    fn observe(&mut self, window: &[f64], actual: f64) {
+        for (m, g) in self.members.iter().zip(&mut self.gamma) {
+            let e = {
+                let p = m.predict(window);
+                (actual - p) * (actual - p)
+            };
+            *g = self.delta * *g + e;
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.members.iter().map(|m| m.storage_bytes()).sum()
+    }
+}
+
+/// Combine pre-recorded member prediction series with the time-sensitive
+/// weighting (Eqns. 7–8), causally: the weights used at step `t` depend
+/// only on errors at steps `< t`. Returns the ensemble prediction series.
+///
+/// This mirrors [`TimeSensitiveEnsemble`]'s online behaviour but operates
+/// on recorded series, which lets the Fig. 7 harness compare dynamic and
+/// fixed weighting over *identical* fitted members without refitting.
+///
+/// # Panics
+/// Panics when series lengths disagree or `member_preds` is empty.
+pub fn combine_time_sensitive(member_preds: &[Vec<f64>], targets: &[f64], delta: f64) -> Vec<f64> {
+    assert!(!member_preds.is_empty(), "need at least one member series");
+    assert!(
+        member_preds.iter().all(|p| p.len() == targets.len()),
+        "member series must align with targets"
+    );
+    let k = member_preds.len();
+    let mut gamma = vec![0.0f64; k];
+    let mut out = Vec::with_capacity(targets.len());
+    for t in 0..targets.len() {
+        let total: f64 = gamma.iter().sum();
+        let weights: Vec<f64> = if total <= 0.0 {
+            vec![1.0 / k as f64; k]
+        } else {
+            gamma.iter().map(|g| (total - g) / ((k as f64 - 1.0) * total)).collect()
+        };
+        let pred: f64 = member_preds.iter().zip(&weights).map(|(p, w)| w * p[t]).sum();
+        out.push(pred);
+        for (i, g) in gamma.iter_mut().enumerate() {
+            let e = targets[t] - member_preds[i][t];
+            *g = delta * *g + e * e;
+        }
+    }
+    out
+}
+
+/// Equal-weight combination of recorded member prediction series (the
+/// fixed-weight baseline of Fig. 7).
+///
+/// # Panics
+/// Panics when series lengths disagree or `member_preds` is empty.
+pub fn combine_fixed(member_preds: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!member_preds.is_empty(), "need at least one member series");
+    let k = member_preds.len() as f64;
+    let n = member_preds[0].len();
+    assert!(member_preds.iter().all(|p| p.len() == n), "member series must align");
+    (0..n).map(|t| member_preds.iter().map(|p| p[t]).sum::<f64>() / k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Naive;
+
+    /// A stub with a fixed prediction, for weight arithmetic tests.
+    struct Constant(f64);
+
+    impl Forecaster for Constant {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn fit(&mut self, _: &[f64], _: WindowSpec) {}
+        fn predict(&self, _: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn equal_ensemble_averages() {
+        let e = FixedEnsemble::equal(
+            "avg",
+            vec![Box::new(Constant(1.0)), Box::new(Constant(3.0))],
+        );
+        assert_eq!(e.predict(&[0.0]), 2.0);
+    }
+
+    #[test]
+    fn weighted_ensemble_respects_weights() {
+        let e = FixedEnsemble::weighted(
+            "w",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            vec![0.9, 0.1],
+        );
+        assert!((e.predict(&[0.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_weights_are_uniform() {
+        let e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(0.0)), Box::new(Constant(0.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        assert_eq!(e.weights(), vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_favor_accurate_member() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![
+                Box::new(Constant(10.0)), // perfect (actual will be 10)
+                Box::new(Constant(0.0)),  // bad
+                Box::new(Constant(5.0)),  // mediocre
+            ],
+            0.9,
+        );
+        for _ in 0..5 {
+            e.observe(&[0.0], 10.0);
+        }
+        let w = e.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[2] && w[2] > w[1], "weights {w:?} should order by accuracy");
+        // The perfect member has Γ = 0 ⇒ maximal weight 1/(k−1).
+        assert!((w[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attenuation_forgets_old_errors() {
+        let mut fast = TimeSensitiveEnsemble::new(
+            "f",
+            vec![Box::new(Constant(0.0)), Box::new(Constant(1.0))],
+            0.5,
+        );
+        let mut slow = TimeSensitiveEnsemble::new(
+            "s",
+            vec![Box::new(Constant(0.0)), Box::new(Constant(1.0))],
+            0.99,
+        );
+        // Phase 1: member 0 is right (actual 0).
+        for _ in 0..20 {
+            fast.observe(&[0.0], 0.0);
+            slow.observe(&[0.0], 0.0);
+        }
+        // Phase 2: regime change, member 1 is right (actual 1).
+        for _ in 0..5 {
+            fast.observe(&[0.0], 1.0);
+            slow.observe(&[0.0], 1.0);
+        }
+        let wf = fast.weights();
+        let ws = slow.weights();
+        assert!(
+            wf[1] > ws[1],
+            "fast attenuation {wf:?} should adapt to the regime change faster than {ws:?}"
+        );
+    }
+
+    #[test]
+    fn predict_uses_dynamic_weights() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        // Before observations: (10 + 0) / 2 = 5.
+        assert_eq!(e.predict(&[0.0]), 5.0);
+        // Teach it member 0 is right.
+        for _ in 0..10 {
+            e.observe(&[0.0], 10.0);
+        }
+        // Member 0's Γ is 0 ⇒ weight 1 ⇒ prediction 10.
+        assert!((e.predict(&[0.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_resets_error_history() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Naive), Box::new(Constant(0.0))],
+            0.9,
+        );
+        e.observe(&[1.0], 100.0);
+        assert!(e.forecasting_distances().iter().any(|&g| g > 0.0));
+        e.fit(&[1.0, 2.0, 3.0, 4.0, 5.0], WindowSpec::new(2, 1));
+        assert!(e.forecasting_distances().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn qb5000_builds_and_predicts() {
+        let series: Vec<f64> = (0..120).map(|i| (i % 10) as f64).collect();
+        let mut q = Qb5000::new(0);
+        // Keep the LSTM cheap in tests.
+        q.inner = FixedEnsemble::equal(
+            "QB5000",
+            vec![
+                Box::new(LinearRegression::default()),
+                Box::new(LstmForecaster::new(0).with_epochs(2)),
+                Box::new(KernelRegression::default()),
+            ],
+        );
+        q.fit(&series, WindowSpec::new(10, 1));
+        let p = q.predict(&series[100..110]);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_panics() {
+        FixedEnsemble::equal("x", vec![]);
+    }
+
+    #[test]
+    fn combine_fixed_averages_series() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(combine_fixed(&[a, b]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn combine_time_sensitive_matches_online_ensemble() {
+        // The offline combiner must reproduce the online ensemble's
+        // predictions for the same member outputs and targets.
+        let preds = vec![vec![10.0; 6], vec![0.0; 6], vec![5.0; 6]];
+        let targets = vec![10.0, 10.0, 9.0, 10.0, 11.0, 10.0];
+        let offline = combine_time_sensitive(&preds, &targets, 0.9);
+
+        let mut online = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0)), Box::new(Constant(5.0))],
+            0.9,
+        );
+        let mut online_preds = Vec::new();
+        for &target in &targets {
+            online_preds.push(online.predict(&[0.0]));
+            online.observe(&[0.0], target);
+        }
+        for (a, b) in offline.iter().zip(&online_preds) {
+            assert!((a - b).abs() < 1e-12, "offline {a} vs online {b}");
+        }
+    }
+
+    #[test]
+    fn combine_time_sensitive_is_causal_first_step_uniform() {
+        let preds = vec![vec![4.0, 4.0], vec![0.0, 0.0]];
+        let out = combine_time_sensitive(&preds, &[4.0, 4.0], 0.9);
+        assert_eq!(out[0], 2.0, "no information at step 0 -> uniform");
+        assert!(out[1] > 3.9, "step 1 should lean on the accurate member");
+    }
+
+    #[test]
+    #[should_panic(expected = "attenuation")]
+    fn bad_delta_panics() {
+        TimeSensitiveEnsemble::new("x", vec![Box::new(Naive)], 0.0);
+    }
+}

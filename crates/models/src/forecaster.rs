@@ -1,0 +1,94 @@
+//! The forecaster abstraction shared by every model in the zoo.
+
+use dbaugur_trace::WindowSpec;
+
+/// A single-trace forecaster (paper Definition 4): observes a history
+/// window of length `spec.history` and predicts the value
+/// `spec.horizon` intervals past the window's end.
+pub trait Forecaster: Send {
+    /// Short display name (matches the labels of the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Fit on a training series. Implementations build their own
+    /// supervised windows from `train` under `spec` and remember the
+    /// spec; `predict` windows must have length `spec.history`.
+    fn fit(&mut self, train: &[f64], spec: WindowSpec);
+
+    /// Predict the value `horizon` intervals after the window's last
+    /// element. Must not mutate the model (dynamic ensembles learn via
+    /// [`Forecaster::observe`] instead).
+    fn predict(&self, window: &[f64]) -> f64;
+
+    /// Feed back an observed target for the window that was used to
+    /// predict it. Default: no-op. The time-sensitive ensemble uses this
+    /// to maintain its per-member error history (Eqn. 7).
+    fn observe(&mut self, _window: &[f64], _actual: f64) {}
+
+    /// Serialized parameter size in bytes (Table II "Storage"); 0 for
+    /// models that are not parameter-based.
+    fn storage_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Blanket impl so `Box<dyn Forecaster>` composes into ensembles.
+impl Forecaster for Box<dyn Forecaster> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.as_mut().fit(train, spec)
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        self.as_ref().predict(window)
+    }
+
+    fn observe(&mut self, window: &[f64], actual: f64) {
+        self.as_mut().observe(window, actual)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.as_ref().storage_bytes()
+    }
+}
+
+/// A trivial forecaster predicting the window's last value (random-walk
+/// baseline; handy in tests and as a sanity floor).
+#[derive(Debug, Clone, Default)]
+pub struct Naive;
+
+impl Forecaster for Naive {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn fit(&mut self, _train: &[f64], _spec: WindowSpec) {}
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        window.last().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_predicts_last() {
+        let mut n = Naive;
+        n.fit(&[1.0, 2.0], WindowSpec::new(2, 1));
+        assert_eq!(n.predict(&[5.0, 7.0]), 7.0);
+        assert_eq!(n.predict(&[]), 0.0);
+    }
+
+    #[test]
+    fn boxed_forecaster_delegates() {
+        let mut b: Box<dyn Forecaster> = Box::new(Naive);
+        b.fit(&[0.0; 4], WindowSpec::new(2, 1));
+        assert_eq!(b.name(), "naive");
+        assert_eq!(b.predict(&[1.0, 9.0]), 9.0);
+        assert_eq!(b.storage_bytes(), 0);
+    }
+}

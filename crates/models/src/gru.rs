@@ -1,0 +1,203 @@
+//! GRU forecaster — an extended-zoo member mirroring the LSTM baseline
+//! with the lighter recurrent cell (3 gates instead of 4). Useful for
+//! ablations: comparable accuracy with ~25% fewer recurrent parameters.
+
+use crate::forecaster::Forecaster;
+use crate::util;
+use dbaugur_nn::activation::Activation;
+use dbaugur_nn::loss::mse_loss;
+use dbaugur_nn::param::HasParams;
+use dbaugur_nn::serialize::encoded_size;
+use dbaugur_nn::{clip_global_norm, Adam, Dense, Gru, Mat, Optimizer};
+use dbaugur_trace::{MinMaxScaler, Scaler, WindowSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// GRU forecaster configuration + fitted state.
+pub struct GruForecaster {
+    /// Hidden width (default matches the LSTM baseline's 16).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Cap on examples per epoch.
+    pub max_examples: usize,
+    /// Global-norm gradient clip.
+    pub clip: f64,
+    /// RNG seed.
+    pub seed: u64,
+    gru: Option<Gru>,
+    head: Option<Dense>,
+    scaler: MinMaxScaler,
+    history: usize,
+}
+
+impl Default for GruForecaster {
+    fn default() -> Self {
+        Self {
+            hidden: 16,
+            epochs: 50,
+            batch: 32,
+            lr: 1e-3,
+            max_examples: 2000,
+            clip: 5.0,
+            seed: 0,
+            gru: None,
+            head: None,
+            scaler: MinMaxScaler::new(),
+            history: 0,
+        }
+    }
+}
+
+impl GruForecaster {
+    /// Default configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Builder: override epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// One training epoch; mean batch loss.
+    pub fn train_epoch(
+        &mut self,
+        data: &util::SupervisedData,
+        rng: &mut StdRng,
+        opt: &mut Adam,
+    ) -> f64 {
+        let gru = self.gru.as_mut().expect("initialized by fit");
+        let head = self.head.as_mut().expect("initialized by fit");
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for idxs in util::batches(data.windows.len(), self.batch, self.max_examples, rng) {
+            let xs = util::window_batch_seq(data, &idxs);
+            let y = util::target_batch(data, &idxs);
+            let hs = gru.forward_seq(&xs);
+            let last = hs.last().expect("non-empty sequence").clone();
+            let pred = head.forward(&last);
+            let (loss, grad) = mse_loss(&pred, &y);
+            let dlast = head.backward(&grad);
+            let mut grads = vec![Mat::zeros(dlast.rows(), dlast.cols()); xs.len()];
+            *grads.last_mut().expect("non-empty") = dlast;
+            gru.backward_seq(&grads);
+            let mut params = gru.params_mut();
+            params.extend(head.params_mut());
+            clip_global_norm(&mut params, self.clip);
+            opt.step(&mut params);
+            total += loss;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+impl Forecaster for GruForecaster {
+    fn name(&self) -> &'static str {
+        "GRU"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Some(data) = util::prepare(train, spec) else {
+            self.gru = None;
+            self.head = None;
+            return;
+        };
+        self.gru = Some(Gru::new(1, self.hidden, &mut rng));
+        self.head = Some(Dense::new(self.hidden, 1, Activation::Linear, &mut rng));
+        self.scaler = data.scaler;
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            self.train_epoch(&data, &mut rng, &mut opt);
+        }
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let (Some(gru), Some(head)) = (&self.gru, &self.head) else {
+            return window.last().copied().unwrap_or(0.0);
+        };
+        let xs = util::window_to_seq(window, &self.scaler);
+        let hs = gru.infer_seq(&xs);
+        let out = head.infer(hs.last().expect("non-empty sequence"));
+        self.scaler.inverse(out.get(0, 0))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        match (&self.gru, &self.head) {
+            (Some(gru), Some(head)) => {
+                let mut gru = gru.clone();
+                let mut head = head.clone();
+                let mut params = gru.params_mut();
+                params.extend(head.params_mut());
+                encoded_size(&params.iter().map(|p| &**p).collect::<Vec<_>>())
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::mse;
+
+    #[test]
+    fn learns_short_cycle() {
+        let series: Vec<f64> = (0..400).map(|i| (i % 8) as f64 * 10.0).collect();
+        let spec = WindowSpec::new(8, 1);
+        let mut m = GruForecaster::new(3).with_epochs(60);
+        m.fit(&series[..320], spec);
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for target in 340..380 {
+            preds.push(m.predict(&series[target - 8..target]));
+            truths.push(series[target]);
+        }
+        let err = mse(&preds, &truths);
+        assert!(err < 150.0, "gru cycle mse {err} vs amplitude 70");
+    }
+
+    #[test]
+    fn unfit_model_falls_back() {
+        let mut m = GruForecaster::new(0);
+        m.fit(&[1.0], WindowSpec::new(8, 1));
+        m.history = 2;
+        assert_eq!(m.predict(&[1.0, 6.0]), 6.0);
+    }
+
+    #[test]
+    fn smaller_than_lstm_at_same_width() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let spec = WindowSpec::new(20, 1);
+        let mut gru = GruForecaster::new(0).with_epochs(1);
+        gru.fit(&series, spec);
+        let mut lstm = crate::lstm::LstmForecaster::new(0).with_epochs(1);
+        lstm.fit(&series, spec);
+        assert!(gru.storage_bytes() < lstm.storage_bytes());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series: Vec<f64> = (0..150).map(|i| (i as f64 * 0.2).sin()).collect();
+        let spec = WindowSpec::new(10, 1);
+        let mut a = GruForecaster::new(7).with_epochs(2);
+        let mut b = GruForecaster::new(7).with_epochs(2);
+        a.fit(&series, spec);
+        b.fit(&series, spec);
+        let w = &series[130..140];
+        assert_eq!(a.predict(w), b.predict(w));
+    }
+}

@@ -1,0 +1,192 @@
+//! Nadaraya–Watson kernel regression over history windows — the KR
+//! component of QB5000 ("QB5000 makes the forecast by equally averaging
+//! the results of LR, LSTM and KR").
+//!
+//! Prediction: `x̂ = Σ K(‖w − w_i‖ / h) y_i / Σ K(…)` with a Gaussian
+//! kernel over the training windows. The bandwidth defaults to the median
+//! pairwise window distance (a standard heuristic). Training windows are
+//! subsampled to a cap so inference stays O(cap · T).
+
+use crate::forecaster::Forecaster;
+use dbaugur_trace::{WindowDataset, WindowSpec};
+
+/// Kernel regression forecaster.
+#[derive(Debug, Clone)]
+pub struct KernelRegression {
+    /// Bandwidth; `None` selects the median-distance heuristic at fit.
+    pub bandwidth: Option<f64>,
+    /// Maximum retained training windows (evenly strided subsample).
+    pub max_windows: usize,
+    windows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    fitted_bandwidth: f64,
+    history: usize,
+}
+
+impl Default for KernelRegression {
+    fn default() -> Self {
+        Self {
+            bandwidth: None,
+            max_windows: 800,
+            windows: Vec::new(),
+            targets: Vec::new(),
+            fitted_bandwidth: 1.0,
+            history: 0,
+        }
+    }
+}
+
+impl KernelRegression {
+    /// KR with an explicit bandwidth.
+    pub fn with_bandwidth(bandwidth: f64) -> Self {
+        Self { bandwidth: Some(bandwidth), ..Self::default() }
+    }
+
+    /// The bandwidth in effect after fitting.
+    pub fn fitted_bandwidth(&self) -> f64 {
+        self.fitted_bandwidth
+    }
+
+    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    fn median_distance(&self) -> f64 {
+        // Median over a strided sample of pairs; cheap and stable.
+        let n = self.windows.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut ds = Vec::new();
+        let stride = (n / 64).max(1);
+        for i in (0..n).step_by(stride) {
+            for j in ((i + 1)..n).step_by(stride * 3 + 1) {
+                ds.push(Self::sq_dist(&self.windows[i], &self.windows[j]).sqrt());
+            }
+        }
+        if ds.is_empty() {
+            return 1.0;
+        }
+        ds.sort_by(f64::total_cmp);
+        // A low quantile keeps the kernel local: the median over random
+        // window pairs badly over-smooths periodic traces.
+        let m = ds[ds.len() / 10];
+        if m > 0.0 {
+            m
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Forecaster for KernelRegression {
+    fn name(&self) -> &'static str {
+        "KR"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let ds = WindowDataset::from_values(train, spec);
+        self.windows.clear();
+        self.targets.clear();
+        let stride = ds.len().div_ceil(self.max_windows.max(1)).max(1);
+        for i in (0..ds.len()).step_by(stride) {
+            self.windows.push(ds.window(i).to_vec());
+            self.targets.push(ds.target(i));
+        }
+        self.fitted_bandwidth = self.bandwidth.unwrap_or_else(|| self.median_distance());
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        if self.windows.is_empty() {
+            return window.last().copied().unwrap_or(0.0);
+        }
+        let h2 = self.fitted_bandwidth * self.fitted_bandwidth;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut best = f64::INFINITY;
+        let mut best_y = 0.0;
+        for (w, &y) in self.windows.iter().zip(&self.targets) {
+            let d2 = Self::sq_dist(window, w);
+            if d2 < best {
+                best = d2;
+                best_y = y;
+            }
+            let k = (-d2 / (2.0 * h2)).exp();
+            num += k * y;
+            den += k;
+        }
+        if den > 1e-300 {
+            num / den
+        } else {
+            // Query far outside the kernel mass: nearest neighbour.
+            best_y
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // KR is memory-based: it stores its training windows.
+        self.windows.len() * (self.history + 1) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_smooth_function() {
+        // y = sin over windows of a sine -> KR should predict well.
+        let series: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin()).collect();
+        let spec = WindowSpec::new(8, 1);
+        let mut kr = KernelRegression::default();
+        kr.fit(&series[..400], spec);
+        let window: Vec<f64> = (392..400).map(|i| (i as f64 * 0.1).sin()).collect();
+        let pred = kr.predict(&window);
+        let truth = (400.0f64 * 0.1).sin();
+        assert!((pred - truth).abs() < 0.12, "pred {pred} truth {truth} (amplitude 1)");
+    }
+
+    #[test]
+    fn exact_repetition_is_memorized() {
+        let series: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let spec = WindowSpec::new(5, 1);
+        let mut kr = KernelRegression::with_bandwidth(0.1);
+        kr.fit(&series, spec);
+        let pred = kr.predict(&[3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert!((pred - 8.0).abs() < 1e-6, "got {pred}");
+    }
+
+    #[test]
+    fn far_query_falls_back_to_nearest_neighbour() {
+        let series: Vec<f64> = (0..60).map(|i| (i % 6) as f64).collect();
+        let mut kr = KernelRegression::with_bandwidth(0.01);
+        kr.fit(&series, WindowSpec::new(3, 1));
+        let pred = kr.predict(&[1e6, 1e6, 1e6]);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn bandwidth_heuristic_is_positive() {
+        let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).cos() * 5.0).collect();
+        let mut kr = KernelRegression::default();
+        kr.fit(&series, WindowSpec::new(6, 1));
+        assert!(kr.fitted_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn subsampling_caps_memory() {
+        let series: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let mut kr = KernelRegression { max_windows: 100, ..Default::default() };
+        kr.fit(&series, WindowSpec::new(4, 1));
+        assert!(kr.storage_bytes() <= 101 * 5 * 8);
+    }
+
+    #[test]
+    fn empty_training_predicts_last_value() {
+        let mut kr = KernelRegression::default();
+        kr.fit(&[1.0], WindowSpec::new(4, 1));
+        assert_eq!(kr.predict(&[1.0, 2.0, 3.0, 9.0]), 9.0);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! The DBAugur model zoo (paper Secs. V and VI-A).
+//!
+//! Everything the evaluation compares lives here behind one
+//! [`forecaster::Forecaster`] trait:
+//!
+//! | model | module | paper role |
+//! |-------|--------|------------|
+//! | LR (autoregressive ridge) | [`lr`] | classical baseline |
+//! | ARIMA(2,1,2) | [`arima`] | classical baseline |
+//! | Kernel Regression | [`kr`] | QB5000 component |
+//! | MLP (32, 16) | [`mlp`] | baseline + ensemble member (local/short-term view) |
+//! | LSTM (30 cells → 16 → 1) | [`lstm`] | baseline + QB5000 component |
+//! | TCN (5 layers, dilations 1,2,4,8,16) | [`tcn`] | baseline + ensemble member (global/long-term view) |
+//! | WFGAN | [`wfgan`] | the adversarial forecaster (Secs. V-A/V-B, Alg. 2) |
+//! | QB5000 | [`ensemble`] | equal-weight LR+LSTM+KR (Ma et al.) |
+//! | DBAugur | [`ensemble`] | time-sensitive WFGAN+TCN+MLP (Eqns. 7–8) |
+//!
+//! [`eval`] provides the chronological rolling evaluation used by every
+//! figure: models are fit on the first 70% of a trace and asked for
+//! horizon-`H` predictions across the remainder, with the dynamic
+//! ensembles updating their error histories causally as targets are
+//! observed.
+
+pub mod arima;
+pub mod ensemble;
+pub mod eval;
+pub mod forecaster;
+pub mod gru;
+pub mod kr;
+pub mod lr;
+pub mod lstm;
+pub mod mlp;
+pub mod persist;
+pub mod seasonal;
+pub mod tcn;
+pub mod util;
+pub mod wfgan;
+
+pub use arima::Arima;
+pub use ensemble::{combine_fixed, combine_time_sensitive, FixedEnsemble, Qb5000, TimeSensitiveEnsemble};
+pub use eval::{rolling_forecast, EvalReport};
+pub use forecaster::Forecaster;
+pub use gru::GruForecaster;
+pub use kr::KernelRegression;
+pub use lr::LinearRegression;
+pub use lstm::LstmForecaster;
+pub use mlp::MlpForecaster;
+pub use persist::{Persistable, PersistError};
+pub use seasonal::SeasonalNaive;
+pub use tcn::TcnForecaster;
+pub use wfgan::{MultiTaskWfgan, Wfgan, WfganConfig};

@@ -1,0 +1,211 @@
+//! Autoregressive linear regression (the paper's LR baseline): the target
+//! is a linear function of the history window, fit by ridge-regularized
+//! least squares on the normal equations.
+
+use crate::forecaster::Forecaster;
+use dbaugur_trace::{WindowDataset, WindowSpec};
+
+/// Solve `A x = b` for symmetric positive-definite `A` (n×n, row-major)
+/// by Gaussian elimination with partial pivoting. Returns `None` when
+/// singular beyond rescue.
+pub(crate) fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col * n + c] * x[c];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Ridge-regularized autoregressive linear model
+/// `x̂_{t+H} = w · window + b`.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// L2 penalty; a small default keeps the normal equations stable on
+    /// near-collinear workload windows.
+    pub lambda: f64,
+    weights: Vec<f64>, // history coefficients followed by the intercept
+    history: usize,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new(1e-3)
+    }
+}
+
+impl LinearRegression {
+    /// LR with the given ridge penalty.
+    pub fn new(lambda: f64) -> Self {
+        Self { lambda, weights: Vec::new(), history: 0 }
+    }
+
+    /// Fitted coefficients (history weights then intercept); empty before
+    /// `fit`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Forecaster for LinearRegression {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let ds = WindowDataset::from_values(train, spec);
+        let d = spec.history + 1; // + intercept
+        if ds.is_empty() {
+            self.weights = vec![0.0; d];
+            return;
+        }
+        // Normal equations: (XᵀX + λI) w = Xᵀy with X rows [window, 1].
+        let mut xtx = vec![0.0f64; d * d];
+        let mut xty = vec![0.0f64; d];
+        for (w, y) in ds.iter() {
+            for i in 0..d {
+                let xi = if i < spec.history { w[i] } else { 1.0 };
+                xty[i] += xi * y;
+                for j in i..d {
+                    let xj = if j < spec.history { w[j] } else { 1.0 };
+                    xtx[i * d + j] += xi * xj;
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge (not on the intercept).
+        for i in 0..d {
+            for j in 0..i {
+                xtx[i * d + j] = xtx[j * d + i];
+            }
+            if i < spec.history {
+                xtx[i * d + i] += self.lambda * ds.len() as f64;
+            }
+        }
+        self.weights = solve(xtx, xty, d).unwrap_or_else(|| vec![0.0; d]);
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let mut acc = *self.weights.last().unwrap_or(&0.0);
+        for (w, x) in self.weights.iter().zip(window) {
+            acc += w * x;
+        }
+        acc
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.weights.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let x = solve(vec![2.0, 1.0, 1.0, 3.0], vec![3.0, 5.0], 2).expect("solvable");
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_detects_singular() {
+        assert!(solve(vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn recovers_exact_linear_recurrence() {
+        // x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + 2
+        let mut series = vec![1.0, 2.0];
+        for t in 2..200 {
+            let v = 0.5 * series[t - 1] + 0.3 * series[t - 2] + 2.0;
+            series.push(v);
+        }
+        let mut lr = LinearRegression::new(1e-9);
+        lr.fit(&series, WindowSpec::new(2, 1));
+        // Coefficients: window[0] is x_{t-2}, window[1] is x_{t-1}.
+        let c = lr.coefficients();
+        assert!((c[0] - 0.3).abs() < 1e-3, "got {c:?}");
+        assert!((c[1] - 0.5).abs() < 1e-3);
+        let pred = lr.predict(&series[198..200]);
+        let truth = 0.5 * series[199] + 0.3 * series[198] + 2.0;
+        assert!((pred - truth).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_trend_at_longer_horizon() {
+        // Pure ramp: x_t = t. With horizon 3 the model should learn
+        // x̂ = last + 3.
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut lr = LinearRegression::new(1e-9);
+        lr.fit(&series, WindowSpec::new(4, 3));
+        let pred = lr.predict(&[50.0, 51.0, 52.0, 53.0]);
+        assert!((pred - 56.0).abs() < 1e-6, "got {pred}");
+    }
+
+    #[test]
+    fn constant_series_predicts_constant() {
+        let series = vec![7.0; 50];
+        let mut lr = LinearRegression::default();
+        lr.fit(&series, WindowSpec::new(3, 1));
+        assert!((lr.predict(&[7.0, 7.0, 7.0]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn too_short_training_yields_zero_model() {
+        let mut lr = LinearRegression::default();
+        lr.fit(&[1.0, 2.0], WindowSpec::new(5, 1));
+        assert_eq!(lr.predict(&[0.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn storage_is_reported() {
+        let mut lr = LinearRegression::default();
+        lr.fit(&(0..50).map(|i| i as f64).collect::<Vec<_>>(), WindowSpec::new(10, 1));
+        assert_eq!(lr.storage_bytes(), 11 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn wrong_window_length_panics() {
+        let mut lr = LinearRegression::default();
+        lr.fit(&(0..50).map(|i| i as f64).collect::<Vec<_>>(), WindowSpec::new(4, 1));
+        lr.predict(&[1.0, 2.0]);
+    }
+}

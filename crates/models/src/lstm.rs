@@ -1,0 +1,233 @@
+//! LSTM forecaster — "the input length is set to 30, and the output
+//! dimension is set to 16 with a dense layer to get the final result"
+//! (Sec. VI-A). An LSTM layer reads the window as a scalar sequence; the
+//! final hidden state feeds a linear head.
+
+use crate::forecaster::Forecaster;
+use crate::util;
+use dbaugur_nn::activation::Activation;
+use dbaugur_nn::loss::mse_loss;
+use dbaugur_nn::param::HasParams;
+use dbaugur_nn::serialize::encoded_size;
+use dbaugur_nn::{clip_global_norm, Adam, Dense, Lstm, Mat, Optimizer};
+use dbaugur_trace::{MinMaxScaler, Scaler, WindowSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// LSTM forecaster configuration + fitted state.
+pub struct LstmForecaster {
+    /// Hidden width (paper: 16 for the baseline).
+    pub hidden: usize,
+    /// Training epochs (paper Table II uses 50).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Cap on examples per epoch.
+    pub max_examples: usize,
+    /// Gradient-clip threshold (global norm).
+    pub clip: f64,
+    /// RNG seed.
+    pub seed: u64,
+    lstm: Option<Lstm>,
+    head: Option<Dense>,
+    scaler: MinMaxScaler,
+    history: usize,
+}
+
+impl Default for LstmForecaster {
+    fn default() -> Self {
+        Self {
+            hidden: 16,
+            epochs: 50,
+            batch: 32,
+            lr: 1e-3,
+            max_examples: 2000,
+            clip: 5.0,
+            seed: 0,
+            lstm: None,
+            head: None,
+            scaler: MinMaxScaler::new(),
+            history: 0,
+        }
+    }
+}
+
+impl LstmForecaster {
+    /// Default configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Builder: override epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// One training epoch; mean batch loss. Exposed for Table II timing.
+    pub fn train_epoch(
+        &mut self,
+        data: &util::SupervisedData,
+        rng: &mut StdRng,
+        opt: &mut Adam,
+    ) -> f64 {
+        let lstm = self.lstm.as_mut().expect("initialized by fit");
+        let head = self.head.as_mut().expect("initialized by fit");
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for idxs in util::batches(data.windows.len(), self.batch, self.max_examples, rng) {
+            let xs = util::window_batch_seq(data, &idxs);
+            let y = util::target_batch(data, &idxs);
+            let hs = lstm.forward_seq(&xs);
+            let last = hs.last().expect("non-empty sequence").clone();
+            let pred = head.forward(&last);
+            let (loss, grad) = mse_loss(&pred, &y);
+            let dlast = head.backward(&grad);
+            let mut grads = vec![Mat::zeros(dlast.rows(), dlast.cols()); xs.len()];
+            *grads.last_mut().expect("non-empty") = dlast;
+            lstm.backward_seq(&grads);
+            let mut params = lstm.params_mut();
+            params.extend(head.params_mut());
+            clip_global_norm(&mut params, self.clip);
+            opt.step(&mut params);
+            total += loss;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+
+/// Persistence accessors (see `crate::persist`).
+impl LstmForecaster {
+    pub(crate) fn scaler_state(&self) -> MinMaxScaler {
+        self.scaler
+    }
+
+    pub(crate) fn history_len(&self) -> usize {
+        self.history
+    }
+
+    pub(crate) fn set_scaler_state(&mut self, scaler: MinMaxScaler, history: usize) {
+        self.scaler = scaler;
+        self.history = history;
+    }
+
+    pub(crate) fn net_params(&mut self) -> Option<Vec<&mut dbaugur_nn::Param>> {
+        match (&mut self.lstm, &mut self.head) {
+            (Some(l), Some(h)) => {
+                let mut p = l.params_mut();
+                p.extend(h.params_mut());
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Forecaster for LstmForecaster {
+    fn name(&self) -> &'static str {
+        "LSTM"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Some(data) = util::prepare(train, spec) else {
+            self.lstm = None;
+            self.head = None;
+            return;
+        };
+        self.lstm = Some(Lstm::new(1, self.hidden, &mut rng));
+        self.head = Some(Dense::new(self.hidden, 1, Activation::Linear, &mut rng));
+        self.scaler = data.scaler;
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            self.train_epoch(&data, &mut rng, &mut opt);
+        }
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let (Some(lstm), Some(head)) = (&self.lstm, &self.head) else {
+            return window.last().copied().unwrap_or(0.0);
+        };
+        let xs = util::window_to_seq(window, &self.scaler);
+        let hs = lstm.infer_seq(&xs);
+        let out = head.infer(hs.last().expect("non-empty sequence"));
+        self.scaler.inverse(out.get(0, 0))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        match (&self.lstm, &self.head) {
+            (Some(lstm), Some(head)) => {
+                let mut lstm = lstm.clone();
+                let mut head = head.clone();
+                let mut params = lstm.params_mut();
+                params.extend(head.params_mut());
+                encoded_size(&params.iter().map(|p| &**p).collect::<Vec<_>>())
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::mse;
+
+    #[test]
+    fn learns_short_cycle() {
+        // A short repeating pattern the LSTM should memorize quickly.
+        let series: Vec<f64> = (0..400).map(|i| (i % 8) as f64 * 10.0).collect();
+        let spec = WindowSpec::new(8, 1);
+        let mut m = LstmForecaster::new(3).with_epochs(30);
+        m.fit(&series[..320], spec);
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for target in 340..380 {
+            preds.push(m.predict(&series[target - 8..target]));
+            truths.push(series[target]);
+        }
+        let err = mse(&preds, &truths);
+        assert!(err < 100.0, "cycle mse {err} should be small vs amplitude 70");
+    }
+
+    #[test]
+    fn unfit_model_falls_back() {
+        let mut m = LstmForecaster::new(0);
+        m.fit(&[1.0], WindowSpec::new(8, 1));
+        m.history = 3;
+        assert_eq!(m.predict(&[1.0, 2.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series: Vec<f64> = (0..150).map(|i| (i as f64 * 0.3).sin()).collect();
+        let spec = WindowSpec::new(10, 1);
+        let mut a = LstmForecaster::new(11).with_epochs(2);
+        let mut b = LstmForecaster::new(11).with_epochs(2);
+        a.fit(&series, spec);
+        b.fit(&series, spec);
+        let w = &series[100..110];
+        assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn storage_counts_lstm_and_head() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut m = LstmForecaster::new(0).with_epochs(1);
+        m.fit(&series, WindowSpec::new(30, 1));
+        let lstm_params = 4 * 16 * (1 + 16 + 1);
+        let head_params = 16 + 1;
+        // header 12 + 5 tensors × 8 shape bytes + values.
+        assert_eq!(m.storage_bytes(), 12 + 5 * 8 + (lstm_params + head_params) * 8);
+    }
+}

@@ -1,0 +1,213 @@
+//! MLP forecaster — "a two layer MLP, with 32 units and 16 units
+//! respectively" (Sec. VI-A). The ensemble's *local view*: fast to train
+//! and good at short-term, locally (non)linear patterns (Table I).
+
+use crate::forecaster::Forecaster;
+use crate::util;
+use dbaugur_nn::activation::Activation;
+use dbaugur_nn::dense::Mlp;
+use dbaugur_nn::loss::mse_loss;
+use dbaugur_nn::param::HasParams;
+use dbaugur_nn::serialize::encoded_size;
+use dbaugur_nn::{Adam, Mat, Optimizer};
+use dbaugur_trace::{MinMaxScaler, Scaler, WindowSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// MLP forecaster configuration + fitted state.
+pub struct MlpForecaster {
+    /// Hidden widths (paper: `[32, 16]`).
+    pub hidden: Vec<usize>,
+    /// Training epochs (paper Table II uses 40).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f64,
+    /// Cap on examples per epoch (subsampled above this).
+    pub max_examples: usize,
+    /// RNG seed for init + shuffling.
+    pub seed: u64,
+    net: Option<Mlp>,
+    scaler: MinMaxScaler,
+    history: usize,
+}
+
+impl Default for MlpForecaster {
+    fn default() -> Self {
+        Self {
+            hidden: vec![32, 16],
+            epochs: 40,
+            batch: 32,
+            lr: 1e-3,
+            max_examples: 4000,
+            seed: 0,
+            net: None,
+            scaler: MinMaxScaler::new(),
+            history: 0,
+        }
+    }
+}
+
+impl MlpForecaster {
+    /// Default configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Builder: override epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Run one training epoch; returns mean batch loss. Exposed so the
+    /// Table II harness can time exactly one epoch.
+    pub fn train_epoch(&mut self, data: &util::SupervisedData, rng: &mut StdRng, opt: &mut Adam) -> f64 {
+        let net = self.net.as_mut().expect("initialized by fit");
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for idxs in util::batches(data.windows.len(), self.batch, self.max_examples, rng) {
+            let x = util::window_batch_flat(data, &idxs);
+            let y = util::target_batch(data, &idxs);
+            let pred = net.forward(&x);
+            let (loss, grad) = mse_loss(&pred, &y);
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+            total += loss;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+
+/// Persistence accessors (see `crate::persist`).
+impl MlpForecaster {
+    pub(crate) fn scaler_state(&self) -> MinMaxScaler {
+        self.scaler
+    }
+
+    pub(crate) fn history_len(&self) -> usize {
+        self.history
+    }
+
+    pub(crate) fn set_scaler_state(&mut self, scaler: MinMaxScaler, history: usize) {
+        self.scaler = scaler;
+        self.history = history;
+    }
+
+    pub(crate) fn net_params(&mut self) -> Option<Vec<&mut dbaugur_nn::Param>> {
+        self.net.as_mut().map(|n| n.params_mut())
+    }
+}
+
+impl Forecaster for MlpForecaster {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Some(data) = util::prepare(train, spec) else {
+            self.net = None;
+            return;
+        };
+        let mut widths = vec![spec.history];
+        widths.extend(&self.hidden);
+        widths.push(1);
+        self.net = Some(Mlp::new(&widths, Activation::Relu, &mut rng));
+        self.scaler = data.scaler;
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            self.train_epoch(&data, &mut rng, &mut opt);
+        }
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let Some(net) = &self.net else {
+            return window.last().copied().unwrap_or(0.0);
+        };
+        let x = Mat::from_fn(1, window.len(), |_, c| self.scaler.transform(window[c]));
+        self.scaler.inverse(net.infer(&x).get(0, 0))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        match &self.net {
+            Some(net) => {
+                let mut net = net.clone();
+                let params = net.params_mut();
+                encoded_size(&params.iter().map(|p| &**p).collect::<Vec<_>>())
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::mse;
+
+    fn sine_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 50.0 + 40.0 * (i as f64 * 0.2).sin()).collect()
+    }
+
+    #[test]
+    fn learns_sine_next_step() {
+        let series = sine_series(600);
+        let spec = WindowSpec::new(16, 1);
+        let mut mlp = MlpForecaster::new(1).with_epochs(60);
+        mlp.fit(&series[..500], spec);
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for target in 520..580 {
+            let end = target;
+            let window = &series[end - 16..end];
+            preds.push(mlp.predict(window));
+            truths.push(series[target]);
+        }
+        let err = mse(&preds, &truths);
+        let var = {
+            let m: f64 = truths.iter().sum::<f64>() / truths.len() as f64;
+            truths.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / truths.len() as f64
+        };
+        assert!(err < 0.1 * var, "mse {err} should be well below variance {var}");
+    }
+
+    #[test]
+    fn unfit_model_falls_back_to_last_value() {
+        let mut mlp = MlpForecaster::new(0);
+        mlp.fit(&[1.0], WindowSpec::new(8, 1)); // too short
+        mlp.history = 2;
+        assert_eq!(mlp.predict(&[3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series = sine_series(200);
+        let spec = WindowSpec::new(8, 1);
+        let mut a = MlpForecaster::new(7).with_epochs(3);
+        let mut b = MlpForecaster::new(7).with_epochs(3);
+        a.fit(&series, spec);
+        b.fit(&series, spec);
+        let w = &series[100..108];
+        assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn storage_matches_architecture() {
+        let series = sine_series(100);
+        let mut mlp = MlpForecaster::new(0).with_epochs(1);
+        mlp.fit(&series, WindowSpec::new(30, 1));
+        // 6 parameter tensors: 3 weights + 3 biases.
+        let params = 30 * 32 + 32 + 32 * 16 + 16 + 16 + 1;
+        assert_eq!(mlp.storage_bytes(), 12 + 6 * 8 + params * 8);
+    }
+}

@@ -1,0 +1,210 @@
+//! Persistence for fitted forecasters.
+//!
+//! A deployed DBAugur retrains periodically but must serve forecasts
+//! from saved models in between (and Table II's storage numbers assume
+//! models are serializable). Each neural forecaster here can export its
+//! weights + normalization state to the `dbaugur-nn` binary format and
+//! re-import them into a freshly configured instance.
+//!
+//! Layout: the first tensor is a `1 × 3` meta row `[scaler_min,
+//! scaler_max, history]`; the remaining tensors are the network
+//! parameters in `params_mut` order.
+
+use crate::lstm::LstmForecaster;
+use crate::mlp::MlpForecaster;
+use crate::tcn::TcnForecaster;
+use crate::wfgan::Wfgan;
+use dbaugur_nn::param::Param;
+use dbaugur_nn::serialize::{decode_params, encode_params, load_into, DecodeError};
+use dbaugur_nn::Mat;
+use dbaugur_trace::MinMaxScaler;
+
+/// Persistence error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// The model has not been fitted (nothing to export / no shape to
+    /// import into).
+    NotFitted,
+    /// The byte buffer failed to decode or mismatched the architecture.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::NotFitted => write!(f, "model is not fitted"),
+            PersistError::Decode(e) => write!(f, "decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}
+
+/// A forecaster whose fitted state can round-trip through bytes.
+///
+/// Contract: `import_bytes` requires `self` to be configured with the
+/// same architecture hyper-parameters and **fitted at least once** with
+/// the same window spec (so the networks exist with matching shapes);
+/// the training data itself need not match.
+pub trait Persistable {
+    /// Serialize scaler + weights. `Err(NotFitted)` before `fit`.
+    fn export_bytes(&mut self) -> Result<Vec<u8>, PersistError>;
+    /// Restore scaler + weights exported from an equal architecture.
+    fn import_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError>;
+}
+
+fn meta_mat(scaler: &MinMaxScaler, history: usize) -> Param {
+    let (min, max) = scaler.range();
+    Param::new(Mat::row_vector(vec![min, max, history as f64]))
+}
+
+fn split_meta(mats: &[Mat]) -> Result<(MinMaxScaler, usize, &[Mat]), PersistError> {
+    let meta = mats.first().ok_or(PersistError::Decode(DecodeError::Truncated))?;
+    if meta.shape() != (1, 3) {
+        return Err(PersistError::Decode(DecodeError::ShapeMismatch));
+    }
+    let mut scaler = MinMaxScaler::new();
+    // Reconstruct via fit on the two extremes (exact for min–max).
+    dbaugur_trace::Scaler::fit(&mut scaler, &[meta.get(0, 0), meta.get(0, 1)]);
+    let history = meta.get(0, 2) as usize;
+    Ok((scaler, history, &mats[1..]))
+}
+
+/// Shared implementation: export `params` with a meta header.
+fn export_with_meta(scaler: &MinMaxScaler, history: usize, params: Vec<&mut Param>) -> Vec<u8> {
+    let meta = meta_mat(scaler, history);
+    let mut all: Vec<&Param> = vec![&meta];
+    // Reborrow as shared references.
+    let shared: Vec<&Param> = params.iter().map(|p| &**p).collect();
+    all.extend(shared);
+    encode_params(&all)
+}
+
+macro_rules! impl_persistable {
+    ($ty:ty) => {
+        impl Persistable for $ty {
+            fn export_bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+                let (scaler, history) = (self.scaler_state(), self.history_len());
+                let params = self.net_params().ok_or(PersistError::NotFitted)?;
+                Ok(export_with_meta(&scaler, history, params))
+            }
+
+            fn import_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+                let mats = decode_params(bytes)?;
+                let (scaler, history, weights) = split_meta(&mats)?;
+                {
+                    let mut params = self.net_params().ok_or(PersistError::NotFitted)?;
+                    load_into(&mut params, weights)?;
+                }
+                self.set_scaler_state(scaler, history);
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_persistable!(MlpForecaster);
+impl_persistable!(LstmForecaster);
+impl_persistable!(TcnForecaster);
+impl_persistable!(Wfgan);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Forecaster;
+    use dbaugur_trace::WindowSpec;
+
+    fn series() -> Vec<f64> {
+        (0..220).map(|i| 40.0 + 30.0 * ((i % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()).collect()
+    }
+
+    fn roundtrip<M: Persistable + Forecaster>(mut fitted: M, mut fresh: M) {
+        let s = series();
+        let spec = WindowSpec::new(12, 1);
+        fitted.fit(&s[..180], spec);
+        let window = &s[180..192];
+        let expected = fitted.predict(window);
+
+        let bytes = fitted.export_bytes().expect("fitted exports");
+        // The fresh instance must be fitted once (any data) so its nets
+        // have the right shapes, then imports the saved weights.
+        fresh.fit(&s[..60], spec);
+        fresh.import_bytes(&bytes).expect("import succeeds");
+        let restored = fresh.predict(window);
+        assert!(
+            (expected - restored).abs() < 1e-12,
+            "restored prediction {restored} != original {expected}"
+        );
+    }
+
+    #[test]
+    fn mlp_roundtrip() {
+        roundtrip(
+            MlpForecaster::new(1).with_epochs(5),
+            MlpForecaster::new(99).with_epochs(1),
+        );
+    }
+
+    #[test]
+    fn lstm_roundtrip() {
+        roundtrip(
+            LstmForecaster::new(2).with_epochs(3),
+            LstmForecaster::new(98).with_epochs(1),
+        );
+    }
+
+    #[test]
+    fn tcn_roundtrip() {
+        roundtrip(
+            TcnForecaster::new(3).with_epochs(3),
+            TcnForecaster::new(97).with_epochs(1),
+        );
+    }
+
+    #[test]
+    fn wfgan_roundtrip() {
+        let mut a = Wfgan::new(4).with_epochs(2);
+        a.cfg.max_examples = 100;
+        let mut b = Wfgan::new(96).with_epochs(1);
+        b.cfg.max_examples = 50;
+        roundtrip(a, b);
+    }
+
+    #[test]
+    fn unfitted_export_fails() {
+        let mut m = MlpForecaster::new(0);
+        assert_eq!(m.export_bytes(), Err(PersistError::NotFitted));
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let s = series();
+        let spec = WindowSpec::new(12, 1);
+        let mut lstm_small = LstmForecaster::new(1).with_epochs(1);
+        lstm_small.hidden = 4;
+        lstm_small.fit(&s, spec);
+        let bytes = lstm_small.export_bytes().expect("exports");
+
+        let mut lstm_big = LstmForecaster::new(1).with_epochs(1);
+        lstm_big.hidden = 16;
+        lstm_big.fit(&s, spec);
+        assert!(matches!(
+            lstm_big.import_bytes(&bytes),
+            Err(PersistError::Decode(DecodeError::ShapeMismatch))
+        ));
+    }
+
+    #[test]
+    fn garbage_bytes_are_rejected() {
+        let s = series();
+        let mut m = MlpForecaster::new(0).with_epochs(1);
+        m.fit(&s, WindowSpec::new(12, 1));
+        assert!(m.import_bytes(b"not a model").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Seasonal-naive baseline: `x̂_{t+H} = x_{t+H−m}` for season length `m`.
+//!
+//! Not in the paper's lineup, but the canonical sanity floor for cyclic
+//! workloads — a learned model that cannot beat "same time yesterday"
+//! has learned nothing. Used by the extended evaluation and tests.
+
+use crate::forecaster::Forecaster;
+use dbaugur_trace::WindowSpec;
+
+/// Seasonal-naive forecaster.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    /// Season length in intervals (e.g. 144 for daily at 10 min).
+    pub season: usize,
+    horizon: usize,
+    history: usize,
+}
+
+impl SeasonalNaive {
+    /// A seasonal-naive model with the given season length.
+    ///
+    /// # Panics
+    /// Panics if `season == 0`.
+    pub fn new(season: usize) -> Self {
+        assert!(season > 0, "season must be positive");
+        Self { season, horizon: 1, history: 0 }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "SeasonalNaive"
+    }
+
+    fn fit(&mut self, _train: &[f64], spec: WindowSpec) {
+        self.horizon = spec.horizon;
+        self.history = spec.history;
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        if window.is_empty() {
+            return 0.0;
+        }
+        // The window ends at x_t and the target is x_{t+H}; one season
+        // before the target is x_{t+H−m}, which sits `m − H` positions
+        // before the window's last element. If the window is too short
+        // (or the season no longer than the horizon), fall back to the
+        // last value.
+        if self.season > self.horizon {
+            let back = self.season - self.horizon;
+            if back < window.len() {
+                return window[window.len() - 1 - back];
+            }
+        }
+        window[window.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_one_season_back() {
+        let mut m = SeasonalNaive::new(4);
+        m.fit(&[], WindowSpec::new(8, 1));
+        // Window of an exact period-4 signal x_{t-7..t} = 0,1,2,3,…; the
+        // target x_{t+1} is 0.0 and one season before it is window[4].
+        let window = [0.0, 1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0];
+        let p = m.predict(&window);
+        assert_eq!(p, 0.0, "period-4 signal: prediction must equal the target");
+    }
+
+    #[test]
+    fn exact_on_periodic_series_any_horizon() {
+        let season = 6;
+        let series: Vec<f64> = (0..60).map(|i| (i % season) as f64 * 10.0).collect();
+        for horizon in 1..=4 {
+            let mut m = SeasonalNaive::new(season);
+            let spec = WindowSpec::new(12, horizon);
+            m.fit(&series, spec);
+            for target in 30..48 {
+                let end = target + 1 - horizon;
+                let window = &series[end - 12..end];
+                assert_eq!(
+                    m.predict(window),
+                    series[target],
+                    "horizon {horizon} target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_window_falls_back_to_last() {
+        let mut m = SeasonalNaive::new(100);
+        m.fit(&[], WindowSpec::new(3, 1));
+        assert_eq!(m.predict(&[1.0, 2.0, 7.0]), 7.0);
+    }
+
+    #[test]
+    fn season_not_longer_than_horizon_falls_back() {
+        let mut m = SeasonalNaive::new(2);
+        m.fit(&[], WindowSpec::new(4, 5));
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0, 9.0]), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "season")]
+    fn zero_season_panics() {
+        SeasonalNaive::new(0);
+    }
+}

@@ -1,0 +1,280 @@
+//! TCN forecaster — "a five-layer TCN, where the dilated convolution
+//! factors are 1, 2, 4, 8, 16 respectively" (Sec. VI-A). The ensemble's
+//! *global view*: the stacked dilations give a receptive field covering
+//! the whole 30-step window, capturing long-term patterns without the
+//! RNN gradient-explosion problem (Table I).
+
+use crate::forecaster::Forecaster;
+use crate::util;
+use dbaugur_nn::activation::Activation;
+use dbaugur_nn::loss::mse_loss;
+use dbaugur_nn::param::HasParams;
+use dbaugur_nn::serialize::encoded_size;
+use dbaugur_nn::{Adam, Dense, Mat, Optimizer, TcnBlock};
+use dbaugur_trace::{MinMaxScaler, Scaler, WindowSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// TCN forecaster configuration + fitted state.
+pub struct TcnForecaster {
+    /// Channel width of every block (the paper fixes the layer count and
+    /// dilations; width is an implementation knob).
+    pub channels: usize,
+    /// Dilation factor per block (paper: `[1, 2, 4, 8, 16]`).
+    pub dilations: Vec<usize>,
+    /// Convolution kernel size.
+    pub kernel: usize,
+    /// Training epochs (paper Table II uses 50).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Cap on examples per epoch.
+    pub max_examples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    blocks: Vec<TcnBlock>,
+    head: Option<Dense>,
+    scaler: MinMaxScaler,
+    history: usize,
+}
+
+impl Default for TcnForecaster {
+    fn default() -> Self {
+        Self {
+            channels: 16,
+            dilations: vec![1, 2, 4, 8, 16],
+            kernel: 2,
+            epochs: 50,
+            batch: 32,
+            lr: 1e-3,
+            max_examples: 2000,
+            seed: 0,
+            blocks: Vec::new(),
+            head: None,
+            scaler: MinMaxScaler::new(),
+            history: 0,
+        }
+    }
+}
+
+impl TcnForecaster {
+    /// Default (paper) configuration with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Builder: override epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Total receptive field of the stack (in time steps).
+    pub fn receptive_field(&self) -> usize {
+        1 + self
+            .dilations
+            .iter()
+            .map(|d| 2 * (self.kernel - 1) * d)
+            .sum::<usize>()
+    }
+
+    fn forward_train(&mut self, xs: &[Mat]) -> Mat {
+        let mut h = xs.to_vec();
+        for b in &mut self.blocks {
+            h = b.forward_seq(&h);
+        }
+        let last = h.last().expect("non-empty sequence").clone();
+        self.head.as_mut().expect("initialized by fit").forward(&last)
+    }
+
+    fn backward_train(&mut self, grad: &Mat, t_len: usize) {
+        let dlast = self.head.as_mut().expect("initialized by fit").backward(grad);
+        let mut grads = vec![Mat::zeros(dlast.rows(), dlast.cols()); t_len];
+        *grads.last_mut().expect("non-empty") = dlast;
+        for b in self.blocks.iter_mut().rev() {
+            grads = b.backward_seq(&grads);
+        }
+    }
+
+    fn all_params(&mut self) -> Vec<&mut dbaugur_nn::Param> {
+        let mut params: Vec<&mut dbaugur_nn::Param> =
+            self.blocks.iter_mut().flat_map(|b| b.params_mut()).collect();
+        if let Some(h) = &mut self.head {
+            params.extend(h.params_mut());
+        }
+        params
+    }
+
+    /// One training epoch; mean batch loss. Exposed for Table II timing.
+    pub fn train_epoch(
+        &mut self,
+        data: &util::SupervisedData,
+        rng: &mut StdRng,
+        opt: &mut Adam,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for idxs in util::batches(data.windows.len(), self.batch, self.max_examples, rng) {
+            let xs = util::window_batch_seq(data, &idxs);
+            let y = util::target_batch(data, &idxs);
+            let pred = self.forward_train(&xs);
+            let (loss, grad) = mse_loss(&pred, &y);
+            self.backward_train(&grad, xs.len());
+            opt.step(&mut self.all_params());
+            total += loss;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+
+/// Persistence accessors (see `crate::persist`).
+impl TcnForecaster {
+    pub(crate) fn scaler_state(&self) -> MinMaxScaler {
+        self.scaler
+    }
+
+    pub(crate) fn history_len(&self) -> usize {
+        self.history
+    }
+
+    pub(crate) fn set_scaler_state(&mut self, scaler: MinMaxScaler, history: usize) {
+        self.scaler = scaler;
+        self.history = history;
+    }
+
+    pub(crate) fn net_params(&mut self) -> Option<Vec<&mut dbaugur_nn::Param>> {
+        self.head.as_ref()?;
+        Some(self.all_params())
+    }
+}
+
+impl Forecaster for TcnForecaster {
+    fn name(&self) -> &'static str {
+        "TCN"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Some(data) = util::prepare(train, spec) else {
+            self.blocks.clear();
+            self.head = None;
+            return;
+        };
+        self.blocks = self
+            .dilations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let input = if i == 0 { 1 } else { self.channels };
+                TcnBlock::new(input, self.channels, self.kernel, d, &mut rng)
+            })
+            .collect();
+        self.head = Some(Dense::new(self.channels, 1, Activation::Linear, &mut rng));
+        self.scaler = data.scaler;
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            self.train_epoch(&data, &mut rng, &mut opt);
+        }
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let Some(head) = &self.head else {
+            return window.last().copied().unwrap_or(0.0);
+        };
+        let mut h = util::window_to_seq(window, &self.scaler);
+        for b in &self.blocks {
+            h = b.infer_seq(&h);
+        }
+        let out = head.infer(h.last().expect("non-empty sequence"));
+        self.scaler.inverse(out.get(0, 0))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        if self.head.is_none() {
+            return 0;
+        }
+        let mut me = Self {
+            blocks: self.blocks.clone(),
+            head: self.head.clone(),
+            ..Self::new(self.seed)
+        };
+        let params = me.all_params();
+        encoded_size(&params.iter().map(|p| &**p).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::mse;
+
+    #[test]
+    fn receptive_field_covers_thirty_steps() {
+        let t = TcnForecaster::new(0);
+        assert!(t.receptive_field() >= 30, "rf {} must cover the window", t.receptive_field());
+    }
+
+    #[test]
+    fn learns_long_period_pattern() {
+        // Period-24 pattern: needs a global view beyond a few lags.
+        let series: Vec<f64> =
+            (0..600).map(|i| 10.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
+        let spec = WindowSpec::new(30, 1);
+        let mut m = TcnForecaster::new(5).with_epochs(40);
+        m.fit(&series[..480], spec);
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for target in 500..560 {
+            preds.push(m.predict(&series[target - 30..target]));
+            truths.push(series[target]);
+        }
+        let err = mse(&preds, &truths);
+        assert!(err < 20.0, "tcn mse {err} should be far below amplitude^2 (100)");
+    }
+
+    #[test]
+    fn unfit_model_falls_back() {
+        let mut m = TcnForecaster::new(0);
+        m.fit(&[1.0], WindowSpec::new(8, 1));
+        m.history = 2;
+        assert_eq!(m.predict(&[1.0, 7.0]), 7.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series: Vec<f64> = (0..150).map(|i| (i as f64 * 0.2).cos()).collect();
+        let spec = WindowSpec::new(12, 1);
+        let mut a = TcnForecaster::new(9).with_epochs(2);
+        let mut b = TcnForecaster::new(9).with_epochs(2);
+        a.fit(&series, spec);
+        b.fit(&series, spec);
+        let w = &series[120..132];
+        assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn tcn_storage_is_largest_of_the_zoo() {
+        // Table II: "Since the TCN model is deep and complex, it takes up
+        // a bigger space than other models."
+        let series: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let spec = WindowSpec::new(30, 1);
+        let mut tcn = TcnForecaster::new(0).with_epochs(1);
+        tcn.fit(&series, spec);
+        let mut lstm = crate::lstm::LstmForecaster::new(0).with_epochs(1);
+        lstm.fit(&series, spec);
+        let mut mlp = crate::mlp::MlpForecaster::new(0).with_epochs(1);
+        mlp.fit(&series, spec);
+        assert!(tcn.storage_bytes() > lstm.storage_bytes());
+        assert!(tcn.storage_bytes() > mlp.storage_bytes());
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared training plumbing for the neural forecasters: window
+//! normalization, seeded shuffled minibatches, and batch assembly in
+//! both flat (`batch × T`, for the MLP) and time-major sequence
+//! (`T` of `batch × 1`, for LSTM/TCN/WFGAN) layouts.
+
+use dbaugur_nn::Mat;
+use dbaugur_trace::{MinMaxScaler, Scaler, WindowDataset, WindowSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Normalized supervised windows plus the scaler to undo it.
+pub struct SupervisedData {
+    /// Normalized history windows, one `Vec` per example.
+    pub windows: Vec<Vec<f64>>,
+    /// Normalized targets, aligned with `windows`.
+    pub targets: Vec<f64>,
+    /// The scaler fitted on the training series.
+    pub scaler: MinMaxScaler,
+}
+
+/// Build min–max-normalized windows from a training series; `None` when
+/// the series is too short to yield a single example.
+pub fn prepare(train: &[f64], spec: WindowSpec) -> Option<SupervisedData> {
+    let ds = WindowDataset::from_values(train, spec);
+    if ds.is_empty() {
+        return None;
+    }
+    let scaler = MinMaxScaler::fitted(train);
+    let mut windows = Vec::with_capacity(ds.len());
+    let mut targets = Vec::with_capacity(ds.len());
+    for (w, t) in ds.iter() {
+        windows.push(w.iter().map(|&v| scaler.transform(v)).collect());
+        targets.push(scaler.transform(t));
+    }
+    Some(SupervisedData { windows, targets, scaler })
+}
+
+/// Shuffled minibatch index lists covering `0..n`, capped at
+/// `max_examples` (strided subsample) to bound per-epoch cost.
+pub(crate) fn batches(
+    n: usize,
+    batch: usize,
+    max_examples: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    let stride = (n / max_examples.max(1)).max(1);
+    let mut idx: Vec<usize> = (0..n).step_by(stride).collect();
+    idx.shuffle(rng);
+    idx.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Assemble a flat `B × T` window batch.
+pub(crate) fn window_batch_flat(data: &SupervisedData, idxs: &[usize]) -> Mat {
+    let t = data.windows[idxs[0]].len();
+    Mat::from_fn(idxs.len(), t, |r, c| data.windows[idxs[r]][c])
+}
+
+/// Assemble a time-major sequence batch: `T` matrices of `B × 1`.
+pub(crate) fn window_batch_seq(data: &SupervisedData, idxs: &[usize]) -> Vec<Mat> {
+    let t = data.windows[idxs[0]].len();
+    (0..t)
+        .map(|ti| Mat::from_fn(idxs.len(), 1, |r, _| data.windows[idxs[r]][ti]))
+        .collect()
+}
+
+/// Assemble the matching `B × 1` target batch.
+pub(crate) fn target_batch(data: &SupervisedData, idxs: &[usize]) -> Mat {
+    Mat::from_fn(idxs.len(), 1, |r, _| data.targets[idxs[r]])
+}
+
+/// A normalized window as a 1-step sequence batch (`T` of `1 × 1`),
+/// for inference.
+pub(crate) fn window_to_seq(window: &[f64], scaler: &MinMaxScaler) -> Vec<Mat> {
+    window.iter().map(|&v| Mat::from_vec(1, 1, vec![scaler.transform(v)])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prepare_normalizes_into_unit_range() {
+        let train: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let d = prepare(&train, WindowSpec::new(4, 1)).expect("long enough");
+        for w in &d.windows {
+            assert!(w.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        assert_eq!(d.windows.len(), d.targets.len());
+    }
+
+    #[test]
+    fn prepare_short_series_is_none() {
+        assert!(prepare(&[1.0, 2.0], WindowSpec::new(5, 1)).is_none());
+    }
+
+    #[test]
+    fn batches_cover_strided_range_without_duplicates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bs = batches(100, 16, 1000, &mut rng);
+        let mut all: Vec<usize> = bs.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_cap_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bs = batches(1000, 32, 100, &mut rng);
+        let total: usize = bs.iter().map(|b| b.len()).sum();
+        assert!(total <= 101);
+    }
+
+    #[test]
+    fn layouts_agree() {
+        let train: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let d = prepare(&train, WindowSpec::new(3, 1)).expect("long enough");
+        let idxs = vec![0, 2];
+        let flat = window_batch_flat(&d, &idxs);
+        let seq = window_batch_seq(&d, &idxs);
+        assert_eq!(flat.shape(), (2, 3));
+        assert_eq!(seq.len(), 3);
+        for ti in 0..3 {
+            for r in 0..2 {
+                assert_eq!(flat.get(r, ti), seq[ti].get(r, 0));
+            }
+        }
+        let tb = target_batch(&d, &idxs);
+        assert_eq!(tb.shape(), (2, 1));
+    }
+}

@@ -1,0 +1,623 @@
+//! WFGAN — Workload Forecasting GAN (paper Secs. V-A/V-B, Fig. 4,
+//! Alg. 2).
+//!
+//! A conditional GAN for scalar forecasting:
+//!
+//! * the **generator** receives the history window `X = (x_1 … x_T)` as
+//!   the condition (no noise vector — the paper replaces the noise space
+//!   with the condition window) and emits `x̂_{T+H}`; internally it is an
+//!   LSTM over the window, a temporal attention over all hidden states
+//!   (Eqn. 2), and a linear head;
+//! * the **discriminator** receives `X ∘ x` (length `T+1`) and scores the
+//!   probability that the appended value is real (Eqn. 3) with the same
+//!   LSTM + attention + linear-head structure;
+//! * training alternates `d_steps` discriminator ascents on Eqn. 4 with
+//!   `g_steps` generator descents (Alg. 2). The generator uses the
+//!   standard non-saturating form of Eqn. 5, and optionally a supervised
+//!   auxiliary `λ·MSE(x̂, x)` term (λ = 0 recovers the paper's pure
+//!   adversarial objective; the default 0.7 is the usual
+//!   cGAN-for-regression stabilization — see DESIGN.md).
+//!
+//! [`MultiTaskWfgan`] implements the multi-task variant of Sec. V-A: the
+//! query and resource tasks share the generator's LSTM ("the shallow
+//! network parameters in the hidden layer will be shared by both
+//! forecasting models, while their deep network parameters will be
+//! optimized separately") while each task keeps its own attention, head,
+//! discriminator and scaler.
+
+use crate::forecaster::Forecaster;
+use crate::util::{self, SupervisedData};
+use dbaugur_nn::activation::Activation;
+use dbaugur_nn::loss::{bce_with_logits, generator_nonsaturating_loss};
+use dbaugur_nn::param::HasParams;
+use dbaugur_nn::serialize::encoded_size;
+use dbaugur_nn::{clip_global_norm, Adam, Dense, Lstm, Mat, Optimizer, TemporalAttention};
+use dbaugur_trace::{MinMaxScaler, Scaler, WindowSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters of WFGAN.
+#[derive(Debug, Clone)]
+pub struct WfganConfig {
+    /// LSTM width (paper: 30 cells in both G and D).
+    pub hidden: usize,
+    /// Attention scoring width.
+    pub attn: usize,
+    /// Training epochs (paper Table II uses 50).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Generator learning rate.
+    pub lr_g: f64,
+    /// Discriminator learning rate.
+    pub lr_d: f64,
+    /// Discriminator updates per batch (Alg. 2 D-steps).
+    pub d_steps: usize,
+    /// Generator updates per batch (Alg. 2 G-steps).
+    pub g_steps: usize,
+    /// Supervised auxiliary weight λ (0 = paper's pure adversarial loss).
+    pub supervised_weight: f64,
+    /// Cap on examples per epoch.
+    pub max_examples: usize,
+    /// Global-norm gradient clip.
+    pub clip: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WfganConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 30,
+            attn: 16,
+            epochs: 50,
+            batch: 32,
+            lr_g: 1e-3,
+            lr_d: 1e-3,
+            d_steps: 1,
+            g_steps: 1,
+            supervised_weight: 0.7,
+            max_examples: 2000,
+            clip: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// LSTM → attention → linear head; the shared internal structure of both
+/// G and D (Fig. 4).
+struct SeqNet {
+    lstm: Lstm,
+    attn: TemporalAttention,
+    head: Dense,
+}
+
+impl SeqNet {
+    fn new(hidden: usize, attn: usize, rng: &mut StdRng) -> Self {
+        Self {
+            lstm: Lstm::new(1, hidden, rng),
+            attn: TemporalAttention::new(hidden, attn, rng),
+            head: Dense::new(hidden, 1, Activation::Linear, rng),
+        }
+    }
+
+    fn forward(&mut self, xs: &[Mat]) -> Mat {
+        let hs = self.lstm.forward_seq(xs);
+        let ctx = self.attn.forward(&hs);
+        self.head.forward(&ctx)
+    }
+
+    fn infer(&self, xs: &[Mat]) -> Mat {
+        let hs = self.lstm.infer_seq(xs);
+        let ctx = self.attn.infer(&hs);
+        self.head.infer(&ctx)
+    }
+
+    /// Backward; returns per-step input gradients.
+    fn backward(&mut self, grad_out: &Mat) -> Vec<Mat> {
+        let dctx = self.head.backward(grad_out);
+        let dhs = self.attn.backward(&dctx);
+        self.lstm.backward_seq(&dhs)
+    }
+}
+
+impl HasParams for SeqNet {
+    fn params_mut(&mut self) -> Vec<&mut dbaugur_nn::Param> {
+        let mut p = self.lstm.params_mut();
+        p.extend(self.attn.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+}
+
+/// The single-task WFGAN forecaster.
+pub struct Wfgan {
+    /// Hyper-parameters.
+    pub cfg: WfganConfig,
+    gen: Option<SeqNet>,
+    disc: Option<SeqNet>,
+    scaler: MinMaxScaler,
+    history: usize,
+    /// `(d_loss, g_adv_loss)` means per epoch, for convergence checks.
+    pub loss_history: Vec<(f64, f64)>,
+}
+
+impl Wfgan {
+    /// WFGAN with default (paper) hyper-parameters and a seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(WfganConfig { seed, ..WfganConfig::default() })
+    }
+
+    /// WFGAN with explicit configuration.
+    pub fn with_config(cfg: WfganConfig) -> Self {
+        Self {
+            cfg,
+            gen: None,
+            disc: None,
+            scaler: MinMaxScaler::new(),
+            history: 0,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// Builder: override epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Builder: override the supervised auxiliary weight λ.
+    pub fn with_supervised_weight(mut self, lambda: f64) -> Self {
+        self.cfg.supervised_weight = lambda;
+        self
+    }
+
+    /// Append `value` (a `B × 1` matrix) to a window sequence, producing
+    /// the length-`T+1` discriminator input `X ∘ x`.
+    fn append(xs: &[Mat], value: &Mat) -> Vec<Mat> {
+        let mut seq = xs.to_vec();
+        seq.push(value.clone());
+        seq
+    }
+
+    /// One adversarial epoch over `data`; returns mean `(d_loss,
+    /// g_adv_loss)`. Exposed for Table II timing and the ablation bench.
+    pub fn train_epoch(
+        &mut self,
+        data: &SupervisedData,
+        rng: &mut StdRng,
+        opt_g: &mut Adam,
+        opt_d: &mut Adam,
+    ) -> (f64, f64) {
+        let cfg = self.cfg.clone();
+        let gen = self.gen.as_mut().expect("initialized by fit");
+        let disc = self.disc.as_mut().expect("initialized by fit");
+        let mut d_total = 0.0;
+        let mut g_total = 0.0;
+        let mut count = 0usize;
+        for idxs in util::batches(data.windows.len(), cfg.batch, cfg.max_examples, rng) {
+            let xs = util::window_batch_seq(data, &idxs);
+            let y_real = util::target_batch(data, &idxs);
+            let b = idxs.len();
+            let ones = Mat::from_fn(b, 1, |_, _| 1.0);
+            let zeros = Mat::zeros(b, 1);
+
+            // --- D-steps: ascend log D(real) + log(1 − D(fake)) ---
+            let mut d_loss_acc = 0.0;
+            for _ in 0..cfg.d_steps {
+                let x_fake = gen.infer(&xs); // detached: no G caches
+                let real_seq = Self::append(&xs, &y_real);
+                let logits_real = disc.forward(&real_seq);
+                let (l_real, g_real) = bce_with_logits(&logits_real, &ones);
+                disc.backward(&g_real);
+                let fake_seq = Self::append(&xs, &x_fake);
+                let logits_fake = disc.forward(&fake_seq);
+                let (l_fake, g_fake) = bce_with_logits(&logits_fake, &zeros);
+                disc.backward(&g_fake);
+                let mut dp = disc.params_mut();
+                clip_global_norm(&mut dp, cfg.clip);
+                opt_d.step(&mut dp);
+                d_loss_acc += l_real + l_fake;
+            }
+
+            // --- G-steps: descend the non-saturating −log D(fake) (+ λ·MSE) ---
+            let mut g_loss_acc = 0.0;
+            for _ in 0..cfg.g_steps {
+                let x_fake = gen.forward(&xs);
+                let fake_seq = Self::append(&xs, &x_fake);
+                let logits = disc.forward(&fake_seq);
+                let (l_adv, g_adv) = generator_nonsaturating_loss(&logits);
+                // Route the gradient through D to the appended value; D's
+                // own parameter grads from this pass are discarded.
+                let dxs = disc.backward(&g_adv);
+                disc.zero_grad();
+                let mut d_value = dxs.last().expect("non-empty sequence").clone();
+                if cfg.supervised_weight > 0.0 {
+                    // ∂(λ·MSE)/∂x̂ = 2λ(x̂ − y)/B
+                    for r in 0..b {
+                        let d = 2.0 * cfg.supervised_weight
+                            * (x_fake.get(r, 0) - y_real.get(r, 0))
+                            / b as f64;
+                        let v = d_value.get(r, 0) + d;
+                        d_value.set(r, 0, v);
+                    }
+                }
+                gen.backward(&d_value);
+                let mut gp = gen.params_mut();
+                clip_global_norm(&mut gp, cfg.clip);
+                opt_g.step(&mut gp);
+                g_loss_acc += l_adv;
+            }
+
+            d_total += d_loss_acc / cfg.d_steps.max(1) as f64;
+            g_total += g_loss_acc / cfg.g_steps.max(1) as f64;
+            count += 1;
+        }
+        if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (d_total / count as f64, g_total / count as f64)
+        }
+    }
+
+    /// The discriminator's probability that `window ∘ value` is real —
+    /// used by tests and the ablation bench to verify adversarial
+    /// convergence.
+    pub fn discriminator_p_real(&self, window: &[f64], value: f64) -> f64 {
+        let disc = self.disc.as_ref().expect("fit first");
+        let mut xs = util::window_to_seq(window, &self.scaler);
+        xs.push(Mat::from_vec(1, 1, vec![self.scaler.transform(value)]));
+        let logit = disc.infer(&xs).get(0, 0);
+        1.0 / (1.0 + (-logit).exp())
+    }
+}
+
+
+/// Persistence accessors (see `crate::persist`).
+impl Wfgan {
+    pub(crate) fn scaler_state(&self) -> MinMaxScaler {
+        self.scaler
+    }
+
+    pub(crate) fn history_len(&self) -> usize {
+        self.history
+    }
+
+    pub(crate) fn set_scaler_state(&mut self, scaler: MinMaxScaler, history: usize) {
+        self.scaler = scaler;
+        self.history = history;
+    }
+
+    pub(crate) fn net_params(&mut self) -> Option<Vec<&mut dbaugur_nn::Param>> {
+        match (&mut self.gen, &mut self.disc) {
+            (Some(g), Some(d)) => {
+                let mut p = g.params_mut();
+                p.extend(d.params_mut());
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Forecaster for Wfgan {
+    fn name(&self) -> &'static str {
+        "WFGAN"
+    }
+
+    fn fit(&mut self, train: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.loss_history.clear();
+        let Some(data) = util::prepare(train, spec) else {
+            self.gen = None;
+            self.disc = None;
+            return;
+        };
+        self.gen = Some(SeqNet::new(self.cfg.hidden, self.cfg.attn, &mut rng));
+        self.disc = Some(SeqNet::new(self.cfg.hidden, self.cfg.attn, &mut rng));
+        self.scaler = data.scaler;
+        let mut opt_g = Adam::new(self.cfg.lr_g);
+        let mut opt_d = Adam::new(self.cfg.lr_d);
+        for _ in 0..self.cfg.epochs {
+            let losses = self.train_epoch(&data, &mut rng, &mut opt_g, &mut opt_d);
+            self.loss_history.push(losses);
+        }
+    }
+
+    fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let Some(gen) = &self.gen else {
+            return window.last().copied().unwrap_or(0.0);
+        };
+        let xs = util::window_to_seq(window, &self.scaler);
+        self.scaler.inverse(gen.infer(&xs).get(0, 0))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // Deployment ships the generator; the discriminator is a training
+        // artifact (it is the learned loss function).
+        match &self.gen {
+            Some(_) => {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut clone = SeqNet::new(self.cfg.hidden, self.cfg.attn, &mut rng);
+                // Same architecture ⇒ same size; avoids cloning caches.
+                let params = clone.params_mut();
+                encoded_size(&params.iter().map(|p| &**p).collect::<Vec<_>>())
+            }
+            None => 0,
+        }
+    }
+}
+
+/// A per-task head of the multi-task WFGAN.
+struct TaskState {
+    attn: TemporalAttention,
+    head: Dense,
+    disc: SeqNet,
+    scaler: MinMaxScaler,
+}
+
+/// Multi-task WFGAN: query and resource forecasting share the
+/// generator's LSTM (Sec. V-A's MTL design).
+pub struct MultiTaskWfgan {
+    /// Hyper-parameters (shared by both tasks).
+    pub cfg: WfganConfig,
+    shared_lstm: Option<Lstm>,
+    tasks: Vec<TaskState>,
+    history: usize,
+}
+
+impl MultiTaskWfgan {
+    /// New multi-task WFGAN.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            cfg: WfganConfig { seed, ..WfganConfig::default() },
+            shared_lstm: None,
+            tasks: Vec::new(),
+            history: 0,
+        }
+    }
+
+    /// Builder: override epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Fit jointly on one query trace and one resource trace (Def. 1's
+    /// `W = (Q, R)`). Each epoch interleaves batches from both tasks;
+    /// shared-LSTM gradients therefore accumulate from both.
+    pub fn fit_joint(&mut self, query: &[f64], resource: &[f64], spec: WindowSpec) {
+        self.history = spec.history;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut lstm = Lstm::new(1, self.cfg.hidden, &mut rng);
+        self.tasks = (0..2)
+            .map(|_| TaskState {
+                attn: TemporalAttention::new(self.cfg.hidden, self.cfg.attn, &mut rng),
+                head: Dense::new(self.cfg.hidden, 1, Activation::Linear, &mut rng),
+                disc: SeqNet::new(self.cfg.hidden, self.cfg.attn, &mut rng),
+                scaler: MinMaxScaler::new(),
+            })
+            .collect();
+        let datas: Vec<Option<SupervisedData>> =
+            vec![util::prepare(query, spec), util::prepare(resource, spec)];
+        for (t, d) in self.tasks.iter_mut().zip(&datas) {
+            if let Some(d) = d {
+                t.scaler = d.scaler;
+            }
+        }
+        let mut opt_g = Adam::new(self.cfg.lr_g);
+        let mut opt_ds: Vec<Adam> = (0..2).map(|_| Adam::new(self.cfg.lr_d)).collect();
+        let cfg = self.cfg.clone();
+        for _ in 0..cfg.epochs {
+            for (ti, data) in datas.iter().enumerate() {
+                let Some(data) = data else { continue };
+                for idxs in util::batches(data.windows.len(), cfg.batch, cfg.max_examples / 2, &mut rng)
+                {
+                    let xs = util::window_batch_seq(data, &idxs);
+                    let y_real = util::target_batch(data, &idxs);
+                    let b = idxs.len();
+                    let ones = Mat::from_fn(b, 1, |_, _| 1.0);
+                    let zeros = Mat::zeros(b, 1);
+                    let task = &mut self.tasks[ti];
+
+                    // Detached generator output for the D update.
+                    let x_fake_detached = {
+                        let hs = lstm.infer_seq(&xs);
+                        task.head.infer(&task.attn.infer(&hs))
+                    };
+                    let real_seq = Wfgan::append(&xs, &y_real);
+                    let logits_real = task.disc.forward(&real_seq);
+                    let (_, g_real) = bce_with_logits(&logits_real, &ones);
+                    task.disc.backward(&g_real);
+                    let fake_seq = Wfgan::append(&xs, &x_fake_detached);
+                    let logits_fake = task.disc.forward(&fake_seq);
+                    let (_, g_fake) = bce_with_logits(&logits_fake, &zeros);
+                    task.disc.backward(&g_fake);
+                    let mut dp = task.disc.params_mut();
+                    clip_global_norm(&mut dp, cfg.clip);
+                    opt_ds[ti].step(&mut dp);
+
+                    // G update through the shared LSTM.
+                    let hs = lstm.forward_seq(&xs);
+                    let ctx = task.attn.forward(&hs);
+                    let x_fake = task.head.forward(&ctx);
+                    let fake_seq = Wfgan::append(&xs, &x_fake);
+                    let logits = task.disc.forward(&fake_seq);
+                    let (_, g_adv) = generator_nonsaturating_loss(&logits);
+                    let dxs = task.disc.backward(&g_adv);
+                    task.disc.zero_grad();
+                    let mut d_value = dxs.last().expect("non-empty sequence").clone();
+                    if cfg.supervised_weight > 0.0 {
+                        for r in 0..b {
+                            let d = 2.0 * cfg.supervised_weight
+                                * (x_fake.get(r, 0) - y_real.get(r, 0))
+                                / b as f64;
+                            let v = d_value.get(r, 0) + d;
+                            d_value.set(r, 0, v);
+                        }
+                    }
+                    let dctx = task.head.backward(&d_value);
+                    let dhs = task.attn.backward(&dctx);
+                    lstm.backward_seq(&dhs);
+                    let mut gp = lstm.params_mut();
+                    gp.extend(task.attn.params_mut());
+                    gp.extend(task.head.params_mut());
+                    clip_global_norm(&mut gp, cfg.clip);
+                    opt_g.step(&mut gp);
+                }
+            }
+        }
+        self.shared_lstm = Some(lstm);
+    }
+
+    fn predict_task(&self, task: usize, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.history, "window length must match fit history");
+        let Some(lstm) = &self.shared_lstm else {
+            return window.last().copied().unwrap_or(0.0);
+        };
+        let t = &self.tasks[task];
+        let xs = util::window_to_seq(window, &t.scaler);
+        let hs = lstm.infer_seq(&xs);
+        let out = t.head.infer(&t.attn.infer(&hs));
+        t.scaler.inverse(out.get(0, 0))
+    }
+
+    /// Forecast the query trace.
+    pub fn predict_query(&self, window: &[f64]) -> f64 {
+        self.predict_task(0, window)
+    }
+
+    /// Forecast the resource trace.
+    pub fn predict_resource(&self, window: &[f64]) -> f64 {
+        self.predict_task(1, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_trace::mse;
+
+    fn cycle_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 100.0 + 80.0 * ((i % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()).collect()
+    }
+
+    fn eval_last(m: &impl Forecaster, series: &[f64], from: usize, to: usize, t: usize) -> f64 {
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for target in from..to {
+            preds.push(m.predict(&series[target - t..target]));
+            truths.push(series[target]);
+        }
+        mse(&preds, &truths)
+    }
+
+    #[test]
+    fn wfgan_learns_cycle_with_supervised_aid() {
+        let series = cycle_series(500);
+        let spec = WindowSpec::new(24, 1);
+        let mut gan = Wfgan::new(2).with_epochs(20);
+        gan.cfg.max_examples = 400;
+        gan.fit(&series[..400], spec);
+        let err = eval_last(&gan, &series, 430, 470, 24);
+        assert!(err < 400.0, "wfgan mse {err} vs amplitude 80 (var ≈ 3200)");
+    }
+
+    #[test]
+    fn pure_adversarial_mode_trains_and_stays_finite() {
+        let series = cycle_series(300);
+        let spec = WindowSpec::new(12, 1);
+        let mut gan = Wfgan::new(3).with_epochs(8).with_supervised_weight(0.0);
+        gan.cfg.max_examples = 200;
+        gan.fit(&series[..250], spec);
+        let p = gan.predict(&series[250 - 12..250]);
+        assert!(p.is_finite());
+        assert!(!gan.loss_history.is_empty());
+        assert!(gan.loss_history.iter().all(|(d, g)| d.is_finite() && g.is_finite()));
+    }
+
+    #[test]
+    fn discriminator_learns_to_score() {
+        // Averaged over many windows, the true continuation should look
+        // more real to D than the anti-phase (in-range but wrong) value.
+        let series = cycle_series(400);
+        let spec = WindowSpec::new(12, 1);
+        let mut gan = Wfgan::new(4).with_epochs(25).with_supervised_weight(0.2);
+        gan.cfg.d_steps = 2;
+        gan.cfg.max_examples = 300;
+        gan.fit(&series[..350], spec);
+        let mut p_true_sum = 0.0;
+        let mut p_wrong_sum = 0.0;
+        let mut n = 0.0;
+        for target in 352..390 {
+            let window = &series[target - 12..target];
+            let truth = series[target];
+            let anti_phase = series[target - 6]; // half a period away
+            p_true_sum += gan.discriminator_p_real(window, truth);
+            p_wrong_sum += gan.discriminator_p_real(window, anti_phase);
+            n += 1.0;
+        }
+        assert!(
+            p_true_sum / n > p_wrong_sum / n,
+            "mean p(real|truth) {} should beat mean p(real|anti-phase) {}",
+            p_true_sum / n,
+            p_wrong_sum / n
+        );
+    }
+
+    #[test]
+    fn unfit_model_falls_back() {
+        let mut gan = Wfgan::new(0);
+        gan.fit(&[1.0], WindowSpec::new(8, 1));
+        gan.history = 2;
+        assert_eq!(gan.predict(&[2.0, 6.0]), 6.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let series = cycle_series(200);
+        let spec = WindowSpec::new(10, 1);
+        let mut a = Wfgan::new(9).with_epochs(2);
+        a.cfg.max_examples = 100;
+        let mut b = Wfgan::new(9).with_epochs(2);
+        b.cfg.max_examples = 100;
+        a.fit(&series, spec);
+        b.fit(&series, spec);
+        let w = &series[150..160];
+        assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn multitask_predicts_both_tasks() {
+        let query = cycle_series(300);
+        let resource: Vec<f64> =
+            (0..300).map(|i| 0.5 + 0.3 * ((i % 12) as f64 / 12.0 * std::f64::consts::TAU).cos()).collect();
+        let spec = WindowSpec::new(12, 1);
+        let mut mt = MultiTaskWfgan::new(5).with_epochs(6);
+        mt.cfg.max_examples = 200;
+        mt.fit_joint(&query[..250], &resource[..250], spec);
+        let qw = &query[238..250];
+        let rw = &resource[238..250];
+        let pq = mt.predict_query(qw);
+        let pr = mt.predict_resource(rw);
+        assert!(pq.is_finite() && pr.is_finite());
+        // Tasks live on very different scales; each prediction should be
+        // in its own task's ballpark.
+        assert!((0.0..=400.0).contains(&pq), "query pred {pq}");
+        assert!((-1.0..=2.0).contains(&pr), "resource pred {pr}");
+    }
+
+    #[test]
+    fn storage_reports_generator_only() {
+        let series = cycle_series(120);
+        let mut gan = Wfgan::new(0).with_epochs(1);
+        gan.cfg.max_examples = 50;
+        gan.fit(&series, WindowSpec::new(10, 1));
+        let lstm = 4 * 30 * (1 + 30 + 1);
+        let attn = 30 * 16 + 16 + 16;
+        let head = 30 + 1;
+        assert_eq!(gan.storage_bytes(), 12 + 8 * 8 + (lstm + attn + head) * 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! Scalar activations and their derivatives.
+
+/// Logistic sigmoid, numerically stable on both tails.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed through its output `s`.
+#[inline]
+pub fn dsigmoid_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// tanh (thin wrapper for symmetry).
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed through its output `t`.
+#[inline]
+pub fn dtanh_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// ReLU.
+#[inline]
+pub fn relu(x: f64) -> f64 {
+    if x > 0.0 {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Derivative of ReLU w.r.t. its input.
+#[inline]
+pub fn drelu(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Leaky ReLU with slope `alpha` on the negative side.
+#[inline]
+pub fn leaky_relu(x: f64, alpha: f64) -> f64 {
+    if x > 0.0 {
+        x
+    } else {
+        alpha * x
+    }
+}
+
+/// Derivative of leaky ReLU.
+#[inline]
+pub fn dleaky_relu(x: f64, alpha: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        alpha
+    }
+}
+
+/// The activation menu for [`crate::dense::Dense`] layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (linear output layers).
+    Linear,
+    /// ReLU.
+    Relu,
+    /// Leaky ReLU with slope 0.01.
+    LeakyRelu,
+    /// tanh.
+    Tanh,
+    /// Sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => relu(x),
+            Activation::LeakyRelu => leaky_relu(x, 0.01),
+            Activation::Tanh => tanh(x),
+            Activation::Sigmoid => sigmoid(x),
+        }
+    }
+
+    /// Derivative w.r.t. the pre-activation, given pre-activation `x` and
+    /// output `y`.
+    #[inline]
+    pub fn derivative(self, x: f64, y: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => drelu(x),
+            Activation::LeakyRelu => dleaky_relu(x, 0.01),
+            Activation::Tanh => dtanh_from_output(y),
+            Activation::Sigmoid => dsigmoid_from_output(y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_on_tails() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(-1000.0).is_finite() && sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for &x in &[-2.0, -0.5, 0.3, 1.7] {
+            for act in [
+                Activation::Linear,
+                Activation::LeakyRelu,
+                Activation::Tanh,
+                Activation::Sigmoid,
+                Activation::Relu,
+            ] {
+                let y = act.apply(x);
+                let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let ana = act.derivative(x, y);
+                assert!(
+                    (num - ana).abs() < 1e-6,
+                    "{act:?} at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_kink() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(drelu(-1.0), 0.0);
+        assert_eq!(drelu(2.0), 1.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Temporal attention over LSTM hidden states (paper Eqns. 2–3).
+//!
+//! "Relying only on the last output may lose information. To fully
+//! exploit the historical knowledge, we introduce the temporal attention
+//! mechanism … we summarize all the hidden states from h_1 to h_T."
+//!
+//! Additive (Bahdanau-style) scoring:
+//! `score_t = vᵀ tanh(h_t Wa + ba)`, `α = softmax_t(score)`,
+//! `context = Σ_t α_t · h_t`.
+
+use crate::init::xavier;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use rand::rngs::StdRng;
+
+/// The attention layer. Input: `T` hidden states of `batch × hidden`;
+/// output: one `batch × hidden` context vector.
+#[derive(Debug, Clone)]
+pub struct TemporalAttention {
+    /// Projection `hidden × attn`.
+    pub wa: Param,
+    /// Projection bias `1 × attn`.
+    pub ba: Param,
+    /// Scoring vector `attn × 1`.
+    pub va: Param,
+    // Caches.
+    hs: Vec<Mat>,
+    us: Vec<Mat>,
+    alpha: Option<Mat>, // batch × T
+}
+
+impl TemporalAttention {
+    /// New layer with `attn`-wide scoring space.
+    pub fn new(hidden: usize, attn: usize, rng: &mut StdRng) -> Self {
+        Self {
+            wa: Param::new(xavier(rng, hidden, attn)),
+            ba: Param::new(Mat::zeros(1, attn)),
+            va: Param::new(xavier(rng, attn, 1)),
+            hs: Vec::new(),
+            us: Vec::new(),
+            alpha: None,
+        }
+    }
+
+    /// Row-wise softmax over a `batch × T` score matrix.
+    fn softmax_rows(scores: &Mat) -> Mat {
+        Mat::from_fn(scores.rows(), scores.cols(), |r, c| {
+            let row = scores.row(r);
+            let mx = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let denom: f64 = row.iter().map(|v| (v - mx).exp()).sum();
+            (scores.get(r, c) - mx).exp() / denom
+        })
+    }
+
+    fn compute(&self, hs: &[Mat]) -> (Vec<Mat>, Mat, Mat) {
+        let batch = hs[0].rows();
+        let t_len = hs.len();
+        let mut us = Vec::with_capacity(t_len);
+        let mut scores = Mat::zeros(batch, t_len);
+        for (t, h) in hs.iter().enumerate() {
+            let mut u = h.matmul(&self.wa.w);
+            u.add_row_broadcast(&self.ba.w);
+            let u = u.map(f64::tanh);
+            let s = u.matmul(&self.va.w); // batch × 1
+            for r in 0..batch {
+                scores.set(r, t, s.get(r, 0));
+            }
+            us.push(u);
+        }
+        let alpha = Self::softmax_rows(&scores);
+        let hidden = hs[0].cols();
+        let mut context = Mat::zeros(batch, hidden);
+        for (t, h) in hs.iter().enumerate() {
+            for r in 0..batch {
+                let a = alpha.get(r, t);
+                for c in 0..hidden {
+                    let v = context.get(r, c) + a * h.get(r, c);
+                    context.set(r, c, v);
+                }
+            }
+        }
+        (us, alpha, context)
+    }
+
+    /// Training forward: caches for backward.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence.
+    pub fn forward(&mut self, hs: &[Mat]) -> Mat {
+        assert!(!hs.is_empty(), "attention needs at least one hidden state");
+        let (us, alpha, context) = self.compute(hs);
+        self.hs = hs.to_vec();
+        self.us = us;
+        self.alpha = Some(alpha);
+        context
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, hs: &[Mat]) -> Mat {
+        assert!(!hs.is_empty(), "attention needs at least one hidden state");
+        self.compute(hs).2
+    }
+
+    /// The last attention weights (`batch × T`), for inspection.
+    pub fn last_alpha(&self) -> Option<&Mat> {
+        self.alpha.as_ref()
+    }
+
+    /// Backward: given `∂L/∂context`, accumulate parameter gradients and
+    /// return `∂L/∂h_t` for every step.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dcontext: &Mat) -> Vec<Mat> {
+        let alpha = self.alpha.as_ref().expect("backward before forward");
+        let t_len = self.hs.len();
+        let batch = dcontext.rows();
+        let hidden = dcontext.cols();
+
+        // context = Σ_t α_t h_t
+        // dα[:,t] = dcontext · h_t ; dh_t += α[:,t] ⊗ dcontext
+        let mut dalpha = Mat::zeros(batch, t_len);
+        let mut dhs: Vec<Mat> = Vec::with_capacity(t_len);
+        for (t, h) in self.hs.iter().enumerate() {
+            let mut dh = Mat::zeros(batch, hidden);
+            for r in 0..batch {
+                let mut dot = 0.0;
+                let a = alpha.get(r, t);
+                for c in 0..hidden {
+                    dot += dcontext.get(r, c) * h.get(r, c);
+                    dh.set(r, c, a * dcontext.get(r, c));
+                }
+                dalpha.set(r, t, dot);
+            }
+            dhs.push(dh);
+        }
+
+        // Softmax backward per row: ds = α ⊙ (dα − Σ_t α dα).
+        let mut dscore = Mat::zeros(batch, t_len);
+        for r in 0..batch {
+            let mut dot = 0.0;
+            for t in 0..t_len {
+                dot += alpha.get(r, t) * dalpha.get(r, t);
+            }
+            for t in 0..t_len {
+                dscore.set(r, t, alpha.get(r, t) * (dalpha.get(r, t) - dot));
+            }
+        }
+
+        // score_t = u_t @ va ; u_t = tanh(h_t Wa + ba)
+        for (t, u) in self.us.iter().enumerate() {
+            let ds_t = Mat::from_fn(batch, 1, |r, _| dscore.get(r, t));
+            self.va.g.add_assign(&u.t_matmul(&ds_t));
+            let du = ds_t.matmul_t(&self.va.w); // batch × attn
+            let da = Mat::from_fn(batch, u.cols(), |r, c| {
+                let uv = u.get(r, c);
+                du.get(r, c) * (1.0 - uv * uv)
+            });
+            self.wa.g.add_assign(&self.hs[t].t_matmul(&da));
+            self.ba.g.add_assign(&da.sum_rows());
+            dhs[t].add_assign(&da.matmul_t(&self.wa.w));
+        }
+        dhs
+    }
+}
+
+impl HasParams for TemporalAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wa, &mut self.ba, &mut self.va]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check_seq;
+    use rand::SeedableRng;
+
+    fn states(t: usize, batch: usize, hidden: usize) -> Vec<Mat> {
+        (0..t)
+            .map(|ti| {
+                Mat::from_fn(batch, hidden, |r, c| ((ti + 2 * r + 3 * c) as f64 * 0.21).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alpha_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut att = TemporalAttention::new(4, 3, &mut rng);
+        let hs = states(6, 3, 4);
+        att.forward(&hs);
+        let alpha = att.last_alpha().expect("cached");
+        for r in 0..3 {
+            let s: f64 = alpha.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(alpha.row(r).iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn context_is_convex_combination() {
+        // With T identical hidden states, the context equals that state.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut att = TemporalAttention::new(3, 2, &mut rng);
+        let h = Mat::from_fn(2, 3, |r, c| (r + c) as f64);
+        let hs = vec![h.clone(); 5];
+        let ctx = att.forward(&hs);
+        for i in 0..ctx.len() {
+            assert!((ctx.as_slice()[i] - h.as_slice()[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut att = TemporalAttention::new(4, 4, &mut rng);
+        let hs = states(5, 2, 4);
+        let a = att.forward(&hs);
+        let b = att.infer(&hs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut att = TemporalAttention::new(3, 2, &mut rng);
+        let hs = states(4, 2, 3);
+        grad_check_seq(
+            &mut att,
+            &hs,
+            |m, hs| m.forward(hs),
+            |m, g| m.backward(g),
+            1e-5,
+            5e-5,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hidden state")]
+    fn empty_sequence_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut att = TemporalAttention::new(2, 2, &mut rng);
+        att.forward(&[]);
+    }
+}

@@ -1,0 +1,384 @@
+//! Dilated causal 1-D convolutions and residual TCN blocks.
+//!
+//! "TCN employs dilated convolutions that helps cover the longer workload
+//! information … [and] offers a wider field of view at the same
+//! computational cost" (paper Table I / Sec. V-C). The evaluation stacks
+//! five layers with dilation factors 1, 2, 4, 8, 16.
+//!
+//! Sequences are time-major: `T` matrices of `batch × channels`. A causal
+//! tap `j` with dilation `d` reads `x_{t − j·d}`, with zero padding for
+//! negative times, so output `t` never sees the future.
+
+use crate::init::he_with_fan_in;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use rand::rngs::StdRng;
+
+/// A causal dilated convolution layer.
+#[derive(Debug, Clone)]
+pub struct CausalConv1d {
+    /// One `in × out` weight per tap, tap 0 reading the current step.
+    pub taps: Vec<Param>,
+    /// Bias `1 × out`.
+    pub b: Param,
+    dilation: usize,
+    inputs: Vec<Mat>,
+}
+
+impl CausalConv1d {
+    /// New layer with `kernel` taps and the given dilation.
+    ///
+    /// # Panics
+    /// Panics if `kernel == 0` or `dilation == 0`.
+    pub fn new(
+        input: usize,
+        output: usize,
+        kernel: usize,
+        dilation: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(dilation > 0, "dilation must be positive");
+        // The layer's fan-in is kernel × input: every output unit sums
+        // contributions from all taps.
+        let taps = (0..kernel)
+            .map(|_| Param::new(he_with_fan_in(rng, input, output, kernel * input)))
+            .collect();
+        Self { taps, b: Param::new(Mat::zeros(1, output)), dilation, inputs: Vec::new() }
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.b.w.cols()
+    }
+
+    /// The receptive field added by this layer: `(kernel−1)·dilation`.
+    pub fn receptive_field(&self) -> usize {
+        (self.taps.len() - 1) * self.dilation
+    }
+
+    fn apply(&self, xs: &[Mat]) -> Vec<Mat> {
+        let batch = xs[0].rows();
+        let out_dim = self.output_dim();
+        let mut ys = Vec::with_capacity(xs.len());
+        for t in 0..xs.len() {
+            let mut y = Mat::zeros(batch, out_dim);
+            y.add_row_broadcast(&self.b.w);
+            for (j, tap) in self.taps.iter().enumerate() {
+                let offset = j * self.dilation;
+                if offset > t {
+                    continue; // zero padding
+                }
+                y.add_assign(&xs[t - offset].matmul(&tap.w));
+            }
+            ys.push(y);
+        }
+        ys
+    }
+
+    /// Training forward (caches inputs).
+    ///
+    /// # Panics
+    /// Panics on an empty sequence.
+    pub fn forward_seq(&mut self, xs: &[Mat]) -> Vec<Mat> {
+        assert!(!xs.is_empty(), "conv needs at least one timestep");
+        self.inputs = xs.to_vec();
+        self.apply(xs)
+    }
+
+    /// Inference-only forward.
+    pub fn infer_seq(&self, xs: &[Mat]) -> Vec<Mat> {
+        assert!(!xs.is_empty(), "conv needs at least one timestep");
+        self.apply(xs)
+    }
+
+    /// Backward: per-step output gradients in, per-step input gradients
+    /// out; parameter gradients accumulate.
+    pub fn backward_seq(&mut self, grad_ys: &[Mat]) -> Vec<Mat> {
+        assert_eq!(grad_ys.len(), self.inputs.len(), "backward length mismatch");
+        let batch = grad_ys[0].rows();
+        let in_dim = self.taps[0].w.rows();
+        let mut dxs = vec![Mat::zeros(batch, in_dim); self.inputs.len()];
+        for (t, dy) in grad_ys.iter().enumerate() {
+            self.b.g.add_assign(&dy.sum_rows());
+            for (j, tap) in self.taps.iter_mut().enumerate() {
+                let offset = j * self.dilation;
+                if offset > t {
+                    continue;
+                }
+                tap.g.add_assign(&self.inputs[t - offset].t_matmul(dy));
+                dxs[t - offset].add_assign(&dy.matmul_t(&tap.w));
+            }
+        }
+        dxs
+    }
+}
+
+impl HasParams for CausalConv1d {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v: Vec<&mut Param> = self.taps.iter_mut().collect();
+        v.push(&mut self.b);
+        v
+    }
+}
+
+/// A residual TCN block: `out = ReLU(conv2(ReLU(conv1(x))) + res(x))`,
+/// with a 1×1 convolution on the residual path when channel widths
+/// differ.
+#[derive(Debug, Clone)]
+pub struct TcnBlock {
+    conv1: CausalConv1d,
+    conv2: CausalConv1d,
+    res: Option<CausalConv1d>,
+    // Caches: pre-activation values for the two ReLUs.
+    z1: Vec<Mat>,
+    sum: Vec<Mat>,
+}
+
+impl TcnBlock {
+    /// Build a block with the given dilation (both convolutions share
+    /// it, as in the reference TCN).
+    pub fn new(
+        input: usize,
+        output: usize,
+        kernel: usize,
+        dilation: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let conv1 = CausalConv1d::new(input, output, kernel, dilation, rng);
+        let conv2 = CausalConv1d::new(output, output, kernel, dilation, rng);
+        let res = (input != output).then(|| CausalConv1d::new(input, output, 1, 1, rng));
+        Self { conv1, conv2, res, z1: Vec::new(), sum: Vec::new() }
+    }
+
+    /// Receptive field added by the block.
+    pub fn receptive_field(&self) -> usize {
+        self.conv1.receptive_field() + self.conv2.receptive_field()
+    }
+
+    fn relu_seq(zs: &[Mat]) -> Vec<Mat> {
+        zs.iter().map(|z| z.map(|v| if v > 0.0 { v } else { 0.0 })).collect()
+    }
+
+    /// Training forward.
+    pub fn forward_seq(&mut self, xs: &[Mat]) -> Vec<Mat> {
+        let z1 = self.conv1.forward_seq(xs);
+        let a1 = Self::relu_seq(&z1);
+        let z2 = self.conv2.forward_seq(&a1);
+        let r = match &mut self.res {
+            Some(conv) => conv.forward_seq(xs),
+            None => xs.to_vec(),
+        };
+        let mut sum = Vec::with_capacity(z2.len());
+        for (z, rr) in z2.iter().zip(&r) {
+            let mut s = z.clone();
+            s.add_assign(rr);
+            sum.push(s);
+        }
+        let out = Self::relu_seq(&sum);
+        self.z1 = z1;
+        self.sum = sum;
+        out
+    }
+
+    /// Inference-only forward.
+    pub fn infer_seq(&self, xs: &[Mat]) -> Vec<Mat> {
+        let a1 = Self::relu_seq(&self.conv1.infer_seq(xs));
+        let z2 = self.conv2.infer_seq(&a1);
+        let r = match &self.res {
+            Some(conv) => conv.infer_seq(xs),
+            None => xs.to_vec(),
+        };
+        let mut out = Vec::with_capacity(z2.len());
+        for (z, rr) in z2.iter().zip(&r) {
+            let mut s = z.clone();
+            s.add_assign(rr);
+            out.push(s.map(|v| if v > 0.0 { v } else { 0.0 }));
+        }
+        out
+    }
+
+    /// Backward through the block.
+    pub fn backward_seq(&mut self, grad_outs: &[Mat]) -> Vec<Mat> {
+        // Through the final ReLU.
+        let dsum: Vec<Mat> = grad_outs
+            .iter()
+            .zip(&self.sum)
+            .map(|(g, s)| {
+                Mat::from_fn(g.rows(), g.cols(), |r, c| {
+                    if s.get(r, c) > 0.0 {
+                        g.get(r, c)
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect();
+        // Branch 1: conv2 chain.
+        let da1 = self.conv2.backward_seq(&dsum);
+        let dz1: Vec<Mat> = da1
+            .iter()
+            .zip(&self.z1)
+            .map(|(g, z)| {
+                Mat::from_fn(g.rows(), g.cols(), |r, c| {
+                    if z.get(r, c) > 0.0 {
+                        g.get(r, c)
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect();
+        let mut dx = self.conv1.backward_seq(&dz1);
+        // Branch 2: residual path.
+        match &mut self.res {
+            Some(conv) => {
+                let dres = conv.backward_seq(&dsum);
+                for (a, b) in dx.iter_mut().zip(&dres) {
+                    a.add_assign(b);
+                }
+            }
+            None => {
+                for (a, b) in dx.iter_mut().zip(&dsum) {
+                    a.add_assign(b);
+                }
+            }
+        }
+        dx
+    }
+}
+
+impl HasParams for TcnBlock {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.conv1.params_mut();
+        v.extend(self.conv2.params_mut());
+        if let Some(res) = &mut self.res {
+            v.extend(res.params_mut());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check_seq;
+    use rand::SeedableRng;
+
+    fn seq(t: usize, batch: usize, dim: usize) -> Vec<Mat> {
+        (0..t)
+            .map(|ti| Mat::from_fn(batch, dim, |r, c| ((ti * 5 + r + c) as f64 * 0.17).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn causality_output_ignores_future() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = CausalConv1d::new(1, 2, 3, 2, &mut rng);
+        let xs = seq(10, 1, 1);
+        let ys = conv.infer_seq(&xs);
+        // Changing a future input must not affect an earlier output.
+        let mut xs2 = xs.clone();
+        xs2[7].set(0, 0, 99.0);
+        let ys2 = conv.infer_seq(&xs2);
+        for t in 0..7 {
+            assert_eq!(ys[t], ys2[t], "output {t} must not see input 7");
+        }
+        assert_ne!(ys[7], ys2[7]);
+    }
+
+    #[test]
+    fn dilation_sets_receptive_field() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = CausalConv1d::new(1, 1, 3, 4, &mut rng);
+        assert_eq!(conv.receptive_field(), 8);
+        // Output at t depends on inputs {t, t-4, t-8} only.
+        let xs = seq(12, 1, 1);
+        let ys = conv.infer_seq(&xs);
+        let mut xs2 = xs.clone();
+        xs2[11 - 3].set(0, 0, 42.0); // t-3 is NOT a tap of t=11
+        let ys2 = conv.infer_seq(&xs2);
+        assert_eq!(ys[11], ys2[11]);
+        let mut xs3 = xs.clone();
+        xs3[11 - 4].set(0, 0, 42.0); // t-4 IS a tap
+        let ys3 = conv.infer_seq(&xs3);
+        assert_ne!(ys[11], ys3[11]);
+    }
+
+    #[test]
+    fn conv_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = CausalConv1d::new(2, 3, 2, 2, &mut rng);
+        let xs = seq(5, 2, 2);
+        grad_check_seq(
+            &mut conv,
+            &xs,
+            |m, xs| {
+                let ys = m.forward_seq(xs);
+                let mut acc = Mat::zeros(ys[0].rows(), ys[0].cols());
+                for y in &ys {
+                    acc.add_assign(y);
+                }
+                acc
+            },
+            |m, g| m.backward_seq(&vec![g.clone(); 5]),
+            1e-5,
+            5e-5,
+        );
+    }
+
+    #[test]
+    fn tcn_block_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut block = TcnBlock::new(2, 3, 2, 1, &mut rng);
+        let xs = seq(4, 2, 2);
+        grad_check_seq(
+            &mut block,
+            &xs,
+            |m, xs| {
+                let ys = m.forward_seq(xs);
+                let mut acc = Mat::zeros(ys[0].rows(), ys[0].cols());
+                for y in &ys {
+                    acc.add_assign(y);
+                }
+                acc
+            },
+            |m, g| m.backward_seq(&vec![g.clone(); 4]),
+            1e-5,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn tcn_block_same_width_uses_identity_residual() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut block = TcnBlock::new(3, 3, 2, 1, &mut rng);
+        // conv1 (2 taps · 3×3 + bias) + conv2 (2 taps · 3×3 + bias), no res conv.
+        assert_eq!(block.num_params(), 2 * (2 * 9 + 3));
+    }
+
+    #[test]
+    fn tcn_block_width_change_adds_projection() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut block = TcnBlock::new(2, 3, 2, 1, &mut rng);
+        let expected = (2 * 2 * 3 + 3) + (2 * 3 * 3 + 3) + (2 * 3 + 3);
+        assert_eq!(block.num_params(), expected);
+    }
+
+    #[test]
+    fn infer_matches_forward_for_block() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut block = TcnBlock::new(1, 2, 3, 2, &mut rng);
+        let xs = seq(8, 2, 1);
+        let a = block.forward_seq(&xs);
+        let b = block.infer_seq(&xs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be positive")]
+    fn zero_kernel_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        CausalConv1d::new(1, 1, 0, 1, &mut rng);
+    }
+}

@@ -1,0 +1,235 @@
+//! Fully connected layer `y = act(x @ W + b)` with cached backward.
+
+use crate::activation::Activation;
+use crate::init::xavier;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use rand::rngs::StdRng;
+
+/// A dense layer over batched row-vector inputs (`batch × in`).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight `in × out`.
+    pub w: Param,
+    /// Bias `1 × out`.
+    pub b: Param,
+    act: Activation,
+    // Forward caches.
+    input: Option<Mat>,
+    pre: Option<Mat>,
+    out: Option<Mat>,
+}
+
+impl Dense {
+    /// New layer with Xavier-initialized weights.
+    pub fn new(input: usize, output: usize, act: Activation, rng: &mut StdRng) -> Self {
+        Self {
+            w: Param::new(xavier(rng, input, output)),
+            b: Param::new(Mat::zeros(1, output)),
+            act,
+            input: None,
+            pre: None,
+            out: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.w.cols()
+    }
+
+    /// Forward pass, caching activations for `backward`.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let mut pre = x.matmul(&self.w.w);
+        pre.add_row_broadcast(&self.b.w);
+        let out = match self.act {
+            Activation::Linear => pre.clone(),
+            act => pre.map(|v| act.apply(v)),
+        };
+        self.input = Some(x.clone());
+        self.pre = Some(pre);
+        self.out = Some(out.clone());
+        out
+    }
+
+    /// Inference-only forward (no caches touched).
+    pub fn infer(&self, x: &Mat) -> Mat {
+        let mut pre = x.matmul(&self.w.w);
+        pre.add_row_broadcast(&self.b.w);
+        match self.act {
+            Activation::Linear => pre,
+            act => pre.map(|v| act.apply(v)),
+        }
+    }
+
+    /// Backward pass: accumulate parameter gradients, return `∂L/∂x`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let input = self.input.as_ref().expect("backward before forward");
+        let pre = self.pre.as_ref().expect("backward before forward");
+        let out = self.out.as_ref().expect("backward before forward");
+        // δ = grad_out ⊙ act'(pre)
+        let mut delta = grad_out.clone();
+        if self.act != Activation::Linear {
+            for i in 0..delta.len() {
+                let d = self.act.derivative(pre.as_slice()[i], out.as_slice()[i]);
+                delta.as_mut_slice()[i] *= d;
+            }
+        }
+        self.w.g.add_assign(&input.t_matmul(&delta));
+        self.b.g.add_assign(&delta.sum_rows());
+        delta.matmul_t(&self.w.w)
+    }
+}
+
+impl HasParams for Dense {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// A stack of dense layers (the MLP baseline).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build from layer widths and one activation for all hidden layers;
+    /// the final layer is linear. `widths = [in, h1, ..., out]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], hidden_act: Activation, rng: &mut StdRng) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut layers = Vec::with_capacity(widths.len() - 1);
+        for i in 0..widths.len() - 1 {
+            let act = if i + 2 == widths.len() { Activation::Linear } else { hidden_act };
+            layers.push(Dense::new(widths[i], widths[i + 1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// Training forward.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h);
+        }
+        h
+    }
+
+    /// Inference forward.
+    pub fn infer(&self, x: &Mat) -> Mat {
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.infer(&h);
+        }
+        h
+    }
+
+    /// Backward through the stack.
+    pub fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// The layers (for inspection).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+}
+
+impl HasParams for Mlp {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Mat::from_fn(5, 4, |r, c| (r + c) as f64 * 0.1);
+        let y = d.forward(&x);
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(d.infer(&x), y, "infer must match forward");
+    }
+
+    #[test]
+    fn dense_gradients_check_out() {
+        for act in [Activation::Linear, Activation::Tanh, Activation::Sigmoid, Activation::LeakyRelu] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut d = Dense::new(3, 2, act, &mut rng);
+            let x = Mat::from_fn(4, 3, |r, c| ((r * 3 + c) as f64) * 0.17 - 0.6);
+            grad_check(
+                &mut d,
+                &x,
+                |layer, x| layer.forward(x),
+                |layer, g| layer.backward(g),
+                1e-5,
+                2e-5,
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = Mlp::new(&[3, 5, 2], Activation::Tanh, &mut rng);
+        let x = Mat::from_fn(3, 3, |r, c| ((r + c) as f64) * 0.2 - 0.3);
+        grad_check(
+            &mut m,
+            &x,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            1e-5,
+            2e-5,
+        );
+    }
+
+    #[test]
+    fn mlp_final_layer_is_linear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[2, 4, 1], Activation::Relu, &mut rng);
+        // A linear final layer can produce negative outputs even with a
+        // ReLU hidden activation.
+        let any_negative = (0..20).any(|i| {
+            let x = Mat::from_fn(1, 2, |_, c| (i as f64 - 10.0) * (c as f64 + 1.0));
+            m.infer(&x).get(0, 0) < 0.0
+        });
+        assert!(any_negative);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Mlp::new(&[30, 32, 16, 1], Activation::Relu, &mut rng);
+        // (30*32 + 32) + (32*16 + 16) + (16*1 + 1)
+        assert_eq!(m.num_params(), 30 * 32 + 32 + 32 * 16 + 16 + 16 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(2, 2, Activation::Linear, &mut rng);
+        d.backward(&Mat::zeros(1, 2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer's `backward` is verified against central differences on a
+//! scalar loss `L = Σ y ⊙ R` for a fixed pseudo-random weighting `R`.
+//! This is the correctness backbone of the whole substrate: if these
+//! checks pass for a layer, its analytic gradients are trustworthy.
+
+use crate::mat::Mat;
+use crate::param::HasParams;
+
+/// Deterministic pseudo-random weights in `[-1, 1]` (hash of indices);
+/// keeps the check independent of `rand` state.
+fn weight_for(r: usize, c: usize) -> f64 {
+    let mut h = (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 29;
+    (h as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Check analytic gradients of `model` at input `x`.
+///
+/// * `fwd` runs a training forward pass and returns the output;
+/// * `bwd` receives `∂L/∂y` and must return `∂L/∂x` while accumulating
+///   parameter gradients.
+///
+/// Asserts that every parameter gradient and the input gradient match
+/// central finite differences within `tol` (relative to magnitude).
+/// To keep tests fast, at most 64 elements per parameter are probed
+/// (strided to cover the tensor).
+pub fn grad_check<M: HasParams>(
+    model: &mut M,
+    x: &Mat,
+    mut fwd: impl FnMut(&mut M, &Mat) -> Mat,
+    mut bwd: impl FnMut(&mut M, &Mat) -> Mat,
+    eps: f64,
+    tol: f64,
+) {
+    let y0 = fwd(model, x);
+    let r = Mat::from_fn(y0.rows(), y0.cols(), weight_for);
+    let loss_of = |y: &Mat| -> f64 { y.hadamard(&r).as_slice().iter().sum() };
+
+    model.zero_grad();
+    let dx = bwd(model, &r);
+    assert_eq!(dx.shape(), x.shape(), "input gradient shape mismatch");
+
+    // Snapshot analytic parameter gradients.
+    let analytic: Vec<Vec<f64>> =
+        model.params_mut().iter().map(|p| p.g.as_slice().to_vec()).collect();
+
+    // Parameter gradients.
+    let num_params = analytic.len();
+    for pi in 0..num_params {
+        let n = analytic[pi].len();
+        let stride = (n / 64).max(1);
+        for ei in (0..n).step_by(stride) {
+            let orig = {
+                let mut ps = model.params_mut();
+                let v = ps[pi].w.as_slice()[ei];
+                ps[pi].w.as_mut_slice()[ei] = v + eps;
+                v
+            };
+            let lp = loss_of(&fwd(model, x));
+            {
+                let mut ps = model.params_mut();
+                ps[pi].w.as_mut_slice()[ei] = orig - eps;
+            }
+            let lm = loss_of(&fwd(model, x));
+            {
+                let mut ps = model.params_mut();
+                ps[pi].w.as_mut_slice()[ei] = orig;
+            }
+            let numeric = (lp - lm) / (2.0 * eps);
+            let ana = analytic[pi][ei];
+            let scale = numeric.abs().max(ana.abs()).max(1.0);
+            assert!(
+                (numeric - ana).abs() <= tol * scale,
+                "param {pi} elem {ei}: numeric {numeric} vs analytic {ana}"
+            );
+        }
+    }
+
+    // Input gradient.
+    let mut xp = x.clone();
+    let n = x.len();
+    let stride = (n / 64).max(1);
+    for ei in (0..n).step_by(stride) {
+        let orig = xp.as_slice()[ei];
+        xp.as_mut_slice()[ei] = orig + eps;
+        let lp = loss_of(&fwd(model, &xp));
+        xp.as_mut_slice()[ei] = orig - eps;
+        let lm = loss_of(&fwd(model, &xp));
+        xp.as_mut_slice()[ei] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let ana = dx.as_slice()[ei];
+        let scale = numeric.abs().max(ana.abs()).max(1.0);
+        assert!(
+            (numeric - ana).abs() <= tol * scale,
+            "input elem {ei}: numeric {numeric} vs analytic {ana}"
+        );
+    }
+}
+
+/// Sequence-input variant: `x` is a time-major list of `batch × dim`
+/// matrices and `bwd` returns per-step input gradients.
+pub fn grad_check_seq<M: HasParams>(
+    model: &mut M,
+    xs: &[Mat],
+    mut fwd: impl FnMut(&mut M, &[Mat]) -> Mat,
+    mut bwd: impl FnMut(&mut M, &Mat) -> Vec<Mat>,
+    eps: f64,
+    tol: f64,
+) {
+    let y0 = fwd(model, xs);
+    let r = Mat::from_fn(y0.rows(), y0.cols(), weight_for);
+    let loss_of = |y: &Mat| -> f64 { y.hadamard(&r).as_slice().iter().sum() };
+
+    model.zero_grad();
+    let dxs = bwd(model, &r);
+    assert_eq!(dxs.len(), xs.len(), "per-step gradient count mismatch");
+
+    let analytic: Vec<Vec<f64>> =
+        model.params_mut().iter().map(|p| p.g.as_slice().to_vec()).collect();
+
+    for pi in 0..analytic.len() {
+        let n = analytic[pi].len();
+        let stride = (n / 48).max(1);
+        for ei in (0..n).step_by(stride) {
+            let orig = {
+                let mut ps = model.params_mut();
+                let v = ps[pi].w.as_slice()[ei];
+                ps[pi].w.as_mut_slice()[ei] = v + eps;
+                v
+            };
+            let lp = loss_of(&fwd(model, xs));
+            {
+                let mut ps = model.params_mut();
+                ps[pi].w.as_mut_slice()[ei] = orig - eps;
+            }
+            let lm = loss_of(&fwd(model, xs));
+            {
+                let mut ps = model.params_mut();
+                ps[pi].w.as_mut_slice()[ei] = orig;
+            }
+            let numeric = (lp - lm) / (2.0 * eps);
+            let ana = analytic[pi][ei];
+            let scale = numeric.abs().max(ana.abs()).max(1.0);
+            assert!(
+                (numeric - ana).abs() <= tol * scale,
+                "param {pi} elem {ei}: numeric {numeric} vs analytic {ana}"
+            );
+        }
+    }
+
+    // Input gradients, probing a few steps.
+    let mut xs_mut: Vec<Mat> = xs.to_vec();
+    let step_stride = (xs.len() / 4).max(1);
+    for t in (0..xs.len()).step_by(step_stride) {
+        let n = xs[t].len();
+        let stride = (n / 16).max(1);
+        for ei in (0..n).step_by(stride) {
+            let orig = xs_mut[t].as_slice()[ei];
+            xs_mut[t].as_mut_slice()[ei] = orig + eps;
+            let lp = loss_of(&fwd(model, &xs_mut));
+            xs_mut[t].as_mut_slice()[ei] = orig - eps;
+            let lm = loss_of(&fwd(model, &xs_mut));
+            xs_mut[t].as_mut_slice()[ei] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let ana = dxs[t].as_slice()[ei];
+            let scale = numeric.abs().max(ana.abs()).max(1.0);
+            assert!(
+                (numeric - ana).abs() <= tol * scale,
+                "step {t} elem {ei}: numeric {numeric} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_for_is_deterministic_and_bounded() {
+        for r in 0..10 {
+            for c in 0..10 {
+                let w = weight_for(r, c);
+                assert!((-1.0..=1.0).contains(&w));
+                assert_eq!(w, weight_for(r, c));
+            }
+        }
+        assert_ne!(weight_for(0, 1), weight_for(1, 0));
+    }
+}

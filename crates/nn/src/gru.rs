@@ -1,0 +1,301 @@
+//! GRU (gated recurrent unit) with full backpropagation-through-time.
+//!
+//! Not used by the paper's models (which standardize on LSTM), but a
+//! standard alternative recurrent cell for the substrate: fewer
+//! parameters per hidden unit (3 gates vs 4) and often comparable
+//! accuracy on short windows. `GruForecaster` in `dbaugur-models` wires
+//! it into the zoo for extended comparisons.
+//!
+//! Gate layout in the fused matrices is `[r | z | n]` (reset, update,
+//! candidate), each `hidden` columns wide, with separate input-side and
+//! hidden-side biases as in cuDNN/PyTorch:
+//!
+//! ```text
+//! r = σ(x·Wx_r + bx_r + h·Wh_r + bh_r)
+//! z = σ(x·Wx_z + bx_z + h·Wh_z + bh_z)
+//! n = tanh(x·Wx_n + bx_n + r ⊙ (h·Wh_n + bh_n))
+//! h' = (1 − z) ⊙ n + z ⊙ h
+//! ```
+
+use crate::activation::{sigmoid, tanh};
+use crate::init::xavier;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use rand::rngs::StdRng;
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    r: Mat,
+    z: Mat,
+    n: Mat,
+    /// `h_prev·Wh_n + bh_n` before the reset gate multiplies it.
+    hh_n: Mat,
+    h_prev: Mat,
+}
+
+/// A single GRU layer over time-major sequences.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    /// Input weights, `input × 3·hidden`.
+    pub wx: Param,
+    /// Recurrent weights, `hidden × 3·hidden`.
+    pub wh: Param,
+    /// Input-side bias, `1 × 3·hidden`.
+    pub bx: Param,
+    /// Hidden-side bias, `1 × 3·hidden`.
+    pub bh: Param,
+    hidden: usize,
+    input: usize,
+    caches: Vec<StepCache>,
+    inputs: Vec<Mat>,
+}
+
+fn col_block(m: &Mat, k: usize, hidden: usize) -> Mat {
+    Mat::from_fn(m.rows(), hidden, |r, c| m.get(r, k * hidden + c))
+}
+
+fn add_col_block(m: &mut Mat, k: usize, hidden: usize, block: &Mat) {
+    for r in 0..m.rows() {
+        for c in 0..hidden {
+            let v = m.get(r, k * hidden + c) + block.get(r, c);
+            m.set(r, k * hidden + c, v);
+        }
+    }
+}
+
+impl Gru {
+    /// New GRU layer.
+    pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Self {
+            wx: Param::new(xavier(rng, input, 3 * hidden)),
+            wh: Param::new(xavier(rng, hidden, 3 * hidden)),
+            bx: Param::new(Mat::zeros(1, 3 * hidden)),
+            bh: Param::new(Mat::zeros(1, 3 * hidden)),
+            hidden,
+            input,
+            caches: Vec::new(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn step(&self, x: &Mat, h_prev: &Mat) -> (Mat, StepCache) {
+        let hd = self.hidden;
+        let mut ax = x.matmul(&self.wx.w);
+        ax.add_row_broadcast(&self.bx.w);
+        let mut ah = h_prev.matmul(&self.wh.w);
+        ah.add_row_broadcast(&self.bh.w);
+        let r = Mat::from_fn(x.rows(), hd, |i, j| sigmoid(ax.get(i, j) + ah.get(i, j)));
+        let z =
+            Mat::from_fn(x.rows(), hd, |i, j| sigmoid(ax.get(i, hd + j) + ah.get(i, hd + j)));
+        let hh_n = col_block(&ah, 2, hd);
+        let n = Mat::from_fn(x.rows(), hd, |i, j| {
+            tanh(ax.get(i, 2 * hd + j) + r.get(i, j) * hh_n.get(i, j))
+        });
+        let h = Mat::from_fn(x.rows(), hd, |i, j| {
+            (1.0 - z.get(i, j)) * n.get(i, j) + z.get(i, j) * h_prev.get(i, j)
+        });
+        (h, StepCache { r, z, n, hh_n, h_prev: h_prev.clone() })
+    }
+
+    /// Run over a sequence, returning every hidden state; caches for
+    /// BPTT.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence or input-width mismatch.
+    pub fn forward_seq(&mut self, xs: &[Mat]) -> Vec<Mat> {
+        assert!(!xs.is_empty(), "GRU needs at least one timestep");
+        let batch = xs[0].rows();
+        self.caches.clear();
+        self.inputs = xs.to_vec();
+        let mut h = Mat::zeros(batch, self.hidden);
+        let mut hs = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input, "GRU input width mismatch");
+            let (nh, cache) = self.step(x, &h);
+            hs.push(nh.clone());
+            self.caches.push(cache);
+            h = nh;
+        }
+        hs
+    }
+
+    /// Inference-only forward.
+    pub fn infer_seq(&self, xs: &[Mat]) -> Vec<Mat> {
+        assert!(!xs.is_empty(), "GRU needs at least one timestep");
+        let batch = xs[0].rows();
+        let mut h = Mat::zeros(batch, self.hidden);
+        let mut hs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (nh, _) = self.step(x, &h);
+            hs.push(nh.clone());
+            h = nh;
+        }
+        hs
+    }
+
+    /// BPTT over the cached sequence; returns per-step input gradients.
+    ///
+    /// # Panics
+    /// Panics if not preceded by a matching `forward_seq`.
+    pub fn backward_seq(&mut self, grad_hs: &[Mat]) -> Vec<Mat> {
+        assert_eq!(grad_hs.len(), self.caches.len(), "backward length mismatch");
+        let t_len = grad_hs.len();
+        let batch = grad_hs[0].rows();
+        let hd = self.hidden;
+        let mut dh_next = Mat::zeros(batch, hd);
+        let mut dxs = vec![Mat::zeros(batch, self.input); t_len];
+        for t in (0..t_len).rev() {
+            let c = &self.caches[t];
+            let mut dh = grad_hs[t].clone();
+            dh.add_assign(&dh_next);
+            // h' = (1−z)·n + z·h_prev
+            let dz = Mat::from_fn(batch, hd, |i, j| {
+                dh.get(i, j) * (c.h_prev.get(i, j) - c.n.get(i, j))
+            });
+            let dn = Mat::from_fn(batch, hd, |i, j| dh.get(i, j) * (1.0 - c.z.get(i, j)));
+            let mut dh_prev = Mat::from_fn(batch, hd, |i, j| dh.get(i, j) * c.z.get(i, j));
+            // Through the gate nonlinearities.
+            let da_n = Mat::from_fn(batch, hd, |i, j| {
+                let n = c.n.get(i, j);
+                dn.get(i, j) * (1.0 - n * n)
+            });
+            let dr = Mat::from_fn(batch, hd, |i, j| da_n.get(i, j) * c.hh_n.get(i, j));
+            let dhh_n = Mat::from_fn(batch, hd, |i, j| da_n.get(i, j) * c.r.get(i, j));
+            let da_r = Mat::from_fn(batch, hd, |i, j| {
+                let r = c.r.get(i, j);
+                dr.get(i, j) * r * (1.0 - r)
+            });
+            let da_z = Mat::from_fn(batch, hd, |i, j| {
+                let z = c.z.get(i, j);
+                dz.get(i, j) * z * (1.0 - z)
+            });
+            // Fused input-side gradient: [da_r | da_z | da_n].
+            let mut da_x = Mat::zeros(batch, 3 * hd);
+            add_col_block(&mut da_x, 0, hd, &da_r);
+            add_col_block(&mut da_x, 1, hd, &da_z);
+            add_col_block(&mut da_x, 2, hd, &da_n);
+            // Fused hidden-side gradient: [da_r | da_z | dhh_n].
+            let mut da_h = Mat::zeros(batch, 3 * hd);
+            add_col_block(&mut da_h, 0, hd, &da_r);
+            add_col_block(&mut da_h, 1, hd, &da_z);
+            add_col_block(&mut da_h, 2, hd, &dhh_n);
+
+            self.wx.g.add_assign(&self.inputs[t].t_matmul(&da_x));
+            self.bx.g.add_assign(&da_x.sum_rows());
+            self.wh.g.add_assign(&c.h_prev.t_matmul(&da_h));
+            self.bh.g.add_assign(&da_h.sum_rows());
+            dxs[t] = da_x.matmul_t(&self.wx.w);
+            dh_prev.add_assign(&da_h.matmul_t(&self.wh.w));
+            dh_next = dh_prev;
+        }
+        dxs
+    }
+}
+
+impl HasParams for Gru {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.bx, &mut self.bh]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check_seq;
+    use rand::SeedableRng;
+
+    fn seq(t: usize, batch: usize, dim: usize) -> Vec<Mat> {
+        (0..t)
+            .map(|ti| Mat::from_fn(batch, dim, |r, c| ((ti * 5 + r * 2 + c) as f64 * 0.19).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_infer_agreement() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gru = Gru::new(2, 5, &mut rng);
+        let xs = seq(6, 3, 2);
+        let hs = gru.forward_seq(&xs);
+        assert_eq!(hs.len(), 6);
+        assert_eq!(hs[0].shape(), (3, 5));
+        let hs2 = gru.infer_seq(&xs);
+        for (a, b) in hs.iter().zip(&hs2) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn hidden_states_bounded() {
+        // h' is a convex combination of h_prev and the tanh candidate ⇒
+        // |h| ≤ 1 (tanh rounds to exactly ±1.0 in f64 for huge inputs).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gru = Gru::new(1, 4, &mut rng);
+        let xs: Vec<Mat> = (0..25).map(|i| Mat::from_vec(1, 1, vec![(i as f64) * 100.0])).collect();
+        for h in gru.forward_seq(&xs) {
+            assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn bptt_gradients_check_out_last_step() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let xs = seq(5, 2, 2);
+        grad_check_seq(
+            &mut gru,
+            &xs,
+            |m, xs| m.forward_seq(xs).pop().expect("non-empty"),
+            |m, g| {
+                let mut grads = vec![Mat::zeros(g.rows(), g.cols()); 5];
+                grads[4] = g.clone();
+                m.backward_seq(&grads)
+            },
+            1e-5,
+            5e-5,
+        );
+    }
+
+    #[test]
+    fn bptt_gradients_check_out_all_steps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut gru = Gru::new(1, 3, &mut rng);
+        let xs = seq(4, 2, 1);
+        grad_check_seq(
+            &mut gru,
+            &xs,
+            |m, xs| {
+                let hs = m.forward_seq(xs);
+                let mut acc = Mat::zeros(hs[0].rows(), hs[0].cols());
+                for h in &hs {
+                    acc.add_assign(h);
+                }
+                acc
+            },
+            |m, g| m.backward_seq(&vec![g.clone(); 4]),
+            1e-5,
+            5e-5,
+        );
+    }
+
+    #[test]
+    fn param_count_is_three_quarters_of_lstm() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gru = Gru::new(7, 30, &mut rng);
+        let mut lstm = crate::lstm::Lstm::new(7, 30, &mut rng);
+        // GRU: 3H(I + H + 2); LSTM: 4H(I + H + 1).
+        assert_eq!(gru.num_params(), 3 * 30 * (7 + 30 + 2));
+        assert!(gru.num_params() < lstm.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn empty_sequence_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Gru::new(1, 2, &mut rng).forward_seq(&[]);
+    }
+}

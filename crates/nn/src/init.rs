@@ -1,0 +1,47 @@
+//! Weight initialization. Xavier/Glorot uniform for tanh/sigmoid layers,
+//! He for ReLU stacks. Deterministic per seed, like everything else here.
+
+use crate::mat::Mat;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// He/Kaiming uniform for ReLU: `a = sqrt(6 / fan_in)`.
+pub fn he(rng: &mut StdRng, rows: usize, cols: usize) -> Mat {
+    he_with_fan_in(rng, rows, cols, rows)
+}
+
+/// He uniform with an explicit fan-in — needed by convolutions, whose
+/// true fan-in is `kernel × in_channels`, not the per-tap matrix height.
+pub fn he_with_fan_in(rng: &mut StdRng, rows: usize, cols: usize, fan_in: usize) -> Mat {
+    let a = (6.0 / fan_in.max(1) as f64).sqrt();
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier(&mut rng, 10, 20);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        assert_eq!(m, xavier(&mut rng2, 10, 20));
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = he(&mut rng, 600, 2);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.1 + 1e-9));
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! A minimal f64 neural-network substrate with manual backpropagation.
+//!
+//! Why hand-rolled: the paper implements its models in Keras/TensorFlow,
+//! and WFGAN needs the *alternating adversarial update* of Algorithm 2
+//! (D-steps maximizing Eqn. 4, G-steps minimizing Eqn. 5 with gradients
+//! flowing through the discriminator into the generator). No mature
+//! pure-Rust deep-learning crate supports that training pattern reliably,
+//! so this crate provides exactly the pieces the paper's models need:
+//!
+//! * [`mat::Mat`] — dense row-major f64 matrices with the handful of BLAS
+//!   level-3 ops the layers use;
+//! * [`dense`] — fully connected layers (the MLP baseline and all heads);
+//! * [`lstm`] — an LSTM with full backpropagation-through-time (the
+//!   internal structure of both WFGAN's generator and discriminator);
+//! * [`attention`] — the temporal attention layer of Eqns. 2–3;
+//! * [`conv`] — dilated causal 1-D convolutions and residual TCN blocks;
+//! * [`loss`] — MSE and the numerically stable BCE-with-logits the GAN
+//!   objective (Eqn. 6) needs;
+//! * [`optim`] — SGD and Adam (the paper trains everything with Adam),
+//!   plus global-norm gradient clipping;
+//! * [`serialize`] — a tiny binary format used to measure the model
+//!   storage sizes of Table II.
+//!
+//! Every layer follows the same contract: `forward` caches whatever the
+//! matching `backward` needs; `backward` consumes the output gradient,
+//! accumulates parameter gradients into [`param::Param::g`], and returns
+//! the input gradient. Correctness is enforced by finite-difference
+//! gradient checks in each module's tests (`grad_check`).
+
+pub mod activation;
+pub mod attention;
+pub mod conv;
+pub mod dense;
+pub mod gradcheck;
+pub mod gru;
+pub mod init;
+pub mod loss;
+pub mod lstm;
+pub mod mat;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+
+pub use attention::TemporalAttention;
+pub use conv::{CausalConv1d, TcnBlock};
+pub use dense::Dense;
+pub use gru::Gru;
+pub use lstm::Lstm;
+pub use mat::Mat;
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use param::Param;

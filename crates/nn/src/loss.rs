@@ -1,0 +1,143 @@
+//! Loss functions returning `(loss, ∂loss/∂input)` pairs.
+
+use crate::activation::sigmoid;
+use crate::mat::Mat;
+
+/// Mean squared error over all elements; the gradient is w.r.t. `pred`.
+///
+/// # Panics
+/// Panics on a shape mismatch or empty input.
+pub fn mse_loss(pred: &Mat, target: &Mat) -> (f64, Mat) {
+    assert_eq!(pred.shape(), target.shape(), "mse shapes must match");
+    assert!(!pred.is_empty(), "mse needs at least one element");
+    let n = pred.len() as f64;
+    let mut grad = Mat::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for i in 0..pred.len() {
+        let d = pred.as_slice()[i] - target.as_slice()[i];
+        loss += d * d;
+        grad.as_mut_slice()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on *logits* (numerically stable):
+/// `L = max(z, 0) − z·y + log(1 + e^{−|z|})`, gradient `σ(z) − y`.
+///
+/// This is how both sides of the GAN objective (paper Eqn. 6) are
+/// evaluated: the discriminator maximizes `log D(X_real) +
+/// log(1 − D(X_fake))`, which is `−BCE` with labels 1 and 0.
+///
+/// # Panics
+/// Panics on a shape mismatch or empty input.
+pub fn bce_with_logits(logits: &Mat, labels: &Mat) -> (f64, Mat) {
+    assert_eq!(logits.shape(), labels.shape(), "bce shapes must match");
+    assert!(!logits.is_empty(), "bce needs at least one element");
+    let n = logits.len() as f64;
+    let mut grad = Mat::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for i in 0..logits.len() {
+        let z = logits.as_slice()[i];
+        let y = labels.as_slice()[i];
+        loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        grad.as_mut_slice()[i] = (sigmoid(z) - y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// The non-saturating generator loss `−log D(X_fake)` on logits
+/// (Goodfellow's practical variant of Eqn. 5): gradient `σ(z) − 1`.
+///
+/// Minimizing `log(1 − D(fake))` directly saturates when D is confident;
+/// maximizing `log D(fake)` gives the same fixed point with usable
+/// gradients, and is what every practical GAN implementation (including
+/// Keras reference code) does.
+pub fn generator_nonsaturating_loss(logits: &Mat) -> (f64, Mat) {
+    let ones = Mat::from_fn(logits.rows(), logits.cols(), |_, _| 1.0);
+    bce_with_logits(logits, &ones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_perfect_prediction() {
+        let p = Mat::row_vector(vec![1.0, 2.0]);
+        let (l, g) = mse_loss(&p, &p);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_known_gradient() {
+        let p = Mat::row_vector(vec![3.0]);
+        let t = Mat::row_vector(vec![1.0]);
+        let (l, g) = mse_loss(&p, &t);
+        assert_eq!(l, 4.0);
+        assert_eq!(g.as_slice(), &[4.0]); // 2(3-1)/1
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let t = Mat::row_vector(vec![0.5, -1.0, 2.0]);
+        let p = Mat::row_vector(vec![1.0, 0.0, 1.5]);
+        let (_, g) = mse_loss(&p, &t);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let (lp, _) = mse_loss(&pp, &t);
+            pp.as_mut_slice()[i] -= 2.0 * eps;
+            let (lm, _) = mse_loss(&pp, &t);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bce_matches_naive_formula_in_safe_range() {
+        let z = Mat::row_vector(vec![0.3, -0.7]);
+        let y = Mat::row_vector(vec![1.0, 0.0]);
+        let (l, _) = bce_with_logits(&z, &y);
+        let naive = |z: f64, y: f64| {
+            let p = sigmoid(z);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        };
+        let want = (naive(0.3, 1.0) + naive(-0.7, 0.0)) / 2.0;
+        assert!((l - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_is_stable_at_extreme_logits() {
+        let z = Mat::row_vector(vec![1000.0, -1000.0]);
+        let y = Mat::row_vector(vec![0.0, 1.0]);
+        let (l, g) = bce_with_logits(&z, &y);
+        assert!(l.is_finite());
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let y = Mat::row_vector(vec![1.0, 0.0, 1.0]);
+        let z = Mat::row_vector(vec![0.2, 1.5, -0.8]);
+        let (_, g) = bce_with_logits(&z, &y);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut zz = z.clone();
+            zz.as_mut_slice()[i] += eps;
+            let (lp, _) = bce_with_logits(&zz, &y);
+            zz.as_mut_slice()[i] -= 2.0 * eps;
+            let (lm, _) = bce_with_logits(&zz, &y);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn generator_loss_pushes_logits_up() {
+        let z = Mat::row_vector(vec![-2.0]);
+        let (_, g) = generator_nonsaturating_loss(&z);
+        assert!(g.as_slice()[0] < 0.0, "gradient descent should increase the logit");
+    }
+}

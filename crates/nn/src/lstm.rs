@@ -1,0 +1,336 @@
+//! LSTM with full backpropagation-through-time.
+//!
+//! The paper: "WFGAN adopts a modified RNN called LSTM … made up of a
+//! number of memory units that can selectively cache the historical
+//! information for current prediction." Both the generator and the
+//! discriminator use one LSTM layer with 30 cells followed by a temporal
+//! attention layer (Section VI-A).
+//!
+//! Gate layout in the fused matrices is `[i | f | g | o]` (input, forget,
+//! candidate, output), each `hidden` columns wide.
+
+use crate::activation::{sigmoid, tanh};
+use crate::init::xavier;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use rand::rngs::StdRng;
+
+/// Per-timestep cache for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    i: Mat,
+    f: Mat,
+    g: Mat,
+    o: Mat,
+    tanh_c: Mat,
+    h_prev: Mat,
+    c_prev: Mat,
+}
+
+/// A single LSTM layer over time-major sequences (`T` matrices of
+/// `batch × input`).
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input weights, `input × 4·hidden`.
+    pub wx: Param,
+    /// Recurrent weights, `hidden × 4·hidden`.
+    pub wh: Param,
+    /// Bias, `1 × 4·hidden` (forget-gate block initialized to 1).
+    pub b: Param,
+    hidden: usize,
+    input: usize,
+    caches: Vec<StepCache>,
+    inputs: Vec<Mat>,
+}
+
+/// Copy the `k`-th `hidden`-wide column block out of a fused matrix.
+fn col_block(m: &Mat, k: usize, hidden: usize) -> Mat {
+    Mat::from_fn(m.rows(), hidden, |r, c| m.get(r, k * hidden + c))
+}
+
+/// Add `block` into the `k`-th column block of the fused matrix `m`.
+fn add_col_block(m: &mut Mat, k: usize, hidden: usize, block: &Mat) {
+    for r in 0..m.rows() {
+        for c in 0..hidden {
+            let v = m.get(r, k * hidden + c) + block.get(r, c);
+            m.set(r, k * hidden + c, v);
+        }
+    }
+}
+
+impl Lstm {
+    /// New LSTM layer; the forget-gate bias starts at 1.0 (standard
+    /// remember-by-default initialization).
+    pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let mut b = Mat::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        Self {
+            wx: Param::new(xavier(rng, input, 4 * hidden)),
+            wh: Param::new(xavier(rng, hidden, 4 * hidden)),
+            b: Param::new(b),
+            hidden,
+            input,
+            caches: Vec::new(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Run the layer over a sequence, returning every hidden state
+    /// `h_1 … h_T` (each `batch × hidden`). Caches for BPTT.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence or input-width mismatch.
+    pub fn forward_seq(&mut self, xs: &[Mat]) -> Vec<Mat> {
+        assert!(!xs.is_empty(), "LSTM needs at least one timestep");
+        let batch = xs[0].rows();
+        self.caches.clear();
+        self.inputs = xs.to_vec();
+        let mut h = Mat::zeros(batch, self.hidden);
+        let mut c = Mat::zeros(batch, self.hidden);
+        let mut hs = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input, "LSTM input width mismatch");
+            let (nh, nc, cache) = self.step(x, &h, &c);
+            hs.push(nh.clone());
+            self.caches.push(cache);
+            h = nh;
+            c = nc;
+        }
+        hs
+    }
+
+    /// Inference-only forward (no caches kept).
+    pub fn infer_seq(&self, xs: &[Mat]) -> Vec<Mat> {
+        assert!(!xs.is_empty(), "LSTM needs at least one timestep");
+        let batch = xs[0].rows();
+        let mut h = Mat::zeros(batch, self.hidden);
+        let mut c = Mat::zeros(batch, self.hidden);
+        let mut hs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (nh, nc, _) = self.step(x, &h, &c);
+            hs.push(nh.clone());
+            h = nh;
+            c = nc;
+        }
+        hs
+    }
+
+    fn step(&self, x: &Mat, h_prev: &Mat, c_prev: &Mat) -> (Mat, Mat, StepCache) {
+        let mut a = x.matmul(&self.wx.w);
+        a.add_assign(&h_prev.matmul(&self.wh.w));
+        a.add_row_broadcast(&self.b.w);
+        let hd = self.hidden;
+        let i = col_block(&a, 0, hd).map(sigmoid);
+        let f = col_block(&a, 1, hd).map(sigmoid);
+        let g = col_block(&a, 2, hd).map(tanh);
+        let o = col_block(&a, 3, hd).map(sigmoid);
+        let c = f.hadamard(c_prev);
+        let mut c = c;
+        c.add_assign(&i.hadamard(&g));
+        let tanh_c = c.map(tanh);
+        let h = o.hadamard(&tanh_c);
+        (
+            h,
+            c,
+            StepCache {
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+            },
+        )
+    }
+
+    /// BPTT: `grad_hs[t]` is `∂L/∂h_t` from downstream layers (zero
+    /// matrices for unused steps). Returns `∂L/∂x_t` per step and
+    /// accumulates parameter gradients.
+    ///
+    /// # Panics
+    /// Panics if not preceded by `forward_seq` with the same length.
+    pub fn backward_seq(&mut self, grad_hs: &[Mat]) -> Vec<Mat> {
+        assert_eq!(grad_hs.len(), self.caches.len(), "backward length mismatch");
+        let t_len = grad_hs.len();
+        let batch = grad_hs[0].rows();
+        let hd = self.hidden;
+        let mut dh_next = Mat::zeros(batch, hd);
+        let mut dc_next = Mat::zeros(batch, hd);
+        let mut dxs = vec![Mat::zeros(batch, self.input); t_len];
+        for t in (0..t_len).rev() {
+            let cache = &self.caches[t];
+            let mut dh = grad_hs[t].clone();
+            dh.add_assign(&dh_next);
+            // h = o ⊙ tanh(c)
+            let do_ = dh.hadamard(&cache.tanh_c);
+            let mut dc = dh.hadamard(&cache.o);
+            for idx in 0..dc.len() {
+                let tc = cache.tanh_c.as_slice()[idx];
+                dc.as_mut_slice()[idx] *= 1.0 - tc * tc;
+            }
+            dc.add_assign(&dc_next);
+            // c = f ⊙ c_prev + i ⊙ g
+            let di = dc.hadamard(&cache.g);
+            let df = dc.hadamard(&cache.c_prev);
+            let dg = dc.hadamard(&cache.i);
+            dc_next = dc.hadamard(&cache.f);
+            // Through the gate nonlinearities.
+            let da_i = Mat::from_fn(batch, hd, |r, c| {
+                di.get(r, c) * cache.i.get(r, c) * (1.0 - cache.i.get(r, c))
+            });
+            let da_f = Mat::from_fn(batch, hd, |r, c| {
+                df.get(r, c) * cache.f.get(r, c) * (1.0 - cache.f.get(r, c))
+            });
+            let da_g = Mat::from_fn(batch, hd, |r, c| {
+                let g = cache.g.get(r, c);
+                dg.get(r, c) * (1.0 - g * g)
+            });
+            let da_o = Mat::from_fn(batch, hd, |r, c| {
+                do_.get(r, c) * cache.o.get(r, c) * (1.0 - cache.o.get(r, c))
+            });
+            let mut da = Mat::zeros(batch, 4 * hd);
+            add_col_block(&mut da, 0, hd, &da_i);
+            add_col_block(&mut da, 1, hd, &da_f);
+            add_col_block(&mut da, 2, hd, &da_g);
+            add_col_block(&mut da, 3, hd, &da_o);
+            // Parameter gradients.
+            self.wx.g.add_assign(&self.inputs[t].t_matmul(&da));
+            self.wh.g.add_assign(&cache.h_prev.t_matmul(&da));
+            self.b.g.add_assign(&da.sum_rows());
+            // Input and recurrent gradients.
+            dxs[t] = da.matmul_t(&self.wx.w);
+            dh_next = da.matmul_t(&self.wh.w);
+        }
+        dxs
+    }
+}
+
+impl HasParams for Lstm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::grad_check_seq;
+    use rand::SeedableRng;
+
+    fn seq(t: usize, batch: usize, dim: usize) -> Vec<Mat> {
+        (0..t)
+            .map(|ti| Mat::from_fn(batch, dim, |r, c| ((ti * 7 + r * 3 + c) as f64 * 0.13).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(2, 5, &mut rng);
+        let xs = seq(6, 3, 2);
+        let hs = lstm.forward_seq(&xs);
+        assert_eq!(hs.len(), 6);
+        assert_eq!(hs[0].shape(), (3, 5));
+        let hs2 = lstm.infer_seq(&xs);
+        for (a, b) in hs.iter().zip(&hs2) {
+            assert_eq!(a, b, "infer_seq must match forward_seq");
+        }
+    }
+
+    #[test]
+    fn hidden_states_are_bounded() {
+        // h = o ⊙ tanh(c) with o ∈ (0,1) ⇒ |h| < 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(1, 4, &mut rng);
+        let xs: Vec<Mat> = (0..20).map(|i| Mat::from_vec(1, 1, vec![i as f64 * 10.0])).collect();
+        for h in lstm.forward_seq(&xs) {
+            assert!(h.as_slice().iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn bptt_gradients_check_out_last_step_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = seq(5, 2, 2);
+        grad_check_seq(
+            &mut lstm,
+            &xs,
+            |m, xs| m.forward_seq(xs).pop().expect("non-empty"),
+            |m, g| {
+                let t = 5;
+                let mut grads = vec![Mat::zeros(g.rows(), g.cols()); t];
+                grads[t - 1] = g.clone();
+                m.backward_seq(&grads)
+            },
+            1e-5,
+            5e-5,
+        );
+    }
+
+    #[test]
+    fn bptt_gradients_check_out_all_steps_loss() {
+        // Gradient flowing into every hidden state (the attention case).
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(1, 3, &mut rng);
+        let xs = seq(4, 2, 1);
+        grad_check_seq(
+            &mut lstm,
+            &xs,
+            |m, xs| {
+                // Sum all hidden states to a single matrix output.
+                let hs = m.forward_seq(xs);
+                let mut acc = Mat::zeros(hs[0].rows(), hs[0].cols());
+                for h in &hs {
+                    acc.add_assign(h);
+                }
+                acc
+            },
+            |m, g| {
+                let grads = vec![g.clone(); 4];
+                m.backward_seq(&grads)
+            },
+            1e-5,
+            5e-5,
+        );
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        for c in 0..16 {
+            let expected = if (4..8).contains(&c) { 1.0 } else { 0.0 };
+            assert_eq!(lstm.b.w.get(0, c), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn empty_sequence_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(1, 2, &mut rng);
+        lstm.forward_seq(&[]);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(7, 30, &mut rng);
+        // 4H(I + H + 1)
+        assert_eq!(lstm.num_params(), 4 * 30 * (7 + 30 + 1));
+    }
+}

@@ -1,0 +1,330 @@
+//! Dense row-major f64 matrices with the operations the layers need.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix, row-major.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Mat {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(data: Vec<f64>) -> Self {
+        Self { rows: 1, cols: data.len(), data }
+    }
+
+    /// A `n × 1` column vector.
+    pub fn col_vector(data: Vec<f64>) -> Self {
+        Self { rows: data.len(), cols: 1, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a 0-element matrix.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw slice access.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable slice access.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Overwrite every element.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// `self @ rhs` — matrix product.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: the inner loop walks both `rhs` and `out`
+        // rows contiguously.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.rows, rhs.rows, "t_matmul requires equal row counts");
+        let mut out = Mat::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = rhs.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ rhsᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.cols, "matmul_t requires equal col counts");
+        let mut out = Mat::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise addition into `self`.
+    pub fn add_assign(&mut self, rhs: &Mat) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += alpha * rhs`.
+    pub fn add_scaled(&mut self, rhs: &Mat, alpha: f64) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Broadcast-add a `1 × cols` row vector to every row.
+    pub fn add_row_broadcast(&mut self, row: &Mat) {
+        assert_eq!(row.rows, 1, "broadcast source must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(&row.data) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Column-sum producing a `1 × cols` row vector (bias gradients).
+    pub fn sum_rows(&self) -> Mat {
+        let mut out = Mat::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Element-wise product (Hadamard).
+    pub fn hadamard(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Scale every element.
+    pub fn scale(&self, alpha: f64) -> Mat {
+        self.map(|v| v * alpha)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Mat::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        let b = Mat::from_fn(4, 2, |r, c| (r + c) as f64 * 0.5);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Mat::from_fn(2, 5, |r, c| (r + 2 * c) as f64);
+        let b = Mat::from_fn(3, 5, |r, c| (r * c) as f64 - 1.0);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint() {
+        // sum_rows is the gradient (adjoint) of add_row_broadcast.
+        let mut x = Mat::zeros(3, 2);
+        let bias = Mat::row_vector(vec![1.0, -2.0]);
+        x.add_row_broadcast(&bias);
+        assert_eq!(x.row(2), &[1.0, -2.0]);
+        let g = x.sum_rows();
+        assert_eq!(g.as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn hadamard_and_map() {
+        let a = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.map(|v| v * v).as_slice(), &[1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn norm_known() {
+        let a = Mat::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Mat::zeros(1, 2);
+        let b = Mat::from_vec(1, 2, vec![1.0, 2.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        Mat::zeros(2, 3).matmul(&Mat::zeros(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match")]
+    fn from_vec_shape_mismatch_panics() {
+        Mat::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn vectors_have_expected_shapes() {
+        assert_eq!(Mat::row_vector(vec![1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(Mat::col_vector(vec![1.0, 2.0]).shape(), (2, 1));
+    }
+}

@@ -1,0 +1,205 @@
+//! Optimizers. The paper trains every model with Adam (learning rate
+//! 1e-3, Section VI-A); plain SGD is provided for tests and ablations.
+
+use crate::mat::Mat;
+use crate::param::Param;
+
+/// A gradient-descent optimizer over an ordered parameter list.
+///
+/// Implementations key internal state (Adam moments) by parameter
+/// *position*, so callers must pass parameters in the same order on every
+/// step — which [`crate::param::HasParams::params_mut`] guarantees.
+pub trait Optimizer {
+    /// Apply one update using each parameter's accumulated gradient,
+    /// then zero the gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum factor (0 disables).
+    pub momentum: f64,
+    velocity: Vec<Mat>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no momentum.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Mat::zeros(p.w.rows(), p.w.cols())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                for i in 0..p.w.len() {
+                    let vi = self.momentum * v.as_slice()[i] - self.lr * p.g.as_slice()[i];
+                    v.as_mut_slice()[i] = vi;
+                    p.w.as_mut_slice()[i] += vi;
+                }
+            } else {
+                p.w.add_scaled(&p.g, -self.lr);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper: 1e-3).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Mat>,
+    v: Vec<Mat>,
+}
+
+impl Adam {
+    /// Adam with the standard hyper-parameters (β₁=0.9, β₂=0.999).
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Mat::zeros(p.w.rows(), p.w.cols())).collect();
+            self.v = params.iter().map(|p| Mat::zeros(p.w.rows(), p.w.cols())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for i in 0..p.w.len() {
+                let g = p.g.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                p.w.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`
+/// (the standard defence against the RNN gradient explosion the paper
+/// mentions). Returns the pre-clip norm.
+pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f64) -> f64 {
+    let total: f64 = params.iter().map(|p| p.g.as_slice().iter().map(|g| g * g).sum::<f64>()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            for g in p.g.as_mut_slice() {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f64) -> Param {
+        Param::new(Mat::row_vector(vec![x0]))
+    }
+
+    /// d/dx (x-3)^2 = 2(x-3)
+    fn quad_grad(p: &mut Param) {
+        let x = p.w.get(0, 0);
+        p.g.set(0, 0, 2.0 * (x - 3.0));
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            quad_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.w.get(0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_descends_quadratic() {
+        let mut p = quadratic_param(10.0);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..300 {
+            quad_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.w.get(0, 0) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut p = quadratic_param(-5.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..800 {
+            quad_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.w.get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = quadratic_param(1.0);
+        quad_grad(&mut p);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.g.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn clip_reduces_large_norms_only() {
+        let mut a = Param::new(Mat::row_vector(vec![0.0, 0.0]));
+        a.g = Mat::row_vector(vec![3.0, 4.0]);
+        let norm = clip_global_norm(&mut [&mut a], 1.0);
+        assert_eq!(norm, 5.0);
+        assert!((a.g.norm() - 1.0).abs() < 1e-12);
+
+        let mut b = Param::new(Mat::row_vector(vec![0.0]));
+        b.g = Mat::row_vector(vec![0.5]);
+        clip_global_norm(&mut [&mut b], 1.0);
+        assert_eq!(b.g.as_slice(), &[0.5], "small gradients untouched");
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step from zero moments, update magnitude ≈ lr.
+        let mut p = quadratic_param(0.0); // grad = -6
+        quad_grad(&mut p);
+        let mut opt = Adam::new(0.001);
+        opt.step(&mut [&mut p]);
+        assert!((p.w.get(0, 0) - 0.001).abs() < 1e-9, "got {}", p.w.get(0, 0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Trainable parameters: a value matrix paired with its gradient
+//! accumulator.
+
+use crate::mat::Mat;
+
+/// One trainable tensor. `backward` passes accumulate into `g`; the
+/// optimizer consumes `g` and the trainer zeroes it between steps.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub w: Mat,
+    /// Accumulated gradient (same shape as `w`).
+    pub g: Mat,
+}
+
+impl Param {
+    /// A parameter initialized to `w` with a zero gradient.
+    pub fn new(w: Mat) -> Self {
+        let g = Mat::zeros(w.rows(), w.cols());
+        Self { w, g }
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True for an empty parameter (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+}
+
+/// Anything that exposes trainable parameters.
+pub trait HasParams {
+    /// Mutable access to every parameter, in a stable order (the Adam
+    /// optimizer keys its moment buffers by position).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zero all gradient accumulators.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(p.g.as_slice(), &[0.0; 4]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Mat::zeros(1, 2));
+        p.g.set(0, 1, 5.0);
+        p.zero_grad();
+        assert_eq!(p.g.as_slice(), &[0.0, 0.0]);
+    }
+}

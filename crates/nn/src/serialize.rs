@@ -1,0 +1,166 @@
+//! A tiny binary model format, used to report the storage sizes of the
+//! paper's Table II and to persist trained forecasters.
+//!
+//! Layout: magic `b"DBAW"`, format version u32, parameter count u32,
+//! then per parameter `rows: u32, cols: u32, data: rows·cols f64` — all
+//! little-endian.
+
+use crate::mat::Mat;
+use crate::param::Param;
+
+const MAGIC: &[u8; 4] = b"DBAW";
+const VERSION: u32 = 1;
+
+/// Serialization error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer ended before the declared content.
+    Truncated,
+    /// Declared shapes disagree with the expectation passed in.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::ShapeMismatch => write!(f, "parameter shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a parameter list.
+pub fn encode_params(params: &[&Param]) -> Vec<u8> {
+    let total: usize = params.iter().map(|p| 8 + p.w.len() * 8).sum();
+    let mut out = Vec::with_capacity(12 + total);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&(p.w.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(p.w.cols() as u32).to_le_bytes());
+        for v in p.w.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode into a fresh list of weight matrices.
+pub fn decode_params(buf: &[u8]) -> Result<Vec<Mat>, DecodeError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+        if *pos + n > buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &buf[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut mats = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rows = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let cols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")));
+        }
+        mats.push(Mat::from_vec(rows, cols, data));
+    }
+    Ok(mats)
+}
+
+/// Restore decoded matrices into live parameters (shape-checked).
+pub fn load_into(params: &mut [&mut Param], mats: &[Mat]) -> Result<(), DecodeError> {
+    if params.len() != mats.len() {
+        return Err(DecodeError::ShapeMismatch);
+    }
+    for (p, m) in params.iter_mut().zip(mats) {
+        if p.w.shape() != m.shape() {
+            return Err(DecodeError::ShapeMismatch);
+        }
+        p.w = m.clone();
+    }
+    Ok(())
+}
+
+/// Serialized size in bytes of a parameter list — the "Storage" column of
+/// Table II.
+pub fn encoded_size(params: &[&Param]) -> usize {
+    12 + params.iter().map(|p| 8 + p.w.len() * 8).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(rows: usize, cols: usize, base: f64) -> Param {
+        Param::new(Mat::from_fn(rows, cols, |r, c| base + (r * cols + c) as f64))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = p(2, 3, 0.5);
+        let b = p(1, 4, -2.0);
+        let buf = encode_params(&[&a, &b]);
+        let mats = decode_params(&buf).expect("decodes");
+        assert_eq!(mats.len(), 2);
+        assert_eq!(mats[0], a.w);
+        assert_eq!(mats[1], b.w);
+    }
+
+    #[test]
+    fn size_formula_matches_buffer() {
+        let a = p(3, 3, 0.0);
+        let buf = encode_params(&[&a]);
+        assert_eq!(buf.len(), encoded_size(&[&a]));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_params(b"NOPE"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let a = p(2, 2, 1.0);
+        let buf = encode_params(&[&a]);
+        assert_eq!(decode_params(&buf[..buf.len() - 3]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn load_into_checks_shapes() {
+        let a = p(2, 2, 1.0);
+        let buf = encode_params(&[&a]);
+        let mats = decode_params(&buf).expect("decodes");
+        let mut wrong = p(3, 2, 0.0);
+        assert_eq!(load_into(&mut [&mut wrong], &mats), Err(DecodeError::ShapeMismatch));
+        let mut right = p(2, 2, 0.0);
+        load_into(&mut [&mut right], &mats).expect("loads");
+        assert_eq!(right.w, a.w);
+    }
+
+    #[test]
+    fn version_is_enforced() {
+        let a = p(1, 1, 0.0);
+        let mut buf = encode_params(&[&a]);
+        buf[4] = 9; // bump version byte
+        assert!(matches!(decode_params(&buf), Err(DecodeError::BadVersion(_))));
+    }
+}

@@ -1,0 +1,378 @@
+//! Semantic equivalence checking (paper Sec. IV-A).
+//!
+//! The paper merges templates that are semantically equivalent:
+//! `SELECT a, b FROM foo` ≡ `SELECT b, a FROM foo`, and
+//! `SELECT * FROM A JOIN B ON A.id = B.id` ≡
+//! `SELECT * FROM B JOIN A ON B.id = A.id`.
+//!
+//! Full SQL equivalence is undecidable; like the paper, this module
+//! canonicalizes the *commutative orderings* that dominate real logs:
+//!
+//! * the SELECT list is sorted;
+//! * top-level `AND` conjuncts in `WHERE` are sorted (only when every
+//!   top-level connective is `AND` — mixing `OR` would change semantics);
+//! * the two operands of an equality are ordered lexicographically;
+//! * for a single inner `JOIN`, the two table references and the `ON`
+//!   equality are ordered.
+//!
+//! Anything the canonicalizer does not recognize is left verbatim, so the
+//! mapping is conservative: it never merges two templates that could
+//! differ, it only fails to merge some that are equal.
+
+use crate::template::templatize_tokens;
+use crate::token::{render, tokenize, Token};
+
+/// Produce the canonical template string for a SQL statement: tokenize,
+/// templatize, then normalize commutative orderings.
+pub fn canonicalize(sql: &str) -> String {
+    let tokens = templatize_tokens(tokenize(sql));
+    let parts = split_clauses(&tokens);
+    let mut out: Vec<String> = Vec::with_capacity(parts.len());
+    for clause in parts {
+        out.push(canonicalize_clause(clause));
+    }
+    out.join(" ")
+}
+
+/// A clause: its keyword prefix (e.g. `SELECT`) and body tokens.
+struct Clause<'a> {
+    head: &'a [Token],
+    body: &'a [Token],
+    kind: ClauseKind,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ClauseKind {
+    Select,
+    From,
+    Where,
+    Other,
+}
+
+/// Clause boundary keywords (only recognized at paren depth 0).
+fn clause_start(tok: &Token) -> Option<(ClauseKind, usize)> {
+    match tok {
+        Token::Keyword(k) => match k.as_str() {
+            "SELECT" => Some((ClauseKind::Select, 1)),
+            "FROM" => Some((ClauseKind::From, 1)),
+            "WHERE" => Some((ClauseKind::Where, 1)),
+            "GROUP" | "ORDER" | "HAVING" | "LIMIT" | "OFFSET" | "UNION" | "SET" | "VALUES" => {
+                Some((ClauseKind::Other, 1))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn split_clauses(tokens: &[Token]) -> Vec<Clause<'_>> {
+    let mut bounds: Vec<(usize, ClauseKind, usize)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            t if depth == 0 => {
+                if let Some((kind, head_len)) = clause_start(t) {
+                    bounds.push((i, kind, head_len));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if bounds.is_empty() {
+        return vec![Clause { head: &[], body: tokens, kind: ClauseKind::Other }];
+    }
+    let mut clauses = Vec::with_capacity(bounds.len() + 1);
+    if bounds[0].0 > 0 {
+        clauses.push(Clause { head: &[], body: &tokens[..bounds[0].0], kind: ClauseKind::Other });
+    }
+    for (bi, &(start, kind, head_len)) in bounds.iter().enumerate() {
+        let end = bounds.get(bi + 1).map_or(tokens.len(), |b| b.0);
+        clauses.push(Clause {
+            head: &tokens[start..start + head_len],
+            body: &tokens[start + head_len..end],
+            kind,
+        });
+    }
+    clauses
+}
+
+fn canonicalize_clause(c: Clause<'_>) -> String {
+    let head = render(c.head);
+    let body = match c.kind {
+        ClauseKind::Select => canon_select_list(c.body),
+        ClauseKind::Where => canon_where(c.body),
+        ClauseKind::From => canon_from(c.body),
+        ClauseKind::Other => render(c.body),
+    };
+    if head.is_empty() {
+        body
+    } else if body.is_empty() {
+        head
+    } else {
+        format!("{head} {body}")
+    }
+}
+
+/// Split `tokens` on a top-level separator chosen by `is_sep`.
+fn split_top_level(tokens: &[Token], is_sep: impl Fn(&Token) -> bool) -> Vec<&[Token]> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            t if depth == 0 && is_sep(t) => {
+                parts.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&tokens[start..]);
+    parts
+}
+
+/// `SELECT a, b` — sort the comma-separated projection list. A trailing
+/// `DISTINCT` keyword stays in front.
+fn canon_select_list(body: &[Token]) -> String {
+    let (prefix, items_toks) = if body.first().is_some_and(|t| t.is_kw("DISTINCT")) {
+        ("DISTINCT ", &body[1..])
+    } else {
+        ("", body)
+    };
+    let mut items: Vec<String> =
+        split_top_level(items_toks, |t| matches!(t, Token::Symbol(','))).iter().map(|p| render(p)).collect();
+    items.sort();
+    format!("{prefix}{}", items.join(", "))
+}
+
+/// Split a predicate into top-level AND conjuncts, keeping the `AND`
+/// that belongs to a `BETWEEN lo AND hi` inside its conjunct.
+fn split_conjuncts(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let mut between_pending = false;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            Token::Keyword(k) if depth == 0 && k == "BETWEEN" => between_pending = true,
+            Token::Keyword(k) if depth == 0 && k == "AND" => {
+                if between_pending {
+                    between_pending = false; // this AND closes the BETWEEN
+                } else {
+                    parts.push(&tokens[start..i]);
+                    start = i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    parts.push(&tokens[start..]);
+    parts
+}
+
+/// Sort top-level AND conjuncts; inside each, order equality operands.
+/// If any top-level `OR` appears the clause is left as-is (reordering
+/// mixed AND/OR without a parse tree would be unsound).
+fn canon_where(body: &[Token]) -> String {
+    let mut depth = 0i32;
+    for t in body {
+        match t {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            Token::Keyword(k) if depth == 0 && k == "OR" => return render(body),
+            _ => {}
+        }
+    }
+    let mut conjuncts: Vec<String> =
+        split_conjuncts(body).iter().map(|p| canon_comparison(p)).collect();
+    conjuncts.sort();
+    conjuncts.join(" AND ")
+}
+
+/// Order the operands of a lone top-level `=` lexicographically:
+/// `A.id = B.id` and `B.id = A.id` render identically.
+fn canon_comparison(tokens: &[Token]) -> String {
+    let sides = split_top_level(tokens, |t| matches!(t, Token::Symbol('=')));
+    if sides.len() == 2 && !sides[0].is_empty() && !sides[1].is_empty() {
+        let a = render(sides[0]);
+        let b = render(sides[1]);
+        // Keep a lone placeholder on the right (`b = ?`, never `? = b`);
+        // otherwise order lexicographically.
+        if b == "?" || (a != "?" && a <= b) {
+            format!("{a} = {b}")
+        } else {
+            format!("{b} = {a}")
+        }
+    } else {
+        render(tokens)
+    }
+}
+
+/// Canonicalize `FROM A JOIN B ON cond`: order the two table references
+/// and canonicalize the join condition. Multi-join chains and explicit
+/// LEFT/RIGHT joins (not commutative) are rendered verbatim.
+fn canon_from(body: &[Token]) -> String {
+    // Find a single top-level `JOIN` (optionally preceded by INNER).
+    let mut depth = 0i32;
+    let mut join_idx = None;
+    let mut join_count = 0;
+    let mut directional = false;
+    for (i, t) in body.iter().enumerate() {
+        match t {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            Token::Keyword(k) if depth == 0 => match k.as_str() {
+                "JOIN" => {
+                    join_count += 1;
+                    join_idx = Some(i);
+                }
+                "LEFT" | "RIGHT" | "FULL" | "CROSS" | "OUTER" => directional = true,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    let Some(ji) = join_idx else { return render(body) };
+    if join_count != 1 || directional {
+        return render(body);
+    }
+    // Locate ON at top level after the join.
+    let on_idx = body[ji..]
+        .iter()
+        .position(|t| t.is_kw("ON"))
+        .map(|p| p + ji);
+    let Some(oi) = on_idx else { return render(body) };
+    let left_end = if ji > 0 && body[ji - 1].is_kw("INNER") { ji - 1 } else { ji };
+    let mut t1 = render(&body[..left_end]);
+    let mut t2 = render(&body[ji + 1..oi]);
+    if t1 > t2 {
+        std::mem::swap(&mut t1, &mut t2);
+    }
+    let cond = canon_where(&body[oi + 1..]);
+    format!("{t1} JOIN {t2} ON {cond}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_list_order_is_canonical() {
+        assert_eq!(canonicalize("SELECT a, b FROM foo"), canonicalize("SELECT b, a FROM foo"));
+    }
+
+    #[test]
+    fn join_order_is_canonical() {
+        assert_eq!(
+            canonicalize("SELECT * FROM A JOIN B on A.id=B.id"),
+            canonicalize("SELECT * FROM B JOIN A on B.id=A.id"),
+        );
+    }
+
+    #[test]
+    fn inner_join_equals_plain_join() {
+        assert_eq!(
+            canonicalize("SELECT * FROM a INNER JOIN b ON a.x = b.x"),
+            canonicalize("SELECT * FROM b JOIN a ON b.x = a.x"),
+        );
+    }
+
+    #[test]
+    fn where_conjunct_order_is_canonical() {
+        assert_eq!(
+            canonicalize("SELECT * FROM t WHERE a = 1 AND b > 2"),
+            canonicalize("SELECT * FROM t WHERE b > 9 AND a = 4"),
+        );
+    }
+
+    #[test]
+    fn or_clauses_are_not_reordered() {
+        let a = canonicalize("SELECT * FROM t WHERE a = 1 OR b = 2");
+        let b = canonicalize("SELECT * FROM t WHERE b = 2 OR a = 1");
+        assert_ne!(a, b, "OR reordering must not be merged without a parse tree");
+    }
+
+    #[test]
+    fn left_join_is_not_commuted() {
+        let a = canonicalize("SELECT * FROM a LEFT JOIN b ON a.x = b.x");
+        let b = canonicalize("SELECT * FROM b LEFT JOIN a ON a.x = b.x");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_predicates_stay_distinct() {
+        assert_ne!(
+            canonicalize("SELECT * FROM t WHERE a = 1"),
+            canonicalize("SELECT * FROM t WHERE b = 1"),
+        );
+    }
+
+    #[test]
+    fn literals_do_not_affect_canonical_form() {
+        assert_eq!(
+            canonicalize("SELECT a, b FROM t WHERE id = 5"),
+            canonicalize("SELECT b, a FROM t WHERE id = 700"),
+        );
+    }
+
+    #[test]
+    fn equality_operand_order_in_where() {
+        assert_eq!(
+            canonicalize("SELECT * FROM t WHERE t.a = u.b"),
+            canonicalize("SELECT * FROM t WHERE u.b = t.a"),
+        );
+    }
+
+    #[test]
+    fn multi_join_is_left_verbatim_but_stable() {
+        let sql = "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y";
+        assert_eq!(canonicalize(sql), canonicalize(sql));
+    }
+
+    #[test]
+    fn non_select_statements_pass_through() {
+        let c = canonicalize("INSERT INTO t (a, b) VALUES (1, 'x')");
+        assert_eq!(c, "INSERT INTO t (a, b) VALUES (?, ?)");
+    }
+
+    #[test]
+    fn between_is_one_conjunct() {
+        let a = canonicalize("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b = 2");
+        let b = canonicalize("SELECT * FROM t WHERE b = 9 AND a BETWEEN 3 AND 7");
+        assert_eq!(a, b);
+        assert_eq!(a, "SELECT * FROM t WHERE a BETWEEN ? AND ? AND b = ?");
+    }
+
+    #[test]
+    fn between_alone_is_preserved() {
+        let c = canonicalize("SELECT * FROM t WHERE height BETWEEN 150 AND 180");
+        assert_eq!(c, "SELECT * FROM t WHERE height BETWEEN ? AND ?");
+    }
+
+    #[test]
+    fn two_betweens_and_a_predicate() {
+        let a = canonicalize("SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b BETWEEN 3 AND 4 AND c = 5");
+        let b = canonicalize("SELECT * FROM t WHERE c = 9 AND b BETWEEN 0 AND 9 AND a BETWEEN 0 AND 9");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subquery_depth_is_respected() {
+        // The AND inside the subquery must not be hoisted to top level.
+        let a = canonicalize(
+            "SELECT * FROM t WHERE id IN (SELECT id FROM u WHERE p = 1 AND q = 2) AND z = 3",
+        );
+        let b = canonicalize(
+            "SELECT * FROM t WHERE z = 3 AND id IN (SELECT id FROM u WHERE p = 1 AND q = 2)",
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,82 @@
+//! A minimal query-log line format and parser.
+//!
+//! Database logs in the wild are "of the string type and have messy
+//! formats" (Sec. IV-A). This module fixes one simple interchange format —
+//! `<epoch_seconds>\t<sql>` — that the examples and case studies write
+//! and read, plus a tolerant parser that skips malformed lines.
+
+/// One parsed log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Execution timestamp, seconds since an arbitrary epoch.
+    pub ts_secs: u64,
+    /// The raw SQL statement.
+    pub sql: String,
+}
+
+/// Parse a `<epoch_seconds>\t<sql>` line. Returns `None` for blank lines,
+/// comment lines starting with `#`, or lines without a valid timestamp.
+pub fn parse_log_line(line: &str) -> Option<LogRecord> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (ts, sql) = line.split_once('\t')?;
+    let ts_secs: u64 = ts.trim().parse().ok()?;
+    let sql = sql.trim();
+    if sql.is_empty() {
+        return None;
+    }
+    Some(LogRecord { ts_secs, sql: sql.to_string() })
+}
+
+/// Parse a whole log text, silently skipping unparseable lines (truncated
+/// writes happen; the pipeline must not abort on them).
+pub fn parse_log(text: &str) -> Vec<LogRecord> {
+    text.lines().filter_map(parse_log_line).collect()
+}
+
+/// Render one record into the interchange format.
+pub fn format_log_line(rec: &LogRecord) -> String {
+    format!("{}\t{}", rec.ts_secs, rec.sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rec = LogRecord { ts_secs: 12345, sql: "SELECT 1".into() };
+        let line = format_log_line(&rec);
+        assert_eq!(parse_log_line(&line), Some(rec));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skip() {
+        assert_eq!(parse_log_line(""), None);
+        assert_eq!(parse_log_line("   "), None);
+        assert_eq!(parse_log_line("# header"), None);
+    }
+
+    #[test]
+    fn malformed_lines_skip() {
+        assert_eq!(parse_log_line("notanumber\tSELECT 1"), None);
+        assert_eq!(parse_log_line("123 SELECT 1"), None); // no tab
+        assert_eq!(parse_log_line("123\t   "), None); // empty sql
+    }
+
+    #[test]
+    fn parse_log_skips_bad_lines() {
+        let text = "1\tSELECT a FROM t\ngarbage\n2\tSELECT b FROM t\n";
+        let recs = parse_log(text);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].ts_secs, 2);
+    }
+
+    #[test]
+    fn sql_with_tabs_keeps_remainder() {
+        let rec = parse_log_line("5\tSELECT a\tFROM t").expect("parses");
+        assert_eq!(rec.sql, "SELECT a\tFROM t");
+    }
+}

@@ -1,0 +1,184 @@
+//! Template registry: accumulates observations and emits arrival-rate
+//! traces (the "query trace" `W(Q)` of Definition 1).
+
+use crate::canon::canonicalize;
+use dbaugur_trace::{Trace, TraceKind, TraceSet};
+use std::collections::HashMap;
+
+/// Opaque identifier of a query template within one registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u32);
+
+/// Maps raw SQL statements to canonical templates and records each
+/// observation's timestamp so arrival-rate traces can be binned later.
+#[derive(Debug, Default)]
+pub struct TemplateRegistry {
+    by_template: HashMap<String, TemplateId>,
+    templates: Vec<String>,
+    /// Observation timestamps (seconds) per template.
+    observations: Vec<Vec<u64>>,
+}
+
+impl TemplateRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one executed statement at `ts_secs`, returning its template
+    /// id (allocating a new template when the canonical form is unseen).
+    pub fn observe(&mut self, sql: &str, ts_secs: u64) -> TemplateId {
+        let canonical = canonicalize(sql);
+        let id = match self.by_template.get(&canonical) {
+            Some(&id) => id,
+            None => {
+                let id = TemplateId(self.templates.len() as u32);
+                self.by_template.insert(canonical.clone(), id);
+                self.templates.push(canonical);
+                self.observations.push(Vec::new());
+                id
+            }
+        };
+        self.observations[id.0 as usize].push(ts_secs);
+        id
+    }
+
+    /// Number of distinct templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The canonical template string for `id`.
+    pub fn template(&self, id: TemplateId) -> &str {
+        &self.templates[id.0 as usize]
+    }
+
+    /// Look up the id of an already-registered statement without
+    /// recording an observation.
+    pub fn lookup(&self, sql: &str) -> Option<TemplateId> {
+        self.by_template.get(&canonicalize(sql)).copied()
+    }
+
+    /// Total observations for a template.
+    pub fn count(&self, id: TemplateId) -> usize {
+        self.observations[id.0 as usize].len()
+    }
+
+    /// Bin every template's observations into arrival-rate traces over
+    /// `[start_secs, end_secs)` at `interval_secs` (the forecasting
+    /// interval). Observations outside the range are ignored; every trace
+    /// has the same length so the downstream clustering can compare them.
+    ///
+    /// # Panics
+    /// Panics if `interval_secs == 0` or `end_secs <= start_secs`.
+    pub fn arrival_traces(&self, start_secs: u64, end_secs: u64, interval_secs: u64) -> TraceSet {
+        assert!(interval_secs > 0, "interval must be positive");
+        assert!(end_secs > start_secs, "time range must be non-empty");
+        let bins = ((end_secs - start_secs) / interval_secs) as usize;
+        let mut set = TraceSet::new();
+        for (idx, obs) in self.observations.iter().enumerate() {
+            let mut counts = vec![0.0f64; bins];
+            for &ts in obs {
+                if ts < start_secs || ts >= end_secs {
+                    continue;
+                }
+                let bin = ((ts - start_secs) / interval_secs) as usize;
+                if bin < bins {
+                    counts[bin] += 1.0;
+                }
+            }
+            set.push(Trace::new(
+                format!("template:{idx}"),
+                TraceKind::Query,
+                interval_secs,
+                counts,
+            ));
+        }
+        set
+    }
+
+    /// Templates ordered by descending observation count — the paper's
+    /// workload-volume ordering.
+    pub fn by_volume_desc(&self) -> Vec<(TemplateId, usize)> {
+        let mut v: Vec<(TemplateId, usize)> = self
+            .observations
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (TemplateId(i as u32), o.len()))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_statements_share_an_id() {
+        let mut reg = TemplateRegistry::new();
+        let a = reg.observe("SELECT a, b FROM t WHERE id = 1", 0);
+        let b = reg.observe("SELECT b, a FROM t WHERE id = 42", 10);
+        assert_eq!(a, b);
+        assert_eq!(reg.num_templates(), 1);
+        assert_eq!(reg.count(a), 2);
+    }
+
+    #[test]
+    fn distinct_statements_get_distinct_ids() {
+        let mut reg = TemplateRegistry::new();
+        let a = reg.observe("SELECT a FROM t", 0);
+        let b = reg.observe("SELECT a FROM u", 0);
+        assert_ne!(a, b);
+        assert_eq!(reg.num_templates(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_record() {
+        let mut reg = TemplateRegistry::new();
+        let id = reg.observe("SELECT a FROM t WHERE x = 3", 5);
+        assert_eq!(reg.lookup("SELECT a FROM t WHERE x = 77"), Some(id));
+        assert_eq!(reg.count(id), 1);
+        assert_eq!(reg.lookup("SELECT zz FROM t"), None);
+    }
+
+    #[test]
+    fn arrival_traces_bin_correctly() {
+        let mut reg = TemplateRegistry::new();
+        // Template observed at t = 0, 5, 10, 15, 25 with 10 s bins over [0, 30).
+        for ts in [0, 5, 10, 15, 25] {
+            reg.observe("SELECT a FROM t WHERE x = 1", ts);
+        }
+        let set = reg.arrival_traces(0, 30, 10);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.traces()[0].values(), &[2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn out_of_range_observations_are_dropped() {
+        let mut reg = TemplateRegistry::new();
+        reg.observe("SELECT a FROM t", 5);
+        reg.observe("SELECT a FROM t", 1000);
+        let set = reg.arrival_traces(0, 10, 10);
+        assert_eq!(set.traces()[0].values(), &[1.0]);
+    }
+
+    #[test]
+    fn volume_ordering() {
+        let mut reg = TemplateRegistry::new();
+        reg.observe("SELECT a FROM t", 0);
+        for ts in 0..5 {
+            reg.observe("SELECT b FROM u", ts);
+        }
+        let v = reg.by_volume_desc();
+        assert_eq!(v[0].1, 5);
+        assert_eq!(reg.template(v[0].0), "SELECT b FROM u");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        TemplateRegistry::new().arrival_traces(0, 10, 0);
+    }
+}

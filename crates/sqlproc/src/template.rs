@@ -1,0 +1,118 @@
+//! Literal → placeholder templatization.
+//!
+//! The paper's example: `SELECT * FROM Stu WHERE id=5 and age>21 and
+//! height<180` becomes `SELECT * FROM Stu WHERE id=? and age>? and
+//! height<?` (it uses distinct sigils `$ & #`; a uniform `?` carries the
+//! same information since position disambiguates). `IN`-lists of literals
+//! collapse to a single placeholder so `IN (1,2)` and `IN (1,2,3)` share a
+//! template.
+
+use crate::token::{render, tokenize, Token};
+
+/// Replace literal tokens with placeholders and collapse literal-only
+/// `IN (...)` lists, returning the normalized template string.
+pub fn templatize(sql: &str) -> String {
+    let tokens = tokenize(sql);
+    render(&templatize_tokens(tokens))
+}
+
+/// Token-level templatization, exposed for the canonicalizer.
+pub fn templatize_tokens(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        // Detect `IN ( lit , lit , ... )` and collapse it.
+        if tokens[i].is_kw("IN") && matches!(tokens.get(i + 1), Some(Token::Symbol('('))) {
+            if let Some(close) = find_literal_list_end(&tokens, i + 2) {
+                out.push(tokens[i].clone());
+                out.push(Token::Symbol('('));
+                out.push(Token::Placeholder);
+                out.push(Token::Symbol(')'));
+                i = close + 1;
+                continue;
+            }
+        }
+        match &tokens[i] {
+            t if t.is_literal() => out.push(Token::Placeholder),
+            t => out.push(t.clone()),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If tokens from `start` are a pure literal list `lit (, lit)* )`, return
+/// the index of the closing paren.
+fn find_literal_list_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut i = start;
+    let mut saw_literal = false;
+    loop {
+        match tokens.get(i)? {
+            t if t.is_literal() || *t == Token::Placeholder => {
+                saw_literal = true;
+                i += 1;
+            }
+            Token::Symbol(',') => i += 1,
+            Token::Symbol(')') if saw_literal => return Some(i),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_templatizes() {
+        let t = templatize("SELECT * FROM Stu WHERE id=5 and age>21 and height<180");
+        assert_eq!(t, "SELECT * FROM stu WHERE id = ? AND age > ? AND height < ?");
+    }
+
+    #[test]
+    fn same_template_for_different_constants() {
+        let a = templatize("SELECT name FROM users WHERE id = 1");
+        let b = templatize("SELECT name FROM users WHERE id = 99424");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_literals_templatize() {
+        let t = templatize("SELECT * FROM t WHERE city = 'Pittsburgh'");
+        assert_eq!(t, "SELECT * FROM t WHERE city = ?");
+    }
+
+    #[test]
+    fn in_lists_collapse() {
+        let a = templatize("SELECT * FROM t WHERE id IN (1, 2)");
+        let b = templatize("SELECT * FROM t WHERE id IN (1, 2, 3, 4, 5)");
+        assert_eq!(a, b);
+        assert_eq!(a, "SELECT * FROM t WHERE id IN (?)");
+    }
+
+    #[test]
+    fn in_subquery_is_not_collapsed() {
+        let t = templatize("SELECT * FROM t WHERE id IN (SELECT id FROM u WHERE x = 3)");
+        assert_eq!(t, "SELECT * FROM t WHERE id IN (SELECT id FROM u WHERE x = ?)");
+    }
+
+    #[test]
+    fn insert_values_templatize() {
+        let t = templatize("INSERT INTO stop (id, name) VALUES (42, 'Fifth Ave')");
+        assert_eq!(t, "INSERT INTO stop (id, name) VALUES (?, ?)");
+    }
+
+    #[test]
+    fn update_templatizes() {
+        let t = templatize("UPDATE bus SET lat = 40.44, lon = -79.99 WHERE id = 7");
+        // `-79.99` lexes as symbol '-' plus number; the number templatizes.
+        assert_eq!(t, "UPDATE bus SET lat = ?, lon = - ? WHERE id = ?");
+    }
+
+    #[test]
+    fn whitespace_and_case_insensitive() {
+        let a = templatize("select * from T where X=1");
+        let b = templatize("SELECT   *   FROM t WHERE x = 234");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,269 @@
+//! A small SQL lexer that performs the paper's format normalization:
+//! consistent spacing, upper-cased keywords, lower-cased identifiers, and
+//! uniform bracket placement all fall out of re-rendering the token
+//! stream.
+
+use std::fmt;
+
+/// SQL keywords recognized by the lexer. Anything alphabetic that is not
+/// in this list is treated as an identifier.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "GROUP", "BY",
+    "ORDER", "HAVING", "LIMIT", "OFFSET", "AS", "IN", "IS", "NULL", "LIKE", "BETWEEN", "UNION",
+    "ALL", "DISTINCT", "ASC", "DESC", "CASE", "WHEN", "THEN", "ELSE", "END", "EXISTS", "COUNT",
+    "SUM", "AVG", "MIN", "MAX", "CREATE", "TABLE", "INDEX", "DROP", "PRIMARY", "KEY", "BEGIN",
+    "COMMIT", "ROLLBACK", "TRUE", "FALSE",
+];
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Upper-cased SQL keyword.
+    Keyword(String),
+    /// Lower-cased identifier (table, column, alias; may be dotted later).
+    Ident(String),
+    /// Numeric literal, kept verbatim.
+    Number(String),
+    /// String literal *without* the surrounding quotes.
+    Str(String),
+    /// Single-character operator or punctuation: `( ) , . ; * = < > + - /`.
+    Symbol(char),
+    /// Two-character operator: `<=`, `>=`, `<>`, `!=`, `||`.
+    Op2([char; 2]),
+    /// The literal placeholder produced by templatization.
+    Placeholder,
+}
+
+impl Token {
+    /// True for literal tokens that templatization replaces.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Token::Number(_) | Token::Str(_))
+    }
+
+    /// True if this token is the given keyword (case already normalized).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Keyword(k) if k == kw)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(c) => write!(f, "{c}"),
+            Token::Op2([a, b]) => write!(f, "{a}{b}"),
+            Token::Placeholder => write!(f, "?"),
+        }
+    }
+}
+
+/// Lex a SQL string into tokens, skipping whitespace and both comment
+/// styles (`-- …` and `/* … */`). Unterminated strings are closed at end
+/// of input rather than erroring — logs get truncated in the wild.
+pub fn tokenize(sql: &str) -> Vec<Token> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+            continue;
+        }
+        // String literal (single quotes, '' escape).
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\'' {
+                    if chars.get(i + 1) == Some(&'\'') {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        // Number: digits with optional decimal/exponent part.
+        if c.is_ascii_digit()
+            || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-')
+                        && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))))
+            {
+                i += 1;
+            }
+            out.push(Token::Number(chars[start..i].iter().collect()));
+            continue;
+        }
+        // Identifier or keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let upper = word.to_ascii_uppercase();
+            if KEYWORDS.contains(&upper.as_str()) {
+                out.push(Token::Keyword(upper));
+            } else {
+                out.push(Token::Ident(word.to_ascii_lowercase()));
+            }
+            continue;
+        }
+        // Placeholder already present in the input (prepared statements).
+        if c == '?' || c == '$' || c == '&' || c == '#' {
+            out.push(Token::Placeholder);
+            i += 1;
+            continue;
+        }
+        // Two-character operators.
+        if let Some(&n) = chars.get(i + 1) {
+            let pair = [c, n];
+            if matches!(pair, ['<', '='] | ['>', '='] | ['<', '>'] | ['!', '='] | ['|', '|']) {
+                out.push(Token::Op2(pair));
+                i += 2;
+                continue;
+            }
+        }
+        out.push(Token::Symbol(c));
+        i += 1;
+    }
+    out
+}
+
+/// Render tokens back to a normalized single-line SQL string with
+/// canonical spacing (one space between tokens, none before `,`/`)`/`;`
+/// or after `(`/`.`, none around `.`).
+pub fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        let text = t.to_string();
+        let no_space_before = matches!(t, Token::Symbol(',') | Token::Symbol(')') | Token::Symbol(';') | Token::Symbol('.'));
+        let prev_no_space_after = idx > 0
+            && matches!(tokens[idx - 1], Token::Symbol('(') | Token::Symbol('.'));
+        if !out.is_empty() && !no_space_before && !prev_no_space_after {
+            out.push(' ');
+        }
+        out.push_str(&text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_uppercased_and_idents_lowercased() {
+        let toks = tokenize("select NAME from Stu");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("name".into()),
+                Token::Keyword("FROM".into()),
+                Token::Ident("stu".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings_lex() {
+        let toks = tokenize("WHERE id = 5 AND name = 'bob''s'");
+        assert!(toks.contains(&Token::Number("5".into())));
+        assert!(toks.contains(&Token::Str("bob's".into())));
+    }
+
+    #[test]
+    fn decimals_and_exponents_lex_as_one_number() {
+        let toks = tokenize("x = 3.14 AND y = 1e-3 AND z = .5");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Number(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["3.14", "1e-3", ".5"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT a -- trailing\nFROM t /* block */ WHERE b = 1");
+        let rendered = render(&toks);
+        assert_eq!(rendered, "SELECT a FROM t WHERE b = 1");
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = tokenize("a <= 1 AND b <> 2 AND c != 3 AND d >= 4");
+        assert!(toks.contains(&Token::Op2(['<', '='])));
+        assert!(toks.contains(&Token::Op2(['<', '>'])));
+        assert!(toks.contains(&Token::Op2(['!', '='])));
+        assert!(toks.contains(&Token::Op2(['>', '='])));
+    }
+
+    #[test]
+    fn render_normalizes_spacing_and_brackets() {
+        let toks = tokenize("SELECT  a ,b FROM t WHERE x IN ( 1,2 )");
+        assert_eq!(render(&toks), "SELECT a, b FROM t WHERE x IN (1, 2)");
+    }
+
+    #[test]
+    fn dotted_names_render_tightly() {
+        let toks = tokenize("SELECT A.id FROM A");
+        assert_eq!(render(&toks), "SELECT a.id FROM a");
+    }
+
+    #[test]
+    fn unterminated_string_is_closed() {
+        let toks = tokenize("WHERE a = 'oops");
+        assert_eq!(toks.last(), Some(&Token::Str("oops".into())));
+    }
+
+    #[test]
+    fn existing_placeholders_survive() {
+        let toks = tokenize("WHERE id = $ AND age > & AND height < #");
+        assert_eq!(toks.iter().filter(|t| **t == Token::Placeholder).count(), 3);
+    }
+
+    #[test]
+    fn normalization_examples_from_paper() {
+        // "the same usage of spacing, case, bracket placement"
+        let a = render(&tokenize("SELECT * FROM Stu WHERE id=5"));
+        let b = render(&tokenize("select  *  from  stu  where  id = 5"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! Trace cleaning (paper Sec. V-C Discussions: "we need to preprocess
+//! diversified workload traces, including extracting, cleaning, and
+//! transforming them into standard forms").
+//!
+//! Real logs have holes (collector restarts), spikes from measurement
+//! glitches, and jitter. Three standard repairs:
+//!
+//! * [`fill_gaps`] — linear interpolation over runs of NaN samples;
+//! * [`winsorize`] — clip values beyond chosen quantiles;
+//! * [`smooth`] — centred moving average.
+
+use crate::trace::Trace;
+
+/// Linearly interpolate runs of NaN samples. Leading/trailing NaN runs
+/// are filled with the nearest finite value; an all-NaN trace becomes
+/// all zeros. Returns how many samples were repaired.
+pub fn fill_gaps(trace: &mut Trace) -> usize {
+    let values = trace.values_mut();
+    let n = values.len();
+    let mut repaired = 0;
+    // Find the first finite value; bail to zeros if none.
+    let Some(first_finite) = values.iter().position(|v| v.is_finite()) else {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+        return n;
+    };
+    // Fill the leading run.
+    for i in 0..first_finite {
+        values[i] = values[first_finite];
+        repaired += 1;
+    }
+    let mut i = first_finite;
+    while i < n {
+        if values[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        // A NaN run [i, j).
+        let j = (i..n).find(|&k| values[k].is_finite()).unwrap_or(n);
+        let left = values[i - 1];
+        if j == n {
+            // Trailing run: hold the last value.
+            for v in values[i..].iter_mut() {
+                *v = left;
+                repaired += 1;
+            }
+            break;
+        }
+        let right = values[j];
+        let span = (j - i + 1) as f64;
+        for (step, v) in values[i..j].iter_mut().enumerate() {
+            let frac = (step + 1) as f64 / span;
+            *v = left + (right - left) * frac;
+            repaired += 1;
+        }
+        i = j;
+    }
+    repaired
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of the finite values, by linear
+/// interpolation between order statistics. `None` for an empty or
+/// all-NaN trace.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (finite.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(finite[lo] + (finite[hi] - finite[lo]) * frac)
+}
+
+/// Clip values outside the `[lo_q, hi_q]` quantile band (winsorization).
+/// Returns how many samples were clipped.
+///
+/// # Panics
+/// Panics unless `0 ≤ lo_q < hi_q ≤ 1`.
+pub fn winsorize(trace: &mut Trace, lo_q: f64, hi_q: f64) -> usize {
+    assert!((0.0..1.0).contains(&lo_q) && lo_q < hi_q && hi_q <= 1.0, "need 0 ≤ lo < hi ≤ 1");
+    let (Some(lo), Some(hi)) =
+        (quantile(trace.values(), lo_q), quantile(trace.values(), hi_q))
+    else {
+        return 0;
+    };
+    let mut clipped = 0;
+    for v in trace.values_mut() {
+        if *v < lo {
+            *v = lo;
+            clipped += 1;
+        } else if *v > hi {
+            *v = hi;
+            clipped += 1;
+        }
+    }
+    clipped
+}
+
+/// Centred moving average with half-width `k` (window `2k+1`, truncated
+/// at the edges). `k = 0` is the identity.
+pub fn smooth(trace: &Trace, k: usize) -> Trace {
+    let v = trace.values();
+    let n = v.len();
+    let out: Vec<f64> = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k).min(n.saturating_sub(1));
+            let w = &v[lo..=hi];
+            w.iter().sum::<f64>() / w.len() as f64
+        })
+        .collect();
+    Trace::new(trace.name.clone(), trace.kind, trace.interval_secs, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn fill_gaps_interpolates_interior_run() {
+        let mut t = Trace::query("t", vec![1.0, f64::NAN, f64::NAN, 4.0]);
+        let repaired = fill_gaps(&mut t);
+        assert_eq!(repaired, 2);
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fill_gaps_handles_edges() {
+        let mut t = Trace::query("t", vec![f64::NAN, 5.0, f64::NAN]);
+        fill_gaps(&mut t);
+        assert_eq!(t.values(), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn fill_gaps_all_nan_becomes_zero() {
+        let mut t = Trace::query("t", vec![f64::NAN, f64::NAN]);
+        assert_eq!(fill_gaps(&mut t), 2);
+        assert_eq!(t.values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fill_gaps_no_op_on_clean_trace() {
+        let mut t = Trace::query("t", vec![1.0, 2.0]);
+        assert_eq!(fill_gaps(&mut t), 0);
+        assert_eq!(t.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn winsorize_clips_outliers_only() {
+        let mut t = Trace::query("t", vec![1.0, 2.0, 3.0, 4.0, 100.0]);
+        let clipped = winsorize(&mut t, 0.0, 0.75);
+        assert_eq!(clipped, 1);
+        // 0.75 quantile of [1,2,3,4,100] = 4.0; the spike clamps to it.
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn winsorize_bad_band_panics() {
+        winsorize(&mut Trace::query("t", vec![1.0]), 0.9, 0.1);
+    }
+
+    #[test]
+    fn smooth_flattens_noise_preserves_mean() {
+        let t = Trace::query("t", vec![0.0, 10.0, 0.0, 10.0, 0.0, 10.0]);
+        let s = smooth(&t, 1);
+        // Interior points become local means.
+        assert!((s.values()[2] - 20.0 / 3.0).abs() < 1e-12);
+        // Total mass approximately preserved (edge effects aside).
+        assert!((s.mean() - t.mean()).abs() < 2.0);
+        // Variance strictly decreases.
+        assert!(s.std() < t.std());
+    }
+
+    #[test]
+    fn smooth_zero_is_identity() {
+        let t = Trace::query("t", vec![3.0, 1.0, 4.0]);
+        assert_eq!(smooth(&t, 0).values(), t.values());
+    }
+}

@@ -1,0 +1,200 @@
+//! CSV import/export for traces.
+//!
+//! Two formats:
+//! * **single** — one value per line (optionally `timestamp,value`);
+//!   what monitoring systems export for one metric;
+//! * **wide** — a header row naming traces, one column per trace; what
+//!   the `bench_results` CSVs use.
+//!
+//! Parsing is tolerant: blank lines and `#` comments are skipped,
+//! malformed lines produce an error naming the line number (silent data
+//! corruption is worse than a loud failure when loading training data).
+
+use crate::trace::{Trace, TraceKind};
+use std::fmt;
+
+/// A CSV parse failure with its 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse a single-metric CSV: one `value` or `timestamp,value` per line.
+/// The timestamp column, when present, is ignored (values are assumed
+/// already ordered and evenly spaced at `interval_secs`).
+pub fn parse_single(
+    text: &str,
+    name: &str,
+    kind: TraceKind,
+    interval_secs: u64,
+) -> Result<Trace, CsvError> {
+    let mut values = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let field = line.rsplit(',').next().expect("split yields at least one").trim();
+        let v: f64 = field.parse().map_err(|_| CsvError {
+            line: i + 1,
+            message: format!("cannot parse value {field:?}"),
+        })?;
+        if !v.is_finite() {
+            return Err(CsvError { line: i + 1, message: "non-finite value".into() });
+        }
+        values.push(v);
+    }
+    Ok(Trace::new(name, kind, interval_secs, values))
+}
+
+/// Render a trace as a single-metric CSV (`index,value` rows with a
+/// comment header).
+pub fn format_single(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 12 + 64);
+    out.push_str(&format!(
+        "# trace: {} kind: {} interval_secs: {}\n",
+        trace.name, trace.kind, trace.interval_secs
+    ));
+    for (i, v) in trace.values().iter().enumerate() {
+        out.push_str(&format!("{i},{v}\n"));
+    }
+    out
+}
+
+/// Parse a wide CSV: header `name1,name2,…`, then one row of values per
+/// interval. All traces get the same `kind` and `interval_secs`.
+pub fn parse_wide(
+    text: &str,
+    kind: TraceKind,
+    interval_secs: u64,
+) -> Result<Vec<Trace>, CsvError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim().starts_with('#'));
+    let (hline, header) =
+        lines.next().ok_or(CsvError { line: 1, message: "empty file".into() })?;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(CsvError { line: hline + 1, message: "empty column name".into() });
+    }
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for (i, raw) in lines {
+        let fields: Vec<&str> = raw.split(',').map(str::trim).collect();
+        if fields.len() != names.len() {
+            return Err(CsvError {
+                line: i + 1,
+                message: format!("expected {} fields, found {}", names.len(), fields.len()),
+            });
+        }
+        for (col, field) in columns.iter_mut().zip(&fields) {
+            let v: f64 = field.parse().map_err(|_| CsvError {
+                line: i + 1,
+                message: format!("cannot parse value {field:?}"),
+            })?;
+            col.push(v);
+        }
+    }
+    Ok(names
+        .into_iter()
+        .zip(columns)
+        .map(|(n, vals)| Trace::new(n, kind, interval_secs, vals))
+        .collect())
+}
+
+/// Render several equal-length traces as a wide CSV.
+///
+/// # Panics
+/// Panics if trace lengths differ.
+pub fn format_wide(traces: &[Trace]) -> String {
+    let Some(first) = traces.first() else {
+        return String::new();
+    };
+    assert!(
+        traces.iter().all(|t| t.len() == first.len()),
+        "wide CSV requires equal-length traces"
+    );
+    let mut out = String::new();
+    out.push_str(
+        &traces.iter().map(|t| t.name.as_str()).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for i in 0..first.len() {
+        let row: Vec<String> = traces.iter().map(|t| t.values()[i].to_string()).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_roundtrip() {
+        let t = Trace::query("q", vec![1.5, 2.0, -3.25]);
+        let csv = format_single(&t);
+        let back = parse_single(&csv, "q", TraceKind::Query, 600).expect("parses");
+        assert_eq!(back.values(), t.values());
+    }
+
+    #[test]
+    fn single_accepts_bare_values() {
+        let t = parse_single("1\n2.5\n\n# comment\n3\n", "x", TraceKind::Query, 60)
+            .expect("parses");
+        assert_eq!(t.values(), &[1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn single_reports_bad_line() {
+        let err = parse_single("1\nnope\n3\n", "x", TraceKind::Query, 60).expect_err("fails");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn single_rejects_nan() {
+        let err = parse_single("NaN\n", "x", TraceKind::Query, 60).expect_err("fails");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn wide_roundtrip() {
+        let a = Trace::query("a", vec![1.0, 2.0]);
+        let b = Trace::query("b", vec![3.0, 4.0]);
+        let csv = format_wide(&[a.clone(), b.clone()]);
+        let back = parse_wide(&csv, TraceKind::Query, 600).expect("parses");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "a");
+        assert_eq!(back[0].values(), a.values());
+        assert_eq!(back[1].values(), b.values());
+    }
+
+    #[test]
+    fn wide_rejects_ragged_rows() {
+        let err = parse_wide("a,b\n1,2\n3\n", TraceKind::Query, 60).expect_err("fails");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn wide_empty_file_errors() {
+        assert!(parse_wide("", TraceKind::Query, 60).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn wide_format_requires_equal_lengths() {
+        format_wide(&[Trace::query("a", vec![1.0]), Trace::query("b", vec![1.0, 2.0])]);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Workload trace primitives for the DBAugur reproduction.
+//!
+//! This crate models the paper's Section II definitions:
+//!
+//! * a **trace** ([`Trace`]) is one workload metric sampled at a fixed
+//!   *forecasting interval* — e.g. query arrival rate per 10 minutes, or a
+//!   disk-utilization ratio (Definition 1 splits a workload into query
+//!   traces `W(Q)` and resource traces `W(R)`; both are plain `Trace`s
+//!   tagged with a [`TraceKind`]);
+//! * the *forecasting horizon* `H` (Definition 2) and *forecasting
+//!   interval* `I` (Definition 3) parameterize the supervised windows built
+//!   by [`window::WindowDataset`];
+//! * single- and multi-trace forecasting (Definitions 4–5) consume these
+//!   windows; the model zoo lives in the `dbaugur-models` crate.
+//!
+//! Because the paper's datasets (the CMU BusTracker sample and the Alibaba
+//! cluster trace) are not redistributable, the [`synth`] module provides
+//! seeded generators that reproduce the pattern properties the paper calls
+//! out in Figure 2: a strong one-day cycle with crests/troughs for
+//! BusTracker, and a long weak period with local linearity and bursts for
+//! the Alibaba disk-utilization trace.
+
+pub mod clean;
+pub mod io;
+pub mod metrics;
+pub mod normalize;
+pub mod split;
+pub mod synth;
+pub mod trace;
+pub mod window;
+
+pub use clean::{fill_gaps, quantile, smooth, winsorize};
+pub use io::{format_single, format_wide, parse_single, parse_wide, CsvError};
+pub use metrics::{mae, mape, mse, rmse, smape};
+pub use normalize::{MinMaxScaler, Scaler, ZScoreScaler};
+pub use split::{train_test_split, Split};
+pub use trace::{Trace, TraceKind, TraceSet};
+pub use window::{WindowDataset, WindowSpec};

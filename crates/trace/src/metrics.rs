@@ -1,0 +1,137 @@
+//! Forecast-accuracy metrics.
+//!
+//! The paper quantifies forecasting accuracy with Mean Square Error
+//! ("MSE is used to quantify the forecasting accuracy", Section VI-B);
+//! the companions here (MAE, RMSE, MAPE, sMAPE) are provided for the
+//! extended evaluation and the ensemble's error bookkeeping.
+
+/// Mean squared error between predictions and ground truth.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    mse(pred, truth).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Mean absolute percentage error, skipping points where the truth is 0.
+///
+/// Returns `f64::NAN` when every truth value is zero.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        if *t != 0.0 {
+            acc += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * acc / n as f64
+    }
+}
+
+/// Symmetric MAPE in `[0, 200]`, with the `0/0` points counted as exact.
+pub fn smape(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    let acc: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| {
+            let denom = p.abs() + t.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (p - t).abs() / (denom / 2.0)
+            }
+        })
+        .sum();
+    100.0 * acc / pred.len() as f64
+}
+
+fn check(pred: &[f64], truth: &[f64]) {
+    assert_eq!(pred.len(), truth.len(), "metric inputs must align");
+    assert!(!pred.is_empty(), "metric inputs must be non-empty");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_exact_prediction_is_zero() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        // errors: 1, -2 -> squared 1, 4 -> mean 2.5
+        assert_eq!(mse(&[2.0, 0.0], &[1.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_of_mse() {
+        let p = [2.0, 0.0];
+        let t = [1.0, 2.0];
+        assert!((rmse(&p, &t) - mse(&p, &t).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert_eq!(mae(&[2.0, 0.0], &[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        // only the second point counts: |(4-2)/2| = 1 -> 100%
+        assert_eq!(mape(&[3.0, 4.0], &[0.0, 2.0]), 100.0);
+    }
+
+    #[test]
+    fn mape_all_zero_truth_is_nan() {
+        assert!(mape(&[1.0], &[0.0]).is_nan());
+    }
+
+    #[test]
+    fn smape_handles_double_zero() {
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn smape_max_is_200() {
+        assert!((smape(&[1.0], &[-1.0]) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_inputs_panic() {
+        mae(&[], &[]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Scalers used before feeding traces to neural models.
+//!
+//! The neural forecasters train on normalized values (as the Keras
+//! implementation the paper describes would); predictions are mapped back
+//! to workload units with [`Scaler::inverse`] before computing MSE so the
+//! reported errors are in the original scale.
+
+/// A reversible per-trace normalization.
+pub trait Scaler {
+    /// Learn normalization statistics from `data`.
+    fn fit(&mut self, data: &[f64]);
+    /// Map one value into normalized space.
+    fn transform(&self, v: f64) -> f64;
+    /// Map one normalized value back to the original space.
+    fn inverse(&self, v: f64) -> f64;
+
+    /// Transform a whole slice.
+    fn transform_all(&self, data: &[f64]) -> Vec<f64> {
+        data.iter().map(|&v| self.transform(v)).collect()
+    }
+
+    /// Inverse-transform a whole slice.
+    fn inverse_all(&self, data: &[f64]) -> Vec<f64> {
+        data.iter().map(|&v| self.inverse(v)).collect()
+    }
+}
+
+/// Min–max scaler mapping the fitted range onto `[0, 1]`.
+///
+/// Degenerate (constant) traces map to `0.5` so downstream models still
+/// receive finite inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMaxScaler {
+    min: f64,
+    max: f64,
+}
+
+impl Default for MinMaxScaler {
+    fn default() -> Self {
+        Self { min: 0.0, max: 1.0 }
+    }
+}
+
+impl MinMaxScaler {
+    /// A scaler with identity statistics (range `[0, 1]`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit and return in one step.
+    pub fn fitted(data: &[f64]) -> Self {
+        let mut s = Self::new();
+        s.fit(data);
+        s
+    }
+
+    /// The fitted `(min, max)` range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+}
+
+impl Scaler for MinMaxScaler {
+    fn fit(&mut self, data: &[f64]) {
+        self.min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        self.max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !self.min.is_finite() {
+            self.min = 0.0;
+            self.max = 1.0;
+        }
+    }
+
+    fn transform(&self, v: f64) -> f64 {
+        let span = self.max - self.min;
+        if span == 0.0 {
+            0.5
+        } else {
+            (v - self.min) / span
+        }
+    }
+
+    fn inverse(&self, v: f64) -> f64 {
+        let span = self.max - self.min;
+        if span == 0.0 {
+            self.min
+        } else {
+            v * span + self.min
+        }
+    }
+}
+
+/// Z-score scaler `(v - mean) / std`, falling back to centering when the
+/// fitted standard deviation is zero.
+#[derive(Debug, Clone, Copy)]
+pub struct ZScoreScaler {
+    mean: f64,
+    std: f64,
+}
+
+impl Default for ZScoreScaler {
+    fn default() -> Self {
+        Self { mean: 0.0, std: 1.0 }
+    }
+}
+
+impl ZScoreScaler {
+    /// A scaler with identity statistics (mean 0, std 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit and return in one step.
+    pub fn fitted(data: &[f64]) -> Self {
+        let mut s = Self::new();
+        s.fit(data);
+        s
+    }
+
+    /// The fitted `(mean, std)` pair.
+    pub fn stats(&self) -> (f64, f64) {
+        (self.mean, self.std)
+    }
+}
+
+impl Scaler for ZScoreScaler {
+    fn fit(&mut self, data: &[f64]) {
+        if data.is_empty() {
+            self.mean = 0.0;
+            self.std = 1.0;
+            return;
+        }
+        self.mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|v| (v - self.mean) * (v - self.mean)).sum::<f64>()
+            / data.len() as f64;
+        self.std = var.sqrt();
+        if self.std == 0.0 {
+            self.std = 1.0;
+        }
+    }
+
+    fn transform(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_extremes_to_unit_interval() {
+        let s = MinMaxScaler::fitted(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.transform(2.0), 0.0);
+        assert_eq!(s.transform(6.0), 1.0);
+        assert_eq!(s.transform(4.0), 0.5);
+    }
+
+    #[test]
+    fn minmax_roundtrip() {
+        let s = MinMaxScaler::fitted(&[-3.0, 10.0, 5.5]);
+        for v in [-3.0, 0.0, 5.5, 10.0, 20.0] {
+            assert!((s.inverse(s.transform(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minmax_constant_trace_is_finite() {
+        let s = MinMaxScaler::fitted(&[7.0, 7.0]);
+        assert_eq!(s.transform(7.0), 0.5);
+        assert_eq!(s.inverse(0.5), 7.0);
+    }
+
+    #[test]
+    fn minmax_empty_fit_is_identityish() {
+        let s = MinMaxScaler::fitted(&[]);
+        assert_eq!(s.range(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let s = ZScoreScaler::fitted(&[1.0, 2.0, 3.0]);
+        assert!((s.transform(2.0)).abs() < 1e-12);
+        let (_, std) = s.stats();
+        assert!((s.transform(3.0) - 1.0 / std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_roundtrip() {
+        let s = ZScoreScaler::fitted(&[5.0, 9.0, -1.0, 2.0]);
+        for v in [-1.0, 0.0, 5.0, 100.0] {
+            assert!((s.inverse(s.transform(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zscore_constant_trace_centers() {
+        let s = ZScoreScaler::fitted(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.transform(4.0), 0.0);
+        assert_eq!(s.inverse(0.0), 4.0);
+    }
+
+    #[test]
+    fn transform_all_matches_pointwise() {
+        let s = MinMaxScaler::fitted(&[0.0, 10.0]);
+        assert_eq!(s.transform_all(&[0.0, 5.0, 10.0]), vec![0.0, 0.5, 1.0]);
+        assert_eq!(s.inverse_all(&[0.0, 0.5, 1.0]), vec![0.0, 5.0, 10.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Chronological train/test splitting.
+//!
+//! The paper uses "the first 70% of the dataset as the training set and
+//! the rest as the test set" (Section VI-A). Time-series splits must be
+//! chronological — never shuffled — so the split point is just an index.
+
+use crate::trace::Trace;
+
+/// The two halves of a chronological split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Leading portion used for fitting.
+    pub train: Trace,
+    /// Trailing portion used for evaluation.
+    pub test: Trace,
+}
+
+/// Split `trace` chronologically, putting `train_frac` of the samples in
+/// the training half.
+///
+/// `train_frac` is clamped to `[0, 1]`; the split index is
+/// `floor(len * train_frac)`.
+pub fn train_test_split(trace: &Trace, train_frac: f64) -> Split {
+    let frac = train_frac.clamp(0.0, 1.0);
+    let cut = (trace.len() as f64 * frac).floor() as usize;
+    Split {
+        train: trace.slice(0..cut),
+        test: trace.slice(cut..trace.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn seventy_thirty_split() {
+        let t = Trace::query("t", (0..10).map(|i| i as f64).collect());
+        let s = train_test_split(&t, 0.7);
+        assert_eq!(s.train.len(), 7);
+        assert_eq!(s.test.len(), 3);
+        assert_eq!(s.train.values()[6], 6.0);
+        assert_eq!(s.test.values()[0], 7.0);
+    }
+
+    #[test]
+    fn split_is_chronological_and_lossless() {
+        let t = Trace::query("t", (0..37).map(|i| (i * i) as f64).collect());
+        let s = train_test_split(&t, 0.5);
+        let mut joined = s.train.into_values();
+        joined.extend(s.test.values());
+        assert_eq!(joined, t.values());
+    }
+
+    #[test]
+    fn extreme_fracs_are_clamped() {
+        let t = Trace::query("t", vec![1.0, 2.0, 3.0]);
+        assert_eq!(train_test_split(&t, -1.0).train.len(), 0);
+        assert_eq!(train_test_split(&t, 2.0).test.len(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Sliding-window supervised datasets (Definitions 2–4).
+//!
+//! A forecaster observes a history window `(x_{t-T+1}, …, x_t)` of length
+//! `T` and predicts `x_{t+H}` where `H` is the forecasting horizon *in
+//! intervals*. [`WindowDataset`] materializes every `(window, target)`
+//! pair a trace admits, which is what the model zoo trains on.
+
+use crate::trace::Trace;
+
+/// Shape of the supervised problem: history length and horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// History length `T` (the paper uses `T = 30` for its LSTMs).
+    pub history: usize,
+    /// Forecasting horizon `H ≥ 1`, measured in intervals.
+    pub horizon: usize,
+}
+
+impl WindowSpec {
+    /// Construct a spec.
+    ///
+    /// # Panics
+    /// Panics unless `history ≥ 1` and `horizon ≥ 1`.
+    pub fn new(history: usize, horizon: usize) -> Self {
+        assert!(history >= 1, "history must be at least 1");
+        assert!(horizon >= 1, "horizon must be at least 1");
+        Self { history, horizon }
+    }
+
+    /// Samples consumed per example: the window plus the gap to the target.
+    pub fn span(&self) -> usize {
+        self.history + self.horizon
+    }
+
+    /// Number of `(window, target)` examples a trace of length `n` yields.
+    pub fn num_examples(&self, n: usize) -> usize {
+        n.saturating_sub(self.span() - 1)
+    }
+}
+
+/// A materialized supervised dataset over one trace.
+#[derive(Debug, Clone)]
+pub struct WindowDataset {
+    spec: WindowSpec,
+    /// Flattened windows, `num × history` row-major.
+    windows: Vec<f64>,
+    targets: Vec<f64>,
+}
+
+impl WindowDataset {
+    /// Build all examples from `values` under `spec`.
+    pub fn from_values(values: &[f64], spec: WindowSpec) -> Self {
+        let num = spec.num_examples(values.len());
+        let mut windows = Vec::with_capacity(num * spec.history);
+        let mut targets = Vec::with_capacity(num);
+        for i in 0..num {
+            windows.extend_from_slice(&values[i..i + spec.history]);
+            targets.push(values[i + spec.history + spec.horizon - 1]);
+        }
+        Self { spec, windows, targets }
+    }
+
+    /// Build from a [`Trace`].
+    pub fn from_trace(trace: &Trace, spec: WindowSpec) -> Self {
+        Self::from_values(trace.values(), spec)
+    }
+
+    /// The spec this dataset was built with.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no example could be formed (trace shorter than the span).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The `i`-th history window.
+    pub fn window(&self, i: usize) -> &[f64] {
+        let h = self.spec.history;
+        &self.windows[i * h..(i + 1) * h]
+    }
+
+    /// The `i`-th target `x_{t+H}`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets, aligned with windows.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Iterate over `(window, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        (0..self.len()).map(move |i| (self.window(i), self.target(i)))
+    }
+
+    /// The final history window in the trace, i.e. the condition window a
+    /// deployed forecaster would use to predict the *next* unseen value.
+    /// `None` when the trace is shorter than `history`.
+    pub fn last_window_of(values: &[f64], history: usize) -> Option<&[f64]> {
+        if values.len() < history {
+            None
+        } else {
+            Some(&values[values.len() - history..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_span_and_count() {
+        let s = WindowSpec::new(3, 2);
+        assert_eq!(s.span(), 5);
+        assert_eq!(s.num_examples(10), 6);
+        assert_eq!(s.num_examples(5), 1);
+        assert_eq!(s.num_examples(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        WindowSpec::new(3, 0);
+    }
+
+    #[test]
+    fn windows_and_targets_align() {
+        let vals: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ds = WindowDataset::from_values(&vals, WindowSpec::new(3, 2));
+        // first example: window [0,1,2], target index 3+2-1 = 4
+        assert_eq!(ds.window(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(ds.target(0), 4.0);
+        // last example starts at i = 8-5 = 3: window [3,4,5], target 7
+        let last = ds.len() - 1;
+        assert_eq!(ds.window(last), &[3.0, 4.0, 5.0]);
+        assert_eq!(ds.target(last), 7.0);
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn horizon_one_predicts_next() {
+        let vals = [10.0, 20.0, 30.0, 40.0];
+        let ds = WindowDataset::from_values(&vals, WindowSpec::new(2, 1));
+        assert_eq!(ds.window(0), &[10.0, 20.0]);
+        assert_eq!(ds.target(0), 30.0);
+    }
+
+    #[test]
+    fn short_trace_yields_empty_dataset() {
+        let ds = WindowDataset::from_values(&[1.0, 2.0], WindowSpec::new(3, 1));
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn iter_matches_indexing() {
+        let vals: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ds = WindowDataset::from_values(&vals, WindowSpec::new(2, 1));
+        for (i, (w, t)) in ds.iter().enumerate() {
+            assert_eq!(w, ds.window(i));
+            assert_eq!(t, ds.target(i));
+        }
+    }
+
+    #[test]
+    fn last_window_extraction() {
+        let vals = [1.0, 2.0, 3.0];
+        assert_eq!(WindowDataset::last_window_of(&vals, 2), Some(&vals[1..]));
+        assert_eq!(WindowDataset::last_window_of(&vals, 4), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Quickstart: the full DBAugur pipeline on a synthetic query log.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a day of timestamped SQL, feeds it through SQL2Template →
+//! Descender clustering → the time-sensitive ensemble, and prints
+//! next-interval forecasts for the hot templates.
+
+use dbaugur::{DbAugur, DbAugurConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A 2-day log at minute granularity with three application query
+    // shapes whose rates follow different daily patterns.
+    let mut rng = StdRng::seed_from_u64(1);
+    let minutes = 2 * 24 * 60;
+    let mut log = String::new();
+    for minute in 0..minutes as u64 {
+        let tod = (minute % 1440) as f64 / 1440.0;
+        let day_peak = (std::f64::consts::TAU * (tod - 0.3)).sin().max(0.0);
+        // Bus position lookups: heavy at rush hours.
+        let n1 = (2.0 + 20.0 * day_peak + rng.gen_range(0.0..2.0)) as u64;
+        for k in 0..n1 {
+            log.push_str(&format!(
+                "{}\tSELECT lat, lon FROM bus WHERE route = {}\n",
+                minute * 60 + k,
+                rng.gen_range(1..50)
+            ));
+        }
+        // Ticket queries: the planetarium pattern — two statements that
+        // always arrive together (note the swapped SELECT lists: the
+        // canonicalizer merges them into one template).
+        let n2 = (1.0 + 8.0 * day_peak) as u64;
+        for k in 0..n2 {
+            log.push_str(&format!(
+                "{}\tSELECT price, count FROM tickets WHERE show = {}\n",
+                minute * 60 + 10 + k,
+                rng.gen_range(1..10)
+            ));
+            log.push_str(&format!(
+                "{}\tSELECT count, price FROM tickets WHERE show = {}\n",
+                minute * 60 + 11 + k,
+                rng.gen_range(1..10)
+            ));
+        }
+        // Rare admin scan.
+        if minute % 360 == 0 {
+            log.push_str(&format!("{}\tSELECT * FROM audit_log\n", minute * 60));
+        }
+    }
+
+    let mut cfg = DbAugurConfig::default();
+    cfg.interval_secs = 600; // the paper's 10-minute interval
+    cfg.history = 24;
+    cfg.horizon = 1;
+    cfg.top_k = 3;
+    cfg.clustering.min_size = 1;
+    cfg.epochs = 8;
+    cfg.max_examples = 400;
+    let mut system = DbAugur::new(cfg);
+
+    let ingested = system.ingest_log(&log);
+    println!("ingested {ingested} statements → {} templates", system.num_templates());
+
+    system.train(0, minutes as u64 * 60).expect("training succeeds");
+    println!("trained {} representative clusters\n", system.clusters().len());
+
+    for (i, cluster) in system.clusters().iter().enumerate() {
+        let forecast = system.forecast_cluster(i).expect("trained cluster");
+        println!(
+            "cluster {i}: {} member trace(s), volume {:.0}, next-interval forecast {:.1} \
+             (ensemble weights {:?})",
+            cluster.summary.members.len(),
+            cluster.summary.volume,
+            forecast,
+            cluster
+                .weights()
+                .iter()
+                .map(|w| (w * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    let bus = system
+        .forecast_template("SELECT lat, lon FROM bus WHERE route = 7")
+        .expect("hot template is in a top-K cluster");
+    println!("\nforecast, bus-position template: {bus:.1} queries / 10 min");
+
+    let a = system.forecast_template("SELECT price, count FROM tickets WHERE show = 3");
+    let b = system.forecast_template("SELECT count, price FROM tickets WHERE show = 8");
+    println!("forecast, ticket templates (canonicalized to one): {a:?} == {b:?}");
+    assert_eq!(a, b, "semantic equivalence merged the swapped SELECT lists");
+}

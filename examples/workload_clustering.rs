@@ -1,0 +1,89 @@
+//! DTW workload clustering (the paper's Sec. IV machinery in isolation).
+//!
+//! ```text
+//! cargo run --release --example workload_clustering
+//! ```
+//!
+//! Builds the planetarium scenario from the paper's introduction — query
+//! traces that are near-identical but shifted by a few minutes — and
+//! shows that Descender with DTW groups them while the same clustering
+//! with Euclidean distance does not. Then demonstrates online insertion
+//! and top-K representative selection.
+
+use dbaugur_cluster::{select_top_k, Descender, DescenderParams, OnlineDescender};
+use dbaugur_dtw::{DtwDistance, EuclideanDistance};
+use dbaugur_trace::{synth, Trace};
+
+fn main() {
+    // "users always look up the number of left tickets and the ticket
+    // prices together … even if they have slight time difference".
+    let ticket_count = synth::bustracker(5, 2);
+    let ticket_price = synth::add_noise(&synth::time_shift(&ticket_count, 2), 6.0, 9);
+    let seat_map = synth::add_noise(&synth::time_shift(&ticket_count, -3), 6.0, 10);
+    // An unrelated batch job.
+    let nightly_etl = synth::alibaba_disk(3, 2);
+    let another_etl = synth::add_noise(&nightly_etl, 0.01, 11);
+
+    let traces: Vec<Trace> = vec![
+        Trace::query("ticket_count", ticket_count.values().to_vec()),
+        Trace::query("ticket_price", ticket_price.values().to_vec()),
+        Trace::query("seat_map", seat_map.values().to_vec()),
+        Trace::query("nightly_etl", nightly_etl.values().to_vec()),
+        Trace::query("another_etl", another_etl.values().to_vec()),
+    ];
+
+    let params = DescenderParams { rho: 5.0, min_size: 2, normalize: true };
+    let dtw = Descender::new(params, DtwDistance::new(10)).cluster(&traces);
+    let euc = Descender::new(params, EuclideanDistance).cluster(&traces);
+
+    println!("trace            DTW cluster   Euclidean cluster");
+    for (i, t) in traces.iter().enumerate() {
+        println!(
+            "{:<16} {:<13} {:?}",
+            t.name,
+            format!("{:?}", dtw.assignments[i]),
+            euc.assignments[i]
+        );
+    }
+    assert_eq!(
+        dtw.assignments[0], dtw.assignments[1],
+        "DTW must merge the shifted ticket queries"
+    );
+    assert_eq!(dtw.assignments[0], dtw.assignments[2]);
+
+    // Top-K representative clusters with proportions.
+    let top = select_top_k(&traces, &dtw, 2);
+    println!("\ntop-{} clusters by volume:", top.len());
+    for s in &top {
+        let names: Vec<&str> = s.members.iter().map(|&m| traces[m].name.as_str()).collect();
+        println!(
+            "  cluster {} volume {:.0}: members {:?}, proportions {:?}",
+            s.cluster_id,
+            s.volume,
+            names,
+            s.proportions.iter().map(|p| (p * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+
+    // Online insertion: a new shifted twin joins the ticket cluster.
+    let mut online = OnlineDescender::new(params, DtwDistance::new(10));
+    for t in &traces {
+        online.insert(t);
+    }
+    let newcomer = Trace::query(
+        "refund_lookup",
+        synth::add_noise(&synth::time_shift(&traces[0], 4), 6.0, 12).values().to_vec(),
+    );
+    online.insert(&newcomer);
+    let clusters = online.clusters();
+    println!("\nafter online insertion: {} clusters", clusters.len());
+    let ticket_cluster = clusters
+        .iter()
+        .find(|c| c.contains(&0))
+        .expect("ticket cluster exists");
+    assert!(
+        ticket_cluster.contains(&5),
+        "the online path should route the newcomer into the ticket cluster"
+    );
+    println!("newcomer joined the ticket cluster: {ticket_cluster:?}");
+}

@@ -1,0 +1,2 @@
+//! Re-export shim so workspace-level tests and examples have a lib target.
+pub use dbaugur as core_api;

@@ -1,0 +1,167 @@
+//! Case-study integration: forecast-driven decisions beat static ones on
+//! the dbsim substrates when the workload actually shifts — the essence
+//! of the paper's Figs. 8 and 9, in fast deterministic form (LR
+//! forecasters so the tests run in milliseconds).
+
+use dbaugur_dbsim::index::{Predicate, QueryTemplate};
+use dbaugur_dbsim::{
+    balance_metric, run_period, AutoAdmin, Catalog, Cluster, CostModel, MigrationPlanner,
+    PeriodBudget, Workload,
+};
+use dbaugur_models::{Forecaster, LinearRegression};
+use dbaugur_trace::WindowSpec;
+
+#[test]
+fn forecast_driven_indexing_beats_static_after_shift() {
+    let mut cat = Catalog::new();
+    let t1 = cat.add_table(500_000, vec![500_000, 1_000]);
+    let t2 = cat.add_table(200_000, vec![200_000]);
+    let templates = vec![
+        QueryTemplate { table: t1, predicates: vec![Predicate::Eq((t1, 0))] },
+        QueryTemplate { table: t1, predicates: vec![Predicate::Eq((t1, 1))] },
+        QueryTemplate { table: t2, predicates: vec![Predicate::Eq((t2, 0))] },
+    ];
+    let advisor = AutoAdmin::new(1);
+    let cost = CostModel::default();
+
+    // Rates ramp linearly: template 0 fades, template 1 surges.
+    let n = 120usize;
+    let traces: Vec<Vec<f64>> = vec![
+        (0..n).map(|t| 1000.0 - 8.0 * t as f64).collect(),
+        (0..n).map(|t| 50.0 + 9.0 * t as f64).collect(),
+        (0..n).map(|_| 100.0).collect(),
+    ];
+    let split = 60;
+    let spec = WindowSpec::new(10, 5);
+
+    // LR extrapolates the ramps almost exactly.
+    let forecast_at = |target: usize| -> Workload {
+        let rates: Vec<f64> = traces
+            .iter()
+            .map(|tr| {
+                let mut lr = LinearRegression::default();
+                lr.fit(&tr[..split], spec);
+                lr.predict(&tr[target - 5 - 10..target - 5]).max(0.0)
+            })
+            .collect();
+        Workload::new(rates)
+    };
+
+    let probe = 110;
+    let hist = Workload::new(
+        traces.iter().map(|tr| tr[..split].iter().sum::<f64>() / split as f64).collect(),
+    );
+    let static_idx = advisor.recommend(&cat, &templates, &hist);
+    let auto_idx = advisor.recommend(&cat, &templates, &forecast_at(probe));
+    assert_ne!(static_idx, auto_idx, "the shift must change the recommendation");
+
+    let actual = Workload::new(traces.iter().map(|tr| tr[probe]).collect());
+    let budget = PeriodBudget { build_cost: 0.0, work_budget: 1e9, period_secs: 60.0 };
+    let (_, static_lat) = run_period(&cat, &cost, &templates, &actual, &static_idx, budget);
+    let (_, auto_lat) = run_period(&cat, &cost, &templates, &actual, &auto_idx, budget);
+    assert!(
+        auto_lat < static_lat,
+        "forecasted indexes ({auto_lat:.0}) must beat stale ones ({static_lat:.0})"
+    );
+}
+
+#[test]
+fn forecast_driven_migration_beats_static_plan() {
+    const REGIONS: usize = 6;
+    let n = 240usize;
+    // Rotating hot spot with *uneven* phases and amplitudes, so no fixed
+    // assignment can pair regions into anti-phase couples by accident.
+    let traces: Vec<Vec<f64>> = (0..REGIONS)
+        .map(|r| {
+            let phase_off = (r * r) as f64 * 0.7;
+            let amp = 80.0 + 25.0 * r as f64;
+            (0..n)
+                .map(|t| {
+                    let phase = std::f64::consts::TAU * (t as f64 / 48.0) - phase_off;
+                    150.0 + amp * phase.sin()
+                })
+                .collect()
+        })
+        .collect();
+    let split = 150;
+    let spec = WindowSpec::new(24, 6);
+    let models: Vec<LinearRegression> = traces
+        .iter()
+        .map(|t| {
+            let mut m = LinearRegression::default();
+            m.fit(&t[..split], spec);
+            m
+        })
+        .collect();
+
+    let planner = MigrationPlanner::new(REGIONS);
+    // Static: a single plan from historical averages (≈ uniform).
+    let hist: Vec<f64> =
+        traces.iter().map(|t| t[..split].iter().sum::<f64>() / split as f64).collect();
+    let mut static_cluster = Cluster::new(3, REGIONS);
+    planner.rebalance(&mut static_cluster, &hist);
+    let mut auto_cluster = Cluster::new(3, REGIONS);
+
+    let mut static_sum = 0.0;
+    let mut auto_sum = 0.0;
+    let mut rounds = 0.0;
+    let mut t = split + 24;
+    while t + 6 < n {
+        let predicted: Vec<f64> = (0..REGIONS)
+            .map(|r| models[r].predict(&traces[r][t - 24..t]).max(0.0))
+            .collect();
+        planner.rebalance(&mut auto_cluster, &predicted);
+        let actual: Vec<f64> = (0..REGIONS).map(|r| traces[r][t + 6]).collect();
+        static_sum += balance_metric(&static_cluster.server_loads(&actual));
+        auto_sum += balance_metric(&auto_cluster.server_loads(&actual));
+        rounds += 1.0;
+        t += 6;
+    }
+    let s = static_sum / rounds;
+    let a = auto_sum / rounds;
+    assert!(a < s, "auto ({a:.4}) must be better balanced than static ({s:.4})");
+}
+
+#[test]
+fn index_build_cost_creates_the_warmup_dip() {
+    // The Fig. 8(a) start-of-day pattern: an Auto strategy that must
+    // first build its indexes loses throughput in the build period, then
+    // overtakes a no-index configuration.
+    let mut cat = Catalog::new();
+    let t = cat.add_table(100_000, vec![100_000]);
+    let templates = vec![QueryTemplate { table: t, predicates: vec![Predicate::Eq((t, 0))] }];
+    let cost = CostModel::default();
+    let wl = Workload::new(vec![500.0]);
+    let advisor = AutoAdmin::new(1);
+    let idx = advisor.recommend(&cat, &templates, &wl);
+    // Tight budget: the 200k-unit index build cannot be absorbed.
+    let budget = 100_000.0;
+    let no_idx = dbaugur_dbsim::IndexSet::new();
+    let (t_before, _) = run_period(
+        &cat,
+        &cost,
+        &templates,
+        &wl,
+        &no_idx,
+        PeriodBudget { build_cost: 0.0, work_budget: budget, period_secs: 60.0 },
+    );
+    let build = cost.build_cost(&cat, (t, 0));
+    let (t_building, _) = run_period(
+        &cat,
+        &cost,
+        &templates,
+        &wl,
+        &idx,
+        PeriodBudget { build_cost: build, work_budget: budget, period_secs: 60.0 },
+    );
+    let (t_after, _) = run_period(
+        &cat,
+        &cost,
+        &templates,
+        &wl,
+        &idx,
+        PeriodBudget { build_cost: 0.0, work_budget: budget, period_secs: 60.0 },
+    );
+    assert!(t_building < t_after, "the build period dips: {t_building} < {t_after}");
+    assert!(t_after > t_before, "once built, indexes raise throughput");
+}

@@ -1,0 +1,113 @@
+//! Integration of sqlproc → trace binning → DTW clustering → top-K
+//! selection, plus batch/online Descender agreement.
+
+use dbaugur_cluster::{select_top_k, Descender, DescenderParams, OnlineDescender};
+use dbaugur_dtw::DtwDistance;
+use dbaugur_sqlproc::TemplateRegistry;
+use dbaugur_trace::{synth, Trace};
+
+/// Feed a registry with two lock-step templates and one off-beat one.
+fn populated_registry(minutes: u64) -> TemplateRegistry {
+    let mut reg = TemplateRegistry::new();
+    for m in 0..minutes {
+        let rate = 3 + (m % 10);
+        for k in 0..rate {
+            reg.observe("SELECT a FROM x WHERE id = 1", m * 60 + k);
+            reg.observe("SELECT b FROM y WHERE id = 1", m * 60 + k + 30); // 30 s shifted twin
+        }
+        for k in 0..(2 + m % 3) {
+            reg.observe("DELETE FROM z WHERE ts < 100", m * 60 + k);
+        }
+    }
+    reg
+}
+
+#[test]
+fn registry_traces_cluster_with_dtw() {
+    let reg = populated_registry(240);
+    let set = reg.arrival_traces(0, 240 * 60, 60);
+    let traces: Vec<Trace> = set.traces().to_vec();
+    assert_eq!(traces.len(), 3);
+    let clustering = Descender::new(
+        DescenderParams { rho: 4.0, min_size: 2, normalize: true },
+        DtwDistance::new(5),
+    )
+    .cluster(&traces);
+    // The lock-step pair shares a cluster despite the 30 s shift.
+    assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+    assert!(clustering.assignments[0].is_some());
+}
+
+#[test]
+fn top_k_projection_recovers_member_scale() {
+    let reg = populated_registry(240);
+    let set = reg.arrival_traces(0, 240 * 60, 60);
+    let traces: Vec<Trace> = set.traces().to_vec();
+    let clustering = Descender::new(
+        DescenderParams { rho: 4.0, min_size: 1, normalize: true },
+        DtwDistance::new(5),
+    )
+    .cluster(&traces);
+    let top = select_top_k(&traces, &clustering, 3);
+    assert!(!top.is_empty());
+    for s in &top {
+        let psum: f64 = s.proportions.iter().sum();
+        assert!((psum - 1.0).abs() < 1e-9, "proportions sum to 1");
+        // Projecting the representative's own mean must land near each
+        // member's mean.
+        let rep_mean = s.representative.mean();
+        for (mi, &member) in s.members.iter().enumerate() {
+            let projected = s.project(mi, rep_mean);
+            let actual = traces[member].mean();
+            assert!(
+                (projected - actual).abs() < 0.35 * actual.max(1.0),
+                "projection {projected:.2} vs member mean {actual:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn online_and_batch_agree_on_well_separated_data() {
+    // Three sine-family traces + two alibaba traces: batch finds 2
+    // clusters, online should too (insertion order included).
+    let base = synth::bustracker(11, 2);
+    let mut traces = vec![base.clone()];
+    traces.push(synth::time_shift(&base, 3));
+    traces.push(synth::time_shift(&base, -3));
+    traces.push(synth::alibaba_disk(1, 2));
+    traces.push(synth::add_noise(&synth::alibaba_disk(1, 2), 0.005, 2));
+
+    let params = DescenderParams { rho: 6.0, min_size: 2, normalize: true };
+    let batch = Descender::new(params, DtwDistance::new(10)).cluster(&traces);
+    let batch_clusters: usize = batch.num_clusters;
+
+    let mut online = OnlineDescender::new(params, DtwDistance::new(10));
+    for t in &traces {
+        online.insert(t);
+    }
+    assert_eq!(online.clusters().len(), batch_clusters);
+    // Same grouping: the first three together, the last two together.
+    let c0 = online.cluster_of(0);
+    assert_eq!(online.cluster_of(1), c0);
+    assert_eq!(online.cluster_of(2), c0);
+    let c3 = online.cluster_of(3);
+    assert_eq!(online.cluster_of(4), c3);
+    assert_ne!(c0, c3);
+}
+
+#[test]
+fn equivalent_sql_forms_do_not_inflate_the_trace_count() {
+    let mut reg = TemplateRegistry::new();
+    for m in 0..60u64 {
+        reg.observe("SELECT a, b FROM t WHERE x = 1 AND y = 2", m * 60);
+        reg.observe("SELECT b, a FROM t WHERE y = 9 AND x = 4", m * 60 + 1);
+        reg.observe("SELECT * FROM p JOIN q ON p.id = q.id", m * 60 + 2);
+        reg.observe("SELECT * FROM q JOIN p ON q.id = p.id", m * 60 + 3);
+    }
+    assert_eq!(reg.num_templates(), 2, "equivalence checking merges both pairs");
+    let set = reg.arrival_traces(0, 3600, 60);
+    for t in set.traces() {
+        assert_eq!(t.volume(), 120.0, "each merged template carries both call sites");
+    }
+}

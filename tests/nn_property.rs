@@ -1,0 +1,137 @@
+//! Property tests for the neural substrate, at the workspace level:
+//! optimizer convergence on arbitrary quadratics, serialization
+//! round-trips for arbitrary shapes, and LSTM/attention numeric
+//! stability under extreme inputs.
+
+use dbaugur_nn::activation::Activation;
+use dbaugur_nn::dense::Mlp;
+use dbaugur_nn::param::{HasParams, Param};
+use dbaugur_nn::serialize::{decode_params, encode_params, encoded_size};
+use dbaugur_nn::{Adam, Lstm, Mat, Optimizer, Sgd, TemporalAttention};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adam minimizes an arbitrary 1-D quadratic `(x − target)²` from an
+    /// arbitrary start.
+    #[test]
+    fn adam_converges_on_random_quadratics(
+        start in -50.0f64..50.0,
+        target in -50.0f64..50.0,
+    ) {
+        let mut p = Param::new(Mat::row_vector(vec![start]));
+        let mut opt = Adam::new(0.5);
+        for _ in 0..2000 {
+            let x = p.w.get(0, 0);
+            p.g.set(0, 0, 2.0 * (x - target));
+            opt.step(&mut [&mut p]);
+        }
+        let x = p.w.get(0, 0);
+        prop_assert!((x - target).abs() < 1e-2, "x {x} target {target}");
+    }
+
+    /// SGD with momentum also converges (slower, needs a bounded start).
+    #[test]
+    fn sgd_momentum_converges(
+        start in -10.0f64..10.0,
+        target in -10.0f64..10.0,
+    ) {
+        let mut p = Param::new(Mat::row_vector(vec![start]));
+        let mut opt = Sgd::with_momentum(0.02, 0.9);
+        for _ in 0..3000 {
+            let x = p.w.get(0, 0);
+            p.g.set(0, 0, 2.0 * (x - target));
+            opt.step(&mut [&mut p]);
+        }
+        let x = p.w.get(0, 0);
+        prop_assert!((x - target).abs() < 1e-2, "x {x} target {target}");
+    }
+
+    /// The binary model format round-trips arbitrary tensor lists
+    /// exactly, and the size formula is exact.
+    #[test]
+    fn serialization_roundtrips_arbitrary_shapes(
+        shapes in prop::collection::vec((1usize..6, 1usize..6), 1..5),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params: Vec<Param> = shapes
+            .iter()
+            .map(|&(r, c)| Param::new(dbaugur_nn::init::xavier(&mut rng, r, c)))
+            .collect();
+        let refs: Vec<&Param> = params.iter().collect();
+        let bytes = encode_params(&refs);
+        prop_assert_eq!(bytes.len(), encoded_size(&refs));
+        let mats = decode_params(&bytes).expect("round-trip decodes");
+        for (p, m) in params.iter().zip(&mats) {
+            prop_assert_eq!(&p.w, m);
+        }
+    }
+
+    /// LSTM hidden states stay bounded (|h| < 1) for arbitrary inputs —
+    /// the architectural guarantee that makes it robust to bursts.
+    #[test]
+    fn lstm_hidden_states_bounded_for_any_input(
+        inputs in prop::collection::vec(-1e4f64..1e4, 1..20),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lstm = Lstm::new(1, 4, &mut rng);
+        let xs: Vec<Mat> = inputs.iter().map(|&v| Mat::from_vec(1, 1, vec![v])).collect();
+        for h in lstm.forward_seq(&xs) {
+            for v in h.as_slice() {
+                prop_assert!(v.abs() < 1.0 && v.is_finite());
+            }
+        }
+    }
+
+    /// Attention output is always a convex combination of its inputs:
+    /// each output coordinate lies within the min/max of the
+    /// corresponding hidden-state coordinate across time.
+    #[test]
+    fn attention_output_is_in_convex_hull(
+        t_len in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut att = TemporalAttention::new(3, 2, &mut rng);
+        let hs: Vec<Mat> = (0..t_len)
+            .map(|t| Mat::from_fn(2, 3, |r, c| ((t + r * 2 + c * 5) as f64 * 0.37).sin()))
+            .collect();
+        let ctx = att.forward(&hs);
+        for r in 0..2 {
+            for c in 0..3 {
+                let lo = hs.iter().map(|h| h.get(r, c)).fold(f64::INFINITY, f64::min);
+                let hi = hs.iter().map(|h| h.get(r, c)).fold(f64::NEG_INFINITY, f64::max);
+                let v = ctx.get(r, c);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "({r},{c}): {v} not in [{lo},{hi}]");
+            }
+        }
+    }
+
+    /// One Adam step on an MLP regression batch never produces
+    /// non-finite parameters, even with extreme targets.
+    #[test]
+    fn training_step_stays_finite(
+        target in -1e6f64..1e6,
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[4, 8, 1], Activation::Relu, &mut rng);
+        let x = Mat::from_fn(4, 4, |r, c| (r as f64 - c as f64) * 0.3);
+        let y = Mat::from_fn(4, 1, |_, _| target);
+        let mut opt = Adam::new(1e-3);
+        for _ in 0..5 {
+            let pred = mlp.forward(&x);
+            let (_, grad) = dbaugur_nn::loss::mse_loss(&pred, &y);
+            mlp.backward(&grad);
+            opt.step(&mut mlp.params_mut());
+        }
+        for p in mlp.params_mut() {
+            prop_assert!(p.w.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}

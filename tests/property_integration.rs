@@ -1,0 +1,181 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, spanning sqlproc, dtw, cluster, and models.
+
+use dbaugur_cluster::{Descender, DescenderParams};
+use dbaugur_dtw::{dtw_distance, DtwDistance};
+use dbaugur_models::combine_time_sensitive;
+use dbaugur_sqlproc::{canonicalize, templatize, TemplateRegistry};
+use dbaugur_trace::{Trace, WindowDataset, WindowSpec};
+use proptest::prelude::*;
+
+/// Generator for simple but structurally varied SELECT statements.
+fn sql_strategy() -> impl Strategy<Value = String> {
+    let ident = || prop::sample::select(vec!["alpha", "beta", "gamma", "delta", "t1", "t2"]);
+    let cols = prop::collection::vec(ident(), 1..4);
+    (cols, ident(), prop::collection::vec((ident(), 0i64..1000), 0..3)).prop_map(
+        |(cols, table, preds)| {
+            let col_list = cols.join(", ");
+            let mut sql = format!("SELECT {col_list} FROM {table}");
+            if !preds.is_empty() {
+                let conds: Vec<String> =
+                    preds.iter().map(|(c, v)| format!("{c} = {v}")).collect();
+                sql.push_str(&format!(" WHERE {}", conds.join(" AND ")));
+            }
+            sql
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalization is idempotent: re-canonicalizing the canonical
+    /// form is a fixed point.
+    #[test]
+    fn canonicalize_is_idempotent(sql in sql_strategy()) {
+        let once = canonicalize(&sql);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Templates are invariant under literal substitution.
+    #[test]
+    fn template_ignores_literal_values(
+        sql in sql_strategy(),
+        a in 0i64..100000,
+        b in 0i64..100000,
+    ) {
+        let with_a = sql.replace("= 1", &format!("= {a}"));
+        let with_b = sql.replace("= 1", &format!("= {b}"));
+        prop_assert_eq!(templatize(&with_a), templatize(&with_b));
+    }
+
+    /// SELECT-list permutation never changes the canonical form.
+    #[test]
+    fn select_list_permutation_is_invisible(
+        mut cols in prop::collection::vec(
+            prop::sample::select(vec!["a", "b", "c", "d"]), 2..4),
+    ) {
+        cols.sort();
+        cols.dedup();
+        prop_assume!(cols.len() >= 2);
+        let fwd = format!("SELECT {} FROM t", cols.join(", "));
+        cols.reverse();
+        let rev = format!("SELECT {} FROM t", cols.join(", "));
+        prop_assert_eq!(canonicalize(&fwd), canonicalize(&rev));
+    }
+
+    /// Every observation within range lands in exactly one bin: the
+    /// binned trace volumes conserve the observation count.
+    #[test]
+    fn arrival_binning_conserves_counts(
+        timestamps in prop::collection::vec(0u64..3600, 1..200),
+        interval in 1u64..600,
+    ) {
+        let mut reg = TemplateRegistry::new();
+        for &ts in &timestamps {
+            reg.observe("SELECT a FROM t WHERE id = 1", ts);
+        }
+        let end = 3600 - 3600 % interval; // whole bins only
+        let set = reg.arrival_traces(0, end.max(interval), interval);
+        let in_range = timestamps.iter().filter(|&&t| t < end.max(interval)).count();
+        let binned: f64 = set.traces()[0].volume();
+        prop_assert_eq!(binned as usize, in_range);
+    }
+
+    /// DTW distance never exceeds the window-free DTW of the reversed
+    /// band ordering; and is invariant under argument swap.
+    #[test]
+    fn dtw_swap_invariance(
+        a in prop::collection::vec(-100.0f64..100.0, 2..20),
+        b in prop::collection::vec(-100.0f64..100.0, 2..20),
+        w in 0usize..12,
+    ) {
+        let d1 = dtw_distance(&a, &b, w);
+        let d2 = dtw_distance(&b, &a, w);
+        if d1.is_finite() || d2.is_finite() {
+            prop_assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+        }
+    }
+
+    /// Descender is deterministic and total: every trace is either in a
+    /// cluster or an outlier, never both.
+    #[test]
+    fn clustering_is_deterministic_and_total(
+        seeds in prop::collection::vec(0u64..50, 2..10),
+        rho in 0.5f64..8.0,
+    ) {
+        let traces: Vec<Trace> = seeds
+            .iter()
+            .map(|&s| {
+                Trace::query(
+                    format!("t{s}"),
+                    (0..32).map(|i| ((i as f64 * 0.3 + s as f64).sin()) * 5.0).collect(),
+                )
+            })
+            .collect();
+        let params = DescenderParams { rho, min_size: 2, normalize: true };
+        let c1 = Descender::new(params, DtwDistance::new(4)).cluster(&traces);
+        let c2 = Descender::new(params, DtwDistance::new(4)).cluster(&traces);
+        prop_assert_eq!(&c1.assignments, &c2.assignments);
+        let clustered: usize =
+            (0..c1.num_clusters).map(|k| c1.members(k).len()).sum();
+        prop_assert_eq!(clustered + c1.outliers().len(), traces.len());
+        for a in &c1.assignments {
+            if let Some(k) = a {
+                prop_assert!(*k < c1.num_clusters);
+            }
+        }
+    }
+
+    /// The time-sensitive combiner is causal: changing future targets
+    /// never changes earlier combined predictions.
+    #[test]
+    fn ensemble_combination_is_causal(
+        targets in prop::collection::vec(-10.0f64..10.0, 4..20),
+        tail in -10.0f64..10.0,
+    ) {
+        let n = targets.len();
+        let preds = vec![
+            targets.iter().map(|t| t + 1.0).collect::<Vec<_>>(),
+            targets.iter().map(|t| t - 2.0).collect::<Vec<_>>(),
+        ];
+        let out1 = combine_time_sensitive(&preds, &targets, 0.9);
+        let mut mutated = targets.clone();
+        mutated[n - 1] = tail;
+        // Member predictions must stay fixed for a pure causality probe.
+        let out2 = combine_time_sensitive(&preds, &mutated, 0.9);
+        for t in 0..n - 1 {
+            prop_assert!((out1[t] - out2[t]).abs() < 1e-12, "step {t} changed");
+        }
+    }
+
+    /// Window datasets tile the series: reconstructing targets from
+    /// window starts matches the raw series.
+    #[test]
+    fn window_dataset_targets_are_series_values(
+        values in prop::collection::vec(-100.0f64..100.0, 6..40),
+        history in 1usize..5,
+        horizon in 1usize..4,
+    ) {
+        let spec = WindowSpec::new(history, horizon);
+        let ds = WindowDataset::from_values(&values, spec);
+        for i in 0..ds.len() {
+            prop_assert_eq!(ds.target(i), values[i + history + horizon - 1]);
+            prop_assert_eq!(ds.window(i), &values[i..i + history]);
+        }
+    }
+
+    /// Weights from the combiner always form a convex combination.
+    #[test]
+    fn combiner_output_is_within_member_hull(
+        targets in prop::collection::vec(0.0f64..10.0, 3..15),
+    ) {
+        let lo: Vec<f64> = targets.iter().map(|_| -1.0).collect();
+        let hi: Vec<f64> = targets.iter().map(|_| 11.0).collect();
+        let out = combine_time_sensitive(&[lo, hi], &targets, 0.9);
+        for v in out {
+            prop_assert!((-1.0 - 1e-9..=11.0 + 1e-9).contains(&v));
+        }
+    }
+}
