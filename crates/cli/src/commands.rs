@@ -132,9 +132,13 @@ pub fn forecast(args: &Args) -> CmdResult {
     };
     cfg.clustering.min_size = 1;
     let mut system = DbAugur::new(cfg);
-    let n = system.ingest_log(&text);
+    let ingest = system.ingest_log_report(&text);
+    let n = ingest.ingested;
     if n == 0 {
         return Err("no parseable records in the log".into());
+    }
+    if ingest.skipped > 0 {
+        println!("warning: {} damaged log lines skipped", ingest.skipped);
     }
     // Train over the observed time span.
     let (start, end) = {
@@ -149,11 +153,31 @@ pub fn forecast(args: &Args) -> CmdResult {
         (min, max + 1)
     };
     println!("{n} records, {} templates, span {}s", system.num_templates(), end - start);
-    system.train(start, end)?;
+    let report = system.train(start, end)?;
+    if !report.is_fully_healthy() {
+        println!(
+            "training: {} healthy / {} degraded / {} failed clusters, {} samples repaired, {} short traces dropped",
+            report.healthy_count(),
+            report.degraded_count(),
+            report.failed_count(),
+            report.repaired_samples,
+            report.dropped_traces
+        );
+        for c in report.clusters.iter().filter(|c| c.detail.is_some()) {
+            println!(
+                "  cluster {} ({}): {} — {}",
+                c.cluster_id,
+                c.representative,
+                c.status,
+                c.detail.as_deref().unwrap_or("")
+            );
+        }
+    }
     for (i, cluster) in system.clusters().iter().enumerate() {
         let f = system.forecast_cluster(i).expect("trained cluster");
         println!(
-            "cluster {i}: {} traces, volume {:.0}, next-interval forecast {:.2}",
+            "cluster {i} [{}]: {} traces, volume {:.0}, next-interval forecast {:.2}",
+            cluster.status(),
             cluster.summary.members.len(),
             cluster.summary.volume,
             f

@@ -1,6 +1,7 @@
 //! System configuration.
 
 use dbaugur_cluster::DescenderParams;
+use dbaugur_models::GuardConfig;
 
 /// Configuration of the end-to-end DBAugur pipeline.
 #[derive(Debug, Clone)]
@@ -29,6 +30,13 @@ pub struct DbAugurConfig {
     /// each cluster's representative — shape-preserving for clusters of
     /// time-shifted twins (extension over the paper).
     pub use_dba_representative: bool,
+    /// Divergence-guard policy applied to every neural ensemble member
+    /// (explosion threshold, retry budget, epoch backoff).
+    pub guard: GuardConfig,
+    /// Override the WFGAN generator/discriminator learning rate; `None`
+    /// keeps the model default. Mainly for fault-injection testing,
+    /// where an infinite rate forces guaranteed divergence.
+    pub wfgan_lr: Option<f64>,
 }
 
 impl Default for DbAugurConfig {
@@ -45,6 +53,8 @@ impl Default for DbAugurConfig {
             max_examples: 2000,
             seed: 42,
             use_dba_representative: false,
+            guard: GuardConfig::default(),
+            wfgan_lr: None,
         }
     }
 }
@@ -72,6 +82,7 @@ impl DbAugurConfig {
         if !(0.0..=1.0).contains(&self.delta) || self.delta == 0.0 {
             return Err("delta must be in (0, 1]".into());
         }
+        self.guard.validate().map_err(|e| format!("guard: {e}"))?;
         Ok(())
     }
 }
@@ -91,18 +102,17 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut cfg = DbAugurConfig::default();
-        cfg.interval_secs = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = DbAugurConfig::default();
-        cfg.horizon = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = DbAugurConfig::default();
-        cfg.delta = 1.5;
-        assert!(cfg.validate().is_err());
-        let mut cfg = DbAugurConfig::default();
-        cfg.top_k = 0;
-        assert!(cfg.validate().is_err());
+        fn rejects(mutate: impl Fn(&mut DbAugurConfig)) -> bool {
+            let mut cfg = DbAugurConfig::default();
+            mutate(&mut cfg);
+            cfg.validate().is_err()
+        }
+        assert!(rejects(|c| c.interval_secs = 0));
+        assert!(rejects(|c| c.horizon = 0));
+        assert!(rejects(|c| c.delta = 1.5));
+        assert!(rejects(|c| c.top_k = 0));
+        assert!(rejects(|c| c.guard.explosion_factor = 0.5));
+        assert!(rejects(|c| c.guard.epoch_backoff = 0.0));
     }
 
     #[test]

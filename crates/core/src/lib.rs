@@ -47,7 +47,10 @@ pub mod config;
 pub mod pipeline;
 
 pub use config::DbAugurConfig;
-pub use pipeline::{DbAugur, TrainError, TrainedCluster};
+pub use pipeline::{
+    ClusterReport, ClusterStatus, ClusterTrainReport, DbAugur, ForecastError, IngestReport,
+    TrainError, TrainedCluster,
+};
 
 // Re-export the component crates under one roof for downstream users.
 pub use dbaugur_cluster as cluster;

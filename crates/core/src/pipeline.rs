@@ -1,16 +1,41 @@
 //! The end-to-end pipeline: ingest → templates → traces → clusters →
 //! ensembles → forecasts.
+//!
+//! # Fault isolation
+//!
+//! Production ingestion is messy — damaged log lines, NaN holes in
+//! resource traces, traces cut short by collector restarts — and neural
+//! training can diverge. The pipeline therefore degrades instead of
+//! aborting:
+//!
+//! * damaged log lines are counted ([`DbAugur::ingest_log_report`]) and
+//!   skipped, never fatal;
+//! * non-finite trace samples are interpolated away before clustering
+//!   (`repaired_samples` in the report);
+//! * traces too short for one supervised example are dropped, and the run
+//!   fails only when *nothing* survives;
+//! * each cluster trains inside a panic boundary on its own thread — a
+//!   poisoned cluster is demoted to a seasonal-naive floor model and
+//!   marked [`ClusterStatus::Failed`] while its siblings train normally;
+//! * ensemble members that diverge or panic are quarantined inside the
+//!   ensemble itself (see `dbaugur_models::ensemble`), surfacing as
+//!   [`ClusterStatus::Degraded`].
+//!
+//! Every training run returns a [`ClusterTrainReport`] tallying all of
+//! the above.
 
 use crate::config::DbAugurConfig;
 use dbaugur_cluster::{select_top_k, select_top_k_dba, ClusterSummary, Descender};
-use dbaugur_models::{
-    Forecaster, MlpForecaster, TcnForecaster, TimeSensitiveEnsemble, Wfgan, WfganConfig,
-};
 use dbaugur_dtw::DtwDistance;
-use dbaugur_sqlproc::{parse_log_line, TemplateRegistry};
-use dbaugur_trace::{Trace, WindowSpec};
+use dbaugur_models::{
+    Forecaster, MemberState, MlpForecaster, SeasonalNaive, TcnForecaster, TimeSensitiveEnsemble,
+    Wfgan, WfganConfig,
+};
+use dbaugur_sqlproc::{parse_log_report, TemplateRegistry};
+use dbaugur_trace::{fill_gaps, Trace, WindowSpec};
 use parking_lot::RwLock;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Why training could not proceed.
 #[derive(Debug, PartialEq, Eq)]
@@ -19,9 +44,9 @@ pub enum TrainError {
     InvalidConfig(String),
     /// No query or resource traces were ingested.
     NoTraces,
-    /// Traces are shorter than `history + horizon`.
+    /// Every trace is shorter than `history + horizon + 1`.
     NotEnoughData {
-        /// Samples available per trace.
+        /// Samples available in the longest trace.
         have: usize,
         /// Samples needed for one supervised example.
         need: usize,
@@ -42,35 +67,167 @@ impl fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
+/// Why a forecast could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForecastError {
+    /// The cluster's representative trace holds no samples.
+    EmptyRepresentative,
+    /// The ensemble produced a non-finite value.
+    NonFinite,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::EmptyRepresentative => write!(f, "representative trace is empty"),
+            ForecastError::NonFinite => write!(f, "forecast is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {}
+
+/// How a cluster came out of training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterStatus {
+    /// Every ensemble member trained cleanly.
+    Healthy,
+    /// At least one member was quarantined or needed divergence recovery;
+    /// the remaining members serve the forecast.
+    Degraded,
+    /// Training panicked; the cluster serves a seasonal-naive floor.
+    Failed,
+}
+
+impl fmt::Display for ClusterStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterStatus::Healthy => write!(f, "healthy"),
+            ClusterStatus::Degraded => write!(f, "degraded"),
+            ClusterStatus::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// One cluster's training outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Cluster id from the clustering stage.
+    pub cluster_id: usize,
+    /// Name of the representative trace.
+    pub representative: String,
+    /// Health classification.
+    pub status: ClusterStatus,
+    /// Panic message (Failed) or quarantine causes (Degraded).
+    pub detail: Option<String>,
+}
+
+/// The outcome of one [`DbAugur::train`] run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterTrainReport {
+    /// Per-cluster outcomes, largest volume first.
+    pub clusters: Vec<ClusterReport>,
+    /// Non-finite samples interpolated away across all input traces.
+    pub repaired_samples: usize,
+    /// Traces dropped for being shorter than one supervised example.
+    pub dropped_traces: usize,
+    /// Cumulative damaged log lines skipped during ingestion.
+    pub skipped_log_lines: usize,
+}
+
+impl ClusterTrainReport {
+    /// Clusters whose every member trained cleanly.
+    pub fn healthy_count(&self) -> usize {
+        self.count(ClusterStatus::Healthy)
+    }
+
+    /// Clusters serving with one or more members quarantined.
+    pub fn degraded_count(&self) -> usize {
+        self.count(ClusterStatus::Degraded)
+    }
+
+    /// Clusters demoted to the seasonal-naive floor.
+    pub fn failed_count(&self) -> usize {
+        self.count(ClusterStatus::Failed)
+    }
+
+    /// True when nothing was repaired, dropped, skipped, or degraded.
+    pub fn is_fully_healthy(&self) -> bool {
+        self.healthy_count() == self.clusters.len()
+            && self.repaired_samples == 0
+            && self.dropped_traces == 0
+            && self.skipped_log_lines == 0
+    }
+
+    fn count(&self, s: ClusterStatus) -> usize {
+        self.clusters.iter().filter(|c| c.status == s).count()
+    }
+}
+
+/// Outcome of one log-ingestion call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Records parsed and observed.
+    pub ingested: usize,
+    /// Damaged lines skipped (blank lines and comments excluded).
+    pub skipped: usize,
+}
+
 /// One trained representative cluster: the summary (members,
 /// proportions, representative trace) plus its ensemble, behind a lock so
 /// forecasting and error feedback can interleave.
 pub struct TrainedCluster {
     /// Cluster membership and representative.
     pub summary: ClusterSummary,
+    status: ClusterStatus,
     ensemble: RwLock<TimeSensitiveEnsemble>,
 }
 
 impl TrainedCluster {
     /// Predict the representative's value `horizon` intervals past the
-    /// end of its trace.
+    /// end of its trace. An oversized `history` is clamped to the trace
+    /// (the ensemble re-normalizes the window to its fitted length).
     pub fn forecast(&self, history: usize) -> f64 {
         let rep = self.summary.representative.values();
-        let window = &rep[rep.len() - history..];
-        self.ensemble.read().predict(window)
+        let take = history.min(rep.len());
+        self.ensemble.read().predict(&rep[rep.len() - take..])
+    }
+
+    /// Like [`Self::forecast`], with empty-representative and non-finite
+    /// outcomes surfaced as typed errors instead of NaN.
+    pub fn try_forecast(&self, history: usize) -> Result<f64, ForecastError> {
+        if self.summary.representative.is_empty() {
+            return Err(ForecastError::EmptyRepresentative);
+        }
+        let p = self.forecast(history);
+        if p.is_finite() {
+            Ok(p)
+        } else {
+            Err(ForecastError::NonFinite)
+        }
     }
 
     /// Feed back an observed representative-level value so the
     /// time-sensitive weights adapt (Eqn. 7 update).
     pub fn observe(&self, history: usize, actual: f64) {
         let rep = self.summary.representative.values();
-        let window = &rep[rep.len() - history..];
-        self.ensemble.write().observe(window, actual);
+        let take = history.min(rep.len());
+        self.ensemble.write().observe(&rep[rep.len() - take..], actual);
     }
 
     /// Current ensemble weights (for diagnostics).
     pub fn weights(&self) -> Vec<f64> {
         self.ensemble.read().weights()
+    }
+
+    /// Training outcome of this cluster.
+    pub fn status(&self) -> &ClusterStatus {
+        &self.status
+    }
+
+    /// Per-member health/quarantine snapshot of the ensemble.
+    pub fn member_states(&self) -> Vec<MemberState> {
+        self.ensemble.read().member_states()
     }
 }
 
@@ -83,6 +240,9 @@ pub struct DbAugur {
     /// Names of the traces used at training time, aligned with the
     /// cluster summaries' member indices.
     trace_names: Vec<String>,
+    /// Cumulative damaged log lines across all ingestion calls.
+    skipped_log_lines: usize,
+    last_report: Option<ClusterTrainReport>,
 }
 
 impl DbAugur {
@@ -94,6 +254,8 @@ impl DbAugur {
             resources: Vec::new(),
             trained: Vec::new(),
             trace_names: Vec::new(),
+            skipped_log_lines: 0,
+            last_report: None,
         }
     }
 
@@ -108,16 +270,31 @@ impl DbAugur {
     }
 
     /// Ingest a whole log text in the `<epoch>\t<sql>` format, skipping
-    /// malformed lines. Returns the number of records ingested.
+    /// malformed lines. Returns the number of records ingested; see
+    /// [`Self::ingest_log_report`] for the damage tally.
     pub fn ingest_log(&mut self, text: &str) -> usize {
-        let mut n = 0;
-        for line in text.lines() {
-            if let Some(rec) = parse_log_line(line) {
-                self.registry.observe(&rec.sql, rec.ts_secs);
-                n += 1;
-            }
+        self.ingest_log_report(text).ingested
+    }
+
+    /// Ingest a log text, reporting how many lines were damaged. The
+    /// skipped count also accumulates into the next training report.
+    pub fn ingest_log_report(&mut self, text: &str) -> IngestReport {
+        let parsed = parse_log_report(text);
+        for rec in &parsed.records {
+            self.registry.observe(&rec.sql, rec.ts_secs);
         }
-        n
+        self.skipped_log_lines += parsed.skipped;
+        IngestReport { ingested: parsed.records.len(), skipped: parsed.skipped }
+    }
+
+    /// Damaged log lines skipped since the system was created.
+    pub fn skipped_log_lines(&self) -> usize {
+        self.skipped_log_lines
+    }
+
+    /// The report of the most recent successful training run.
+    pub fn last_train_report(&self) -> Option<&ClusterTrainReport> {
+        self.last_report.as_ref()
     }
 
     /// Register a resource-utilization trace (CPU, memory, disk…)
@@ -134,28 +311,49 @@ impl DbAugur {
     /// Build traces over `[start_secs, end_secs)`, cluster them with
     /// Descender, and train one time-sensitive ensemble per top-K
     /// cluster. Retraining replaces earlier models.
-    pub fn train(&mut self, start_secs: u64, end_secs: u64) -> Result<(), TrainError> {
+    ///
+    /// Training is fault-isolated per cluster (see the module docs); the
+    /// returned [`ClusterTrainReport`] says what was repaired, dropped,
+    /// and degraded along the way.
+    pub fn train(&mut self, start_secs: u64, end_secs: u64) -> Result<ClusterTrainReport, TrainError> {
         self.cfg.validate().map_err(TrainError::InvalidConfig)?;
         let mut traces: Vec<Trace> = Vec::new();
         if self.registry.num_templates() > 0 {
             traces.extend(
                 self.registry
-                    .arrival_traces(start_secs, end_secs, self.cfg.interval_secs)
-                    ,
+                    .arrival_traces(start_secs, end_secs, self.cfg.interval_secs),
             );
         }
         traces.extend(self.resources.iter().cloned());
         if traces.is_empty() {
             return Err(TrainError::NoTraces);
         }
-        let need = self.cfg.history + self.cfg.horizon + 1;
-        let have = traces.iter().map(Trace::len).min().unwrap_or(0);
-        if have < need {
-            return Err(TrainError::NotEnoughData { have, need });
+
+        // Interpolate NaN/∞ samples away before DTW or any model sees
+        // them; a single poisoned sample would otherwise contaminate
+        // distances and training losses alike.
+        let mut repaired_samples = 0usize;
+        for t in &mut traces {
+            if t.values().iter().any(|v| !v.is_finite()) {
+                repaired_samples += fill_gaps(t);
+            }
         }
+
+        // Drop traces too short for one supervised example rather than
+        // failing the whole run; error out only when nothing survives.
+        let need = self.cfg.history + self.cfg.horizon + 1;
+        let longest = traces.iter().map(Trace::len).max().unwrap_or(0);
+        let before = traces.len();
+        traces.retain(|t| t.len() >= need);
+        let dropped_traces = before - traces.len();
+        if traces.is_empty() {
+            return Err(TrainError::NotEnoughData { have: longest, need });
+        }
+
         // Resource traces may be longer than the binned query traces;
         // truncate everything to the common length so DTW compares
         // aligned windows.
+        let have = traces.iter().map(Trace::len).min().unwrap_or(0);
         for t in &mut traces {
             if t.len() > have {
                 *t = t.slice(t.len() - have..t.len());
@@ -172,39 +370,51 @@ impl DbAugur {
         };
         let spec = WindowSpec::new(self.cfg.history, self.cfg.horizon);
 
-        self.trained = summaries
+        // Train every cluster behind its own panic boundary, in parallel.
+        let cfg = self.cfg.clone();
+        let outcomes: Vec<(ClusterSummary, TimeSensitiveEnsemble, Option<String>)> =
+            if summaries.len() <= 1 {
+                summaries.into_iter().map(|s| train_cluster(&cfg, s, spec)).collect()
+            } else {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = summaries
+                        .into_iter()
+                        .map(|s| {
+                            let cfg = &cfg;
+                            scope.spawn(move |_| train_cluster(cfg, s, spec))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("train_cluster catches panics internally"))
+                        .collect()
+                })
+                .expect("crossbeam scope")
+            };
+
+        let mut clusters = Vec::with_capacity(outcomes.len());
+        self.trained = outcomes
             .into_iter()
-            .map(|summary| {
-                let mut ensemble = self.make_ensemble();
-                ensemble.fit(summary.representative.values(), spec);
-                TrainedCluster { summary, ensemble: RwLock::new(ensemble) }
+            .map(|(summary, ensemble, panic_msg)| {
+                let (status, detail) = classify(&ensemble, panic_msg);
+                clusters.push(ClusterReport {
+                    cluster_id: summary.cluster_id,
+                    representative: summary.representative.name.clone(),
+                    status: status.clone(),
+                    detail: detail.clone(),
+                });
+                TrainedCluster { summary, status, ensemble: RwLock::new(ensemble) }
             })
             .collect();
-        Ok(())
-    }
 
-    fn make_ensemble(&self) -> TimeSensitiveEnsemble {
-        let wf_cfg = WfganConfig {
-            epochs: self.cfg.epochs,
-            max_examples: self.cfg.max_examples,
-            seed: self.cfg.seed,
-            ..WfganConfig::default()
+        let report = ClusterTrainReport {
+            clusters,
+            repaired_samples,
+            dropped_traces,
+            skipped_log_lines: self.skipped_log_lines,
         };
-        let mut tcn = TcnForecaster::new(self.cfg.seed.wrapping_add(1));
-        tcn.epochs = self.cfg.epochs;
-        tcn.max_examples = self.cfg.max_examples;
-        let mut mlp = MlpForecaster::new(self.cfg.seed.wrapping_add(2));
-        mlp.epochs = self.cfg.epochs.max(2);
-        mlp.max_examples = self.cfg.max_examples;
-        TimeSensitiveEnsemble::new(
-            "DBAugur",
-            vec![
-                Box::new(Wfgan::with_config(wf_cfg)),
-                Box::new(tcn),
-                Box::new(mlp),
-            ],
-            self.cfg.delta,
-        )
+        self.last_report = Some(report.clone());
+        Ok(report)
     }
 
     /// The trained representative clusters (largest volume first).
@@ -241,17 +451,122 @@ impl DbAugur {
     }
 }
 
+/// Daily seasonality expressed in samples, clamped into the history
+/// window so the floor model's lookback stays inside what `predict` sees.
+fn fallback_season(cfg: &DbAugurConfig) -> usize {
+    ((86_400 / cfg.interval_secs.max(1)) as usize).clamp(1, cfg.history.max(1))
+}
+
+/// Build the per-cluster WFGAN + TCN + MLP ensemble from the system
+/// configuration, guard policy included.
+fn make_ensemble(cfg: &DbAugurConfig) -> TimeSensitiveEnsemble {
+    let mut wf_cfg = WfganConfig {
+        epochs: cfg.epochs,
+        max_examples: cfg.max_examples,
+        seed: cfg.seed,
+        guard: cfg.guard.clone(),
+        ..WfganConfig::default()
+    };
+    if let Some(lr) = cfg.wfgan_lr {
+        wf_cfg.lr_g = lr;
+        wf_cfg.lr_d = lr;
+    }
+    let mut tcn = TcnForecaster::new(cfg.seed.wrapping_add(1));
+    tcn.epochs = cfg.epochs;
+    tcn.max_examples = cfg.max_examples;
+    tcn.guard = cfg.guard.clone();
+    let mut mlp = MlpForecaster::new(cfg.seed.wrapping_add(2));
+    mlp.epochs = cfg.epochs.max(2);
+    mlp.max_examples = cfg.max_examples;
+    mlp.guard = cfg.guard.clone();
+    let mut ensemble = TimeSensitiveEnsemble::new(
+        "DBAugur",
+        vec![
+            Box::new(Wfgan::with_config(wf_cfg)),
+            Box::new(tcn),
+            Box::new(mlp),
+        ],
+        cfg.delta,
+    );
+    ensemble.set_fallback(Box::new(SeasonalNaive::new(fallback_season(cfg))));
+    ensemble
+}
+
+/// Fit one cluster's ensemble behind a panic boundary. On panic the
+/// cluster is demoted to a single-member seasonal-naive floor so it still
+/// serves (bounded-quality) forecasts.
+fn train_cluster(
+    cfg: &DbAugurConfig,
+    summary: ClusterSummary,
+    spec: WindowSpec,
+) -> (ClusterSummary, TimeSensitiveEnsemble, Option<String>) {
+    let rep = summary.representative.values().to_vec();
+    let fitted = catch_unwind(AssertUnwindSafe(|| {
+        let mut ensemble = make_ensemble(cfg);
+        ensemble.fit(&rep, spec);
+        ensemble
+    }));
+    match fitted {
+        Ok(ensemble) => (summary, ensemble, None),
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            let mut floor = TimeSensitiveEnsemble::new(
+                "DBAugur-floor",
+                vec![Box::new(SeasonalNaive::new(fallback_season(cfg))) as Box<dyn Forecaster>],
+                cfg.delta,
+            );
+            floor.fit(&rep, spec);
+            (summary, floor, Some(msg))
+        }
+    }
+}
+
+/// Derive the report status from the panic outcome and ensemble state.
+fn classify(
+    ensemble: &TimeSensitiveEnsemble,
+    panic_msg: Option<String>,
+) -> (ClusterStatus, Option<String>) {
+    if let Some(msg) = panic_msg {
+        return (ClusterStatus::Failed, Some(format!("training panicked: {msg}")));
+    }
+    if ensemble.is_degraded() {
+        let reasons: Vec<String> = ensemble
+            .member_states()
+            .into_iter()
+            .filter(|s| s.quarantined || s.health.is_degraded())
+            .map(|s| {
+                let why = s.reason.unwrap_or_else(|| s.health.to_string());
+                format!("{}: {why}", s.name)
+            })
+            .collect();
+        return (ClusterStatus::Degraded, Some(reasons.join("; ")));
+    }
+    (ClusterStatus::Healthy, None)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dbaugur_trace::TraceKind;
 
     fn tiny_cfg() -> DbAugurConfig {
-        let mut cfg = DbAugurConfig::default();
-        cfg.interval_secs = 60;
-        cfg.history = 8;
-        cfg.horizon = 1;
-        cfg.top_k = 3;
+        let mut cfg = DbAugurConfig {
+            interval_secs: 60,
+            history: 8,
+            horizon: 1,
+            top_k: 3,
+            ..DbAugurConfig::default()
+        };
         cfg.clustering.min_size = 1;
         cfg.fast();
         cfg
@@ -272,8 +587,10 @@ mod tests {
         feed_periodic(&mut sys, "SELECT * FROM bus WHERE route = 1", 120, 10, 6);
         feed_periodic(&mut sys, "SELECT name FROM stop WHERE id = 2", 120, 14, 3);
         assert_eq!(sys.num_templates(), 2);
-        sys.train(0, 120 * 60).expect("trains");
+        let report = sys.train(0, 120 * 60).expect("trains");
         assert!(!sys.clusters().is_empty());
+        assert_eq!(report.clusters.len(), sys.clusters().len());
+        assert!(report.is_fully_healthy(), "clean data trains clean: {report:?}");
         let f = sys.forecast_template("SELECT * FROM bus WHERE route = 777");
         assert!(f.expect("same template, different literal").is_finite());
         assert!(sys.forecast_template("SELECT unknown FROM nowhere").is_none());
@@ -356,5 +673,84 @@ mod tests {
         let f1 = sys.forecast_template("SELECT a, b FROM t WHERE x = 5");
         let f2 = sys.forecast_template("SELECT b, a FROM t WHERE x = 9");
         assert_eq!(f1, f2, "semantically equivalent templates share a trace");
+    }
+
+    #[test]
+    fn nan_holes_in_resource_traces_are_repaired() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let mut values: Vec<f64> =
+            (0..120).map(|i| 0.4 + 0.2 * ((i % 10) as f64 / 10.0)).collect();
+        for v in &mut values[40..50] {
+            *v = f64::NAN;
+        }
+        values[90] = f64::INFINITY;
+        sys.add_resource_trace(Trace::new("cpu:host1", TraceKind::Resource, 60, values));
+        let report = sys.train(0, 120 * 60).expect("trains despite NaN holes");
+        assert_eq!(report.repaired_samples, 11);
+        let f = sys.forecast_trace("cpu:host1").expect("forecastable");
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn short_traces_are_dropped_not_fatal() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.add_resource_trace(Trace::resource("stub:short", vec![0.5; 4]));
+        let report = sys.train(0, 120 * 60).expect("long trace still trains");
+        assert_eq!(report.dropped_traces, 1);
+        assert!(sys.forecast_trace("stub:short").is_none());
+        assert!(sys.forecast_template("SELECT * FROM t WHERE a = 9").is_some());
+    }
+
+    #[test]
+    fn forecast_clamps_oversized_history() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        let c = &sys.clusters()[0];
+        // Far larger than the representative trace: must clamp, not panic.
+        let f = c.forecast(10_000);
+        assert!(f.is_finite());
+        assert_eq!(c.try_forecast(10_000), Ok(f));
+    }
+
+    #[test]
+    fn divergent_wfgan_is_quarantined_not_fatal() {
+        let mut cfg = tiny_cfg();
+        cfg.wfgan_lr = Some(f64::INFINITY); // guaranteed divergence
+        cfg.guard.max_retries = 1;
+        let mut sys = DbAugur::new(cfg);
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let report = sys.train(0, 120 * 60).expect("training survives divergence");
+        assert!(report.degraded_count() >= 1, "report: {report:?}");
+        assert_eq!(report.failed_count(), 0);
+        for c in sys.clusters() {
+            assert_eq!(c.status(), &ClusterStatus::Degraded);
+            let states = c.member_states();
+            assert!(states.iter().any(|s| s.quarantined));
+            assert!(states.iter().any(|s| !s.quarantined), "survivors serve");
+            assert!(c.forecast(sys.config().history).is_finite());
+        }
+    }
+
+    #[test]
+    fn ingest_log_report_counts_damage() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        let rep = sys.ingest_log_report("1\tSELECT 1\ngarbage line\n# comment\n2\tSELECT 1\n");
+        assert_eq!(rep, IngestReport { ingested: 2, skipped: 1 });
+        assert_eq!(sys.skipped_log_lines(), 1);
+        let rep2 = sys.ingest_log_report("more garbage\n");
+        assert_eq!(rep2.skipped, 1);
+        assert_eq!(sys.skipped_log_lines(), 2);
+    }
+
+    #[test]
+    fn last_report_is_retained() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        assert!(sys.last_train_report().is_none());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let report = sys.train(0, 120 * 60).expect("trains");
+        assert_eq!(sys.last_train_report(), Some(&report));
     }
 }

@@ -279,7 +279,7 @@ mod tests {
         let series = vec![5.0; 200];
         let mut ar = Arima::paper_default();
         ar.fit(&series, WindowSpec::new(20, 3));
-        let pred = ar.predict(&vec![5.0; 20]);
+        let pred = ar.predict(&[5.0; 20]);
         assert!((pred - 5.0).abs() < 1e-6, "got {pred}");
     }
 
@@ -319,7 +319,7 @@ mod tests {
         ar.fit(&series, WindowSpec::new(20, 10));
         let (phi, _, _) = ar.coefficients();
         assert!(phi.iter().map(|v| v.abs()).sum::<f64>() <= 0.981);
-        let pred = ar.predict(&series[180..200].to_vec());
+        let pred = ar.predict(&series[180..200]);
         assert!(pred.is_finite());
     }
 }

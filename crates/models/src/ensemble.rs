@@ -8,30 +8,82 @@
 //! `w_t(i) = (Σ_j Γ(j) − Γ(i)) / (2 Σ_j Γ(j))`, which sum to 1 and give
 //! recently accurate members more say. Members train in parallel ("the
 //! three models can be trained in parallel", Sec. III).
+//!
+//! # Degradation policy
+//!
+//! The time-sensitive ensemble tolerates member failure instead of
+//! propagating it:
+//!
+//! * a member whose `fit` panics, or whose [`Forecaster::health`]
+//!   reports a failed guarded-training run, is **quarantined** — its
+//!   dynamic weight is zeroed and redistributed over the active members;
+//! * a member that produces a non-finite prediction during `observe` is
+//!   quarantined at runtime (non-finite predictions during `predict`
+//!   are skipped per call without permanent quarantine);
+//! * when every member is out, the ensemble serves its always-fitted
+//!   fallback floor (a [`SeasonalNaive`] by default).
+//!
+//! Quarantine state resets on the next `fit`.
 
 use crate::forecaster::Forecaster;
+use crate::guard::TrainHealth;
 use crate::kr::KernelRegression;
 use crate::lr::LinearRegression;
 use crate::lstm::LstmForecaster;
 use crate::mlp::MlpForecaster;
+use crate::seasonal::SeasonalNaive;
 use crate::tcn::TcnForecaster;
 use crate::wfgan::Wfgan;
 use dbaugur_trace::WindowSpec;
+use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Fit every member, in parallel when there is more than one.
-fn fit_members(members: &mut [Box<dyn Forecaster>], train: &[f64], spec: WindowSpec) {
+/// Render a caught panic payload as text for quarantine reports.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Fit every member, in parallel when there is more than one. Panics are
+/// caught per member; the returned vector holds the panic message for
+/// each member whose `fit` did not complete (`None` = fitted cleanly).
+fn fit_members(
+    members: &mut [Box<dyn Forecaster>],
+    train: &[f64],
+    spec: WindowSpec,
+) -> Vec<Option<String>> {
     if members.len() <= 1 {
-        for m in members.iter_mut() {
-            m.fit(train, spec);
-        }
-        return;
+        return members
+            .iter_mut()
+            .map(|m| {
+                catch_unwind(AssertUnwindSafe(|| m.fit(train, spec)))
+                    .err()
+                    .map(panic_message)
+            })
+            .collect();
     }
     crossbeam::thread::scope(|s| {
-        for m in members.iter_mut() {
-            s.spawn(move |_| m.fit(train, spec));
-        }
+        let handles: Vec<_> = members
+            .iter_mut()
+            .map(|m| {
+                s.spawn(move |_| {
+                    catch_unwind(AssertUnwindSafe(|| m.fit(train, spec)))
+                        .err()
+                        .map(panic_message)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| Some(panic_message(p))))
+            .collect()
     })
-    .expect("ensemble fit thread panicked");
+    .expect("ensemble fit scope panicked")
 }
 
 /// A fixed-weight ensemble (the Fig. 7 baseline, and QB5000's mechanism).
@@ -79,7 +131,15 @@ impl Forecaster for FixedEnsemble {
     }
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
-        fit_members(&mut self.members, train, spec);
+        // Fixed-weight baselines keep fail-fast semantics: with static
+        // weights there is no principled way to reassign a dead member's
+        // share, so a member panic propagates (with a better message).
+        let outcomes = fit_members(&mut self.members, train, spec);
+        for (m, outcome) in self.members.iter().zip(outcomes) {
+            if let Some(msg) = outcome {
+                panic!("{} member {} panicked during fit: {msg}", self.name, m.name());
+            }
+        }
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
@@ -135,6 +195,19 @@ impl Forecaster for Qb5000 {
     }
 }
 
+/// One member's status in a [`TimeSensitiveEnsemble`] report.
+#[derive(Debug, Clone)]
+pub struct MemberState {
+    /// Member display name.
+    pub name: &'static str,
+    /// Guarded-training outcome of the last fit.
+    pub health: TrainHealth,
+    /// Whether the member is excluded from weighting.
+    pub quarantined: bool,
+    /// Human-readable quarantine cause, when quarantined.
+    pub reason: Option<String>,
+}
+
 /// DBAugur's time-sensitive ensemble (Eqns. 7–8).
 pub struct TimeSensitiveEnsemble {
     name: &'static str,
@@ -143,6 +216,15 @@ pub struct TimeSensitiveEnsemble {
     pub delta: f64,
     /// Incrementally maintained forecasting distances Γ(e(i), t).
     gamma: Vec<f64>,
+    /// Quarantine flags, aligned with `members`.
+    quarantined: Vec<bool>,
+    /// Quarantine causes, aligned with `members`.
+    reasons: Vec<Option<String>>,
+    /// Served when every member is quarantined (always fitted).
+    fallback: Box<dyn Forecaster>,
+    /// `spec.history` of the last fit; predict/observe windows are
+    /// normalized to this length (0 until first fit = pass-through).
+    history: usize,
 }
 
 impl TimeSensitiveEnsemble {
@@ -166,21 +248,64 @@ impl TimeSensitiveEnsemble {
     pub fn new(name: &'static str, members: Vec<Box<dyn Forecaster>>, delta: f64) -> Self {
         assert!(!members.is_empty(), "ensemble needs at least one member");
         assert!(delta > 0.0 && delta <= 1.0, "attenuation must be in (0, 1]");
-        let gamma = vec![0.0; members.len()];
-        Self { name, members, delta, gamma }
+        let n = members.len();
+        Self {
+            name,
+            members,
+            delta,
+            gamma: vec![0.0; n],
+            quarantined: vec![false; n],
+            reasons: vec![None; n],
+            // Season 1 degrades to last-value until a caller supplies a
+            // real seasonality (see `set_fallback`).
+            fallback: Box::new(SeasonalNaive::new(1)),
+            history: 0,
+        }
     }
 
-    /// Current ensemble weights (Eqn. 8); uniform while no error has been
+    /// Replace the all-members-down fallback floor (e.g. a
+    /// [`SeasonalNaive`] with the trace's daily season). The fallback is
+    /// (re)fitted on the next `fit`.
+    pub fn set_fallback(&mut self, fallback: Box<dyn Forecaster>) {
+        self.fallback = fallback;
+    }
+
+    /// Name of the fallback floor model.
+    pub fn fallback_name(&self) -> &'static str {
+        self.fallback.name()
+    }
+
+    /// Current ensemble weights (Eqn. 8) over the *active* members;
+    /// quarantined members get weight 0, uniform while no error has been
     /// observed.
     pub fn weights(&self) -> Vec<f64> {
-        let total: f64 = self.gamma.iter().sum();
-        let k = self.members.len() as f64;
-        if total <= 0.0 {
-            return vec![1.0 / k; self.members.len()];
+        let mut out = vec![0.0; self.members.len()];
+        let active: Vec<usize> = (0..self.members.len())
+            .filter(|&i| !self.quarantined[i])
+            .collect();
+        match active.len() {
+            0 => out,
+            1 => {
+                out[active[0]] = 1.0;
+                out
+            }
+            k => {
+                let total: f64 = active.iter().map(|&i| self.gamma[i]).sum();
+                if total <= 0.0 {
+                    for &i in &active {
+                        out[i] = 1.0 / k as f64;
+                    }
+                } else {
+                    // For k members the normalization is (k−1)·ΣΓ so
+                    // weights sum to 1; the paper's 2·ΣΓ is the k = 3
+                    // case.
+                    for &i in &active {
+                        out[i] = (total - self.gamma[i]) / ((k as f64 - 1.0) * total);
+                    }
+                }
+                out
+            }
         }
-        // For k members the normalization is (k−1)·ΣΓ so weights sum to
-        // 1; the paper's 2·ΣΓ is the k = 3 case.
-        self.gamma.iter().map(|g| (total - g) / ((k - 1.0) * total)).collect()
     }
 
     /// Current forecasting distances Γ (for inspection).
@@ -195,7 +320,66 @@ impl TimeSensitiveEnsemble {
 
     /// Per-member predictions (for the harness's diagnostics).
     pub fn member_predictions(&self, window: &[f64]) -> Vec<f64> {
-        self.members.iter().map(|m| m.predict(window)).collect()
+        let w = self.adapt_window(window);
+        self.members.iter().map(|m| m.predict(&w)).collect()
+    }
+
+    /// Per-member health/quarantine snapshot.
+    pub fn member_states(&self) -> Vec<MemberState> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| MemberState {
+                name: m.name(),
+                health: m.health(),
+                quarantined: self.quarantined[i],
+                reason: self.reasons[i].clone(),
+            })
+            .collect()
+    }
+
+    /// Members still contributing to the forecast.
+    pub fn active_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Members excluded from the forecast.
+    pub fn quarantined_count(&self) -> usize {
+        self.members.len() - self.active_count()
+    }
+
+    /// True when any member is quarantined or reported degraded training.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined.iter().any(|&q| q)
+            || self.members.iter().any(|m| m.health().is_degraded())
+    }
+
+    /// Exclude member `idx` from weighting until the next `fit`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn quarantine_member(&mut self, idx: usize, reason: impl Into<String>) {
+        self.quarantined[idx] = true;
+        if self.reasons[idx].is_none() {
+            self.reasons[idx] = Some(reason.into());
+        }
+    }
+
+    /// Normalize a window to the fitted history length so member models
+    /// (which assert exact window length) never see a mismatched slice:
+    /// longer windows keep their most recent values, shorter ones are
+    /// left-padded with their first value.
+    fn adapt_window<'a>(&self, window: &'a [f64]) -> Cow<'a, [f64]> {
+        if self.history == 0 || window.len() == self.history {
+            Cow::Borrowed(window)
+        } else if window.len() > self.history {
+            Cow::Borrowed(&window[window.len() - self.history..])
+        } else {
+            let pad = window.first().copied().unwrap_or(0.0);
+            let mut w = vec![pad; self.history - window.len()];
+            w.extend_from_slice(window);
+            Cow::Owned(w)
+        }
     }
 }
 
@@ -205,26 +389,75 @@ impl Forecaster for TimeSensitiveEnsemble {
     }
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
-        fit_members(&mut self.members, train, spec);
+        self.history = spec.history;
+        let outcomes = fit_members(&mut self.members, train, spec);
+        self.fallback.fit(train, spec);
         self.gamma.iter_mut().for_each(|g| *g = 0.0);
+        self.quarantined.iter_mut().for_each(|q| *q = false);
+        self.reasons.iter_mut().for_each(|r| *r = None);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            if let Some(msg) = outcome {
+                self.quarantine_member(i, format!("training panicked: {msg}"));
+            } else if self.members[i].health().is_failed() {
+                let health = self.members[i].health();
+                self.quarantine_member(i, format!("training {health}"));
+            }
+        }
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
+        let window = self.adapt_window(window);
         let weights = self.weights();
-        self.members
-            .iter()
-            .zip(&weights)
-            .map(|(m, w)| w * m.predict(window))
-            .sum()
+        let mut acc = 0.0;
+        let mut wsum = 0.0;
+        for (i, m) in self.members.iter().enumerate() {
+            if self.quarantined[i] {
+                continue;
+            }
+            let p = m.predict(&window);
+            // A transiently non-finite member is skipped for this call;
+            // `observe` is where it gets quarantined for good.
+            if p.is_finite() {
+                acc += weights[i] * p;
+                wsum += weights[i];
+            }
+        }
+        if wsum > 0.0 {
+            return acc / wsum;
+        }
+        // Every member is out: serve the seasonal-naive floor. Before
+        // the first fit the fallback has no spec, so skip straight to
+        // the last-value floor.
+        let p = if self.history == 0 { f64::NAN } else { self.fallback.predict(&window) };
+        if p.is_finite() {
+            p
+        } else {
+            window.last().copied().unwrap_or(0.0)
+        }
     }
 
     fn observe(&mut self, window: &[f64], actual: f64) {
-        for (m, g) in self.members.iter().zip(&mut self.gamma) {
-            let e = {
-                let p = m.predict(window);
-                (actual - p) * (actual - p)
-            };
-            *g = self.delta * *g + e;
+        if !actual.is_finite() {
+            // Poisoned feedback must not corrupt the error histories.
+            return;
+        }
+        let window = self.adapt_window(window).into_owned();
+        for i in 0..self.members.len() {
+            if self.quarantined[i] {
+                continue;
+            }
+            let p = self.members[i].predict(&window);
+            if !p.is_finite() {
+                self.quarantine_member(i, format!("non-finite prediction {p}"));
+                continue;
+            }
+            let e = (actual - p) * (actual - p);
+            let g = self.delta * self.gamma[i] + e;
+            if g.is_finite() {
+                self.gamma[i] = g;
+            } else {
+                self.quarantine_member(i, format!("non-finite forecasting distance {g}"));
+            }
         }
     }
 
@@ -476,5 +709,195 @@ mod tests {
     #[should_panic(expected = "attenuation")]
     fn bad_delta_panics() {
         TimeSensitiveEnsemble::new("x", vec![Box::new(Naive)], 0.0);
+    }
+
+    /// A stub whose `fit` always panics (simulated member crash).
+    struct PanicOnFit;
+
+    impl Forecaster for PanicOnFit {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+        fn fit(&mut self, _: &[f64], _: WindowSpec) {
+            panic!("injected fit failure");
+        }
+        fn predict(&self, _: &[f64]) -> f64 {
+            999.0
+        }
+    }
+
+    /// A stub that fits fine but always predicts NaN.
+    struct NanPredictor;
+
+    impl Forecaster for NanPredictor {
+        fn name(&self) -> &'static str {
+            "nan"
+        }
+        fn fit(&mut self, _: &[f64], _: WindowSpec) {}
+        fn predict(&self, _: &[f64]) -> f64 {
+            f64::NAN
+        }
+    }
+
+    /// A stub whose guarded training always reports `Failed`.
+    struct AlwaysFailed;
+
+    impl Forecaster for AlwaysFailed {
+        fn name(&self) -> &'static str {
+            "failed"
+        }
+        fn fit(&mut self, _: &[f64], _: WindowSpec) {}
+        fn predict(&self, _: &[f64]) -> f64 {
+            0.0
+        }
+        fn health(&self) -> TrainHealth {
+            TrainHealth::Failed {
+                retries: 0,
+                cause: crate::guard::DivergenceCause::NonFinite { epoch: 0 },
+            }
+        }
+    }
+
+    const TRAIN: [f64; 6] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+    const SPEC: WindowSpec = WindowSpec { history: 2, horizon: 1 };
+
+    #[test]
+    fn member_fit_panic_is_quarantined_not_propagated() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(PanicOnFit), Box::new(Constant(3.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        assert_eq!(e.quarantined_count(), 1);
+        assert_eq!(e.active_count(), 1);
+        assert!(e.is_degraded());
+        let states = e.member_states();
+        assert!(states[0].quarantined);
+        assert!(states[0].reason.as_deref().unwrap().contains("injected fit failure"));
+        assert!(!states[1].quarantined);
+        // The surviving member carries the full weight.
+        assert_eq!(e.weights(), vec![0.0, 1.0]);
+        assert_eq!(e.predict(&[5.0, 6.0]), 3.0);
+    }
+
+    #[test]
+    fn failed_training_health_is_quarantined() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(AlwaysFailed), Box::new(Constant(7.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        let states = e.member_states();
+        assert!(states[0].quarantined, "states: {states:?}");
+        assert_eq!(e.predict(&[5.0, 6.0]), 7.0);
+    }
+
+    #[test]
+    fn all_members_out_falls_back_to_seasonal_floor() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(PanicOnFit), Box::new(AlwaysFailed)],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        assert_eq!(e.active_count(), 0);
+        assert_eq!(e.fallback_name(), "SeasonalNaive");
+        // Season-1 fallback degrades to last-value.
+        assert_eq!(e.predict(&[5.0, 6.0]), 6.0);
+        assert!(e.predict(&[5.0, 6.0]).is_finite());
+    }
+
+    #[test]
+    fn non_finite_prediction_is_skipped_per_call() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(NanPredictor), Box::new(Constant(4.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        // NaN member not quarantined by predict, but its share is
+        // renormalized away.
+        assert_eq!(e.predict(&[5.0, 6.0]), 4.0);
+        assert_eq!(e.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn observe_quarantines_non_finite_member_for_good() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(NanPredictor), Box::new(Constant(4.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        e.observe(&[5.0, 6.0], 4.0);
+        assert_eq!(e.quarantined_count(), 1);
+        let states = e.member_states();
+        assert!(states[0].quarantined);
+        assert!(states[0].reason.as_deref().unwrap().contains("non-finite prediction"));
+        // Γ of the healthy member stays finite.
+        assert!(e.forecasting_distances().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_actual_does_not_corrupt_gamma() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(1.0)), Box::new(Constant(2.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        e.observe(&[5.0, 6.0], f64::NAN);
+        assert_eq!(e.forecasting_distances(), &[0.0, 0.0]);
+        assert_eq!(e.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn refit_clears_quarantine() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(NanPredictor), Box::new(Constant(4.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        e.observe(&[5.0, 6.0], 4.0);
+        assert_eq!(e.quarantined_count(), 1);
+        e.fit(&TRAIN, SPEC);
+        assert_eq!(e.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn single_active_member_gets_full_weight_without_nan() {
+        // Regression: the Eqn. 8 normalization divides by (k−1)·ΣΓ,
+        // which is 0/0 for a single active member with history.
+        let mut e = TimeSensitiveEnsemble::new("t", vec![Box::new(Constant(2.0))], 0.9);
+        e.fit(&TRAIN, SPEC);
+        e.observe(&[5.0, 6.0], 4.0); // Γ > 0
+        assert_eq!(e.weights(), vec![1.0]);
+        assert_eq!(e.predict(&[5.0, 6.0]), 2.0);
+    }
+
+    #[test]
+    fn windows_are_adapted_to_fit_history() {
+        let mut e = TimeSensitiveEnsemble::new("t", vec![Box::new(Naive)], 0.9);
+        e.fit(&TRAIN, SPEC);
+        // Longer window: most recent values kept.
+        assert_eq!(e.predict(&[1.0, 2.0, 3.0, 9.0]), 9.0);
+        // Shorter window: left-padded, last value intact.
+        assert_eq!(e.predict(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn fixed_ensemble_still_propagates_member_panics() {
+        let mut e = FixedEnsemble::equal(
+            "f",
+            vec![Box::new(PanicOnFit), Box::new(Constant(0.0))],
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.fit(&TRAIN, SPEC);
+        }));
+        let msg = panic_message(r.expect_err("fixed ensembles fail fast"));
+        assert!(msg.contains("panicker"), "message: {msg}");
     }
 }

@@ -1,5 +1,6 @@
 //! The forecaster abstraction shared by every model in the zoo.
 
+use crate::guard::TrainHealth;
 use dbaugur_trace::WindowSpec;
 
 /// A single-trace forecaster (paper Definition 4): observes a history
@@ -29,6 +30,14 @@ pub trait Forecaster: Send {
     fn storage_bytes(&self) -> usize {
         0
     }
+
+    /// Outcome of the last `fit` for guard-aware models. Classical
+    /// models cannot diverge and report `Healthy`; neural members
+    /// override this with the verdict of their [`crate::TrainGuard`]
+    /// run, which the ensemble uses to quarantine failed members.
+    fn health(&self) -> TrainHealth {
+        TrainHealth::Healthy
+    }
 }
 
 /// Blanket impl so `Box<dyn Forecaster>` composes into ensembles.
@@ -51,6 +60,10 @@ impl Forecaster for Box<dyn Forecaster> {
 
     fn storage_bytes(&self) -> usize {
         self.as_ref().storage_bytes()
+    }
+
+    fn health(&self) -> TrainHealth {
+        self.as_ref().health()
     }
 }
 

@@ -1,0 +1,557 @@
+//! Training divergence guards.
+//!
+//! GAN training (and, at high learning rates, any gradient training) can
+//! diverge: losses go NaN/∞ or explode by orders of magnitude. A diverged
+//! member must not poison the ensemble, so every neural forecaster runs
+//! its epoch loop under a [`TrainGuard`]:
+//!
+//! * each epoch reports a scalar health metric (mean train loss, or a
+//!   supervised proxy for the GAN generator),
+//! * a non-finite metric aborts the run immediately,
+//! * a metric that stays above `explosion_factor ×` the best seen for
+//!   more than `patience` consecutive epochs aborts the run,
+//! * an aborted run is retried with a reseeded init and a geometrically
+//!   backed-off epoch budget ([`RetrySchedule`]), up to `max_retries`
+//!   times,
+//! * the weights that produced the best metric are checkpointed
+//!   ([`Checkpoint`]) and restored at the end, so a late-run divergence
+//!   rolls back instead of shipping garbage.
+//!
+//! The outcome is summarized as a [`TrainHealth`], surfaced through
+//! [`crate::Forecaster::health`] and consumed by the ensemble's
+//! quarantine logic.
+
+use dbaugur_nn::{Mat, Param};
+
+/// Thresholds and retry budget for guarded training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Abort when the epoch metric exceeds `explosion_factor ×` the best
+    /// metric seen this attempt for more than `patience` epochs in a row.
+    pub explosion_factor: f64,
+    /// Consecutive exploded epochs tolerated before aborting.
+    pub patience: usize,
+    /// Reseeded retries after an aborted attempt (0 = no retries).
+    pub max_retries: usize,
+    /// Epoch budget multiplier per retry, in `(0, 1]`. Retries are
+    /// cheaper than the first attempt: a config that diverges once tends
+    /// to diverge again, so we probe rather than commit.
+    pub epoch_backoff: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self { explosion_factor: 1e3, patience: 2, max_retries: 2, epoch_backoff: 0.5 }
+    }
+}
+
+impl GuardConfig {
+    /// Validate thresholds; returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        // NaN must fail too, so compare in the accepting direction only.
+        let factor_ok = self.explosion_factor > 1.0;
+        if !factor_ok {
+            return Err(format!("explosion_factor must be > 1, got {}", self.explosion_factor));
+        }
+        if !(self.epoch_backoff > 0.0 && self.epoch_backoff <= 1.0) {
+            return Err(format!("epoch_backoff must be in (0, 1], got {}", self.epoch_backoff));
+        }
+        Ok(())
+    }
+}
+
+/// Why a training attempt was aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceCause {
+    /// The epoch metric (or a member loss feeding it) went NaN or ±∞.
+    NonFinite {
+        /// Epoch (within the attempt) at which the metric went non-finite.
+        epoch: usize,
+    },
+    /// The metric stayed above `explosion_factor × best` past patience.
+    Exploded {
+        /// Epoch at which patience ran out.
+        epoch: usize,
+        /// The exploded metric value.
+        metric: f64,
+        /// Best metric seen before the explosion.
+        best: f64,
+    },
+}
+
+impl std::fmt::Display for DivergenceCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFinite { epoch } => write!(f, "non-finite loss at epoch {epoch}"),
+            Self::Exploded { epoch, metric, best } => {
+                write!(f, "loss explosion at epoch {epoch} ({metric:.3e} vs best {best:.3e})")
+            }
+        }
+    }
+}
+
+/// Per-epoch verdict from [`TrainGuard::observe_epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardVerdict {
+    /// Keep training. `improved` means this epoch set a new best metric
+    /// and callers should checkpoint the current weights.
+    Continue {
+        /// Whether this epoch set a new best metric.
+        improved: bool,
+    },
+    /// Stop this attempt now.
+    Abort(DivergenceCause),
+}
+
+/// Watches one training attempt's per-epoch metrics for divergence.
+#[derive(Debug, Clone)]
+pub struct TrainGuard {
+    cfg: GuardConfig,
+    best: f64,
+    best_epoch: Option<usize>,
+    bad_streak: usize,
+}
+
+impl TrainGuard {
+    /// Fresh guard for one training attempt.
+    pub fn new(cfg: &GuardConfig) -> Self {
+        Self { cfg: cfg.clone(), best: f64::INFINITY, best_epoch: None, bad_streak: 0 }
+    }
+
+    /// Best (lowest) metric seen so far, if any epoch was finite.
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.best_epoch.map(|e| (e, self.best))
+    }
+
+    /// Feed one epoch's health metric; decides whether training goes on.
+    pub fn observe_epoch(&mut self, epoch: usize, metric: f64) -> GuardVerdict {
+        if !metric.is_finite() {
+            return GuardVerdict::Abort(DivergenceCause::NonFinite { epoch });
+        }
+        if metric < self.best {
+            self.best = metric;
+            self.best_epoch = Some(epoch);
+            self.bad_streak = 0;
+            return GuardVerdict::Continue { improved: true };
+        }
+        // `max(1e-9)` keeps a perfect-fit best of 0.0 from flagging every
+        // subsequent epoch as an explosion.
+        if metric > self.cfg.explosion_factor * self.best.max(1e-9) {
+            self.bad_streak += 1;
+            if self.bad_streak > self.cfg.patience {
+                return GuardVerdict::Abort(DivergenceCause::Exploded {
+                    epoch,
+                    metric,
+                    best: self.best,
+                });
+            }
+        } else {
+            self.bad_streak = 0;
+        }
+        GuardVerdict::Continue { improved: false }
+    }
+}
+
+/// One entry of a [`RetrySchedule`]: which seed and epoch budget to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// 0 = first try, 1.. = retries.
+    pub index: usize,
+    /// Seed for this attempt's init + shuffling RNG.
+    pub seed: u64,
+    /// Epoch budget (backed off geometrically for retries, floor 1).
+    pub epochs: usize,
+}
+
+/// Derives the (seed, epochs) sequence for guarded training attempts.
+#[derive(Debug, Clone)]
+pub struct RetrySchedule {
+    base_seed: u64,
+    base_epochs: usize,
+    max_retries: usize,
+    backoff: f64,
+}
+
+impl RetrySchedule {
+    /// Schedule derived from the guard's retry budget and backoff.
+    pub fn new(cfg: &GuardConfig, base_seed: u64, base_epochs: usize) -> Self {
+        Self {
+            base_seed,
+            base_epochs,
+            max_retries: cfg.max_retries,
+            backoff: cfg.epoch_backoff,
+        }
+    }
+
+    /// Attempt 0 uses the configured seed/epochs (so healthy runs are
+    /// byte-identical to unguarded training); retries derive a fresh seed
+    /// by mixing the attempt index with a 64-bit odd constant.
+    pub fn attempts(&self) -> impl Iterator<Item = Attempt> + '_ {
+        (0..=self.max_retries).map(move |i| Attempt {
+            index: i,
+            seed: if i == 0 {
+                self.base_seed
+            } else {
+                self.base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            },
+            epochs: ((self.base_epochs as f64 * self.backoff.powi(i as i32)).floor() as usize)
+                .max(1),
+        })
+    }
+}
+
+/// Snapshot of a model's weight matrices, for best-epoch rollback.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    mats: Vec<Mat>,
+}
+
+impl Checkpoint {
+    /// Clone the current weights out of a parameter list (the same
+    /// `params_mut()` ordering used by the optimizer and serializer).
+    pub fn of(params: &[&mut Param]) -> Self {
+        Self { mats: params.iter().map(|p| p.w.clone()).collect() }
+    }
+
+    /// Write the snapshot back into a parameter list of the same shape.
+    pub fn restore(&self, params: &mut [&mut Param]) {
+        assert_eq!(params.len(), self.mats.len(), "checkpoint/model tensor count mismatch");
+        for (p, m) in params.iter_mut().zip(&self.mats) {
+            p.w = m.clone();
+        }
+    }
+}
+
+/// What a model must expose for [`run_guarded`] to drive its training.
+/// Implemented by small per-model wrapper structs that own the attempt's
+/// RNG and optimizer state.
+pub(crate) trait GuardedTrain {
+    /// Rebuild weights + optimizer + RNG from `seed` for a fresh attempt.
+    fn reinit(&mut self, seed: u64);
+    /// Run one epoch; return the health metric (lower is better).
+    fn epoch(&mut self) -> f64;
+    /// Snapshot current weights.
+    fn checkpoint(&mut self) -> Checkpoint;
+    /// Restore a snapshot taken on this architecture.
+    fn restore(&mut self, ck: &Checkpoint);
+    /// Drop the weights entirely (model falls back to naive predictions).
+    fn clear(&mut self);
+}
+
+/// Run the guarded attempt/retry/rollback loop and classify the outcome.
+///
+/// Healthy first attempts restore their best-metric checkpoint, so a
+/// run that drifts late still ships its best epoch; a run aborted by
+/// the guard is retried on a fresh seed with a backed-off epoch budget;
+/// if every attempt aborts, the best finite checkpoint seen anywhere is
+/// restored (`RolledBack`) or, failing that, the weights are cleared
+/// (`Failed`).
+pub(crate) fn run_guarded<T: GuardedTrain>(
+    t: &mut T,
+    cfg: &GuardConfig,
+    base_seed: u64,
+    base_epochs: usize,
+) -> TrainHealth {
+    let sched = RetrySchedule::new(cfg, base_seed, base_epochs);
+    let mut overall_best: Option<(f64, Checkpoint)> = None;
+    let mut last_cause = None;
+    let mut retries = 0;
+    for attempt in sched.attempts() {
+        retries = attempt.index;
+        t.reinit(attempt.seed);
+        let mut guard = TrainGuard::new(cfg);
+        let mut aborted = None;
+        for epoch in 0..attempt.epochs {
+            let metric = t.epoch();
+            match guard.observe_epoch(epoch, metric) {
+                GuardVerdict::Continue { improved } => {
+                    let beats_overall =
+                        overall_best.as_ref().is_none_or(|(m, _)| metric < *m);
+                    if improved && beats_overall {
+                        overall_best = Some((metric, t.checkpoint()));
+                    }
+                }
+                GuardVerdict::Abort(cause) => {
+                    aborted = Some(cause);
+                    break;
+                }
+            }
+        }
+        match aborted {
+            None => {
+                if let Some((_, ck)) = &overall_best {
+                    t.restore(ck);
+                }
+                return if attempt.index == 0 {
+                    TrainHealth::Healthy
+                } else {
+                    TrainHealth::Recovered { retries: attempt.index }
+                };
+            }
+            Some(cause) => last_cause = Some(cause),
+        }
+    }
+    let cause = last_cause.expect("loop aborts record a cause");
+    match overall_best {
+        Some((_, ck)) => {
+            t.restore(&ck);
+            TrainHealth::RolledBack { retries, cause }
+        }
+        None => {
+            t.clear();
+            TrainHealth::Failed { retries, cause }
+        }
+    }
+}
+
+/// Outcome of guarded training, surfaced per member via
+/// [`crate::Forecaster::health`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TrainHealth {
+    /// First attempt ran to completion.
+    #[default]
+    Healthy,
+    /// At least one attempt diverged, but a reseeded retry completed.
+    Recovered {
+        /// Retries consumed before the completing attempt.
+        retries: usize,
+    },
+    /// Every attempt diverged; serving the best pre-divergence
+    /// checkpoint. Usable, but degraded.
+    RolledBack {
+        /// Retries consumed (the full budget).
+        retries: usize,
+        /// The last attempt's divergence cause.
+        cause: DivergenceCause,
+    },
+    /// Every attempt diverged before a single finite epoch; the model
+    /// has no trained weights and serves its naive fallback.
+    Failed {
+        /// Retries consumed (the full budget).
+        retries: usize,
+        /// The last attempt's divergence cause.
+        cause: DivergenceCause,
+    },
+}
+
+impl TrainHealth {
+    /// True when the model has no trained weights at all.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Self::Failed { .. })
+    }
+
+    /// True when training did not finish cleanly on some attempt.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::RolledBack { .. } | Self::Failed { .. })
+    }
+}
+
+impl std::fmt::Display for TrainHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Healthy => write!(f, "healthy"),
+            Self::Recovered { retries } => write!(f, "recovered after {retries} retr{}", if *retries == 1 { "y" } else { "ies" }),
+            Self::RolledBack { retries, cause } => {
+                write!(f, "rolled back to best checkpoint after {retries} retries ({cause})")
+            }
+            Self::Failed { retries, cause } => {
+                write!(f, "failed after {retries} retries ({cause})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_run_never_aborts() {
+        let mut g = TrainGuard::new(&GuardConfig::default());
+        for (e, loss) in [0.9, 0.5, 0.6, 0.3, 0.31].into_iter().enumerate() {
+            assert!(matches!(g.observe_epoch(e, loss), GuardVerdict::Continue { .. }));
+        }
+        assert_eq!(g.best(), Some((3, 0.3)));
+    }
+
+    #[test]
+    fn improved_flag_tracks_new_best() {
+        let mut g = TrainGuard::new(&GuardConfig::default());
+        assert_eq!(g.observe_epoch(0, 1.0), GuardVerdict::Continue { improved: true });
+        assert_eq!(g.observe_epoch(1, 2.0), GuardVerdict::Continue { improved: false });
+        assert_eq!(g.observe_epoch(2, 0.5), GuardVerdict::Continue { improved: true });
+    }
+
+    #[test]
+    fn nan_aborts_immediately() {
+        let mut g = TrainGuard::new(&GuardConfig::default());
+        g.observe_epoch(0, 1.0);
+        assert_eq!(
+            g.observe_epoch(1, f64::NAN),
+            GuardVerdict::Abort(DivergenceCause::NonFinite { epoch: 1 })
+        );
+    }
+
+    #[test]
+    fn infinity_aborts_immediately() {
+        let mut g = TrainGuard::new(&GuardConfig::default());
+        assert_eq!(
+            g.observe_epoch(0, f64::INFINITY),
+            GuardVerdict::Abort(DivergenceCause::NonFinite { epoch: 0 })
+        );
+    }
+
+    #[test]
+    fn explosion_needs_patience_epochs() {
+        let cfg = GuardConfig { explosion_factor: 10.0, patience: 2, ..Default::default() };
+        let mut g = TrainGuard::new(&cfg);
+        g.observe_epoch(0, 1.0);
+        assert!(matches!(g.observe_epoch(1, 100.0), GuardVerdict::Continue { .. }));
+        assert!(matches!(g.observe_epoch(2, 100.0), GuardVerdict::Continue { .. }));
+        match g.observe_epoch(3, 100.0) {
+            GuardVerdict::Abort(DivergenceCause::Exploded { epoch: 3, .. }) => {}
+            v => panic!("expected explosion abort, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_resets_bad_streak() {
+        let cfg = GuardConfig { explosion_factor: 10.0, patience: 1, ..Default::default() };
+        let mut g = TrainGuard::new(&cfg);
+        g.observe_epoch(0, 1.0);
+        assert!(matches!(g.observe_epoch(1, 100.0), GuardVerdict::Continue { .. }));
+        assert!(matches!(g.observe_epoch(2, 2.0), GuardVerdict::Continue { .. }));
+        assert!(matches!(g.observe_epoch(3, 100.0), GuardVerdict::Continue { .. }));
+    }
+
+    #[test]
+    fn zero_best_does_not_flag_tiny_metrics() {
+        let mut g = TrainGuard::new(&GuardConfig::default());
+        g.observe_epoch(0, 0.0);
+        assert!(matches!(g.observe_epoch(1, 1e-8), GuardVerdict::Continue { .. }));
+    }
+
+    #[test]
+    fn schedule_backs_off_epochs_and_reseeds() {
+        let cfg = GuardConfig { max_retries: 2, epoch_backoff: 0.5, ..Default::default() };
+        let attempts: Vec<_> = RetrySchedule::new(&cfg, 42, 8).attempts().collect();
+        assert_eq!(attempts.len(), 3);
+        assert_eq!(attempts[0], Attempt { index: 0, seed: 42, epochs: 8 });
+        assert_eq!(attempts[1].epochs, 4);
+        assert_eq!(attempts[2].epochs, 2);
+        assert_ne!(attempts[1].seed, 42);
+        assert_ne!(attempts[2].seed, attempts[1].seed);
+    }
+
+    #[test]
+    fn schedule_epoch_floor_is_one() {
+        let cfg = GuardConfig { max_retries: 3, epoch_backoff: 0.1, ..Default::default() };
+        let attempts: Vec<_> = RetrySchedule::new(&cfg, 0, 2).attempts().collect();
+        assert!(attempts.iter().all(|a| a.epochs >= 1));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GuardConfig::default().validate().is_ok());
+        assert!(GuardConfig { explosion_factor: 1.0, ..Default::default() }.validate().is_err());
+        assert!(GuardConfig { epoch_backoff: 0.0, ..Default::default() }.validate().is_err());
+        assert!(GuardConfig { epoch_backoff: 1.5, ..Default::default() }.validate().is_err());
+    }
+
+    /// Scripted [`GuardedTrain`] impl: attempt `i` replays `script[i]`.
+    struct Scripted {
+        script: Vec<Vec<f64>>,
+        attempt: usize,
+        epoch: usize,
+        cleared: bool,
+        restores: usize,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Vec<f64>>) -> Self {
+            Self { script, attempt: usize::MAX, epoch: 0, cleared: false, restores: 0 }
+        }
+    }
+
+    impl GuardedTrain for Scripted {
+        fn reinit(&mut self, _seed: u64) {
+            self.attempt = self.attempt.wrapping_add(1);
+            self.epoch = 0;
+        }
+        fn epoch(&mut self) -> f64 {
+            let m = self.script[self.attempt][self.epoch];
+            self.epoch += 1;
+            m
+        }
+        fn checkpoint(&mut self) -> Checkpoint {
+            Checkpoint { mats: Vec::new() }
+        }
+        fn restore(&mut self, _ck: &Checkpoint) {
+            self.restores += 1;
+        }
+        fn clear(&mut self) {
+            self.cleared = true;
+        }
+    }
+
+    fn guarded(script: Vec<Vec<f64>>, epochs: usize) -> (TrainHealth, Scripted) {
+        let cfg = GuardConfig { max_retries: 2, epoch_backoff: 1.0, ..Default::default() };
+        let mut t = Scripted::new(script);
+        let health = run_guarded(&mut t, &cfg, 0, epochs);
+        (health, t)
+    }
+
+    #[test]
+    fn driver_clean_run_is_healthy_and_restores_best() {
+        let (health, t) = guarded(vec![vec![0.9, 0.5, 0.7]], 3);
+        assert_eq!(health, TrainHealth::Healthy);
+        assert_eq!(t.restores, 1);
+        assert!(!t.cleared);
+    }
+
+    #[test]
+    fn driver_retry_recovers_after_nan_attempt() {
+        let (health, t) =
+            guarded(vec![vec![f64::NAN, 0.0, 0.0], vec![0.5, 0.4, 0.3]], 3);
+        assert_eq!(health, TrainHealth::Recovered { retries: 1 });
+        assert!(!t.cleared);
+    }
+
+    #[test]
+    fn driver_all_nan_attempts_fail_and_clear() {
+        let nan = vec![f64::NAN];
+        let (health, t) = guarded(vec![nan.clone(), nan.clone(), nan], 1);
+        match health {
+            TrainHealth::Failed { retries: 2, cause: DivergenceCause::NonFinite { epoch: 0 } } => {}
+            h => panic!("expected Failed, got {h:?}"),
+        }
+        assert!(t.cleared);
+        assert_eq!(t.restores, 0);
+    }
+
+    #[test]
+    fn driver_late_divergence_rolls_back_to_checkpoint() {
+        let diverge_late = vec![0.5, f64::NAN, 0.0];
+        let (health, t) = guarded(
+            vec![diverge_late.clone(), diverge_late.clone(), diverge_late],
+            3,
+        );
+        match health {
+            TrainHealth::RolledBack { retries: 2, .. } => {}
+            h => panic!("expected RolledBack, got {h:?}"),
+        }
+        assert_eq!(t.restores, 1);
+        assert!(!t.cleared);
+    }
+
+    #[test]
+    fn health_predicates() {
+        assert!(!TrainHealth::Healthy.is_degraded());
+        assert!(!TrainHealth::Recovered { retries: 1 }.is_degraded());
+        let cause = DivergenceCause::NonFinite { epoch: 0 };
+        let rolled = TrainHealth::RolledBack { retries: 2, cause: cause.clone() };
+        assert!(rolled.is_degraded() && !rolled.is_failed());
+        let failed = TrainHealth::Failed { retries: 2, cause };
+        assert!(failed.is_degraded() && failed.is_failed());
+    }
+}

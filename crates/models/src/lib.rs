@@ -27,6 +27,7 @@ pub mod ensemble;
 pub mod eval;
 pub mod forecaster;
 pub mod gru;
+pub mod guard;
 pub mod kr;
 pub mod lr;
 pub mod lstm;
@@ -38,10 +39,14 @@ pub mod util;
 pub mod wfgan;
 
 pub use arima::Arima;
-pub use ensemble::{combine_fixed, combine_time_sensitive, FixedEnsemble, Qb5000, TimeSensitiveEnsemble};
+pub use ensemble::{
+    combine_fixed, combine_time_sensitive, FixedEnsemble, MemberState, Qb5000,
+    TimeSensitiveEnsemble,
+};
 pub use eval::{rolling_forecast, EvalReport};
 pub use forecaster::Forecaster;
 pub use gru::GruForecaster;
+pub use guard::{DivergenceCause, GuardConfig, GuardVerdict, TrainGuard, TrainHealth};
 pub use kr::KernelRegression;
 pub use lr::LinearRegression;
 pub use lstm::LstmForecaster;

@@ -4,6 +4,7 @@
 //! final hidden state feeds a linear head.
 
 use crate::forecaster::Forecaster;
+use crate::guard::{run_guarded, Checkpoint, GuardConfig, GuardedTrain, TrainHealth};
 use crate::util;
 use dbaugur_nn::activation::Activation;
 use dbaugur_nn::loss::mse_loss;
@@ -30,10 +31,13 @@ pub struct LstmForecaster {
     pub clip: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Divergence-guard thresholds and retry budget.
+    pub guard: GuardConfig,
     lstm: Option<Lstm>,
     head: Option<Dense>,
     scaler: MinMaxScaler,
     history: usize,
+    health: TrainHealth,
 }
 
 impl Default for LstmForecaster {
@@ -46,11 +50,48 @@ impl Default for LstmForecaster {
             max_examples: 2000,
             clip: 5.0,
             seed: 0,
+            guard: GuardConfig::default(),
             lstm: None,
             head: None,
             scaler: MinMaxScaler::new(),
             history: 0,
+            health: TrainHealth::Healthy,
         }
+    }
+}
+
+/// Owns one guarded-training attempt's RNG and optimizer state.
+struct LstmTrainer<'a> {
+    model: &'a mut LstmForecaster,
+    data: &'a util::SupervisedData,
+    rng: StdRng,
+    opt: Adam,
+}
+
+impl GuardedTrain for LstmTrainer<'_> {
+    fn reinit(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.model.lstm = Some(Lstm::new(1, self.model.hidden, &mut self.rng));
+        self.model.head =
+            Some(Dense::new(self.model.hidden, 1, Activation::Linear, &mut self.rng));
+        self.opt = Adam::new(self.model.lr);
+    }
+
+    fn epoch(&mut self) -> f64 {
+        self.model.train_epoch(self.data, &mut self.rng, &mut self.opt)
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint::of(&self.model.net_params().expect("nets initialized by reinit"))
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) {
+        ck.restore(&mut self.model.net_params().expect("nets initialized by reinit"));
+    }
+
+    fn clear(&mut self) {
+        self.model.lstm = None;
+        self.model.head = None;
     }
 }
 
@@ -138,19 +179,22 @@ impl Forecaster for LstmForecaster {
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
         self.history = spec.history;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.health = TrainHealth::Healthy;
         let Some(data) = util::prepare(train, spec) else {
             self.lstm = None;
             self.head = None;
             return;
         };
-        self.lstm = Some(Lstm::new(1, self.hidden, &mut rng));
-        self.head = Some(Dense::new(self.hidden, 1, Activation::Linear, &mut rng));
         self.scaler = data.scaler;
-        let mut opt = Adam::new(self.lr);
-        for _ in 0..self.epochs {
-            self.train_epoch(&data, &mut rng, &mut opt);
-        }
+        let (guard, seed, epochs, lr) = (self.guard.clone(), self.seed, self.epochs, self.lr);
+        let mut trainer = LstmTrainer {
+            model: self,
+            data: &data,
+            rng: StdRng::seed_from_u64(seed),
+            opt: Adam::new(lr),
+        };
+        let health = run_guarded(&mut trainer, &guard, seed, epochs);
+        self.health = health;
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
@@ -175,6 +219,10 @@ impl Forecaster for LstmForecaster {
             }
             _ => 0,
         }
+    }
+
+    fn health(&self) -> TrainHealth {
+        self.health.clone()
     }
 }
 
@@ -218,6 +266,17 @@ mod tests {
         b.fit(&series, spec);
         let w = &series[100..110];
         assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn divergent_training_is_guarded() {
+        let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut m = LstmForecaster::new(0).with_epochs(3);
+        m.lr = f64::INFINITY;
+        m.guard.max_retries = 1;
+        m.fit(&series, WindowSpec::new(8, 1));
+        assert!(m.health().is_degraded(), "health: {:?}", m.health());
+        assert!(m.predict(&series[100..108]).is_finite());
     }
 
     #[test]

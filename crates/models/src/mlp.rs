@@ -3,6 +3,7 @@
 //! and good at short-term, locally (non)linear patterns (Table I).
 
 use crate::forecaster::Forecaster;
+use crate::guard::{run_guarded, Checkpoint, GuardConfig, GuardedTrain, TrainHealth};
 use crate::util;
 use dbaugur_nn::activation::Activation;
 use dbaugur_nn::dense::Mlp;
@@ -28,9 +29,12 @@ pub struct MlpForecaster {
     pub max_examples: usize,
     /// RNG seed for init + shuffling.
     pub seed: u64,
+    /// Divergence-guard thresholds and retry budget.
+    pub guard: GuardConfig,
     net: Option<Mlp>,
     scaler: MinMaxScaler,
     history: usize,
+    health: TrainHealth,
 }
 
 impl Default for MlpForecaster {
@@ -42,10 +46,47 @@ impl Default for MlpForecaster {
             lr: 1e-3,
             max_examples: 4000,
             seed: 0,
+            guard: GuardConfig::default(),
             net: None,
             scaler: MinMaxScaler::new(),
             history: 0,
+            health: TrainHealth::Healthy,
         }
+    }
+}
+
+/// Owns one guarded-training attempt's RNG and optimizer state.
+struct MlpTrainer<'a> {
+    model: &'a mut MlpForecaster,
+    data: &'a util::SupervisedData,
+    rng: StdRng,
+    opt: Adam,
+}
+
+impl GuardedTrain for MlpTrainer<'_> {
+    fn reinit(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        let mut widths = vec![self.model.history];
+        widths.extend(&self.model.hidden);
+        widths.push(1);
+        self.model.net = Some(Mlp::new(&widths, Activation::Relu, &mut self.rng));
+        self.opt = Adam::new(self.model.lr);
+    }
+
+    fn epoch(&mut self) -> f64 {
+        self.model.train_epoch(self.data, &mut self.rng, &mut self.opt)
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint::of(&self.model.net_params().expect("net initialized by reinit"))
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) {
+        ck.restore(&mut self.model.net_params().expect("net initialized by reinit"));
+    }
+
+    fn clear(&mut self) {
+        self.model.net = None;
     }
 }
 
@@ -113,20 +154,21 @@ impl Forecaster for MlpForecaster {
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
         self.history = spec.history;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.health = TrainHealth::Healthy;
         let Some(data) = util::prepare(train, spec) else {
             self.net = None;
             return;
         };
-        let mut widths = vec![spec.history];
-        widths.extend(&self.hidden);
-        widths.push(1);
-        self.net = Some(Mlp::new(&widths, Activation::Relu, &mut rng));
         self.scaler = data.scaler;
-        let mut opt = Adam::new(self.lr);
-        for _ in 0..self.epochs {
-            self.train_epoch(&data, &mut rng, &mut opt);
-        }
+        let (guard, seed, epochs, lr) = (self.guard.clone(), self.seed, self.epochs, self.lr);
+        let mut trainer = MlpTrainer {
+            model: self,
+            data: &data,
+            rng: StdRng::seed_from_u64(seed),
+            opt: Adam::new(lr),
+        };
+        let health = run_guarded(&mut trainer, &guard, seed, epochs);
+        self.health = health;
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
@@ -147,6 +189,10 @@ impl Forecaster for MlpForecaster {
             }
             None => 0,
         }
+    }
+
+    fn health(&self) -> TrainHealth {
+        self.health.clone()
     }
 }
 
@@ -199,6 +245,45 @@ mod tests {
         b.fit(&series, spec);
         let w = &series[100..108];
         assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn nan_training_data_fails_closed() {
+        let mut series = sine_series(200);
+        for v in series.iter_mut().skip(50).take(30) {
+            *v = f64::NAN;
+        }
+        let mut mlp = MlpForecaster::new(0).with_epochs(4);
+        mlp.guard.max_retries = 1;
+        mlp.fit(&series, WindowSpec::new(8, 1));
+        assert!(mlp.health().is_failed(), "health: {:?}", mlp.health());
+        // Failed models drop their weights and serve the naive fallback.
+        assert_eq!(mlp.predict(&[1.0; 8]), 1.0);
+        assert_eq!(mlp.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn divergent_learning_rate_never_yields_non_finite_model() {
+        let series = sine_series(200);
+        let mut mlp = MlpForecaster::new(0).with_epochs(4);
+        mlp.lr = f64::INFINITY;
+        mlp.guard.max_retries = 1;
+        mlp.fit(&series, WindowSpec::new(8, 1));
+        assert!(mlp.health().is_degraded(), "health: {:?}", mlp.health());
+        assert!(mlp.predict(&series[100..108]).is_finite());
+    }
+
+    #[test]
+    fn refit_on_clean_data_restores_health() {
+        let series = sine_series(200);
+        let mut mlp = MlpForecaster::new(0).with_epochs(2);
+        mlp.lr = f64::INFINITY;
+        mlp.guard.max_retries = 0;
+        mlp.fit(&series, WindowSpec::new(8, 1));
+        assert!(mlp.health().is_degraded());
+        mlp.lr = 1e-3;
+        mlp.fit(&series, WindowSpec::new(8, 1));
+        assert_eq!(mlp.health(), TrainHealth::Healthy);
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub enum PersistError {
     NotFitted,
     /// The byte buffer failed to decode or mismatched the architecture.
     Decode(DecodeError),
+    /// The decoded buffer contains NaN or infinite weights — a corrupted
+    /// file must not poison a healthy in-memory model.
+    NonFinite,
 }
 
 impl std::fmt::Display for PersistError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::NotFitted => write!(f, "model is not fitted"),
             PersistError::Decode(e) => write!(f, "decode failed: {e}"),
+            PersistError::NonFinite => write!(f, "decoded weights contain non-finite values"),
         }
     }
 }
@@ -62,6 +66,18 @@ pub trait Persistable {
 fn meta_mat(scaler: &MinMaxScaler, history: usize) -> Param {
     let (min, max) = scaler.range();
     Param::new(Mat::row_vector(vec![min, max, history as f64]))
+}
+
+/// Reject blobs whose decoded tensors (meta row included) contain
+/// NaN/∞ — bit rot in a weight file would otherwise propagate straight
+/// into every subsequent forecast.
+fn validate_finite(mats: &[Mat]) -> Result<(), PersistError> {
+    for m in mats {
+        if m.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(PersistError::NonFinite);
+        }
+    }
+    Ok(())
 }
 
 fn split_meta(mats: &[Mat]) -> Result<(MinMaxScaler, usize, &[Mat]), PersistError> {
@@ -97,6 +113,7 @@ macro_rules! impl_persistable {
 
             fn import_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
                 let mats = decode_params(bytes)?;
+                validate_finite(&mats)?;
                 let (scaler, history, weights) = split_meta(&mats)?;
                 {
                     let mut params = self.net_params().ok_or(PersistError::NotFitted)?;
@@ -206,5 +223,65 @@ mod tests {
         let mut m = MlpForecaster::new(0).with_epochs(1);
         m.fit(&s, WindowSpec::new(12, 1));
         assert!(m.import_bytes(b"not a model").is_err());
+    }
+
+    #[test]
+    fn nan_weights_are_rejected() {
+        let s = series();
+        let mut m = MlpForecaster::new(0).with_epochs(1);
+        m.fit(&s, WindowSpec::new(12, 1));
+        let mut bytes = m.export_bytes().expect("exports");
+        // Overwrite the last f64 payload (a tail weight) with NaN bits.
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(m.import_bytes(&bytes), Err(PersistError::NonFinite));
+    }
+
+    #[test]
+    fn rejected_import_leaves_model_untouched() {
+        let s = series();
+        let spec = WindowSpec::new(12, 1);
+        let mut m = MlpForecaster::new(0).with_epochs(2);
+        m.fit(&s[..180], spec);
+        let window = &s[180..192];
+        let before = m.predict(window);
+        let clean = m.export_bytes().expect("exports");
+
+        // NaN payload: rejected before any weight is written.
+        let mut nan = clean.clone();
+        let tail = nan.len() - 8;
+        nan[tail..].copy_from_slice(&f64::INFINITY.to_le_bytes());
+        assert_eq!(m.import_bytes(&nan), Err(PersistError::NonFinite));
+        assert_eq!(m.predict(window), before);
+
+        // Truncated file: rejected at decode.
+        assert!(matches!(
+            m.import_bytes(&clean[..clean.len() - 5]),
+            Err(PersistError::Decode(DecodeError::Truncated))
+        ));
+        assert_eq!(m.predict(window), before);
+    }
+
+    #[test]
+    fn corrupted_blobs_never_panic() {
+        use dbaugur_trace::FaultInjector;
+        let s = series();
+        let spec = WindowSpec::new(12, 1);
+        let mut m = MlpForecaster::new(0).with_epochs(1);
+        m.fit(&s, spec);
+        let clean = m.export_bytes().expect("exports");
+        let mut inj = FaultInjector::new(42);
+        for _ in 0..64 {
+            let mut dirty = clean.clone();
+            inj.corrupt_bytes(&mut dirty, 4);
+            // Any outcome but a panic/abort is acceptable; a success means
+            // the flips hit weight payloads and stayed finite.
+            let _ = m.import_bytes(&dirty);
+        }
+        for frac in [0.0, 0.3, 0.7] {
+            let mut dirty = clean.clone();
+            inj.truncate_bytes(&mut dirty, frac);
+            assert!(m.import_bytes(&dirty).is_err());
+        }
     }
 }

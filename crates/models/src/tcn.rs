@@ -5,6 +5,7 @@
 //! RNN gradient-explosion problem (Table I).
 
 use crate::forecaster::Forecaster;
+use crate::guard::{run_guarded, Checkpoint, GuardConfig, GuardedTrain, TrainHealth};
 use crate::util;
 use dbaugur_nn::activation::Activation;
 use dbaugur_nn::loss::mse_loss;
@@ -34,10 +35,13 @@ pub struct TcnForecaster {
     pub max_examples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Divergence-guard thresholds and retry budget.
+    pub guard: GuardConfig,
     blocks: Vec<TcnBlock>,
     head: Option<Dense>,
     scaler: MinMaxScaler,
     history: usize,
+    health: TrainHealth,
 }
 
 impl Default for TcnForecaster {
@@ -51,11 +55,57 @@ impl Default for TcnForecaster {
             lr: 1e-3,
             max_examples: 2000,
             seed: 0,
+            guard: GuardConfig::default(),
             blocks: Vec::new(),
             head: None,
             scaler: MinMaxScaler::new(),
             history: 0,
+            health: TrainHealth::Healthy,
         }
+    }
+}
+
+/// Owns one guarded-training attempt's RNG and optimizer state.
+struct TcnTrainer<'a> {
+    model: &'a mut TcnForecaster,
+    data: &'a util::SupervisedData,
+    rng: StdRng,
+    opt: Adam,
+}
+
+impl GuardedTrain for TcnTrainer<'_> {
+    fn reinit(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        let channels = self.model.channels;
+        let kernel = self.model.kernel;
+        let dilations = self.model.dilations.clone();
+        self.model.blocks = dilations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let input = if i == 0 { 1 } else { channels };
+                TcnBlock::new(input, channels, kernel, d, &mut self.rng)
+            })
+            .collect();
+        self.model.head = Some(Dense::new(channels, 1, Activation::Linear, &mut self.rng));
+        self.opt = Adam::new(self.model.lr);
+    }
+
+    fn epoch(&mut self) -> f64 {
+        self.model.train_epoch(self.data, &mut self.rng, &mut self.opt)
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint::of(&self.model.net_params().expect("nets initialized by reinit"))
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) {
+        ck.restore(&mut self.model.net_params().expect("nets initialized by reinit"));
+    }
+
+    fn clear(&mut self) {
+        self.model.blocks.clear();
+        self.model.head = None;
     }
 }
 
@@ -163,27 +213,22 @@ impl Forecaster for TcnForecaster {
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
         self.history = spec.history;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.health = TrainHealth::Healthy;
         let Some(data) = util::prepare(train, spec) else {
             self.blocks.clear();
             self.head = None;
             return;
         };
-        self.blocks = self
-            .dilations
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| {
-                let input = if i == 0 { 1 } else { self.channels };
-                TcnBlock::new(input, self.channels, self.kernel, d, &mut rng)
-            })
-            .collect();
-        self.head = Some(Dense::new(self.channels, 1, Activation::Linear, &mut rng));
         self.scaler = data.scaler;
-        let mut opt = Adam::new(self.lr);
-        for _ in 0..self.epochs {
-            self.train_epoch(&data, &mut rng, &mut opt);
-        }
+        let (guard, seed, epochs, lr) = (self.guard.clone(), self.seed, self.epochs, self.lr);
+        let mut trainer = TcnTrainer {
+            model: self,
+            data: &data,
+            rng: StdRng::seed_from_u64(seed),
+            opt: Adam::new(lr),
+        };
+        let health = run_guarded(&mut trainer, &guard, seed, epochs);
+        self.health = health;
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
@@ -210,6 +255,10 @@ impl Forecaster for TcnForecaster {
         };
         let params = me.all_params();
         encoded_size(&params.iter().map(|p| &**p).collect::<Vec<_>>())
+    }
+
+    fn health(&self) -> TrainHealth {
+        self.health.clone()
     }
 }
 
@@ -260,6 +309,17 @@ mod tests {
         b.fit(&series, spec);
         let w = &series[120..132];
         assert_eq!(a.predict(w), b.predict(w));
+    }
+
+    #[test]
+    fn divergent_training_is_guarded() {
+        let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut m = TcnForecaster::new(0).with_epochs(3);
+        m.lr = f64::INFINITY;
+        m.guard.max_retries = 1;
+        m.fit(&series, WindowSpec::new(12, 1));
+        assert!(m.health().is_degraded(), "health: {:?}", m.health());
+        assert!(m.predict(&series[120..132]).is_finite());
     }
 
     #[test]

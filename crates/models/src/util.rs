@@ -120,9 +120,9 @@ mod tests {
         let seq = window_batch_seq(&d, &idxs);
         assert_eq!(flat.shape(), (2, 3));
         assert_eq!(seq.len(), 3);
-        for ti in 0..3 {
+        for (ti, step) in seq.iter().enumerate() {
             for r in 0..2 {
-                assert_eq!(flat.get(r, ti), seq[ti].get(r, 0));
+                assert_eq!(flat.get(r, ti), step.get(r, 0));
             }
         }
         let tb = target_batch(&d, &idxs);

@@ -26,6 +26,7 @@
 //! discriminator and scaler.
 
 use crate::forecaster::Forecaster;
+use crate::guard::{run_guarded, Checkpoint, GuardConfig, GuardedTrain, TrainHealth};
 use crate::util::{self, SupervisedData};
 use dbaugur_nn::activation::Activation;
 use dbaugur_nn::loss::{bce_with_logits, generator_nonsaturating_loss};
@@ -63,6 +64,9 @@ pub struct WfganConfig {
     pub clip: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Divergence-guard thresholds and retry budget (GANs are the most
+    /// divergence-prone member of the zoo; see `crate::guard`).
+    pub guard: GuardConfig,
 }
 
 impl Default for WfganConfig {
@@ -80,6 +84,7 @@ impl Default for WfganConfig {
             max_examples: 2000,
             clip: 5.0,
             seed: 0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -138,7 +143,9 @@ pub struct Wfgan {
     disc: Option<SeqNet>,
     scaler: MinMaxScaler,
     history: usize,
-    /// `(d_loss, g_adv_loss)` means per epoch, for convergence checks.
+    health: TrainHealth,
+    /// `(d_loss, g_adv_loss)` means per epoch of the last training
+    /// attempt, for convergence checks.
     pub loss_history: Vec<(f64, f64)>,
 }
 
@@ -156,6 +163,7 @@ impl Wfgan {
             disc: None,
             scaler: MinMaxScaler::new(),
             history: 0,
+            health: TrainHealth::Healthy,
             loss_history: Vec::new(),
         }
     }
@@ -260,6 +268,29 @@ impl Wfgan {
         }
     }
 
+    /// Generator supervised MSE (scaled space) over up to `cap` training
+    /// windows. Adversarial losses oscillate by design, so the guard
+    /// watches this proxy instead: it is monotone-ish on healthy runs
+    /// and goes non-finite/explosive exactly when the GAN diverges.
+    fn supervised_proxy(&self, data: &SupervisedData, cap: usize) -> f64 {
+        let Some(gen) = &self.gen else {
+            return f64::NAN;
+        };
+        let n = data.windows.len().min(cap);
+        if n == 0 {
+            return 0.0;
+        }
+        let idxs: Vec<usize> = (0..n).collect();
+        let xs = util::window_batch_seq(data, &idxs);
+        let pred = gen.infer(&xs);
+        let mut sum = 0.0;
+        for (r, &i) in idxs.iter().enumerate() {
+            let d = pred.get(r, 0) - data.targets[i];
+            sum += d * d;
+        }
+        sum / n as f64
+    }
+
     /// The discriminator's probability that `window ∘ value` is real —
     /// used by tests and the ablation bench to verify adversarial
     /// convergence.
@@ -272,6 +303,50 @@ impl Wfgan {
     }
 }
 
+
+/// Owns one guarded-training attempt's RNG and optimizer state.
+struct WfganTrainer<'a> {
+    model: &'a mut Wfgan,
+    data: &'a SupervisedData,
+    rng: StdRng,
+    opt_g: Adam,
+    opt_d: Adam,
+}
+
+impl GuardedTrain for WfganTrainer<'_> {
+    fn reinit(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        let (hidden, attn) = (self.model.cfg.hidden, self.model.cfg.attn);
+        self.model.gen = Some(SeqNet::new(hidden, attn, &mut self.rng));
+        self.model.disc = Some(SeqNet::new(hidden, attn, &mut self.rng));
+        self.opt_g = Adam::new(self.model.cfg.lr_g);
+        self.opt_d = Adam::new(self.model.cfg.lr_d);
+        self.model.loss_history.clear();
+    }
+
+    fn epoch(&mut self) -> f64 {
+        let (d, g) =
+            self.model.train_epoch(self.data, &mut self.rng, &mut self.opt_g, &mut self.opt_d);
+        self.model.loss_history.push((d, g));
+        if !(d.is_finite() && g.is_finite()) {
+            return f64::NAN;
+        }
+        self.model.supervised_proxy(self.data, 256)
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint::of(&self.model.net_params().expect("nets initialized by reinit"))
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) {
+        ck.restore(&mut self.model.net_params().expect("nets initialized by reinit"));
+    }
+
+    fn clear(&mut self) {
+        self.model.gen = None;
+        self.model.disc = None;
+    }
+}
 
 /// Persistence accessors (see `crate::persist`).
 impl Wfgan {
@@ -307,22 +382,26 @@ impl Forecaster for Wfgan {
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
         self.history = spec.history;
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.health = TrainHealth::Healthy;
         self.loss_history.clear();
         let Some(data) = util::prepare(train, spec) else {
             self.gen = None;
             self.disc = None;
             return;
         };
-        self.gen = Some(SeqNet::new(self.cfg.hidden, self.cfg.attn, &mut rng));
-        self.disc = Some(SeqNet::new(self.cfg.hidden, self.cfg.attn, &mut rng));
         self.scaler = data.scaler;
-        let mut opt_g = Adam::new(self.cfg.lr_g);
-        let mut opt_d = Adam::new(self.cfg.lr_d);
-        for _ in 0..self.cfg.epochs {
-            let losses = self.train_epoch(&data, &mut rng, &mut opt_g, &mut opt_d);
-            self.loss_history.push(losses);
-        }
+        let guard = self.cfg.guard.clone();
+        let (seed, epochs) = (self.cfg.seed, self.cfg.epochs);
+        let (lr_g, lr_d) = (self.cfg.lr_g, self.cfg.lr_d);
+        let mut trainer = WfganTrainer {
+            model: self,
+            data: &data,
+            rng: StdRng::seed_from_u64(seed),
+            opt_g: Adam::new(lr_g),
+            opt_d: Adam::new(lr_d),
+        };
+        let health = run_guarded(&mut trainer, &guard, seed, epochs);
+        self.health = health;
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
@@ -347,6 +426,10 @@ impl Forecaster for Wfgan {
             }
             None => 0,
         }
+    }
+
+    fn health(&self) -> TrainHealth {
+        self.health.clone()
     }
 }
 
@@ -565,6 +648,19 @@ mod tests {
             p_true_sum / n,
             p_wrong_sum / n
         );
+    }
+
+    #[test]
+    fn divergent_gan_is_guarded() {
+        let series = cycle_series(200);
+        let mut gan = Wfgan::new(0).with_epochs(3);
+        gan.cfg.lr_g = f64::INFINITY;
+        gan.cfg.lr_d = f64::INFINITY;
+        gan.cfg.max_examples = 100;
+        gan.cfg.guard.max_retries = 1;
+        gan.fit(&series, WindowSpec::new(10, 1));
+        assert!(gan.health().is_degraded(), "health: {:?}", gan.health());
+        assert!(gan.predict(&series[150..160]).is_finite());
     }
 
     #[test]

@@ -73,12 +73,25 @@ pub fn decode_params(buf: &[u8]) -> Result<Vec<Mat>, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    // Size fields come from untrusted bytes: validate every declared
+    // length against the remaining buffer *before* allocating, so a
+    // corrupted header cannot request a multi-gigabyte Vec.
+    if count
+        .checked_mul(8)
+        .is_none_or(|need| need > buf.len() - pos)
+    {
+        return Err(DecodeError::Truncated);
+    }
     let mut mats = Vec::with_capacity(count);
     for _ in 0..count {
         let rows = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let cols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
+        let n = rows
+            .checked_mul(cols)
+            .filter(|n| n.checked_mul(8).is_some_and(|need| need <= buf.len() - pos))
+            .ok_or(DecodeError::Truncated)?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
             data.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")));
         }
         mats.push(Mat::from_vec(rows, cols, data));
@@ -154,6 +167,41 @@ mod tests {
         let mut right = p(2, 2, 0.0);
         load_into(&mut [&mut right], &mats).expect("loads");
         assert_eq!(right.w, a.w);
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_without_allocating() {
+        let a = p(1, 1, 0.0);
+        let mut buf = encode_params(&[&a]);
+        // Claim u32::MAX parameters: must fail fast, not try to reserve.
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_params(&buf), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn oversized_shape_is_rejected_without_allocating() {
+        let a = p(1, 1, 0.0);
+        let mut buf = encode_params(&[&a]);
+        // Claim a u32::MAX x u32::MAX matrix (product overflows usize on
+        // 32-bit and dwarfs the buffer everywhere).
+        buf[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_params(&buf), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn header_bit_flips_never_panic() {
+        let a = p(2, 3, 1.0);
+        let clean = encode_params(&[&a]);
+        // Flip every bit of the header/shape region one at a time; decode
+        // must return Ok or Err, never panic or abort.
+        for byte in 0..20.min(clean.len()) {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                let _ = decode_params(&buf);
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod template;
 pub mod token;
 
 pub use canon::canonicalize;
-pub use log::{parse_log_line, LogRecord};
+pub use log::{parse_log_line, parse_log_report, LogRecord, ParsedLog};
 pub use registry::{TemplateId, TemplateRegistry};
 pub use template::templatize;
 pub use token::{tokenize, Token};

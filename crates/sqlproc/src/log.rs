@@ -33,7 +33,37 @@ pub fn parse_log_line(line: &str) -> Option<LogRecord> {
 /// Parse a whole log text, silently skipping unparseable lines (truncated
 /// writes happen; the pipeline must not abort on them).
 pub fn parse_log(text: &str) -> Vec<LogRecord> {
-    text.lines().filter_map(parse_log_line).collect()
+    parse_log_report(text).records
+}
+
+/// A parsed log plus its damage tally.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedLog {
+    /// Successfully parsed records, in file order.
+    pub records: Vec<LogRecord>,
+    /// Lines that carried content (not blank, not `#` comments) but
+    /// failed to parse — corruption the operator should know about.
+    pub skipped: usize,
+}
+
+/// Parse a whole log text, counting damaged lines instead of hiding them.
+///
+/// Blank lines and `#` comments are structural and do not count as
+/// skipped; everything else that fails [`parse_log_line`] does.
+pub fn parse_log_report(text: &str) -> ParsedLog {
+    let mut out = ParsedLog::default();
+    for line in text.lines() {
+        match parse_log_line(line) {
+            Some(rec) => out.records.push(rec),
+            None => {
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('#') {
+                    out.skipped += 1;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Render one record into the interchange format.
@@ -78,5 +108,48 @@ mod tests {
     fn sql_with_tabs_keeps_remainder() {
         let rec = parse_log_line("5\tSELECT a\tFROM t").expect("parses");
         assert_eq!(rec.sql, "SELECT a\tFROM t");
+    }
+
+    #[test]
+    fn report_counts_damaged_lines_only() {
+        let text = "# header\n\n1\tSELECT a\ngarbage\n999999999999999999999\tSELECT b\n2\tSELECT c\n123\t   \n";
+        let rep = parse_log_report(text);
+        assert_eq!(rep.records.len(), 2);
+        // garbage, overflowing timestamp, empty sql — but not the header
+        // comment or the blank line.
+        assert_eq!(rep.skipped, 3);
+    }
+
+    #[test]
+    fn report_on_clean_log_skips_nothing() {
+        let rep = parse_log_report("1\tSELECT a\n2\tSELECT b\n");
+        assert_eq!(rep.records.len(), 2);
+        assert_eq!(rep.skipped, 0);
+    }
+
+    #[test]
+    fn malformed_line_zoo_never_panics() {
+        // A grab-bag of hostile inputs: embedded NULs, control bytes,
+        // lone tabs, non-UTF8-lookalikes, huge numbers, negative numbers.
+        let lines = [
+            "\u{0}\u{1}\u{2}",
+            "\t",
+            "\t\t\t",
+            "-5\tSELECT 1",
+            "18446744073709551616\tSELECT 1", // u64::MAX + 1
+            "1e3\tSELECT 1",
+            " 7 \t SELECT ok ",
+            "###garbage### 1\tSELECT 1",
+            "??\u{3}",
+        ];
+        let mut parsed = 0;
+        for l in &lines {
+            if parse_log_line(l).is_some() {
+                parsed += 1;
+            }
+        }
+        // Only the whitespace-padded-but-valid line parses.
+        assert_eq!(parsed, 1);
+        assert_eq!(parse_log_line(" 7 \t SELECT ok ").expect("parses").ts_secs, 7);
     }
 }

@@ -1,0 +1,298 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! Production workload traces arrive damaged in predictable ways: a
+//! metrics collector restarts and leaves NaN holes, a runaway batch job
+//! produces order-of-magnitude outlier bursts, a log shipper truncates a
+//! file mid-line, a host clock jump swallows a span of samples, and
+//! persisted model files get corrupted on disk. The [`FaultInjector`]
+//! reproduces each of these from an explicit seed so the pipeline's
+//! degradation behaviour can be exercised deterministically in tests
+//! (see `tests/fault_injection.rs` at the workspace root).
+//!
+//! Value-level faults operate on `&mut [f64]` (compatible with
+//! [`crate::Trace::values_mut`]); length-changing faults take
+//! `&mut Vec<f64>`; byte-level faults target serialized model blobs; and
+//! [`FaultInjector::garble_log`] damages raw query-log text before it
+//! reaches the SQL parser.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic source of trace, byte, and log corruption.
+///
+/// Every method draws from one seeded RNG stream, so a fixed seed and a
+/// fixed call sequence reproduce the exact same damage.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Create an injector from an explicit seed (never OS entropy).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Overwrite `runs` random runs of up to `max_run` consecutive
+    /// samples with NaN, simulating collector dropouts. Returns the
+    /// number of previously finite samples poisoned.
+    pub fn nan_runs(&mut self, values: &mut [f64], runs: usize, max_run: usize) -> usize {
+        if values.is_empty() || max_run == 0 {
+            return 0;
+        }
+        let mut poisoned = 0;
+        for _ in 0..runs {
+            let start = self.rng.gen_range(0..values.len());
+            let len = self.rng.gen_range(1..=max_run);
+            for v in values.iter_mut().skip(start).take(len) {
+                if v.is_finite() {
+                    poisoned += 1;
+                }
+                *v = f64::NAN;
+            }
+        }
+        poisoned
+    }
+
+    /// Scale `bursts` random runs of up to `max_run` samples by
+    /// `magnitude` (zeros are bumped to `magnitude` directly so the burst
+    /// is visible on idle traces). Returns the number of samples touched.
+    pub fn outlier_bursts(
+        &mut self,
+        values: &mut [f64],
+        bursts: usize,
+        max_run: usize,
+        magnitude: f64,
+    ) -> usize {
+        if values.is_empty() || max_run == 0 {
+            return 0;
+        }
+        let mut touched = 0;
+        for _ in 0..bursts {
+            let start = self.rng.gen_range(0..values.len());
+            let len = self.rng.gen_range(1..=max_run);
+            for v in values.iter_mut().skip(start).take(len) {
+                *v = if *v == 0.0 { magnitude } else { *v * magnitude };
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Delete a contiguous span of up to `max_gap` samples, simulating a
+    /// clock jump or collector outage during which nothing was recorded.
+    /// Returns the number of samples removed.
+    pub fn clock_gap(&mut self, values: &mut Vec<f64>, max_gap: usize) -> usize {
+        if values.len() < 2 || max_gap == 0 {
+            return 0;
+        }
+        let gap = self.rng.gen_range(1..=max_gap.min(values.len() - 1));
+        let start = self.rng.gen_range(0..values.len() - gap);
+        values.drain(start..start + gap);
+        gap
+    }
+
+    /// Truncate the series to roughly `keep_frac` of its length (clamped
+    /// to `[0, 1]`), keeping the prefix — a shipper that died mid-export.
+    /// Returns the number of samples dropped.
+    pub fn truncate(&mut self, values: &mut Vec<f64>, keep_frac: f64) -> usize {
+        let keep_frac = keep_frac.clamp(0.0, 1.0);
+        let keep = (values.len() as f64 * keep_frac).floor() as usize;
+        let dropped = values.len() - keep;
+        values.truncate(keep);
+        dropped
+    }
+
+    /// Flip one random bit in each of `flips` random bytes, simulating
+    /// on-disk corruption of a persisted model blob. Returns the number
+    /// of bytes modified (less than `flips` only for empty input).
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8], flips: usize) -> usize {
+        if bytes.is_empty() {
+            return 0;
+        }
+        for _ in 0..flips {
+            let i = self.rng.gen_range(0..bytes.len());
+            let bit = self.rng.gen_range(0..8u32);
+            bytes[i] ^= 1 << bit;
+        }
+        flips
+    }
+
+    /// Truncate a byte blob to roughly `keep_frac` of its length — a
+    /// partially written model file. Returns the number of bytes dropped.
+    pub fn truncate_bytes(&mut self, bytes: &mut Vec<u8>, keep_frac: f64) -> usize {
+        let keep_frac = keep_frac.clamp(0.0, 1.0);
+        let keep = (bytes.len() as f64 * keep_frac).floor() as usize;
+        let dropped = bytes.len() - keep;
+        bytes.truncate(keep);
+        dropped
+    }
+
+    /// Damage roughly `frac` of the lines in a raw query log: each picked
+    /// line is either cut short mid-character, replaced with binary-ish
+    /// junk, or prefixed with garbage. Returns the garbled text and the
+    /// number of lines damaged.
+    pub fn garble_log(&mut self, log: &str, frac: f64) -> (String, usize) {
+        let frac = frac.clamp(0.0, 1.0);
+        let mut garbled = 0usize;
+        let mut out = String::with_capacity(log.len());
+        for line in log.lines() {
+            if !line.trim().is_empty() && self.rng.gen::<f64>() < frac {
+                garbled += 1;
+                match self.rng.gen_range(0..3u32) {
+                    0 => {
+                        // Cut the line short at a random char boundary.
+                        let chars: Vec<char> = line.chars().collect();
+                        let cut = self.rng.gen_range(0..chars.len().max(1));
+                        out.extend(chars[..cut].iter());
+                    }
+                    1 => {
+                        // Replace the line with junk entirely.
+                        out.push_str("\u{1}\u{2}?? corrupted segment ??\u{3}");
+                    }
+                    _ => {
+                        // Prefix garbage so the timestamp no longer parses.
+                        out.push_str("###garbage### ");
+                        out.push_str(line);
+                    }
+                }
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        (out, garbled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn same_seed_same_damage() {
+        let mut a = FaultInjector::new(7);
+        let mut b = FaultInjector::new(7);
+        let mut va = ramp(100);
+        let mut vb = ramp(100);
+        a.nan_runs(&mut va, 3, 5);
+        b.nan_runs(&mut vb, 3, 5);
+        // NaN != NaN, so compare bit patterns.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&va), bits(&vb));
+    }
+
+    #[test]
+    fn nan_runs_poisons_within_bounds() {
+        let mut inj = FaultInjector::new(1);
+        let mut v = ramp(200);
+        let poisoned = inj.nan_runs(&mut v, 4, 6);
+        let actual = v.iter().filter(|x| x.is_nan()).count();
+        assert_eq!(poisoned, actual);
+        assert!((1..=24).contains(&poisoned));
+    }
+
+    #[test]
+    fn nan_runs_on_empty_is_noop() {
+        let mut inj = FaultInjector::new(1);
+        let mut v: Vec<f64> = vec![];
+        assert_eq!(inj.nan_runs(&mut v, 10, 10), 0);
+    }
+
+    #[test]
+    fn outlier_bursts_amplify() {
+        let mut inj = FaultInjector::new(2);
+        let mut v = vec![0.0; 50];
+        let touched = inj.outlier_bursts(&mut v, 2, 3, 1e6);
+        assert!(touched >= 1);
+        // Every amplified slot is a visible (>= magnitude) finite outlier;
+        // overlapping bursts may push some beyond 1e6.
+        let hot = v.iter().filter(|x| **x >= 1e6).count();
+        assert!(hot >= 1 && hot <= touched);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn clock_gap_shortens() {
+        let mut inj = FaultInjector::new(3);
+        let mut v = ramp(100);
+        let removed = inj.clock_gap(&mut v, 10);
+        assert!((1..=10).contains(&removed));
+        assert_eq!(v.len(), 100 - removed);
+        // Remaining values keep their relative order.
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let mut inj = FaultInjector::new(4);
+        let mut v = ramp(100);
+        let dropped = inj.truncate(&mut v, 0.3);
+        assert_eq!(dropped, 70);
+        assert_eq!(v, ramp(30));
+        // Out-of-range fractions clamp rather than panic.
+        let mut w = ramp(10);
+        assert_eq!(inj.truncate(&mut w, 2.0), 0);
+        assert_eq!(inj.truncate(&mut w, -1.0), 10);
+    }
+
+    #[test]
+    fn corrupt_bytes_changes_content() {
+        let mut inj = FaultInjector::new(5);
+        let clean = vec![0u8; 64];
+        let mut dirty = clean.clone();
+        inj.corrupt_bytes(&mut dirty, 8);
+        assert_ne!(clean, dirty);
+        assert_eq!(dirty.len(), clean.len());
+        let mut empty: Vec<u8> = vec![];
+        assert_eq!(inj.corrupt_bytes(&mut empty, 8), 0);
+    }
+
+    #[test]
+    fn truncate_bytes_drops_suffix() {
+        let mut inj = FaultInjector::new(6);
+        let mut b: Vec<u8> = (0..100).collect();
+        let dropped = inj.truncate_bytes(&mut b, 0.5);
+        assert_eq!(dropped, 50);
+        assert_eq!(b, (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn garble_log_damages_requested_fraction() {
+        let mut inj = FaultInjector::new(8);
+        let log: String =
+            (0..100).map(|i| format!("2024-01-01 00:00:{i:02} SELECT {i};\n")).collect();
+        let (dirty, garbled) = inj.garble_log(&log, 0.5);
+        assert!(garbled > 20 && garbled < 80, "garbled {garbled} of 100");
+        assert_eq!(dirty.lines().count(), 100);
+        // frac = 0 is the identity on line content.
+        let (same, n) = inj.garble_log(&log, 0.0);
+        assert_eq!(n, 0);
+        assert_eq!(same, log);
+    }
+
+    #[test]
+    fn no_panics_across_seeds_and_shapes() {
+        // Property-style sweep: arbitrary seeds and lengths never panic
+        // and never produce inconsistent bookkeeping.
+        for seed in 0..50u64 {
+            let mut inj = FaultInjector::new(seed);
+            let n = 1 + (seed as usize * 7) % 120;
+            let mut v = ramp(n);
+            let poisoned = inj.nan_runs(&mut v, 2, 4);
+            assert!(poisoned <= n);
+            inj.outlier_bursts(&mut v, 2, 3, 100.0);
+            let before = v.len();
+            let removed = inj.clock_gap(&mut v, 5);
+            assert_eq!(v.len(), before - removed);
+            inj.truncate(&mut v, 0.9);
+            let mut bytes = vec![0xAAu8; n];
+            inj.corrupt_bytes(&mut bytes, 3);
+            inj.truncate_bytes(&mut bytes, 0.5);
+        }
+    }
+}

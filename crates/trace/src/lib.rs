@@ -22,6 +22,7 @@
 //! the Alibaba disk-utilization trace.
 
 pub mod clean;
+pub mod faultsim;
 pub mod io;
 pub mod metrics;
 pub mod normalize;
@@ -31,6 +32,7 @@ pub mod trace;
 pub mod window;
 
 pub use clean::{fill_gaps, quantile, smooth, winsorize};
+pub use faultsim::FaultInjector;
 pub use io::{format_single, format_wide, parse_single, parse_wide, CsvError};
 pub use metrics::{mae, mape, mse, rmse, smape};
 pub use normalize::{MinMaxScaler, Scaler, ZScoreScaler};

@@ -34,7 +34,10 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
 
 /// Mean absolute percentage error, skipping points where the truth is 0.
 ///
-/// Returns `f64::NAN` when every truth value is zero.
+/// An all-zero truth leaves MAPE undefined; rather than emit NaN (which
+/// poisons any aggregation downstream) this falls back to the bounded
+/// [`smape`] over all points, so an exact prediction of an idle trace
+/// scores 0 and a wrong one scores up to 200.
 pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
     check(pred, truth);
     let mut acc = 0.0;
@@ -46,7 +49,7 @@ pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
         }
     }
     if n == 0 {
-        f64::NAN
+        smape(pred, truth)
     } else {
         100.0 * acc / n as f64
     }
@@ -109,8 +112,13 @@ mod tests {
     }
 
     #[test]
-    fn mape_all_zero_truth_is_nan() {
-        assert!(mape(&[1.0], &[0.0]).is_nan());
+    fn mape_all_zero_truth_falls_back_to_smape() {
+        // No valid percentage points: degrade to the bounded sMAPE
+        // instead of NaN. |1-0|/((1+0)/2) = 200%.
+        assert_eq!(mape(&[1.0], &[0.0]), 200.0);
+        // An exact prediction of an idle trace is perfect, not undefined.
+        assert_eq!(mape(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!(mape(&[5.0], &[0.0]).is_finite());
     }
 
     #[test]

@@ -52,21 +52,29 @@ fn main() {
         }
     }
 
-    let mut cfg = DbAugurConfig::default();
-    cfg.interval_secs = 600; // the paper's 10-minute interval
-    cfg.history = 24;
-    cfg.horizon = 1;
-    cfg.top_k = 3;
+    let mut cfg = DbAugurConfig {
+        interval_secs: 600, // the paper's 10-minute interval
+        history: 24,
+        horizon: 1,
+        top_k: 3,
+        epochs: 8,
+        max_examples: 400,
+        ..DbAugurConfig::default()
+    };
     cfg.clustering.min_size = 1;
-    cfg.epochs = 8;
-    cfg.max_examples = 400;
     let mut system = DbAugur::new(cfg);
 
     let ingested = system.ingest_log(&log);
     println!("ingested {ingested} statements → {} templates", system.num_templates());
 
-    system.train(0, minutes as u64 * 60).expect("training succeeds");
-    println!("trained {} representative clusters\n", system.clusters().len());
+    let report = system.train(0, minutes as u64 * 60).expect("training succeeds");
+    println!(
+        "trained {} representative clusters ({} healthy, {} degraded, {} failed)\n",
+        system.clusters().len(),
+        report.healthy_count(),
+        report.degraded_count(),
+        report.failed_count()
+    );
 
     for (i, cluster) in system.clusters().iter().enumerate() {
         let forecast = system.forecast_cluster(i).expect("trained cluster");

@@ -1,0 +1,135 @@
+//! Fault-injection integration tests (the robustness acceptance
+//! criterion): the full pipeline — garbled log ingestion, poisoned and
+//! truncated traces, a WFGAN configured to diverge — must never panic,
+//! must mark damaged clusters in the [`dbaugur::ClusterTrainReport`],
+//! and must keep producing finite forecasts from whatever survives.
+
+use dbaugur::{ClusterStatus, DbAugur, DbAugurConfig};
+use dbaugur_trace::{FaultInjector, Trace, TraceKind};
+
+fn tiny_cfg() -> DbAugurConfig {
+    let mut cfg = DbAugurConfig {
+        interval_secs: 60,
+        history: 8,
+        horizon: 1,
+        top_k: 4,
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    cfg.fast();
+    cfg
+}
+
+/// A clean two-template query log at minute cadence.
+fn clean_log(minutes: u64) -> String {
+    let mut log = String::new();
+    for minute in 0..minutes {
+        let n = 2 + 5 * u64::from(minute % 10 < 5);
+        for q in 0..n {
+            log.push_str(&format!(
+                "{}\tSELECT * FROM bus WHERE route = {}\n",
+                minute * 60 + q,
+                minute % 3
+            ));
+        }
+        log.push_str(&format!("{}\tSELECT name FROM stop WHERE id = 7\n", minute * 60 + 30));
+    }
+    log
+}
+
+fn periodic(n: usize, base: f64, amp: f64, period: usize) -> Vec<f64> {
+    (0..n).map(|i| base + amp * ((i % period) as f64 / period as f64)).collect()
+}
+
+#[test]
+fn damaged_workload_degrades_gracefully() {
+    let minutes = 120u64;
+    let mut inj = FaultInjector::new(2024);
+
+    // Garble the query log, then add unambiguously broken lines so the
+    // damage tally is provably non-zero.
+    let (mut log, _) = inj.garble_log(&clean_log(minutes), 0.2);
+    log.push_str("this line is not a log record\n\u{1}\u{2}binary junk\u{3}\n");
+
+    let mut cfg = tiny_cfg();
+    // Force the adversarial member to diverge: an infinite learning rate
+    // makes the first optimizer step non-finite, every retry included.
+    cfg.wfgan_lr = Some(f64::INFINITY);
+    cfg.guard.max_retries = 1;
+
+    let mut sys = DbAugur::new(cfg);
+    let ingest = sys.ingest_log_report(&log);
+    assert!(ingest.ingested > 0);
+    assert!(ingest.skipped >= 2, "broken lines counted: {ingest:?}");
+
+    // A resource trace with NaN holes, and one truncated beyond use.
+    let mut cpu = periodic(minutes as usize, 0.4, 0.2, 10);
+    let poisoned = inj.nan_runs(&mut cpu, 3, 4);
+    assert!(poisoned > 0);
+    sys.add_resource_trace(Trace::new("cpu:host1", TraceKind::Resource, 60, cpu));
+    let mut short = periodic(minutes as usize, 0.1, 0.1, 7);
+    inj.truncate(&mut short, 0.03); // 3 samples < history + horizon + 1
+    sys.add_resource_trace(Trace::new("mem:host1", TraceKind::Resource, 60, short));
+
+    let report = sys.train(0, minutes * 60).expect("training survives the damage");
+
+    assert!(report.repaired_samples >= poisoned, "NaN holes interpolated: {report:?}");
+    assert_eq!(report.dropped_traces, 1, "truncated trace dropped: {report:?}");
+    assert!(report.skipped_log_lines >= 2);
+    // The divergent WFGAN degrades every cluster, but none may fail
+    // outright: TCN and MLP keep serving.
+    assert!(report.degraded_count() >= 1, "report: {report:?}");
+    assert_eq!(report.failed_count(), 0, "report: {report:?}");
+
+    for (i, cluster) in sys.clusters().iter().enumerate() {
+        assert_ne!(cluster.status(), &ClusterStatus::Failed);
+        let states = cluster.member_states();
+        assert!(states.iter().any(|s| !s.quarantined), "cluster {i} has survivors");
+        let f = sys.forecast_cluster(i).expect("cluster exists");
+        assert!(f.is_finite(), "cluster {i} forecast {f} is finite");
+        assert_eq!(cluster.try_forecast(sys.config().history), Ok(f));
+    }
+    // Degraded clusters name the quarantined member in their detail line.
+    let degraded = report
+        .clusters
+        .iter()
+        .find(|c| c.status == ClusterStatus::Degraded)
+        .expect("at least one degraded cluster");
+    assert!(degraded.detail.is_some());
+}
+
+#[test]
+fn fault_seeds_never_panic_and_reports_stay_consistent() {
+    for seed in 0..3u64 {
+        let minutes = 100u64;
+        let mut inj = FaultInjector::new(seed);
+        let (log, _) = inj.garble_log(&clean_log(minutes), 0.1);
+
+        let mut sys = DbAugur::new(tiny_cfg());
+        sys.ingest_log_report(&log);
+
+        let mut cpu = periodic(minutes as usize, 0.5, 0.3, 12);
+        inj.nan_runs(&mut cpu, 2, 5);
+        inj.outlier_bursts(&mut cpu, 2, 3, 50.0);
+        let gap = inj.clock_gap(&mut cpu, 8);
+        assert!(gap >= 1);
+        sys.add_resource_trace(Trace::new("cpu:hostX", TraceKind::Resource, 60, cpu));
+
+        let report = sys.train(0, minutes * 60).expect("trains under injected faults");
+        assert_eq!(
+            report.clusters.len(),
+            sys.clusters().len(),
+            "seed {seed}: report covers every trained cluster"
+        );
+        for i in 0..sys.clusters().len() {
+            let f = sys.forecast_cluster(i).expect("indexed cluster");
+            assert!(f.is_finite(), "seed {seed} cluster {i} forecast {f}");
+        }
+        // Observing a poisoned actual must not corrupt the weights.
+        if let Some(c) = sys.clusters().first() {
+            c.observe(sys.config().history, f64::NAN);
+            let w = c.weights();
+            assert!(w.iter().all(|x| x.is_finite()), "seed {seed} weights {w:?}");
+        }
+    }
+}

@@ -5,11 +5,13 @@ use dbaugur::{DbAugur, DbAugurConfig, TrainError};
 use dbaugur_trace::{Trace, TraceKind};
 
 fn tiny_config() -> DbAugurConfig {
-    let mut cfg = DbAugurConfig::default();
-    cfg.interval_secs = 60;
-    cfg.history = 10;
-    cfg.horizon = 1;
-    cfg.top_k = 4;
+    let mut cfg = DbAugurConfig {
+        interval_secs: 60,
+        history: 10,
+        horizon: 1,
+        top_k: 4,
+        ..DbAugurConfig::default()
+    };
     cfg.clustering.min_size = 1;
     cfg.fast();
     cfg
