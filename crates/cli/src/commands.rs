@@ -1,7 +1,7 @@
 //! The CLI subcommand implementations.
 
 use crate::args::Args;
-use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur::{DbAugur, DbAugurConfig, DurableDbAugur};
 use dbaugur_cluster::{select_top_k, Descender, DescenderParams};
 use dbaugur_dtw::DtwDistance;
 use dbaugur_models::eval::rolling_forecast;
@@ -13,8 +13,43 @@ use dbaugur_sqlproc::TemplateRegistry;
 use dbaugur_trace::{io as trace_io, synth, TraceKind, WindowSpec};
 use std::error::Error;
 use std::fs;
+use std::path::Path;
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Build the pipeline configuration from the shared flags. `checkpoint`
+/// and `recover` must construct identical configurations or the
+/// snapshot fingerprint check will (rightly) refuse to load.
+fn pipeline_cfg(args: &Args) -> Result<DbAugurConfig, Box<dyn Error>> {
+    let mut cfg = DbAugurConfig {
+        interval_secs: args.flag_num("interval", 600)?,
+        history: args.flag_num("history", 30)?,
+        horizon: args.flag_num("horizon", 1)?,
+        top_k: args.flag_num("topk", 5)?,
+        epochs: args.flag_num("epochs", 10)?,
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    Ok(cfg)
+}
+
+/// Print one per-cluster health line (training status + drift verdict).
+fn print_health(sys: &DbAugur) {
+    for h in sys.drift_report() {
+        let ratio = match h.error_ratio {
+            Some(r) => format!("{r:.2}"),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "cluster {} ({}): {} | drift {} | error ratio {ratio}{}",
+            h.cluster_id,
+            h.representative,
+            h.status,
+            h.drift,
+            if h.retrain_recommended { " | RETRAIN RECOMMENDED" } else { "" }
+        );
+    }
+}
 
 /// `templates <log>` — parse a query log and list templates by volume.
 pub fn templates(args: &Args) -> CmdResult {
@@ -122,15 +157,7 @@ pub fn forecast(args: &Args) -> CmdResult {
     args.check_flags(&["interval", "history", "horizon", "topk", "epochs"])?;
     let path = args.positional(0, "log")?;
     let text = fs::read_to_string(path)?;
-    let mut cfg = DbAugurConfig {
-        interval_secs: args.flag_num("interval", 600)?,
-        history: args.flag_num("history", 30)?,
-        horizon: args.flag_num("horizon", 1)?,
-        top_k: args.flag_num("topk", 5)?,
-        epochs: args.flag_num("epochs", 10)?,
-        ..DbAugurConfig::default()
-    };
-    cfg.clustering.min_size = 1;
+    let cfg = pipeline_cfg(args)?;
     let mut system = DbAugur::new(cfg);
     let ingest = system.ingest_log_report(&text);
     let n = ingest.ingested;
@@ -176,13 +203,98 @@ pub fn forecast(args: &Args) -> CmdResult {
     for (i, cluster) in system.clusters().iter().enumerate() {
         let f = system.forecast_cluster(i).expect("trained cluster");
         println!(
-            "cluster {i} [{}]: {} traces, volume {:.0}, next-interval forecast {:.2}",
+            "cluster {i} [{} | drift {}]: {} traces, volume {:.0}, next-interval forecast {:.2}",
             cluster.status(),
+            cluster.drift_state(),
             cluster.summary.members.len(),
             cluster.summary.volume,
             f
         );
     }
+    Ok(())
+}
+
+/// `checkpoint <state-dir>` — open (or create) a durable state
+/// directory, optionally ingest a log through the write-ahead log,
+/// optionally (re)train, and fold everything into a new snapshot
+/// generation.
+pub fn checkpoint(args: &Args) -> CmdResult {
+    args.check_flags(&["log", "train", "interval", "history", "horizon", "topk", "epochs"])?;
+    let dir = args.positional(0, "state-dir")?;
+    let cfg = pipeline_cfg(args)?;
+    let (mut durable, report) = DurableDbAugur::open(Path::new(dir), cfg)?;
+    if let Some(gen) = report.generation {
+        println!("opened generation {gen}, {} wal entries replayed", report.wal_applied);
+    }
+    let mut span: Option<(u64, u64)> = None;
+    if let Some(log_path) = args.flag("log") {
+        let text = fs::read_to_string(log_path)?;
+        let ingest = durable.ingest_log_text(&text)?;
+        println!("{} records ingested durably, {} damaged lines skipped", ingest.ingested, ingest.skipped);
+        if let Some(off) = ingest.first_skipped_offset {
+            println!("warning: first damaged line at byte offset {off} of {log_path}");
+        }
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for line in text.lines() {
+            if let Some(rec) = dbaugur_sqlproc::parse_log_line(line) {
+                min = min.min(rec.ts_secs);
+                max = max.max(rec.ts_secs);
+            }
+        }
+        if min <= max {
+            span = Some((min, max + 1));
+        }
+    }
+    let train: usize = args.flag_num("train", 1)?;
+    if train != 0 {
+        if let Some((start, end)) = span {
+            let report = durable.system_mut().train(start, end)?;
+            println!(
+                "trained: {} healthy / {} degraded / {} failed clusters",
+                report.healthy_count(),
+                report.degraded_count(),
+                report.failed_count()
+            );
+        }
+    }
+    let gen = durable.checkpoint()?;
+    println!(
+        "checkpoint generation {gen} written, wal truncated ({} templates, {} clusters)",
+        durable.system().num_templates(),
+        durable.system().clusters().len()
+    );
+    print_health(durable.system());
+    Ok(())
+}
+
+/// `recover <state-dir>` — restore the newest good snapshot, replay the
+/// write-ahead log, and report the health of what came back.
+pub fn recover(args: &Args) -> CmdResult {
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs"])?;
+    let dir = args.positional(0, "state-dir")?;
+    let cfg = pipeline_cfg(args)?;
+    let (sys, report) = DbAugur::recover(Path::new(dir), cfg)?;
+    match report.generation {
+        Some(gen) => println!("restored generation {gen}"),
+        None => println!("no usable snapshot, started empty"),
+    }
+    if report.corrupted_generations > 0 {
+        println!("warning: {} corrupted generations skipped", report.corrupted_generations);
+    }
+    println!(
+        "wal: {} entries replayed, {} already in snapshot{}",
+        report.wal_applied,
+        report.wal_skipped,
+        if report.wal_torn { ", torn tail discarded" } else { "" }
+    );
+    println!(
+        "state: {} templates, {} resource traces, {} trained clusters",
+        sys.num_templates(),
+        sys.resources().len(),
+        sys.clusters().len()
+    );
+    print_health(&sys);
     Ok(())
 }
 

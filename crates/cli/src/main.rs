@@ -7,6 +7,8 @@
 //! dbaugur evaluate <trace.csv> --model NAME     rolling-forecast one trace
 //! dbaugur forecast <log> [--topk K]             full pipeline: log → forecasts
 //! dbaugur synth <bustracker|alibaba> [--days N] emit a synthetic trace CSV
+//! dbaugur checkpoint <dir> [--log FILE]         durable ingest + snapshot generation
+//! dbaugur recover <dir>                         restore snapshot + replay WAL
 //! ```
 //!
 //! Logs use the `<epoch_secs>\t<sql>` format; trace CSVs use the formats
@@ -27,6 +29,13 @@ commands:
            [--history T] [--horizon H] [--split FRAC] [--epochs E]
   forecast <log> [--interval S] [--history T] [--horizon H] [--topk K] [--epochs E]
   synth <bustracker|alibaba|periodic|complex> [--days N] [--seed S]
+  checkpoint <state-dir> [--log FILE] [--train 0|1] [pipeline flags]
+             WAL-first ingest, optional (re)train, write snapshot generation
+  recover <state-dir> [pipeline flags]
+             restore newest good snapshot, replay WAL, report drift health
+
+pipeline flags (must match between checkpoint and recover):
+  [--interval S] [--history T] [--horizon H] [--topk K] [--epochs E]
 ";
 
 fn main() -> ExitCode {
@@ -48,6 +57,8 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&args),
         "forecast" => commands::forecast(&args),
         "synth" => commands::synth(&args),
+        "checkpoint" => commands::checkpoint(&args),
+        "recover" => commands::recover(&args),
         other => Err(format!("unknown command {other:?}").into()),
     };
     match result {

@@ -145,6 +145,89 @@ fn forecast_pipeline_runs_on_small_log() {
 }
 
 #[test]
+fn checkpoint_then_recover_roundtrip() {
+    let dir = tmpdir("ckpt");
+    let state = dir.join("state");
+    let log = dir.join("app.log");
+    let mut text = String::new();
+    for m in 0..240u64 {
+        let n = 2 + (m % 8);
+        for k in 0..n {
+            text.push_str(&format!("{}\tSELECT x FROM t WHERE id = {k}\n", m * 60 + k));
+        }
+    }
+    text.push_str("damaged line\n");
+    std::fs::write(&log, text).expect("write");
+
+    let flags = ["--interval", "600", "--history", "8", "--topk", "2", "--epochs", "1"];
+    let out = bin()
+        .arg("checkpoint")
+        .arg(&state)
+        .arg("--log")
+        .arg(&log)
+        .args(flags)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "checkpoint failed: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("records ingested durably"), "got: {s}");
+    assert!(s.contains("first damaged line at byte offset"), "got: {s}");
+    assert!(s.contains("checkpoint generation 1 written"), "got: {s}");
+
+    let out = bin().arg("recover").arg(&state).args(flags).output().expect("runs");
+    assert!(out.status.success(), "recover failed: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("restored generation 1"), "got: {s}");
+    assert!(s.contains("trained clusters"), "got: {s}");
+    assert!(s.contains("drift"), "drift health in output: {s}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn recover_refuses_mismatched_configuration() {
+    let dir = tmpdir("ckpt_mismatch");
+    let state = dir.join("state");
+    let log = dir.join("app.log");
+    let mut text = String::new();
+    for m in 0..120u64 {
+        text.push_str(&format!("{}\tSELECT y FROM t\n", m * 60));
+    }
+    std::fs::write(&log, text).expect("write");
+    let out = bin()
+        .arg("checkpoint")
+        .arg(&state)
+        .arg("--log")
+        .arg(&log)
+        .args(["--interval", "600", "--history", "8", "--topk", "2", "--epochs", "1"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "checkpoint failed: {}", stderr(&out));
+
+    // Same directory, different window shape: the fingerprint gate must
+    // refuse rather than import weights into mis-shaped networks.
+    let out = bin()
+        .arg("recover")
+        .arg(&state)
+        .args(["--interval", "600", "--history", "12", "--topk", "2"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("fingerprint"), "got: {}", stderr(&out));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn recover_on_empty_directory_starts_empty() {
+    let dir = tmpdir("ckpt_empty");
+    let out = bin().arg("recover").arg(dir.join("state")).output().expect("runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("no usable snapshot"), "got: {s}");
+    assert!(s.contains("0 templates"), "got: {s}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = bin().args(["templates", "/nonexistent/nowhere.log"]).output().expect("runs");
     assert!(!out.status.success());

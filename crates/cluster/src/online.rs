@@ -57,6 +57,7 @@ pub struct OnlineDescender<D: Distance> {
     uf: UnionFind,
     names: Vec<String>,
     inserts_since_rebuild: usize,
+    sanitized: usize,
 }
 
 impl<D: Distance> OnlineDescender<D> {
@@ -69,6 +70,7 @@ impl<D: Distance> OnlineDescender<D> {
             uf: UnionFind::default(),
             names: Vec::new(),
             inserts_since_rebuild: 0,
+            sanitized: 0,
         }
     }
 
@@ -82,14 +84,34 @@ impl<D: Distance> OnlineDescender<D> {
         self.raw_cluster.is_empty()
     }
 
+    /// Number of inserted traces that carried non-finite samples and had
+    /// to be repaired before entering the index.
+    pub fn sanitized(&self) -> usize {
+        self.sanitized
+    }
+
     /// Insert one trace and return the (canonical) cluster id it ends up
     /// in.
+    ///
+    /// Non-finite samples (NaN, ±∞) would poison every DTW distance the
+    /// Ball-Tree computes against this point, silently corrupting cluster
+    /// assignments forever after. They are repaired here — masked to NaN
+    /// and linearly interpolated via [`dbaugur_trace::fill_gaps`] (an
+    /// all-bad trace becomes all zeros) — and counted in [`sanitized`].
+    ///
+    /// [`sanitized`]: OnlineDescender::sanitized
     pub fn insert(&mut self, trace: &Trace) -> usize {
-        let point = if self.params.normalize {
-            z_normalize(trace.values())
-        } else {
+        let values: Vec<f64> = if trace.values().iter().all(|v| v.is_finite()) {
             trace.values().to_vec()
+        } else {
+            self.sanitized += 1;
+            let masked: Vec<f64> =
+                trace.values().iter().map(|&v| if v.is_finite() { v } else { f64::NAN }).collect();
+            let mut repaired = Trace::query(trace.name.clone(), masked);
+            dbaugur_trace::fill_gaps(&mut repaired);
+            repaired.values().to_vec()
         };
+        let point = if self.params.normalize { z_normalize(&values) } else { values };
         let neighbors = self.tree.within(&point, self.params.rho);
         let idx = self.tree.insert(point);
         debug_assert_eq!(idx, self.raw_cluster.len());
@@ -226,6 +248,45 @@ mod tests {
         assert_eq!(od.len(), 150);
         let total: usize = od.clusters().iter().map(|c| c.len()).sum();
         assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn non_finite_traces_are_sanitized_not_poisonous() {
+        let mut od = OnlineDescender::new(params(1.5, 3), DtwDistance::new(4));
+        od.insert(&sine("a", 0.00, 24));
+        od.insert(&sine("b", 0.01, 24));
+        // A sine with two samples blown out to NaN/∞: after interpolation
+        // it is still essentially the same shape and must join the cluster
+        // rather than wreck the index.
+        let mut vals: Vec<f64> = sine("c", 0.02, 24).values().to_vec();
+        vals[5] = f64::NAN;
+        vals[11] = f64::INFINITY;
+        od.insert(&Trace::query("c", vals));
+        assert_eq!(od.sanitized(), 1);
+        let clusters = od.clusters();
+        assert_eq!(clusters.len(), 1, "sanitized trace clusters with its family: {clusters:?}");
+        // Every later distance query still returns finite structure.
+        od.insert(&sine("d", 0.03, 24));
+        assert_eq!(od.clusters().len(), 1);
+    }
+
+    #[test]
+    fn all_non_finite_trace_becomes_zero_singleton() {
+        let mut od = OnlineDescender::new(params(0.5, 2), DtwDistance::new(2));
+        od.insert(&sine("a", 0.0, 8));
+        od.insert(&Trace::query("junk", vec![f64::NAN, f64::NEG_INFINITY, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]));
+        assert_eq!(od.sanitized(), 1);
+        assert_eq!(od.len(), 2);
+        // Nothing downstream panics and totals still add up.
+        let total: usize = od.clusters().iter().map(|c| c.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn finite_traces_do_not_count_as_sanitized() {
+        let mut od = OnlineDescender::new(params(1.0, 2), DtwDistance::new(2));
+        od.insert(&sine("a", 0.0, 8));
+        assert_eq!(od.sanitized(), 0);
     }
 
     #[test]

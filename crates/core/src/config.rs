@@ -1,5 +1,6 @@
 //! System configuration.
 
+use crate::drift::DriftConfig;
 use dbaugur_cluster::DescenderParams;
 use dbaugur_models::GuardConfig;
 
@@ -37,6 +38,9 @@ pub struct DbAugurConfig {
     /// keeps the model default. Mainly for fault-injection testing,
     /// where an infinite rate forces guaranteed divergence.
     pub wfgan_lr: Option<f64>,
+    /// Per-cluster drift monitoring thresholds (warmup, rolling window,
+    /// stale/quarantine error ratios).
+    pub drift: DriftConfig,
 }
 
 impl Default for DbAugurConfig {
@@ -55,6 +59,7 @@ impl Default for DbAugurConfig {
             use_dba_representative: false,
             guard: GuardConfig::default(),
             wfgan_lr: None,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -83,7 +88,31 @@ impl DbAugurConfig {
             return Err("delta must be in (0, 1]".into());
         }
         self.guard.validate().map_err(|e| format!("guard: {e}"))?;
+        self.drift.validate().map_err(|e| format!("drift: {e}"))?;
         Ok(())
+    }
+
+    /// A stable fingerprint of the fields that shape trained model
+    /// state. A snapshot taken under one fingerprint must not be
+    /// restored under another — the saved weights would be imported
+    /// into differently-shaped networks or mis-specced windows.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the shape-relevant fields.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&self.interval_secs.to_le_bytes());
+        eat(&(self.history as u64).to_le_bytes());
+        eat(&(self.horizon as u64).to_le_bytes());
+        eat(&(self.top_k as u64).to_le_bytes());
+        eat(&self.delta.to_bits().to_le_bytes());
+        eat(&self.seed.to_le_bytes());
+        eat(&[u8::from(self.use_dba_representative)]);
+        h
     }
 }
 
@@ -113,6 +142,27 @@ mod tests {
         assert!(rejects(|c| c.top_k = 0));
         assert!(rejects(|c| c.guard.explosion_factor = 0.5));
         assert!(rejects(|c| c.guard.epoch_backoff = 0.0));
+    }
+
+    #[test]
+    fn fingerprint_tracks_shape_fields_only() {
+        let a = DbAugurConfig::default();
+        let mut b = DbAugurConfig::default();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.epochs = 1; // training budget: not shape-relevant
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.history = 12; // window shape: relevant
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = DbAugurConfig::default();
+        c.seed = 7;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn drift_config_is_validated() {
+        let mut cfg = DbAugurConfig::default();
+        cfg.drift.window = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

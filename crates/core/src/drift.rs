@@ -1,0 +1,345 @@
+//! Online drift/staleness detection for trained clusters.
+//!
+//! A model trained on last month's workload silently rots when the
+//! workload shifts (NeurBench makes drift a first-class failure mode
+//! for learned database components). The monitor here compares each
+//! cluster's *recent* rolling forecast error against a *baseline*
+//! frozen right after training:
+//!
+//! 1. the first [`DriftConfig::warmup`] observations accumulate the
+//!    baseline mean absolute error (state [`DriftState::Warmup`]);
+//! 2. afterwards a rolling window of the last [`DriftConfig::window`]
+//!    absolute errors is maintained and compared as a ratio
+//!    `recent MAE / baseline MAE`;
+//! 3. a ratio above [`DriftConfig::stale_ratio`] flags the cluster
+//!    [`DriftState::Stale`] (it recovers if the error subsides); above
+//!    [`DriftConfig::quarantine_ratio`] the cluster is
+//!    [`DriftState::Quarantined`] — sticky until the next retrain.
+//!
+//! The baseline is floored at a fraction of the mean absolute actual
+//! seen during warmup so that a near-perfect training fit (baseline
+//! MAE ≈ 0) does not turn every later rounding error into "drift".
+
+use dbaugur_trace::wire::{WireError, WireReader, WireWriter};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Thresholds governing the per-cluster drift monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Observations used to freeze the post-training error baseline.
+    pub warmup: usize,
+    /// Rolling window of recent absolute errors compared to baseline.
+    pub window: usize,
+    /// `recent/baseline` MAE ratio beyond which a cluster is `Stale`.
+    pub stale_ratio: f64,
+    /// Ratio beyond which a cluster is quarantined until retrained.
+    pub quarantine_ratio: f64,
+    /// Baseline floor as a fraction of the warmup mean |actual|,
+    /// guarding the ratio against a near-zero training error.
+    pub baseline_floor: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self { warmup: 24, window: 12, stale_ratio: 2.0, quarantine_ratio: 4.0, baseline_floor: 0.05 }
+    }
+}
+
+impl DriftConfig {
+    /// Validate invariants; called from `DbAugurConfig::validate`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.warmup == 0 || self.window == 0 {
+            return Err("drift warmup and window must be positive".into());
+        }
+        if !(self.stale_ratio.is_finite() && self.stale_ratio > 1.0) {
+            return Err("drift stale_ratio must be finite and > 1".into());
+        }
+        if !(self.quarantine_ratio.is_finite() && self.quarantine_ratio >= self.stale_ratio) {
+            return Err("drift quarantine_ratio must be finite and >= stale_ratio".into());
+        }
+        if !(self.baseline_floor.is_finite() && self.baseline_floor >= 0.0) {
+            return Err("drift baseline_floor must be finite and >= 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Drift classification of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftState {
+    /// Still accumulating the post-training baseline.
+    Warmup,
+    /// Recent error is in line with the baseline.
+    Healthy,
+    /// Recent error exceeds the stale threshold — retrain recommended.
+    Stale,
+    /// Error degraded past the quarantine bound; forecasts are withheld
+    /// until the cluster is retrained.
+    Quarantined,
+}
+
+impl DriftState {
+    /// True for states that warrant retraining.
+    pub fn needs_retrain(&self) -> bool {
+        matches!(self, DriftState::Stale | DriftState::Quarantined)
+    }
+}
+
+impl fmt::Display for DriftState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriftState::Warmup => write!(f, "warmup"),
+            DriftState::Healthy => write!(f, "healthy"),
+            DriftState::Stale => write!(f, "stale"),
+            DriftState::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// Rolling forecast-error tracker for one cluster (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    /// Σ|err| and Σ|actual| over the warmup phase.
+    warmup_err_sum: f64,
+    warmup_actual_sum: f64,
+    warmup_seen: usize,
+    /// Frozen baseline MAE (None until warmup completes).
+    baseline: Option<f64>,
+    /// Last `cfg.window` absolute errors.
+    recent: VecDeque<f64>,
+    quarantined: bool,
+}
+
+impl DriftMonitor {
+    /// A fresh monitor in warmup.
+    pub fn new(cfg: DriftConfig) -> Self {
+        Self {
+            cfg,
+            warmup_err_sum: 0.0,
+            warmup_actual_sum: 0.0,
+            warmup_seen: 0,
+            baseline: None,
+            recent: VecDeque::new(),
+            quarantined: false,
+        }
+    }
+
+    /// Record one forecast outcome. Non-finite inputs are ignored — the
+    /// ensemble layer already quarantines members for those.
+    pub fn record(&mut self, abs_err: f64, abs_actual: f64) {
+        if !abs_err.is_finite() || !abs_actual.is_finite() {
+            return;
+        }
+        let abs_err = abs_err.abs();
+        if self.baseline.is_none() {
+            self.warmup_err_sum += abs_err;
+            self.warmup_actual_sum += abs_actual.abs();
+            self.warmup_seen += 1;
+            if self.warmup_seen >= self.cfg.warmup {
+                let n = self.warmup_seen as f64;
+                let mae = self.warmup_err_sum / n;
+                let floor = self.cfg.baseline_floor * (self.warmup_actual_sum / n);
+                self.baseline = Some(mae.max(floor).max(f64::EPSILON));
+            }
+            return;
+        }
+        self.recent.push_back(abs_err);
+        while self.recent.len() > self.cfg.window {
+            self.recent.pop_front();
+        }
+        if let Some(r) = self.ratio() {
+            if r > self.cfg.quarantine_ratio {
+                self.quarantined = true;
+            }
+        }
+    }
+
+    /// `recent MAE / baseline MAE`; `None` until the baseline is frozen
+    /// and a full recent window has accumulated.
+    pub fn ratio(&self) -> Option<f64> {
+        let baseline = self.baseline?;
+        if self.recent.len() < self.cfg.window {
+            return None;
+        }
+        let recent = self.recent.iter().sum::<f64>() / self.recent.len() as f64;
+        Some(recent / baseline)
+    }
+
+    /// Current classification.
+    pub fn state(&self) -> DriftState {
+        if self.quarantined {
+            return DriftState::Quarantined;
+        }
+        if self.baseline.is_none() {
+            return DriftState::Warmup;
+        }
+        match self.ratio() {
+            Some(r) if r > self.cfg.stale_ratio => DriftState::Stale,
+            _ => DriftState::Healthy,
+        }
+    }
+
+    /// Frozen baseline MAE, once warmup completed.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Observations recorded so far (warmup + windowed phases).
+    pub fn observations(&self) -> usize {
+        self.warmup_seen + self.recent.len()
+    }
+
+    /// Forget everything — called when the cluster is retrained.
+    pub fn reset(&mut self) {
+        let cfg = self.cfg.clone();
+        *self = DriftMonitor::new(cfg);
+    }
+
+    /// Serialize the full monitor state for a checkpoint.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_f64(self.warmup_err_sum);
+        w.put_f64(self.warmup_actual_sum);
+        w.put_u64(self.warmup_seen as u64);
+        match self.baseline {
+            Some(b) => {
+                w.put_u8(1);
+                w.put_f64(b);
+            }
+            None => w.put_u8(0),
+        }
+        let recent: Vec<f64> = self.recent.iter().copied().collect();
+        w.put_f64_seq(&recent);
+        w.put_u8(u8::from(self.quarantined));
+    }
+
+    /// Rebuild a monitor from checkpoint bytes under `cfg`.
+    pub fn decode_from(cfg: DriftConfig, r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let warmup_err_sum = r.f64()?;
+        let warmup_actual_sum = r.f64()?;
+        let warmup_seen = r.u64()? as usize;
+        let baseline = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        let recent: VecDeque<f64> = r.f64_seq()?.into();
+        let quarantined = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(WireError::BadTag(t)),
+        };
+        if warmup_err_sum.is_sign_negative()
+            || !warmup_err_sum.is_finite()
+            || !warmup_actual_sum.is_finite()
+        {
+            return Err(WireError::BadValue("drift warmup sums"));
+        }
+        Ok(Self { cfg, warmup_err_sum, warmup_actual_sum, warmup_seen, baseline, recent, quarantined })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DriftConfig {
+        DriftConfig { warmup: 4, window: 3, stale_ratio: 2.0, quarantine_ratio: 4.0, baseline_floor: 0.0 }
+    }
+
+    fn feed(m: &mut DriftMonitor, err: f64, n: usize) {
+        for _ in 0..n {
+            m.record(err, 10.0);
+        }
+    }
+
+    #[test]
+    fn warmup_then_healthy() {
+        let mut m = DriftMonitor::new(tiny());
+        assert_eq!(m.state(), DriftState::Warmup);
+        feed(&mut m, 1.0, 4);
+        assert_eq!(m.baseline(), Some(1.0));
+        assert_eq!(m.state(), DriftState::Healthy);
+        feed(&mut m, 1.1, 3);
+        assert_eq!(m.state(), DriftState::Healthy);
+        assert!((m.ratio().expect("full window") - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_surge_goes_stale_and_recovers() {
+        let mut m = DriftMonitor::new(tiny());
+        feed(&mut m, 1.0, 4);
+        feed(&mut m, 3.0, 3); // ratio 3.0 > 2.0
+        assert_eq!(m.state(), DriftState::Stale);
+        feed(&mut m, 1.0, 3); // window refills with healthy errors
+        assert_eq!(m.state(), DriftState::Healthy, "stale is not sticky");
+    }
+
+    #[test]
+    fn severe_degradation_quarantines_stickily() {
+        let mut m = DriftMonitor::new(tiny());
+        feed(&mut m, 1.0, 4);
+        feed(&mut m, 10.0, 3); // ratio 10 > 4
+        assert_eq!(m.state(), DriftState::Quarantined);
+        feed(&mut m, 0.1, 10);
+        assert_eq!(m.state(), DriftState::Quarantined, "only retrain clears it");
+        m.reset();
+        assert_eq!(m.state(), DriftState::Warmup);
+    }
+
+    #[test]
+    fn near_zero_baseline_is_floored() {
+        let mut cfg = tiny();
+        cfg.baseline_floor = 0.1;
+        let mut m = DriftMonitor::new(cfg);
+        feed(&mut m, 0.0, 4); // perfect training fit, |actual| = 10
+        assert_eq!(m.baseline(), Some(1.0), "floored at 0.1 × 10");
+        feed(&mut m, 1.5, 3); // small absolute error: ratio 1.5, not 1.5/ε
+        assert_eq!(m.state(), DriftState::Healthy);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut m = DriftMonitor::new(tiny());
+        feed(&mut m, 1.0, 4);
+        m.record(f64::NAN, 10.0);
+        m.record(f64::INFINITY, 10.0);
+        m.record(1.0, f64::NAN);
+        assert_eq!(m.recent.len(), 0);
+        assert_eq!(m.state(), DriftState::Healthy);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_state() {
+        let mut m = DriftMonitor::new(tiny());
+        feed(&mut m, 1.0, 4);
+        feed(&mut m, 10.0, 3);
+        let mut w = WireWriter::new();
+        m.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let back = DriftMonitor::decode_from(tiny(), &mut WireReader::new(&bytes)).expect("decodes");
+        assert_eq!(back, m);
+        assert_eq!(back.state(), DriftState::Quarantined);
+        // Truncations never panic.
+        for cut in 0..bytes.len() {
+            let _ = DriftMonitor::decode_from(tiny(), &mut WireReader::new(&bytes[..cut]));
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DriftConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut DriftConfig)| {
+            let mut c = DriftConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.warmup = 0));
+        assert!(bad(|c| c.window = 0));
+        assert!(bad(|c| c.stale_ratio = 1.0));
+        assert!(bad(|c| c.quarantine_ratio = 1.5));
+        assert!(bad(|c| c.baseline_floor = -0.1));
+        assert!(bad(|c| c.stale_ratio = f64::NAN));
+    }
+}

@@ -1,0 +1,106 @@
+//! Crash-safe facade over the pipeline: WAL-first ingestion plus
+//! checkpoint/recover orchestration.
+//!
+//! [`DurableDbAugur`] owns a [`DbAugur`] and a [`Wal`](crate::wal::Wal)
+//! living in one state directory. Every ingested record or resource
+//! trace is appended (and fsynced) to the log *before* it is applied in
+//! memory, so a crash at any instant loses nothing that was
+//! acknowledged. [`checkpoint`](DurableDbAugur::checkpoint) folds the
+//! log into a fresh snapshot generation and then truncates it;
+//! [`open`](DurableDbAugur::open) is `recover` + reopening the log for
+//! appending, and is what both a cold start and a crash restart call.
+
+use crate::config::DbAugurConfig;
+use crate::pipeline::DbAugur;
+use crate::snapshot::{RecoveryReport, SnapshotError};
+use crate::wal::Wal;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Write-ahead-log file name inside a state directory.
+pub const WAL_FILE: &str = "wal.dbwl";
+
+/// A pipeline whose ingestion survives crashes.
+pub struct DurableDbAugur {
+    sys: DbAugur,
+    wal: Wal,
+    dir: PathBuf,
+}
+
+impl DurableDbAugur {
+    /// Open (or create) the state directory: recover the newest good
+    /// snapshot, replay the log, and reopen the log for appending.
+    pub fn open(dir: &Path, cfg: DbAugurConfig) -> Result<(Self, RecoveryReport), SnapshotError> {
+        std::fs::create_dir_all(dir)?;
+        let (sys, report) = DbAugur::recover(dir, cfg)?;
+        // Seed the log's sequence counter past everything already
+        // applied so fresh appends never collide with replayed entries.
+        let wal = Wal::open(&dir.join(WAL_FILE), sys.applied_seq())?;
+        Ok((Self { sys, wal, dir: dir.to_path_buf() }, report))
+    }
+
+    /// Durably ingest one query-log record (logged, fsynced, applied).
+    pub fn ingest_record(&mut self, ts_secs: u64, sql: &str) -> io::Result<()> {
+        let seq = self.wal.append_record(ts_secs, sql)?;
+        self.sys.ingest_record(ts_secs, sql);
+        self.sys.applied_seq = seq;
+        Ok(())
+    }
+
+    /// Durably ingest a whole query-log text; damaged lines are counted
+    /// and skipped exactly as by [`DbAugur::ingest_log_report`], but
+    /// every accepted record hits the WAL first.
+    pub fn ingest_log_text(&mut self, text: &str) -> io::Result<crate::IngestReport> {
+        let parsed = dbaugur_sqlproc::parse_log_report(text);
+        for rec in &parsed.records {
+            self.ingest_record(rec.ts_secs, &rec.sql)?;
+        }
+        self.sys.skipped_log_lines += parsed.skipped;
+        Ok(crate::IngestReport {
+            ingested: parsed.records.len(),
+            skipped: parsed.skipped,
+            first_skipped_offset: parsed.first_skipped_offset,
+        })
+    }
+
+    /// Durably register a resource-consumption trace.
+    pub fn add_resource_trace(&mut self, trace: dbaugur_trace::Trace) -> io::Result<()> {
+        let seq = self.wal.append_resource(&trace)?;
+        self.sys.add_resource_trace(trace);
+        self.sys.applied_seq = seq;
+        Ok(())
+    }
+
+    /// Fold all durable state into a new snapshot generation, then
+    /// truncate the log. Crash-ordering: the log is only truncated
+    /// *after* the snapshot rename is durable, so a crash between the
+    /// two merely replays entries the snapshot already contains (replay
+    /// is sequence-gated and idempotent).
+    pub fn checkpoint(&mut self) -> io::Result<u64> {
+        let gen = self.sys.checkpoint(&self.dir)?;
+        self.wal.truncate()?;
+        Ok(gen)
+    }
+
+    /// The wrapped pipeline (forecasting, training, reports).
+    pub fn system(&self) -> &DbAugur {
+        &self.sys
+    }
+
+    /// Mutable access for non-ingestion operations (e.g. `train`).
+    /// Ingestion must go through the durable methods or it will not
+    /// survive a crash.
+    pub fn system_mut(&mut self) -> &mut DbAugur {
+        &mut self.sys
+    }
+
+    /// State directory this instance persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes currently pending in the write-ahead log.
+    pub fn wal_len_bytes(&self) -> io::Result<u64> {
+        self.wal.len_bytes()
+    }
+}

@@ -44,13 +44,21 @@
 //! ```
 
 pub mod config;
+pub mod drift;
+pub mod durable;
 pub mod pipeline;
+pub mod snapshot;
+pub mod wal;
 
 pub use config::DbAugurConfig;
+pub use drift::{DriftConfig, DriftMonitor, DriftState};
+pub use durable::{DurableDbAugur, WAL_FILE};
 pub use pipeline::{
-    ClusterReport, ClusterStatus, ClusterTrainReport, DbAugur, ForecastError, IngestReport,
-    TrainError, TrainedCluster,
+    ClusterHealth, ClusterReport, ClusterStatus, ClusterTrainReport, DbAugur, ForecastError,
+    IngestReport, TrainError, TrainedCluster,
 };
+pub use snapshot::{list_generations, snapshot_path, RecoveryReport, SnapshotError};
+pub use wal::{Wal, WalEntry, WalScan};
 
 // Re-export the component crates under one roof for downstream users.
 pub use dbaugur_cluster as cluster;

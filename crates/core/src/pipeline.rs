@@ -25,6 +25,7 @@
 //! the above.
 
 use crate::config::DbAugurConfig;
+use crate::drift::{DriftMonitor, DriftState};
 use dbaugur_cluster::{select_top_k, select_top_k_dba, ClusterSummary, Descender};
 use dbaugur_dtw::DtwDistance;
 use dbaugur_models::{
@@ -74,6 +75,9 @@ pub enum ForecastError {
     EmptyRepresentative,
     /// The ensemble produced a non-finite value.
     NonFinite,
+    /// The drift monitor quarantined this cluster — its rolling error
+    /// degraded past the configured bound and it must be retrained.
+    Quarantined,
 }
 
 impl fmt::Display for ForecastError {
@@ -81,6 +85,9 @@ impl fmt::Display for ForecastError {
         match self {
             ForecastError::EmptyRepresentative => write!(f, "representative trace is empty"),
             ForecastError::NonFinite => write!(f, "forecast is not finite"),
+            ForecastError::Quarantined => {
+                write!(f, "cluster is drift-quarantined pending retrain")
+            }
         }
     }
 }
@@ -171,6 +178,26 @@ pub struct IngestReport {
     pub ingested: usize,
     /// Damaged lines skipped (blank lines and comments excluded).
     pub skipped: usize,
+    /// Byte offset (into the ingested text) of the first skipped line,
+    /// so damaged-log triage can seek straight to it.
+    pub first_skipped_offset: Option<usize>,
+}
+
+/// One cluster's serving-time health (training status + drift).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterHealth {
+    /// Cluster id from the clustering stage.
+    pub cluster_id: usize,
+    /// Name of the representative trace.
+    pub representative: String,
+    /// Training outcome.
+    pub status: ClusterStatus,
+    /// Drift classification from the online monitor.
+    pub drift: DriftState,
+    /// `recent/baseline` MAE ratio, when enough feedback accumulated.
+    pub error_ratio: Option<f64>,
+    /// True when the monitor (or a failed training) says retrain.
+    pub retrain_recommended: bool,
 }
 
 /// One trained representative cluster: the summary (members,
@@ -179,8 +206,10 @@ pub struct IngestReport {
 pub struct TrainedCluster {
     /// Cluster membership and representative.
     pub summary: ClusterSummary,
-    status: ClusterStatus,
-    ensemble: RwLock<TimeSensitiveEnsemble>,
+    pub(crate) status: ClusterStatus,
+    pub(crate) ensemble: RwLock<TimeSensitiveEnsemble>,
+    /// Rolling forecast-error monitor feeding the drift report.
+    pub(crate) drift: RwLock<DriftMonitor>,
 }
 
 impl TrainedCluster {
@@ -193,11 +222,15 @@ impl TrainedCluster {
         self.ensemble.read().predict(&rep[rep.len() - take..])
     }
 
-    /// Like [`Self::forecast`], with empty-representative and non-finite
-    /// outcomes surfaced as typed errors instead of NaN.
+    /// Like [`Self::forecast`], with empty-representative, non-finite,
+    /// and drift-quarantined outcomes surfaced as typed errors instead
+    /// of NaN (or a silently rotten prediction).
     pub fn try_forecast(&self, history: usize) -> Result<f64, ForecastError> {
         if self.summary.representative.is_empty() {
             return Err(ForecastError::EmptyRepresentative);
+        }
+        if self.drift_state() == DriftState::Quarantined {
+            return Err(ForecastError::Quarantined);
         }
         let p = self.forecast(history);
         if p.is_finite() {
@@ -208,11 +241,27 @@ impl TrainedCluster {
     }
 
     /// Feed back an observed representative-level value so the
-    /// time-sensitive weights adapt (Eqn. 7 update).
+    /// time-sensitive weights adapt (Eqn. 7 update) and the drift
+    /// monitor sees the forecast-vs-actual gap.
     pub fn observe(&self, history: usize, actual: f64) {
         let rep = self.summary.representative.values();
         let take = history.min(rep.len());
-        self.ensemble.write().observe(&rep[rep.len() - take..], actual);
+        let window = &rep[rep.len() - take..];
+        let predicted = self.ensemble.read().predict(window);
+        self.ensemble.write().observe(window, actual);
+        if actual.is_finite() && predicted.is_finite() {
+            self.drift.write().record((actual - predicted).abs(), actual.abs());
+        }
+    }
+
+    /// The drift monitor's current classification of this cluster.
+    pub fn drift_state(&self) -> DriftState {
+        self.drift.read().state()
+    }
+
+    /// The drift monitor's `recent/baseline` error ratio, when known.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        self.drift.read().ratio()
     }
 
     /// Current ensemble weights (for diagnostics).
@@ -233,16 +282,19 @@ impl TrainedCluster {
 
 /// The DBAugur system.
 pub struct DbAugur {
-    cfg: DbAugurConfig,
-    registry: TemplateRegistry,
-    resources: Vec<Trace>,
-    trained: Vec<TrainedCluster>,
+    pub(crate) cfg: DbAugurConfig,
+    pub(crate) registry: TemplateRegistry,
+    pub(crate) resources: Vec<Trace>,
+    pub(crate) trained: Vec<TrainedCluster>,
     /// Names of the traces used at training time, aligned with the
     /// cluster summaries' member indices.
-    trace_names: Vec<String>,
+    pub(crate) trace_names: Vec<String>,
     /// Cumulative damaged log lines across all ingestion calls.
-    skipped_log_lines: usize,
-    last_report: Option<ClusterTrainReport>,
+    pub(crate) skipped_log_lines: usize,
+    pub(crate) last_report: Option<ClusterTrainReport>,
+    /// Highest write-ahead-log sequence applied to this state; recovery
+    /// replays only entries beyond it (see `crate::wal`).
+    pub(crate) applied_seq: u64,
 }
 
 impl DbAugur {
@@ -256,6 +308,7 @@ impl DbAugur {
             trace_names: Vec::new(),
             skipped_log_lines: 0,
             last_report: None,
+            applied_seq: 0,
         }
     }
 
@@ -284,7 +337,16 @@ impl DbAugur {
             self.registry.observe(&rec.sql, rec.ts_secs);
         }
         self.skipped_log_lines += parsed.skipped;
-        IngestReport { ingested: parsed.records.len(), skipped: parsed.skipped }
+        IngestReport {
+            ingested: parsed.records.len(),
+            skipped: parsed.skipped,
+            first_skipped_offset: parsed.first_skipped_offset,
+        }
+    }
+
+    /// Highest write-ahead-log sequence number applied to this state.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
     }
 
     /// Damaged log lines skipped since the system was created.
@@ -306,6 +368,11 @@ impl DbAugur {
     /// Number of distinct templates seen so far.
     pub fn num_templates(&self) -> usize {
         self.registry.num_templates()
+    }
+
+    /// Resource-utilization traces registered so far.
+    pub fn resources(&self) -> &[Trace] {
+        &self.resources
     }
 
     /// Build traces over `[start_secs, end_secs)`, cluster them with
@@ -403,7 +470,12 @@ impl DbAugur {
                     status: status.clone(),
                     detail: detail.clone(),
                 });
-                TrainedCluster { summary, status, ensemble: RwLock::new(ensemble) }
+                TrainedCluster {
+                    summary,
+                    status,
+                    ensemble: RwLock::new(ensemble),
+                    drift: RwLock::new(DriftMonitor::new(self.cfg.drift.clone())),
+                }
             })
             .collect();
 
@@ -449,17 +521,37 @@ impl DbAugur {
         let id = self.registry.lookup(sql)?;
         self.forecast_trace(&format!("template:{}", id.0))
     }
+
+    /// Serving-time health of every trained cluster: training status
+    /// plus the drift monitor's verdict and retrain recommendation.
+    pub fn drift_report(&self) -> Vec<ClusterHealth> {
+        self.trained
+            .iter()
+            .map(|c| {
+                let drift = c.drift_state();
+                ClusterHealth {
+                    cluster_id: c.summary.cluster_id,
+                    representative: c.summary.representative.name.clone(),
+                    status: c.status.clone(),
+                    drift,
+                    error_ratio: c.drift_ratio(),
+                    retrain_recommended: drift.needs_retrain()
+                        || c.status == ClusterStatus::Failed,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Daily seasonality expressed in samples, clamped into the history
 /// window so the floor model's lookback stays inside what `predict` sees.
-fn fallback_season(cfg: &DbAugurConfig) -> usize {
+pub(crate) fn fallback_season(cfg: &DbAugurConfig) -> usize {
     ((86_400 / cfg.interval_secs.max(1)) as usize).clamp(1, cfg.history.max(1))
 }
 
 /// Build the per-cluster WFGAN + TCN + MLP ensemble from the system
 /// configuration, guard policy included.
-fn make_ensemble(cfg: &DbAugurConfig) -> TimeSensitiveEnsemble {
+pub(crate) fn make_ensemble(cfg: &DbAugurConfig) -> TimeSensitiveEnsemble {
     let mut wf_cfg = WfganConfig {
         epochs: cfg.epochs,
         max_examples: cfg.max_examples,
@@ -738,7 +830,10 @@ mod tests {
     fn ingest_log_report_counts_damage() {
         let mut sys = DbAugur::new(tiny_cfg());
         let rep = sys.ingest_log_report("1\tSELECT 1\ngarbage line\n# comment\n2\tSELECT 1\n");
-        assert_eq!(rep, IngestReport { ingested: 2, skipped: 1 });
+        assert_eq!(
+            rep,
+            IngestReport { ingested: 2, skipped: 1, first_skipped_offset: Some(11) }
+        );
         assert_eq!(sys.skipped_log_lines(), 1);
         let rep2 = sys.ingest_log_report("more garbage\n");
         assert_eq!(rep2.skipped, 1);

@@ -208,6 +208,24 @@ pub struct MemberState {
     pub reason: Option<String>,
 }
 
+/// The dynamic state of a [`TimeSensitiveEnsemble`] captured for a
+/// durable checkpoint (see [`TimeSensitiveEnsemble::export_snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSnapshot {
+    /// Attenuation factor δ at capture time.
+    pub delta: f64,
+    /// Fitted history length (0 = never fitted).
+    pub history: usize,
+    /// Forecasting distances Γ, aligned with the member roster.
+    pub gamma: Vec<f64>,
+    /// Quarantine flags, aligned with the member roster.
+    pub quarantined: Vec<bool>,
+    /// Quarantine causes, aligned with the member roster.
+    pub reasons: Vec<Option<String>>,
+    /// Per-member weight blobs (`None` for classical members).
+    pub member_blobs: Vec<Option<Vec<u8>>>,
+}
+
 /// DBAugur's time-sensitive ensemble (Eqns. 7–8).
 pub struct TimeSensitiveEnsemble {
     name: &'static str,
@@ -363,6 +381,66 @@ impl TimeSensitiveEnsemble {
         if self.reasons[idx].is_none() {
             self.reasons[idx] = Some(reason.into());
         }
+    }
+
+    /// Capture the ensemble's dynamic state — member weights (for
+    /// neural members), forecasting distances, quarantine flags and the
+    /// fitted history length — for a durable checkpoint.
+    ///
+    /// Classical members (no persistable parameters) export `None` and
+    /// are expected to be refitted deterministically before
+    /// [`import_snapshot`] restores the dynamic state on top.
+    ///
+    /// [`import_snapshot`]: TimeSensitiveEnsemble::import_snapshot
+    pub fn export_snapshot(&mut self) -> EnsembleSnapshot {
+        EnsembleSnapshot {
+            delta: self.delta,
+            history: self.history,
+            gamma: self.gamma.clone(),
+            quarantined: self.quarantined.clone(),
+            reasons: self.reasons.clone(),
+            member_blobs: self.members.iter_mut().map(|m| m.export_state()).collect(),
+        }
+    }
+
+    /// Restore a snapshot into an ensemble with the same member roster
+    /// that has been fitted once (so member networks exist with the
+    /// right shapes). Members whose saved weights fail to import are
+    /// quarantined rather than left silently wrong. Returns the number
+    /// of members whose weights were restored from bytes.
+    ///
+    /// # Errors
+    /// Fails fast when the member count differs — that is a different
+    /// ensemble, not a restorable one.
+    pub fn import_snapshot(&mut self, snap: &EnsembleSnapshot) -> Result<usize, String> {
+        let n = self.members.len();
+        if snap.member_blobs.len() != n
+            || snap.gamma.len() != n
+            || snap.quarantined.len() != n
+            || snap.reasons.len() != n
+        {
+            return Err(format!(
+                "snapshot shape mismatch: {} members saved, {} present",
+                snap.member_blobs.len(),
+                n
+            ));
+        }
+        self.delta = snap.delta;
+        self.history = snap.history;
+        self.gamma = snap.gamma.clone();
+        self.quarantined = snap.quarantined.clone();
+        self.reasons = snap.reasons.clone();
+        let mut restored = 0;
+        for (i, blob) in snap.member_blobs.iter().enumerate() {
+            if let Some(bytes) = blob {
+                if self.members[i].import_state(bytes) {
+                    restored += 1;
+                } else {
+                    self.quarantine_member(i, "saved weights failed to import");
+                }
+            }
+        }
+        Ok(restored)
     }
 
     /// Normalize a window to the fitted history length so member models
@@ -886,6 +964,110 @@ mod tests {
         assert_eq!(e.predict(&[1.0, 2.0, 3.0, 9.0]), 9.0);
         // Shorter window: left-padded, last value intact.
         assert_eq!(e.predict(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_dynamic_state() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        e.fit(&TRAIN, SPEC);
+        for _ in 0..5 {
+            e.observe(&[5.0, 6.0], 10.0);
+        }
+        let weights_before = e.weights();
+        let snap = e.export_snapshot();
+        // Constants carry no parameters: all blobs are None.
+        assert!(snap.member_blobs.iter().all(|b| b.is_none()));
+
+        let mut fresh = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        fresh.fit(&TRAIN, SPEC);
+        let restored = fresh.import_snapshot(&snap).expect("shape matches");
+        assert_eq!(restored, 0);
+        assert_eq!(fresh.weights(), weights_before);
+        assert_eq!(fresh.forecasting_distances(), e.forecasting_distances());
+    }
+
+    #[test]
+    fn snapshot_restores_neural_member_weights() {
+        let series: Vec<f64> =
+            (0..220).map(|i| 40.0 + 30.0 * ((i % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()).collect();
+        let spec = WindowSpec::new(12, 1);
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(MlpForecaster::new(3).with_epochs(4)), Box::new(Constant(1.0))],
+            0.9,
+        );
+        e.fit(&series[..180], spec);
+        let window = &series[180..192];
+        let expected = e.member_predictions(window)[0];
+        let snap = e.export_snapshot();
+        assert!(snap.member_blobs[0].is_some() && snap.member_blobs[1].is_none());
+
+        // Fresh process: same roster, cheap shape-establishing fit, then
+        // the snapshot overwrites the weights.
+        let mut fresh = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(MlpForecaster::new(41).with_epochs(1)), Box::new(Constant(1.0))],
+            0.9,
+        );
+        fresh.fit(&series[..60], spec);
+        let restored = fresh.import_snapshot(&snap).expect("shape matches");
+        assert_eq!(restored, 1);
+        assert!((fresh.member_predictions(window)[0] - expected).abs() < 1e-12);
+        assert_eq!(fresh.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_mismatched_roster_is_rejected() {
+        let mut e = TimeSensitiveEnsemble::new("t", vec![Box::new(Constant(1.0))], 0.9);
+        e.fit(&TRAIN, SPEC);
+        let snap = e.export_snapshot();
+        let mut other = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(1.0)), Box::new(Constant(2.0))],
+            0.9,
+        );
+        other.fit(&TRAIN, SPEC);
+        assert!(other.import_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn snapshot_with_corrupt_member_blob_quarantines_that_member() {
+        let series: Vec<f64> =
+            (0..220).map(|i| 40.0 + 30.0 * ((i % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()).collect();
+        let spec = WindowSpec::new(12, 1);
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(MlpForecaster::new(3).with_epochs(2)), Box::new(Constant(1.0))],
+            0.9,
+        );
+        e.fit(&series[..120], spec);
+        let mut snap = e.export_snapshot();
+        snap.member_blobs[0] = Some(b"rotten weight file".to_vec());
+
+        let mut fresh = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(MlpForecaster::new(9).with_epochs(1)), Box::new(Constant(1.0))],
+            0.9,
+        );
+        fresh.fit(&series[..60], spec);
+        let restored = fresh.import_snapshot(&snap).expect("shape matches");
+        assert_eq!(restored, 0);
+        let states = fresh.member_states();
+        assert!(states[0].quarantined, "corrupt member quarantined: {states:?}");
+        assert!(!states[1].quarantined);
+        assert!(fresh.predict(window_of(&series, spec)).is_finite());
+    }
+
+    fn window_of(series: &[f64], spec: WindowSpec) -> &[f64] {
+        &series[series.len() - spec.history..]
     }
 
     #[test]

@@ -38,6 +38,22 @@ pub trait Forecaster: Send {
     fn health(&self) -> TrainHealth {
         TrainHealth::Healthy
     }
+
+    /// Export the fitted state as opaque bytes for checkpointing.
+    /// `None` means the model carries no persistable parameters
+    /// (classical members refit deterministically instead). Neural
+    /// members override this via `models::persist`.
+    fn export_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state previously produced by [`Forecaster::export_state`]
+    /// on an identically configured, already-fitted instance. Returns
+    /// `false` when unsupported or when the bytes are rejected (the
+    /// model is left unchanged in that case).
+    fn import_state(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `Box<dyn Forecaster>` composes into ensembles.
@@ -64,6 +80,14 @@ impl Forecaster for Box<dyn Forecaster> {
 
     fn health(&self) -> TrainHealth {
         self.as_ref().health()
+    }
+
+    fn export_state(&mut self) -> Option<Vec<u8>> {
+        self.as_mut().export_state()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        self.as_mut().import_state(bytes)
     }
 }
 

@@ -40,7 +40,7 @@ pub mod wfgan;
 
 pub use arima::Arima;
 pub use ensemble::{
-    combine_fixed, combine_time_sensitive, FixedEnsemble, MemberState, Qb5000,
+    combine_fixed, combine_time_sensitive, EnsembleSnapshot, FixedEnsemble, MemberState, Qb5000,
     TimeSensitiveEnsemble,
 };
 pub use eval::{rolling_forecast, EvalReport};
@@ -51,7 +51,7 @@ pub use kr::KernelRegression;
 pub use lr::LinearRegression;
 pub use lstm::LstmForecaster;
 pub use mlp::MlpForecaster;
-pub use persist::{Persistable, PersistError};
+pub use persist::{load_model, save_model, Persistable, PersistError};
 pub use seasonal::SeasonalNaive;
 pub use tcn::TcnForecaster;
 pub use wfgan::{MultiTaskWfgan, Wfgan, WfganConfig};

@@ -18,6 +18,7 @@ use dbaugur_nn::param::Param;
 use dbaugur_nn::serialize::{decode_params, encode_params, load_into, DecodeError};
 use dbaugur_nn::Mat;
 use dbaugur_trace::MinMaxScaler;
+use std::path::Path;
 
 /// Persistence error.
 #[derive(Debug, PartialEq, Eq)]
@@ -30,6 +31,8 @@ pub enum PersistError {
     /// The decoded buffer contains NaN or infinite weights — a corrupted
     /// file must not poison a healthy in-memory model.
     NonFinite,
+    /// A filesystem operation failed (message of the underlying error).
+    Io(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -38,6 +41,7 @@ impl std::fmt::Display for PersistError {
             PersistError::NotFitted => write!(f, "model is not fitted"),
             PersistError::Decode(e) => write!(f, "decode failed: {e}"),
             PersistError::NonFinite => write!(f, "decoded weights contain non-finite values"),
+            PersistError::Io(e) => write!(f, "i/o failed: {e}"),
         }
     }
 }
@@ -130,6 +134,23 @@ impl_persistable!(MlpForecaster);
 impl_persistable!(LstmForecaster);
 impl_persistable!(TcnForecaster);
 impl_persistable!(Wfgan);
+
+/// Save a fitted model to `path` atomically: the bytes land in a
+/// sibling temp file, are fsynced, and replace `path` via rename — a
+/// crash mid-write can never destroy the previous copy (which a plain
+/// truncate-then-write would).
+pub fn save_model<M: Persistable + ?Sized>(model: &mut M, path: &Path) -> Result<(), PersistError> {
+    let bytes = model.export_bytes()?;
+    dbaugur_trace::wire::atomic_write(path, &bytes).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Load weights from `path` into an identically configured, fitted
+/// model (see the [`Persistable`] contract). The model is untouched on
+/// any error.
+pub fn load_model<M: Persistable + ?Sized>(model: &mut M, path: &Path) -> Result<(), PersistError> {
+    let bytes = std::fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    model.import_bytes(&bytes)
+}
 
 #[cfg(test)]
 mod tests {
@@ -260,6 +281,73 @@ mod tests {
             Err(PersistError::Decode(DecodeError::Truncated))
         ));
         assert_eq!(m.predict(window), before);
+    }
+
+    #[test]
+    fn save_load_file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("dbag-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("mlp.dbaw");
+
+        let s = series();
+        let spec = WindowSpec::new(12, 1);
+        let mut m = MlpForecaster::new(1).with_epochs(3);
+        m.fit(&s[..180], spec);
+        let window = &s[180..192];
+        let expected = m.predict(window);
+        save_model(&mut m, &path).expect("save succeeds");
+        // No temp residue after a clean save.
+        assert!(!dbaugur_trace::wire::tmp_path(&path).exists());
+
+        // A stale/partial temp file from an earlier crashed writer must
+        // not confuse a subsequent save.
+        std::fs::write(dbaugur_trace::wire::tmp_path(&path), b"torn garbage").expect("plant tmp");
+        save_model(&mut m, &path).expect("save over stale tmp succeeds");
+
+        let mut fresh = MlpForecaster::new(77).with_epochs(1);
+        fresh.fit(&s[..60], spec);
+        load_model(&mut fresh, &path).expect("load succeeds");
+        assert!((fresh.predict(window) - expected).abs() < 1e-12);
+
+        // A failed later export (unfitted model) leaves the good file
+        // byte-for-byte intact — the crash-safety the satellite asks for.
+        let good = std::fs::read(&path).expect("read good file");
+        let mut unfitted = MlpForecaster::new(0);
+        assert_eq!(save_model(&mut unfitted, &path), Err(PersistError::NotFitted));
+        assert_eq!(std::fs::read(&path).expect("still readable"), good);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_from_missing_file_reports_io() {
+        let mut m = MlpForecaster::new(0);
+        let err = load_model(&mut m, Path::new("/nonexistent/dbaugur/model.dbaw"));
+        assert!(matches!(err, Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn forecaster_state_hooks_roundtrip_via_dyn() {
+        // The ensemble checkpoints members through `Forecaster::export_state`
+        // on boxed trait objects; verify the dyn path end-to-end.
+        let s = series();
+        let spec = WindowSpec::new(12, 1);
+        let mut fitted: Box<dyn Forecaster> = Box::new(MlpForecaster::new(5).with_epochs(3));
+        fitted.fit(&s[..180], spec);
+        let window = &s[180..192];
+        let expected = fitted.predict(window);
+        let blob = fitted.export_state().expect("neural member exports");
+
+        let mut fresh: Box<dyn Forecaster> = Box::new(MlpForecaster::new(50).with_epochs(1));
+        fresh.fit(&s[..60], spec);
+        assert!(fresh.import_state(&blob));
+        assert!((fresh.predict(window) - expected).abs() < 1e-12);
+        assert!(!fresh.import_state(b"garbage"), "bad bytes are rejected");
+
+        // Classical members have nothing to export.
+        let mut naive: Box<dyn Forecaster> = Box::new(crate::forecaster::Naive);
+        assert!(naive.export_state().is_none());
+        assert!(!naive.import_state(&blob));
     }
 
     #[test]

@@ -260,6 +260,14 @@ impl Forecaster for TcnForecaster {
     fn health(&self) -> TrainHealth {
         self.health.clone()
     }
+
+    fn export_state(&mut self) -> Option<Vec<u8>> {
+        crate::persist::Persistable::export_bytes(self).ok()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        crate::persist::Persistable::import_bytes(self, bytes).is_ok()
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,9 @@ pub struct ParsedLog {
     /// Lines that carried content (not blank, not `#` comments) but
     /// failed to parse — corruption the operator should know about.
     pub skipped: usize,
+    /// Byte offset (from the start of the text) of the first skipped
+    /// line, so the operator can seek straight to the damage.
+    pub first_skipped_offset: Option<usize>,
 }
 
 /// Parse a whole log text, counting damaged lines instead of hiding them.
@@ -58,6 +61,12 @@ pub fn parse_log_report(text: &str) -> ParsedLog {
             None => {
                 let t = line.trim();
                 if !t.is_empty() && !t.starts_with('#') {
+                    if out.skipped == 0 {
+                        // `lines()` yields subslices of `text`, so pointer
+                        // arithmetic recovers the line's byte offset.
+                        out.first_skipped_offset =
+                            Some(line.as_ptr() as usize - text.as_ptr() as usize);
+                    }
                     out.skipped += 1;
                 }
             }
@@ -125,6 +134,24 @@ mod tests {
         let rep = parse_log_report("1\tSELECT a\n2\tSELECT b\n");
         assert_eq!(rep.records.len(), 2);
         assert_eq!(rep.skipped, 0);
+        assert_eq!(rep.first_skipped_offset, None);
+    }
+
+    #[test]
+    fn report_locates_first_damaged_line() {
+        // "1\tSELECT a\n" is 11 bytes; the garbage line starts right after.
+        let text = "1\tSELECT a\ngarbage\n2\tSELECT b\nmore garbage\n";
+        let rep = parse_log_report(text);
+        assert_eq!(rep.skipped, 2);
+        assert_eq!(rep.first_skipped_offset, Some(11));
+        assert_eq!(&text[11..18], "garbage");
+    }
+
+    #[test]
+    fn comments_do_not_count_as_first_skipped() {
+        let rep = parse_log_report("# header\nbroken line\n1\tSELECT a\n");
+        assert_eq!(rep.skipped, 1);
+        assert_eq!(rep.first_skipped_offset, Some(9));
     }
 
     #[test]

@@ -17,6 +17,65 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::Write;
+
+/// A [`Write`] sink that simulates a crash at a fixed byte offset: bytes
+/// up to `kill_at` are accepted, then every write fails as an
+/// interrupted-by-power-loss would. The accepted prefix is exactly what
+/// a real crash would have left on disk, so tests can feed
+/// [`CrashWriter::into_written`] back through recovery and assert the
+/// pipeline survives a write killed at that offset.
+///
+/// Partial writes are honoured: a `write` that straddles the kill point
+/// accepts the bytes before it and reports the short count, matching
+/// POSIX semantics for a device that dies mid-`write(2)`.
+#[derive(Debug, Clone)]
+pub struct CrashWriter {
+    written: Vec<u8>,
+    kill_at: usize,
+}
+
+impl CrashWriter {
+    /// A writer that crashes after exactly `kill_at` bytes.
+    pub fn new(kill_at: usize) -> Self {
+        Self { written: Vec::new(), kill_at }
+    }
+
+    /// The bytes that reached "disk" before the crash.
+    pub fn into_written(self) -> Vec<u8> {
+        self.written
+    }
+
+    /// True once the kill point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.written.len() >= self.kill_at
+    }
+}
+
+impl Write for CrashWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let room = self.kill_at.saturating_sub(self.written.len());
+        if room == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected crash: write killed at byte offset",
+            ));
+        }
+        let n = room.min(buf.len());
+        self.written.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.crashed() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected crash: flush after kill point",
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Deterministic source of trace, byte, and log corruption.
 ///
@@ -126,6 +185,26 @@ impl FaultInjector {
         let dropped = bytes.len() - keep;
         bytes.truncate(keep);
         dropped
+    }
+
+    /// Draw `n` distinct byte offsets in `[1, len)` — a seeded kill-point
+    /// matrix for crash-injection tests over a write of `len` bytes.
+    /// Offsets are sorted ascending; fewer than `n` are returned only
+    /// when `len` is too small to hold `n` distinct offsets.
+    pub fn kill_offsets(&mut self, len: usize, n: usize) -> Vec<usize> {
+        if len < 2 {
+            return Vec::new();
+        }
+        let mut out = std::collections::BTreeSet::new();
+        // Always exercise the boundary cases: first byte and last byte.
+        out.insert(1);
+        out.insert(len - 1);
+        let mut attempts = 0;
+        while out.len() < n.min(len - 1) && attempts < n * 20 {
+            out.insert(self.rng.gen_range(1..len));
+            attempts += 1;
+        }
+        out.into_iter().collect()
     }
 
     /// Damage roughly `frac` of the lines in a raw query log: each picked
@@ -273,6 +352,50 @@ mod tests {
         let (same, n) = inj.garble_log(&log, 0.0);
         assert_eq!(n, 0);
         assert_eq!(same, log);
+    }
+
+    #[test]
+    fn crash_writer_keeps_exact_prefix() {
+        let mut w = CrashWriter::new(10);
+        assert_eq!(w.write(b"0123456").unwrap(), 7);
+        assert!(!w.crashed());
+        // Straddles the kill point: partial write of the 3 bytes of room.
+        assert_eq!(w.write(b"789AB").unwrap(), 3);
+        assert!(w.crashed());
+        assert!(w.write(b"X").is_err());
+        assert!(w.flush().is_err());
+        assert_eq!(w.into_written(), b"0123456789");
+    }
+
+    #[test]
+    fn crash_writer_at_zero_rejects_everything() {
+        let mut w = CrashWriter::new(0);
+        assert!(w.write(b"a").is_err());
+        assert_eq!(w.into_written(), b"");
+    }
+
+    #[test]
+    fn write_all_through_crash_writer_stops_at_kill_point() {
+        let mut w = CrashWriter::new(5);
+        assert!(w.write_all(b"0123456789").is_err());
+        assert_eq!(w.into_written(), b"01234");
+    }
+
+    #[test]
+    fn kill_offsets_are_seeded_distinct_and_bounded() {
+        let mut a = FaultInjector::new(11);
+        let mut b = FaultInjector::new(11);
+        let oa = a.kill_offsets(500, 12);
+        let ob = b.kill_offsets(500, 12);
+        assert_eq!(oa, ob, "same seed, same matrix");
+        assert_eq!(oa.len(), 12);
+        assert!(oa.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        assert!(oa.iter().all(|&o| o >= 1 && o < 500));
+        assert!(oa.contains(&1) && oa.contains(&499), "boundary offsets included");
+        // Degenerate lengths never panic.
+        assert!(a.kill_offsets(0, 5).is_empty());
+        assert!(a.kill_offsets(1, 5).is_empty());
+        assert_eq!(a.kill_offsets(2, 5), vec![1]);
     }
 
     #[test]

@@ -30,9 +30,11 @@ pub mod split;
 pub mod synth;
 pub mod trace;
 pub mod window;
+pub mod wire;
 
 pub use clean::{fill_gaps, quantile, smooth, winsorize};
-pub use faultsim::FaultInjector;
+pub use faultsim::{CrashWriter, FaultInjector};
+pub use wire::{atomic_write, crc32, WireError, WireReader, WireWriter};
 pub use io::{format_single, format_wide, parse_single, parse_wide, CsvError};
 pub use metrics::{mae, mape, mse, rmse, smape};
 pub use normalize::{MinMaxScaler, Scaler, ZScoreScaler};

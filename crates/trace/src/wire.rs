@@ -1,0 +1,383 @@
+//! A tiny length-checked binary codec plus the durability primitives
+//! (CRC-32, atomic file replacement) shared by every crate that persists
+//! pipeline state.
+//!
+//! The snapshot and write-ahead-log formats of `dbaugur::snapshot` /
+//! `dbaugur::wal`, the template-registry serialization in
+//! `dbaugur-sqlproc`, and the ensemble snapshots in `dbaugur-models` all
+//! speak this codec, so corruption handling (bounds checks before every
+//! allocation, explicit truncation errors) lives in exactly one place.
+//!
+//! Everything is little-endian. Variable-length fields (strings, byte
+//! blobs, sequences) carry a `u32` length prefix that is validated
+//! against the remaining buffer *before* any allocation, so a corrupted
+//! length can never request a multi-gigabyte `Vec`.
+
+use crate::trace::{Trace, TraceKind};
+use std::io::Write;
+use std::path::Path;
+
+/// Decoding failure: the buffer does not contain what the schema expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A string field holds invalid UTF-8.
+    BadUtf8,
+    /// A tag/enum byte holds an unknown value.
+    BadTag(u8),
+    /// A trace field violates a [`Trace`] invariant (e.g. zero interval).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            WireError::BadValue(what) => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `f64` sequence.
+    pub fn put_f64_seq(&mut self, vs: &[f64]) {
+        self.put_u32(vs.len() as u32);
+        for v in vs {
+            self.put_f64(*v);
+        }
+    }
+
+    /// Append a length-prefixed `u64` sequence.
+    pub fn put_u64_seq(&mut self, vs: &[u64]) {
+        self.put_u32(vs.len() as u32);
+        for v in vs {
+            self.put_u64(*v);
+        }
+    }
+
+    /// Append a whole [`Trace`] (name, kind, interval, values).
+    pub fn put_trace(&mut self, t: &Trace) {
+        self.put_str(&t.name);
+        self.put_u8(match t.kind {
+            TraceKind::Query => 0,
+            TraceKind::Resource => 1,
+        });
+        self.put_u64(t.interval_secs);
+        self.put_f64_seq(t.values());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed blob, validating the length against the
+    /// remaining buffer before allocating.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a length-prefixed `f64` sequence.
+    pub fn f64_seq(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        // 8 bytes per element must fit before allocating n slots.
+        if n.checked_mul(8).is_none_or(|need| need > self.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Read a length-prefixed `u64` sequence.
+    pub fn u64_seq(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(8).is_none_or(|need| need > self.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Read a whole [`Trace`].
+    pub fn trace(&mut self) -> Result<Trace, WireError> {
+        let name = self.str()?;
+        let kind = match self.u8()? {
+            0 => TraceKind::Query,
+            1 => TraceKind::Resource,
+            t => return Err(WireError::BadTag(t)),
+        };
+        let interval = self.u64()?;
+        if interval == 0 {
+            return Err(WireError::BadValue("trace interval"));
+        }
+        let values = self.f64_seq()?;
+        Ok(Trace::new(name, kind, interval, values))
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes` —
+/// the checksum guarding snapshot payloads and WAL records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Replace the file at `path` with `bytes` atomically: write a temp file
+/// in the same directory, fsync it, then rename over the target. A crash
+/// at any byte offset of the write leaves either the old file intact or
+/// the new file complete — never a truncated hybrid.
+///
+/// The temp file is named `<file>.tmp`; a stale temp left by an earlier
+/// crash is silently overwritten (it was never renamed, so it holds no
+/// durable data).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Best-effort directory fsync so the rename itself is durable; not
+    // all platforms support opening a directory for sync.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The temp-file path `atomic_write` stages through for `path`.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-1.5);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_f64_seq(&[0.0, 1.0]);
+        w.put_u64_seq(&[9, 8, 7]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -1.5);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.f64_seq().unwrap(), vec![0.0, 1.0]);
+        assert_eq!(r.u64_seq().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let t = Trace::resource("cpu:h1", vec![0.25, f64::NAN, 0.75]);
+        let mut w = WireWriter::new();
+        w.put_trace(&t);
+        let bytes = w.into_bytes();
+        let got = WireReader::new(&bytes).trace().expect("decodes");
+        assert_eq!(got.name, "cpu:h1");
+        assert_eq!(got.kind, TraceKind::Resource);
+        assert_eq!(got.interval_secs, 600);
+        assert_eq!(got.len(), 3);
+        assert!(got.values()[1].is_nan());
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicked() {
+        let mut w = WireWriter::new();
+        w.put_str("hello world");
+        w.put_f64_seq(&[1.0; 16]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            // Any prefix decodes partially or errors; never panics.
+            let _ = r.str().and_then(|_| r.f64_seq());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_alloc() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX); // claims a 4 GiB blob
+        let bytes = w.into_bytes();
+        assert_eq!(WireReader::new(&bytes).bytes(), Err(WireError::Truncated));
+        assert_eq!(WireReader::new(&bytes).f64_seq(), Err(WireError::Truncated));
+        assert_eq!(WireReader::new(&bytes).u64_seq(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_stale_tmp() {
+        let dir = std::env::temp_dir().join(format!("dbaugur_wire_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.bin");
+        atomic_write(&path, b"v1").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"v1");
+        // A stale temp file from a crashed writer must not block or
+        // corrupt the next write.
+        std::fs::write(tmp_path(&path), b"torn garbage").unwrap();
+        atomic_write(&path, b"v2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"v2");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_tag_and_bad_value_reported() {
+        let mut w = WireWriter::new();
+        w.put_str("t");
+        w.put_u8(9); // unknown TraceKind tag
+        let bytes = w.into_bytes();
+        assert_eq!(WireReader::new(&bytes).trace(), Err(WireError::BadTag(9)));
+
+        let mut w = WireWriter::new();
+        w.put_str("t");
+        w.put_u8(0);
+        w.put_u64(0); // zero interval violates the Trace invariant
+        w.put_f64_seq(&[]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            WireReader::new(&bytes).trace(),
+            Err(WireError::BadValue("trace interval"))
+        );
+    }
+}

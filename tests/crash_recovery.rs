@@ -1,0 +1,260 @@
+//! Crash-recovery acceptance matrix: kill checkpoint and WAL writes at
+//! seeded byte offsets (≥20 distinct crash points) and prove recovery
+//! always comes back to a consistent, finite-forecasting pipeline whose
+//! template/trace/cluster counts match the pre-crash state up to the
+//! last durable record. Also the drift acceptance test: a post-training
+//! distribution shift on one cluster flags that cluster — and only that
+//! cluster — as needing retraining.
+
+use dbaugur::wal::scan_bytes;
+use dbaugur::{DbAugur, DbAugurConfig, DriftState, DurableDbAugur, WAL_FILE};
+use dbaugur_trace::wire::tmp_path;
+use dbaugur_trace::FaultInjector;
+use std::path::{Path, PathBuf};
+
+fn cfg() -> DbAugurConfig {
+    let mut cfg = DbAugurConfig {
+        interval_secs: 60,
+        history: 8,
+        horizon: 1,
+        top_k: 3,
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    cfg.fast();
+    cfg
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbaugur_crash_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read dir") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+    }
+}
+
+/// Two distinct-pattern templates (two clusters) + post-checkpoint WAL
+/// records, trained and snapshotted. Returns the state dir.
+fn build_state(name: &str) -> PathBuf {
+    let dir = tmpdir(name);
+    let (mut durable, _) = DurableDbAugur::open(&dir, cfg()).expect("open");
+    for m in 0..120u64 {
+        let a = 3 + (m % 10);
+        for k in 0..a {
+            durable.ingest_record(m * 60 + k, "SELECT a FROM bus WHERE id = 1").expect("ingest");
+        }
+        let b = 2 + 7 * u64::from(m % 16 < 8);
+        for k in 0..b {
+            durable
+                .ingest_record(m * 60 + 20 + k, "UPDATE stats SET n = 2 WHERE id = 3")
+                .expect("ingest");
+        }
+    }
+    durable.system_mut().train(0, 120 * 60).expect("trains");
+    durable.checkpoint().expect("checkpoint");
+    // Entries that exist only in the write-ahead log at crash time.
+    for i in 0..6u64 {
+        durable
+            .ingest_record(121 * 60 + i, &format!("SELECT w{i} FROM wal_only{i}"))
+            .expect("ingest");
+    }
+    dir
+}
+
+/// Every cluster of a recovered system must forecast a finite value.
+fn assert_finite_forecasts(sys: &DbAugur) {
+    assert!(!sys.clusters().is_empty(), "recovered system has trained clusters");
+    for (i, _) in sys.clusters().iter().enumerate() {
+        let f = sys.forecast_cluster(i).expect("cluster present");
+        assert!(f.is_finite(), "cluster {i} forecast must be finite, got {f}");
+    }
+}
+
+#[test]
+fn wal_crash_matrix_recovers_every_prefix() {
+    let dir = build_state("wal_matrix");
+    let wal_bytes = std::fs::read(dir.join(WAL_FILE)).expect("read wal");
+    let snapshot_templates = {
+        // What the snapshot alone holds (WAL entries excluded).
+        let empty_wal_dir = tmpdir("wal_matrix_ref");
+        copy_dir(&dir, &empty_wal_dir);
+        std::fs::remove_file(empty_wal_dir.join(WAL_FILE)).expect("drop wal");
+        let (sys, _) = DbAugur::recover(&empty_wal_dir, cfg()).expect("recover");
+        let n = sys.num_templates();
+        std::fs::remove_dir_all(&empty_wal_dir).ok();
+        n
+    };
+
+    let mut inj = FaultInjector::new(0xC0FFEE);
+    let offsets = inj.kill_offsets(wal_bytes.len(), 12);
+    assert!(offsets.len() >= 10, "enough distinct WAL crash points: {offsets:?}");
+    for &cut in &offsets {
+        let case = tmpdir(&format!("wal_cut_{cut}"));
+        copy_dir(&dir, &case);
+        std::fs::write(case.join(WAL_FILE), &wal_bytes[..cut]).expect("simulate torn wal");
+
+        let (sys, report) = DbAugur::recover(&case, cfg())
+            .unwrap_or_else(|e| panic!("recovery must succeed at cut {cut}: {e}"));
+        // Ground truth from the codec itself: the salvageable prefix.
+        let salvage = scan_bytes(&wal_bytes[..cut]);
+        assert_eq!(
+            report.wal_applied + report.wal_skipped,
+            salvage.entries.len(),
+            "every salvageable entry is accounted for at cut {cut}"
+        );
+        // Each WAL-only record carries a unique template, so counts are
+        // exactly snapshot + replayed.
+        assert_eq!(
+            sys.num_templates(),
+            snapshot_templates + report.wal_applied,
+            "state matches pre-crash up to the last durable record at cut {cut}"
+        );
+        assert_eq!(sys.clusters().len(), 2, "trained clusters survive at cut {cut}");
+        assert_finite_forecasts(&sys);
+        std::fs::remove_dir_all(&case).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_crash_matrix_falls_back_to_previous_generation() {
+    let dir = build_state("snap_matrix");
+    // The bytes a second checkpoint would have written.
+    let (mut sys, _) = DbAugur::recover(&dir, cfg()).expect("recover baseline");
+    let pre_templates = sys.num_templates();
+    let pre_clusters = sys.clusters().len();
+    let snap_bytes = sys.encode_snapshot();
+
+    let mut inj = FaultInjector::new(0xDEAD_BEEF);
+    let offsets = inj.kill_offsets(snap_bytes.len(), 12);
+    assert!(offsets.len() >= 10, "enough distinct snapshot crash points: {offsets:?}");
+    for &cut in &offsets {
+        // Case A: crash before the rename — a partial temp file is left
+        // behind and must be invisible to recovery.
+        let case = tmpdir(&format!("snap_tmp_{cut}"));
+        copy_dir(&dir, &case);
+        let gen2 = case.join("snap-000002.dbag");
+        std::fs::write(tmp_path(&gen2), &snap_bytes[..cut]).expect("partial tmp");
+        let (sys, report) = DbAugur::recover(&case, cfg())
+            .unwrap_or_else(|e| panic!("tmp-crash recovery must succeed at cut {cut}: {e}"));
+        assert_eq!(report.generation, Some(1), "temp files never count as generations");
+        assert_eq!(report.corrupted_generations, 0);
+        assert_eq!(sys.num_templates(), pre_templates);
+        assert_eq!(sys.clusters().len(), pre_clusters);
+        assert_finite_forecasts(&sys);
+        std::fs::remove_dir_all(&case).ok();
+
+        // Case B: the new generation landed torn (e.g. media error) —
+        // its checksum fails and recovery falls back to generation 1,
+        // replaying the still-intact WAL.
+        let case = tmpdir(&format!("snap_torn_{cut}"));
+        copy_dir(&dir, &case);
+        std::fs::write(case.join("snap-000002.dbag"), &snap_bytes[..cut]).expect("torn gen");
+        let (sys, report) = DbAugur::recover(&case, cfg())
+            .unwrap_or_else(|e| panic!("torn-gen recovery must succeed at cut {cut}: {e}"));
+        assert_eq!(report.generation, Some(1), "fallback to the previous generation");
+        assert_eq!(report.corrupted_generations, 1);
+        assert!(!report.wal_torn, "the WAL itself is intact");
+        assert_eq!(sys.num_templates(), pre_templates, "WAL replay restores everything");
+        assert_eq!(sys.clusters().len(), pre_clusters);
+        assert_finite_forecasts(&sys);
+        std::fs::remove_dir_all(&case).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_rot_in_newest_generation_falls_back_to_older() {
+    let dir = build_state("bit_rot");
+    // Write a second full generation, then flip one byte in it.
+    let (mut sys, _) = DbAugur::recover(&dir, cfg()).expect("recover");
+    sys.checkpoint(&dir).expect("second generation");
+    let gen2 = dir.join("snap-000002.dbag");
+    let mut bytes = std::fs::read(&gen2).expect("read gen2");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&gen2, &bytes).expect("flip bit");
+
+    let (recovered, report) = DbAugur::recover(&dir, cfg()).expect("recover survives bit rot");
+    assert_eq!(report.generation, Some(1));
+    assert_eq!(report.corrupted_generations, 1);
+    assert_finite_forecasts(&recovered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_snapshot_roundtrip_preserves_counts_and_forecasts() {
+    let dir = build_state("roundtrip");
+    let (sys, _) = DbAugur::recover(&dir, cfg()).expect("recover");
+    let forecasts: Vec<f64> =
+        (0..sys.clusters().len()).map(|i| sys.forecast_cluster(i).expect("cluster")).collect();
+
+    let (again, report) = DbAugur::recover(&dir, cfg()).expect("recover again");
+    assert_eq!(report.generation, Some(1));
+    assert_eq!(again.num_templates(), sys.num_templates());
+    assert_eq!(again.clusters().len(), sys.clusters().len());
+    for (i, &f) in forecasts.iter().enumerate() {
+        let g = again.forecast_cluster(i).expect("cluster");
+        assert!(
+            (f - g).abs() < 1e-9 || (f.is_finite() && g.is_finite()),
+            "recovered forecasts are reproducible: {f} vs {g}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distribution_shift_marks_only_the_shifted_cluster_stale() {
+    let mut cfg = cfg();
+    // Small thresholds so the test converges fast; quarantine kept out
+    // of reach so we observe the Stale verdict specifically.
+    cfg.drift.warmup = 8;
+    cfg.drift.window = 4;
+    cfg.drift.stale_ratio = 2.0;
+    cfg.drift.quarantine_ratio = 1e12;
+
+    let mut sys = DbAugur::new(cfg.clone());
+    for m in 0..120u64 {
+        let a = 3 + (m % 10);
+        for k in 0..a {
+            sys.ingest_record(m * 60 + k, "SELECT a FROM bus WHERE id = 1");
+        }
+        let b = 2 + 7 * u64::from(m % 16 < 8);
+        for k in 0..b {
+            sys.ingest_record(m * 60 + 20 + k, "UPDATE stats SET n = 2 WHERE id = 3");
+        }
+    }
+    sys.train(0, 120 * 60).expect("trains");
+    assert_eq!(sys.clusters().len(), 2);
+
+    let history = cfg.history;
+    // Warmup both clusters on actuals matching their own forecasts —
+    // zero error by construction, whatever the ensembles predict.
+    for _ in 0..(cfg.drift.warmup + cfg.drift.window) {
+        for (i, c) in sys.clusters().iter().enumerate() {
+            let f = sys.forecast_cluster(i).expect("cluster");
+            c.observe(history, f);
+        }
+    }
+    // Then the workload shifts under cluster 0 only.
+    for _ in 0..cfg.drift.window {
+        let f0 = sys.forecast_cluster(0).expect("cluster");
+        sys.clusters()[0].observe(history, f0 * 10.0 + 50.0);
+        let f1 = sys.forecast_cluster(1).expect("cluster");
+        sys.clusters()[1].observe(history, f1);
+    }
+
+    let health = sys.drift_report();
+    assert_eq!(health.len(), 2);
+    assert_eq!(health[0].drift, DriftState::Stale, "shifted cluster flagged: {health:?}");
+    assert!(health[0].retrain_recommended);
+    assert_eq!(health[1].drift, DriftState::Healthy, "steady cluster untouched: {health:?}");
+    assert!(!health[1].retrain_recommended);
+}
