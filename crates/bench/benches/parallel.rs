@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the bounded executor fan-out paths: the
+//! LB-prefiltered DTW distance matrix inside `Descender::cluster`, the
+//! full `DbAugur::train` pipeline, and single-call forecast latency.
+//!
+//! Each parallel bench sweeps worker counts (1 = the historical
+//! sequential path) so the speedup curve is visible in the criterion
+//! report; `bench3` (in `src/bin`) emits the same measurements as the
+//! machine-readable `BENCH_3.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbaugur::exec::Executor;
+use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur_bench::parallel::{matrix_workload, trained_pipeline, worker_sweep, MATRIX_TRACES};
+use dbaugur_cluster::{Descender, DescenderParams};
+use dbaugur_dtw::DtwDistance;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_dtw_matrix(c: &mut Criterion) {
+    let traces = matrix_workload(MATRIX_TRACES);
+    let mut g = c.benchmark_group("dtw_matrix");
+    g.sample_size(10);
+    for workers in worker_sweep() {
+        g.bench_with_input(
+            BenchmarkId::new(format!("{MATRIX_TRACES}_traces"), workers),
+            &workers,
+            |bench, &workers| {
+                let exec = Arc::new(Executor::new(workers));
+                bench.iter(|| {
+                    let params = DescenderParams { rho: 6.0, min_size: 3, normalize: true };
+                    Descender::new(params, DtwDistance::new(10))
+                        .with_executor(Arc::clone(&exec))
+                        .cluster(black_box(&traces))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pipeline_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_train");
+    g.sample_size(10);
+    for workers in worker_sweep() {
+        g.bench_with_input(BenchmarkId::new("train", workers), &workers, |bench, &workers| {
+            bench.iter(|| trained_pipeline(workers));
+        });
+    }
+    g.finish();
+}
+
+fn bench_forecast_latency(c: &mut Criterion) {
+    let sys: DbAugur = trained_pipeline(DbAugurConfig::default().threads);
+    let mut g = c.benchmark_group("forecast_latency");
+    g.bench_function("template", |bench| {
+        bench.iter(|| sys.forecast_template(black_box("SELECT a FROM t1 WHERE id = 1")));
+    });
+    g.bench_function("resource", |bench| {
+        bench.iter(|| sys.forecast_trace(black_box("cpu")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dtw_matrix, bench_pipeline_train, bench_forecast_latency);
+criterion_main!(benches);

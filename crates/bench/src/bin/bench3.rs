@@ -1,0 +1,141 @@
+//! `BENCH_3.json` — machine-readable performance trajectory for the
+//! bounded-executor PR: DTW distance-matrix clustering across worker
+//! counts, full-pipeline training across worker counts, and forecast
+//! latency. Future PRs append `BENCH_<n>.json` files so perf changes
+//! stay visible.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench3`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`).
+//! Output: `BENCH_3.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`.
+
+use dbaugur::exec::Executor;
+use dbaugur::DbAugur;
+use dbaugur_bench::datasets::Scale;
+use dbaugur_bench::parallel::{matrix_workload, trained_pipeline, worker_sweep, MATRIX_TRACES};
+use dbaugur_bench::report::fmt_secs;
+use dbaugur_cluster::{Descender, DescenderParams};
+use dbaugur_dtw::DtwDistance;
+use dbaugur_trace::Trace;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed run at a given worker count.
+struct Run {
+    workers: usize,
+    secs: f64,
+}
+
+fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn cluster_matrix(traces: &[Trace], workers: usize, reps: usize) -> f64 {
+    let exec = Arc::new(Executor::new(workers));
+    time_best_of(reps, || {
+        let params = DescenderParams { rho: 6.0, min_size: 3, normalize: true };
+        let clustering = Descender::new(params, DtwDistance::new(10))
+            .with_executor(Arc::clone(&exec))
+            .cluster(black_box(traces));
+        black_box(clustering);
+    })
+}
+
+/// Speedup of the fastest multi-worker run over the sequential run.
+fn best_speedup(runs: &[Run]) -> (usize, f64) {
+    let seq = runs.iter().find(|r| r.workers == 1).map_or(f64::NAN, |r| r.secs);
+    runs.iter()
+        .filter(|r| r.workers > 1)
+        .map(|r| (r.workers, seq / r.secs))
+        .fold((1, 1.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc })
+}
+
+fn runs_json(runs: &[Run]) -> String {
+    let items: Vec<String> = runs
+        .iter()
+        .map(|r| format!("{{\"workers\": {}, \"secs\": {:.6}}}", r.workers, r.secs))
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = worker_sweep();
+    let reps = if scale.name == "quick" { 1 } else { 3 };
+    eprintln!("bench3: scale={} cores={cores} sweep={sweep:?}", scale.name);
+
+    // 1. DTW distance matrix (Descender clustering, LB-prefiltered).
+    let traces = matrix_workload(MATRIX_TRACES);
+    let matrix_runs: Vec<Run> = sweep
+        .iter()
+        .map(|&workers| {
+            let secs = cluster_matrix(&traces, workers, reps);
+            eprintln!("  dtw_matrix workers={workers}: {}", fmt_secs(secs));
+            Run { workers, secs }
+        })
+        .collect();
+    let (mw, ms) = best_speedup(&matrix_runs);
+
+    // 2. Full-pipeline training.
+    let train_runs: Vec<Run> = sweep
+        .iter()
+        .map(|&workers| {
+            let secs = time_best_of(1, || {
+                black_box(trained_pipeline(workers));
+            });
+            eprintln!("  pipeline_train workers={workers}: {}", fmt_secs(secs));
+            Run { workers, secs }
+        })
+        .collect();
+    let (tw, ts) = best_speedup(&train_runs);
+
+    // 3. Forecast latency on a trained system.
+    let sys: DbAugur = trained_pipeline(0);
+    let calls = 10_000usize;
+    let start = Instant::now();
+    for _ in 0..calls {
+        black_box(sys.forecast_template(black_box("SELECT a FROM t1 WHERE id = 1")));
+        black_box(sys.forecast_trace(black_box("cpu")));
+    }
+    let mean_usecs = start.elapsed().as_secs_f64() * 1e6 / (2 * calls) as f64;
+    eprintln!("  forecast_latency: {mean_usecs:.2} µs/call");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_3\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"dtw_matrix\": {{");
+    let _ = writeln!(json, "    \"traces\": {MATRIX_TRACES},");
+    let _ = writeln!(json, "    \"runs\": {},", runs_json(&matrix_runs));
+    let _ = writeln!(json, "    \"best_speedup\": {{\"workers\": {mw}, \"speedup\": {ms:.3}}}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"pipeline_train\": {{");
+    let _ = writeln!(json, "    \"runs\": {},", runs_json(&train_runs));
+    let _ = writeln!(json, "    \"best_speedup\": {{\"workers\": {tw}, \"speedup\": {ts:.3}}}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"forecast_latency\": {{");
+    let _ = writeln!(json, "    \"calls\": {},", 2 * calls);
+    let _ = writeln!(json, "    \"mean_usecs\": {mean_usecs:.3}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_3.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

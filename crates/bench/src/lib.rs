@@ -9,5 +9,6 @@
 //! (paper-sized data and epochs).
 
 pub mod datasets;
+pub mod parallel;
 pub mod report;
 pub mod zoo;

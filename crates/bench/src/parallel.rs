@@ -1,0 +1,91 @@
+//! Shared workloads for the parallel-execution benchmarks.
+//!
+//! Both the criterion bench (`benches/parallel.rs`) and the
+//! `BENCH_3.json` emitter (`src/bin/bench3.rs`) measure the same three
+//! things — DTW distance-matrix clustering, full-pipeline training, and
+//! forecast latency — so the workload construction lives here and the
+//! two harnesses cannot drift apart.
+
+use crate::datasets::Scale;
+use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur_trace::{synth, Trace, TraceKind};
+
+/// Distance-matrix workload size (the acceptance floor is 200 traces).
+pub const MATRIX_TRACES: usize = 200;
+
+/// `n` noisy variants of five base shapes — dense enough that the
+/// LB_Keogh prefilter leaves real DTW work behind.
+pub fn matrix_workload(n: usize) -> Vec<Trace> {
+    (0..n)
+        .map(|i| synth::add_noise(&synth::bustracker(i as u64 % 5, 1), 10.0, i as u64))
+        .collect()
+}
+
+/// Worker counts to sweep: 1 (sequential baseline), 2, 4, and all
+/// available cores (deduplicated, ascending).
+pub fn worker_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep = vec![1usize, 2, 4, max];
+    sweep.retain(|&w| w <= max.max(4));
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// Ingest a mixed query + resource workload and train end-to-end with
+/// the given worker count (`0` = all cores). Scale-aware via
+/// `DBAUGUR_SCALE` so the CI smoke job stays fast.
+pub fn trained_pipeline(workers: usize) -> DbAugur {
+    let scale = Scale::from_env();
+    let minutes = (scale.bustracker_days as u64) * 60;
+    let mut cfg = DbAugurConfig {
+        interval_secs: 60,
+        history: 10,
+        horizon: 1,
+        top_k: 4,
+        threads: workers,
+        epochs: scale.epochs_mlp.min(5),
+        max_examples: scale.max_examples.min(200),
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    let mut sys = DbAugur::new(cfg);
+    for m in 0..minutes {
+        let lockstep = 3 + (m % 12);
+        for k in 0..lockstep {
+            sys.ingest_record(m * 60 + k, "SELECT a FROM t1 WHERE id = 1");
+            sys.ingest_record(m * 60 + k + 1, "SELECT b FROM t2 WHERE id = 2");
+        }
+        let other = 2 + (m % 7);
+        for k in 0..other {
+            sys.ingest_record(m * 60 + 30 + k, "UPDATE t3 SET x = 1 WHERE id = 3");
+        }
+    }
+    sys.add_resource_trace(Trace::new(
+        "cpu",
+        TraceKind::Resource,
+        60,
+        (0..minutes).map(|i| 0.3 + 0.1 * ((i % 12) as f64 / 12.0)).collect(),
+    ));
+    sys.train(0, minutes * 60).expect("benchmark workload trains");
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_workload_has_requested_size() {
+        let traces = matrix_workload(8);
+        assert_eq!(traces.len(), 8);
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn worker_sweep_starts_sequential() {
+        let sweep = worker_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -27,6 +27,9 @@ fn pipeline_cfg(args: &Args) -> Result<DbAugurConfig, Box<dyn Error>> {
         horizon: args.flag_num("horizon", 1)?,
         top_k: args.flag_num("topk", 5)?,
         epochs: args.flag_num("epochs", 10)?,
+        // 0 = all cores; results are identical for any worker count,
+        // so --threads never perturbs the snapshot fingerprint.
+        threads: args.flag_num("threads", 0)?,
         ..DbAugurConfig::default()
     };
     cfg.clustering.min_size = 1;
@@ -75,7 +78,7 @@ pub fn templates(args: &Args) -> CmdResult {
 
 /// `cluster <wide.csv>` — DTW-cluster equal-length traces.
 pub fn cluster(args: &Args) -> CmdResult {
-    args.check_flags(&["rho", "min", "window", "interval"])?;
+    args.check_flags(&["rho", "min", "window", "interval", "threads"])?;
     let path = args.positional(0, "wide.csv")?;
     let text = fs::read_to_string(path)?;
     let interval: u64 = args.flag_num("interval", 600)?;
@@ -86,7 +89,13 @@ pub fn cluster(args: &Args) -> CmdResult {
         normalize: true,
     };
     let window: usize = args.flag_num("window", 14)?;
-    let clustering = Descender::new(params, DtwDistance::new(window)).cluster(&traces);
+    let threads: usize = args.flag_num("threads", 0)?;
+    let mut descender = Descender::new(params, DtwDistance::new(window));
+    if threads != 0 {
+        descender = descender
+            .with_executor(std::sync::Arc::new(dbaugur::exec::Executor::new(threads)));
+    }
+    let clustering = descender.cluster(&traces);
     println!(
         "{} traces → {} clusters, {} outliers",
         traces.len(),
@@ -154,7 +163,7 @@ pub fn evaluate(args: &Args) -> CmdResult {
 
 /// `forecast <log>` — full pipeline from a query log.
 pub fn forecast(args: &Args) -> CmdResult {
-    args.check_flags(&["interval", "history", "horizon", "topk", "epochs"])?;
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads"])?;
     let path = args.positional(0, "log")?;
     let text = fs::read_to_string(path)?;
     let cfg = pipeline_cfg(args)?;
@@ -219,7 +228,7 @@ pub fn forecast(args: &Args) -> CmdResult {
 /// optionally (re)train, and fold everything into a new snapshot
 /// generation.
 pub fn checkpoint(args: &Args) -> CmdResult {
-    args.check_flags(&["log", "train", "interval", "history", "horizon", "topk", "epochs"])?;
+    args.check_flags(&["log", "train", "interval", "history", "horizon", "topk", "epochs", "threads"])?;
     let dir = args.positional(0, "state-dir")?;
     let cfg = pipeline_cfg(args)?;
     let (mut durable, report) = DurableDbAugur::open(Path::new(dir), cfg)?;
@@ -271,7 +280,7 @@ pub fn checkpoint(args: &Args) -> CmdResult {
 /// `recover <state-dir>` — restore the newest good snapshot, replay the
 /// write-ahead log, and report the health of what came back.
 pub fn recover(args: &Args) -> CmdResult {
-    args.check_flags(&["interval", "history", "horizon", "topk", "epochs"])?;
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads"])?;
     let dir = args.positional(0, "state-dir")?;
     let cfg = pipeline_cfg(args)?;
     let (sys, report) = DbAugur::recover(Path::new(dir), cfg)?;

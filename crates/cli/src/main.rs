@@ -36,6 +36,8 @@ commands:
 
 pipeline flags (must match between checkpoint and recover):
   [--interval S] [--history T] [--horizon H] [--topk K] [--epochs E]
+  [--threads N]  worker threads for clustering/training (0 = all cores;
+                 results are identical for any value)
 ";
 
 fn main() -> ExitCode {

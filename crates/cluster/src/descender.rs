@@ -1,6 +1,27 @@
-//! Batch Descender: DBSCAN over DTW distances with Ball-Tree queries.
+//! Batch Descender: DBSCAN over an LB-prefiltered pairwise DTW matrix.
+//!
+//! The neighbourhood structure is built as an explicit symmetric
+//! distance-matrix pass split in two phases, both fanned out through
+//! the shared bounded [`Executor`]:
+//!
+//! 1. **LB prefilter** — each row `i` scans `j > i` with the metric's
+//!    cheap lower bound (LB_Kim → LB_Keogh for DTW); pairs whose bound
+//!    already exceeds ρ are pruned *before* they ever reach a DTW
+//!    worker.
+//! 2. **Verification** — surviving pairs are chunked across workers,
+//!    each chunk running early-abandoned DTW with one reused
+//!    [`DtwScratch`] per chunk.
+//!
+//! The DBSCAN expansion itself stays sequential over the precomputed
+//! adjacency lists (it is O(edges) and order-sensitive for border
+//! points), so the clustering is bitwise identical for any worker
+//! count — parallelism only changes who computes a distance, never
+//! which distances exist.
 
-use dbaugur_dtw::{BallTree, Distance};
+use std::sync::Arc;
+
+use dbaugur_dtw::{Distance, DtwScratch};
+use dbaugur_exec::Executor;
 use dbaugur_trace::Trace;
 
 /// Parameters of the density clustering.
@@ -72,12 +93,74 @@ pub(crate) fn z_normalize(v: &[f64]) -> Vec<f64> {
 pub struct Descender<D: Distance> {
     params: DescenderParams,
     metric: D,
+    exec: Arc<Executor>,
 }
 
 impl<D: Distance> Descender<D> {
-    /// Create a Descender with the given distance measure.
+    /// Create a Descender with the given distance measure, fanning the
+    /// distance matrix out through the process-wide shared executor.
     pub fn new(params: DescenderParams, metric: D) -> Self {
-        Self { params, metric }
+        Self { params, metric, exec: Executor::global() }
+    }
+
+    /// Use a specific executor (tests inject single-worker pools; the
+    /// pipeline passes its own so thread counts are bounded once).
+    pub fn with_executor(mut self, exec: Arc<Executor>) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Exact ρ-neighbourhood adjacency lists (every point neighbours
+    /// itself). Built in two executor passes — see the module docs.
+    fn neighborhoods(&self, points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+        let n = points.len();
+        let rho = self.params.rho;
+        let metric = &self.metric;
+
+        // Phase 1: LB prefilter. Row i scans j > i with the cheap
+        // lower bound only; pruned pairs never reach a DTW worker.
+        let candidate_rows: Vec<Vec<usize>> = self.exec.run(n, |i| {
+            let a = &points[i];
+            ((i + 1)..n)
+                .filter(|&j| metric.lower_bound(a, &points[j]) <= rho)
+                .collect()
+        });
+        let pairs: Vec<(usize, usize)> = candidate_rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, js)| js.iter().map(move |&j| (i, j)))
+            .collect();
+
+        // Phase 2: verify survivors with early-abandoned DTW, chunked
+        // so each worker reuses one scratch across many pairs.
+        let chunk = pairs
+            .len()
+            .div_ceil((self.exec.workers() * 4).max(1))
+            .max(1);
+        let num_chunks = pairs.len().div_ceil(chunk);
+        let verified: Vec<Vec<(usize, usize)>> = self.exec.run(num_chunks, |c| {
+            let mut scratch = DtwScratch::new();
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(pairs.len());
+            pairs[lo..hi]
+                .iter()
+                .copied()
+                .filter(|&(i, j)| {
+                    metric.dist_with_cutoff_scratch(&points[i], &points[j], rho, &mut scratch)
+                        <= rho
+                })
+                .collect()
+        });
+
+        let mut neighbors: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for (i, j) in verified.into_iter().flatten() {
+            neighbors[i].push(j);
+            neighbors[j].push(i);
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        neighbors
     }
 
     /// Cluster `traces`, returning per-trace assignments.
@@ -97,7 +180,7 @@ impl<D: Distance> Descender<D> {
             })
             .collect();
         let n = points.len();
-        let tree = BallTree::build(points, self.metric);
+        let neighbors = self.neighborhoods(&points);
         let mut assignments: Vec<Option<usize>> = vec![None; n];
         let mut visited = vec![false; n];
         let mut num_clusters = 0;
@@ -107,14 +190,13 @@ impl<D: Distance> Descender<D> {
                 continue;
             }
             visited[start] = true;
-            let neighbors = tree.within(tree.point(start).to_vec().as_slice(), self.params.rho);
-            if neighbors.len() < self.params.min_size {
+            if neighbors[start].len() < self.params.min_size {
                 continue; // provisional outlier; may become a border point later
             }
             let cluster = num_clusters;
             num_clusters += 1;
             assignments[start] = Some(cluster);
-            let mut queue: Vec<usize> = neighbors.iter().map(|&(i, _)| i).collect();
+            let mut queue: Vec<usize> = neighbors[start].clone();
             let mut qi = 0;
             while qi < queue.len() {
                 let p = queue[qi];
@@ -126,10 +208,9 @@ impl<D: Distance> Descender<D> {
                     continue;
                 }
                 visited[p] = true;
-                let pn = tree.within(tree.point(p).to_vec().as_slice(), self.params.rho);
-                if pn.len() >= self.params.min_size {
+                if neighbors[p].len() >= self.params.min_size {
                     // p is itself a core point: expand through it.
-                    queue.extend(pn.iter().map(|&(i, _)| i));
+                    queue.extend(neighbors[p].iter().copied());
                 }
             }
         }
@@ -263,6 +344,117 @@ mod tests {
         let c = Descender::new(DescenderParams::default(), EuclideanDistance).cluster(&[]);
         assert_eq!(c.num_clusters, 0);
         assert!(c.assignments.is_empty());
+    }
+
+    /// Reference DBSCAN over a brute-force full distance matrix, using
+    /// the same scan order as `Descender::cluster`.
+    fn brute_force_dbscan(
+        traces: &[Trace],
+        params: DescenderParams,
+        metric: &impl Distance,
+    ) -> Clustering {
+        let points: Vec<Vec<f64>> = traces
+            .iter()
+            .map(|t| if params.normalize { z_normalize(t.values()) } else { t.values().to_vec() })
+            .collect();
+        let n = points.len();
+        let neighbors: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| i == j || metric.dist(&points[i], &points[j]) <= params.rho)
+                    .collect()
+            })
+            .collect();
+        let mut assignments: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut num_clusters = 0;
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            visited[start] = true;
+            if neighbors[start].len() < params.min_size {
+                continue;
+            }
+            let cluster = num_clusters;
+            num_clusters += 1;
+            assignments[start] = Some(cluster);
+            let mut queue = neighbors[start].clone();
+            let mut qi = 0;
+            while qi < queue.len() {
+                let p = queue[qi];
+                qi += 1;
+                if assignments[p].is_none() {
+                    assignments[p] = Some(cluster);
+                }
+                if visited[p] {
+                    continue;
+                }
+                visited[p] = true;
+                if neighbors[p].len() >= params.min_size {
+                    queue.extend(neighbors[p].iter().copied());
+                }
+            }
+        }
+        Clustering { assignments, num_clusters }
+    }
+
+    fn mixed_workload(n_per_group: usize, len: usize) -> Vec<Trace> {
+        let mut traces = Vec::new();
+        for i in 0..n_per_group {
+            traces.push(sine_trace(&format!("s{i}"), 0.05 * i as f64, len));
+        }
+        for i in 0..n_per_group {
+            traces.push(sawtooth_trace(&format!("w{i}"), len));
+        }
+        for i in 0..n_per_group {
+            traces.push(Trace::query(
+                format!("q{i}"),
+                (0..len).map(|t| ((t * (i + 2)) % 11) as f64).collect(),
+            ));
+        }
+        traces
+    }
+
+    #[test]
+    fn parallel_matrix_matches_brute_force_dbscan() {
+        let traces = mixed_workload(6, 40);
+        let params = DescenderParams { rho: 2.5, min_size: 3, normalize: true };
+        let metric = DtwDistance::new(5);
+        let got = Descender::new(params, metric).cluster(&traces);
+        let want = brute_force_dbscan(&traces, params, &metric);
+        assert_eq!(got.assignments, want.assignments);
+        assert_eq!(got.num_clusters, want.num_clusters);
+    }
+
+    #[test]
+    fn clustering_is_identical_across_worker_counts() {
+        let traces = mixed_workload(8, 36);
+        let params = DescenderParams { rho: 2.0, min_size: 2, normalize: true };
+        let baseline = Descender::new(params, DtwDistance::new(4))
+            .with_executor(Arc::new(Executor::new(1)))
+            .cluster(&traces);
+        for workers in [2, 4, 8] {
+            let c = Descender::new(params, DtwDistance::new(4))
+                .with_executor(Arc::new(Executor::new(workers)))
+                .cluster(&traces);
+            assert_eq!(c.assignments, baseline.assignments, "workers = {workers}");
+            assert_eq!(c.num_clusters, baseline.num_clusters);
+        }
+    }
+
+    #[test]
+    fn ragged_lengths_no_longer_panic_and_stay_apart() {
+        // The pairwise matrix handles unequal lengths (DTW is defined
+        // there); the old Ball-Tree build asserted equal lengths.
+        let mut traces = vec![sine_trace("a", 0.0, 24), sine_trace("b", 0.01, 24)];
+        traces.push(sine_trace("short", 0.0, 9));
+        let c = Descender::new(
+            DescenderParams { rho: 1.0, min_size: 2, normalize: true },
+            DtwDistance::new(3),
+        )
+        .cluster(&traces);
+        assert_eq!(c.assignments.len(), 3);
     }
 
     #[test]

@@ -29,4 +29,6 @@ pub mod topk;
 
 pub use descender::{Clustering, Descender, DescenderParams};
 pub use online::OnlineDescender;
-pub use topk::{select_top_k, select_top_k_dba, ClusterSummary};
+pub use topk::{
+    select_top_k, select_top_k_dba, select_top_k_dba_exec, select_top_k_exec, ClusterSummary,
+};

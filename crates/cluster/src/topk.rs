@@ -7,6 +7,7 @@
 //! each trace and its proportion in the corresponding cluster."
 
 use crate::descender::Clustering;
+use dbaugur_exec::Executor;
 use dbaugur_trace::{Trace, TraceKind};
 
 /// One selected cluster: its average-trace representative plus the
@@ -37,48 +38,66 @@ impl ClusterSummary {
     }
 }
 
+/// Summary of cluster `c`, or `None` when it has no members.
+fn summarize_cluster(traces: &[Trace], clustering: &Clustering, c: usize) -> Option<ClusterSummary> {
+    let members = clustering.members(c);
+    if members.is_empty() {
+        return None;
+    }
+    let len = traces[members[0]].len();
+    let mut avg = vec![0.0f64; len];
+    let mut volumes = Vec::with_capacity(members.len());
+    for &m in &members {
+        let t = &traces[m];
+        assert_eq!(t.len(), len, "cluster members must share one length");
+        for (a, v) in avg.iter_mut().zip(t.values()) {
+            *a += v;
+        }
+        volumes.push(t.volume());
+    }
+    for a in &mut avg {
+        *a /= members.len() as f64;
+    }
+    let volume: f64 = volumes.iter().sum();
+    let proportions: Vec<f64> = if volume > 0.0 {
+        volumes.iter().map(|v| v / volume).collect()
+    } else {
+        vec![1.0 / members.len() as f64; members.len()]
+    };
+    let kind = traces[members[0]].kind;
+    let interval = traces[members[0]].interval_secs;
+    Some(ClusterSummary {
+        cluster_id: c,
+        members,
+        proportions,
+        volume,
+        representative: Trace::new(format!("cluster:{c}"), kind, interval, avg),
+    })
+}
+
 /// Select the `k` largest-volume clusters from `clustering` over
 /// `traces`, computing representatives and proportions.
 ///
 /// Member traces must share one length (they do, coming out of the
 /// registry binning). Clusters are returned largest-volume first.
 pub fn select_top_k(traces: &[Trace], clustering: &Clustering, k: usize) -> Vec<ClusterSummary> {
-    let mut summaries: Vec<ClusterSummary> = (0..clustering.num_clusters)
-        .filter_map(|c| {
-            let members = clustering.members(c);
-            if members.is_empty() {
-                return None;
-            }
-            let len = traces[members[0]].len();
-            let mut avg = vec![0.0f64; len];
-            let mut volumes = Vec::with_capacity(members.len());
-            for &m in &members {
-                let t = &traces[m];
-                assert_eq!(t.len(), len, "cluster members must share one length");
-                for (a, v) in avg.iter_mut().zip(t.values()) {
-                    *a += v;
-                }
-                volumes.push(t.volume());
-            }
-            for a in &mut avg {
-                *a /= members.len() as f64;
-            }
-            let volume: f64 = volumes.iter().sum();
-            let proportions: Vec<f64> = if volume > 0.0 {
-                volumes.iter().map(|v| v / volume).collect()
-            } else {
-                vec![1.0 / members.len() as f64; members.len()]
-            };
-            let kind = traces[members[0]].kind;
-            let interval = traces[members[0]].interval_secs;
-            Some(ClusterSummary {
-                cluster_id: c,
-                members,
-                proportions,
-                volume,
-                representative: Trace::new(format!("cluster:{c}"), kind, interval, avg),
-            })
-        })
+    select_top_k_exec(traces, clustering, k, &Executor::global())
+}
+
+/// [`select_top_k`] fanning the per-cluster averaging out through
+/// `exec`. Summaries are produced in cluster-id order before the
+/// (sequential, total-ordered) volume sort, so the result does not
+/// depend on the worker count.
+pub fn select_top_k_exec(
+    traces: &[Trace],
+    clustering: &Clustering,
+    k: usize,
+    exec: &Executor,
+) -> Vec<ClusterSummary> {
+    let mut summaries: Vec<ClusterSummary> = exec
+        .run(clustering.num_clusters, |c| summarize_cluster(traces, clustering, c))
+        .into_iter()
+        .flatten()
         .collect();
     summaries.sort_by(|a, b| b.volume.total_cmp(&a.volume));
     summaries.truncate(k);
@@ -98,10 +117,25 @@ pub fn select_top_k_dba(
     window: usize,
     iterations: usize,
 ) -> Vec<ClusterSummary> {
-    let mut summaries = select_top_k(traces, clustering, k);
-    for s in &mut summaries {
+    select_top_k_dba_exec(traces, clustering, k, window, iterations, &Executor::global())
+}
+
+/// [`select_top_k_dba`] with the per-cluster DBA refinements (the
+/// expensive part: `iterations` DTW alignments per member) fanned out
+/// through `exec`. Each summary is refined independently in place, so
+/// results are identical for any worker count.
+pub fn select_top_k_dba_exec(
+    traces: &[Trace],
+    clustering: &Clustering,
+    k: usize,
+    window: usize,
+    iterations: usize,
+    exec: &Executor,
+) -> Vec<ClusterSummary> {
+    let mut summaries = select_top_k_exec(traces, clustering, k, exec);
+    exec.map_mut(&mut summaries, |_, s| {
         if s.members.len() < 2 {
-            continue; // the mean of one member is already exact
+            return; // the mean of one member is already exact
         }
         let members: Vec<&[f64]> = s.members.iter().map(|&m| traces[m].values()).collect();
         let dba = dbaugur_dtw::dba_barycenter(&members, window, iterations);
@@ -111,7 +145,7 @@ pub fn select_top_k_dba(
             s.representative.interval_secs,
             dba,
         );
-    }
+    });
     summaries
 }
 

@@ -41,6 +41,12 @@ pub struct DbAugurConfig {
     /// Per-cluster drift monitoring thresholds (warmup, rolling window,
     /// stale/quarantine error ratios).
     pub drift: DriftConfig,
+    /// Worker threads for the shared executor that fans out clustering
+    /// and training (`0` = all available cores; `1` = fully
+    /// sequential). Results are bitwise identical for any value — this
+    /// only trades wall-clock for CPU, so it is *not* part of the
+    /// snapshot fingerprint.
+    pub threads: usize,
 }
 
 impl Default for DbAugurConfig {
@@ -60,6 +66,7 @@ impl Default for DbAugurConfig {
             guard: GuardConfig::default(),
             wfgan_lr: None,
             drift: DriftConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -151,10 +158,11 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.epochs = 1; // training budget: not shape-relevant
         assert_eq!(a.fingerprint(), b.fingerprint());
+        b.threads = 8; // parallelism: not shape-relevant (results identical)
+        assert_eq!(a.fingerprint(), b.fingerprint());
         b.history = 12; // window shape: relevant
         assert_ne!(a.fingerprint(), b.fingerprint());
-        let mut c = DbAugurConfig::default();
-        c.seed = 7;
+        let c = DbAugurConfig { seed: 7, ..DbAugurConfig::default() };
         assert_ne!(a.fingerprint(), c.fingerprint());
     }
 

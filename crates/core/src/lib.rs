@@ -63,6 +63,7 @@ pub use wal::{Wal, WalEntry, WalScan};
 // Re-export the component crates under one roof for downstream users.
 pub use dbaugur_cluster as cluster;
 pub use dbaugur_dtw as dtw;
+pub use dbaugur_exec as exec;
 pub use dbaugur_models as models;
 pub use dbaugur_nn as nn;
 pub use dbaugur_sqlproc as sqlproc;

@@ -26,8 +26,9 @@
 
 use crate::config::DbAugurConfig;
 use crate::drift::{DriftMonitor, DriftState};
-use dbaugur_cluster::{select_top_k, select_top_k_dba, ClusterSummary, Descender};
+use dbaugur_cluster::{select_top_k_dba_exec, select_top_k_exec, ClusterSummary, Descender};
 use dbaugur_dtw::DtwDistance;
+use dbaugur_exec::{ExecStats, Executor};
 use dbaugur_models::{
     Forecaster, MemberState, MlpForecaster, SeasonalNaive, TcnForecaster, TimeSensitiveEnsemble,
     Wfgan, WfganConfig,
@@ -37,6 +38,7 @@ use dbaugur_trace::{fill_gaps, Trace, WindowSpec};
 use parking_lot::RwLock;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Why training could not proceed.
 #[derive(Debug, PartialEq, Eq)]
@@ -140,6 +142,9 @@ pub struct ClusterTrainReport {
     pub dropped_traces: usize,
     /// Cumulative damaged log lines skipped during ingestion.
     pub skipped_log_lines: usize,
+    /// Executor counters for this run (tasks queued / executed /
+    /// stolen across clustering, top-K selection and training).
+    pub exec: ExecStats,
 }
 
 impl ClusterTrainReport {
@@ -295,11 +300,21 @@ pub struct DbAugur {
     /// Highest write-ahead-log sequence applied to this state; recovery
     /// replays only entries beyond it (see `crate::wal`).
     pub(crate) applied_seq: u64,
+    /// Bounded executor all fan-out (clustering, top-K, per-cluster and
+    /// per-member training) routes through.
+    pub(crate) exec: Arc<Executor>,
 }
 
 impl DbAugur {
-    /// A new system with the given configuration.
+    /// A new system with the given configuration. `cfg.threads == 0`
+    /// shares the process-wide pool; an explicit count gets a dedicated
+    /// pool of exactly that parallelism.
     pub fn new(cfg: DbAugurConfig) -> Self {
+        let exec = if cfg.threads == 0 {
+            Executor::global()
+        } else {
+            Arc::new(Executor::new(cfg.threads))
+        };
         Self {
             cfg,
             registry: TemplateRegistry::new(),
@@ -309,7 +324,13 @@ impl DbAugur {
             skipped_log_lines: 0,
             last_report: None,
             applied_seq: 0,
+            exec,
         }
+    }
+
+    /// The executor this system fans work out through.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
     }
 
     /// The active configuration.
@@ -428,36 +449,52 @@ impl DbAugur {
         }
         self.trace_names = traces.iter().map(|t| t.name.clone()).collect();
 
+        let exec_before = self.exec.stats();
         let clustering = Descender::new(self.cfg.clustering, DtwDistance::new(self.cfg.dtw_window))
+            .with_executor(Arc::clone(&self.exec))
             .cluster(&traces);
         let summaries = if self.cfg.use_dba_representative {
-            select_top_k_dba(&traces, &clustering, self.cfg.top_k, self.cfg.dtw_window, 4)
+            select_top_k_dba_exec(
+                &traces,
+                &clustering,
+                self.cfg.top_k,
+                self.cfg.dtw_window,
+                4,
+                &self.exec,
+            )
         } else {
-            select_top_k(&traces, &clustering, self.cfg.top_k)
+            select_top_k_exec(&traces, &clustering, self.cfg.top_k, &self.exec)
         };
         let spec = WindowSpec::new(self.cfg.history, self.cfg.horizon);
 
-        // Train every cluster behind its own panic boundary, in parallel.
+        // Train every cluster behind its own panic boundary through the
+        // bounded executor (nested per-member fan-out shares the same
+        // pool; waiting callers help execute, so this cannot deadlock).
+        // A panic that escapes even `train_cluster`'s internal demotion
+        // path becomes a per-task failure — it no longer aborts the
+        // whole scope, the cluster just serves an unfitted floor.
         let cfg = self.cfg.clone();
-        let outcomes: Vec<(ClusterSummary, TimeSensitiveEnsemble, Option<String>)> =
-            if summaries.len() <= 1 {
-                summaries.into_iter().map(|s| train_cluster(&cfg, s, spec)).collect()
-            } else {
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = summaries
-                        .into_iter()
-                        .map(|s| {
-                            let cfg = &cfg;
-                            scope.spawn(move |_| train_cluster(cfg, s, spec))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("train_cluster catches panics internally"))
-                        .collect()
-                })
-                .expect("crossbeam scope")
-            };
+        let exec = Arc::clone(&self.exec);
+        let backups = summaries.clone();
+        let outcomes: Vec<(ClusterSummary, TimeSensitiveEnsemble, Option<String>)> = self
+            .exec
+            .try_map(summaries, |_, s| train_cluster(&cfg, s, spec, &exec))
+            .into_iter()
+            .zip(backups)
+            .map(|(outcome, backup)| match outcome {
+                Ok(triple) => triple,
+                Err(msg) => {
+                    let mut floor = TimeSensitiveEnsemble::new(
+                        "DBAugur-floor",
+                        vec![Box::new(SeasonalNaive::new(fallback_season(&cfg)))
+                            as Box<dyn Forecaster>],
+                        cfg.delta,
+                    );
+                    floor.quarantine_member(0, format!("training panicked: {msg}"));
+                    (backup, floor, Some(msg))
+                }
+            })
+            .collect();
 
         let mut clusters = Vec::with_capacity(outcomes.len());
         self.trained = outcomes
@@ -484,6 +521,7 @@ impl DbAugur {
             repaired_samples,
             dropped_traces,
             skipped_log_lines: self.skipped_log_lines,
+            exec: self.exec.stats().delta_since(&exec_before),
         };
         self.last_report = Some(report.clone());
         Ok(report)
@@ -591,10 +629,13 @@ fn train_cluster(
     cfg: &DbAugurConfig,
     summary: ClusterSummary,
     spec: WindowSpec,
+    exec: &Arc<Executor>,
 ) -> (ClusterSummary, TimeSensitiveEnsemble, Option<String>) {
     let rep = summary.representative.values().to_vec();
     let fitted = catch_unwind(AssertUnwindSafe(|| {
         let mut ensemble = make_ensemble(cfg);
+        // Per-member fitting fans out through the same bounded pool.
+        ensemble.set_executor(Arc::clone(exec));
         ensemble.fit(&rep, spec);
         ensemble
     }));

@@ -210,7 +210,10 @@ impl Wal {
     /// sequence) when the log is behind it.
     pub fn open(path: &Path, floor_seq: u64) -> io::Result<Self> {
         let scan = scan_file(path)?;
-        let mut file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        // Never truncate here: the tail-repair below keeps every good
+        // entry and drops only a torn final record.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len < HEADER_LEN {
             file.set_len(0)?;

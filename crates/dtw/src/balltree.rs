@@ -15,6 +15,7 @@
 //! (Descender's online path) can enable pruning for additional speed.
 
 use crate::distance::Distance;
+use crate::dtw::DtwScratch;
 
 const LEAF_SIZE: usize = 8;
 
@@ -220,13 +221,24 @@ impl<D: Distance> BallTree<D> {
     /// metric's lower-bound cascade on every candidate.
     pub fn within(&self, query: &[f64], radius: f64) -> Vec<(usize, f64)> {
         let mut out = Vec::new();
+        // One scratch per query: leaf verification runs early-abandoned
+        // DTW on every surviving candidate, so the rolling rows are
+        // reused across all of them instead of reallocated per pair.
+        let mut scratch = DtwScratch::new();
         if let Some(root) = &self.root {
-            self.within_rec(root, query, radius, &mut out);
+            self.within_rec(root, query, radius, &mut out, &mut scratch);
         }
         out
     }
 
-    fn within_rec(&self, node: &Node, query: &[f64], radius: f64, out: &mut Vec<(usize, f64)>) {
+    fn within_rec(
+        &self,
+        node: &Node,
+        query: &[f64],
+        radius: f64,
+        out: &mut Vec<(usize, f64)>,
+        scratch: &mut DtwScratch,
+    ) {
         if self.prune {
             let d = self.metric.dist(node.center(), query);
             if d - node.radius() > radius {
@@ -240,15 +252,15 @@ impl<D: Distance> BallTree<D> {
                     if self.metric.lower_bound(query, p) > radius {
                         continue;
                     }
-                    let d = self.metric.dist_with_cutoff(query, p, radius);
+                    let d = self.metric.dist_with_cutoff_scratch(query, p, radius, scratch);
                     if d <= radius {
                         out.push((i, d));
                     }
                 }
             }
             Node::Internal { left, right, .. } => {
-                self.within_rec(left, query, radius, out);
-                self.within_rec(right, query, radius, out);
+                self.within_rec(left, query, radius, out, scratch);
+                self.within_rec(right, query, radius, out, scratch);
             }
         }
     }
@@ -258,11 +270,12 @@ impl<D: Distance> BallTree<D> {
     /// truth for DTW queries.
     pub fn scan_within(&self, query: &[f64], radius: f64) -> Vec<(usize, f64)> {
         let mut out = Vec::new();
+        let mut scratch = DtwScratch::new();
         for (i, p) in self.points.iter().enumerate() {
             if self.metric.lower_bound(query, p) > radius {
                 continue;
             }
-            let d = self.metric.dist_with_cutoff(query, p, radius);
+            let d = self.metric.dist_with_cutoff_scratch(query, p, radius, &mut scratch);
             if d <= radius {
                 out.push((i, d));
             }

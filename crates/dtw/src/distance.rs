@@ -2,7 +2,10 @@
 //! similarity measure (the paper compares DTW against the "exact"
 //! Euclidean/cosine measures that mis-cluster time-shifted twins).
 
-use crate::dtw::{dtw_distance, dtw_distance_early_abandon, euclidean};
+use crate::dtw::{
+    dtw_distance, dtw_distance_early_abandon, dtw_distance_early_abandon_scratch, euclidean,
+    DtwScratch,
+};
 use crate::lb::{lb_keogh, lb_kim};
 
 /// A distance between two equal-or-variable-length series.
@@ -20,6 +23,21 @@ pub trait Distance: Send + Sync {
     /// the result exceeds `cutoff`.
     fn dist_with_cutoff(&self, a: &[f64], b: &[f64], _cutoff: f64) -> f64 {
         self.dist(a, b)
+    }
+
+    /// Like [`Distance::dist_with_cutoff`], but reusing caller-owned
+    /// [`DtwScratch`] buffers so hot loops avoid per-call allocation.
+    /// The default ignores the scratch (non-DTW measures allocate
+    /// nothing anyway); implementations must return bitwise-identical
+    /// values to `dist_with_cutoff`.
+    fn dist_with_cutoff_scratch(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        cutoff: f64,
+        _scratch: &mut DtwScratch,
+    ) -> f64 {
+        self.dist_with_cutoff(a, b, cutoff)
     }
 
     /// Short human-readable name for reports.
@@ -46,8 +64,18 @@ impl Distance for EuclideanDistance {
 pub struct CosineDistance;
 
 impl Distance for CosineDistance {
+    /// Unequal lengths return `f64::INFINITY` instead of panicking,
+    /// matching `dtw_distance`'s empty-vs-nonempty convention. We
+    /// deliberately do *not* zero-pad the shorter series: padding
+    /// would manufacture a finite (and often small) distance between
+    /// series that were sampled over incompatible windows, silently
+    /// merging them into one cluster. Treating mismatched lengths as
+    /// maximally distant keeps such traces apart and keeps a ragged
+    /// input from aborting a whole clustering run mid-flight.
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "cosine distance requires equal lengths");
+        if a.len() != b.len() {
+            return f64::INFINITY;
+        }
         let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
         let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
         let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -103,6 +131,16 @@ impl Distance for DtwDistance {
         dtw_distance_early_abandon(a, b, self.window, cutoff)
     }
 
+    fn dist_with_cutoff_scratch(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        cutoff: f64,
+        scratch: &mut DtwScratch,
+    ) -> f64 {
+        dtw_distance_early_abandon_scratch(a, b, self.window, cutoff, scratch)
+    }
+
     fn name(&self) -> &'static str {
         "dtw"
     }
@@ -128,6 +166,34 @@ mod tests {
     fn cosine_zero_vector_is_far() {
         let d = CosineDistance;
         assert_eq!(d.dist(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn cosine_length_mismatch_is_infinite_not_panic() {
+        // Regression: this used to `assert_eq!` on the lengths and
+        // abort the whole clustering run on a single ragged trace.
+        let d = CosineDistance;
+        assert_eq!(d.dist(&[1.0, 2.0], &[1.0, 2.0, 3.0]), f64::INFINITY);
+        assert_eq!(d.dist(&[], &[1.0]), f64::INFINITY);
+        // Consistent with the DTW empty-vs-nonempty convention.
+        assert_eq!(d.dist(&[], &[1.0]), dtw_distance(&[], &[1.0], 1));
+    }
+
+    #[test]
+    fn scratch_trait_method_matches_plain_cutoff() {
+        let d = DtwDistance::new(3);
+        let a = [0.0, 1.0, 5.0, 2.0];
+        let b = [1.0, 0.0, 2.0, 5.0];
+        let mut scratch = DtwScratch::new();
+        let plain = d.dist_with_cutoff(&a, &b, f64::INFINITY);
+        let scratched = d.dist_with_cutoff_scratch(&a, &b, f64::INFINITY, &mut scratch);
+        assert_eq!(plain.to_bits(), scratched.to_bits());
+        // Default impl (non-DTW measures) is a pass-through.
+        let e = EuclideanDistance;
+        assert_eq!(
+            e.dist_with_cutoff_scratch(&a, &b, 1.0, &mut scratch).to_bits(),
+            e.dist_with_cutoff(&a, &b, 1.0).to_bits()
+        );
     }
 
     #[test]

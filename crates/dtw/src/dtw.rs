@@ -16,11 +16,58 @@ pub fn dtw_distance(a: &[f64], b: &[f64], window: usize) -> f64 {
     dtw_distance_early_abandon(a, b, window, f64::INFINITY)
 }
 
+/// Reusable scratch space for the two rolling DTW rows.
+///
+/// `dtw_distance_early_abandon` allocates two fresh `Vec`s per call,
+/// which dominates the cost of short-series comparisons in the hot
+/// `O(n²)` clustering loops. Callers that evaluate many pairs (the
+/// Ball-Tree leaf verification, the Descender pairwise matrix) keep one
+/// `DtwScratch` per thread and pass it to
+/// [`dtw_distance_early_abandon_scratch`]; the buffers grow to the
+/// largest series seen and are reused verbatim afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct DtwScratch {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl DtwScratch {
+    /// Empty scratch; rows are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure both rows hold at least `len` cells, all set to +∞.
+    fn reset(&mut self, len: usize) {
+        self.prev.clear();
+        self.prev.resize(len, f64::INFINITY);
+        self.curr.clear();
+        self.curr.resize(len, f64::INFINITY);
+    }
+}
+
 /// DTW with early abandoning: returns `f64::INFINITY` as soon as every
 /// cell of the current row exceeds `cutoff²`, where `cutoff` is the best
 /// (smallest) distance found so far by the caller. Used by the Ball-Tree
 /// and the LB_Keogh-filtered scans.
+///
+/// Allocates two rolling rows per call; hot loops should prefer
+/// [`dtw_distance_early_abandon_scratch`] with a reused [`DtwScratch`].
 pub fn dtw_distance_early_abandon(a: &[f64], b: &[f64], window: usize, cutoff: f64) -> f64 {
+    let mut scratch = DtwScratch::new();
+    dtw_distance_early_abandon_scratch(a, b, window, cutoff, &mut scratch)
+}
+
+/// [`dtw_distance_early_abandon`] with caller-provided row buffers —
+/// bitwise-identical results, zero allocations once the scratch has
+/// grown to the longest series in play.
+pub fn dtw_distance_early_abandon_scratch(
+    a: &[f64],
+    b: &[f64],
+    window: usize,
+    cutoff: f64,
+    scratch: &mut DtwScratch,
+) -> f64 {
     let n = a.len();
     let m = b.len();
     if n == 0 && m == 0 {
@@ -33,8 +80,9 @@ pub fn dtw_distance_early_abandon(a: &[f64], b: &[f64], window: usize, cutoff: f
     let w = window.max(n.abs_diff(m));
     let cutoff_sq = if cutoff.is_finite() { cutoff * cutoff } else { f64::INFINITY };
 
-    let mut prev = vec![f64::INFINITY; m + 1];
-    let mut curr = vec![f64::INFINITY; m + 1];
+    scratch.reset(m + 1);
+    let mut prev = &mut scratch.prev;
+    let mut curr = &mut scratch.curr;
     prev[0] = 0.0;
     for i in 1..=n {
         curr.fill(f64::INFINITY);
@@ -167,5 +215,30 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn euclidean_length_mismatch_panics() {
         euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scratch_variant_is_bitwise_identical_across_reuse() {
+        // One scratch reused across pairs of *different* lengths must
+        // give exactly the fresh-allocation result every time, cut or
+        // uncut — stale cells from a longer earlier pair must not leak.
+        let mut scratch = DtwScratch::new();
+        let series: Vec<Vec<f64>> = vec![
+            (0..48).map(|i| (i as f64 * 0.3).sin()).collect(),
+            (0..12).map(|i| i as f64).collect(),
+            (0..33).map(|i| (i as f64 * 0.7).cos() * 3.0).collect(),
+            vec![5.0; 20],
+            vec![],
+        ];
+        for a in &series {
+            for b in &series {
+                for cutoff in [f64::INFINITY, 10.0, 0.5] {
+                    let fresh = dtw_distance_early_abandon(a, b, 4, cutoff);
+                    let reused =
+                        dtw_distance_early_abandon_scratch(a, b, 4, cutoff, &mut scratch);
+                    assert_eq!(fresh.to_bits(), reused.to_bits());
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,705 @@
+//! Bounded work-stealing executor shared by every fan-out site in the
+//! system (pairwise DTW matrix, DBA representative selection,
+//! per-cluster training, per-member ensemble fitting).
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Bounded**: a fixed worker pool sized once at construction —
+//!    never one OS thread per task. `Executor::new(1)` spawns no
+//!    threads at all and executes inline, which keeps single-threaded
+//!    runs byte-for-byte identical to the historical sequential code.
+//! 2. **Deterministic results**: every batch writes into an indexed
+//!    slot vector, so the *order of execution* never influences the
+//!    *order of results*. Combined with per-task seeding upstream,
+//!    parallel output is bitwise identical to sequential output.
+//! 3. **Nested-run safe**: a task may itself call back into the same
+//!    executor (per-cluster training fans out into per-member
+//!    fitting). Callers waiting on a batch help execute queued work
+//!    instead of blocking, so nesting cannot deadlock the pool.
+//! 4. **Instrumented**: tasks queued / executed / stolen counters are
+//!    cheap atomics surfaced through [`ExecStats`] so reports can show
+//!    how work was actually distributed.
+//!
+//! The implementation is dependency-free (`std` only): a global
+//! injector plus per-worker queues guarded by mutexes, condvar
+//! parking with a timeout backstop, and rayon-style lifetime erasure
+//! (monomorphized `unsafe fn` + context pointer) so borrowing
+//! closures can cross the pool without `'static` bounds.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Snapshot of executor instrumentation counters.
+///
+/// Counters are cumulative over the executor's lifetime; callers that
+/// want per-phase numbers take a snapshot before and after and
+/// subtract (see [`ExecStats::delta_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total parallelism (worker threads + the participating caller).
+    pub workers: usize,
+    /// Tasks submitted to the pool.
+    pub queued: u64,
+    /// Tasks that finished executing (== queued once a batch drains).
+    pub executed: u64,
+    /// Tasks a thread took from a sibling's queue rather than its own.
+    pub stolen: u64,
+}
+
+impl ExecStats {
+    /// Counter difference `self - earlier`, keeping `workers`.
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            workers: self.workers,
+            queued: self.queued.saturating_sub(earlier.queued),
+            executed: self.executed.saturating_sub(earlier.executed),
+            stolen: self.stolen.saturating_sub(earlier.stolen),
+        }
+    }
+}
+
+/// Completion latch shared by every task of one batch.
+///
+/// Held via `Arc` by each queued job so that a worker finishing the
+/// final task can still touch the latch after the submitting caller
+/// has already observed completion and dropped its stack frame.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn done(&self) -> bool {
+        *self.remaining.lock().expect("latch poisoned") == 0
+    }
+
+    /// Sleep briefly unless the latch is already open. The short
+    /// timeout doubles as the helper-loop poll interval: a waiter that
+    /// wakes re-checks the queues for stealable work before sleeping
+    /// again, which is what makes nested `run` calls deadlock-free.
+    fn wait_brief(&self) {
+        let left = self.remaining.lock().expect("latch poisoned");
+        if *left != 0 {
+            let _ = self
+                .cv
+                .wait_timeout(left, Duration::from_micros(500))
+                .expect("latch poisoned");
+        }
+    }
+}
+
+/// Type-erased unit of work.
+///
+/// `data` is a pointer (as usize) to a monomorphized batch context on
+/// the submitting caller's stack; `call` knows the concrete type and
+/// runs task `index` against it, catching panics into the context's
+/// result slot. The caller cannot return before the latch opens, and
+/// the latch only opens after every job's last touch of the context,
+/// so the pointer never dangles.
+struct RawJob {
+    data: usize,
+    index: usize,
+    call: unsafe fn(usize, usize),
+    latch: Arc<Latch>,
+}
+
+// SAFETY: `data` points into a batch context whose closure is `Sync`
+// and whose result slots are written at disjoint indices; the fn
+// pointer and latch are trivially sendable.
+unsafe impl Send for RawJob {}
+
+/// Result slots for one batch, written at disjoint indices by workers.
+struct Slots<R>(Vec<UnsafeCell<Option<thread::Result<R>>>>);
+
+// SAFETY: each index is written by exactly one task and only read by
+// the submitting caller after the completion latch opens.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+struct BatchCtx<F, R> {
+    f: F,
+    slots: Slots<R>,
+}
+
+/// Monomorphized trampoline: run task `index` of the batch behind
+/// `data`, storing the (possibly panicked) outcome in its slot.
+unsafe fn run_one<F, R>(data: usize, index: usize)
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    let ctx = &*(data as *const BatchCtx<F, R>);
+    let out = catch_unwind(AssertUnwindSafe(|| (ctx.f)(index)));
+    *ctx.slots.0[index].get() = Some(out);
+}
+
+struct Shared {
+    /// Per-worker queues; a worker pops its own front, steals others'.
+    locals: Vec<Mutex<VecDeque<RawJob>>>,
+    /// Overflow / no-worker queue (also fed when `locals` is empty).
+    injector: Mutex<VecDeque<RawJob>>,
+    /// Jobs submitted but not yet taken by any thread.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Parking lot for idle workers.
+    gate: Mutex<()>,
+    gate_cv: Condvar,
+    queued: AtomicU64,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl Shared {
+    /// Grab one job: own queue first, then the injector, then steal.
+    fn find_job(&self, me: Option<usize>) -> Option<RawJob> {
+        if let Some(i) = me {
+            if let Some(job) = self.locals[i].lock().expect("queue poisoned").pop_front() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().expect("queue poisoned").pop_front() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        for (k, queue) in self.locals.iter().enumerate() {
+            if Some(k) == me {
+                continue;
+            }
+            // Steal from the back to reduce contention with the owner.
+            if let Some(job) = queue.lock().expect("queue poisoned").pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn execute(&self, job: RawJob) {
+        // SAFETY: the submitting caller keeps the batch context alive
+        // until this job's latch count-down, which happens last.
+        unsafe { (job.call)(job.data, job.index) };
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        job.latch.count_down();
+    }
+
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        loop {
+            if let Some(job) = self.find_job(Some(idx)) {
+                self.execute(job);
+                continue;
+            }
+            let guard = self.gate.lock().expect("gate poisoned");
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if self.pending.load(Ordering::Acquire) == 0 {
+                // Timeout backstop against lost wakeups.
+                let _ = self
+                    .gate_cv
+                    .wait_timeout(guard, Duration::from_millis(20))
+                    .expect("gate poisoned");
+            }
+        }
+    }
+}
+
+/// Bounded work-stealing thread pool. See the module docs for the
+/// design contract. Cheap to share: clone the surrounding `Arc`.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Create a pool with `workers` total parallelism (`0` = auto from
+    /// [`std::thread::available_parallelism`]). The submitting caller
+    /// participates, so `workers - 1` OS threads are spawned;
+    /// `new(1)` spawns none and runs every batch inline.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        let spawned = workers - 1;
+        let shared = Arc::new(Shared {
+            locals: (0..spawned).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            gate_cv: Condvar::new(),
+            queued: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        let handles = (0..spawned)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("dbaugur-exec-{idx}"))
+                    .spawn(move || shared.worker_loop(idx))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Process-wide shared pool sized to the available parallelism.
+    /// Components that are not handed an explicit executor fall back
+    /// to this one, so ad-hoc construction never multiplies threads.
+    pub fn global() -> Arc<Executor> {
+        static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(Executor::new(0))))
+    }
+
+    /// Total parallelism (worker threads + participating caller).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot of the instrumentation counters.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            workers: self.workers,
+            queued: self.shared.queued.load(Ordering::Relaxed),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Core batch primitive: run `f(0..n)` across the pool and return
+    /// the per-index outcomes in index order (never execution order).
+    fn run_batch<F, R>(&self, n: usize, f: F) -> Vec<thread::Result<R>>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.shared.queued.fetch_add(n as u64, Ordering::Relaxed);
+        if self.workers == 1 || n == 1 {
+            // Inline fast path: identical to the historical sequential
+            // code, no queue traffic, no cross-thread synchronization.
+            let out = (0..n)
+                .map(|i| {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+                    self.shared.executed.fetch_add(1, Ordering::Relaxed);
+                    r
+                })
+                .collect();
+            return out;
+        }
+
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || UnsafeCell::new(None));
+        let ctx = BatchCtx {
+            f,
+            slots: Slots(slots),
+        };
+        let latch = Latch::new(n);
+        let data = &ctx as *const BatchCtx<F, R> as usize;
+        let call = run_one::<F, R> as unsafe fn(usize, usize);
+
+        // Round-robin across worker queues (or the injector when the
+        // pool has no spawned threads) to spread initial placement.
+        self.shared.pending.fetch_add(n, Ordering::AcqRel);
+        let locals = self.shared.locals.len();
+        for index in 0..n {
+            let job = RawJob {
+                data,
+                index,
+                call,
+                latch: Arc::clone(&latch),
+            };
+            if locals == 0 {
+                self.shared
+                    .injector
+                    .lock()
+                    .expect("queue poisoned")
+                    .push_back(job);
+            } else {
+                self.shared.locals[index % locals]
+                    .lock()
+                    .expect("queue poisoned")
+                    .push_back(job);
+            }
+        }
+        {
+            let _guard = self.shared.gate.lock().expect("gate poisoned");
+            self.shared.gate_cv.notify_all();
+        }
+
+        // Caller helps until the batch completes: this both bounds the
+        // pool at `workers` total threads and makes nested `run` calls
+        // from inside tasks safe (the inner caller keeps draining
+        // queues instead of blocking a worker slot).
+        loop {
+            if latch.done() {
+                break;
+            }
+            if let Some(job) = self.shared.find_job(None) {
+                self.shared.execute(job);
+                continue;
+            }
+            latch.wait_brief();
+        }
+
+        ctx.slots
+            .0
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("batch slot unfilled"))
+            .collect()
+    }
+
+    /// Run `f(0..n)` in parallel and return results in index order.
+    /// If any task panicked, the first panic (by index) is resumed on
+    /// the caller after the whole batch has drained.
+    pub fn run<F, R>(&self, n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for res in self.run_batch(n, f) {
+            match res {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// Run `f(0..n)` in parallel, converting each task panic into a
+    /// per-task `Err(message)` instead of aborting the batch.
+    pub fn try_run<F, R>(&self, n: usize, f: F) -> Vec<Result<R, String>>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        self.run_batch(n, f)
+            .into_iter()
+            .map(|res| res.map_err(|p| panic_message(&p)))
+            .collect()
+    }
+
+    /// Consume `items`, applying `f(index, item)` in parallel.
+    pub fn map<T, F, R>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        F: Fn(usize, T) -> R + Sync,
+        R: Send,
+    {
+        let cells: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.run(cells.len(), |i| {
+            let item = cells[i]
+                .lock()
+                .expect("map cell poisoned")
+                .take()
+                .expect("map item taken twice");
+            f(i, item)
+        })
+    }
+
+    /// Consume `items`, applying `f(index, item)` in parallel; task
+    /// panics become per-item `Err(message)` (the item is lost).
+    pub fn try_map<T, F, R>(&self, items: Vec<T>, f: F) -> Vec<Result<R, String>>
+    where
+        T: Send,
+        F: Fn(usize, T) -> R + Sync,
+        R: Send,
+    {
+        let cells: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.try_run(cells.len(), |i| {
+            let item = cells[i]
+                .lock()
+                .expect("map cell poisoned")
+                .take()
+                .expect("map item taken twice");
+            f(i, item)
+        })
+    }
+
+    /// Apply `f(index, &mut item)` to each slice element in parallel.
+    pub fn map_mut<T, F, R>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+        R: Send,
+    {
+        let base = SyncPtr(items.as_mut_ptr());
+        self.run(items.len(), |i| {
+            // SAFETY: each index is visited exactly once, so the
+            // mutable borrows are disjoint; the slice outlives the run.
+            let item = unsafe { &mut *base.at(i) };
+            f(i, item)
+        })
+    }
+
+    /// Apply `f(index, &mut item)` in parallel; task panics become
+    /// per-item `Err(message)` while other items complete normally.
+    pub fn try_map_mut<T, F, R>(&self, items: &mut [T], f: F) -> Vec<Result<R, String>>
+    where
+        T: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+        R: Send,
+    {
+        let base = SyncPtr(items.as_mut_ptr());
+        self.try_run(items.len(), |i| {
+            // SAFETY: as in `map_mut` — disjoint per-index borrows.
+            let item = unsafe { &mut *base.at(i) };
+            f(i, item)
+        })
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.gate.lock().expect("gate poisoned");
+            self.shared.gate_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct SyncPtr<T>(*mut T);
+
+impl<T> SyncPtr<T> {
+    /// Pointer to element `i`. Going through a method (rather than the
+    /// raw field) makes closures capture the whole `Sync` wrapper
+    /// under edition-2021 disjoint capture rules.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+// SAFETY: only used to derive disjoint per-index references inside
+// executor batches; `T: Send` is enforced at every use site.
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+/// Extract a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_in_index_order_regardless_of_workers() {
+        for workers in [1, 2, 4, 8] {
+            let exec = Executor::new(workers);
+            let out = exec.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let exec = Executor::new(4);
+        let out: Vec<usize> = exec.run(0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(exec.stats().queued, 0);
+    }
+
+    #[test]
+    fn zero_workers_means_auto() {
+        let exec = Executor::new(0);
+        assert!(exec.workers() >= 1);
+        assert_eq!(exec.run(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_run_isolates_panics_per_task() {
+        let exec = Executor::new(4);
+        let out = exec.try_run(6, |i| {
+            if i % 2 == 1 {
+                panic!("task {i} failed");
+            }
+            i * 10
+        });
+        for (i, res) in out.iter().enumerate() {
+            if i % 2 == 1 {
+                let msg = res.as_ref().unwrap_err();
+                assert!(msg.contains("failed"), "got: {msg}");
+            } else {
+                assert_eq!(*res.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn run_propagates_first_panic_after_batch_drains() {
+        let exec = Executor::new(4);
+        let completed = AtomicU32::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.run(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        assert!(caught.is_err());
+        // Every non-panicking task still ran: no aborted scope.
+        assert_eq!(completed.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        let exec = Arc::new(Executor::new(2));
+        let inner = Arc::clone(&exec);
+        let out = exec.run(4, move |i| inner.run(4, |j| i * 10 + j).iter().sum::<usize>());
+        assert_eq!(out, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn counters_track_queued_and_executed() {
+        let exec = Executor::new(3);
+        let before = exec.stats();
+        exec.run(50, |i| i);
+        let delta = exec.stats().delta_since(&before);
+        assert_eq!(delta.workers, 3);
+        assert_eq!(delta.queued, 50);
+        assert_eq!(delta.executed, 50);
+    }
+
+    #[test]
+    fn map_moves_non_clone_items() {
+        struct NoClone(usize);
+        let exec = Executor::new(4);
+        let items: Vec<NoClone> = (0..20).map(NoClone).collect();
+        let out = exec.map(items, |i, item| {
+            assert_eq!(i, item.0);
+            item.0 * 2
+        });
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_mut_updates_in_place() {
+        let exec = Executor::new(4);
+        let mut items: Vec<u64> = (0..32).collect();
+        let out = exec.map_mut(&mut items, |_, v| {
+            *v += 100;
+            *v
+        });
+        assert_eq!(items, (100..132).collect::<Vec<u64>>());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn try_map_mut_reports_per_item_failures() {
+        let exec = Executor::new(2);
+        let mut items: Vec<u64> = (0..6).collect();
+        let out = exec.try_map_mut(&mut items, |i, v| {
+            if i == 2 {
+                panic!("bad item");
+            }
+            *v += 1;
+            *v
+        });
+        assert!(out[2].is_err());
+        assert_eq!(items[3], 4);
+        assert_eq!(*out[3].as_ref().unwrap(), 4);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = Executor::global();
+        let b = Executor::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.run(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn heavy_batch_with_uneven_tasks() {
+        let exec = Executor::new(4);
+        let out = exec.run(500, |i| {
+            // Uneven workloads exercise the stealing path.
+            let mut acc = 0u64;
+            for k in 0..(i % 17) * 100 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i as u64).wrapping_add(acc % 2)
+        });
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert!(*v == i as u64 || *v == i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn determinism_of_float_reduction_across_worker_counts() {
+        // The indexed-slot contract: result vectors (not just sets)
+        // are identical, so downstream sequential reductions are too.
+        let data: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 1e-3).collect();
+        let reduce = |workers: usize| -> f64 {
+            let exec = Executor::new(workers);
+            let parts = exec.run(data.len(), |i| data[i] * data[i] + data[i].cos());
+            parts.iter().fold(0.0, |a, b| a + b)
+        };
+        let seq = reduce(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(reduce(workers).to_bits(), seq.to_bits());
+        }
+    }
+}

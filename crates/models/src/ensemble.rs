@@ -34,56 +34,27 @@ use crate::mlp::MlpForecaster;
 use crate::seasonal::SeasonalNaive;
 use crate::tcn::TcnForecaster;
 use crate::wfgan::Wfgan;
+use dbaugur_exec::Executor;
 use dbaugur_trace::WindowSpec;
 use std::borrow::Cow;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-/// Render a caught panic payload as text for quarantine reports.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "unknown panic".to_string()
-    }
-}
-
-/// Fit every member, in parallel when there is more than one. Panics are
-/// caught per member; the returned vector holds the panic message for
-/// each member whose `fit` did not complete (`None` = fitted cleanly).
+/// Fit every member through the bounded executor ("the three models
+/// can be trained in parallel", Sec. III) instead of spawning one OS
+/// thread per member. Panics are caught per member; the returned
+/// vector holds the panic message for each member whose `fit` did not
+/// complete (`None` = fitted cleanly). Each member trains with its own
+/// pre-seeded RNG state, so results do not depend on the worker count.
 fn fit_members(
     members: &mut [Box<dyn Forecaster>],
     train: &[f64],
     spec: WindowSpec,
+    exec: &Executor,
 ) -> Vec<Option<String>> {
-    if members.len() <= 1 {
-        return members
-            .iter_mut()
-            .map(|m| {
-                catch_unwind(AssertUnwindSafe(|| m.fit(train, spec)))
-                    .err()
-                    .map(panic_message)
-            })
-            .collect();
-    }
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = members
-            .iter_mut()
-            .map(|m| {
-                s.spawn(move |_| {
-                    catch_unwind(AssertUnwindSafe(|| m.fit(train, spec)))
-                        .err()
-                        .map(panic_message)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|p| Some(panic_message(p))))
-            .collect()
-    })
-    .expect("ensemble fit scope panicked")
+    exec.try_map_mut(members, |_, m| m.fit(train, spec))
+        .into_iter()
+        .map(|outcome| outcome.err())
+        .collect()
 }
 
 /// A fixed-weight ensemble (the Fig. 7 baseline, and QB5000's mechanism).
@@ -91,6 +62,7 @@ pub struct FixedEnsemble {
     name: &'static str,
     members: Vec<Box<dyn Forecaster>>,
     weights: Vec<f64>,
+    exec: Arc<Executor>,
 }
 
 impl FixedEnsemble {
@@ -102,7 +74,7 @@ impl FixedEnsemble {
         assert!(!members.is_empty(), "ensemble needs at least one member");
         let w = 1.0 / members.len() as f64;
         let weights = vec![w; members.len()];
-        Self { name, members, weights }
+        Self { name, members, weights, exec: Executor::global() }
     }
 
     /// Explicit weights (normalized by the caller).
@@ -116,7 +88,13 @@ impl FixedEnsemble {
     ) -> Self {
         assert!(!members.is_empty(), "ensemble needs at least one member");
         assert_eq!(members.len(), weights.len(), "one weight per member");
-        Self { name, members, weights }
+        Self { name, members, weights, exec: Executor::global() }
+    }
+
+    /// Route member training through `exec` instead of the process-wide
+    /// shared pool.
+    pub fn set_executor(&mut self, exec: Arc<Executor>) {
+        self.exec = exec;
     }
 
     /// Member names (for reports).
@@ -134,7 +112,7 @@ impl Forecaster for FixedEnsemble {
         // Fixed-weight baselines keep fail-fast semantics: with static
         // weights there is no principled way to reassign a dead member's
         // share, so a member panic propagates (with a better message).
-        let outcomes = fit_members(&mut self.members, train, spec);
+        let outcomes = fit_members(&mut self.members, train, spec, &self.exec);
         for (m, outcome) in self.members.iter().zip(outcomes) {
             if let Some(msg) = outcome {
                 panic!("{} member {} panicked during fit: {msg}", self.name, m.name());
@@ -243,6 +221,8 @@ pub struct TimeSensitiveEnsemble {
     /// `spec.history` of the last fit; predict/observe windows are
     /// normalized to this length (0 until first fit = pass-through).
     history: usize,
+    /// Pool member training fans out through (shared, bounded).
+    exec: Arc<Executor>,
 }
 
 impl TimeSensitiveEnsemble {
@@ -278,7 +258,14 @@ impl TimeSensitiveEnsemble {
             // real seasonality (see `set_fallback`).
             fallback: Box::new(SeasonalNaive::new(1)),
             history: 0,
+            exec: Executor::global(),
         }
+    }
+
+    /// Route member training through `exec` instead of the process-wide
+    /// shared pool (the pipeline passes its own bounded pool down).
+    pub fn set_executor(&mut self, exec: Arc<Executor>) {
+        self.exec = exec;
     }
 
     /// Replace the all-members-down fallback floor (e.g. a
@@ -468,7 +455,7 @@ impl Forecaster for TimeSensitiveEnsemble {
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
         self.history = spec.history;
-        let outcomes = fit_members(&mut self.members, train, spec);
+        let outcomes = fit_members(&mut self.members, train, spec, &self.exec);
         self.fallback.fit(train, spec);
         self.gamma.iter_mut().for_each(|g| *g = 0.0);
         self.quarantined.iter_mut().for_each(|q| *q = false);
@@ -1079,7 +1066,7 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             e.fit(&TRAIN, SPEC);
         }));
-        let msg = panic_message(r.expect_err("fixed ensembles fail fast"));
+        let msg = dbaugur_exec::panic_message(&r.expect_err("fixed ensembles fail fast"));
         assert!(msg.contains("panicker"), "message: {msg}");
     }
 }

@@ -1,0 +1,136 @@
+//! Determinism contract of the bounded executor: `DbAugur::train` must
+//! produce bitwise-identical state whether it runs fully sequentially
+//! (`threads = 1`) or fanned out across any number of workers. The
+//! executor guarantees this by writing each task's result into an
+//! indexed slot, so scheduling order never reorders reductions, and by
+//! deriving every model seed from the cluster id rather than from
+//! execution order.
+
+use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur_trace::{Trace, TraceKind};
+
+const MINUTES: u64 = 180;
+
+fn config_with_threads(threads: usize) -> DbAugurConfig {
+    let mut cfg = DbAugurConfig {
+        interval_secs: 60,
+        history: 10,
+        horizon: 1,
+        top_k: 4,
+        threads,
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    cfg.fast();
+    cfg
+}
+
+/// A mixed workload: two lock-step query templates, one off-beat
+/// template, and two resource traces — enough structure for several
+/// clusters so the per-cluster training fan-out actually fans out.
+fn trained_system(threads: usize) -> DbAugur {
+    let mut sys = DbAugur::new(config_with_threads(threads));
+    for m in 0..MINUTES {
+        let lockstep = 3 + (m % 12);
+        for k in 0..lockstep {
+            sys.ingest_record(m * 60 + k, "SELECT a FROM t1 WHERE id = 1");
+            sys.ingest_record(m * 60 + k + 1, "SELECT b FROM t2 WHERE id = 2");
+        }
+        let other = 2 + (m % 7);
+        for k in 0..other {
+            sys.ingest_record(m * 60 + 30 + k, "UPDATE t3 SET x = 1 WHERE id = 3");
+        }
+    }
+    sys.add_resource_trace(Trace::new(
+        "cpu",
+        TraceKind::Resource,
+        60,
+        (0..MINUTES).map(|i| 0.3 + 0.1 * ((i % 12) as f64 / 12.0)).collect(),
+    ));
+    sys.add_resource_trace(Trace::new(
+        "disk",
+        TraceKind::Resource,
+        60,
+        (0..MINUTES).map(|i| 0.6 + 0.2 * ((i % 9) as f64 / 9.0)).collect(),
+    ));
+    sys.train(0, MINUTES * 60).expect("trains");
+    sys
+}
+
+/// Everything observable about trained state, floats captured as raw
+/// bits so "close enough" can never pass.
+#[derive(Debug, PartialEq, Eq)]
+struct StateFingerprint {
+    clusters: Vec<ClusterFingerprint>,
+    forecasts: Vec<(String, Option<u64>)>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct ClusterFingerprint {
+    cluster_id: usize,
+    members: Vec<usize>,
+    proportions: Vec<u64>,
+    volume: u64,
+    representative: Vec<u64>,
+    weights: Vec<u64>,
+}
+
+fn fingerprint(sys: &DbAugur) -> StateFingerprint {
+    let clusters = sys
+        .clusters()
+        .iter()
+        .map(|c| ClusterFingerprint {
+            cluster_id: c.summary.cluster_id,
+            members: c.summary.members.clone(),
+            proportions: c.summary.proportions.iter().map(|p| p.to_bits()).collect(),
+            volume: c.summary.volume.to_bits(),
+            representative: c.summary.representative.values().iter().map(|v| v.to_bits()).collect(),
+            weights: c.weights().iter().map(|w| w.to_bits()).collect(),
+        })
+        .collect();
+    let forecasts = [
+        "SELECT a FROM t1 WHERE id = 9",
+        "SELECT b FROM t2 WHERE id = 9",
+        "UPDATE t3 SET x = 9 WHERE id = 9",
+    ]
+    .iter()
+    .map(|sql| (sql.to_string(), sys.forecast_template(sql).map(f64::to_bits)))
+    .chain(
+        ["cpu", "disk"]
+            .iter()
+            .map(|name| (name.to_string(), sys.forecast_trace(name).map(f64::to_bits))),
+    )
+    .collect();
+    StateFingerprint { clusters, forecasts }
+}
+
+#[test]
+fn parallel_training_is_bitwise_identical_to_sequential() {
+    let sequential = trained_system(1);
+    let baseline = fingerprint(&sequential);
+    assert!(!baseline.clusters.is_empty(), "workload should produce clusters");
+    assert!(
+        baseline.forecasts.iter().any(|(_, f)| f.is_some()),
+        "at least one forecast should resolve"
+    );
+    for workers in [2, 8] {
+        let parallel = trained_system(workers);
+        assert_eq!(
+            fingerprint(&parallel),
+            baseline,
+            "{workers}-worker training diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn executor_counters_are_reported_per_train() {
+    let sys = trained_system(2);
+    let report = sys.last_train_report().expect("train recorded a report");
+    assert_eq!(report.exec.workers, 2);
+    assert!(report.exec.queued > 0, "clustering + training should queue tasks");
+    assert_eq!(
+        report.exec.queued, report.exec.executed,
+        "every queued task must be accounted for"
+    );
+}
