@@ -1,0 +1,146 @@
+//! `BENCH_4.json` — the serving layer under overload: admitted/shed
+//! rates, forecast latency percentiles, memory high water, and health
+//! posture across a sweep of burst intensities. The soak runs in
+//! virtual time, so every scenario is deterministic from its seed and
+//! finishes in milliseconds of wall clock regardless of scale.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench4`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`).
+//! Output: `BENCH_4.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`.
+
+use dbaugur_bench::datasets::Scale;
+use dbaugur_serve::{run_soak, SoakConfig, SoakReport};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One overload scenario's measurements, ready for JSON.
+struct Row {
+    burst_mult: usize,
+    report: SoakReport,
+    wall_secs: f64,
+}
+
+fn scenario(ticks: usize, burst_mult: usize) -> SoakConfig {
+    SoakConfig {
+        ticks,
+        burst_mult,
+        // burst_mult 1 means "no flood": disable bursts entirely so the
+        // baseline row measures the uncontended serving path.
+        burst_every: if burst_mult <= 1 { 0 } else { 40 },
+        ..SoakConfig::default()
+    }
+}
+
+fn row_json(r: &Row) -> String {
+    let s = &r.report.stats;
+    let admit_rate = if s.offered_forecasts > 0 {
+        s.admitted_forecasts as f64 / s.offered_forecasts as f64
+    } else {
+        1.0
+    };
+    let shed_rate = if s.offered_ingest + s.offered_forecasts > 0 {
+        s.shed_total() as f64 / (s.offered_ingest + s.offered_forecasts) as f64
+    } else {
+        0.0
+    };
+    let mut j = String::new();
+    let _ = writeln!(j, "    {{");
+    let _ = writeln!(j, "      \"burst_mult\": {},", r.burst_mult);
+    let _ = writeln!(j, "      \"offered_forecasts\": {},", s.offered_forecasts);
+    let _ = writeln!(j, "      \"admitted_forecasts\": {},", s.admitted_forecasts);
+    let _ = writeln!(j, "      \"completed_fresh\": {},", s.completed_fresh);
+    let _ = writeln!(j, "      \"completed_degraded\": {},", s.completed_degraded);
+    let _ = writeln!(j, "      \"offered_ingest\": {},", s.offered_ingest);
+    let _ = writeln!(j, "      \"admitted_ingest\": {},", s.admitted_ingest);
+    let _ = writeln!(j, "      \"shed_total\": {},", s.shed_total());
+    let _ = writeln!(j, "      \"forecast_admit_rate\": {admit_rate:.4},");
+    let _ = writeln!(j, "      \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(j, "      \"forecast_p50_ms\": {:.3},", r.report.latency_p50_ms);
+    let _ = writeln!(j, "      \"forecast_p99_ms\": {:.3},", r.report.latency_p99_ms);
+    let _ = writeln!(j, "      \"memory_high_water_bytes\": {},", r.report.memory_high_water);
+    let _ = writeln!(j, "      \"eviction_passes\": {},", s.eviction_passes);
+    let _ = writeln!(j, "      \"eviction_bytes\": {},", s.eviction_bytes);
+    let _ = writeln!(
+        j,
+        "      \"health_ticks\": {{\"healthy\": {}, \"shedding\": {}, \"saturated\": {}}},",
+        r.report.health_ticks.0, r.report.health_ticks.1, r.report.health_ticks.2
+    );
+    let _ = writeln!(j, "      \"recovered\": {},", r.report.recovered());
+    let _ = writeln!(j, "      \"virtual_ms\": {},", r.report.virtual_ms);
+    let _ = writeln!(j, "      \"wall_secs\": {:.6}", r.wall_secs);
+    let _ = write!(j, "    }}");
+    j
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ticks = match scale.name {
+        "quick" => 200,
+        "full" => 2000,
+        _ => 400,
+    };
+    eprintln!("bench4: scale={} ticks={ticks}", scale.name);
+
+    let sweep = [1usize, 5, 10, 20];
+    let rows: Vec<Row> = sweep
+        .iter()
+        .map(|&burst_mult| {
+            let cfg = scenario(ticks, burst_mult);
+            let start = Instant::now();
+            let report = run_soak(&cfg);
+            let wall_secs = start.elapsed().as_secs_f64();
+            eprintln!(
+                "  burst x{burst_mult}: shed {} / {} offered, p99 {:.1} ms, high water {} B, {:.1} ms wall",
+                report.stats.shed_total(),
+                report.stats.offered_forecasts + report.stats.offered_ingest,
+                report.latency_p99_ms,
+                report.memory_high_water,
+                wall_secs * 1e3
+            );
+            Row { burst_mult, report, wall_secs }
+        })
+        .collect();
+
+    let base = &rows[0].report;
+    let flood = &rows.iter().find(|r| r.burst_mult == 10).expect("10x row").report;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_4\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"ticks\": {ticks},");
+    let _ = writeln!(json, "  \"seed\": {},", SoakConfig::default().seed);
+    let _ = writeln!(json, "  \"scenarios\": [");
+    let _ = writeln!(
+        json,
+        "{}",
+        rows.iter().map(row_json).collect::<Vec<_>>().join(",\n")
+    );
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "    \"baseline_p99_ms\": {:.3},",
+        base.latency_p99_ms
+    );
+    let _ = writeln!(json, "    \"flood_p99_ms\": {:.3},", flood.latency_p99_ms);
+    let _ = writeln!(
+        json,
+        "    \"flood_memory_bounded\": {},",
+        flood.memory_high_water_within(&scenario(ticks, 10))
+    );
+    let _ = writeln!(json, "    \"flood_recovered\": {}", flood.recovered());
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_4.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

@@ -9,6 +9,7 @@ use dbaugur_models::{
     Arima, Forecaster, GruForecaster, KernelRegression, LinearRegression, LstmForecaster,
     MlpForecaster, Qb5000, TcnForecaster, TimeSensitiveEnsemble, Wfgan,
 };
+use dbaugur_serve::{run_soak, SoakConfig};
 use dbaugur_sqlproc::TemplateRegistry;
 use dbaugur_trace::{io as trace_io, synth, TraceKind, WindowSpec};
 use std::error::Error;
@@ -305,6 +306,84 @@ pub fn recover(args: &Args) -> CmdResult {
     );
     print_health(&sys);
     Ok(())
+}
+
+/// `soak` — run a seeded overload scenario against the serving
+/// governor in virtual time and report how it held up. Exits non-zero
+/// when the pass criteria (books reconcile, memory bounded, recovery
+/// after the burst) do not hold, so it can gate CI.
+pub fn soak(args: &Args) -> CmdResult {
+    args.check_flags(&[
+        "seed", "ticks", "base", "burst-every", "burst-mult", "forecasts", "budget", "deadline",
+    ])?;
+    let mut cfg = SoakConfig {
+        seed: args.flag_num("seed", SoakConfig::default().seed)?,
+        ticks: args.flag_num("ticks", 400)?,
+        base_ingest_per_tick: args.flag_num("base", 20)?,
+        burst_every: args.flag_num("burst-every", 40)?,
+        burst_mult: args.flag_num("burst-mult", 10)?,
+        forecasts_per_tick: args.flag_num("forecasts", 4)?,
+        ..SoakConfig::default()
+    };
+    cfg.serve.memory_budget_bytes =
+        args.flag_num("budget", cfg.serve.memory_budget_bytes)?;
+    cfg.serve.forecast_deadline_ms =
+        args.flag_num("deadline", cfg.serve.forecast_deadline_ms)?;
+
+    let rep = run_soak(&cfg);
+    let s = &rep.stats;
+    println!(
+        "soak: seed {:#x}, {} ticks ({} virtual ms), burst x{} every {} ticks",
+        cfg.seed, cfg.ticks, rep.virtual_ms, cfg.burst_mult, cfg.burst_every
+    );
+    println!(
+        "forecasts: {} offered / {} admitted / {} shed (queue {} + rate {}), {} fresh + {} degraded",
+        s.offered_forecasts,
+        s.admitted_forecasts,
+        s.shed_forecast_queue_full + s.shed_forecast_rate_limited,
+        s.shed_forecast_queue_full,
+        s.shed_forecast_rate_limited,
+        s.completed_fresh,
+        s.completed_degraded
+    );
+    println!(
+        "ingest:    {} offered / {} admitted / {} shed (queue {} + rate {}), {} applied",
+        s.offered_ingest,
+        s.admitted_ingest,
+        s.shed_ingest_queue_full + s.shed_ingest_rate_limited,
+        s.shed_ingest_queue_full,
+        s.shed_ingest_rate_limited,
+        s.ingested
+    );
+    println!(
+        "latency:   forecast p50 {:.1} ms, p99 {:.1} ms (deadline {} ms)",
+        rep.latency_p50_ms, rep.latency_p99_ms, cfg.serve.forecast_deadline_ms
+    );
+    println!(
+        "memory:    high water {} bytes vs budget {} ({} eviction passes, {} bytes freed)",
+        rep.memory_high_water, cfg.serve.memory_budget_bytes, s.eviction_passes, s.eviction_bytes
+    );
+    println!(
+        "health:    {} healthy / {} shedding / {} saturated ticks; tail: {} fresh, {} degraded, {} shed",
+        rep.health_ticks.0,
+        rep.health_ticks.1,
+        rep.health_ticks.2,
+        rep.tail_fresh,
+        rep.tail_degraded,
+        rep.tail_shed
+    );
+    if rep.passed(&cfg) {
+        println!("soak: PASS (books reconcile, memory bounded, recovered after burst)");
+        Ok(())
+    } else {
+        Err(format!(
+            "soak: FAIL (reconciled={}, memory_bounded={}, recovered={})",
+            rep.reconciled,
+            rep.memory_high_water_within(&cfg),
+            rep.recovered()
+        )
+        .into())
+    }
 }
 
 /// `synth <kind>` — print a synthetic trace as single-metric CSV.

@@ -9,6 +9,7 @@
 //! dbaugur synth <bustracker|alibaba> [--days N] emit a synthetic trace CSV
 //! dbaugur checkpoint <dir> [--log FILE]         durable ingest + snapshot generation
 //! dbaugur recover <dir>                         restore snapshot + replay WAL
+//! dbaugur soak [--ticks N] [--seed S]           chaos/soak the serving governor
 //! ```
 //!
 //! Logs use the `<epoch_secs>\t<sql>` format; trace CSVs use the formats
@@ -33,6 +34,11 @@ commands:
              WAL-first ingest, optional (re)train, write snapshot generation
   recover <state-dir> [pipeline flags]
              restore newest good snapshot, replay WAL, report drift health
+  soak [--ticks N] [--seed S] [--base R] [--burst-every T] [--burst-mult M]
+       [--forecasts F] [--budget BYTES] [--deadline MS]
+             run a seeded overload scenario against the serving governor
+             (admission, deadlines, shedding, eviction) in virtual time;
+             exits non-zero if the soak's pass criteria fail
 
 pipeline flags (must match between checkpoint and recover):
   [--interval S] [--history T] [--horizon H] [--topk K] [--epochs E]
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         "synth" => commands::synth(&args),
         "checkpoint" => commands::checkpoint(&args),
         "recover" => commands::recover(&args),
+        "soak" => commands::soak(&args),
         other => Err(format!("unknown command {other:?}").into()),
     };
     match result {

@@ -228,6 +228,35 @@ fn recover_on_empty_directory_starts_empty() {
 }
 
 #[test]
+fn soak_reports_and_passes_under_default_flood() {
+    let out = bin().args(["soak", "--ticks", "200"]).output().expect("runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("soak: PASS"), "got: {s}");
+    assert!(s.contains("offered"), "got: {s}");
+    assert!(s.contains("high water"), "got: {s}");
+    assert!(s.contains("p99"), "got: {s}");
+}
+
+#[test]
+fn soak_is_deterministic_across_runs() {
+    let run = || {
+        let out =
+            bin().args(["soak", "--ticks", "150", "--seed", "9"]).output().expect("runs");
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    assert_eq!(run(), run(), "same seed, same report");
+}
+
+#[test]
+fn soak_rejects_unknown_flags() {
+    let out = bin().args(["soak", "--bogus", "1"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag"), "got: {}", stderr(&out));
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = bin().args(["templates", "/nonexistent/nowhere.log"]).output().expect("runs");
     assert!(!out.status.success());

@@ -21,8 +21,21 @@
 use std::sync::Arc;
 
 use dbaugur_dtw::{Distance, DtwScratch};
-use dbaugur_exec::Executor;
+use dbaugur_exec::{Deadline, DeadlineExceeded, Executor, TaskError};
 use dbaugur_trace::Trace;
+
+/// Unwrap a deadline-governed batch: expiry anywhere aborts the
+/// clustering (the caller degrades), panics propagate as panics.
+fn collect_or_expire<R>(results: Vec<Result<R, TaskError>>) -> Result<Vec<R>, DeadlineExceeded> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => Ok(v),
+            Err(TaskError::Expired) => Err(DeadlineExceeded),
+            Err(TaskError::Panicked(msg)) => panic!("clustering task panicked: {msg}"),
+        })
+        .collect()
+}
 
 /// Parameters of the density clustering.
 #[derive(Debug, Clone, Copy)]
@@ -111,20 +124,28 @@ impl<D: Distance> Descender<D> {
     }
 
     /// Exact ρ-neighbourhood adjacency lists (every point neighbours
-    /// itself). Built in two executor passes — see the module docs.
-    fn neighborhoods(&self, points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    /// itself). Built in two deadline-governed executor passes — see
+    /// the module docs. Expiry mid-matrix aborts with
+    /// [`DeadlineExceeded`]: a partial adjacency would silently change
+    /// which clusters exist, so the caller degrades explicitly instead.
+    fn neighborhoods(
+        &self,
+        points: &[Vec<f64>],
+        deadline: &Deadline,
+    ) -> Result<Vec<Vec<usize>>, DeadlineExceeded> {
         let n = points.len();
         let rho = self.params.rho;
         let metric = &self.metric;
 
         // Phase 1: LB prefilter. Row i scans j > i with the cheap
         // lower bound only; pruned pairs never reach a DTW worker.
-        let candidate_rows: Vec<Vec<usize>> = self.exec.run(n, |i| {
-            let a = &points[i];
-            ((i + 1)..n)
-                .filter(|&j| metric.lower_bound(a, &points[j]) <= rho)
-                .collect()
-        });
+        let candidate_rows: Vec<Vec<usize>> =
+            collect_or_expire(self.exec.try_run_deadline(n, deadline, |i| {
+                let a = &points[i];
+                ((i + 1)..n)
+                    .filter(|&j| metric.lower_bound(a, &points[j]) <= rho)
+                    .collect()
+            }))?;
         let pairs: Vec<(usize, usize)> = candidate_rows
             .iter()
             .enumerate()
@@ -138,19 +159,20 @@ impl<D: Distance> Descender<D> {
             .div_ceil((self.exec.workers() * 4).max(1))
             .max(1);
         let num_chunks = pairs.len().div_ceil(chunk);
-        let verified: Vec<Vec<(usize, usize)>> = self.exec.run(num_chunks, |c| {
-            let mut scratch = DtwScratch::new();
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(pairs.len());
-            pairs[lo..hi]
-                .iter()
-                .copied()
-                .filter(|&(i, j)| {
-                    metric.dist_with_cutoff_scratch(&points[i], &points[j], rho, &mut scratch)
-                        <= rho
-                })
-                .collect()
-        });
+        let verified: Vec<Vec<(usize, usize)>> =
+            collect_or_expire(self.exec.try_run_deadline(num_chunks, deadline, |c| {
+                let mut scratch = DtwScratch::new();
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(pairs.len());
+                pairs[lo..hi]
+                    .iter()
+                    .copied()
+                    .filter(|&(i, j)| {
+                        metric.dist_with_cutoff_scratch(&points[i], &points[j], rho, &mut scratch)
+                            <= rho
+                    })
+                    .collect()
+            }))?;
 
         let mut neighbors: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
         for (i, j) in verified.into_iter().flatten() {
@@ -160,7 +182,7 @@ impl<D: Distance> Descender<D> {
         for list in &mut neighbors {
             list.sort_unstable();
         }
-        neighbors
+        Ok(neighbors)
     }
 
     /// Cluster `traces`, returning per-trace assignments.
@@ -169,6 +191,21 @@ impl<D: Distance> Descender<D> {
     /// the first cluster that reaches them; everything else is an
     /// outlier.
     pub fn cluster(self, traces: &[Trace]) -> Clustering {
+        self.try_cluster(traces, &Deadline::none())
+            .expect("an untimed deadline cannot expire")
+    }
+
+    /// Deadline-governed clustering: identical output to [`cluster`]
+    /// when the deadline holds, `Err(DeadlineExceeded)` if it expires
+    /// mid-matrix (never a partial clustering).
+    ///
+    /// [`cluster`]: Descender::cluster
+    pub fn try_cluster(
+        self,
+        traces: &[Trace],
+        deadline: &Deadline,
+    ) -> Result<Clustering, DeadlineExceeded> {
+        deadline.check()?;
         let points: Vec<Vec<f64>> = traces
             .iter()
             .map(|t| {
@@ -180,7 +217,7 @@ impl<D: Distance> Descender<D> {
             })
             .collect();
         let n = points.len();
-        let neighbors = self.neighborhoods(&points);
+        let neighbors = self.neighborhoods(&points, deadline)?;
         let mut assignments: Vec<Option<usize>> = vec![None; n];
         let mut visited = vec![false; n];
         let mut num_clusters = 0;
@@ -214,7 +251,7 @@ impl<D: Distance> Descender<D> {
                 }
             }
         }
-        Clustering { assignments, num_clusters }
+        Ok(Clustering { assignments, num_clusters })
     }
 }
 
@@ -455,6 +492,27 @@ mod tests {
         )
         .cluster(&traces);
         assert_eq!(c.assignments.len(), 3);
+    }
+
+    #[test]
+    fn try_cluster_with_live_deadline_matches_cluster() {
+        let traces = mixed_workload(6, 40);
+        let params = DescenderParams { rho: 2.5, min_size: 3, normalize: true };
+        let want = Descender::new(params, DtwDistance::new(5)).cluster(&traces);
+        let got = Descender::new(params, DtwDistance::new(5))
+            .try_cluster(&traces, &Deadline::none())
+            .expect("untimed deadline");
+        assert_eq!(got.assignments, want.assignments);
+    }
+
+    #[test]
+    fn try_cluster_expired_deadline_degrades_not_partial() {
+        let traces = mixed_workload(6, 40);
+        let params = DescenderParams { rho: 2.5, min_size: 3, normalize: true };
+        let dl = Deadline::none();
+        dl.cancel();
+        let got = Descender::new(params, DtwDistance::new(5)).try_cluster(&traces, &dl);
+        assert_eq!(got.unwrap_err(), DeadlineExceeded);
     }
 
     #[test]

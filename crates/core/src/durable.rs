@@ -49,17 +49,23 @@ impl DurableDbAugur {
 
     /// Durably ingest a whole query-log text; damaged lines are counted
     /// and skipped exactly as by [`DbAugur::ingest_log_report`], but
-    /// every accepted record hits the WAL first.
+    /// every accepted record hits the WAL first. Records stream from
+    /// the text straight to the log — no intermediate record vector. An
+    /// I/O error aborts mid-log; records already appended stay durable.
     pub fn ingest_log_text(&mut self, text: &str) -> io::Result<crate::IngestReport> {
-        let parsed = dbaugur_sqlproc::parse_log_report(text);
-        for rec in &parsed.records {
-            self.ingest_record(rec.ts_secs, &rec.sql)?;
-        }
-        self.sys.skipped_log_lines += parsed.skipped;
+        let wal = &mut self.wal;
+        let sys = &mut self.sys;
+        let stats = dbaugur_sqlproc::try_parse_log_stream(text, |ts_secs, sql| {
+            let seq = wal.append_record(ts_secs, sql)?;
+            sys.ingest_record(ts_secs, sql);
+            sys.applied_seq = seq;
+            Ok::<(), io::Error>(())
+        })?;
+        self.sys.skipped_log_lines += stats.skipped;
         Ok(crate::IngestReport {
-            ingested: parsed.records.len(),
-            skipped: parsed.skipped,
-            first_skipped_offset: parsed.first_skipped_offset,
+            ingested: stats.records,
+            skipped: stats.skipped,
+            first_skipped_offset: stats.first_skipped_offset,
         })
     }
 
@@ -80,6 +86,27 @@ impl DurableDbAugur {
         let gen = self.sys.checkpoint(&self.dir)?;
         self.wal.truncate()?;
         Ok(gen)
+    }
+
+    /// Deadline-governed checkpoint. Checkpointing is maintenance — the
+    /// WAL already makes every acknowledged record durable — so under
+    /// pressure it defers instead of blocking the serving path:
+    ///
+    /// * expired before starting → `Ok(None)`, nothing written;
+    /// * expired after the snapshot rename → the (durable) snapshot is
+    ///   kept but the log truncate is skipped; the next checkpoint or a
+    ///   recovery replay reconciles, since replay is sequence-gated and
+    ///   idempotent.
+    pub fn try_checkpoint(&mut self, deadline: &dbaugur_exec::Deadline) -> io::Result<Option<u64>> {
+        if deadline.expired() {
+            return Ok(None);
+        }
+        let gen = self.sys.checkpoint(&self.dir)?;
+        if deadline.expired() {
+            return Ok(Some(gen));
+        }
+        self.wal.truncate()?;
+        Ok(Some(gen))
     }
 
     /// The wrapped pipeline (forecasting, training, reports).

@@ -26,14 +26,16 @@
 
 use crate::config::DbAugurConfig;
 use crate::drift::{DriftMonitor, DriftState};
-use dbaugur_cluster::{select_top_k_dba_exec, select_top_k_exec, ClusterSummary, Descender};
+use dbaugur_cluster::{
+    select_top_k_dba_exec, select_top_k_exec, ClusterSummary, Clustering, Descender,
+};
 use dbaugur_dtw::DtwDistance;
-use dbaugur_exec::{ExecStats, Executor};
+use dbaugur_exec::{Deadline, ExecStats, Executor, TaskError};
 use dbaugur_models::{
     Forecaster, MemberState, MlpForecaster, SeasonalNaive, TcnForecaster, TimeSensitiveEnsemble,
     Wfgan, WfganConfig,
 };
-use dbaugur_sqlproc::{parse_log_report, TemplateRegistry};
+use dbaugur_sqlproc::{parse_log_stream, TemplateRegistry};
 use dbaugur_trace::{fill_gaps, Trace, WindowSpec};
 use parking_lot::RwLock;
 use std::fmt;
@@ -143,8 +145,13 @@ pub struct ClusterTrainReport {
     /// Cumulative damaged log lines skipped during ingestion.
     pub skipped_log_lines: usize,
     /// Executor counters for this run (tasks queued / executed /
-    /// stolen across clustering, top-K selection and training).
+    /// stolen / deadline-skipped across clustering, top-K selection
+    /// and training).
     pub exec: ExecStats,
+    /// True when the run's [`Deadline`] expired somewhere along the
+    /// way — the report then describes a degraded (volume-only
+    /// clustering and/or floor-demoted) training, not a full one.
+    pub deadline_expired: bool,
 }
 
 impl ClusterTrainReport {
@@ -352,16 +359,19 @@ impl DbAugur {
 
     /// Ingest a log text, reporting how many lines were damaged. The
     /// skipped count also accumulates into the next training report.
+    /// Records stream straight into the registry — no intermediate
+    /// record vector, so ingest memory is bounded by the registry, not
+    /// the log text.
     pub fn ingest_log_report(&mut self, text: &str) -> IngestReport {
-        let parsed = parse_log_report(text);
-        for rec in &parsed.records {
-            self.registry.observe(&rec.sql, rec.ts_secs);
-        }
-        self.skipped_log_lines += parsed.skipped;
+        let registry = &mut self.registry;
+        let stats = parse_log_stream(text, |ts_secs, sql| {
+            registry.observe(sql, ts_secs);
+        });
+        self.skipped_log_lines += stats.skipped;
         IngestReport {
-            ingested: parsed.records.len(),
-            skipped: parsed.skipped,
-            first_skipped_offset: parsed.first_skipped_offset,
+            ingested: stats.records,
+            skipped: stats.skipped,
+            first_skipped_offset: stats.first_skipped_offset,
         }
     }
 
@@ -391,6 +401,38 @@ impl DbAugur {
         self.registry.num_templates()
     }
 
+    /// Cap each template's in-memory observation history; overflow is
+    /// dropped oldest-first and counted, never silently lost.
+    pub fn set_observation_cap(&mut self, cap: usize) {
+        self.registry.set_observation_cap(cap);
+    }
+
+    /// Approximate bytes the template registry holds resident.
+    pub fn registry_bytes(&self) -> usize {
+        self.registry.approx_bytes()
+    }
+
+    /// Observations dropped by the per-template cap (cumulative).
+    pub fn dropped_observations(&self) -> u64 {
+        self.registry.dropped_observations()
+    }
+
+    /// Evict cold template histories until the registry's approximate
+    /// footprint fits `target_bytes`. The report carries a spill blob
+    /// for persisting the evicted state; template ids stay stable.
+    pub fn evict_cold_templates(&mut self, target_bytes: usize) -> dbaugur_sqlproc::EvictionReport {
+        self.registry.evict_cold(target_bytes)
+    }
+
+    /// Restore template histories from a spill blob produced by
+    /// [`Self::evict_cold_templates`].
+    pub fn restore_template_spill(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<usize, dbaugur_trace::wire::WireError> {
+        self.registry.restore_spill(bytes)
+    }
+
     /// Resource-utilization traces registered so far.
     pub fn resources(&self) -> &[Trace] {
         &self.resources
@@ -404,6 +446,31 @@ impl DbAugur {
     /// returned [`ClusterTrainReport`] says what was repaired, dropped,
     /// and degraded along the way.
     pub fn train(&mut self, start_secs: u64, end_secs: u64) -> Result<ClusterTrainReport, TrainError> {
+        self.train_governed(start_secs, end_secs, &Deadline::none())
+    }
+
+    /// Deadline-governed training. Identical to [`Self::train`] while
+    /// the deadline holds; once it expires the run degrades instead of
+    /// blocking:
+    ///
+    /// * an expiry during the DTW distance matrix falls back to
+    ///   **volume-only clustering** (every trace a singleton, top-K by
+    ///   volume) — O(n) and deadline-free;
+    /// * a cluster whose training task never started is demoted to a
+    ///   fitted seasonal-naive floor ([`ClusterStatus::Failed`], so the
+    ///   drift report recommends a retrain);
+    /// * ensemble members skipped mid-fit are quarantined by
+    ///   [`TimeSensitiveEnsemble::fit_governed`], degrading that
+    ///   cluster to the members that did train.
+    ///
+    /// The returned report carries `deadline_expired` so callers can
+    /// mark the resulting forecasts as degraded.
+    pub fn train_governed(
+        &mut self,
+        start_secs: u64,
+        end_secs: u64,
+        deadline: &Deadline,
+    ) -> Result<ClusterTrainReport, TrainError> {
         self.cfg.validate().map_err(TrainError::InvalidConfig)?;
         let mut traces: Vec<Trace> = Vec::new();
         if self.registry.num_templates() > 0 {
@@ -450,9 +517,16 @@ impl DbAugur {
         self.trace_names = traces.iter().map(|t| t.name.clone()).collect();
 
         let exec_before = self.exec.stats();
+        // Deadline expiry mid-matrix degrades to volume-only singleton
+        // clustering: no DTW, each trace its own cluster, top-K picked
+        // purely by volume. Worse grouping, but bounded time.
         let clustering = Descender::new(self.cfg.clustering, DtwDistance::new(self.cfg.dtw_window))
             .with_executor(Arc::clone(&self.exec))
-            .cluster(&traces);
+            .try_cluster(&traces, deadline)
+            .unwrap_or_else(|_| Clustering {
+                assignments: (0..traces.len()).map(Some).collect(),
+                num_clusters: traces.len(),
+            });
         let summaries = if self.cfg.use_dba_representative {
             select_top_k_dba_exec(
                 &traces,
@@ -478,12 +552,30 @@ impl DbAugur {
         let backups = summaries.clone();
         let outcomes: Vec<(ClusterSummary, TimeSensitiveEnsemble, Option<String>)> = self
             .exec
-            .try_map(summaries, |_, s| train_cluster(&cfg, s, spec, &exec))
+            .try_map_deadline(summaries, deadline, |_, s| {
+                train_cluster(&cfg, s, spec, &exec, deadline)
+            })
             .into_iter()
             .zip(backups)
             .map(|(outcome, backup)| match outcome {
                 Ok(triple) => triple,
-                Err(msg) => {
+                Err(TaskError::Expired) => {
+                    // The task never started: demote to a *fitted*
+                    // seasonal-naive floor so the cluster still serves
+                    // (bounded-quality) forecasts instead of nothing.
+                    let mut floor = TimeSensitiveEnsemble::new(
+                        "DBAugur-floor",
+                        vec![Box::new(SeasonalNaive::new(fallback_season(&cfg)))
+                            as Box<dyn Forecaster>],
+                        cfg.delta,
+                    );
+                    floor.fit(backup.representative.values(), spec);
+                    let detail =
+                        "deadline expired before cluster training; serving seasonal-naive floor"
+                            .to_string();
+                    (backup, floor, Some(detail))
+                }
+                Err(TaskError::Panicked(msg)) => {
                     let mut floor = TimeSensitiveEnsemble::new(
                         "DBAugur-floor",
                         vec![Box::new(SeasonalNaive::new(fallback_season(&cfg)))
@@ -491,7 +583,7 @@ impl DbAugur {
                         cfg.delta,
                     );
                     floor.quarantine_member(0, format!("training panicked: {msg}"));
-                    (backup, floor, Some(msg))
+                    (backup, floor, Some(format!("training panicked: {msg}")))
                 }
             })
             .collect();
@@ -522,6 +614,7 @@ impl DbAugur {
             dropped_traces,
             skipped_log_lines: self.skipped_log_lines,
             exec: self.exec.stats().delta_since(&exec_before),
+            deadline_expired: deadline.expired(),
         };
         self.last_report = Some(report.clone());
         Ok(report)
@@ -622,21 +715,23 @@ pub(crate) fn make_ensemble(cfg: &DbAugurConfig) -> TimeSensitiveEnsemble {
     ensemble
 }
 
-/// Fit one cluster's ensemble behind a panic boundary. On panic the
-/// cluster is demoted to a single-member seasonal-naive floor so it still
-/// serves (bounded-quality) forecasts.
+/// Fit one cluster's ensemble behind a panic boundary, under the run's
+/// deadline (members skipped at expiry are quarantined inside the
+/// ensemble). On panic the cluster is demoted to a single-member
+/// seasonal-naive floor so it still serves (bounded-quality) forecasts.
 fn train_cluster(
     cfg: &DbAugurConfig,
     summary: ClusterSummary,
     spec: WindowSpec,
     exec: &Arc<Executor>,
+    deadline: &Deadline,
 ) -> (ClusterSummary, TimeSensitiveEnsemble, Option<String>) {
     let rep = summary.representative.values().to_vec();
     let fitted = catch_unwind(AssertUnwindSafe(|| {
         let mut ensemble = make_ensemble(cfg);
         // Per-member fitting fans out through the same bounded pool.
         ensemble.set_executor(Arc::clone(exec));
-        ensemble.fit(&rep, spec);
+        ensemble.fit_governed(&rep, spec, deadline);
         ensemble
     }));
     match fitted {
@@ -649,18 +744,20 @@ fn train_cluster(
                 cfg.delta,
             );
             floor.fit(&rep, spec);
-            (summary, floor, Some(msg))
+            (summary, floor, Some(format!("training panicked: {msg}")))
         }
     }
 }
 
-/// Derive the report status from the panic outcome and ensemble state.
+/// Derive the report status from the failure outcome and ensemble
+/// state. `failure` is a pre-formatted message (panic or deadline
+/// demotion) that forces [`ClusterStatus::Failed`].
 fn classify(
     ensemble: &TimeSensitiveEnsemble,
-    panic_msg: Option<String>,
+    failure: Option<String>,
 ) -> (ClusterStatus, Option<String>) {
-    if let Some(msg) = panic_msg {
-        return (ClusterStatus::Failed, Some(format!("training panicked: {msg}")));
+    if let Some(msg) = failure {
+        return (ClusterStatus::Failed, Some(msg));
     }
     if ensemble.is_degraded() {
         let reasons: Vec<String> = ensemble
@@ -879,6 +976,48 @@ mod tests {
         let rep2 = sys.ingest_log_report("more garbage\n");
         assert_eq!(rep2.skipped, 1);
         assert_eq!(sys.skipped_log_lines(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_training_to_floors() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let dl = Deadline::none();
+        dl.cancel();
+        let report = sys.train_governed(0, 120 * 60, &dl).expect("degrades, never blocks");
+        assert!(report.deadline_expired);
+        assert!(report.failed_count() >= 1, "report: {report:?}");
+        for c in &report.clusters {
+            assert_eq!(c.status, ClusterStatus::Failed);
+            assert!(c.detail.as_deref().unwrap().contains("deadline expired"));
+        }
+        // The floors are fitted: every cluster still serves something.
+        for c in sys.clusters() {
+            assert!(c.forecast(sys.config().history).is_finite());
+        }
+        // Representative selection still runs (cheap, not governed),
+        // but every cluster-training task was skipped, not executed.
+        assert!(
+            report.exec.skipped >= report.clusters.len() as u64,
+            "each cluster's training task must be skipped: {report:?}"
+        );
+    }
+
+    #[test]
+    fn governed_train_with_live_deadline_matches_train() {
+        let mut a = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut a, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let ra = a.train(0, 120 * 60).expect("trains");
+        let mut b = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut b, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        let rb = b.train_governed(0, 120 * 60, &Deadline::none()).expect("trains");
+        assert!(!rb.deadline_expired);
+        assert_eq!(ra.clusters.len(), rb.clusters.len());
+        assert_eq!(
+            a.forecast_template("SELECT * FROM t WHERE a = 9"),
+            b.forecast_template("SELECT * FROM t WHERE a = 9"),
+            "deterministic training is identical under an untimed deadline"
+        );
     }
 
     #[test]

@@ -382,12 +382,14 @@ impl DbAugur {
             }
         }
         let mut sys = sys.unwrap_or_else(|| DbAugur::new(cfg));
-        let scan = crate::wal::scan_file(&dir.join(crate::durable::WAL_FILE))?;
-        report.wal_torn = scan.torn;
-        for entry in scan.entries {
+        // Stream the replay: one WAL entry is resident at a time, so
+        // recovery memory is bounded by the snapshot, not the log.
+        let mut wal_applied = 0usize;
+        let mut wal_skipped = 0usize;
+        let sum = crate::wal::scan_file_with(&dir.join(crate::durable::WAL_FILE), |entry| {
             if entry.seq() <= sys.applied_seq {
-                report.wal_skipped += 1;
-                continue;
+                wal_skipped += 1;
+                return;
             }
             let seq = entry.seq();
             match entry {
@@ -399,8 +401,11 @@ impl DbAugur {
                 }
             }
             sys.applied_seq = seq;
-            report.wal_applied += 1;
-        }
+            wal_applied += 1;
+        })?;
+        report.wal_torn = sum.torn;
+        report.wal_applied = wal_applied;
+        report.wal_skipped = wal_skipped;
         Ok((sys, report))
     }
 }

@@ -147,53 +147,130 @@ fn decode_payload(payload: &[u8]) -> Result<WalEntry, WireError> {
     Ok(entry)
 }
 
-/// Scan raw log bytes (header included), salvaging the valid prefix.
-pub fn scan_bytes(bytes: &[u8]) -> WalScan {
-    if bytes.len() < HEADER_LEN as usize || &bytes[..4] != WAL_MAGIC {
-        return WalScan { entries: Vec::new(), good_len: HEADER_LEN, torn: !bytes.is_empty() };
+/// Tally of one streaming scan ([`scan_reader_with`]); the entries
+/// themselves go to the sink, so replaying an arbitrarily large log
+/// holds at most one record in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalScanSummary {
+    /// Valid entries delivered to the sink.
+    pub entries: usize,
+    /// Sequence number of the last valid entry (0 when none).
+    pub last_seq: u64,
+    /// Byte length of the valid prefix (header included).
+    pub good_len: u64,
+    /// True when bytes past `good_len` had to be discarded (torn tail
+    /// or corruption).
+    pub torn: bool,
+}
+
+/// Read until `buf` is full or EOF; returns how many bytes landed.
+fn read_full<R: io::Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match r.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != WAL_VERSION {
-        return WalScan { entries: Vec::new(), good_len: HEADER_LEN, torn: true };
+    Ok(n)
+}
+
+/// Stream-scan a log, delivering each valid entry to `sink` as it is
+/// decoded. One record is resident at a time (the payload buffer is
+/// reused and bounded by `MAX_PAYLOAD`), so replay memory no longer
+/// scales with log length. Corruption ends the scan at the last good
+/// record — exactly the salvage semantics of [`scan_bytes`].
+pub fn scan_reader_with<R, F>(mut r: R, mut sink: F) -> io::Result<WalScanSummary>
+where
+    R: io::Read,
+    F: FnMut(WalEntry),
+{
+    let empty = WalScanSummary { entries: 0, last_seq: 0, good_len: HEADER_LEN, torn: false };
+    let mut header = [0u8; HEADER_LEN as usize];
+    let n = read_full(&mut r, &mut header)?;
+    if n == 0 {
+        return Ok(empty);
     }
-    let mut entries = Vec::new();
-    let mut pos = HEADER_LEN as usize;
+    if n < header.len()
+        || &header[..4] != WAL_MAGIC
+        || u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) != WAL_VERSION
+    {
+        return Ok(WalScanSummary { torn: true, ..empty });
+    }
+    let mut sum = empty;
+    let mut payload = Vec::new();
     loop {
-        if pos == bytes.len() {
-            return WalScan { entries, good_len: pos as u64, torn: false };
+        let mut frame = [0u8; 8];
+        let n = read_full(&mut r, &mut frame)?;
+        if n == 0 {
+            return Ok(sum);
         }
-        if bytes.len() - pos < 8 {
-            return WalScan { entries, good_len: pos as u64, torn: true };
+        if n < frame.len() {
+            sum.torn = true;
+            return Ok(sum);
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        let start = pos + 8;
-        if len > MAX_PAYLOAD || bytes.len() - start < len as usize {
-            return WalScan { entries, good_len: pos as u64, torn: true };
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            sum.torn = true;
+            return Ok(sum);
         }
-        let payload = &bytes[start..start + len as usize];
-        if crc32(payload) != crc {
-            return WalScan { entries, good_len: pos as u64, torn: true };
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        payload.resize(len as usize, 0);
+        let n = read_full(&mut r, &mut payload)?;
+        if n < payload.len() || crc32(&payload) != crc {
+            sum.torn = true;
+            return Ok(sum);
         }
-        match decode_payload(payload) {
-            Ok(e) => entries.push(e),
-            Err(_) => return WalScan { entries, good_len: pos as u64, torn: true },
+        match decode_payload(&payload) {
+            Ok(e) => {
+                sum.last_seq = e.seq();
+                sum.entries += 1;
+                sink(e);
+            }
+            Err(_) => {
+                sum.torn = true;
+                return Ok(sum);
+            }
         }
-        pos = start + len as usize;
+        sum.good_len += 8 + len as u64;
     }
 }
 
-/// Scan a log file; a missing file is an empty, untorn log.
-pub fn scan_file(path: &Path) -> io::Result<WalScan> {
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+/// Scan raw log bytes (header included), salvaging the valid prefix.
+pub fn scan_bytes(bytes: &[u8]) -> WalScan {
+    let mut entries = Vec::new();
+    let sum =
+        scan_reader_with(bytes, |e| entries.push(e)).expect("in-memory reads cannot fail");
+    WalScan { entries, good_len: sum.good_len, torn: sum.torn }
+}
+
+/// Stream-scan a log file, delivering entries to `sink` one at a time;
+/// a missing file is an empty, untorn log. This is the bounded-memory
+/// replay path — prefer it over [`scan_file`] anywhere the entries are
+/// consumed immediately.
+pub fn scan_file_with<F>(path: &Path, sink: F) -> io::Result<WalScanSummary>
+where
+    F: FnMut(WalEntry),
+{
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalScanSummary { entries: 0, last_seq: 0, good_len: HEADER_LEN, torn: false })
+        }
         Err(e) => return Err(e),
     };
-    if bytes.is_empty() {
-        return Ok(WalScan { entries: Vec::new(), good_len: HEADER_LEN, torn: false });
-    }
-    Ok(scan_bytes(&bytes))
+    scan_reader_with(io::BufReader::new(file), sink)
+}
+
+/// Scan a log file into memory; a missing file is an empty, untorn log.
+/// Materializes every entry — for diagnostics and tests; replay paths
+/// should stream with [`scan_file_with`].
+pub fn scan_file(path: &Path) -> io::Result<WalScan> {
+    let mut entries = Vec::new();
+    let sum = scan_file_with(path, |e| entries.push(e))?;
+    Ok(WalScan { entries, good_len: sum.good_len, torn: sum.torn })
 }
 
 /// An append-only, fsynced write-ahead log.
@@ -209,7 +286,9 @@ impl Wal {
     /// durable entry, or after `floor_seq` (the snapshot's applied
     /// sequence) when the log is behind it.
     pub fn open(path: &Path, floor_seq: u64) -> io::Result<Self> {
-        let scan = scan_file(path)?;
+        // Streaming scan: opening never materializes the log's entries,
+        // only the tally (prefix length, last sequence).
+        let scan = scan_file_with(path, |_| {})?;
         // Never truncate here: the tail-repair below keeps every good
         // entry and drops only a torn final record.
         let mut file =
@@ -224,8 +303,7 @@ impl Wal {
             file.sync_all()?;
         }
         file.seek(SeekFrom::End(0))?;
-        let max_seq = scan.entries.last().map(WalEntry::seq).unwrap_or(0);
-        Ok(Self { file, path: path.to_path_buf(), next_seq: max_seq.max(floor_seq) + 1 })
+        Ok(Self { file, path: path.to_path_buf(), next_seq: scan.last_seq.max(floor_seq) + 1 })
     }
 
     /// The log's path.

@@ -1,0 +1,152 @@
+//! Deadlines and cooperative cancellation.
+//!
+//! A [`Deadline`] is the unit of deadline propagation across the
+//! system: the serving layer stamps one onto each request, and the hot
+//! paths (DTW matrix build, per-member ensemble fits, per-cluster
+//! training, WAL checkpointing) check it at cooperative points instead
+//! of running to completion. An expired deadline never interrupts a
+//! task mid-flight — work that already started finishes; work that has
+//! not started yet is skipped and reported as such (see
+//! [`Executor::try_run_deadline`](crate::Executor::try_run_deadline)).
+//!
+//! Cloning is cheap (an `Arc`-shared cancel flag plus a copied
+//! instant), and [`Deadline::cancel`] lets any clone expire every other
+//! clone immediately — the same token doubles as a cancellation signal.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point in time after which work should degrade instead of block,
+/// plus a shared cancellation flag. `Deadline::none()` never expires on
+/// its own but can still be cancelled.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Deadline {
+    /// A deadline that never expires by time (cancellation still works).
+    pub fn none() -> Self {
+        Self { expires_at: None, cancelled: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Self::at(Instant::now() + d)
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(instant: Instant) -> Self {
+        Self { expires_at: Some(instant), cancelled: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// Convenience: a deadline `millis` milliseconds from now.
+    pub fn in_millis(millis: u64) -> Self {
+        Self::after(Duration::from_millis(millis))
+    }
+
+    /// Expire this deadline (and every clone of it) immediately.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True when the deadline was cancelled explicitly (as opposed to
+    /// timing out).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// True when the deadline has passed or was cancelled. This is the
+    /// cooperative check hot loops call between units of work.
+    pub fn expired(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        match self.expires_at {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry; `None` for an untimed deadline,
+    /// `Some(ZERO)` once expired or cancelled.
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.is_cancelled() {
+            return Some(Duration::ZERO);
+        }
+        self.expires_at.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// `Err(DeadlineExceeded)` once expired — for `?`-style early
+    /// returns at cooperative check-points.
+    pub fn check(&self) -> Result<(), DeadlineExceeded> {
+        if self.expired() {
+            Err(DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The typed error a cooperative check-point returns once its
+/// [`Deadline`] has passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires_by_time() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn zero_duration_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.check(), Err(DeadlineExceeded));
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_is_live_then_cancellable() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().expect("timed") > Duration::from_secs(3000));
+        let clone = d.clone();
+        clone.cancel();
+        assert!(d.expired(), "cancel propagates to every clone");
+        assert!(d.is_cancelled());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancelled_none_deadline_expires() {
+        let d = Deadline::none();
+        d.cancel();
+        assert!(d.expired());
+        assert!(d.check().is_err());
+    }
+}

@@ -26,9 +26,14 @@
 //! (monomorphized `unsafe fn` + context pointer) so borrowing
 //! closures can cross the pool without `'static` bounds.
 
+pub mod deadline;
+
+pub use deadline::{Deadline, DeadlineExceeded};
+
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -46,10 +51,14 @@ pub struct ExecStats {
     pub workers: usize,
     /// Tasks submitted to the pool.
     pub queued: u64,
-    /// Tasks that finished executing (== queued once a batch drains).
+    /// Tasks that finished executing. Once a batch drains,
+    /// `queued == executed + skipped`.
     pub executed: u64,
     /// Tasks a thread took from a sibling's queue rather than its own.
     pub stolen: u64,
+    /// Tasks dropped unexecuted because their batch deadline had
+    /// expired by the time a thread picked them up.
+    pub skipped: u64,
 }
 
 impl ExecStats {
@@ -60,9 +69,38 @@ impl ExecStats {
             queued: self.queued.saturating_sub(earlier.queued),
             executed: self.executed.saturating_sub(earlier.executed),
             stolen: self.stolen.saturating_sub(earlier.stolen),
+            skipped: self.skipped.saturating_sub(earlier.skipped),
         }
     }
 }
+
+/// Why one task of a deadline-governed batch produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task ran and panicked; the payload message is preserved.
+    Panicked(String),
+    /// The batch [`Deadline`] expired before the task started, so it
+    /// was skipped without running.
+    Expired,
+}
+
+impl TaskError {
+    /// True for the deadline-expiry variant.
+    pub fn is_expired(&self) -> bool {
+        matches!(self, TaskError::Expired)
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::Expired => write!(f, "deadline expired before task ran"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
 
 /// Completion latch shared by every task of one batch.
 ///
@@ -120,7 +158,9 @@ impl Latch {
 struct RawJob {
     data: usize,
     index: usize,
-    call: unsafe fn(usize, usize),
+    /// Returns `true` when the task body ran, `false` when the batch
+    /// deadline had expired and the task was skipped.
+    call: unsafe fn(usize, usize) -> bool,
     latch: Arc<Latch>,
 }
 
@@ -129,8 +169,15 @@ struct RawJob {
 // pointer and latch are trivially sendable.
 unsafe impl Send for RawJob {}
 
+/// Outcome of one slot of a batch: the task ran (and possibly
+/// panicked), or its deadline expired before it started.
+enum TaskSlot<R> {
+    Done(thread::Result<R>),
+    Skipped,
+}
+
 /// Result slots for one batch, written at disjoint indices by workers.
-struct Slots<R>(Vec<UnsafeCell<Option<thread::Result<R>>>>);
+struct Slots<R>(Vec<UnsafeCell<Option<TaskSlot<R>>>>);
 
 // SAFETY: each index is written by exactly one task and only read by
 // the submitting caller after the completion latch opens.
@@ -139,18 +186,27 @@ unsafe impl<R: Send> Sync for Slots<R> {}
 struct BatchCtx<F, R> {
     f: F,
     slots: Slots<R>,
+    /// Cooperative check-point: when set and expired, tasks that have
+    /// not started yet are skipped instead of run.
+    deadline: Option<Deadline>,
 }
 
 /// Monomorphized trampoline: run task `index` of the batch behind
 /// `data`, storing the (possibly panicked) outcome in its slot.
-unsafe fn run_one<F, R>(data: usize, index: usize)
+/// Returns `true` when the task body actually ran.
+unsafe fn run_one<F, R>(data: usize, index: usize) -> bool
 where
     F: Fn(usize) -> R + Sync,
     R: Send,
 {
     let ctx = &*(data as *const BatchCtx<F, R>);
+    if ctx.deadline.as_ref().is_some_and(Deadline::expired) {
+        *ctx.slots.0[index].get() = Some(TaskSlot::Skipped);
+        return false;
+    }
     let out = catch_unwind(AssertUnwindSafe(|| (ctx.f)(index)));
-    *ctx.slots.0[index].get() = Some(out);
+    *ctx.slots.0[index].get() = Some(TaskSlot::Done(out));
+    true
 }
 
 struct Shared {
@@ -167,6 +223,7 @@ struct Shared {
     queued: AtomicU64,
     executed: AtomicU64,
     stolen: AtomicU64,
+    skipped: AtomicU64,
 }
 
 impl Shared {
@@ -199,8 +256,12 @@ impl Shared {
     fn execute(&self, job: RawJob) {
         // SAFETY: the submitting caller keeps the batch context alive
         // until this job's latch count-down, which happens last.
-        unsafe { (job.call)(job.data, job.index) };
-        self.executed.fetch_add(1, Ordering::Relaxed);
+        let ran = unsafe { (job.call)(job.data, job.index) };
+        if ran {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+        }
         job.latch.count_down();
     }
 
@@ -263,6 +324,7 @@ impl Executor {
             queued: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
         });
         let handles = (0..spawned)
             .map(|idx| {
@@ -300,12 +362,16 @@ impl Executor {
             queued: self.shared.queued.load(Ordering::Relaxed),
             executed: self.shared.executed.load(Ordering::Relaxed),
             stolen: self.shared.stolen.load(Ordering::Relaxed),
+            skipped: self.shared.skipped.load(Ordering::Relaxed),
         }
     }
 
     /// Core batch primitive: run `f(0..n)` across the pool and return
     /// the per-index outcomes in index order (never execution order).
-    fn run_batch<F, R>(&self, n: usize, f: F) -> Vec<thread::Result<R>>
+    /// With a deadline, tasks that have not started by expiry are
+    /// skipped (their slot reads `TaskSlot::Skipped`); tasks already
+    /// running always finish.
+    fn run_batch<F, R>(&self, n: usize, deadline: Option<&Deadline>, f: F) -> Vec<TaskSlot<R>>
     where
         F: Fn(usize) -> R + Sync,
         R: Send,
@@ -317,11 +383,16 @@ impl Executor {
         if self.workers == 1 || n == 1 {
             // Inline fast path: identical to the historical sequential
             // code, no queue traffic, no cross-thread synchronization.
+            // The deadline check between tasks mirrors the trampoline.
             let out = (0..n)
                 .map(|i| {
+                    if deadline.is_some_and(|d| d.expired()) {
+                        self.shared.skipped.fetch_add(1, Ordering::Relaxed);
+                        return TaskSlot::Skipped;
+                    }
                     let r = catch_unwind(AssertUnwindSafe(|| f(i)));
                     self.shared.executed.fetch_add(1, Ordering::Relaxed);
-                    r
+                    TaskSlot::Done(r)
                 })
                 .collect();
             return out;
@@ -332,10 +403,11 @@ impl Executor {
         let ctx = BatchCtx {
             f,
             slots: Slots(slots),
+            deadline: deadline.cloned(),
         };
         let latch = Latch::new(n);
         let data = &ctx as *const BatchCtx<F, R> as usize;
-        let call = run_one::<F, R> as unsafe fn(usize, usize);
+        let call = run_one::<F, R> as unsafe fn(usize, usize) -> bool;
 
         // Round-robin across worker queues (or the injector when the
         // pool has no spawned threads) to spread initial placement.
@@ -398,14 +470,15 @@ impl Executor {
     {
         let mut out = Vec::with_capacity(n);
         let mut first_panic: Option<Box<dyn Any + Send>> = None;
-        for res in self.run_batch(n, f) {
-            match res {
-                Ok(v) => out.push(v),
-                Err(p) => {
+        for slot in self.run_batch(n, None, f) {
+            match slot {
+                TaskSlot::Done(Ok(v)) => out.push(v),
+                TaskSlot::Done(Err(p)) => {
                     if first_panic.is_none() {
                         first_panic = Some(p);
                     }
                 }
+                TaskSlot::Skipped => unreachable!("no deadline on this batch"),
             }
         }
         if let Some(p) = first_panic {
@@ -421,9 +494,37 @@ impl Executor {
         F: Fn(usize) -> R + Sync,
         R: Send,
     {
-        self.run_batch(n, f)
+        self.run_batch(n, None, f)
             .into_iter()
-            .map(|res| res.map_err(|p| panic_message(&p)))
+            .map(|slot| match slot {
+                TaskSlot::Done(res) => res.map_err(|p| panic_message(&p)),
+                TaskSlot::Skipped => unreachable!("no deadline on this batch"),
+            })
+            .collect()
+    }
+
+    /// Run `f(0..n)` under a [`Deadline`]: tasks that have not started
+    /// by expiry are skipped and report [`TaskError::Expired`]; tasks
+    /// already running always finish (and may still panic, reported as
+    /// [`TaskError::Panicked`]). Counters stay consistent — every
+    /// queued task is accounted as either executed or skipped.
+    pub fn try_run_deadline<F, R>(
+        &self,
+        n: usize,
+        deadline: &Deadline,
+        f: F,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        self.run_batch(n, Some(deadline), f)
+            .into_iter()
+            .map(|slot| match slot {
+                TaskSlot::Done(Ok(v)) => Ok(v),
+                TaskSlot::Done(Err(p)) => Err(TaskError::Panicked(panic_message(&p))),
+                TaskSlot::Skipped => Err(TaskError::Expired),
+            })
             .collect()
     }
 
@@ -466,6 +567,32 @@ impl Executor {
         })
     }
 
+    /// Consume `items` under a [`Deadline`]; items whose task was
+    /// skipped at expiry are dropped unprocessed and report
+    /// [`TaskError::Expired`].
+    pub fn try_map_deadline<T, F, R>(
+        &self,
+        items: Vec<T>,
+        deadline: &Deadline,
+        f: F,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        T: Send,
+        F: Fn(usize, T) -> R + Sync,
+        R: Send,
+    {
+        let cells: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.try_run_deadline(cells.len(), deadline, |i| {
+            let item = cells[i]
+                .lock()
+                .expect("map cell poisoned")
+                .take()
+                .expect("map item taken twice");
+            f(i, item)
+        })
+    }
+
     /// Apply `f(index, &mut item)` to each slice element in parallel.
     pub fn map_mut<T, F, R>(&self, items: &mut [T], f: F) -> Vec<R>
     where
@@ -492,6 +619,28 @@ impl Executor {
     {
         let base = SyncPtr(items.as_mut_ptr());
         self.try_run(items.len(), |i| {
+            // SAFETY: as in `map_mut` — disjoint per-index borrows.
+            let item = unsafe { &mut *base.at(i) };
+            f(i, item)
+        })
+    }
+
+    /// Apply `f(index, &mut item)` in parallel under a [`Deadline`];
+    /// items whose task was skipped at expiry are left untouched and
+    /// report [`TaskError::Expired`].
+    pub fn try_map_mut_deadline<T, F, R>(
+        &self,
+        items: &mut [T],
+        deadline: &Deadline,
+        f: F,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        T: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+        R: Send,
+    {
+        let base = SyncPtr(items.as_mut_ptr());
+        self.try_run_deadline(items.len(), deadline, |i| {
             // SAFETY: as in `map_mut` — disjoint per-index borrows.
             let item = unsafe { &mut *base.at(i) };
             f(i, item)
@@ -685,6 +834,132 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert!(*v == i as u64 || *v == i as u64 + 1);
         }
+    }
+
+    #[test]
+    fn try_map_empty_batch_is_noop() {
+        let exec = Executor::new(4);
+        let before = exec.stats();
+        let out: Vec<Result<usize, String>> = exec.try_map(Vec::<usize>::new(), |_, v| v);
+        assert!(out.is_empty());
+        let dl = Deadline::none();
+        let out: Vec<Result<usize, TaskError>> =
+            exec.try_map_deadline(Vec::<usize>::new(), &dl, |_, v| v);
+        assert!(out.is_empty());
+        let delta = exec.stats().delta_since(&before);
+        assert_eq!((delta.queued, delta.executed, delta.skipped), (0, 0, 0));
+    }
+
+    #[test]
+    fn expired_deadline_skips_every_task_and_counts_them() {
+        for workers in [1, 4] {
+            let exec = Executor::new(workers);
+            let before = exec.stats();
+            let dl = Deadline::after(Duration::ZERO);
+            let ran = AtomicU32::new(0);
+            let out = exec.try_run_deadline(16, &dl, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                i
+            });
+            assert_eq!(out.len(), 16);
+            assert!(out.iter().all(|r| r == &Err(TaskError::Expired)));
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "no task body ran");
+            let delta = exec.stats().delta_since(&before);
+            assert_eq!(delta.queued, 16);
+            assert_eq!(delta.executed, 0);
+            assert_eq!(delta.skipped, 16);
+        }
+    }
+
+    #[test]
+    fn cancel_mid_batch_skips_the_tail_deterministically() {
+        // Inline path (workers=1) executes in index order, so a task
+        // that cancels the shared deadline cleanly splits the batch:
+        // everything before (and including) it ran, everything after
+        // is skipped.
+        let exec = Executor::new(1);
+        let before = exec.stats();
+        let dl = Deadline::none();
+        let cancel_from = dl.clone();
+        let out = exec.try_run_deadline(6, &dl, move |i| {
+            if i == 2 {
+                cancel_from.cancel();
+            }
+            i * 10
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Ok(10));
+        assert_eq!(out[2], Ok(20), "the cancelling task itself completes");
+        for slot in &out[3..] {
+            assert_eq!(slot, &Err(TaskError::Expired));
+        }
+        let delta = exec.stats().delta_since(&before);
+        assert_eq!(delta.queued, 6);
+        assert_eq!(delta.executed, 3);
+        assert_eq!(delta.skipped, 3);
+    }
+
+    #[test]
+    fn deadline_counters_reconcile_under_parallel_cancellation() {
+        // Nondeterministic split, but the invariant must hold:
+        // queued == executed + skipped once the batch drains.
+        let exec = Executor::new(4);
+        let before = exec.stats();
+        let dl = Deadline::none();
+        let cancel_from = dl.clone();
+        let out = exec.try_run_deadline(200, &dl, move |i| {
+            if i == 50 {
+                cancel_from.cancel();
+            }
+            i
+        });
+        let ok = out.iter().filter(|r| r.is_ok()).count() as u64;
+        let expired = out.iter().filter(|r| r.as_ref().is_err_and(TaskError::is_expired)).count() as u64;
+        assert_eq!(ok + expired, 200);
+        let delta = exec.stats().delta_since(&before);
+        assert_eq!(delta.queued, 200);
+        assert_eq!(delta.executed, ok);
+        assert_eq!(delta.skipped, expired);
+    }
+
+    #[test]
+    fn try_run_deadline_without_expiry_matches_try_run() {
+        let exec = Executor::new(4);
+        let dl = Deadline::after(Duration::from_secs(3600));
+        let out = exec.try_run_deadline(6, &dl, |i| {
+            if i == 4 {
+                panic!("task {i} failed");
+            }
+            i * 2
+        });
+        for (i, res) in out.iter().enumerate() {
+            if i == 4 {
+                match res {
+                    Err(TaskError::Panicked(msg)) => assert!(msg.contains("failed")),
+                    other => panic!("expected panic error, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*res, Ok(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_mut_deadline_leaves_skipped_items_untouched() {
+        let exec = Executor::new(1);
+        let dl = Deadline::none();
+        let cancel_from = dl.clone();
+        let mut items: Vec<u64> = vec![0; 5];
+        let out = exec.try_map_mut_deadline(&mut items, &dl, move |i, v| {
+            if i == 1 {
+                cancel_from.cancel();
+            }
+            *v = 100 + i as u64;
+            *v
+        });
+        assert_eq!(items, vec![100, 101, 0, 0, 0]);
+        assert_eq!(out[1], Ok(101));
+        assert!(out[2..].iter().all(|r| r == &Err(TaskError::Expired)));
     }
 
     #[test]

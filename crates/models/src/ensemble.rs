@@ -34,7 +34,7 @@ use crate::mlp::MlpForecaster;
 use crate::seasonal::SeasonalNaive;
 use crate::tcn::TcnForecaster;
 use crate::wfgan::Wfgan;
-use dbaugur_exec::Executor;
+use dbaugur_exec::{Deadline, Executor, TaskError};
 use dbaugur_trace::WindowSpec;
 use std::borrow::Cow;
 use std::sync::Arc;
@@ -52,6 +52,22 @@ fn fit_members(
     exec: &Executor,
 ) -> Vec<Option<String>> {
     exec.try_map_mut(members, |_, m| m.fit(train, spec))
+        .into_iter()
+        .map(|outcome| outcome.err())
+        .collect()
+}
+
+/// Deadline-governed variant of [`fit_members`]: members whose task was
+/// still queued at expiry are skipped (left unfitted) and report
+/// [`TaskError::Expired`]; members already training finish normally.
+fn fit_members_governed(
+    members: &mut [Box<dyn Forecaster>],
+    train: &[f64],
+    spec: WindowSpec,
+    exec: &Executor,
+    deadline: &Deadline,
+) -> Vec<Option<TaskError>> {
+    exec.try_map_mut_deadline(members, deadline, |_, m| m.fit(train, spec))
         .into_iter()
         .map(|outcome| outcome.err())
         .collect()
@@ -430,6 +446,44 @@ impl TimeSensitiveEnsemble {
         Ok(restored)
     }
 
+    /// Deadline-governed fit: members whose training has not started by
+    /// expiry are skipped and quarantined ("deadline expired"), so the
+    /// ensemble degrades to whatever subset did train — or, with every
+    /// member out, to the fallback floor, which is fitted *before* the
+    /// member fan-out precisely so it survives a total expiry. Returns
+    /// the number of members skipped at the deadline.
+    ///
+    /// A skipped member keeps its previous parameters (it was never
+    /// touched); the quarantine flag is what keeps those stale weights
+    /// out of the forecast until the next successful fit.
+    pub fn fit_governed(&mut self, train: &[f64], spec: WindowSpec, deadline: &Deadline) -> usize {
+        self.history = spec.history;
+        self.fallback.fit(train, spec);
+        let outcomes = fit_members_governed(&mut self.members, train, spec, &self.exec, deadline);
+        self.gamma.iter_mut().for_each(|g| *g = 0.0);
+        self.quarantined.iter_mut().for_each(|q| *q = false);
+        self.reasons.iter_mut().for_each(|r| *r = None);
+        let mut expired = 0;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some(TaskError::Expired) => {
+                    expired += 1;
+                    self.quarantine_member(i, "deadline expired before training");
+                }
+                Some(TaskError::Panicked(msg)) => {
+                    self.quarantine_member(i, format!("training panicked: {msg}"));
+                }
+                None => {
+                    if self.members[i].health().is_failed() {
+                        let health = self.members[i].health();
+                        self.quarantine_member(i, format!("training {health}"));
+                    }
+                }
+            }
+        }
+        expired
+    }
+
     /// Normalize a window to the fitted history length so member models
     /// (which assert exact window length) never see a mismatched slice:
     /// longer windows keep their most recent values, shorter ones are
@@ -454,20 +508,10 @@ impl Forecaster for TimeSensitiveEnsemble {
     }
 
     fn fit(&mut self, train: &[f64], spec: WindowSpec) {
-        self.history = spec.history;
-        let outcomes = fit_members(&mut self.members, train, spec, &self.exec);
-        self.fallback.fit(train, spec);
-        self.gamma.iter_mut().for_each(|g| *g = 0.0);
-        self.quarantined.iter_mut().for_each(|q| *q = false);
-        self.reasons.iter_mut().for_each(|r| *r = None);
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            if let Some(msg) = outcome {
-                self.quarantine_member(i, format!("training panicked: {msg}"));
-            } else if self.members[i].health().is_failed() {
-                let health = self.members[i].health();
-                self.quarantine_member(i, format!("training {health}"));
-            }
-        }
+        // An untimed deadline never expires, so this is the historical
+        // unconditional fit.
+        let skipped = self.fit_governed(train, spec, &Deadline::none());
+        debug_assert_eq!(skipped, 0);
     }
 
     fn predict(&self, window: &[f64]) -> f64 {
@@ -1055,6 +1099,46 @@ mod tests {
 
     fn window_of(series: &[f64], spec: WindowSpec) -> &[f64] {
         &series[series.len() - spec.history..]
+    }
+
+    #[test]
+    fn fit_governed_expired_deadline_quarantines_members_and_serves_floor() {
+        let mut e = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        let dl = Deadline::none();
+        dl.cancel();
+        let skipped = e.fit_governed(&TRAIN, SPEC, &dl);
+        assert_eq!(skipped, 2);
+        assert_eq!(e.active_count(), 0);
+        assert!(e.is_degraded());
+        let states = e.member_states();
+        assert!(states.iter().all(|s| s.quarantined));
+        assert!(states[0].reason.as_deref().unwrap().contains("deadline expired"));
+        // The fallback floor was fitted before the member fan-out, so a
+        // total expiry still serves a finite seasonal-naive forecast.
+        assert_eq!(e.predict(&[5.0, 6.0]), 6.0);
+    }
+
+    #[test]
+    fn fit_governed_untimed_deadline_matches_fit() {
+        let mut governed = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        let skipped = governed.fit_governed(&TRAIN, SPEC, &Deadline::none());
+        assert_eq!(skipped, 0);
+        assert_eq!(governed.quarantined_count(), 0);
+        let mut plain = TimeSensitiveEnsemble::new(
+            "t",
+            vec![Box::new(Constant(10.0)), Box::new(Constant(0.0))],
+            0.9,
+        );
+        plain.fit(&TRAIN, SPEC);
+        assert_eq!(governed.predict(&[5.0, 6.0]), plain.predict(&[5.0, 6.0]));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Admission control: bounded queues, token-bucket rate limiting, and
+//! explicit shed decisions.
+//!
+//! Nothing in the serving front door is unbounded and nothing is
+//! silently dropped: a request is either `Admitted` into a
+//! fixed-capacity queue or returned as `Shed` with the reason, and the
+//! governor counts both sides so offered load always reconciles with
+//! what happened to it.
+
+use std::collections::VecDeque;
+
+/// Why a request was refused at the front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The request's priority-class queue was at capacity.
+    QueueFull,
+    /// The token bucket was empty — offered rate exceeds the configured
+    /// sustained rate plus burst allowance.
+    RateLimited,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue full"),
+            ShedReason::RateLimited => write!(f, "rate limited"),
+        }
+    }
+}
+
+/// The front door's answer to one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Queued; it will be served (possibly degraded) and counted.
+    Admitted,
+    /// Refused, with the reason; the caller may retry later.
+    Shed(ShedReason),
+}
+
+impl AdmissionDecision {
+    /// True when the request made it into a queue.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admitted)
+    }
+}
+
+/// A token bucket over virtual-or-real milliseconds: `capacity` bounds
+/// the burst, `refill_per_ms` the sustained admission rate.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_ms: f64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket observed at `now_ms`.
+    pub fn new(capacity: f64, refill_per_ms: f64, now_ms: u64) -> Self {
+        let capacity = capacity.max(1.0);
+        Self { capacity, tokens: capacity, refill_per_ms: refill_per_ms.max(0.0), last_ms: now_ms }
+    }
+
+    fn refill(&mut self, now_ms: u64) {
+        let elapsed = now_ms.saturating_sub(self.last_ms);
+        self.last_ms = self.last_ms.max(now_ms);
+        self.tokens = (self.tokens + elapsed as f64 * self.refill_per_ms).min(self.capacity);
+    }
+
+    /// Take one token if available.
+    pub fn try_take(&mut self, now_ms: u64) -> bool {
+        self.refill(now_ms);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now_ms`).
+    pub fn available(&mut self, now_ms: u64) -> f64 {
+        self.refill(now_ms);
+        self.tokens
+    }
+}
+
+/// A bounded FIFO admission queue; rejected pushes hand the request
+/// back instead of growing.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    q: VecDeque<T>,
+    cap: usize,
+    high_water: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `cap` requests.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "admission queue capacity must be positive");
+        Self { q: VecDeque::with_capacity(cap), cap, high_water: 0 }
+    }
+
+    /// Enqueue, or return the request when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.q.len() >= self.cap {
+            return Err(item);
+        }
+        self.q.push_back(item);
+        self.high_water = self.high_water.max(self.q.len());
+        Ok(())
+    }
+
+    /// Put a request back at the head (ran out of tick budget before
+    /// serving it); never sheds — the slot it came from is still free.
+    pub fn push_front(&mut self, item: T) {
+        self.q.push_front(item);
+        self.high_water = self.high_water.max(self.q.len());
+    }
+
+    /// Dequeue the oldest request.
+    pub fn pop(&mut self) -> Option<T> {
+        self.q.pop_front()
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_burst_and_refills() {
+        let mut b = TokenBucket::new(3.0, 0.001, 0); // 1 token per second
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0), "burst capacity exhausted");
+        assert!(!b.try_take(500), "half a token is not a token");
+        assert!(b.try_take(1_000), "one second refills one token");
+        // Refill never exceeds capacity.
+        assert!(b.available(1_000_000) <= 3.0);
+    }
+
+    #[test]
+    fn bucket_time_going_backwards_is_safe() {
+        let mut b = TokenBucket::new(1.0, 1.0, 100);
+        assert!(b.try_take(100));
+        assert!(!b.try_take(50), "no refill from the past");
+        assert!(b.try_take(101));
+    }
+
+    #[test]
+    fn queue_sheds_at_capacity_and_tracks_high_water() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3), "full queue hands the request back");
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn push_front_requeues_in_order() {
+        let mut q = AdmissionQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let head = q.pop().unwrap();
+        q.push_front(head);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_queue_panics() {
+        AdmissionQueue::<u32>::new(0);
+    }
+}

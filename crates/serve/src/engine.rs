@@ -1,0 +1,255 @@
+//! The work behind the front door: what admitted requests execute.
+//!
+//! The governor is generic over an [`Engine`] so the same admission,
+//! deadline, and memory machinery runs against the real forecasting
+//! pipeline ([`PipelineEngine`]) and against a deterministic in-memory
+//! stand-in ([`SimEngine`]) that the chaos/soak harness can hammer with
+//! millions of simulated requests in milliseconds.
+
+use dbaugur::DbAugur;
+use dbaugur_sqlproc::canonicalize;
+use dbaugur_trace::HistoryRing;
+use std::collections::HashMap;
+
+/// What the serving loop asks of the system it governs.
+pub trait Engine {
+    /// Apply one ingested statement.
+    fn ingest(&mut self, ts_secs: u64, sql: &str);
+
+    /// A full-quality forecast for the statement's template.
+    fn forecast(&mut self, sql: &str) -> f64;
+
+    /// The O(1) degraded answer (seasonal-naive floor) served when the
+    /// deadline expired before [`Engine::forecast`] could run.
+    fn floor(&mut self, sql: &str) -> f64;
+
+    /// Approximate resident bytes of governable state.
+    fn resident_bytes(&self) -> usize;
+
+    /// Evict cold state until roughly `target_bytes` remain; returns
+    /// bytes freed.
+    fn evict_to(&mut self, target_bytes: usize) -> usize;
+}
+
+/// Approximate fixed cost per simulated template (map entry + ring).
+const SIM_TEMPLATE_OVERHEAD: usize = 96;
+
+/// A deterministic, allocation-bounded engine for harness runs: each
+/// template keeps a fixed-capacity [`HistoryRing`] of arrival
+/// timestamps; forecasts are simple functions of the retained window.
+#[derive(Debug)]
+pub struct SimEngine {
+    by_template: HashMap<String, usize>,
+    names: Vec<String>,
+    rings: Vec<HistoryRing>,
+    last_seen: Vec<u64>,
+    evicted: Vec<bool>,
+    ring_capacity: usize,
+    resident: usize,
+    evictions: u64,
+}
+
+impl SimEngine {
+    /// An empty engine whose per-template history holds `ring_capacity`
+    /// arrivals.
+    pub fn new(ring_capacity: usize) -> Self {
+        Self {
+            by_template: HashMap::new(),
+            names: Vec::new(),
+            rings: Vec::new(),
+            last_seen: Vec::new(),
+            evicted: Vec::new(),
+            ring_capacity: ring_capacity.max(1),
+            resident: 0,
+            evictions: 0,
+        }
+    }
+
+    fn slot(&mut self, sql: &str) -> usize {
+        let canonical = canonicalize(sql);
+        if let Some(&i) = self.by_template.get(&canonical) {
+            return i;
+        }
+        let i = self.names.len();
+        self.resident += 2 * canonical.len() + SIM_TEMPLATE_OVERHEAD + 8 * self.ring_capacity;
+        self.by_template.insert(canonical.clone(), i);
+        self.names.push(canonical);
+        self.rings.push(HistoryRing::new(self.ring_capacity));
+        self.last_seen.push(0);
+        self.evicted.push(false);
+        i
+    }
+
+    /// Distinct templates seen (evicted ones included).
+    pub fn num_templates(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whole-template evictions performed (cumulative).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+impl Engine for SimEngine {
+    fn ingest(&mut self, ts_secs: u64, sql: &str) {
+        let i = self.slot(sql);
+        self.rings[i].push(ts_secs as f64);
+        self.last_seen[i] = self.last_seen[i].max(ts_secs);
+    }
+
+    fn forecast(&mut self, sql: &str) -> f64 {
+        let i = self.slot(sql);
+        // Arrival-count forecast over the retained window.
+        self.rings[i].len() as f64
+    }
+
+    fn floor(&mut self, sql: &str) -> f64 {
+        let i = self.slot(sql);
+        self.rings[i].mean().unwrap_or(0.0).min(self.rings[i].len() as f64)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    fn evict_to(&mut self, target_bytes: usize) -> usize {
+        if self.resident <= target_bytes {
+            return 0;
+        }
+        // Coldest-first: least-recently-seen, then fewest arrivals.
+        // Unlike the registry, the sim drops whole entries (it has no
+        // stable-id contract); an evicted template re-admits fresh on
+        // its next arrival.
+        let mut order: Vec<usize> =
+            (0..self.names.len()).filter(|&i| !self.evicted[i]).collect();
+        order.sort_by_key(|&i| (self.last_seen[i], self.rings[i].len(), i));
+        let mut freed = 0;
+        for i in order {
+            if self.resident <= target_bytes {
+                break;
+            }
+            let bytes =
+                2 * self.names[i].len() + SIM_TEMPLATE_OVERHEAD + 8 * self.ring_capacity;
+            self.by_template.remove(&self.names[i]);
+            self.evicted[i] = true;
+            self.rings[i] = HistoryRing::new(1);
+            self.resident -= bytes;
+            freed += bytes;
+            self.evictions += 1;
+        }
+        freed
+    }
+}
+
+/// The real thing: a [`DbAugur`] pipeline behind the front door. Full
+/// forecasts come from the trained per-cluster ensembles; the floor is
+/// the last fresh answer per template (or zero before any), and memory
+/// governance delegates to the registry's cold-template eviction, with
+/// the latest spill blob retained so evicted history stays recallable.
+pub struct PipelineEngine {
+    sys: DbAugur,
+    floors: HashMap<String, f64>,
+    last_spill: Option<Vec<u8>>,
+}
+
+impl PipelineEngine {
+    /// Govern an existing pipeline.
+    pub fn new(sys: DbAugur) -> Self {
+        Self { sys, floors: HashMap::new(), last_spill: None }
+    }
+
+    /// The governed pipeline.
+    pub fn system(&self) -> &DbAugur {
+        &self.sys
+    }
+
+    /// Mutable access (training runs go through here).
+    pub fn system_mut(&mut self) -> &mut DbAugur {
+        &mut self.sys
+    }
+
+    /// The most recent eviction's spill blob, if any.
+    pub fn last_spill(&self) -> Option<&[u8]> {
+        self.last_spill.as_deref()
+    }
+}
+
+impl Engine for PipelineEngine {
+    fn ingest(&mut self, ts_secs: u64, sql: &str) {
+        self.sys.ingest_record(ts_secs, sql);
+    }
+
+    fn forecast(&mut self, sql: &str) -> f64 {
+        let v = self.sys.forecast_template(sql).unwrap_or(0.0);
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.floors.insert(canonicalize(sql), v);
+        v
+    }
+
+    fn floor(&mut self, sql: &str) -> f64 {
+        self.floors.get(&canonicalize(sql)).copied().unwrap_or(0.0)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.sys.registry_bytes()
+    }
+
+    fn evict_to(&mut self, target_bytes: usize) -> usize {
+        let report = self.sys.evict_cold_templates(target_bytes);
+        if report.spill.is_some() {
+            self.last_spill = report.spill;
+        }
+        report.bytes_freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_engine_is_bounded_per_template() {
+        let mut e = SimEngine::new(16);
+        let before_templates = e.resident_bytes();
+        for ts in 0..10_000u64 {
+            e.ingest(ts, "SELECT a FROM t WHERE x = 1");
+        }
+        let one = e.resident_bytes();
+        assert!(one > before_templates);
+        for ts in 0..10_000u64 {
+            e.ingest(ts, "SELECT a FROM t WHERE x = 1");
+        }
+        assert_eq!(e.resident_bytes(), one, "re-ingesting one template never grows");
+        assert_eq!(e.num_templates(), 1);
+        assert!(e.forecast("SELECT a FROM t WHERE x = 5") <= 16.0);
+    }
+
+    #[test]
+    fn sim_engine_evicts_coldest_and_readmits() {
+        let mut e = SimEngine::new(8);
+        e.ingest(10, "SELECT cold FROM u");
+        for ts in 100..120 {
+            e.ingest(ts, "SELECT hot FROM t");
+        }
+        let before = e.resident_bytes();
+        let freed = e.evict_to(before - 1);
+        assert!(freed > 0);
+        assert_eq!(e.evictions(), 1);
+        assert_eq!(e.floor("SELECT cold FROM u"), 0.0, "evicted history is gone");
+        assert!(e.forecast("SELECT hot FROM t") > 0.0, "hot template survives");
+        // The evicted template comes back on its next arrival.
+        e.ingest(200, "SELECT cold FROM u");
+        assert_eq!(e.forecast("SELECT cold FROM u"), 1.0);
+    }
+
+    #[test]
+    fn sim_engine_floor_is_cheap_and_finite() {
+        let mut e = SimEngine::new(4);
+        assert_eq!(e.floor("SELECT nothing FROM nowhere"), 0.0);
+        for ts in 0..100 {
+            e.ingest(ts, "SELECT a FROM t");
+        }
+        assert!(e.floor("SELECT a FROM t").is_finite());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Resource-governed online serving for the DBAugur pipeline.
+//!
+//! A forecasting system that falls over under the very load spike it
+//! exists to predict is useless. This crate is the front door that
+//! keeps the pipeline standing when offered load exceeds capacity:
+//!
+//! * **Admission control** ([`admission`]) — bounded priority-class
+//!   queues and a token bucket; every request is either `Admitted` or
+//!   `Shed` with an explicit reason, never silently dropped;
+//! * **Deadlines and degradation** ([`governor`]) — forecasts carry
+//!   deadlines and preempt bulk ingest; a missed deadline is answered
+//!   with a marked seasonal-naive floor instead of blocking (the same
+//!   posture `dbaugur_exec::Deadline` enforces inside training);
+//! * **Memory governance** ([`engine`]) — the governed engine is
+//!   byte-accounted and evicted down to budget at every tick boundary;
+//! * **Health** — the loop's posture (`Healthy`/`Shedding`/`Saturated`)
+//!   is recomputed each tick and surfaced through reports and the CLI;
+//! * **Chaos/soak harness** ([`soak`]) — seeded burst floods, latency
+//!   spikes, slow-consumer stalls, and poison templates from
+//!   [`dbaugur_trace::FaultInjector`], driven in virtual time
+//!   ([`clock`]) so overload scenarios are fast and deterministic.
+
+pub mod admission;
+pub mod clock;
+pub mod engine;
+pub mod governor;
+pub mod soak;
+
+pub use admission::{AdmissionDecision, AdmissionQueue, ShedReason, TokenBucket};
+pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use engine::{Engine, PipelineEngine, SimEngine};
+pub use governor::{ForecastOutcome, Governor, HealthState, ServeConfig, ServeStats, TickReport};
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -26,7 +26,10 @@ pub mod template;
 pub mod token;
 
 pub use canon::canonicalize;
-pub use log::{parse_log_line, parse_log_report, LogRecord, ParsedLog};
-pub use registry::{TemplateId, TemplateRegistry};
+pub use log::{
+    parse_log_line, parse_log_report, parse_log_stream, try_parse_log_stream, LogRecord,
+    LogStreamStats, ParsedLog,
+};
+pub use registry::{EvictionReport, TemplateId, TemplateRegistry};
 pub use template::templatize;
 pub use token::{tokenize, Token};

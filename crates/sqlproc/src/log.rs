@@ -14,9 +14,8 @@ pub struct LogRecord {
     pub sql: String,
 }
 
-/// Parse a `<epoch_seconds>\t<sql>` line. Returns `None` for blank lines,
-/// comment lines starting with `#`, or lines without a valid timestamp.
-pub fn parse_log_line(line: &str) -> Option<LogRecord> {
+/// Borrowing parse of one line — the streaming core; no allocation.
+fn parse_line_borrowed(line: &str) -> Option<(u64, &str)> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return None;
@@ -27,7 +26,13 @@ pub fn parse_log_line(line: &str) -> Option<LogRecord> {
     if sql.is_empty() {
         return None;
     }
-    Some(LogRecord { ts_secs, sql: sql.to_string() })
+    Some((ts_secs, sql))
+}
+
+/// Parse a `<epoch_seconds>\t<sql>` line. Returns `None` for blank lines,
+/// comment lines starting with `#`, or lines without a valid timestamp.
+pub fn parse_log_line(line: &str) -> Option<LogRecord> {
+    parse_line_borrowed(line).map(|(ts_secs, sql)| LogRecord { ts_secs, sql: sql.to_string() })
 }
 
 /// Parse a whole log text, silently skipping unparseable lines (truncated
@@ -49,30 +54,78 @@ pub struct ParsedLog {
     pub first_skipped_offset: Option<usize>,
 }
 
-/// Parse a whole log text, counting damaged lines instead of hiding them.
-///
-/// Blank lines and `#` comments are structural and do not count as
-/// skipped; everything else that fails [`parse_log_line`] does.
-pub fn parse_log_report(text: &str) -> ParsedLog {
-    let mut out = ParsedLog::default();
+/// Tally of one streaming parse; the records themselves went to the
+/// sink, so parsing an arbitrarily large log text never accumulates
+/// a record vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStreamStats {
+    /// Records delivered to the sink, in file order.
+    pub records: usize,
+    /// Lines that carried content but failed to parse.
+    pub skipped: usize,
+    /// Byte offset of the first skipped line.
+    pub first_skipped_offset: Option<usize>,
+}
+
+/// Stream-parse a log text: each valid record is handed to `sink` as
+/// `(ts_secs, sql)` borrowed straight from `text` — no per-record
+/// allocation, no accumulation. A sink error aborts the parse and
+/// propagates (records already delivered stay delivered).
+pub fn try_parse_log_stream<E, F>(text: &str, mut sink: F) -> Result<LogStreamStats, E>
+where
+    F: FnMut(u64, &str) -> Result<(), E>,
+{
+    let mut stats = LogStreamStats::default();
     for line in text.lines() {
-        match parse_log_line(line) {
-            Some(rec) => out.records.push(rec),
+        match parse_line_borrowed(line) {
+            Some((ts_secs, sql)) => {
+                sink(ts_secs, sql)?;
+                stats.records += 1;
+            }
             None => {
                 let t = line.trim();
                 if !t.is_empty() && !t.starts_with('#') {
-                    if out.skipped == 0 {
+                    if stats.skipped == 0 {
                         // `lines()` yields subslices of `text`, so pointer
                         // arithmetic recovers the line's byte offset.
-                        out.first_skipped_offset =
+                        stats.first_skipped_offset =
                             Some(line.as_ptr() as usize - text.as_ptr() as usize);
                     }
-                    out.skipped += 1;
+                    stats.skipped += 1;
                 }
             }
         }
     }
-    out
+    Ok(stats)
+}
+
+/// Infallible streaming parse; see [`try_parse_log_stream`].
+pub fn parse_log_stream<F>(text: &str, mut sink: F) -> LogStreamStats
+where
+    F: FnMut(u64, &str),
+{
+    let res: Result<LogStreamStats, std::convert::Infallible> =
+        try_parse_log_stream(text, |ts, sql| {
+            sink(ts, sql);
+            Ok(())
+        });
+    match res {
+        Ok(stats) => stats,
+    }
+}
+
+/// Parse a whole log text, counting damaged lines instead of hiding them.
+///
+/// Blank lines and `#` comments are structural and do not count as
+/// skipped; everything else that fails [`parse_log_line`] does.
+/// Materializes every record — ingestion paths stream with
+/// [`parse_log_stream`] instead.
+pub fn parse_log_report(text: &str) -> ParsedLog {
+    let mut records = Vec::new();
+    let stats = parse_log_stream(text, |ts_secs, sql| {
+        records.push(LogRecord { ts_secs, sql: sql.to_string() });
+    });
+    ParsedLog { records, skipped: stats.skipped, first_skipped_offset: stats.first_skipped_offset }
 }
 
 /// Render one record into the interchange format.
@@ -152,6 +205,34 @@ mod tests {
         let rep = parse_log_report("# header\nbroken line\n1\tSELECT a\n");
         assert_eq!(rep.skipped, 1);
         assert_eq!(rep.first_skipped_offset, Some(9));
+    }
+
+    #[test]
+    fn streaming_parse_matches_report() {
+        let text = "# header\n1\tSELECT a\ngarbage\n2\tSELECT b\n";
+        let mut seen = Vec::new();
+        let stats = parse_log_stream(text, |ts, sql| seen.push((ts, sql.to_string())));
+        let rep = parse_log_report(text);
+        assert_eq!(stats.records, rep.records.len());
+        assert_eq!(stats.skipped, rep.skipped);
+        assert_eq!(stats.first_skipped_offset, rep.first_skipped_offset);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[1], (2, "SELECT b".to_string()));
+    }
+
+    #[test]
+    fn streaming_sink_error_aborts_and_propagates() {
+        let text = "1\tSELECT a\n2\tSELECT b\n3\tSELECT c\n";
+        let mut delivered = 0;
+        let res: Result<LogStreamStats, &str> = try_parse_log_stream(text, |ts, _| {
+            if ts == 2 {
+                return Err("sink full");
+            }
+            delivered += 1;
+            Ok(())
+        });
+        assert_eq!(res, Err("sink full"));
+        assert_eq!(delivered, 1, "records before the error stay delivered");
     }
 
     #[test]

@@ -10,14 +10,61 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TemplateId(pub u32);
 
+/// Approximate fixed per-template bookkeeping cost (map entry, vec
+/// headers, id) used by the registry's byte accounting.
+const TEMPLATE_OVERHEAD: usize = 96;
+
+/// Outcome of one [`TemplateRegistry::evict_cold`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvictionReport {
+    /// Templates whose observation history was evicted this pass.
+    pub evicted_templates: usize,
+    /// Approximate bytes released.
+    pub bytes_freed: usize,
+    /// Wire-encoded evicted histories, for spilling into a snapshot so
+    /// the history is recallable ([`TemplateRegistry::restore_spill`]).
+    /// `None` when nothing was evicted.
+    pub spill: Option<Vec<u8>>,
+}
+
 /// Maps raw SQL statements to canonical templates and records each
 /// observation's timestamp so arrival-rate traces can be binned later.
+///
+/// # Memory governance
+///
+/// The registry byte-accounts itself (approximately: template strings,
+/// per-template overhead, 8 bytes per observation). Long-running
+/// services bound it two ways:
+///
+/// * [`set_observation_cap`] caps each template's in-memory history —
+///   when exceeded, the oldest half is dropped (counted, never silent);
+/// * [`evict_cold`] drops whole observation histories coldest-first
+///   (least-recently-seen, then smallest) until the registry fits a
+///   byte target, returning the evicted state as a wire-encoded spill
+///   blob so a snapshot can keep it recallable.
+///
+/// Template strings and ids are never evicted: ids must stay stable
+/// for trained models, and the strings are what make an evicted
+/// template recognizable when it comes back.
+///
+/// [`set_observation_cap`]: TemplateRegistry::set_observation_cap
+/// [`evict_cold`]: TemplateRegistry::evict_cold
 #[derive(Debug, Default)]
 pub struct TemplateRegistry {
     by_template: HashMap<String, TemplateId>,
     templates: Vec<String>,
     /// Observation timestamps (seconds) per template.
     observations: Vec<Vec<u64>>,
+    /// Most recent observation timestamp per template (0 = never).
+    last_seen: Vec<u64>,
+    /// Per-template in-memory observation cap (None = unbounded).
+    obs_cap: Option<usize>,
+    /// Incrementally maintained approximate footprint in bytes.
+    approx_bytes: usize,
+    /// Observations dropped by the cap (cumulative).
+    dropped_observations: u64,
+    /// Template histories evicted by `evict_cold` (cumulative).
+    evicted_templates: u64,
 }
 
 impl TemplateRegistry {
@@ -34,14 +81,144 @@ impl TemplateRegistry {
             Some(&id) => id,
             None => {
                 let id = TemplateId(self.templates.len() as u32);
+                // The string is stored twice: map key and roster slot.
+                self.approx_bytes += 2 * canonical.len() + TEMPLATE_OVERHEAD;
                 self.by_template.insert(canonical.clone(), id);
                 self.templates.push(canonical);
                 self.observations.push(Vec::new());
+                self.last_seen.push(0);
                 id
             }
         };
-        self.observations[id.0 as usize].push(ts_secs);
+        let slot = id.0 as usize;
+        self.observations[slot].push(ts_secs);
+        self.approx_bytes += 8;
+        if ts_secs > self.last_seen[slot] {
+            self.last_seen[slot] = ts_secs;
+        }
+        if let Some(cap) = self.obs_cap {
+            let obs = &mut self.observations[slot];
+            if obs.len() > cap {
+                // Drop the oldest half (insertion order) so the cap
+                // costs amortized O(1) per observe, not O(cap).
+                let keep = cap.div_ceil(2);
+                let drop = obs.len() - keep;
+                obs.drain(..drop);
+                obs.shrink_to_fit();
+                self.dropped_observations += drop as u64;
+                self.approx_bytes = self.approx_bytes.saturating_sub(8 * drop);
+            }
+        }
         id
+    }
+
+    /// Cap each template's in-memory observation history. When a push
+    /// exceeds the cap, the oldest half is dropped and counted in
+    /// [`dropped_observations`]. Applies to future observes only.
+    ///
+    /// [`dropped_observations`]: TemplateRegistry::dropped_observations
+    pub fn set_observation_cap(&mut self, cap: usize) {
+        self.obs_cap = Some(cap.max(1));
+    }
+
+    /// Approximate resident footprint in bytes (strings, overhead,
+    /// 8 bytes per observation). Maintained incrementally.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Observations dropped by the per-template cap (cumulative).
+    pub fn dropped_observations(&self) -> u64 {
+        self.dropped_observations
+    }
+
+    /// Template histories evicted by [`evict_cold`] (cumulative).
+    ///
+    /// [`evict_cold`]: TemplateRegistry::evict_cold
+    pub fn evicted_template_count(&self) -> u64 {
+        self.evicted_templates
+    }
+
+    /// Most recent observation timestamp for `id` (0 = never seen).
+    pub fn last_seen(&self, id: TemplateId) -> u64 {
+        self.last_seen[id.0 as usize]
+    }
+
+    /// Evict cold observation histories until the approximate footprint
+    /// fits `target_bytes`. Coldest first: least-recently-seen, ties
+    /// broken by fewest observations, then id. Evicted histories are
+    /// returned wire-encoded in the report's `spill` so callers can
+    /// persist them; the template strings and ids stay resident (stable
+    /// ids, recognizable returns).
+    pub fn evict_cold(&mut self, target_bytes: usize) -> EvictionReport {
+        if self.approx_bytes <= target_bytes {
+            return EvictionReport::default();
+        }
+        let mut order: Vec<usize> = (0..self.templates.len())
+            .filter(|&i| !self.observations[i].is_empty())
+            .collect();
+        order.sort_by_key(|&i| (self.last_seen[i], self.observations[i].len(), i));
+        let mut evicted: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut freed = 0usize;
+        for i in order {
+            if self.approx_bytes <= target_bytes {
+                break;
+            }
+            let obs = std::mem::take(&mut self.observations[i]);
+            let bytes = 8 * obs.len();
+            self.approx_bytes = self.approx_bytes.saturating_sub(bytes);
+            freed += bytes;
+            evicted.push((i, obs));
+        }
+        self.evicted_templates += evicted.len() as u64;
+        let spill = if evicted.is_empty() {
+            None
+        } else {
+            let mut w = WireWriter::new();
+            w.put_u32(evicted.len() as u32);
+            for (i, obs) in &evicted {
+                w.put_u32(*i as u32);
+                w.put_u64_seq(obs);
+            }
+            Some(w.into_bytes())
+        };
+        EvictionReport { evicted_templates: evicted.len(), bytes_freed: freed, spill }
+    }
+
+    /// Restore observation histories evicted by [`evict_cold`] from a
+    /// spill blob. Restored timestamps are prepended (they predate
+    /// anything observed since the eviction). Returns the number of
+    /// templates restored.
+    ///
+    /// # Errors
+    /// Fails on a damaged blob or an id this registry never allocated;
+    /// nothing is partially applied on error before the bad entry.
+    ///
+    /// [`evict_cold`]: TemplateRegistry::evict_cold
+    pub fn restore_spill(&mut self, bytes: &[u8]) -> Result<usize, WireError> {
+        let mut r = WireReader::new(bytes);
+        let n = r.u32()? as usize;
+        if n > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut restored = 0;
+        for _ in 0..n {
+            let id = r.u32()? as usize;
+            let obs = r.u64_seq()?;
+            if id >= self.observations.len() {
+                return Err(WireError::BadValue("spill template id out of range"));
+            }
+            self.approx_bytes += 8 * obs.len();
+            if let Some(&max) = obs.iter().max() {
+                if max > self.last_seen[id] {
+                    self.last_seen[id] = max;
+                }
+            }
+            let slot = &mut self.observations[id];
+            slot.splice(0..0, obs);
+            restored += 1;
+        }
+        Ok(restored)
     }
 
     /// Number of distinct templates.
@@ -124,6 +301,8 @@ impl TemplateRegistry {
             if reg.by_template.insert(tpl.clone(), id).is_some() {
                 return Err(WireError::BadValue("duplicate template"));
             }
+            reg.approx_bytes += 2 * tpl.len() + TEMPLATE_OVERHEAD + 8 * obs.len();
+            reg.last_seen.push(obs.iter().copied().max().unwrap_or(0));
             reg.templates.push(tpl);
             reg.observations.push(obs);
         }
@@ -231,6 +410,107 @@ mod tests {
         // The lookup map is rebuilt: an equivalent statement resolves.
         assert_eq!(back.lookup("SELECT a FROM t WHERE x = 55"), Some(TemplateId(0)));
         assert_eq!(back.template(TemplateId(1)), reg.template(TemplateId(1)));
+    }
+
+    #[test]
+    fn observation_cap_drops_oldest_and_counts() {
+        let mut reg = TemplateRegistry::new();
+        reg.set_observation_cap(8);
+        let id = reg.observe("SELECT a FROM t WHERE x = 0", 0);
+        for ts in 1..=20u64 {
+            reg.observe("SELECT a FROM t WHERE x = 0", ts);
+        }
+        assert!(reg.count(id) <= 8, "cap must bound history, got {}", reg.count(id));
+        assert_eq!(reg.count(id) as u64 + reg.dropped_observations(), 21);
+        // The survivors are the newest observations.
+        let set = reg.arrival_traces(0, 21, 1);
+        let vals = set.traces()[0].values();
+        assert_eq!(vals[20], 1.0, "newest observation must survive");
+        assert_eq!(vals[0], 0.0, "oldest observation must be dropped");
+        assert_eq!(reg.last_seen(id), 20);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_growth_and_eviction() {
+        let mut reg = TemplateRegistry::new();
+        let hot = reg.observe("SELECT hot FROM t WHERE x = 1", 100);
+        let cold = reg.observe("SELECT cold FROM u WHERE x = 1", 5);
+        for ts in 0..50 {
+            reg.observe("SELECT cold FROM u WHERE x = 1", ts);
+        }
+        for ts in 90..110 {
+            reg.observe("SELECT hot FROM t WHERE x = 1", ts);
+        }
+        let before = reg.approx_bytes();
+        assert!(before > 0);
+        // Evict down far enough that at least the cold template goes.
+        let report = reg.evict_cold(before - 8 * 40);
+        assert!(report.evicted_templates >= 1);
+        assert!(report.bytes_freed > 0);
+        assert_eq!(reg.approx_bytes(), before - report.bytes_freed);
+        // Coldest-first: the cold template's history goes before hot's.
+        assert_eq!(reg.count(cold), 0, "cold history must be evicted first");
+        assert!(reg.count(hot) > 0, "hot history must survive");
+        // Ids and strings stay resident for stable lookups.
+        assert_eq!(reg.lookup("SELECT cold FROM u WHERE x = 9"), Some(cold));
+        assert_eq!(reg.evicted_template_count(), report.evicted_templates as u64);
+    }
+
+    #[test]
+    fn spill_roundtrip_restores_evicted_history() {
+        let mut reg = TemplateRegistry::new();
+        let id = reg.observe("SELECT a FROM t WHERE x = 1", 1);
+        for ts in 2..=10u64 {
+            reg.observe("SELECT a FROM t WHERE x = 1", ts);
+        }
+        let counts_before: Vec<f64> =
+            reg.arrival_traces(0, 12, 1).traces()[0].values().to_vec();
+        let report = reg.evict_cold(0);
+        let spill = report.spill.expect("eviction must produce a spill blob");
+        assert_eq!(reg.count(id), 0);
+        // Fresh arrivals while the history is spilled out.
+        reg.observe("SELECT a FROM t WHERE x = 1", 11);
+        let restored = reg.restore_spill(&spill).unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(reg.count(id), 11);
+        let counts_after = reg.arrival_traces(0, 12, 1);
+        let vals = counts_after.traces()[0].values();
+        for (i, &v) in counts_before.iter().enumerate() {
+            if i == 11 {
+                continue;
+            }
+            assert_eq!(vals[i], v, "restored bin {i} must match pre-eviction");
+        }
+        assert_eq!(vals[11], 1.0);
+        assert_eq!(reg.last_seen(id), 11);
+    }
+
+    #[test]
+    fn restore_spill_rejects_damage() {
+        let mut reg = TemplateRegistry::new();
+        reg.observe("SELECT a FROM t", 1);
+        reg.observe("SELECT a FROM t", 2);
+        let spill = reg.evict_cold(0).spill.unwrap();
+        // Truncations must fail cleanly, never panic.
+        for cut in 0..spill.len() {
+            assert!(reg.restore_spill(&spill[..cut]).is_err(), "cut {cut} must fail");
+        }
+        // A spill naming a template this registry never allocated fails.
+        let mut other = TemplateRegistry::new();
+        assert!(other.restore_spill(&spill).is_err());
+    }
+
+    #[test]
+    fn decode_rebuilds_byte_accounting_and_last_seen() {
+        let mut reg = TemplateRegistry::new();
+        let id = reg.observe("SELECT a FROM t WHERE x = 1", 7);
+        reg.observe("SELECT a FROM t WHERE x = 2", 3);
+        let mut w = WireWriter::new();
+        reg.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let back = TemplateRegistry::decode_from(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(back.approx_bytes(), reg.approx_bytes());
+        assert_eq!(back.last_seen(id), 7);
     }
 
     #[test]

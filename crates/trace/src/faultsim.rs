@@ -207,6 +207,94 @@ impl FaultInjector {
         out.into_iter().collect()
     }
 
+    /// A per-tick ingest offer plan for overload testing: `base`
+    /// requests on a normal tick, `base * burst_mult` on burst ticks.
+    /// Bursts recur every `burst_every` ticks at a seeded phase, so the
+    /// flood is both violent and exactly reproducible. `burst_every = 0`
+    /// disables bursts.
+    pub fn burst_flood(
+        &mut self,
+        ticks: usize,
+        base: usize,
+        burst_every: usize,
+        burst_mult: usize,
+    ) -> Vec<usize> {
+        let phase = if burst_every > 1 { self.rng.gen_range(0..burst_every) } else { 0 };
+        (0..ticks)
+            .map(|i| {
+                if burst_every > 0 && i % burst_every == phase {
+                    base * burst_mult.max(1)
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    /// A per-tick injected-latency plan: roughly `frac` of ticks carry
+    /// an extra delay of up to `max_ms` milliseconds (slow tasks, GC
+    /// pauses); the rest carry zero.
+    pub fn latency_spikes(&mut self, ticks: usize, frac: f64, max_ms: u64) -> Vec<u64> {
+        let frac = frac.clamp(0.0, 1.0);
+        (0..ticks)
+            .map(|_| {
+                if max_ms > 0 && self.rng.gen::<f64>() < frac {
+                    self.rng.gen_range(1..=max_ms)
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// A per-tick slow-consumer stall plan: like [`latency_spikes`] but
+    /// stalls arrive in runs of up to `max_run` consecutive ticks — a
+    /// downstream consumer that wedges for a while, not a single blip.
+    ///
+    /// [`latency_spikes`]: FaultInjector::latency_spikes
+    pub fn slow_consumer_stalls(
+        &mut self,
+        ticks: usize,
+        frac: f64,
+        max_run: usize,
+        stall_ms: u64,
+    ) -> Vec<u64> {
+        let frac = frac.clamp(0.0, 1.0);
+        let mut out = vec![0u64; ticks];
+        if stall_ms == 0 || max_run == 0 {
+            return out;
+        }
+        let mut i = 0;
+        while i < ticks {
+            if self.rng.gen::<f64>() < frac {
+                let run = self.rng.gen_range(1..=max_run);
+                for slot in out.iter_mut().skip(i).take(run) {
+                    *slot = stall_ms;
+                }
+                i += run;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// `n` hostile query templates that stress template-memory
+    /// governance: each has distinct identifiers of roughly `name_len`
+    /// characters, which survive canonicalization (unlike literals) and
+    /// bloat the registry until eviction steps in.
+    pub fn poison_templates(&mut self, n: usize, name_len: usize) -> Vec<String> {
+        let name_len = name_len.max(1);
+        (0..n)
+            .map(|i| {
+                let junk: String = (0..name_len)
+                    .map(|_| (b'a' + self.rng.gen_range(0..26u8)) as char)
+                    .collect();
+                format!("SELECT col_{junk} FROM tbl_{junk}_{i} WHERE id = 1")
+            })
+            .collect()
+    }
+
     /// Damage roughly `frac` of the lines in a raw query log: each picked
     /// line is either cut short mid-character, replaced with binary-ish
     /// junk, or prefixed with garbage. Returns the garbled text and the
@@ -396,6 +484,52 @@ mod tests {
         assert!(a.kill_offsets(0, 5).is_empty());
         assert!(a.kill_offsets(1, 5).is_empty());
         assert_eq!(a.kill_offsets(2, 5), vec![1]);
+    }
+
+    #[test]
+    fn burst_flood_is_seeded_and_periodic() {
+        let mut a = FaultInjector::new(9);
+        let mut b = FaultInjector::new(9);
+        let pa = a.burst_flood(40, 10, 8, 10);
+        let pb = b.burst_flood(40, 10, 8, 10);
+        assert_eq!(pa, pb, "same seed, same flood");
+        assert_eq!(pa.len(), 40);
+        let bursts = pa.iter().filter(|&&n| n == 100).count();
+        assert_eq!(bursts, 5, "every 8th tick bursts");
+        assert!(pa.iter().all(|&n| n == 10 || n == 100));
+        // Disabled bursts: flat plan.
+        assert!(a.burst_flood(10, 3, 0, 10).iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn latency_spikes_bounded_and_fractional() {
+        let mut inj = FaultInjector::new(10);
+        let plan = inj.latency_spikes(1_000, 0.2, 50);
+        let spikes = plan.iter().filter(|&&ms| ms > 0).count();
+        assert!(spikes > 100 && spikes < 350, "roughly a fifth spike: {spikes}");
+        assert!(plan.iter().all(|&ms| ms <= 50));
+        assert!(inj.latency_spikes(100, 1.0, 0).iter().all(|&ms| ms == 0));
+    }
+
+    #[test]
+    fn slow_consumer_stalls_come_in_runs() {
+        let mut inj = FaultInjector::new(11);
+        let plan = inj.slow_consumer_stalls(500, 0.1, 5, 30);
+        assert!(plan.iter().any(|&ms| ms == 30));
+        assert!(plan.iter().all(|&ms| ms == 0 || ms == 30));
+        // At least one run longer than a single tick.
+        assert!(plan.windows(2).any(|w| w[0] == 30 && w[1] == 30));
+    }
+
+    #[test]
+    fn poison_templates_are_distinct_and_seeded() {
+        let mut a = FaultInjector::new(12);
+        let mut b = FaultInjector::new(12);
+        let pa = a.poison_templates(20, 64);
+        assert_eq!(pa, b.poison_templates(20, 64));
+        let distinct: std::collections::BTreeSet<_> = pa.iter().collect();
+        assert_eq!(distinct.len(), 20);
+        assert!(pa.iter().all(|s| s.len() > 64));
     }
 
     #[test]

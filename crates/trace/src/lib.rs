@@ -26,6 +26,7 @@ pub mod faultsim;
 pub mod io;
 pub mod metrics;
 pub mod normalize;
+pub mod ring;
 pub mod split;
 pub mod synth;
 pub mod trace;
@@ -38,6 +39,7 @@ pub use wire::{atomic_write, crc32, WireError, WireReader, WireWriter};
 pub use io::{format_single, format_wide, parse_single, parse_wide, CsvError};
 pub use metrics::{mae, mape, mse, rmse, smape};
 pub use normalize::{MinMaxScaler, Scaler, ZScoreScaler};
+pub use ring::HistoryRing;
 pub use split::{train_test_split, Split};
 pub use trace::{Trace, TraceKind, TraceSet};
 pub use window::{WindowDataset, WindowSpec};

@@ -1,0 +1,139 @@
+//! Fixed-capacity history ring for long-running serving paths.
+//!
+//! A [`Trace`](crate::Trace) owns an unbounded `Vec` of samples — right
+//! for offline training, wrong for a service that appends one sample per
+//! tick forever. [`HistoryRing`] keeps the newest `capacity` samples in
+//! a circular buffer: appends are O(1), memory is fixed at construction,
+//! and everything displaced is counted rather than silently lost.
+
+/// A bounded ring of `f64` samples, keeping only the newest `capacity`.
+#[derive(Debug, Clone)]
+pub struct HistoryRing {
+    buf: Vec<f64>,
+    /// Next write position.
+    head: usize,
+    /// Live sample count (≤ capacity).
+    len: usize,
+    /// Samples displaced after the ring filled (cumulative).
+    dropped: u64,
+}
+
+impl HistoryRing {
+    /// An empty ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` — a ring that can hold nothing cannot
+    /// report a meaningful history.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self { buf: vec![0.0; capacity], head: 0, len: 0, dropped: 0 }
+    }
+
+    /// Append one sample, displacing the oldest if the ring is full.
+    pub fn push(&mut self, value: f64) {
+        let cap = self.buf.len();
+        self.buf[self.head] = value;
+        self.head = (self.head + 1) % cap;
+        if self.len < cap {
+            self.len += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Live samples currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no samples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum samples the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Samples displaced because the ring was full (cumulative).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The newest sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.buf.len();
+        Some(self.buf[(self.head + cap - 1) % cap])
+    }
+
+    /// The retained history, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(|i| self.buf[(start + i) % cap]).collect()
+    }
+
+    /// Mean of the retained history (`None` when empty) — the basis of
+    /// degraded volume-only forecasts when there is no time to model.
+    pub fn mean(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        let sum: f64 = (0..self.len).map(|i| self.buf[(start + i) % cap]).sum();
+        Some(sum / self.len as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = HistoryRing::new(3);
+        assert!(r.is_empty());
+        r.push(1.0);
+        r.push(2.0);
+        assert_eq!(r.to_vec(), vec![1.0, 2.0]);
+        assert_eq!(r.dropped(), 0);
+        r.push(3.0);
+        r.push(4.0);
+        r.push(5.0);
+        assert_eq!(r.to_vec(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.last(), Some(5.0));
+    }
+
+    #[test]
+    fn mean_over_retained_window_only() {
+        let mut r = HistoryRing::new(2);
+        assert_eq!(r.mean(), None);
+        r.push(100.0);
+        r.push(2.0);
+        r.push(4.0);
+        assert_eq!(r.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest() {
+        let mut r = HistoryRing::new(1);
+        for i in 0..10 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.to_vec(), vec![9.0]);
+        assert_eq!(r.dropped(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        HistoryRing::new(0);
+    }
+}
