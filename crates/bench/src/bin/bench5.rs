@@ -1,0 +1,285 @@
+//! `BENCH_5.json` — the closed-loop model lifecycle: retrain latency
+//! percentiles, shadow-evaluation throughput, promotion/rejection/
+//! rollback counts under repeated injected regime shifts, and the
+//! serving governor's drift-shift soak. The burst sweep re-runs the
+//! BENCH_4 scenarios verbatim so the two reports are directly
+//! comparable — lifecycle support must not move the serving-path
+//! latency envelope.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench5`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`).
+//! Output: `BENCH_5.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`.
+
+use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur_bench::datasets::Scale;
+use dbaugur_exec::Deadline;
+use dbaugur_lifecycle::{LifecycleConfig, LifecycleManager};
+use dbaugur_models::{rolling_origin_splits, shadow_backtest};
+use dbaugur_serve::{run_soak, SoakConfig, SoakReport};
+use dbaugur_trace::WindowSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One overload scenario's measurements, ready for JSON.
+struct Row {
+    burst_mult: usize,
+    report: SoakReport,
+    wall_secs: f64,
+}
+
+/// Identical to bench4's scenario builder so forecast percentiles are
+/// comparable run-to-run.
+fn scenario(ticks: usize, burst_mult: usize) -> SoakConfig {
+    SoakConfig {
+        ticks,
+        burst_mult,
+        burst_every: if burst_mult <= 1 { 0 } else { 40 },
+        ..SoakConfig::default()
+    }
+}
+
+fn row_json(r: &Row) -> String {
+    let s = &r.report.stats;
+    let shed_rate = if s.offered_ingest + s.offered_forecasts > 0 {
+        s.shed_total() as f64 / (s.offered_ingest + s.offered_forecasts) as f64
+    } else {
+        0.0
+    };
+    let mut j = String::new();
+    let _ = writeln!(j, "    {{");
+    let _ = writeln!(j, "      \"burst_mult\": {},", r.burst_mult);
+    let _ = writeln!(j, "      \"completed_fresh\": {},", s.completed_fresh);
+    let _ = writeln!(j, "      \"completed_degraded\": {},", s.completed_degraded);
+    let _ = writeln!(j, "      \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(j, "      \"forecast_p50_ms\": {:.3},", r.report.latency_p50_ms);
+    let _ = writeln!(j, "      \"forecast_p99_ms\": {:.3},", r.report.latency_p99_ms);
+    let _ = writeln!(j, "      \"memory_high_water_bytes\": {},", r.report.memory_high_water);
+    let _ = writeln!(j, "      \"recovered\": {},", r.report.recovered());
+    let _ = writeln!(j, "      \"wall_secs\": {:.6}", r.wall_secs);
+    let _ = write!(j, "    }}");
+    j
+}
+
+/// The small-but-learnable pipeline the lifecycle scenario drives: one
+/// square-wave template, enough training budget that a fresh challenger
+/// can actually learn a shifted regime.
+fn lifecycle_cfg() -> DbAugurConfig {
+    let mut cfg = DbAugurConfig {
+        interval_secs: 60,
+        history: 8,
+        horizon: 1,
+        top_k: 3,
+        ..DbAugurConfig::default()
+    };
+    cfg.clustering.min_size = 1;
+    cfg.fast();
+    cfg.epochs = 12;
+    cfg.max_examples = 256;
+    cfg
+}
+
+fn trained_system() -> DbAugur {
+    let mut sys = DbAugur::new(lifecycle_cfg());
+    for minute in 0..120u64 {
+        let n = 2 + 5 * u64::from(minute % 10 < 5);
+        for q in 0..n {
+            sys.ingest_record(minute * 60 + q, "SELECT * FROM t WHERE a = 1");
+        }
+    }
+    sys.train(0, 120 * 60).expect("trains");
+    sys
+}
+
+/// Drive cluster 0 into quarantine on a fresh regime (alternating by
+/// cycle so the reigning champion — which learned the previous regime —
+/// is always wrong about the next one).
+fn inject_shift(sys: &DbAugur, cycle: usize) {
+    let history = sys.config().history;
+    let c = &sys.clusters()[0];
+    let warm = sys.config().drift.warmup + sys.config().drift.window;
+    for _ in 0..warm {
+        let f = c.forecast(history);
+        c.observe(history, f);
+    }
+    let (base, amp) = if cycle % 2 == 0 { (50.0, 15.0) } else { (120.0, 25.0) };
+    for k in 0..320 {
+        c.observe(history, base + amp * f64::from(k % 10 < 5));
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (ticks, cycles, shadow_reps) = match scale.name {
+        "quick" => (200, 3, 50),
+        "full" => (2000, 10, 500),
+        _ => (400, 6, 200),
+    };
+    eprintln!("bench5: scale={} ticks={ticks} cycles={cycles}", scale.name);
+
+    // Part 1: the BENCH_4 burst sweep, verbatim, for p99 comparability.
+    let sweep = [1usize, 5, 10, 20];
+    let rows: Vec<Row> = sweep
+        .iter()
+        .map(|&burst_mult| {
+            let cfg = scenario(ticks, burst_mult);
+            let start = Instant::now();
+            let report = run_soak(&cfg);
+            let wall_secs = start.elapsed().as_secs_f64();
+            eprintln!(
+                "  burst x{burst_mult}: p99 {:.1} ms, {} fresh, {:.1} ms wall",
+                report.latency_p99_ms,
+                report.stats.completed_fresh,
+                wall_secs * 1e3
+            );
+            Row { burst_mult, report, wall_secs }
+        })
+        .collect();
+
+    // Part 2: repeated regime shifts through the lifecycle loop —
+    // retrain latency and promotion outcomes.
+    let mut sys = trained_system();
+    let mut mgr = LifecycleManager::new(LifecycleConfig {
+        min_improvement: 0.01,
+        min_eval_windows: 2,
+        shadow_folds: 6,
+        cooldown_ticks: 1,
+        ..LifecycleConfig::default()
+    });
+    let mut retrain_ms: Vec<f64> = Vec::new();
+    for cycle in 0..cycles {
+        inject_shift(&sys, cycle);
+        let start = Instant::now();
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if rep.attempted > 0 {
+            retrain_ms.push(ms / rep.attempted as f64);
+        }
+        eprintln!(
+            "  cycle {cycle}: {} retrained in {ms:.0} ms → {} promoted, {} rejected",
+            rep.attempted,
+            rep.promoted.len(),
+            rep.rejected.len()
+        );
+        // Burn the cooldown so the next cycle is eligible again.
+        mgr.tick(&mut sys, &Deadline::none());
+    }
+    // A strict gate rejects even a good challenger: exercise the
+    // rejection path explicitly.
+    let mut strict = LifecycleManager::new(LifecycleConfig {
+        min_improvement: 0.99,
+        min_eval_windows: 2,
+        shadow_folds: 6,
+        cooldown_ticks: 1,
+        ..LifecycleConfig::default()
+    });
+    inject_shift(&sys, cycles);
+    strict.tick(&mut sys, &Deadline::none());
+    // And one operator rollback, if the registry has a predecessor.
+    let rollback_ok = mgr.rollback(&mut sys, 0).is_ok();
+
+    retrain_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let lstats = mgr.stats();
+    let sstats = strict.stats();
+
+    // Part 3: shadow-evaluation throughput (predict-only backtests of
+    // the reigning champion over rolling origins).
+    let series = sys.cluster_series(0).expect("trained cluster");
+    let spec = WindowSpec::new(sys.config().history, sys.config().horizon);
+    let splits = rolling_origin_splits(series.len(), 32, spec.horizon);
+    let start = Instant::now();
+    let mut windows = 0u64;
+    for _ in 0..shadow_reps {
+        let score = shadow_backtest(
+            |w| sys.clusters()[0].predict_window(w),
+            &series,
+            &splits,
+            spec,
+        );
+        windows += score.map_or(0, |s| s.windows as u64);
+    }
+    let shadow_secs = start.elapsed().as_secs_f64();
+    let shadow_windows_per_sec =
+        if shadow_secs > 0.0 { windows as f64 / shadow_secs } else { 0.0 };
+
+    // Part 4: the serving governor under a mid-run regime shift.
+    let shift_cfg = SoakConfig {
+        ticks,
+        drift_shift_at_frac: 0.5,
+        drift_shift_mult: 2,
+        ..SoakConfig::default()
+    };
+    let shift = run_soak(&shift_cfg);
+    eprintln!(
+        "  drift-shift soak: shift at tick {:?}, recovery in {:?} ticks, shed {:.4} → {:.4}",
+        shift.shift_tick,
+        shift.post_shift_recovery_ticks,
+        shift.pre_shift_shed_rate,
+        shift.post_shift_shed_rate
+    );
+
+    let base = &rows[0].report;
+    let flood = &rows.iter().find(|r| r.burst_mult == 10).expect("10x row").report;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_5\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"ticks\": {ticks},");
+    let _ = writeln!(json, "  \"seed\": {},", SoakConfig::default().seed);
+    let _ = writeln!(json, "  \"scenarios\": [");
+    let _ = writeln!(json, "{}", rows.iter().map(row_json).collect::<Vec<_>>().join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"lifecycle\": {{");
+    let _ = writeln!(json, "    \"retrain_cycles\": {},", cycles);
+    let _ = writeln!(json, "    \"retrain_p50_ms\": {:.3},", percentile(&retrain_ms, 0.5));
+    let _ = writeln!(json, "    \"retrain_p99_ms\": {:.3},", percentile(&retrain_ms, 0.99));
+    let _ = writeln!(json, "    \"shadow_windows_per_sec\": {shadow_windows_per_sec:.1},");
+    let _ = writeln!(json, "    \"promotions\": {},", lstats.promotions);
+    let _ = writeln!(json, "    \"rejections\": {},", lstats.rejections + sstats.rejections);
+    let _ = writeln!(json, "    \"rollbacks\": {},", lstats.rollbacks);
+    let _ = writeln!(json, "    \"rollback_ok\": {rollback_ok},");
+    let _ = writeln!(json, "    \"expired\": {},", lstats.expired + sstats.expired);
+    let _ = writeln!(json, "    \"failed\": {}", lstats.failed + sstats.failed);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"drift_shift_soak\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shift_tick\": {},",
+        shift.shift_tick.map_or("null".into(), |t| t.to_string())
+    );
+    let _ = writeln!(
+        json,
+        "    \"recovery_ticks\": {},",
+        shift.post_shift_recovery_ticks.map_or("null".into(), |t| t.to_string())
+    );
+    let _ = writeln!(json, "    \"pre_shift_shed_rate\": {:.4},", shift.pre_shift_shed_rate);
+    let _ = writeln!(json, "    \"post_shift_shed_rate\": {:.4},", shift.post_shift_shed_rate);
+    let _ = writeln!(json, "    \"forecast_p99_ms\": {:.3},", shift.latency_p99_ms);
+    let _ = writeln!(json, "    \"reconciled\": {}", shift.reconciled);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(json, "    \"baseline_p99_ms\": {:.3},", base.latency_p99_ms);
+    let _ = writeln!(json, "    \"flood_p99_ms\": {:.3},", flood.latency_p99_ms);
+    let _ = writeln!(json, "    \"promotion_loop_closed\": {}", lstats.promotions > 0);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

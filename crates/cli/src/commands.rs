@@ -9,6 +9,8 @@ use dbaugur_models::{
     Arima, Forecaster, GruForecaster, KernelRegression, LinearRegression, LstmForecaster,
     MlpForecaster, Qb5000, TcnForecaster, TimeSensitiveEnsemble, Wfgan,
 };
+use dbaugur_exec::Deadline;
+use dbaugur_lifecycle::{LifecycleConfig, LifecycleManager};
 use dbaugur_serve::{run_soak, SoakConfig};
 use dbaugur_sqlproc::TemplateRegistry;
 use dbaugur_trace::{io as trace_io, synth, TraceKind, WindowSpec};
@@ -305,6 +307,125 @@ pub fn recover(args: &Args) -> CmdResult {
         sys.clusters().len()
     );
     print_health(&sys);
+    Ok(())
+}
+
+/// `retrain <state-dir> --cluster N` — synchronously refit one
+/// cluster's ensemble on its representative plus buffered recent
+/// observations, fold the result into a new snapshot generation, and
+/// report drift health. The manual escape hatch when an operator wants
+/// a retrain *now* rather than waiting for the lifecycle loop.
+pub fn retrain(args: &Args) -> CmdResult {
+    args.check_flags(&["cluster", "interval", "history", "horizon", "topk", "epochs", "threads"])?;
+    let dir = args.positional(0, "state-dir")?;
+    let cfg = pipeline_cfg(args)?;
+    let (mut durable, report) = DurableDbAugur::open(Path::new(dir), cfg)?;
+    match report.generation {
+        Some(gen) => println!("opened generation {gen}, {} wal entries replayed", report.wal_applied),
+        None => return Err("no trained state in this directory (run checkpoint first)".into()),
+    }
+    let i: usize = args
+        .flag("cluster")
+        .ok_or("--cluster is required")?
+        .parse()
+        .map_err(|_| "--cluster must be a cluster index")?;
+    let rep = durable
+        .system_mut()
+        .retrain_cluster(i)
+        .map_err(|e| format!("retrain of cluster {i} failed: {e}"))?;
+    println!(
+        "cluster {i} ({}) retrained: {}{}",
+        rep.representative,
+        rep.status,
+        rep.detail.as_deref().map(|d| format!(" — {d}")).unwrap_or_default()
+    );
+    let gen = durable.checkpoint()?;
+    println!("checkpoint generation {gen} written");
+    print_health(durable.system());
+    Ok(())
+}
+
+/// `lifecycle <state-dir>` — run the closed-loop model lifecycle over
+/// recovered state: reconcile any promotions newer than the snapshot,
+/// then scan for drift, train challengers, shadow-evaluate them
+/// against the incumbents, and promote the winners. Finishes with a
+/// checkpoint so the registry and snapshot agree on disk.
+pub fn lifecycle(args: &Args) -> CmdResult {
+    args.check_flags(&[
+        "ticks", "budget-ms", "min-improve", "windows", "cooldown", "interval", "history",
+        "horizon", "topk", "epochs", "threads",
+    ])?;
+    let dir = args.positional(0, "state-dir")?;
+    let cfg = pipeline_cfg(args)?;
+    let (mut durable, report) = DurableDbAugur::open(Path::new(dir), cfg)?;
+    match report.generation {
+        Some(gen) => println!("opened generation {gen}, {} wal entries replayed", report.wal_applied),
+        None => return Err("no trained state in this directory (run checkpoint first)".into()),
+    }
+
+    let defaults = LifecycleConfig::default();
+    let lc_cfg = LifecycleConfig {
+        min_improvement: args.flag_num("min-improve", defaults.min_improvement)?,
+        min_eval_windows: args.flag_num("windows", defaults.min_eval_windows)?,
+        cooldown_ticks: args.flag_num("cooldown", defaults.cooldown_ticks)?,
+        ..defaults
+    };
+    lc_cfg.validate()?;
+    let mut mgr = LifecycleManager::open(lc_cfg, Path::new(dir));
+    if mgr.registry_corrupt() {
+        println!("warning: lifecycle registry was corrupt; starting a fresh one (champions keep serving)");
+    }
+    let applied = mgr.reconcile(durable.system_mut());
+    if applied > 0 {
+        println!("reconciled {applied} promotion(s) newer than the recovered snapshot");
+    }
+
+    let ticks: u64 = args.flag_num("ticks", 4)?;
+    let budget_ms: u64 = args.flag_num("budget-ms", 0)?;
+    for _ in 0..ticks {
+        let deadline =
+            if budget_ms == 0 { Deadline::none() } else { Deadline::in_millis(budget_ms) };
+        let rep = mgr.tick(durable.system_mut(), &deadline);
+        println!(
+            "tick {}: {} scanned, {} flagged ({} cooling, {} deferred), {} retrained → {} promoted, {} rejected, {} expired, {} failed",
+            rep.tick,
+            rep.scanned,
+            rep.flagged,
+            rep.cooling,
+            rep.deferred,
+            rep.attempted,
+            rep.promoted.len(),
+            rep.rejected.len(),
+            rep.expired,
+            rep.failed
+        );
+    }
+
+    for ev in mgr.events() {
+        println!(
+            "event: tick {} cluster {} {} (champion sMAPE {:.2}, challenger {:.2}) → generation {}",
+            ev.tick, ev.cluster, ev.kind, ev.champion_smape, ev.challenger_smape, ev.generation
+        );
+    }
+    for c in mgr.report(durable.system()) {
+        println!(
+            "cluster {} ({}): drift {} | generation {} | {} archived | cooldown {}{}",
+            c.cluster,
+            c.representative,
+            c.drift,
+            c.generation,
+            c.archived,
+            c.cooldown_remaining,
+            if c.retrain_recommended { " | RETRAIN RECOMMENDED" } else { "" }
+        );
+    }
+    let s = mgr.stats();
+    println!(
+        "lifecycle: {} promotions, {} rejections, {} rollbacks, {} expired, {} failed",
+        s.promotions, s.rejections, s.rollbacks, s.expired, s.failed
+    );
+    let gen = durable.checkpoint()?;
+    println!("checkpoint generation {gen} written");
     Ok(())
 }
 

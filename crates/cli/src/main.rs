@@ -9,6 +9,8 @@
 //! dbaugur synth <bustracker|alibaba> [--days N] emit a synthetic trace CSV
 //! dbaugur checkpoint <dir> [--log FILE]         durable ingest + snapshot generation
 //! dbaugur recover <dir>                         restore snapshot + replay WAL
+//! dbaugur retrain <dir> --cluster N             synchronously refit one cluster
+//! dbaugur lifecycle <dir> [--ticks N]           drift-triggered retrain/shadow/promote loop
 //! dbaugur soak [--ticks N] [--seed S]           chaos/soak the serving governor
 //! ```
 //!
@@ -34,6 +36,13 @@ commands:
              WAL-first ingest, optional (re)train, write snapshot generation
   recover <state-dir> [pipeline flags]
              restore newest good snapshot, replay WAL, report drift health
+  retrain <state-dir> --cluster N [pipeline flags]
+             synchronously refit one cluster's ensemble and checkpoint
+  lifecycle <state-dir> [--ticks N] [--budget-ms MS] [--min-improve F]
+            [--windows W] [--cooldown T] [pipeline flags]
+             run the closed-loop lifecycle: reconcile promotions, retrain
+             drift-flagged clusters, shadow-evaluate challengers against
+             the incumbents, promote winners, checkpoint
   soak [--ticks N] [--seed S] [--base R] [--burst-every T] [--burst-mult M]
        [--forecasts F] [--budget BYTES] [--deadline MS]
              run a seeded overload scenario against the serving governor
@@ -67,6 +76,8 @@ fn main() -> ExitCode {
         "synth" => commands::synth(&args),
         "checkpoint" => commands::checkpoint(&args),
         "recover" => commands::recover(&args),
+        "retrain" => commands::retrain(&args),
+        "lifecycle" => commands::lifecycle(&args),
         "soak" => commands::soak(&args),
         other => Err(format!("unknown command {other:?}").into()),
     };

@@ -184,6 +184,63 @@ fn checkpoint_then_recover_roundtrip() {
 }
 
 #[test]
+fn retrain_and_lifecycle_run_on_checkpointed_state() {
+    let dir = tmpdir("lifecycle");
+    let state = dir.join("state");
+    let log = dir.join("app.log");
+    let mut text = String::new();
+    for m in 0..240u64 {
+        let n = 2 + (m % 8);
+        for k in 0..n {
+            text.push_str(&format!("{}\tSELECT x FROM t WHERE id = {k}\n", m * 60 + k));
+        }
+    }
+    std::fs::write(&log, text).expect("write");
+    let flags = ["--interval", "600", "--history", "8", "--topk", "2", "--epochs", "1"];
+    let out = bin()
+        .arg("checkpoint")
+        .arg(&state)
+        .arg("--log")
+        .arg(&log)
+        .args(flags)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "checkpoint failed: {}", stderr(&out));
+
+    // Missing --cluster is a clean error, not a panic.
+    let out = bin().arg("retrain").arg(&state).args(flags).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--cluster is required"), "got: {}", stderr(&out));
+
+    let out = bin()
+        .arg("retrain")
+        .arg(&state)
+        .args(["--cluster", "0"])
+        .args(flags)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "retrain failed: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("retrained"), "got: {s}");
+    assert!(s.contains("checkpoint generation 2 written"), "got: {s}");
+
+    let out = bin()
+        .arg("lifecycle")
+        .arg(&state)
+        .args(["--ticks", "2"])
+        .args(flags)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "lifecycle failed: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("tick 1:"), "got: {s}");
+    assert!(s.contains("tick 2:"), "got: {s}");
+    assert!(s.contains("generation"), "got: {s}");
+    assert!(s.contains("checkpoint generation 3 written"), "got: {s}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn recover_refuses_mismatched_configuration() {
     let dir = tmpdir("ckpt_mismatch");
     let state = dir.join("state");

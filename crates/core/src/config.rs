@@ -47,6 +47,11 @@ pub struct DbAugurConfig {
     /// only trades wall-clock for CPU, so it is *not* part of the
     /// snapshot fingerprint.
     pub threads: usize,
+    /// Per-cluster cap on the rolling buffer of observed actuals that
+    /// feeds retraining (the new-regime evidence a challenger fits on).
+    /// A capacity knob, not a model-shape knob, so it is excluded from
+    /// the snapshot fingerprint.
+    pub recent_cap: usize,
 }
 
 impl Default for DbAugurConfig {
@@ -67,6 +72,7 @@ impl Default for DbAugurConfig {
             wfgan_lr: None,
             drift: DriftConfig::default(),
             threads: 0,
+            recent_cap: 512,
         }
     }
 }
@@ -93,6 +99,9 @@ impl DbAugurConfig {
         }
         if !(0.0..=1.0).contains(&self.delta) || self.delta == 0.0 {
             return Err("delta must be in (0, 1]".into());
+        }
+        if self.recent_cap == 0 {
+            return Err("recent_cap must be positive".into());
         }
         self.guard.validate().map_err(|e| format!("guard: {e}"))?;
         self.drift.validate().map_err(|e| format!("drift: {e}"))?;
@@ -159,6 +168,8 @@ mod tests {
         b.epochs = 1; // training budget: not shape-relevant
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.threads = 8; // parallelism: not shape-relevant (results identical)
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.recent_cap = 64; // retrain-buffer capacity: not shape-relevant
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.history = 12; // window shape: relevant
         assert_ne!(a.fingerprint(), b.fingerprint());

@@ -54,10 +54,12 @@ pub use config::DbAugurConfig;
 pub use drift::{DriftConfig, DriftMonitor, DriftState};
 pub use durable::{DurableDbAugur, WAL_FILE};
 pub use pipeline::{
-    ClusterHealth, ClusterReport, ClusterStatus, ClusterTrainReport, DbAugur, ForecastError,
-    IngestReport, TrainError, TrainedCluster,
+    train_challenger, ClusterHealth, ClusterReport, ClusterStatus, ClusterTrainReport, DbAugur,
+    ForecastError, IngestReport, RetrainError, TrainError, TrainedCluster,
 };
-pub use snapshot::{list_generations, snapshot_path, RecoveryReport, SnapshotError};
+pub use snapshot::{
+    encode_model_blob, list_generations, snapshot_path, RecoveryReport, SnapshotError,
+};
 pub use wal::{Wal, WalEntry, WalScan};
 
 // Re-export the component crates under one roof for downstream users.

@@ -98,6 +98,30 @@ impl fmt::Display for ForecastError {
 
 impl std::error::Error for ForecastError {}
 
+/// Why a single-cluster retrain (manual or lifecycle-driven) failed.
+/// The incumbent model is untouched in every error case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetrainError {
+    /// No trained cluster at that index.
+    UnknownCluster(usize),
+    /// The deadline expired before the challenger finished fitting.
+    Expired,
+    /// Challenger training panicked (message captured).
+    Panicked(String),
+}
+
+impl fmt::Display for RetrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrainError::UnknownCluster(i) => write!(f, "no trained cluster at index {i}"),
+            RetrainError::Expired => write!(f, "deadline expired before the challenger fit"),
+            RetrainError::Panicked(m) => write!(f, "challenger training panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RetrainError {}
+
 /// How a cluster came out of training.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterStatus {
@@ -210,6 +234,9 @@ pub struct ClusterHealth {
     pub error_ratio: Option<f64>,
     /// True when the monitor (or a failed training) says retrain.
     pub retrain_recommended: bool,
+    /// Model generation serving the cluster (0 = initial training;
+    /// each promotion or manual retrain bumps it).
+    pub generation: u64,
 }
 
 /// One trained representative cluster: the summary (members,
@@ -222,6 +249,13 @@ pub struct TrainedCluster {
     pub(crate) ensemble: RwLock<TimeSensitiveEnsemble>,
     /// Rolling forecast-error monitor feeding the drift report.
     pub(crate) drift: RwLock<DriftMonitor>,
+    /// Bounded buffer of observed actuals since training — the
+    /// new-regime evidence a retrain's challenger fits on.
+    pub(crate) recent: RwLock<Vec<f64>>,
+    pub(crate) recent_cap: usize,
+    /// Model generation: 0 right after a full `train`, bumped by every
+    /// promotion or manual retrain.
+    pub(crate) generation: u64,
 }
 
 impl TrainedCluster {
@@ -264,6 +298,21 @@ impl TrainedCluster {
         if actual.is_finite() && predicted.is_finite() {
             self.drift.write().record((actual - predicted).abs(), actual.abs());
         }
+        if actual.is_finite() {
+            let mut recent = self.recent.write();
+            recent.push(actual);
+            let cap = self.recent_cap.max(1);
+            if recent.len() > cap {
+                let excess = recent.len() - cap;
+                recent.drain(..excess);
+            }
+        }
+    }
+
+    /// Predict from an explicit window (the shadow backtest's probe) —
+    /// no drift gate, no weight update, no lock held across the call.
+    pub fn predict_window(&self, window: &[f64]) -> f64 {
+        self.ensemble.read().predict(window)
     }
 
     /// The drift monitor's current classification of this cluster.
@@ -289,6 +338,16 @@ impl TrainedCluster {
     /// Per-member health/quarantine snapshot of the ensemble.
     pub fn member_states(&self) -> Vec<MemberState> {
         self.ensemble.read().member_states()
+    }
+
+    /// Model generation serving this cluster (0 = the initial training).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Observed actuals buffered since the last (re)train.
+    pub fn recent_observations(&self) -> usize {
+        self.recent.read().len()
     }
 }
 
@@ -604,6 +663,9 @@ impl DbAugur {
                     status,
                     ensemble: RwLock::new(ensemble),
                     drift: RwLock::new(DriftMonitor::new(self.cfg.drift.clone())),
+                    recent: RwLock::new(Vec::new()),
+                    recent_cap: self.cfg.recent_cap,
+                    generation: 0,
                 }
             })
             .collect();
@@ -668,9 +730,99 @@ impl DbAugur {
                     error_ratio: c.drift_ratio(),
                     retrain_recommended: drift.needs_retrain()
                         || c.status == ClusterStatus::Failed,
+                    generation: c.generation,
                 }
             })
             .collect()
+    }
+
+    /// The series a retrain of cluster `i` fits and shadow-evaluates
+    /// on: the training-time representative with every buffered recent
+    /// observation appended (the new regime's evidence). `None` when
+    /// there is no trained cluster at that index.
+    pub fn cluster_series(&self, i: usize) -> Option<Vec<f64>> {
+        let c = self.trained.get(i)?;
+        let mut s = c.summary.representative.values().to_vec();
+        s.extend(c.recent.read().iter().copied());
+        Some(s)
+    }
+
+    /// Manually retrain one cluster, synchronously: fit a fresh
+    /// challenger on [`Self::cluster_series`], install it, fold the
+    /// recent observations into the representative, reset the drift
+    /// monitor (clearing [`ForecastError::Quarantined`]), and bump the
+    /// model generation. The incumbent stays untouched on any error.
+    pub fn retrain_cluster(&mut self, i: usize) -> Result<ClusterReport, RetrainError> {
+        self.retrain_cluster_governed(i, &Deadline::none())
+    }
+
+    /// Deadline-governed [`Self::retrain_cluster`]. Unlike training,
+    /// expiry never demotes anything: the old model keeps serving and
+    /// [`RetrainError::Expired`] is returned.
+    pub fn retrain_cluster_governed(
+        &mut self,
+        i: usize,
+        deadline: &Deadline,
+    ) -> Result<ClusterReport, RetrainError> {
+        let series = self.cluster_series(i).ok_or(RetrainError::UnknownCluster(i))?;
+        let challenger = train_challenger(&self.cfg, &series, &self.exec, deadline)?;
+        Ok(self.install_challenger(i, challenger).expect("cluster index checked above"))
+    }
+
+    /// Install a freshly trained challenger as cluster `i`'s serving
+    /// model: the recent-observation buffer is folded into the
+    /// representative (so forecast windows reflect the regime the
+    /// challenger saw), the drift monitor resets (clearing any
+    /// quarantine), the status is reclassified from the challenger's
+    /// member health, and the generation bumps. Returns `None` when the
+    /// index is unknown.
+    pub fn install_challenger(
+        &mut self,
+        i: usize,
+        ensemble: TimeSensitiveEnsemble,
+    ) -> Option<ClusterReport> {
+        let next_gen = self.trained.get(i)?.generation + 1;
+        self.install_ensemble(i, ensemble, next_gen)
+    }
+
+    /// Install `ensemble` as cluster `i`'s serving model at an explicit
+    /// `generation` (registry reconcile/rollback path). Same folding and
+    /// drift-reset semantics as [`Self::install_challenger`].
+    pub fn install_ensemble(
+        &mut self,
+        i: usize,
+        ensemble: TimeSensitiveEnsemble,
+        generation: u64,
+    ) -> Option<ClusterReport> {
+        let drift_cfg = self.cfg.drift.clone();
+        let min_len = self.cfg.history + self.cfg.horizon + 1;
+        let c = self.trained.get_mut(i)?;
+        let recent = std::mem::take(&mut *c.recent.get_mut());
+        if !recent.is_empty() {
+            // Fold the new regime into the representative, keeping its
+            // length bounded: append, then trim oldest-first back to the
+            // pre-fold length (never below one supervised example).
+            let rep = &c.summary.representative;
+            let keep = rep.len().max(min_len);
+            let mut values = rep.values().to_vec();
+            values.extend(recent);
+            if values.len() > keep {
+                values.drain(..values.len() - keep);
+            }
+            c.summary.representative =
+                Trace::new(rep.name.clone(), rep.kind, rep.interval_secs, values);
+        }
+        let (status, detail) = classify(&ensemble, None);
+        *c.ensemble.get_mut() = ensemble;
+        *c.drift.get_mut() = DriftMonitor::new(drift_cfg);
+        c.status = status.clone();
+        c.generation = generation;
+        Some(ClusterReport {
+            cluster_id: c.summary.cluster_id,
+            representative: c.summary.representative.name.clone(),
+            status,
+            detail,
+        })
     }
 }
 
@@ -746,6 +898,34 @@ fn train_cluster(
             floor.fit(&rep, spec);
             (summary, floor, Some(format!("training panicked: {msg}")))
         }
+    }
+}
+
+/// Fit a fresh challenger ensemble on `series` under `deadline`,
+/// behind a panic boundary. This never touches a live cluster: on
+/// panic or expiry the incumbent keeps serving and the error comes
+/// back instead of a demoted floor. Fitting fans out through `exec`,
+/// so results are bitwise identical at any worker count.
+pub fn train_challenger(
+    cfg: &DbAugurConfig,
+    series: &[f64],
+    exec: &Arc<Executor>,
+    deadline: &Deadline,
+) -> Result<TimeSensitiveEnsemble, RetrainError> {
+    if deadline.expired() {
+        return Err(RetrainError::Expired);
+    }
+    let spec = WindowSpec::new(cfg.history, cfg.horizon);
+    let fitted = catch_unwind(AssertUnwindSafe(|| {
+        let mut ensemble = make_ensemble(cfg);
+        ensemble.set_executor(Arc::clone(exec));
+        ensemble.fit_governed(series, spec, deadline);
+        ensemble
+    }));
+    match fitted {
+        Ok(ensemble) if ensemble.active_count() == 0 => Err(RetrainError::Expired),
+        Ok(ensemble) => Ok(ensemble),
+        Err(payload) => Err(RetrainError::Panicked(panic_message(payload.as_ref()))),
     }
 }
 
@@ -1018,6 +1198,91 @@ mod tests {
             b.forecast_template("SELECT * FROM t WHERE a = 9"),
             "deterministic training is identical under an untimed deadline"
         );
+    }
+
+    /// Warm a cluster's drift monitor with zero-error feedback, then
+    /// push shifted actuals until it quarantines.
+    fn quarantine_cluster(sys: &DbAugur, i: usize) {
+        let history = sys.config().history;
+        let c = &sys.clusters()[i];
+        let warm = sys.config().drift.warmup + sys.config().drift.window;
+        for _ in 0..warm {
+            let f = c.forecast(history);
+            c.observe(history, f); // zero error: clean baseline
+        }
+        for _ in 0..64 {
+            if c.drift_state() == DriftState::Quarantined {
+                break;
+            }
+            let f = c.forecast(history);
+            c.observe(history, f * 10.0 + 50.0); // regime shift
+        }
+        assert_eq!(c.drift_state(), DriftState::Quarantined);
+    }
+
+    #[test]
+    fn retrain_cluster_clears_quarantine_and_bumps_generation() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        quarantine_cluster(&sys, 0);
+        assert_eq!(
+            sys.clusters()[0].try_forecast(sys.config().history),
+            Err(ForecastError::Quarantined)
+        );
+        assert!(sys.clusters()[0].recent_observations() > 0);
+        let report = sys.retrain_cluster(0).expect("retrains");
+        assert_ne!(report.status, ClusterStatus::Failed);
+        let c = &sys.clusters()[0];
+        assert_eq!(c.drift_state(), DriftState::Warmup, "monitor reset");
+        assert_eq!(c.generation(), 1);
+        assert_eq!(c.recent_observations(), 0, "buffer folded into the representative");
+        assert!(c.try_forecast(sys.config().history).expect("quarantine cleared").is_finite());
+    }
+
+    #[test]
+    fn retrain_unknown_cluster_errors() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        assert_eq!(sys.retrain_cluster(99), Err(RetrainError::UnknownCluster(99)));
+    }
+
+    #[test]
+    fn expired_retrain_leaves_incumbent_serving() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        let before = sys.forecast_cluster(0).expect("serves");
+        let dl = Deadline::none();
+        dl.cancel();
+        assert_eq!(sys.retrain_cluster_governed(0, &dl), Err(RetrainError::Expired));
+        assert_eq!(sys.clusters()[0].generation(), 0, "no install on expiry");
+        assert_eq!(sys.forecast_cluster(0), Some(before), "incumbent untouched");
+    }
+
+    #[test]
+    fn recent_buffer_is_bounded() {
+        let mut cfg = tiny_cfg();
+        cfg.recent_cap = 16;
+        let mut sys = DbAugur::new(cfg);
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        let c = &sys.clusters()[0];
+        for _ in 0..100 {
+            c.observe(sys.config().history, 5.0);
+        }
+        assert_eq!(c.recent_observations(), 16);
+    }
+
+    #[test]
+    fn drift_report_carries_generation() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM t WHERE a = 1", 120, 10, 5);
+        sys.train(0, 120 * 60).expect("trains");
+        assert!(sys.drift_report().iter().all(|h| h.generation == 0));
+        sys.retrain_cluster(0).expect("retrains");
+        assert_eq!(sys.drift_report()[0].generation, 1);
     }
 
     #[test]

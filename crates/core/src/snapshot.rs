@@ -39,8 +39,13 @@ use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
 pub const SNAP_MAGIC: &[u8; 4] = b"DBAG";
-/// Current snapshot format version.
-pub const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the per-cluster
+/// model generation and recent-observation buffer (the lifecycle
+/// layer's state); version-1 snapshots still load, with both fields
+/// defaulting to empty.
+pub const SNAP_VERSION: u32 = 2;
+/// Oldest snapshot version still accepted by recovery.
+pub const SNAP_MIN_VERSION: u32 = 1;
 /// Generations retained after a checkpoint (current + one fallback).
 pub const KEEP_GENERATIONS: usize = 2;
 
@@ -215,7 +220,60 @@ fn decode_summary(r: &mut WireReader<'_>) -> Result<ClusterSummary, WireError> {
     Ok(ClusterSummary { cluster_id, members, proportions, volume, representative })
 }
 
+/// Wire-encode one ensemble as a standalone model blob (kind tag +
+/// dynamic snapshot) — the unit the lifecycle registry versions and
+/// persists. `&mut` because exporting member weights borrows mutably.
+pub fn encode_model_blob(ensemble: &mut TimeSensitiveEnsemble) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    let kind = if ensemble.name() == "DBAugur-floor" { KIND_FLOOR } else { KIND_FULL };
+    w.put_u8(kind);
+    encode_ensemble_snapshot(&mut w, &ensemble.export_snapshot());
+    w.into_bytes()
+}
+
 impl DbAugur {
+    /// Export cluster `i`'s serving model as a standalone blob (see
+    /// [`encode_model_blob`]); `None` for an unknown index.
+    pub fn export_model_blob(&mut self, i: usize) -> Option<Vec<u8>> {
+        let c = self.trained.get_mut(i)?;
+        Some(encode_model_blob(c.ensemble.get_mut()))
+    }
+
+    /// Decode a model blob and install it as cluster `i`'s serving
+    /// model at `generation` — the registry reconcile/rollback path.
+    /// The blob's weights are imported into a freshly rebuilt ensemble
+    /// (same shape-establishing fit recovery uses), then installed with
+    /// the usual fold/drift-reset semantics of
+    /// [`DbAugur::install_ensemble`]. The incumbent is untouched on any
+    /// decode or import failure.
+    pub fn install_model_blob(
+        &mut self,
+        i: usize,
+        blob: &[u8],
+        generation: u64,
+    ) -> Result<(), SnapshotError> {
+        let summary_exists = self.trained.get(i).is_some();
+        if !summary_exists {
+            return Err(SnapshotError::Corrupt(format!("no trained cluster at index {i}")));
+        }
+        let mut r = WireReader::new(blob);
+        let kind = r.u8()?;
+        let esnap = decode_ensemble_snapshot(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes in model blob".into()));
+        }
+        let spec = WindowSpec::new(self.cfg.history, self.cfg.horizon);
+        let summary = self.trained[i].summary.clone();
+        let mut ensemble = match kind {
+            KIND_FULL => rebuild_ensemble(&self.cfg, &summary, spec),
+            KIND_FLOOR => rebuild_floor(&self.cfg, &summary, spec),
+            t => return Err(WireError::BadTag(t).into()),
+        };
+        ensemble.import_snapshot(&esnap).map_err(SnapshotError::Corrupt)?;
+        self.install_ensemble(i, ensemble, generation);
+        Ok(())
+    }
+
     /// Serialize the full pipeline state (header + CRC included).
     /// `&mut` because exporting member weights borrows them mutably.
     pub fn encode_snapshot(&mut self) -> Vec<u8> {
@@ -242,6 +300,8 @@ impl DbAugur {
             w.put_u8(kind);
             encode_ensemble_snapshot(&mut w, &ensemble.export_snapshot());
             cluster.drift.get_mut().encode_into(&mut w);
+            w.put_u64(cluster.generation);
+            w.put_f64_seq(cluster.recent.get_mut());
         }
         let body = w.into_bytes();
         let mut out = Vec::with_capacity(12 + body.len());
@@ -264,7 +324,7 @@ impl DbAugur {
             return Err(SnapshotError::Corrupt("bad magic".into()));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != SNAP_VERSION {
+        if !(SNAP_MIN_VERSION..=SNAP_VERSION).contains(&version) {
             return Err(SnapshotError::Corrupt(format!("unsupported version {version}")));
         }
         let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
@@ -309,6 +369,13 @@ impl DbAugur {
             let kind = r.u8()?;
             let esnap = decode_ensemble_snapshot(&mut r)?;
             let drift = DriftMonitor::decode_from(cfg.drift.clone(), &mut r)?;
+            // Version 1 predates the lifecycle layer: no generation or
+            // recent-observation buffer on disk.
+            let (generation, recent) = if version >= 2 {
+                (r.u64()?, r.f64_seq()?)
+            } else {
+                (0, Vec::new())
+            };
             let mut ensemble = match kind {
                 KIND_FULL => rebuild_ensemble(&cfg, &summary, spec),
                 KIND_FLOOR => rebuild_floor(&cfg, &summary, spec),
@@ -322,6 +389,9 @@ impl DbAugur {
                 status,
                 ensemble: RwLock::new(ensemble),
                 drift: RwLock::new(drift),
+                recent: RwLock::new(recent),
+                recent_cap: cfg.recent_cap,
+                generation,
             });
         }
         if r.remaining() != 0 {

@@ -1,0 +1,120 @@
+//! Lifecycle policy knobs: how eagerly to retrain, how hard a
+//! challenger must win, and how much history the registry retains.
+
+use std::fmt;
+
+/// Policy configuration for the [`crate::LifecycleManager`].
+///
+/// The defaults are deliberately conservative: a challenger must beat
+/// the incumbent by a clear relative margin over several independent
+/// evaluation folds, and a cluster that just changed champions (or just
+/// rejected one) is left alone for a cooldown period so noisy shadow
+/// scores cannot thrash the serving model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleConfig {
+    /// Relative sMAPE improvement the challenger must deliver:
+    /// promote iff `challenger <= champion * (1 - min_improvement)`.
+    /// `0.05` = "at least 5% better". Must lie in `[0, 1)`.
+    pub min_improvement: f64,
+    /// Minimum shadow-evaluation folds the challenger must score on;
+    /// fewer valid folds means the evidence is too thin to promote.
+    pub min_eval_windows: usize,
+    /// Rolling origins requested per shadow backtest (clamped to what
+    /// the series admits).
+    pub shadow_folds: usize,
+    /// Ticks a cluster is left alone after a promotion or rejection —
+    /// the hysteresis that stops champion thrashing.
+    pub cooldown_ticks: u64,
+    /// Model generations retained per cluster in the registry (current
+    /// champion + rollback depth). At least 2 so rollback always has a
+    /// predecessor to fall back to.
+    pub max_generations: usize,
+    /// Promotion events retained in the audit log.
+    pub max_events: usize,
+    /// Retrains launched per lifecycle tick, so one bad tick can never
+    /// monopolise the executor.
+    pub max_retrains_per_tick: usize,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        Self {
+            min_improvement: 0.05,
+            min_eval_windows: 4,
+            shadow_folds: 8,
+            cooldown_ticks: 8,
+            max_generations: 4,
+            max_events: 256,
+            max_retrains_per_tick: 2,
+        }
+    }
+}
+
+/// A rejected [`LifecycleConfig`] field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidLifecycleConfig(pub &'static str);
+
+impl fmt::Display for InvalidLifecycleConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid lifecycle config: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLifecycleConfig {}
+
+impl LifecycleConfig {
+    /// Reject configurations that would make the gate or registry
+    /// degenerate (a negative margin, a registry too shallow to roll
+    /// back, a tick that can never retrain anything).
+    pub fn validate(&self) -> Result<(), InvalidLifecycleConfig> {
+        if !(0.0..1.0).contains(&self.min_improvement) {
+            return Err(InvalidLifecycleConfig("min_improvement must lie in [0, 1)"));
+        }
+        if self.min_eval_windows == 0 {
+            return Err(InvalidLifecycleConfig("min_eval_windows must be at least 1"));
+        }
+        if self.shadow_folds < self.min_eval_windows {
+            return Err(InvalidLifecycleConfig(
+                "shadow_folds must be at least min_eval_windows",
+            ));
+        }
+        if self.max_generations < 2 {
+            return Err(InvalidLifecycleConfig(
+                "max_generations must be at least 2 (champion + rollback target)",
+            ));
+        }
+        if self.max_events == 0 {
+            return Err(InvalidLifecycleConfig("max_events must be at least 1"));
+        }
+        if self.max_retrains_per_tick == 0 {
+            return Err(InvalidLifecycleConfig("max_retrains_per_tick must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        LifecycleConfig::default().validate().expect("defaults validate");
+    }
+
+    #[test]
+    fn degenerate_fields_rejected() {
+        let ok = LifecycleConfig::default();
+        for (name, cfg) in [
+            ("neg margin", LifecycleConfig { min_improvement: -0.1, ..ok.clone() }),
+            ("margin 1", LifecycleConfig { min_improvement: 1.0, ..ok.clone() }),
+            ("zero windows", LifecycleConfig { min_eval_windows: 0, ..ok.clone() }),
+            ("folds < windows", LifecycleConfig { shadow_folds: 3, ..ok.clone() }),
+            ("shallow registry", LifecycleConfig { max_generations: 1, ..ok.clone() }),
+            ("no events", LifecycleConfig { max_events: 0, ..ok.clone() }),
+            ("no retrains", LifecycleConfig { max_retrains_per_tick: 0, ..ok.clone() }),
+        ] {
+            assert!(cfg.validate().is_err(), "{name} should be rejected");
+        }
+    }
+}

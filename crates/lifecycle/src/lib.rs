@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Closed-loop model lifecycle for the DBAugur pipeline.
+//!
+//! The training pipeline (core) detects drift and the serving layer
+//! (serve) degrades gracefully, but until this crate nothing ever
+//! *acted* on a `retrain_recommended` verdict — a drifted cluster
+//! served seasonal-naive floors forever. The lifecycle manager closes
+//! the loop:
+//!
+//! ```text
+//!            drift_report()                    shadow backtest
+//! Healthy ──► Stale/Quarantined ──► Retraining ──► Shadow ──► Promoted
+//!    ▲                                  │             │           │
+//!    │                                  │ (expired/   │ (gate     │ drift reset,
+//!    │                                  │  panicked)  │  fails)   │ generation+1
+//!    └──────────────────────────────────┴─────── Rejected ◄───────┘
+//! ```
+//!
+//! * **Retraining** — drift-flagged clusters get a fresh *challenger*
+//!   ensemble fitted on the representative plus the buffered recent
+//!   observations, fanned out on the shared work-stealing executor
+//!   under a [`dbaugur_exec::Deadline`] budget. The incumbent
+//!   *champion* keeps serving throughout.
+//! * **Shadow evaluation** — champion and challenger are both scored,
+//!   predict-only (`observe` never fires, so the champion is not
+//!   mutated), over the same rolling-origin splits of held-out recent
+//!   history ([`dbaugur_models::rolling_origin_splits`]). The
+//!   challenger's fit stops where the holdout begins — it never trains
+//!   on the folds it is scored on.
+//! * **Promotion gate** — the challenger must beat the champion's
+//!   sMAPE by a relative margin over a minimum number of valid folds;
+//!   losers are rejected and a per-cluster cooldown (hysteresis) stops
+//!   champion thrashing either way.
+//! * **Registry** — every promotion is recorded in a versioned,
+//!   CRC-checksummed, atomically written per-cluster model registry
+//!   *before* the live install, so a promotion survives a crash even
+//!   if no snapshot checkpoint follows ([`LifecycleManager::reconcile`]
+//!   re-applies it after recovery). Bounded generations keep rollback
+//!   one call away; a bounded [`PromotionEvent`] log makes every
+//!   decision auditable.
+
+pub mod config;
+pub mod manager;
+pub mod registry;
+
+pub use config::LifecycleConfig;
+pub use manager::{
+    ClusterLifecycle, LifecycleError, LifecycleManager, LifecycleStats, LifecycleTickReport,
+};
+pub use registry::{
+    registry_path, ModelRecord, ModelRegistry, PromotionEvent, PromotionKind, RegistryError,
+    REGISTRY_FILE,
+};

@@ -1,0 +1,702 @@
+//! The lifecycle manager: one `tick` drives drift-triggered retraining,
+//! shadow evaluation, and champion/challenger promotion end to end.
+
+use crate::config::LifecycleConfig;
+use crate::registry::{
+    registry_path, ModelRecord, ModelRegistry, PromotionEvent, PromotionKind, RegistryError,
+};
+use dbaugur::{encode_model_blob, train_challenger, DbAugur, DriftState, RetrainError};
+use dbaugur_exec::{Deadline, TaskError};
+use dbaugur_models::{rolling_origin_splits, shadow_backtest, Forecaster, OriginSplit};
+use dbaugur_trace::WindowSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a rollback could not be performed.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// The registry holds no predecessor generation for that cluster.
+    NoRollbackTarget(usize),
+    /// The archived blob failed to decode or install; the incumbent
+    /// keeps serving.
+    Install(String),
+    /// The registry could not be persisted.
+    Registry(RegistryError),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::NoRollbackTarget(i) => {
+                write!(f, "cluster {i} has no archived predecessor to roll back to")
+            }
+            LifecycleError::Install(w) => write!(f, "archived model failed to install: {w}"),
+            LifecycleError::Registry(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// Cumulative counters across a manager's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LifecycleStats {
+    /// Lifecycle ticks run.
+    pub ticks: u64,
+    /// Challenger trainings launched.
+    pub retrains_attempted: u64,
+    /// Challengers that beat the gate and now serve.
+    pub promotions: u64,
+    /// Challengers discarded by the gate.
+    pub rejections: u64,
+    /// Operator rollbacks applied.
+    pub rollbacks: u64,
+    /// Retrains cut short by the deadline (retried on a later tick).
+    pub expired: u64,
+    /// Retrains that panicked (cluster put on cooldown).
+    pub failed: u64,
+    /// Registry promotions re-applied after recovery.
+    pub reconciled: u64,
+    /// Registry writes that failed (promotion proceeded in memory).
+    pub persist_failures: u64,
+}
+
+/// What one [`LifecycleManager::tick`] did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LifecycleTickReport {
+    /// Tick number (1-based).
+    pub tick: u64,
+    /// Trained clusters scanned.
+    pub scanned: usize,
+    /// Clusters whose drift monitor recommended a retrain.
+    pub flagged: usize,
+    /// Flagged clusters skipped because their cooldown has not elapsed.
+    pub cooling: usize,
+    /// Flagged clusters deferred by the per-tick retrain cap.
+    pub deferred: usize,
+    /// Challenger trainings launched this tick.
+    pub attempted: usize,
+    /// Cluster indices whose challenger was promoted.
+    pub promoted: Vec<usize>,
+    /// Cluster indices whose challenger was rejected.
+    pub rejected: Vec<usize>,
+    /// Retrains cut short by the deadline.
+    pub expired: usize,
+    /// Retrains that panicked.
+    pub failed: usize,
+}
+
+/// One cluster's lifecycle view (drift + generation + registry depth),
+/// for CLI / operator surfacing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterLifecycle {
+    /// Trained-cluster index.
+    pub cluster: usize,
+    /// Representative trace name.
+    pub representative: String,
+    /// Drift classification.
+    pub drift: DriftState,
+    /// Serving model generation.
+    pub generation: u64,
+    /// Model versions archived in the registry.
+    pub archived: usize,
+    /// Ticks until the next retrain may be attempted (0 = eligible).
+    pub cooldown_remaining: u64,
+    /// True when the drift monitor (or failed training) wants a retrain.
+    pub retrain_recommended: bool,
+}
+
+/// The closed-loop model lifecycle controller (see the crate docs for
+/// the state machine). Drives one pipeline; owns the model registry
+/// and the promotion policy, never the models themselves — the
+/// pipeline's incumbents keep serving while challengers train.
+pub struct LifecycleManager {
+    cfg: LifecycleConfig,
+    registry: ModelRegistry,
+    path: Option<PathBuf>,
+    tick: u64,
+    cooldown_until: BTreeMap<u64, u64>,
+    stats: LifecycleStats,
+    registry_corrupt: bool,
+}
+
+impl LifecycleManager {
+    /// An in-memory manager (nothing persisted) — simulation and tests.
+    pub fn new(cfg: LifecycleConfig) -> Self {
+        let registry = ModelRegistry::new(cfg.max_generations, cfg.max_events);
+        Self {
+            cfg,
+            registry,
+            path: None,
+            tick: 0,
+            cooldown_until: BTreeMap::new(),
+            stats: LifecycleStats::default(),
+            registry_corrupt: false,
+        }
+    }
+
+    /// A manager persisting its registry under state directory `dir`
+    /// (file [`crate::REGISTRY_FILE`]). A missing file starts empty; a
+    /// corrupt file degrades to empty with
+    /// [`Self::registry_corrupt`] set — the recovered snapshot's
+    /// champions keep serving and [`Self::reconcile`] re-applies
+    /// nothing.
+    pub fn open(cfg: LifecycleConfig, dir: &Path) -> Self {
+        let path = registry_path(dir);
+        let (registry, registry_corrupt) =
+            ModelRegistry::load_lenient(&path, cfg.max_generations, cfg.max_events);
+        Self {
+            cfg,
+            registry,
+            path: Some(path),
+            tick: 0,
+            cooldown_until: BTreeMap::new(),
+            stats: LifecycleStats::default(),
+            registry_corrupt,
+        }
+    }
+
+    /// The policy this manager runs under.
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.cfg
+    }
+
+    /// The model registry (champions, rollback targets, audit log).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// True when the on-disk registry failed its checksum at open time.
+    pub fn registry_corrupt(&self) -> bool {
+        self.registry_corrupt
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> LifecycleStats {
+        self.stats
+    }
+
+    /// The audit log, oldest → newest.
+    pub fn events(&self) -> &[PromotionEvent] {
+        self.registry.events()
+    }
+
+    /// Ticks run so far.
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Re-apply registry promotions the recovered pipeline state
+    /// predates: for every cluster whose registered champion generation
+    /// is newer than what the snapshot restored, install the archived
+    /// champion blob. This is the read side of the write-ahead
+    /// promotion protocol — a promotion persisted to the registry but
+    /// not yet checkpointed becomes fully visible after a crash.
+    /// Returns the number of promotions re-applied; a corrupt registry
+    /// re-applies nothing (the snapshot's champions keep serving).
+    pub fn reconcile(&mut self, sys: &mut DbAugur) -> usize {
+        if self.registry_corrupt {
+            return 0;
+        }
+        let mut applied = 0;
+        for key in self.registry.cluster_indices() {
+            let i = key as usize;
+            let Some(current) = sys.clusters().get(i).map(|c| c.generation()) else {
+                continue;
+            };
+            let Some(champ) = self.registry.champion(key) else { continue };
+            if champ.generation > current
+                && sys.install_model_blob(i, &champ.blob, champ.generation).is_ok()
+            {
+                applied += 1;
+            }
+        }
+        self.stats.reconciled += applied as u64;
+        applied
+    }
+
+    /// Run one lifecycle tick against `sys` under `deadline`:
+    ///
+    /// 1. scan `drift_report()` for retrain recommendations, skipping
+    ///    clusters in cooldown and capping launches per tick;
+    /// 2. train challengers on the executor (champion keeps serving);
+    ///    each challenger fits only the prefix *before* its shadow
+    ///    folds, so it is never scored on data it trained on;
+    /// 3. shadow-backtest champion vs challenger, predict-only, over
+    ///    the same rolling-origin folds;
+    /// 4. promote through the gate (registry persisted **before** the
+    ///    live install) or reject; either way start the cooldown.
+    ///
+    /// Deterministic for a given pipeline + tick sequence at any
+    /// executor worker count.
+    pub fn tick(&mut self, sys: &mut DbAugur, deadline: &Deadline) -> LifecycleTickReport {
+        self.tick += 1;
+        self.stats.ticks += 1;
+        let tick = self.tick;
+        let health = sys.drift_report();
+        let mut report = LifecycleTickReport {
+            tick,
+            scanned: health.len(),
+            ..LifecycleTickReport::default()
+        };
+
+        let mut jobs: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (i, h) in health.iter().enumerate() {
+            if !h.retrain_recommended {
+                continue;
+            }
+            report.flagged += 1;
+            if self.cooldown_until.get(&(i as u64)).is_some_and(|&until| tick < until) {
+                report.cooling += 1;
+                continue;
+            }
+            if jobs.len() >= self.cfg.max_retrains_per_tick {
+                report.deferred += 1;
+                continue;
+            }
+            if let Some(series) = sys.cluster_series(i) {
+                jobs.push((i, series));
+            }
+        }
+        report.attempted = jobs.len();
+        self.stats.retrains_attempted += jobs.len() as u64;
+        if jobs.is_empty() {
+            return report;
+        }
+
+        // Fan the expensive part — challenger training — out on the
+        // shared pool. Shadow scoring happens sequentially afterwards
+        // (cheap predict-only passes), which also keeps the decision
+        // order, and therefore the registry, deterministic.
+        let exec = Arc::clone(sys.executor());
+        let cfg = sys.config().clone();
+        let spec = WindowSpec::new(cfg.history, cfg.horizon);
+        let shadow_folds = self.cfg.shadow_folds;
+        type Trained = (usize, Vec<f64>, Vec<OriginSplit>, Result<dbaugur_models::TimeSensitiveEnsemble, RetrainError>);
+        let outcomes: Vec<Result<Trained, TaskError>> =
+            exec.try_map_deadline(jobs, deadline, |_, (i, series)| {
+                let splits = rolling_origin_splits(series.len(), shadow_folds, spec.horizon);
+                // The challenger may fit only what precedes the earliest
+                // shadow fold: zero leakage into its own evaluation.
+                let holdout_start = splits.first().map_or(series.len(), |s| s.train_len);
+                let challenger = train_challenger(&cfg, &series[..holdout_start], &exec, deadline);
+                (i, series, splits, challenger)
+            });
+
+        for outcome in outcomes {
+            let (i, series, splits, challenger) = match outcome {
+                Ok(t) => t,
+                Err(TaskError::Expired) => {
+                    report.expired += 1;
+                    self.stats.expired += 1;
+                    continue;
+                }
+                Err(TaskError::Panicked(_)) => {
+                    report.failed += 1;
+                    self.stats.failed += 1;
+                    continue;
+                }
+            };
+            let challenger = match challenger {
+                Ok(c) => c,
+                Err(RetrainError::Expired) => {
+                    // Budget ran out mid-fit: retry on a later tick, no
+                    // cooldown — the cluster is still drifted.
+                    report.expired += 1;
+                    self.stats.expired += 1;
+                    continue;
+                }
+                Err(_) => {
+                    report.failed += 1;
+                    self.stats.failed += 1;
+                    self.cooldown_until.insert(i as u64, tick + self.cfg.cooldown_ticks);
+                    continue;
+                }
+            };
+            self.decide(sys, i, &series, &splits, spec, challenger, tick, &mut report);
+        }
+        report
+    }
+
+    /// Shadow-score champion vs challenger and apply the promotion gate.
+    #[allow(clippy::too_many_arguments)]
+    fn decide(
+        &mut self,
+        sys: &mut DbAugur,
+        i: usize,
+        series: &[f64],
+        splits: &[OriginSplit],
+        spec: WindowSpec,
+        mut challenger: dbaugur_models::TimeSensitiveEnsemble,
+        tick: u64,
+        report: &mut LifecycleTickReport,
+    ) {
+        let key = i as u64;
+        let champ_score = {
+            let cluster = &sys.clusters()[i];
+            shadow_backtest(|w| cluster.predict_window(w), series, splits, spec)
+        };
+        let chall_score = shadow_backtest(|w| challenger.predict(w), series, splits, spec);
+        let champ_smape = champ_score.map_or(f64::NAN, |s| s.smape);
+        let chall_smape = chall_score.map_or(f64::NAN, |s| s.smape);
+
+        // The gate: enough independent evidence, and a win by the
+        // configured relative margin — or an unscorable champion, in
+        // which case any scorable challenger is an improvement.
+        let enough = chall_score.is_some_and(|s| s.windows >= self.cfg.min_eval_windows);
+        let wins = match champ_score {
+            Some(c) if c.smape.is_finite() => {
+                chall_smape <= c.smape * (1.0 - self.cfg.min_improvement)
+            }
+            _ => true,
+        };
+
+        self.cooldown_until.insert(key, tick + self.cfg.cooldown_ticks);
+        if !(enough && wins && chall_smape.is_finite()) {
+            report.rejected.push(i);
+            self.stats.rejections += 1;
+            self.registry.push_event(PromotionEvent {
+                tick,
+                cluster: key,
+                kind: PromotionKind::Rejected,
+                champion_smape: champ_smape,
+                challenger_smape: chall_smape,
+                generation: sys.clusters()[i].generation(),
+            });
+            self.persist();
+            return;
+        }
+
+        // Archive the incumbent the first time this cluster promotes,
+        // so rollback always has a target.
+        if self.registry.generations(key) == 0 {
+            let incumbent_gen = sys.clusters()[i].generation();
+            if let Some(blob) = sys.export_model_blob(i) {
+                self.registry.push_record(
+                    key,
+                    ModelRecord { generation: incumbent_gen, smape: champ_smape, tick, blob },
+                );
+            }
+        }
+        let next_gen = sys.clusters()[i].generation() + 1;
+        let blob = encode_model_blob(&mut challenger);
+        self.registry
+            .push_record(key, ModelRecord { generation: next_gen, smape: chall_smape, tick, blob });
+        self.registry.push_event(PromotionEvent {
+            tick,
+            cluster: key,
+            kind: PromotionKind::Promoted,
+            champion_smape: champ_smape,
+            challenger_smape: chall_smape,
+            generation: next_gen,
+        });
+        // Write-ahead: the registry is durable before the live install,
+        // so a crash between the two re-applies the promotion via
+        // `reconcile` instead of losing it.
+        self.persist();
+        sys.install_ensemble(i, challenger, next_gen);
+        report.promoted.push(i);
+        self.stats.promotions += 1;
+    }
+
+    /// Roll cluster `i` back to the previous archived generation. The
+    /// popped (rolled-back-from) record is discarded; the predecessor
+    /// becomes both the registered and the serving champion.
+    pub fn rollback(&mut self, sys: &mut DbAugur, i: usize) -> Result<u64, LifecycleError> {
+        let key = i as u64;
+        let prev = self
+            .registry
+            .previous(key)
+            .cloned()
+            .ok_or(LifecycleError::NoRollbackTarget(i))?;
+        sys.install_model_blob(i, &prev.blob, prev.generation)
+            .map_err(|e| LifecycleError::Install(e.to_string()))?;
+        self.registry.pop_champion(key);
+        self.registry.push_event(PromotionEvent {
+            tick: self.tick,
+            cluster: key,
+            kind: PromotionKind::RolledBack,
+            champion_smape: f64::NAN,
+            challenger_smape: f64::NAN,
+            generation: prev.generation,
+        });
+        self.persist();
+        self.stats.rollbacks += 1;
+        Ok(prev.generation)
+    }
+
+    /// Per-cluster lifecycle view for operators.
+    pub fn report(&self, sys: &DbAugur) -> Vec<ClusterLifecycle> {
+        sys.drift_report()
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| ClusterLifecycle {
+                cluster: i,
+                representative: h.representative,
+                drift: h.drift,
+                generation: h.generation,
+                archived: self.registry.generations(i as u64),
+                cooldown_remaining: self
+                    .cooldown_until
+                    .get(&(i as u64))
+                    .map_or(0, |&until| until.saturating_sub(self.tick)),
+                retrain_recommended: h.retrain_recommended,
+            })
+            .collect()
+    }
+
+    fn persist(&mut self) {
+        if let Some(path) = &self.path {
+            if self.registry.save(path).is_err() {
+                self.stats.persist_failures += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur::{DbAugurConfig, ForecastError};
+
+    fn tiny_cfg() -> DbAugurConfig {
+        let mut cfg = DbAugurConfig {
+            interval_secs: 60,
+            history: 8,
+            horizon: 1,
+            top_k: 3,
+            ..DbAugurConfig::default()
+        };
+        cfg.clustering.min_size = 1;
+        cfg.fast();
+        // Enough budget that a fresh challenger can actually learn the
+        // shifted regime it is shadow-scored on (fast() alone leaves
+        // the networks at effectively random initialization).
+        cfg.epochs = 12;
+        cfg.max_examples = 256;
+        cfg
+    }
+
+    fn trained_system() -> DbAugur {
+        let mut sys = DbAugur::new(tiny_cfg());
+        for minute in 0..120u64 {
+            let n = 2 + 5 * u64::from(minute % 10 < 5);
+            for q in 0..n {
+                sys.ingest_record(minute * 60 + q, "SELECT * FROM t WHERE a = 1");
+            }
+        }
+        sys.train(0, 120 * 60).expect("trains");
+        sys
+    }
+
+    /// Drive cluster `i` into quarantine: clean baseline through
+    /// warmup, then a sustained regime shift — and keep the shifted
+    /// regime flowing long enough that the recent-observation buffer
+    /// holds a learnable picture of it (that buffer is exactly what a
+    /// challenger trains and is shadow-scored on).
+    fn quarantine(sys: &DbAugur, i: usize) {
+        let history = sys.config().history;
+        let c = &sys.clusters()[i];
+        let warm = sys.config().drift.warmup + sys.config().drift.window;
+        for _ in 0..warm {
+            let f = c.forecast(history);
+            c.observe(history, f);
+        }
+        // The tail must dominate the fold-in series, or a challenger
+        // fit on it would still mostly learn the dead regime.
+        let shifted = |k: usize| 50.0 + 15.0 * f64::from(k % 10 < 5);
+        for k in 0..320 {
+            c.observe(history, shifted(k));
+        }
+        assert_eq!(c.drift_state(), DriftState::Quarantined);
+    }
+
+    fn lenient() -> LifecycleConfig {
+        LifecycleConfig {
+            min_improvement: 0.01,
+            min_eval_windows: 2,
+            shadow_folds: 6,
+            cooldown_ticks: 3,
+            ..LifecycleConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_pipeline_is_left_alone() {
+        let mut sys = trained_system();
+        let mut mgr = LifecycleManager::new(lenient());
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(rep.flagged, 0);
+        assert_eq!(rep.attempted, 0);
+        assert!(rep.promoted.is_empty() && rep.rejected.is_empty());
+        assert_eq!(sys.clusters()[0].generation(), 0);
+        assert!(mgr.events().is_empty());
+    }
+
+    #[test]
+    fn drifted_cluster_is_retrained_and_promoted() {
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        assert_eq!(
+            sys.clusters()[0].try_forecast(sys.config().history),
+            Err(ForecastError::Quarantined)
+        );
+        let mut mgr = LifecycleManager::new(lenient());
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(rep.flagged, 1);
+        assert_eq!(rep.attempted, 1);
+        assert_eq!(
+            rep.promoted,
+            vec![0],
+            "challenger beats the stale champion: {rep:?} {:?}",
+            mgr.events()
+        );
+        // The loop is closed: generation bumped, quarantine cleared,
+        // forecasts flowing again.
+        assert_eq!(sys.clusters()[0].generation(), 1);
+        assert_eq!(sys.clusters()[0].drift_state(), DriftState::Warmup);
+        assert!(sys.clusters()[0].try_forecast(sys.config().history).is_ok());
+        // The registry archived both the incumbent and the new champion.
+        assert_eq!(mgr.registry().generations(0), 2);
+        assert_eq!(mgr.registry().champion(0).unwrap().generation, 1);
+        let last = mgr.events().last().expect("audited");
+        assert_eq!(last.kind, PromotionKind::Promoted);
+        assert_eq!(last.generation, 1);
+        assert!(last.challenger_smape.is_finite());
+        assert_eq!(mgr.stats().promotions, 1);
+    }
+
+    #[test]
+    fn losing_challenger_is_rejected_and_champion_keeps_serving() {
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        // An unbeatable margin: the challenger would have to be 100×
+        // better, so the gate must reject it.
+        let cfg = LifecycleConfig { min_improvement: 0.99, ..lenient() };
+        let mut mgr = LifecycleManager::new(cfg);
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(rep.rejected, vec![0], "{rep:?}");
+        assert!(rep.promoted.is_empty());
+        assert_eq!(sys.clusters()[0].generation(), 0, "incumbent untouched");
+        assert_eq!(
+            sys.clusters()[0].drift_state(),
+            DriftState::Quarantined,
+            "rejection does not clear quarantine"
+        );
+        let last = mgr.events().last().expect("audited");
+        assert_eq!(last.kind, PromotionKind::Rejected);
+        assert_eq!(mgr.registry().generations(0), 0, "no model archived on rejection");
+    }
+
+    #[test]
+    fn cooldown_blocks_immediate_retry() {
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        let cfg = LifecycleConfig { min_improvement: 0.99, cooldown_ticks: 5, ..lenient() };
+        let mut mgr = LifecycleManager::new(cfg);
+        let first = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(first.rejected, vec![0]);
+        // Still quarantined, but inside the cooldown window: no retry.
+        let second = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(second.flagged, 1);
+        assert_eq!(second.cooling, 1);
+        assert_eq!(second.attempted, 0);
+        assert_eq!(mgr.stats().retrains_attempted, 1);
+    }
+
+    #[test]
+    fn expired_deadline_defers_without_cooldown() {
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        let mut mgr = LifecycleManager::new(lenient());
+        let dead = Deadline::none();
+        dead.cancel();
+        let rep = mgr.tick(&mut sys, &dead);
+        assert_eq!(rep.expired, 1, "{rep:?}");
+        assert!(rep.promoted.is_empty() && rep.rejected.is_empty());
+        assert_eq!(sys.clusters()[0].generation(), 0);
+        // No cooldown was set: the very next (unbudgeted) tick retries.
+        let retry = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(retry.attempted, 1);
+        assert_eq!(retry.cooling, 0);
+    }
+
+    #[test]
+    fn per_tick_cap_defers_excess_retrains() {
+        let mut sys = trained_system();
+        for i in 0..sys.clusters().len() {
+            quarantine(&sys, i);
+        }
+        let cfg = LifecycleConfig { max_retrains_per_tick: 1, ..lenient() };
+        let mut mgr = LifecycleManager::new(cfg);
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        assert!(rep.attempted <= 1);
+        assert_eq!(rep.flagged, rep.attempted + rep.deferred + rep.cooling);
+    }
+
+    #[test]
+    fn rollback_restores_previous_generation() {
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        let mut mgr = LifecycleManager::new(lenient());
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(rep.promoted, vec![0]);
+        assert_eq!(sys.clusters()[0].generation(), 1);
+
+        let gen = mgr.rollback(&mut sys, 0).expect("predecessor archived");
+        assert_eq!(gen, 0);
+        assert_eq!(sys.clusters()[0].generation(), 0);
+        assert!(sys.clusters()[0].try_forecast(sys.config().history).is_ok());
+        assert_eq!(mgr.registry().champion(0).unwrap().generation, 0);
+        assert_eq!(mgr.events().last().unwrap().kind, PromotionKind::RolledBack);
+        // Nothing left beneath the restored champion.
+        assert!(matches!(
+            mgr.rollback(&mut sys, 0),
+            Err(LifecycleError::NoRollbackTarget(0))
+        ));
+    }
+
+    #[test]
+    fn write_ahead_promotion_is_reconciled_onto_stale_state() {
+        let dir = std::env::temp_dir().join(format!("dbaugur_lc_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Promote with a persistent registry...
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        let mut mgr = LifecycleManager::open(lenient(), &dir);
+        assert!(!mgr.registry_corrupt());
+        let rep = mgr.tick(&mut sys, &Deadline::none());
+        assert_eq!(rep.promoted, vec![0]);
+
+        // ...then simulate a crash before any snapshot checkpoint: a
+        // freshly trained (generation-0) pipeline plus the registry.
+        let mut stale = trained_system();
+        assert_eq!(stale.clusters()[0].generation(), 0);
+        let mut mgr2 = LifecycleManager::open(lenient(), &dir);
+        assert!(!mgr2.registry_corrupt());
+        assert_eq!(mgr2.reconcile(&mut stale), 1, "promotion re-applied");
+        assert_eq!(stale.clusters()[0].generation(), 1);
+        assert!(stale.clusters()[0].try_forecast(stale.config().history).is_ok());
+        // Idempotent: a second reconcile changes nothing.
+        assert_eq!(mgr2.reconcile(&mut stale), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_surfaces_lifecycle_state() {
+        let mut sys = trained_system();
+        quarantine(&sys, 0);
+        let mut mgr = LifecycleManager::new(lenient());
+        mgr.tick(&mut sys, &Deadline::none());
+        let rows = mgr.report(&sys);
+        assert_eq!(rows.len(), sys.clusters().len());
+        let row = &rows[0];
+        assert_eq!(row.generation, 1);
+        assert_eq!(row.archived, 2);
+        assert!(row.cooldown_remaining > 0);
+        assert!(!row.retrain_recommended, "freshly promoted cluster is healthy");
+    }
+}

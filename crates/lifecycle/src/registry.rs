@@ -1,0 +1,485 @@
+//! The versioned per-cluster model registry and promotion audit log.
+//!
+//! One CRC-checksummed, atomically replaced file:
+//!
+//! ```text
+//! "DBLR" | version u32 | crc32 u32 | body
+//! ```
+//!
+//! The registry is the *write-ahead* side of a promotion: the manager
+//! persists the new champion's record here **before** installing it
+//! into the live pipeline. After a crash, [`crate::LifecycleManager::reconcile`]
+//! compares registry generations against the recovered snapshot and
+//! re-installs any promotion the snapshot missed — so a promotion is
+//! either fully visible after recovery or (if the crash hit mid-write
+//! and [`dbaugur_trace::wire::atomic_write`] preserved the old file)
+//! cleanly absent, with the old champion still serving. Never torn.
+
+use dbaugur_trace::wire::{atomic_write, crc32, WireError, WireReader, WireWriter};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Registry file magic.
+pub const REGISTRY_MAGIC: &[u8; 4] = b"DBLR";
+/// Current registry format version.
+pub const REGISTRY_VERSION: u32 = 1;
+/// File name inside a state directory.
+pub const REGISTRY_FILE: &str = "lifecycle.dblr";
+
+/// The registry file path inside state directory `dir`.
+pub fn registry_path(dir: &Path) -> PathBuf {
+    dir.join(REGISTRY_FILE)
+}
+
+/// Why the registry could not be loaded or saved.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Bad magic, version, checksum, or framing.
+    Corrupt(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o failed: {e}"),
+            RegistryError::Corrupt(w) => write!(f, "registry corrupt: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<WireError> for RegistryError {
+    fn from(e: WireError) -> Self {
+        RegistryError::Corrupt(e.to_string())
+    }
+}
+
+/// One archived model version for one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRecord {
+    /// Model generation this record holds (matches the pipeline's
+    /// per-cluster generation counter when this model serves).
+    pub generation: u64,
+    /// Shadow-backtest sMAPE this model scored when recorded (`NaN`
+    /// when it was archived without a score, e.g. the initial champion).
+    pub smape: f64,
+    /// Lifecycle tick at which the record was written.
+    pub tick: u64,
+    /// Wire-encoded model ([`dbaugur::encode_model_blob`]) — enough to
+    /// re-install this exact model via `DbAugur::install_model_blob`.
+    pub blob: Vec<u8>,
+}
+
+/// What a promotion decision concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionKind {
+    /// Challenger beat the gate and replaced the champion.
+    Promoted,
+    /// Challenger lost (or scored on too few folds) and was discarded.
+    Rejected,
+    /// An operator rolled the cluster back to the previous generation.
+    RolledBack,
+}
+
+impl fmt::Display for PromotionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromotionKind::Promoted => write!(f, "promoted"),
+            PromotionKind::Rejected => write!(f, "rejected"),
+            PromotionKind::RolledBack => write!(f, "rolled-back"),
+        }
+    }
+}
+
+/// One auditable lifecycle decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionEvent {
+    /// Lifecycle tick the decision was made on.
+    pub tick: u64,
+    /// Trained-cluster index the decision concerns.
+    pub cluster: u64,
+    /// The decision.
+    pub kind: PromotionKind,
+    /// Incumbent's shadow sMAPE at decision time (`NaN` = unscorable).
+    pub champion_smape: f64,
+    /// Challenger's shadow sMAPE (`NaN` for rollbacks).
+    pub challenger_smape: f64,
+    /// Generation the cluster serves after the decision.
+    pub generation: u64,
+}
+
+/// Bounded per-cluster model versions plus a bounded audit log.
+///
+/// Keys are trained-cluster indices (the same index space as
+/// `DbAugur::clusters()`); per-cluster records are ordered oldest →
+/// newest, so `last()` is always the registered champion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRegistry {
+    clusters: BTreeMap<u64, Vec<ModelRecord>>,
+    events: Vec<PromotionEvent>,
+    max_generations: usize,
+    max_events: usize,
+}
+
+impl ModelRegistry {
+    /// An empty registry with the given retention bounds.
+    pub fn new(max_generations: usize, max_events: usize) -> Self {
+        Self {
+            clusters: BTreeMap::new(),
+            events: Vec::new(),
+            max_generations: max_generations.max(1),
+            max_events: max_events.max(1),
+        }
+    }
+
+    /// The registered champion record for `cluster`, if any.
+    pub fn champion(&self, cluster: u64) -> Option<&ModelRecord> {
+        self.clusters.get(&cluster)?.last()
+    }
+
+    /// The record one generation behind the champion (the rollback
+    /// target), if retained.
+    pub fn previous(&self, cluster: u64) -> Option<&ModelRecord> {
+        let records = self.clusters.get(&cluster)?;
+        records.len().checked_sub(2).map(|i| &records[i])
+    }
+
+    /// Number of retained records for `cluster`.
+    pub fn generations(&self, cluster: u64) -> usize {
+        self.clusters.get(&cluster).map_or(0, Vec::len)
+    }
+
+    /// Cluster indices with at least one record.
+    pub fn cluster_indices(&self) -> Vec<u64> {
+        self.clusters.keys().copied().collect()
+    }
+
+    /// Append a record for `cluster`, dropping the oldest beyond the
+    /// generation bound.
+    pub fn push_record(&mut self, cluster: u64, record: ModelRecord) {
+        let records = self.clusters.entry(cluster).or_default();
+        records.push(record);
+        if records.len() > self.max_generations {
+            let drop = records.len() - self.max_generations;
+            records.drain(..drop);
+        }
+    }
+
+    /// Remove and return the champion record for `cluster` (rollback's
+    /// first half). Refuses (returns `None`) when no predecessor would
+    /// remain to serve.
+    pub fn pop_champion(&mut self, cluster: u64) -> Option<ModelRecord> {
+        let records = self.clusters.get_mut(&cluster)?;
+        if records.len() < 2 {
+            return None;
+        }
+        records.pop()
+    }
+
+    /// Append an audit event, dropping the oldest beyond the bound.
+    pub fn push_event(&mut self, event: PromotionEvent) {
+        self.events.push(event);
+        if self.events.len() > self.max_events {
+            let drop = self.events.len() - self.max_events;
+            self.events.drain(..drop);
+        }
+    }
+
+    /// The audit log, oldest → newest.
+    pub fn events(&self) -> &[PromotionEvent] {
+        &self.events
+    }
+
+    /// Serialize (header + CRC included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.clusters.len() as u32);
+        for (&cluster, records) in &self.clusters {
+            w.put_u64(cluster);
+            w.put_u32(records.len() as u32);
+            for rec in records {
+                w.put_u64(rec.generation);
+                w.put_f64(rec.smape);
+                w.put_u64(rec.tick);
+                w.put_bytes(&rec.blob);
+            }
+        }
+        w.put_u32(self.events.len() as u32);
+        for e in &self.events {
+            w.put_u64(e.tick);
+            w.put_u64(e.cluster);
+            w.put_u8(match e.kind {
+                PromotionKind::Promoted => 0,
+                PromotionKind::Rejected => 1,
+                PromotionKind::RolledBack => 2,
+            });
+            w.put_f64(e.champion_smape);
+            w.put_f64(e.challenger_smape);
+            w.put_u64(e.generation);
+        }
+        let body = w.into_bytes();
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(REGISTRY_MAGIC);
+        out.extend_from_slice(&REGISTRY_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode registry bytes under the given retention bounds (records
+    /// and events beyond the bounds are trimmed oldest-first, so
+    /// tightening the config shrinks the registry on next load).
+    pub fn decode(
+        bytes: &[u8],
+        max_generations: usize,
+        max_events: usize,
+    ) -> Result<Self, RegistryError> {
+        if bytes.len() < 12 || &bytes[..4] != REGISTRY_MAGIC {
+            return Err(RegistryError::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != REGISTRY_VERSION {
+            return Err(RegistryError::Corrupt(format!("unsupported version {version}")));
+        }
+        let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let body = &bytes[12..];
+        if crc32(body) != crc {
+            return Err(RegistryError::Corrupt("checksum mismatch".into()));
+        }
+        let mut reg = Self::new(max_generations, max_events);
+        let mut r = WireReader::new(body);
+        let n_clusters = r.u32()? as usize;
+        if n_clusters > r.remaining() {
+            return Err(WireError::Truncated.into());
+        }
+        for _ in 0..n_clusters {
+            let cluster = r.u64()?;
+            let n_records = r.u32()? as usize;
+            if n_records > r.remaining() {
+                return Err(WireError::Truncated.into());
+            }
+            for _ in 0..n_records {
+                let generation = r.u64()?;
+                let smape = r.f64()?;
+                let tick = r.u64()?;
+                let blob = r.bytes()?;
+                reg.push_record(cluster, ModelRecord { generation, smape, tick, blob });
+            }
+        }
+        let n_events = r.u32()? as usize;
+        if n_events > r.remaining() {
+            return Err(WireError::Truncated.into());
+        }
+        for _ in 0..n_events {
+            let tick = r.u64()?;
+            let cluster = r.u64()?;
+            let kind = match r.u8()? {
+                0 => PromotionKind::Promoted,
+                1 => PromotionKind::Rejected,
+                2 => PromotionKind::RolledBack,
+                t => return Err(WireError::BadTag(t).into()),
+            };
+            let champion_smape = r.f64()?;
+            let challenger_smape = r.f64()?;
+            let generation = r.u64()?;
+            reg.push_event(PromotionEvent {
+                tick,
+                cluster,
+                kind,
+                champion_smape,
+                challenger_smape,
+                generation,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(RegistryError::Corrupt("trailing bytes".into()));
+        }
+        Ok(reg)
+    }
+
+    /// Atomically persist to `path` (see
+    /// [`dbaugur_trace::wire::atomic_write`]): a crash at any offset
+    /// leaves the old registry intact or the new one complete.
+    pub fn save(&self, path: &Path) -> Result<(), RegistryError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        atomic_write(path, &self.encode())?;
+        Ok(())
+    }
+
+    /// Load from `path`. A missing file is an empty registry (first
+    /// boot); corruption is an error — use [`Self::load_lenient`] when
+    /// the caller wants to serve the old champion instead of failing.
+    pub fn load(
+        path: &Path,
+        max_generations: usize,
+        max_events: usize,
+    ) -> Result<Self, RegistryError> {
+        match std::fs::read(path) {
+            Ok(bytes) => Self::decode(&bytes, max_generations, max_events),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                Ok(Self::new(max_generations, max_events))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// [`Self::load`] that degrades instead of failing: a corrupt file
+    /// yields an empty registry plus `true`, so recovery keeps the
+    /// snapshot's champions serving and the manager knows not to trust
+    /// (or overwrite blindly) what was on disk.
+    pub fn load_lenient(path: &Path, max_generations: usize, max_events: usize) -> (Self, bool) {
+        match Self::load(path, max_generations, max_events) {
+            Ok(reg) => (reg, false),
+            Err(_) => (Self::new(max_generations, max_events), true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelRegistry {
+        let mut reg = ModelRegistry::new(3, 4);
+        reg.push_record(0, ModelRecord { generation: 0, smape: f64::NAN, tick: 1, blob: vec![1, 2, 3] });
+        reg.push_record(0, ModelRecord { generation: 1, smape: 0.12, tick: 5, blob: vec![4, 5] });
+        reg.push_record(2, ModelRecord { generation: 0, smape: 0.5, tick: 2, blob: vec![] });
+        reg.push_event(PromotionEvent {
+            tick: 5,
+            cluster: 0,
+            kind: PromotionKind::Promoted,
+            champion_smape: 0.4,
+            challenger_smape: 0.12,
+            generation: 1,
+        });
+        reg.push_event(PromotionEvent {
+            tick: 6,
+            cluster: 2,
+            kind: PromotionKind::Rejected,
+            champion_smape: 0.5,
+            challenger_smape: 0.9,
+            generation: 0,
+        });
+        reg
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let reg = sample();
+        let bytes = reg.encode();
+        let got = ModelRegistry::decode(&bytes, 3, 4).expect("decodes");
+        assert_eq!(got.generations(0), 2);
+        assert_eq!(got.generations(2), 1);
+        assert_eq!(got.champion(0).unwrap().generation, 1);
+        assert_eq!(got.champion(0).unwrap().blob, vec![4, 5]);
+        assert!(got.champion(2).unwrap().smape == 0.5);
+        assert!(got.clusters.get(&0).unwrap()[0].smape.is_nan(), "NaN survives the wire");
+        assert_eq!(got.events().len(), 2);
+        assert_eq!(got.events()[0].kind, PromotionKind::Promoted);
+        assert_eq!(got.events()[1].kind, PromotionKind::Rejected);
+        assert_eq!(got.cluster_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn every_truncation_detected_never_panics() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                ModelRegistry::decode(&bytes[..cut], 3, 4).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        // Every single-byte corruption of the body flips the CRC.
+        for i in 12..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(ModelRegistry::decode(&bad, 3, 4).is_err(), "flip at {i} must be caught");
+        }
+    }
+
+    #[test]
+    fn generations_and_events_are_bounded() {
+        let mut reg = ModelRegistry::new(2, 3);
+        for g in 0..5 {
+            reg.push_record(7, ModelRecord { generation: g, smape: 0.1, tick: g, blob: vec![] });
+            reg.push_event(PromotionEvent {
+                tick: g,
+                cluster: 7,
+                kind: PromotionKind::Promoted,
+                champion_smape: 0.2,
+                challenger_smape: 0.1,
+                generation: g,
+            });
+        }
+        assert_eq!(reg.generations(7), 2, "oldest generations pruned");
+        assert_eq!(reg.champion(7).unwrap().generation, 4);
+        assert_eq!(reg.previous(7).unwrap().generation, 3);
+        assert_eq!(reg.events().len(), 3, "oldest events pruned");
+        assert_eq!(reg.events()[0].tick, 2);
+    }
+
+    #[test]
+    fn pop_champion_refuses_to_empty_a_cluster() {
+        let mut reg = sample();
+        assert!(reg.pop_champion(2).is_none(), "single record: no rollback target");
+        assert_eq!(reg.generations(2), 1, "refusal leaves the record in place");
+        let popped = reg.pop_champion(0).expect("two records");
+        assert_eq!(popped.generation, 1);
+        assert_eq!(reg.champion(0).unwrap().generation, 0);
+        assert!(reg.pop_champion(99).is_none(), "unknown cluster");
+    }
+
+    #[test]
+    fn save_load_and_lenient_corruption_handling() {
+        let dir = std::env::temp_dir().join(format!("dbaugur_reg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+        let path = registry_path(&dir);
+        std::fs::remove_file(&path).ok();
+
+        // Missing file: empty registry, not an error.
+        let empty = ModelRegistry::load(&path, 3, 4).expect("missing file is empty");
+        assert_eq!(empty.cluster_indices(), Vec::<u64>::new());
+
+        let reg = sample();
+        reg.save(&path).expect("saves");
+        let got = ModelRegistry::load(&path, 3, 4).expect("loads");
+        // Byte-level comparison: `PartialEq` would be defeated by the
+        // NaN sMAPE in the archived initial champion.
+        assert_eq!(got.encode(), reg.encode());
+
+        // Corrupt the file: strict load errors, lenient load degrades.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ModelRegistry::load(&path, 3, 4).is_err());
+        let (fallback, corrupt) = ModelRegistry::load_lenient(&path, 3, 4);
+        assert!(corrupt);
+        assert_eq!(fallback.cluster_indices(), Vec::<u64>::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decode_respects_tighter_bounds() {
+        let reg = sample();
+        let bytes = reg.encode();
+        let tight = ModelRegistry::decode(&bytes, 1, 1).expect("decodes");
+        assert_eq!(tight.generations(0), 1, "trimmed to the new bound");
+        assert_eq!(tight.champion(0).unwrap().generation, 1, "newest survives");
+        assert_eq!(tight.events().len(), 1);
+        assert_eq!(tight.events()[0].tick, 6, "newest event survives");
+    }
+}

@@ -8,7 +8,76 @@
 //! weights used to predict `x_i` depend only on targets `< i`.
 
 use crate::forecaster::Forecaster;
-use dbaugur_trace::{mae, mse, WindowSpec};
+use dbaugur_trace::{mae, mse, smape, WindowSpec};
+
+/// One rolling-origin evaluation fold: the model may fit on
+/// `series[..train_len]` only and is scored on predicting
+/// `series[target]` from the window ending `horizon` intervals before
+/// it. By construction `target = train_len + horizon - 1`, so the
+/// training prefix never overlaps the truth being predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OriginSplit {
+    /// Length of the training prefix this fold may see.
+    pub train_len: usize,
+    /// Absolute index of the truth value this fold predicts.
+    pub target: usize,
+}
+
+/// The last `folds` rolling origins of a length-`len` series — one
+/// shared split definition for shadow backtests and EXPERIMENTS, fully
+/// determined by its arguments (no hidden randomness). Folds are
+/// returned in chronological order; fewer than `folds` come back when
+/// the series is too short, and none when no valid fold exists.
+pub fn rolling_origin_splits(len: usize, folds: usize, horizon: usize) -> Vec<OriginSplit> {
+    if horizon == 0 || folds == 0 || len < horizon + 1 {
+        return Vec::new();
+    }
+    // Valid targets leave at least one training sample: target >= horizon.
+    let take = folds.min(len - horizon);
+    (len - take..len)
+        .map(|target| OriginSplit { train_len: target + 1 - horizon, target })
+        .collect()
+}
+
+/// A predict-only model's score over rolling-origin splits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowScore {
+    /// Symmetric MAPE over the valid folds.
+    pub smape: f64,
+    /// Folds that produced a finite prediction from a full window.
+    pub windows: usize,
+}
+
+/// Score a predict-only model over `splits` without ever calling
+/// `observe` — the shadow-backtest primitive: an incumbent champion can
+/// be evaluated against held-out history while it keeps serving,
+/// because nothing here mutates it. Folds whose training prefix is
+/// shorter than `spec.history` (no full window) or whose prediction is
+/// non-finite are skipped; `None` when no fold survives.
+pub fn shadow_backtest(
+    predict: impl Fn(&[f64]) -> f64,
+    series: &[f64],
+    splits: &[OriginSplit],
+    spec: WindowSpec,
+) -> Option<ShadowScore> {
+    let mut preds = Vec::with_capacity(splits.len());
+    let mut truths = Vec::with_capacity(splits.len());
+    for s in splits {
+        if s.train_len < spec.history || s.target >= series.len() {
+            continue;
+        }
+        let window = &series[s.train_len - spec.history..s.train_len];
+        let p = predict(window);
+        if p.is_finite() {
+            preds.push(p);
+            truths.push(series[s.target]);
+        }
+    }
+    if preds.is_empty() {
+        return None;
+    }
+    Some(ShadowScore { smape: smape(&preds, &truths), windows: preds.len() })
+}
 
 /// The outcome of a rolling evaluation.
 #[derive(Debug, Clone)]
@@ -136,6 +205,96 @@ mod tests {
         let rep = rolling_forecast(&mut m, &series, 2, spec).expect("test region");
         // First target must leave room for history+horizon.
         assert_eq!(rep.indices[0], 11);
+    }
+
+    #[test]
+    fn rolling_origin_splits_hand_computed_small_cases() {
+        // len 10, 3 folds, horizon 1: the last three targets.
+        assert_eq!(
+            rolling_origin_splits(10, 3, 1),
+            vec![
+                OriginSplit { train_len: 7, target: 7 },
+                OriginSplit { train_len: 8, target: 8 },
+                OriginSplit { train_len: 9, target: 9 },
+            ]
+        );
+        // Horizon 3 leaves a 2-sample gap between prefix and truth.
+        assert_eq!(
+            rolling_origin_splits(10, 2, 3),
+            vec![
+                OriginSplit { train_len: 6, target: 8 },
+                OriginSplit { train_len: 7, target: 9 },
+            ]
+        );
+        // Short series: folds clamp to what exists.
+        assert_eq!(
+            rolling_origin_splits(3, 10, 2),
+            vec![OriginSplit { train_len: 1, target: 2 }]
+        );
+        // Degenerate inputs produce no folds, never panic.
+        assert!(rolling_origin_splits(0, 3, 1).is_empty());
+        assert!(rolling_origin_splits(5, 0, 1).is_empty());
+        assert!(rolling_origin_splits(5, 3, 0).is_empty());
+        assert!(rolling_origin_splits(1, 3, 1).is_empty());
+    }
+
+    #[test]
+    fn rolling_origin_splits_never_overlap_truth() {
+        // Exhaustive sweep standing in for a property test: for every
+        // small (len, folds, horizon), each fold's training prefix must
+        // exclude its target, folds must be chronological and unique,
+        // and the declared horizon relation must hold exactly.
+        for len in 0..40 {
+            for folds in 0..8 {
+                for horizon in 0..5 {
+                    let splits = rolling_origin_splits(len, folds, horizon);
+                    assert!(splits.len() <= folds);
+                    for w in splits.windows(2) {
+                        assert!(w[0].target < w[1].target, "chronological, unique");
+                    }
+                    for s in &splits {
+                        assert!(s.target < len, "target in range");
+                        assert!(s.train_len >= 1, "non-empty training prefix");
+                        assert!(s.train_len <= s.target, "prefix excludes truth");
+                        assert_eq!(s.target, s.train_len + horizon - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_backtest_never_mutates_and_scores_known_series() {
+        // Perfect model on a ramp: sMAPE 0 over every fold.
+        let series: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let spec = WindowSpec::new(4, 1);
+        let splits = rolling_origin_splits(series.len(), 5, spec.horizon);
+        let perfect = shadow_backtest(
+            |w: &[f64]| w.last().unwrap() + 1.0,
+            &series,
+            &splits,
+            spec,
+        )
+        .expect("folds survive");
+        assert_eq!(perfect.windows, 5);
+        assert!(perfect.smape < 1e-12);
+        // A worse model scores worse — the promotion gate's ordering.
+        let biased = shadow_backtest(|w: &[f64]| w.last().unwrap() * 2.0, &series, &splits, spec)
+            .expect("folds survive");
+        assert!(biased.smape > perfect.smape);
+    }
+
+    #[test]
+    fn shadow_backtest_skips_short_prefixes_and_non_finite() {
+        let series: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let spec = WindowSpec::new(8, 1);
+        // All twelve origins requested: those with prefix < 8 are skipped.
+        let splits = rolling_origin_splits(series.len(), 12, 1);
+        let score =
+            shadow_backtest(|w: &[f64]| *w.last().unwrap(), &series, &splits, spec).unwrap();
+        assert_eq!(score.windows, 4, "only train_len 8..=11 have a full window");
+        // A model that always returns NaN yields no score at all.
+        assert!(shadow_backtest(|_: &[f64]| f64::NAN, &series, &splits, spec).is_none());
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use ensemble::{
     combine_fixed, combine_time_sensitive, EnsembleSnapshot, FixedEnsemble, MemberState, Qb5000,
     TimeSensitiveEnsemble,
 };
-pub use eval::{rolling_forecast, EvalReport};
+pub use eval::{
+    rolling_forecast, rolling_origin_splits, shadow_backtest, EvalReport, OriginSplit, ShadowScore,
+};
 pub use forecaster::Forecaster;
 pub use gru::GruForecaster;
 pub use guard::{DivergenceCause, GuardConfig, GuardVerdict, TrainGuard, TrainHealth};

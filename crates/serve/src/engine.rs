@@ -7,6 +7,8 @@
 //! millions of simulated requests in milliseconds.
 
 use dbaugur::DbAugur;
+use dbaugur_exec::Deadline;
+use dbaugur_lifecycle::{LifecycleManager, LifecycleTickReport};
 use dbaugur_sqlproc::canonicalize;
 use dbaugur_trace::HistoryRing;
 use std::collections::HashMap;
@@ -29,6 +31,16 @@ pub trait Engine {
     /// Evict cold state until roughly `target_bytes` remain; returns
     /// bytes freed.
     fn evict_to(&mut self, target_bytes: usize) -> usize;
+
+    /// Opportunistic background maintenance (model lifecycle, retrains)
+    /// run with whatever budget is left after all foreground work in a
+    /// tick. Returns the clock milliseconds spent, which must never
+    /// exceed `budget_ms` — the governor charges exactly this amount.
+    /// Engines with no background duties keep the default no-op.
+    fn maintain(&mut self, budget_ms: u64) -> u64 {
+        let _ = budget_ms;
+        0
+    }
 }
 
 /// Approximate fixed cost per simulated template (map entry + ring).
@@ -151,12 +163,39 @@ pub struct PipelineEngine {
     sys: DbAugur,
     floors: HashMap<String, f64>,
     last_spill: Option<Vec<u8>>,
+    lifecycle: Option<(LifecycleManager, u64)>,
+    last_maintenance: Option<LifecycleTickReport>,
 }
 
 impl PipelineEngine {
     /// Govern an existing pipeline.
     pub fn new(sys: DbAugur) -> Self {
-        Self { sys, floors: HashMap::new(), last_spill: None }
+        Self { sys, floors: HashMap::new(), last_spill: None, lifecycle: None, last_maintenance: None }
+    }
+
+    /// Attach a model-lifecycle manager so leftover tick budget drives
+    /// drift-triggered retraining. `retrain_cost_ms` is the clock charge
+    /// booked per retrain attempt; [`Engine::maintain`] skips entirely
+    /// when the leftover budget cannot cover even one attempt, so
+    /// lifecycle work can never starve admission.
+    pub fn with_lifecycle(mut self, manager: LifecycleManager, retrain_cost_ms: u64) -> Self {
+        self.lifecycle = Some((manager, retrain_cost_ms.max(1)));
+        self
+    }
+
+    /// The attached lifecycle manager, if any.
+    pub fn lifecycle(&self) -> Option<&LifecycleManager> {
+        self.lifecycle.as_ref().map(|(m, _)| m)
+    }
+
+    /// Mutable access to the lifecycle manager (reconcile, rollback).
+    pub fn lifecycle_mut(&mut self) -> Option<&mut LifecycleManager> {
+        self.lifecycle.as_mut().map(|(m, _)| m)
+    }
+
+    /// What the most recent maintenance pass did, if one has run.
+    pub fn last_maintenance(&self) -> Option<&LifecycleTickReport> {
+        self.last_maintenance.as_ref()
     }
 
     /// The governed pipeline.
@@ -201,6 +240,23 @@ impl Engine for PipelineEngine {
             self.last_spill = report.spill;
         }
         report.bytes_freed
+    }
+
+    fn maintain(&mut self, budget_ms: u64) -> u64 {
+        let Some((manager, cost)) = self.lifecycle.as_mut() else {
+            return 0;
+        };
+        let cost = *cost;
+        if budget_ms < cost {
+            return 0;
+        }
+        // The deadline bounds real work; the returned charge models it
+        // on the governor's clock (one unit per retrain attempted).
+        let deadline = Deadline::in_millis(budget_ms);
+        let report = manager.tick(&mut self.sys, &deadline);
+        let attempts = report.attempted as u64;
+        self.last_maintenance = Some(report);
+        (attempts * cost).min(budget_ms)
     }
 }
 

@@ -146,6 +146,10 @@ pub struct ServeStats {
     pub eviction_bytes: u64,
     /// Highest engine residency observed at a tick boundary.
     pub max_resident_bytes: u64,
+    /// Ticks on which background maintenance actually spent budget.
+    pub maintenance_runs: u64,
+    /// Clock milliseconds spent on background maintenance (cumulative).
+    pub maintenance_ms: u64,
 }
 
 impl ServeStats {
@@ -184,6 +188,8 @@ pub struct TickReport {
     pub shed: u64,
     /// Bytes evicted by memory governance this tick.
     pub evicted_bytes: u64,
+    /// Clock milliseconds spent on background maintenance this tick.
+    pub maintenance_ms: u64,
     /// Posture at the end of the tick.
     pub health: HealthState,
 }
@@ -353,6 +359,20 @@ impl<E: Engine, C: Clock> Governor<E, C> {
             self.stats.eviction_passes += 1;
             self.stats.eviction_bytes += freed;
             report.evicted_bytes = freed;
+        }
+
+        // Background maintenance (model lifecycle) gets only what is
+        // left of the budget after all foreground work — it can never
+        // starve admission, and an overloaded tick skips it entirely.
+        let now = self.clock.now_ms();
+        if now < budget_end {
+            let spent = self.engine.maintain(budget_end - now).min(budget_end - now);
+            if spent > 0 {
+                self.clock.advance(spent);
+                self.stats.maintenance_runs += 1;
+                self.stats.maintenance_ms += spent;
+                report.maintenance_ms = spent;
+            }
         }
 
         self.health = if report.served_degraded > 0
@@ -568,6 +588,77 @@ mod tests {
         let p99 = g.latency_percentile(0.99).unwrap();
         assert!(p50 <= p99);
         assert!(p99 <= 9.0);
+    }
+
+    /// An engine whose maintenance greedily spends every millisecond it
+    /// is offered, recording each offer — the worst case for the
+    /// never-starve-admission guarantee.
+    struct GreedyMaintain {
+        inner: SimEngine,
+        offers: Vec<u64>,
+    }
+
+    impl Engine for GreedyMaintain {
+        fn ingest(&mut self, ts_secs: u64, sql: &str) {
+            self.inner.ingest(ts_secs, sql);
+        }
+        fn forecast(&mut self, sql: &str) -> f64 {
+            self.inner.forecast(sql)
+        }
+        fn floor(&mut self, sql: &str) -> f64 {
+            self.inner.floor(sql)
+        }
+        fn resident_bytes(&self) -> usize {
+            self.inner.resident_bytes()
+        }
+        fn evict_to(&mut self, target_bytes: usize) -> usize {
+            self.inner.evict_to(target_bytes)
+        }
+        fn maintain(&mut self, budget_ms: u64) -> u64 {
+            self.offers.push(budget_ms);
+            budget_ms
+        }
+    }
+
+    #[test]
+    fn maintenance_only_gets_leftover_budget() {
+        let engine = GreedyMaintain { inner: SimEngine::new(32), offers: Vec::new() };
+        let cfg = ServeConfig { tick_budget_ms: 10, ..open_cfg() };
+        let mut g = Governor::new(cfg, engine, VirtualClock::new());
+
+        // Idle tick: the whole budget is leftover and maintenance gets it.
+        let rep = g.run_tick(0);
+        assert_eq!(rep.maintenance_ms, 10);
+        assert_eq!(g.engine().offers, vec![10]);
+        assert_eq!(g.stats().maintenance_runs, 1);
+        assert_eq!(g.stats().maintenance_ms, 10);
+
+        // Foreground work eats most of the budget; maintenance gets
+        // only the scraps, never a slice of admitted work's time.
+        for i in 0..4 {
+            assert!(g.submit_forecast(&format!("SELECT {i}"), 2).is_admitted());
+        }
+        let rep = g.run_tick(0);
+        assert_eq!(rep.served_fresh, 4);
+        assert_eq!(rep.maintenance_ms, 2, "10 ms budget - 8 ms forecasts");
+
+        // A fully consumed tick skips maintenance entirely.
+        for i in 0..5 {
+            assert!(g.submit_forecast(&format!("SELECT b{i}"), 2).is_admitted());
+        }
+        let rep = g.run_tick(0);
+        assert_eq!(rep.maintenance_ms, 0, "no leftover, no maintenance");
+        assert_eq!(g.engine().offers.len(), 2);
+        assert!(g.reconciles());
+    }
+
+    #[test]
+    fn default_engine_maintenance_is_a_noop() {
+        let mut g = gov(ServeConfig { tick_budget_ms: 50, ..open_cfg() });
+        let rep = g.run_tick(0);
+        assert_eq!(rep.maintenance_ms, 0);
+        assert_eq!(g.stats().maintenance_runs, 0);
+        assert_eq!(g.stats().maintenance_ms, 0);
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct SoakConfig {
     pub poison_name_len: usize,
     /// Distinct well-behaved templates in the offered load.
     pub hot_templates: usize,
+    /// Fraction of the run at which a workload regime shift lands
+    /// (templates swap and ingest multiplies) — `0.0` disables the
+    /// shift and leaves the scenario byte-identical to earlier runs.
+    pub drift_shift_at_frac: f64,
+    /// Ingest multiplier after the regime shift (`1` = volume
+    /// unchanged, only the template mix shifts).
+    pub drift_shift_mult: usize,
     /// Governor tunables.
     pub serve: ServeConfig,
 }
@@ -73,6 +80,8 @@ impl Default for SoakConfig {
             poison_templates: 64,
             poison_name_len: 512,
             hot_templates: 8,
+            drift_shift_at_frac: 0.0,
+            drift_shift_mult: 1,
             serve: ServeConfig {
                 forecast_queue_cap: 32,
                 ingest_queue_cap: 256,
@@ -114,6 +123,17 @@ pub struct SoakReport {
     pub tail_degraded: u64,
     /// Sheds during the quiet tail.
     pub tail_shed: u64,
+    /// Tick at which the regime shift landed (`None` when disabled).
+    pub shift_tick: Option<usize>,
+    /// Ticks after the shift until the governor's first fully healthy
+    /// tick with fresh forecasts on the new regime (`None` when the
+    /// shift was disabled or recovery never happened in-run).
+    pub post_shift_recovery_ticks: Option<u64>,
+    /// Shed rate (sheds / offered) before the shift tick; the whole
+    /// run's rate when the shift is disabled.
+    pub pre_shift_shed_rate: f64,
+    /// Shed rate from the shift tick onward (`0.0` when disabled).
+    pub post_shift_shed_rate: f64,
     /// Virtual milliseconds the scenario covered.
     pub virtual_ms: u64,
 }
@@ -153,6 +173,13 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let stall_plan =
         chaos.slow_consumer_stalls(cfg.ticks, cfg.stall_frac, cfg.stall_max_run, cfg.stall_ms);
     let poison = chaos.poison_templates(cfg.poison_templates, cfg.poison_name_len);
+    // Drawn last (and only when enabled) so every other plan is
+    // byte-identical to a run with the shift disabled at the same seed.
+    let shift_tick = if cfg.drift_shift_at_frac > 0.0 {
+        Some(chaos.regime_shift(cfg.ticks, cfg.drift_shift_at_frac, cfg.ticks / 16))
+    } else {
+        None
+    };
 
     let engine = SimEngine::new(64);
     let mut gov = Governor::new(cfg.serve.clone(), engine, VirtualClock::new());
@@ -170,12 +197,25 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let mut tail_degraded = 0u64;
     let mut tail_shed = 0u64;
     let mut poison_cursor = 0usize;
+    let mut at_shift: Option<ServeStats> = None;
+    let mut recovery: Option<u64> = None;
 
     for tick in 0..cfg.ticks {
         let ts = tick as u64;
-        // Offered ingest: the flood plan, with poison templates woven
-        // into burst traffic (hostile load arrives when it hurts most).
-        for i in 0..ingest_plan[tick] {
+        let shifted = shift_tick.is_some_and(|s| tick >= s);
+        if shift_tick == Some(tick) {
+            at_shift = Some(*gov.stats());
+        }
+        // Offered ingest: the flood plan (multiplied after the regime
+        // shift), with poison templates woven into burst traffic
+        // (hostile load arrives when it hurts most). Post-shift traffic
+        // targets a disjoint template set — the old hot set goes cold.
+        let offered = if shifted {
+            ingest_plan[tick] * cfg.drift_shift_mult.max(1)
+        } else {
+            ingest_plan[tick]
+        };
+        for i in 0..offered {
             let sql = if ingest_plan[tick] > cfg.base_ingest_per_tick
                 && poison_cursor < poison.len()
                 && i % 7 == 0
@@ -183,19 +223,23 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                 let s = poison[poison_cursor].clone();
                 poison_cursor += 1;
                 s
+            } else if shifted {
+                format!("SELECT b FROM shift_{} WHERE y = 1", i % cfg.hot_templates.max(1))
             } else {
                 format!("SELECT a FROM hot_{} WHERE x = 1", i % cfg.hot_templates.max(1))
             };
             gov.submit_ingest(ts, &sql, cfg.ingest_cost_ms);
         }
         // Offered forecasts, with injected per-task latency on spike
-        // ticks.
+        // ticks. After the shift, clients ask about the new regime.
         let cost = cfg.forecast_cost_ms + spike_plan[tick];
         for i in 0..cfg.forecasts_per_tick {
-            gov.submit_forecast(
-                &format!("SELECT a FROM hot_{} WHERE x = 1", i % cfg.hot_templates.max(1)),
-                cost,
-            );
+            let sql = if shifted {
+                format!("SELECT b FROM shift_{} WHERE y = 1", i % cfg.hot_templates.max(1))
+            } else {
+                format!("SELECT a FROM hot_{} WHERE x = 1", i % cfg.hot_templates.max(1))
+            };
+            gov.submit_forecast(&sql, cost);
         }
 
         let before = *gov.stats();
@@ -205,6 +249,15 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             HealthState::Healthy => health_ticks.0 += 1,
             HealthState::Shedding => health_ticks.1 += 1,
             HealthState::Saturated => health_ticks.2 += 1,
+        }
+        if let Some(s) = shift_tick {
+            if tick >= s
+                && recovery.is_none()
+                && rep.health == HealthState::Healthy
+                && rep.served_fresh > 0
+            {
+                recovery = Some((tick - s) as u64);
+            }
         }
         if tick > last_burst {
             tail_fresh += rep.served_fresh;
@@ -227,6 +280,15 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     }
 
     let stats = *gov.stats();
+    let offered = |s: &ServeStats| s.offered_forecasts + s.offered_ingest;
+    let rate = |shed: u64, off: u64| if off == 0 { 0.0 } else { shed as f64 / off as f64 };
+    let (pre_shift_shed_rate, post_shift_shed_rate) = match &at_shift {
+        Some(snap) => (
+            rate(snap.shed_total(), offered(snap)),
+            rate(stats.shed_total() - snap.shed_total(), offered(&stats) - offered(snap)),
+        ),
+        None => (rate(stats.shed_total(), offered(&stats)), 0.0),
+    };
     SoakReport {
         stats,
         final_queues: gov.queue_depths(),
@@ -239,6 +301,10 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         tail_fresh,
         tail_degraded,
         tail_shed,
+        shift_tick,
+        post_shift_recovery_ticks: recovery,
+        pre_shift_shed_rate,
+        post_shift_shed_rate,
         virtual_ms: gov.clock().now_ms(),
     }
 }
@@ -262,6 +328,42 @@ mod tests {
         let a = run_soak(&SoakConfig { ticks: 120, ..SoakConfig::default() });
         let b = run_soak(&SoakConfig { ticks: 120, seed: 1, ..SoakConfig::default() });
         assert_ne!(a.stats, b.stats, "chaos plans must actually vary with the seed");
+    }
+
+    #[test]
+    fn disabled_shift_leaves_the_scenario_untouched() {
+        let base = SoakConfig { ticks: 120, ..SoakConfig::default() };
+        // A multiplier alone changes nothing: the shift must be armed
+        // by its fraction, and disabled runs draw no extra randomness.
+        let armed_mult =
+            SoakConfig { drift_shift_mult: 9, ..base.clone() };
+        let a = run_soak(&base);
+        let b = run_soak(&armed_mult);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.shift_tick, None);
+        assert_eq!(a.post_shift_recovery_ticks, None);
+        assert_eq!(a.post_shift_shed_rate, 0.0);
+    }
+
+    #[test]
+    fn drift_shift_lands_and_is_deterministic() {
+        let cfg = SoakConfig {
+            ticks: 200,
+            drift_shift_at_frac: 0.5,
+            drift_shift_mult: 2,
+            ..SoakConfig::default()
+        };
+        let a = run_soak(&cfg);
+        let b = run_soak(&cfg);
+        assert_eq!(a.stats, b.stats, "shifted runs reproduce from the seed");
+        assert_eq!(a.shift_tick, b.shift_tick);
+        let s = a.shift_tick.expect("shift enabled");
+        assert!((100..200).contains(&s), "shift lands near the configured fraction: {s}");
+        assert!(
+            a.post_shift_recovery_ticks.is_some(),
+            "the sim engine recovers on the new template set"
+        );
+        assert!(a.pre_shift_shed_rate.is_finite() && a.post_shift_shed_rate.is_finite());
     }
 
     #[test]

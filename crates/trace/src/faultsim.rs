@@ -279,6 +279,21 @@ impl FaultInjector {
         out
     }
 
+    /// The tick at which a workload regime shift lands: roughly
+    /// `ticks * at_frac`, plus a seeded jitter of up to `max_jitter`
+    /// ticks, clamped inside the run. Models a deploy or schema change
+    /// that permanently swaps the query mix mid-soak, so drift
+    /// detection and retraining can be exercised at a reproducible but
+    /// not hand-picked moment.
+    pub fn regime_shift(&mut self, ticks: usize, at_frac: f64, max_jitter: usize) -> usize {
+        if ticks == 0 {
+            return 0;
+        }
+        let base = (ticks as f64 * at_frac.clamp(0.0, 1.0)).floor() as usize;
+        let jitter = if max_jitter > 0 { self.rng.gen_range(0..=max_jitter) } else { 0 };
+        (base + jitter).min(ticks - 1)
+    }
+
     /// `n` hostile query templates that stress template-memory
     /// governance: each has distinct identifiers of roughly `name_len`
     /// characters, which survive canonicalization (unlike literals) and
@@ -519,6 +534,19 @@ mod tests {
         assert!(plan.iter().all(|&ms| ms == 0 || ms == 30));
         // At least one run longer than a single tick.
         assert!(plan.windows(2).any(|w| w[0] == 30 && w[1] == 30));
+    }
+
+    #[test]
+    fn regime_shift_is_seeded_and_in_range() {
+        let mut a = FaultInjector::new(13);
+        let mut b = FaultInjector::new(13);
+        let sa = a.regime_shift(400, 0.5, 20);
+        assert_eq!(sa, b.regime_shift(400, 0.5, 20), "same seed, same shift tick");
+        assert!((200..=220).contains(&sa));
+        // Degenerate shapes clamp rather than panic.
+        assert_eq!(a.regime_shift(0, 0.5, 10), 0);
+        assert_eq!(a.regime_shift(10, 2.0, 0), 9, "frac clamps, tick stays in range");
+        assert!(a.regime_shift(10, 0.9, 50) <= 9);
     }
 
     #[test]

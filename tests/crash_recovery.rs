@@ -8,6 +8,8 @@
 
 use dbaugur::wal::scan_bytes;
 use dbaugur::{DbAugur, DbAugurConfig, DriftState, DurableDbAugur, WAL_FILE};
+use dbaugur_exec::Deadline;
+use dbaugur_lifecycle::{registry_path, LifecycleConfig, LifecycleManager};
 use dbaugur_trace::wire::tmp_path;
 use dbaugur_trace::FaultInjector;
 use std::path::{Path, PathBuf};
@@ -207,6 +209,99 @@ fn full_snapshot_roundtrip_preserves_counts_and_forecasts() {
             "recovered forecasts are reproducible: {f} vs {g}"
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A single-template pipeline with enough training budget that a
+/// lifecycle challenger can actually learn a shifted regime (the
+/// promotion path needs a winnable gate, unlike the pure-crash tests).
+fn cfg_learn() -> DbAugurConfig {
+    let mut cfg = cfg();
+    cfg.epochs = 12;
+    cfg.max_examples = 256;
+    cfg
+}
+
+#[test]
+fn promotion_kill_matrix_old_champion_serves_or_promotion_is_visible() {
+    // Build: train, checkpoint generation 1, then shift the regime and
+    // let the lifecycle promote a challenger. The registry is written
+    // ahead of the install and NO post-promotion checkpoint follows —
+    // the crash window this matrix attacks.
+    let dir = tmpdir("promo_matrix");
+    let (mut durable, _) = DurableDbAugur::open(&dir, cfg_learn()).expect("open");
+    for minute in 0..120u64 {
+        let n = 2 + 5 * u64::from(minute % 10 < 5);
+        for q in 0..n {
+            durable
+                .ingest_record(minute * 60 + q, "SELECT * FROM t WHERE a = 1")
+                .expect("ingest");
+        }
+    }
+    durable.system_mut().train(0, 120 * 60).expect("trains");
+    durable.checkpoint().expect("generation 1");
+
+    let history = cfg_learn().history;
+    {
+        let sys = durable.system();
+        let c = &sys.clusters()[0];
+        let warm = sys.config().drift.warmup + sys.config().drift.window;
+        for _ in 0..warm {
+            let f = c.forecast(history);
+            c.observe(history, f);
+        }
+        for k in 0..320 {
+            c.observe(history, 50.0 + 15.0 * f64::from(k % 10 < 5));
+        }
+        assert_eq!(c.drift_state(), DriftState::Quarantined);
+    }
+    let lc_cfg = LifecycleConfig {
+        min_improvement: 0.01,
+        min_eval_windows: 2,
+        shadow_folds: 6,
+        cooldown_ticks: 3,
+        ..LifecycleConfig::default()
+    };
+    let mut mgr = LifecycleManager::open(lc_cfg.clone(), &dir);
+    let rep = mgr.tick(durable.system_mut(), &Deadline::none());
+    assert_eq!(rep.promoted, vec![0], "challenger promoted: {rep:?} {:?}", mgr.events());
+    drop(durable); // crash: the promotion exists only in the registry
+
+    let reg_bytes = std::fs::read(registry_path(&dir)).expect("registry written ahead");
+    let mut inj = FaultInjector::new(0xA11CE);
+    let offsets = inj.kill_offsets(reg_bytes.len(), 10);
+    assert!(offsets.len() >= 8, "enough distinct registry crash points: {offsets:?}");
+    for &cut in &offsets {
+        let case = tmpdir(&format!("promo_cut_{cut}"));
+        copy_dir(&dir, &case);
+        std::fs::write(registry_path(&case), &reg_bytes[..cut]).expect("torn registry");
+
+        let (mut sys, report) =
+            DbAugur::recover(&case, cfg_learn()).expect("recovery always succeeds");
+        assert_eq!(report.generation, Some(1), "snapshot generation intact at cut {cut}");
+        let mut m = LifecycleManager::open(lc_cfg.clone(), &case);
+        assert!(m.registry_corrupt(), "torn registry detected, never decoded, at cut {cut}");
+        assert_eq!(m.reconcile(&mut sys), 0, "no partial promotion applied at cut {cut}");
+        assert_eq!(
+            sys.clusters()[0].generation(),
+            0,
+            "the old champion keeps serving at cut {cut}"
+        );
+        assert_finite_forecasts(&sys);
+        // The cluster re-promotes cleanly on a fresh registry.
+        assert_eq!(m.registry().generations(0), 0);
+        std::fs::remove_dir_all(&case).ok();
+    }
+
+    // Intact registry: the promotion is fully visible after recovery.
+    let (mut sys, _) = DbAugur::recover(&dir, cfg_learn()).expect("recover");
+    assert_eq!(sys.clusters()[0].generation(), 0, "the snapshot predates the promotion");
+    let mut m = LifecycleManager::open(lc_cfg, &dir);
+    assert!(!m.registry_corrupt());
+    assert_eq!(m.reconcile(&mut sys), 1, "write-ahead promotion re-applied");
+    assert_eq!(sys.clusters()[0].generation(), 1);
+    assert_finite_forecasts(&sys);
+    assert_eq!(m.reconcile(&mut sys), 0, "reconcile is idempotent");
     std::fs::remove_dir_all(&dir).ok();
 }
 

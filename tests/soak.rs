@@ -109,6 +109,48 @@ fn soak_throughput_recovers_after_burst() {
 }
 
 #[test]
+fn drift_shift_recovers_without_shed_regression() {
+    // Same flood, plus a mid-run regime shift: the template mix swaps
+    // wholesale (old hot set goes cold) at volume parity. Serving must
+    // recover to healthy fresh forecasts within a small number of
+    // ticks, and the shift itself must not worsen the shed rate.
+    let cfg = SoakConfig { drift_shift_at_frac: 0.5, drift_shift_mult: 1, ..overload_cfg() };
+    let rep = run_soak(&cfg);
+    assert!(rep.reconciled, "books balance across the shift");
+    let shift = rep.shift_tick.expect("shift enabled");
+    assert!(shift >= cfg.ticks / 2 && shift < cfg.ticks, "shift lands mid-run: {shift}");
+    let recovery = rep
+        .post_shift_recovery_ticks
+        .expect("forecasts must recover after the regime shift");
+    assert!(recovery <= 50, "recovery within 50 ticks of the shift, took {recovery}");
+    // At volume parity a pure mix shift must not regress shedding
+    // (small absolute slack for burst-phase alignment).
+    assert!(
+        rep.post_shift_shed_rate <= rep.pre_shift_shed_rate + 0.05,
+        "shed rate regressed across the shift: {} -> {}",
+        rep.pre_shift_shed_rate,
+        rep.post_shift_shed_rate
+    );
+    assert!(rep.passed(&cfg), "composite criteria hold under the shift");
+}
+
+#[test]
+fn disabled_drift_shift_is_identical_to_baseline() {
+    // The shift knobs are additive: leaving them at their defaults must
+    // reproduce the pre-shift scenario exactly, seeded plan for plan.
+    let base = run_soak(&overload_cfg());
+    let explicit = run_soak(&SoakConfig {
+        drift_shift_at_frac: 0.0,
+        drift_shift_mult: 7,
+        ..overload_cfg()
+    });
+    assert_eq!(base.stats, explicit.stats, "disabled shift never perturbs the run");
+    assert_eq!(base.health_ticks, explicit.health_ticks);
+    assert_eq!(base.shift_tick, None);
+    assert_eq!(base.post_shift_recovery_ticks, None);
+}
+
+#[test]
 fn soak_is_reproducible_from_seed() {
     let cfg = overload_cfg();
     let a = run_soak(&cfg);
