@@ -1,0 +1,244 @@
+//! `BENCH_6.json` — sharded fault domains: the kill-matrix soak (one of
+//! N shards panics mid-tick or is force-quarantined while siblings must
+//! stay byte-identical to the fault-free run), per-shard recovery
+//! ticks, failover-floor latency percentiles, crash-safe migration
+//! throughput, and the shed rate during a one-shard outage.
+//!
+//! The hard gates of the ISSUE are checked here and fail the process:
+//! sibling digests must match at 1 and 8 workers, the killed shard must
+//! recover within the tick budget, and availability during the outage
+//! must clear the shed-rate gate.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench6`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`).
+//! Output: `BENCH_6.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`.
+
+use dbaugur::DbAugurConfig;
+use dbaugur_bench::datasets::Scale;
+use dbaugur_exec::Executor;
+use dbaugur_serve::SimEngine;
+use dbaugur_shard::{
+    run_shard_soak, shard_of, KillKind, ShardSoakConfig, ShardSoakReport, ShardedDurable,
+    Supervisor, SupervisorConfig,
+};
+use dbaugur_sqlproc::canonicalize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Victim shard for every faulted scenario.
+const VICTIM: usize = 2;
+/// Recovery budget, ticks (default policy: 3 quarantine + 2 probe).
+const RECOVERY_BUDGET_TICKS: u64 = 8;
+/// Minimum availability during the one-shard outage window.
+const AVAILABILITY_GATE: f64 = 0.5;
+
+struct Cell {
+    kind: KillKind,
+    workers: usize,
+    report: ShardSoakReport,
+    siblings_match: bool,
+    wall_secs: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+fn cell_json(c: &Cell) -> String {
+    let outage = c.report.outage;
+    let mut j = String::new();
+    let _ = writeln!(j, "    {{");
+    let _ = writeln!(j, "      \"kill_kind\": \"{:?}\",", c.kind);
+    let _ = writeln!(j, "      \"workers\": {},", c.workers);
+    let _ = writeln!(j, "      \"siblings_byte_identical\": {},", c.siblings_match);
+    let _ = writeln!(
+        j,
+        "      \"kill_tick\": {},",
+        c.report.kill_tick.map_or("null".into(), |t| t.to_string())
+    );
+    let _ = writeln!(
+        j,
+        "      \"recovery_ticks\": {},",
+        c.report.recovery_ticks.map_or("null".into(), |t| t.to_string())
+    );
+    let _ = writeln!(
+        j,
+        "      \"outage_availability\": {:.4},",
+        outage.map_or(1.0, |o| o.availability())
+    );
+    let _ = writeln!(j, "      \"outage_shed_rate\": {:.4},", outage.map_or(0.0, |o| o.shed_rate()));
+    let _ = writeln!(j, "      \"failover_floors\": {},", c.report.supervisor.failover_floors);
+    let _ = writeln!(j, "      \"panics_caught\": {},", c.report.supervisor.panics_caught);
+    let _ = writeln!(j, "      \"lost_in_flight\": {},", c.report.supervisor.lost_in_flight);
+    let _ = writeln!(j, "      \"reconciled\": {},", c.report.reconciled);
+    let _ = writeln!(j, "      \"wall_secs\": {:.6}", c.wall_secs);
+    let _ = write!(j, "    }}");
+    j
+}
+
+/// Wall-clock percentiles of the failover-floor path: a quarantined
+/// shard's forecasts answered immediately at the supervisor.
+fn failover_latency(samples: usize) -> (f64, f64) {
+    let cfg = SupervisorConfig { shards: 8, ..SupervisorConfig::default() };
+    let mut sup = Supervisor::new(cfg, Arc::new(Executor::new(1)), |_| SimEngine::new(32));
+    // Warm the victim with history so the floor has something to serve.
+    let sql = (0..4096)
+        .map(|i| format!("SELECT load FROM bench6_t{i}"))
+        .find(|s| sup.route(s) == VICTIM)
+        .expect("a template routes to the victim");
+    for ts in 0..64u64 {
+        sup.submit_ingest("bench", ts, &sql, 1);
+    }
+    sup.run_tick(0);
+    sup.force_quarantine(VICTIM);
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let decision = sup.submit_forecast("bench", &sql, 1);
+        lat_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            matches!(decision, dbaugur_shard::ShardDecision::FailoverFloor { .. }),
+            "open breaker must answer floors"
+        );
+    }
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (percentile(&lat_ms, 0.5), percentile(&lat_ms, 0.99))
+}
+
+/// Crash-safe migration throughput: drain one shard's observation
+/// histories into a sibling through the two-phase marker protocol.
+fn migration_throughput(observations: u64) -> (u64, f64) {
+    let root = std::env::temp_dir().join(format!("dbaugur-bench6-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = DbAugurConfig::default();
+    cfg.shards = 8;
+    let mut sys = ShardedDurable::open(&root, cfg).expect("open sharded store");
+    let templates: Vec<String> = (0..4096)
+        .map(|i| format!("INSERT INTO bench6_m{i} VALUES (1)"))
+        .filter(|s| shard_of(&canonicalize(s), 8) == VICTIM)
+        .take(16)
+        .collect();
+    let mut written = 0u64;
+    'fill: loop {
+        for t in &templates {
+            sys.ingest_record(written, t).expect("ingest");
+            written += 1;
+            if written >= observations {
+                break 'fill;
+            }
+        }
+    }
+    let dest = (VICTIM + 1) % 8;
+    let start = Instant::now();
+    let report = sys.migrate(VICTIM, dest).expect("migrate");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.observations, written, "every observation moved");
+    let _ = std::fs::remove_dir_all(&root);
+    let per_sec = if secs > 0.0 { report.observations as f64 / secs } else { 0.0 };
+    (report.observations, per_sec)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (ticks, failover_samples, migration_obs) = match scale.name {
+        "quick" => (60, 2_000, 20_000u64),
+        "full" => (400, 50_000, 500_000),
+        _ => (120, 10_000, 100_000),
+    };
+    eprintln!("bench6: scale={} ticks={ticks} shards=8 victim={VICTIM}", scale.name);
+
+    let base = ShardSoakConfig { ticks, ..ShardSoakConfig::default() };
+    let clean = run_shard_soak(&base);
+    assert!(clean.reconciled, "fault-free run must reconcile");
+
+    let mut cells = Vec::new();
+    for kind in [KillKind::PanicMidTick, KillKind::ForceQuarantine] {
+        for workers in [1usize, 8] {
+            let start = Instant::now();
+            let report = run_shard_soak(&ShardSoakConfig {
+                kill_shard: Some(VICTIM),
+                kill_kind: kind,
+                workers,
+                ..base.clone()
+            });
+            let wall_secs = start.elapsed().as_secs_f64();
+            let siblings_match = (0..base.shards)
+                .filter(|&i| i != VICTIM)
+                .all(|i| clean.per_shard_digests[i] == report.per_shard_digests[i]);
+            eprintln!(
+                "  {kind:?} x{workers}w: siblings_match={siblings_match} recovery={:?} availability={:.3}",
+                report.recovery_ticks,
+                report.outage.map_or(1.0, |o| o.availability())
+            );
+            cells.push(Cell { kind, workers, report, siblings_match, wall_secs });
+        }
+    }
+
+    let (failover_p50_ms, failover_p99_ms) = failover_latency(failover_samples);
+    eprintln!("  failover floor: p50 {failover_p50_ms:.4} ms, p99 {failover_p99_ms:.4} ms");
+
+    let (moved, migration_obs_per_sec) = migration_throughput(migration_obs);
+    eprintln!("  migration: {moved} observations at {migration_obs_per_sec:.0}/s");
+
+    // The ISSUE's gates.
+    let gate_digests = cells.iter().all(|c| c.siblings_match);
+    let gate_recovery = cells
+        .iter()
+        .all(|c| c.report.recovery_ticks.is_some_and(|t| t <= RECOVERY_BUDGET_TICKS));
+    let gate_availability = cells
+        .iter()
+        .all(|c| c.report.outage.is_some_and(|o| o.availability() >= AVAILABILITY_GATE));
+    let gate_reconciled = cells.iter().all(|c| c.report.reconciled);
+    let pass = gate_digests && gate_recovery && gate_availability && gate_reconciled;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_6\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"shards\": {},", base.shards);
+    let _ = writeln!(json, "  \"ticks\": {ticks},");
+    let _ = writeln!(json, "  \"seed\": {},", base.seed);
+    let _ = writeln!(json, "  \"victim_shard\": {VICTIM},");
+    let _ = writeln!(json, "  \"kill_matrix\": [");
+    let _ = writeln!(json, "{}", cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"failover\": {{");
+    let _ = writeln!(json, "    \"samples\": {failover_samples},");
+    let _ = writeln!(json, "    \"p50_ms\": {failover_p50_ms:.5},");
+    let _ = writeln!(json, "    \"p99_ms\": {failover_p99_ms:.5}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"migration\": {{");
+    let _ = writeln!(json, "    \"observations\": {moved},");
+    let _ = writeln!(json, "    \"observations_per_sec\": {migration_obs_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"gates\": {{");
+    let _ = writeln!(json, "    \"recovery_budget_ticks\": {RECOVERY_BUDGET_TICKS},");
+    let _ = writeln!(json, "    \"availability_gate\": {AVAILABILITY_GATE},");
+    let _ = writeln!(json, "    \"siblings_byte_identical\": {gate_digests},");
+    let _ = writeln!(json, "    \"recovery_within_budget\": {gate_recovery},");
+    let _ = writeln!(json, "    \"availability_above_gate\": {gate_availability},");
+    let _ = writeln!(json, "    \"books_reconciled\": {gate_reconciled},");
+    let _ = writeln!(json, "    \"pass\": {pass}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_6.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+    if !pass {
+        eprintln!("error: BENCH_6 gates failed");
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,9 @@ use dbaugur_models::{
 use dbaugur_exec::Deadline;
 use dbaugur_lifecycle::{LifecycleConfig, LifecycleManager};
 use dbaugur_serve::{run_soak, SoakConfig};
+use dbaugur_shard::{
+    run_shard_soak, BreakerState, KillKind, ShardSoakConfig, ShardState, ShardedDurable,
+};
 use dbaugur_sqlproc::TemplateRegistry;
 use dbaugur_trace::{io as trace_io, synth, TraceKind, WindowSpec};
 use std::error::Error;
@@ -33,6 +36,11 @@ fn pipeline_cfg(args: &Args) -> Result<DbAugurConfig, Box<dyn Error>> {
         // 0 = all cores; results are identical for any worker count,
         // so --threads never perturbs the snapshot fingerprint.
         threads: args.flag_num("threads", 0)?,
+        // Shard fault domains. Like --threads, excluded from the
+        // snapshot fingerprint: each shard directory carries its own
+        // lineage, and the count is a deployment choice, not a
+        // statement about the data.
+        shards: args.flag_num("shards", 1)?,
         ..DbAugurConfig::default()
     };
     cfg.clustering.min_size = 1;
@@ -166,7 +174,7 @@ pub fn evaluate(args: &Args) -> CmdResult {
 
 /// `forecast <log>` — full pipeline from a query log.
 pub fn forecast(args: &Args) -> CmdResult {
-    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads"])?;
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads", "shards"])?;
     let path = args.positional(0, "log")?;
     let text = fs::read_to_string(path)?;
     let cfg = pipeline_cfg(args)?;
@@ -231,7 +239,7 @@ pub fn forecast(args: &Args) -> CmdResult {
 /// optionally (re)train, and fold everything into a new snapshot
 /// generation.
 pub fn checkpoint(args: &Args) -> CmdResult {
-    args.check_flags(&["log", "train", "interval", "history", "horizon", "topk", "epochs", "threads"])?;
+    args.check_flags(&["log", "train", "interval", "history", "horizon", "topk", "epochs", "threads", "shards"])?;
     let dir = args.positional(0, "state-dir")?;
     let cfg = pipeline_cfg(args)?;
     let (mut durable, report) = DurableDbAugur::open(Path::new(dir), cfg)?;
@@ -283,7 +291,7 @@ pub fn checkpoint(args: &Args) -> CmdResult {
 /// `recover <state-dir>` — restore the newest good snapshot, replay the
 /// write-ahead log, and report the health of what came back.
 pub fn recover(args: &Args) -> CmdResult {
-    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads"])?;
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads", "shards"])?;
     let dir = args.positional(0, "state-dir")?;
     let cfg = pipeline_cfg(args)?;
     let (sys, report) = DbAugur::recover(Path::new(dir), cfg)?;
@@ -316,7 +324,7 @@ pub fn recover(args: &Args) -> CmdResult {
 /// report drift health. The manual escape hatch when an operator wants
 /// a retrain *now* rather than waiting for the lifecycle loop.
 pub fn retrain(args: &Args) -> CmdResult {
-    args.check_flags(&["cluster", "interval", "history", "horizon", "topk", "epochs", "threads"])?;
+    args.check_flags(&["cluster", "interval", "history", "horizon", "topk", "epochs", "threads", "shards"])?;
     let dir = args.positional(0, "state-dir")?;
     let cfg = pipeline_cfg(args)?;
     let (mut durable, report) = DurableDbAugur::open(Path::new(dir), cfg)?;
@@ -353,7 +361,7 @@ pub fn retrain(args: &Args) -> CmdResult {
 pub fn lifecycle(args: &Args) -> CmdResult {
     args.check_flags(&[
         "ticks", "budget-ms", "min-improve", "windows", "cooldown", "interval", "history",
-        "horizon", "topk", "epochs", "threads",
+        "horizon", "topk", "epochs", "threads", "shards",
     ])?;
     let dir = args.positional(0, "state-dir")?;
     let cfg = pipeline_cfg(args)?;
@@ -436,7 +444,14 @@ pub fn lifecycle(args: &Args) -> CmdResult {
 pub fn soak(args: &Args) -> CmdResult {
     args.check_flags(&[
         "seed", "ticks", "base", "burst-every", "burst-mult", "forecasts", "budget", "deadline",
+        "shards", "kill-shard", "kill-at", "kill-kind", "workers", "quota",
     ])?;
+    // `--shards N` (N > 0) switches to the sharded kill-matrix soak:
+    // bulkhead isolation under an injected one-shard fault.
+    let shards: usize = args.flag_num("shards", 0)?;
+    if shards > 0 {
+        return shard_soak(args, shards);
+    }
     let mut cfg = SoakConfig {
         seed: args.flag_num("seed", SoakConfig::default().seed)?,
         ticks: args.flag_num("ticks", 400)?,
@@ -505,6 +520,199 @@ pub fn soak(args: &Args) -> CmdResult {
         )
         .into())
     }
+}
+
+/// The sharded arm of `soak`: run the seeded workload once fault-free
+/// and once with the requested fault, then hold the bulkhead promises —
+/// books reconcile, surviving shards serve byte-identical answers,
+/// the victim recovers within a bounded number of ticks, and
+/// availability through the outage stays above the gate.
+fn shard_soak(args: &Args, shards: usize) -> CmdResult {
+    let kill_shard = match args.flag("kill-shard") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--kill-shard {v:?} is not a valid shard index"))?,
+        ),
+        None => None,
+    };
+    if let Some(k) = kill_shard {
+        if k >= shards {
+            return Err(format!("--kill-shard {k} out of range for {shards} shards").into());
+        }
+    }
+    let kill_kind = match args.flag("kill-kind").unwrap_or("quarantine") {
+        "panic" => KillKind::PanicMidTick,
+        "quarantine" => KillKind::ForceQuarantine,
+        other => return Err(format!("--kill-kind {other:?} (panic|quarantine)").into()),
+    };
+    let cfg = ShardSoakConfig {
+        shards,
+        seed: args.flag_num("seed", ShardSoakConfig::default().seed)?,
+        ticks: args.flag_num("ticks", 60)?,
+        workers: args.flag_num("workers", 1)?,
+        tenant_quota_per_tick: args.flag_num("quota", 0)?,
+        kill_at_frac: args.flag_num("kill-at", 0.25)?,
+        kill_shard,
+        kill_kind,
+        ..ShardSoakConfig::default()
+    };
+    println!(
+        "shard soak: seed {:#x}, {} shards, {} ticks, {} workers{}",
+        cfg.seed,
+        cfg.shards,
+        cfg.ticks,
+        cfg.workers,
+        match kill_shard {
+            Some(k) => format!(", killing shard {k} ({kill_kind:?}) at {:.0}% ", cfg.kill_at_frac * 100.0),
+            None => ", fault-free".into(),
+        }
+    );
+    let report = run_shard_soak(&cfg);
+    for i in 0..cfg.shards {
+        let s = &report.per_shard_stats[i];
+        println!(
+            "shard {i}: state {} | digest {:016x} | forecasts {}/{} | ingest {}/{} | {} fresh + {} degraded",
+            report.final_states[i],
+            report.per_shard_digests[i],
+            s.admitted_forecasts,
+            s.offered_forecasts,
+            s.admitted_ingest,
+            s.offered_ingest,
+            s.completed_fresh,
+            s.completed_degraded
+        );
+    }
+    let sup = &report.supervisor;
+    println!(
+        "supervisor: {} floors answered, {} panics caught, {} in-flight lost, shed {} (quota) + {} (unavailable)",
+        sup.failover_floors, sup.panics_caught, sup.lost_in_flight,
+        sup.shed_tenant_quota, sup.shed_shard_unavailable
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if !report.reconciled {
+        failures.push("books do not reconcile".into());
+    }
+    if let Some(victim) = kill_shard {
+        // The bulkhead promise is relative to the same run without the
+        // fault: siblings must not even notice.
+        let clean = run_shard_soak(&ShardSoakConfig { kill_shard: None, ..cfg.clone() });
+        let divergent: Vec<usize> = (0..cfg.shards)
+            .filter(|&i| i != victim && clean.per_shard_digests[i] != report.per_shard_digests[i])
+            .collect();
+        if !divergent.is_empty() {
+            failures.push(format!("sibling shards {divergent:?} diverged from the fault-free run"));
+        }
+        match report.recovery_ticks {
+            Some(t) if t <= 8 => println!(
+                "recovery:   shard {victim} hurt at tick {:?}, healthy again after {t} ticks",
+                report.kill_tick
+            ),
+            Some(t) => failures.push(format!("recovery took {t} ticks (budget 8)")),
+            None => failures.push("victim never recovered in-run".into()),
+        }
+        match report.outage {
+            Some(o) => {
+                println!(
+                    "outage:     ticks {}..{}: {}/{} answered (availability {:.3}, shed rate {:.3})",
+                    o.from_tick,
+                    o.to_tick,
+                    o.answered,
+                    o.offered,
+                    o.availability(),
+                    o.shed_rate()
+                );
+                if o.availability() < 0.5 {
+                    failures.push(format!("availability {:.3} below 0.5 gate", o.availability()));
+                }
+            }
+            None => failures.push("no outage window observed".into()),
+        }
+    }
+    if failures.is_empty() {
+        println!("shard soak: PASS (isolation, bounded recovery, availability)");
+        Ok(())
+    } else {
+        Err(format!("shard soak: FAIL ({})", failures.join("; ")).into())
+    }
+}
+
+/// `shards <state-dir>` — per-shard fault-domain status: snapshot
+/// lineage, resident footprint, WAL size, durability counters, and the
+/// health/breaker state the supervisor would derive from the recovery
+/// evidence. Shard count comes from `--shards`, or is inferred from the
+/// `shard-*` directories already on disk.
+pub fn shards(args: &Args) -> CmdResult {
+    args.check_flags(&["interval", "history", "horizon", "topk", "epochs", "threads", "shards"])?;
+    let dir = args.positional(0, "state-dir")?;
+    let mut cfg = pipeline_cfg(args)?;
+    if args.flag("shards").is_none() {
+        let found = count_shard_dirs(Path::new(dir));
+        if found > 0 {
+            cfg.shards = found;
+        }
+    }
+    let sys = ShardedDurable::open(Path::new(dir), cfg)?;
+    println!("{} shards under {dir}", sys.num_shards());
+    for i in 0..sys.num_shards() {
+        let report = &sys.recovery_reports()[i];
+        let d = sys.durability(i);
+        // Offline view: quarantine is a run-time serving decision, so
+        // the strongest statement recovery evidence supports is
+        // healthy-or-degraded with the breaker closed.
+        let (health, breaker) = if report.wal_torn || report.corrupted_generations > 0 {
+            (ShardState::Degraded, BreakerState::Closed)
+        } else {
+            (ShardState::Healthy, BreakerState::Closed)
+        };
+        let registry = sys.shard(i).system().registry();
+        println!(
+            "shard {i}: {health} (breaker {breaker}) | gen {} | {} templates, {} bytes resident | WAL {} bytes",
+            report.generation.map_or("none".to_string(), |g| g.to_string()),
+            registry.num_templates(),
+            registry.approx_bytes(),
+            sys.shard(i).wal_len_bytes()?
+        );
+        println!(
+            "         recovery: {} applied + {} skipped{}{} | retries {} ok / {} exhausted",
+            report.wal_applied,
+            report.wal_skipped,
+            if report.wal_torn {
+                format!(", torn tail salvaged ({} total)", d.wal_torn_salvages)
+            } else {
+                String::new()
+            },
+            if report.corrupted_generations > 0 {
+                format!(", {} corrupt generation(s) skipped", report.corrupted_generations)
+            } else {
+                String::new()
+            },
+            d.io_retries,
+            d.retry_exhausted
+        );
+    }
+    if sys.overrides().is_empty() {
+        println!("routing: all templates on their hash-home shards");
+    } else {
+        println!("routing: {} migration override(s) in force", sys.overrides().len());
+        let mut moved: Vec<(&String, &usize)> = sys.overrides().iter().collect();
+        moved.sort();
+        for (template, shard) in moved {
+            println!("  {template:?} -> shard {shard}");
+        }
+    }
+    Ok(())
+}
+
+/// Count consecutive `shard-<i>` directories under `root` (the layout
+/// [`ShardedDurable`] writes), so `shards` can be invoked without
+/// repeating `--shards` on every call.
+fn count_shard_dirs(root: &Path) -> usize {
+    let mut n = 0;
+    while root.join(format!("shard-{n}")).is_dir() {
+        n += 1;
+    }
+    n
 }
 
 /// `synth <kind>` — print a synthetic trace as single-metric CSV.

@@ -12,6 +12,8 @@
 //! dbaugur retrain <dir> --cluster N             synchronously refit one cluster
 //! dbaugur lifecycle <dir> [--ticks N]           drift-triggered retrain/shadow/promote loop
 //! dbaugur soak [--ticks N] [--seed S]           chaos/soak the serving governor
+//! dbaugur soak --shards N [--kill-shard I]      sharded kill-matrix soak (bulkheads)
+//! dbaugur shards <dir>                          per-shard health, lineage, bytes
 //! ```
 //!
 //! Logs use the `<epoch_secs>\t<sql>` format; trace CSVs use the formats
@@ -48,11 +50,23 @@ commands:
              run a seeded overload scenario against the serving governor
              (admission, deadlines, shedding, eviction) in virtual time;
              exits non-zero if the soak's pass criteria fail
+  soak --shards N [--kill-shard I] [--kill-kind panic|quarantine]
+       [--kill-at FRAC] [--workers W] [--quota Q] [--ticks N] [--seed S]
+             sharded kill-matrix soak: inject a one-shard fault and hold
+             the bulkhead promises (siblings byte-identical to the
+             fault-free run, bounded recovery, availability above gate);
+             exits non-zero when any promise breaks
+  shards <state-dir> [--shards N] [pipeline flags]
+             per-shard fault-domain status: snapshot lineage, resident
+             bytes, WAL bytes, durability counters, derived health and
+             breaker state, and any migration overrides in force
 
 pipeline flags (must match between checkpoint and recover):
   [--interval S] [--history T] [--horizon H] [--topk K] [--epochs E]
   [--threads N]  worker threads for clustering/training (0 = all cores;
                  results are identical for any value)
+  [--shards N]   shard fault domains for durable state (deployment
+                 choice, never part of the snapshot fingerprint)
 ";
 
 fn main() -> ExitCode {
@@ -78,6 +92,7 @@ fn main() -> ExitCode {
         "recover" => commands::recover(&args),
         "retrain" => commands::retrain(&args),
         "lifecycle" => commands::lifecycle(&args),
+        "shards" => commands::shards(&args),
         "soak" => commands::soak(&args),
         other => Err(format!("unknown command {other:?}").into()),
     };

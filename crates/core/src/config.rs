@@ -52,6 +52,13 @@ pub struct DbAugurConfig {
     /// A capacity knob, not a model-shape knob, so it is excluded from
     /// the snapshot fingerprint.
     pub recent_cap: usize,
+    /// Number of independent shard pipelines the sharded layer
+    /// partitions templates across (`1` = unsharded). A deployment
+    /// knob like `threads`: each shard's own snapshot is shaped only by
+    /// the fields above, so this is *not* part of the snapshot
+    /// fingerprint — a shard directory reopens under any shard count
+    /// (routing, not model shape, is what changes).
+    pub shards: usize,
 }
 
 impl Default for DbAugurConfig {
@@ -73,6 +80,7 @@ impl Default for DbAugurConfig {
             drift: DriftConfig::default(),
             threads: 0,
             recent_cap: 512,
+            shards: 1,
         }
     }
 }
@@ -102,6 +110,9 @@ impl DbAugurConfig {
         }
         if self.recent_cap == 0 {
             return Err("recent_cap must be positive".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be positive".into());
         }
         self.guard.validate().map_err(|e| format!("guard: {e}"))?;
         self.drift.validate().map_err(|e| format!("drift: {e}"))?;
@@ -156,6 +167,7 @@ mod tests {
         assert!(rejects(|c| c.horizon = 0));
         assert!(rejects(|c| c.delta = 1.5));
         assert!(rejects(|c| c.top_k = 0));
+        assert!(rejects(|c| c.shards = 0));
         assert!(rejects(|c| c.guard.explosion_factor = 0.5));
         assert!(rejects(|c| c.guard.epoch_backoff = 0.0));
     }
@@ -170,6 +182,8 @@ mod tests {
         b.threads = 8; // parallelism: not shape-relevant (results identical)
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.recent_cap = 64; // retrain-buffer capacity: not shape-relevant
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.shards = 8; // shard count: deployment topology, not model shape
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.history = 12; // window shape: relevant
         assert_ne!(a.fingerprint(), b.fingerprint());

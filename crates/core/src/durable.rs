@@ -12,6 +12,7 @@
 
 use crate::config::DbAugurConfig;
 use crate::pipeline::DbAugur;
+use crate::retry::{DurabilityCounters, RetryExhausted, RetryOutcome, RetryPolicy};
 use crate::snapshot::{RecoveryReport, SnapshotError};
 use crate::wal::Wal;
 use std::io;
@@ -25,6 +26,40 @@ pub struct DurableDbAugur {
     sys: DbAugur,
     wal: Wal,
     dir: PathBuf,
+    retry: RetryPolicy,
+}
+
+/// Append one record under the retry policy: a transient write/fsync
+/// failure rolls the log back to its last durable boundary and tries
+/// again with deterministic jittered backoff; exhaustion comes back as
+/// a typed [`RetryExhausted`] inside the `io::Error`. The counter
+/// updates happen here so every caller's books stay consistent.
+fn append_record_retrying(
+    wal: &mut Wal,
+    policy: &RetryPolicy,
+    counters: &mut DurabilityCounters,
+    ts_secs: u64,
+    sql: &str,
+) -> io::Result<u64> {
+    let mut outcome = RetryOutcome::default();
+    let result = {
+        // Split the borrow: the repair hook and the op both need the WAL.
+        let wal_cell = std::cell::RefCell::new(wal);
+        crate::retry::with_retry(
+            policy,
+            "wal-append",
+            &mut outcome,
+            || wal_cell.borrow_mut().repair_tail(),
+            || wal_cell.borrow_mut().append_record(ts_secs, sql),
+        )
+    };
+    counters.io_retries += u64::from(outcome.retried);
+    if let Err(e) = &result {
+        if RetryExhausted::from_io(e).is_some() {
+            counters.retry_exhausted += 1;
+        }
+    }
+    result
 }
 
 impl DurableDbAugur {
@@ -36,12 +71,34 @@ impl DurableDbAugur {
         // Seed the log's sequence counter past everything already
         // applied so fresh appends never collide with replayed entries.
         let wal = Wal::open(&dir.join(WAL_FILE), sys.applied_seq())?;
-        Ok((Self { sys, wal, dir: dir.to_path_buf() }, report))
+        Ok((Self { sys, wal, dir: dir.to_path_buf(), retry: RetryPolicy::default() }, report))
+    }
+
+    /// Replace the transient-I/O retry policy (default: 4 attempts with
+    /// small deterministic jittered backoff). [`RetryPolicy::none`]
+    /// restores fail-on-first-error behaviour.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The active transient-I/O retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Durably ingest one query-log record (logged, fsynced, applied).
+    /// Transient append failures are retried under the configured
+    /// policy; exhaustion returns a typed [`RetryExhausted`] (wrapped
+    /// in the `io::Error`) instead of a bare first failure.
     pub fn ingest_record(&mut self, ts_secs: u64, sql: &str) -> io::Result<()> {
-        let seq = self.wal.append_record(ts_secs, sql)?;
+        let seq = append_record_retrying(
+            &mut self.wal,
+            &self.retry,
+            &mut self.sys.durability,
+            ts_secs,
+            sql,
+        )?;
         self.sys.ingest_record(ts_secs, sql);
         self.sys.applied_seq = seq;
         Ok(())
@@ -55,8 +112,9 @@ impl DurableDbAugur {
     pub fn ingest_log_text(&mut self, text: &str) -> io::Result<crate::IngestReport> {
         let wal = &mut self.wal;
         let sys = &mut self.sys;
+        let retry = &self.retry;
         let stats = dbaugur_sqlproc::try_parse_log_stream(text, |ts_secs, sql| {
-            let seq = wal.append_record(ts_secs, sql)?;
+            let seq = append_record_retrying(wal, retry, &mut sys.durability, ts_secs, sql)?;
             sys.ingest_record(ts_secs, sql);
             sys.applied_seq = seq;
             Ok::<(), io::Error>(())
@@ -69,9 +127,27 @@ impl DurableDbAugur {
         })
     }
 
-    /// Durably register a resource-consumption trace.
+    /// Durably register a resource-consumption trace. Transient append
+    /// failures retry under the same policy as record ingestion.
     pub fn add_resource_trace(&mut self, trace: dbaugur_trace::Trace) -> io::Result<()> {
-        let seq = self.wal.append_resource(&trace)?;
+        let mut outcome = RetryOutcome::default();
+        let result = {
+            let wal_cell = std::cell::RefCell::new(&mut self.wal);
+            crate::retry::with_retry(
+                &self.retry,
+                "wal-append-resource",
+                &mut outcome,
+                || wal_cell.borrow_mut().repair_tail(),
+                || wal_cell.borrow_mut().append_resource(&trace),
+            )
+        };
+        self.sys.durability.io_retries += u64::from(outcome.retried);
+        if let Err(e) = &result {
+            if RetryExhausted::from_io(e).is_some() {
+                self.sys.durability.retry_exhausted += 1;
+            }
+        }
+        let seq = result?;
         self.sys.add_resource_trace(trace);
         self.sys.applied_seq = seq;
         Ok(())
@@ -83,9 +159,34 @@ impl DurableDbAugur {
     /// two merely replays entries the snapshot already contains (replay
     /// is sequence-gated and idempotent).
     pub fn checkpoint(&mut self) -> io::Result<u64> {
-        let gen = self.sys.checkpoint(&self.dir)?;
+        let gen = self.checkpoint_retrying()?;
         self.wal.truncate()?;
         Ok(gen)
+    }
+
+    /// Write a snapshot generation under the retry policy. No repair
+    /// hook is needed: snapshot writes go through tmp-file + rename, so
+    /// a failed attempt leaves no partial generation behind.
+    fn checkpoint_retrying(&mut self) -> io::Result<u64> {
+        let mut outcome = RetryOutcome::default();
+        let result = {
+            let sys = &mut self.sys;
+            let dir = &self.dir;
+            crate::retry::with_retry(
+                &self.retry,
+                "snapshot-write",
+                &mut outcome,
+                || Ok(()),
+                || sys.checkpoint(dir),
+            )
+        };
+        self.sys.durability.io_retries += u64::from(outcome.retried);
+        if let Err(e) = &result {
+            if RetryExhausted::from_io(e).is_some() {
+                self.sys.durability.retry_exhausted += 1;
+            }
+        }
+        result
     }
 
     /// Deadline-governed checkpoint. Checkpointing is maintenance — the
@@ -101,7 +202,7 @@ impl DurableDbAugur {
         if deadline.expired() {
             return Ok(None);
         }
-        let gen = self.sys.checkpoint(&self.dir)?;
+        let gen = self.checkpoint_retrying()?;
         if deadline.expired() {
             return Ok(Some(gen));
         }

@@ -47,12 +47,16 @@ pub mod config;
 pub mod drift;
 pub mod durable;
 pub mod pipeline;
+pub mod retry;
 pub mod snapshot;
 pub mod wal;
 
 pub use config::DbAugurConfig;
 pub use drift::{DriftConfig, DriftMonitor, DriftState};
 pub use durable::{DurableDbAugur, WAL_FILE};
+pub use retry::{
+    is_transient, with_retry, DurabilityCounters, RetryExhausted, RetryOutcome, RetryPolicy,
+};
 pub use pipeline::{
     train_challenger, ClusterHealth, ClusterReport, ClusterStatus, ClusterTrainReport, DbAugur,
     ForecastError, IngestReport, RetrainError, TrainError, TrainedCluster,

@@ -369,6 +369,11 @@ pub struct DbAugur {
     /// Bounded executor all fan-out (clustering, top-K, per-cluster and
     /// per-member training) routes through.
     pub(crate) exec: Arc<Executor>,
+    /// Structured durability-event tally: snapshot fallbacks, WAL
+    /// torn-tail salvages, transient-I/O retries. Recovery and the
+    /// durable facade accumulate into it; the serving layer surfaces it
+    /// through `ServeStats`.
+    pub(crate) durability: crate::retry::DurabilityCounters,
 }
 
 impl DbAugur {
@@ -391,7 +396,14 @@ impl DbAugur {
             last_report: None,
             applied_seq: 0,
             exec,
+            durability: crate::retry::DurabilityCounters::default(),
         }
+    }
+
+    /// Cumulative durability-event counters (snapshot fallbacks, WAL
+    /// torn-tail salvages, transient-I/O retries and exhaustions).
+    pub fn durability(&self) -> crate::retry::DurabilityCounters {
+        self.durability
     }
 
     /// The executor this system fans work out through.
@@ -469,6 +481,12 @@ impl DbAugur {
     /// Approximate bytes the template registry holds resident.
     pub fn registry_bytes(&self) -> usize {
         self.registry.approx_bytes()
+    }
+
+    /// Read access to the template registry (shard migration enumerates
+    /// template ids, strings, and observation counts through here).
+    pub fn registry(&self) -> &dbaugur_sqlproc::TemplateRegistry {
+        &self.registry
     }
 
     /// Observations dropped by the per-template cap (cumulative).

@@ -1,0 +1,343 @@
+//! Bounded retry with deterministic jittered backoff for transient
+//! durability I/O.
+//!
+//! WAL appends, fsyncs, and snapshot writes can fail transiently
+//! (interrupted syscalls, a saturated device reporting timeouts). The
+//! durable layer used to abort the whole tick on the first such error;
+//! with a [`RetryPolicy`] it retries a bounded number of times with an
+//! exponential backoff whose jitter is *seeded* — the same policy, op
+//! tag, and attempt number always produce the same delay, so fault
+//! tests replay exactly.
+//!
+//! A non-transient error (disk full, permission denied) is returned
+//! immediately: retrying it would only hide a real fault. When every
+//! attempt fails, the caller gets a typed [`RetryExhausted`] carrying
+//! the attempt count and the last underlying error, wrapped in an
+//! `io::Error` so durable signatures stay `io::Result`.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// Counters for durability-layer salvage and retry events — the
+/// structured alternative to silently falling back to an older
+/// generation or quietly re-trying an fsync.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityCounters {
+    /// Snapshot generations skipped by recovery because they failed to
+    /// load (bad magic, CRC, framing) — each one is a fallback to an
+    /// older generation.
+    pub snapshot_fallbacks: u64,
+    /// WAL scans that found (and truncated) a torn or corrupt tail.
+    pub wal_torn_salvages: u64,
+    /// WAL entries replayed during recovery (cumulative).
+    pub wal_replayed: u64,
+    /// Transient durability I/O errors that were retried successfully.
+    pub io_retries: u64,
+    /// Retry budgets exhausted — the typed failure the caller saw.
+    pub retry_exhausted: u64,
+}
+
+impl DurabilityCounters {
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: &DurabilityCounters) {
+        self.snapshot_fallbacks += other.snapshot_fallbacks;
+        self.wal_torn_salvages += other.wal_torn_salvages;
+        self.wal_replayed += other.wal_replayed;
+        self.io_retries += other.io_retries;
+        self.retry_exhausted += other.retry_exhausted;
+    }
+}
+
+/// Bounded-retry tunables for transient durability I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds. Doubles per
+    /// attempt, saturating at [`max_backoff_ms`](Self::max_backoff_ms).
+    /// `0` disables sleeping (tests retry at full speed).
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic jitter. The delay for (seed, op tag,
+    /// attempt) never changes run to run.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 4, base_backoff_ms: 2, max_backoff_ms: 50, seed: 0xD8A6 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the pre-retry behaviour.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, base_backoff_ms: 0, max_backoff_ms: 0, seed: 0 }
+    }
+
+    /// The backoff before retry number `attempt` (1-based) of the
+    /// operation tagged `op`: exponential base doubling plus a
+    /// deterministic jitter of up to half the base, all capped at
+    /// [`max_backoff_ms`](Self::max_backoff_ms).
+    pub fn backoff_ms(&self, op: &str, attempt: u32) -> u64 {
+        if self.base_backoff_ms == 0 {
+            return 0;
+        }
+        let exp = self.base_backoff_ms.saturating_mul(1u64 << attempt.min(20));
+        let jitter_span = (exp / 2).max(1);
+        let jitter = fnv1a(self.seed, op, attempt) % jitter_span;
+        (exp + jitter).min(self.max_backoff_ms.max(1))
+    }
+}
+
+/// FNV-1a over (seed, op tag, attempt) — the jitter source. Stable
+/// across platforms and runs, unlike a thread-local RNG.
+fn fnv1a(seed: u64, op: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(op.as_bytes());
+    eat(&attempt.to_le_bytes());
+    h
+}
+
+/// The typed failure produced when a [`RetryPolicy`]'s budget runs out.
+/// Reaches callers as the inner error of an `io::Error`, so it can be
+/// downcast from any durable method's `io::Result`.
+#[derive(Debug)]
+pub struct RetryExhausted {
+    /// Operation tag (`"wal-append"`, `"snapshot-write"`, …).
+    pub op: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The error the final attempt returned.
+    pub last: io::Error,
+}
+
+impl fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed after {} attempts: {}", self.op, self.attempts, self.last)
+    }
+}
+
+impl std::error::Error for RetryExhausted {}
+
+impl RetryExhausted {
+    /// Wrap into an `io::Error` preserving the final attempt's kind.
+    pub fn into_io(self) -> io::Error {
+        let kind = self.last.kind();
+        io::Error::new(kind, self)
+    }
+
+    /// Downcast an `io::Error` produced by [`with_retry`] back to the
+    /// typed exhaustion record, if that is what it carries.
+    pub fn from_io(err: &io::Error) -> Option<&RetryExhausted> {
+        err.get_ref().and_then(|e| e.downcast_ref::<RetryExhausted>())
+    }
+}
+
+/// True for error kinds worth retrying: the operation may well succeed
+/// a moment later. Anything else (disk full, permissions, corruption)
+/// fails immediately.
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ResourceBusy
+    )
+}
+
+/// Outcome tally of one [`with_retry`] call, for the caller's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Transient failures that were retried (0 on a clean first try).
+    pub retried: u32,
+}
+
+/// Run `op_fn` under `policy`: transient errors are retried with
+/// deterministic jittered backoff until the budget runs out, at which
+/// point a typed [`RetryExhausted`] comes back (as `io::Error`).
+/// Non-transient errors return immediately without consuming budget.
+/// `repair` runs before every retry — the hook where a WAL rolls its
+/// file back to the last durable length so a half-written frame is
+/// never extended.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    op: &str,
+    outcome: &mut RetryOutcome,
+    mut repair: impl FnMut() -> io::Result<()>,
+    mut op_fn: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last: Option<io::Error> = None;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            repair()?;
+            let ms = policy.backoff_ms(op, attempt - 1);
+            if ms > 0 {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        match op_fn() {
+            Ok(v) => {
+                if attempt > 1 {
+                    outcome.retried += attempt - 1;
+                }
+                return Ok(v);
+            }
+            Err(e) if is_transient(e.kind()) && attempt < attempts => last = Some(e),
+            Err(e) if attempt >= attempts => {
+                return Err(RetryExhausted { op: op.into(), attempts, last: e }.into_io());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Unreachable: the loop always returns; keep the compiler honest.
+    Err(RetryExhausted {
+        op: op.into(),
+        attempts,
+        last: last.unwrap_or_else(|| io::Error::other("no attempt ran")),
+    }
+    .into_io())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient() -> io::Error {
+        io::Error::new(io::ErrorKind::Interrupted, "transient")
+    }
+
+    fn fatal() -> io::Error {
+        io::Error::new(io::ErrorKind::PermissionDenied, "fatal")
+    }
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts: attempts, base_backoff_ms: 0, max_backoff_ms: 0, seed: 7 }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures_and_counts() {
+        let mut fails = 2;
+        let mut out = RetryOutcome::default();
+        let v = with_retry(&fast_policy(4), "wal-append", &mut out, || Ok(()), || {
+            if fails > 0 {
+                fails -= 1;
+                Err(transient())
+            } else {
+                Ok(42)
+            }
+        })
+        .expect("third attempt succeeds");
+        assert_eq!(v, 42);
+        assert_eq!(out.retried, 2);
+    }
+
+    #[test]
+    fn exhaustion_is_typed_and_downcastable() {
+        let mut out = RetryOutcome::default();
+        let err = with_retry::<()>(&fast_policy(3), "snapshot-write", &mut out, || Ok(()), || {
+            Err(transient())
+        })
+        .expect_err("never succeeds");
+        let ex = RetryExhausted::from_io(&err).expect("typed RetryExhausted");
+        assert_eq!(ex.attempts, 3);
+        assert_eq!(ex.op, "snapshot-write");
+        assert_eq!(ex.last.kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_immediately() {
+        let mut calls = 0;
+        let mut out = RetryOutcome::default();
+        let err = with_retry::<()>(&fast_policy(5), "wal-append", &mut out, || Ok(()), || {
+            calls += 1;
+            Err(fatal())
+        })
+        .expect_err("fatal");
+        assert_eq!(calls, 1, "no retry of a non-transient error");
+        assert!(RetryExhausted::from_io(&err).is_none(), "not an exhaustion");
+        assert_eq!(out.retried, 0);
+    }
+
+    #[test]
+    fn repair_runs_before_every_retry() {
+        let mut repairs = 0;
+        let mut fails = 3;
+        let mut out = RetryOutcome::default();
+        with_retry(
+            &fast_policy(5),
+            "wal-append",
+            &mut out,
+            || {
+                repairs += 1;
+                Ok(())
+            },
+            || {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(transient())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .expect("succeeds");
+        assert_eq!(repairs, 3, "one repair per retry");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy { max_attempts: 5, base_backoff_ms: 2, max_backoff_ms: 40, seed: 9 };
+        for attempt in 1..=6 {
+            let a = p.backoff_ms("wal-append", attempt);
+            let b = p.backoff_ms("wal-append", attempt);
+            assert_eq!(a, b, "jitter must be a pure function of (seed, op, attempt)");
+            assert!(a <= 40, "capped at max_backoff_ms");
+        }
+        assert_ne!(
+            p.backoff_ms("wal-append", 1),
+            p.backoff_ms("snapshot-write", 1),
+            "different ops draw different jitter"
+        );
+        let silent = RetryPolicy { base_backoff_ms: 0, ..p };
+        assert_eq!(silent.backoff_ms("x", 3), 0);
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let mut out = RetryOutcome::default();
+        let err = with_retry::<()>(&RetryPolicy::none(), "op", &mut out, || Ok(()), || {
+            Err(transient())
+        })
+        .expect_err("one attempt only");
+        let ex = RetryExhausted::from_io(&err).expect("typed");
+        assert_eq!(ex.attempts, 1);
+    }
+
+    #[test]
+    fn counters_absorb_adds_fields() {
+        let mut a = DurabilityCounters { io_retries: 1, ..Default::default() };
+        let b = DurabilityCounters {
+            snapshot_fallbacks: 2,
+            wal_torn_salvages: 1,
+            wal_replayed: 5,
+            io_retries: 3,
+            retry_exhausted: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.io_retries, 4);
+        assert_eq!(a.snapshot_fallbacks, 2);
+        assert_eq!(a.wal_replayed, 5);
+    }
+}

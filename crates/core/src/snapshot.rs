@@ -476,6 +476,12 @@ impl DbAugur {
         report.wal_torn = sum.torn;
         report.wal_applied = wal_applied;
         report.wal_skipped = wal_skipped;
+        // Surface what recovery had to salvage as structured counters —
+        // falling back past a corrupt generation or truncating a torn
+        // WAL tail must be observable, never silent.
+        sys.durability.snapshot_fallbacks += report.corrupted_generations as u64;
+        sys.durability.wal_torn_salvages += u64::from(report.wal_torn);
+        sys.durability.wal_replayed += report.wal_applied as u64;
         Ok((sys, report))
     }
 }

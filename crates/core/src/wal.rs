@@ -278,6 +278,11 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     next_seq: u64,
+    /// Byte length of the durable prefix — everything up to and
+    /// including the last fully fsynced record. A failed append can
+    /// leave a partial frame past this point; [`Wal::repair_tail`]
+    /// rolls the file back to it before a retry.
+    durable_len: u64,
 }
 
 impl Wal {
@@ -294,16 +299,25 @@ impl Wal {
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
-        if len < HEADER_LEN {
+        let durable_len = if len < HEADER_LEN {
             file.set_len(0)?;
             file.write_all(&wal_header())?;
             file.sync_all()?;
+            HEADER_LEN
         } else if scan.good_len < len {
             file.set_len(scan.good_len)?;
             file.sync_all()?;
-        }
+            scan.good_len
+        } else {
+            len
+        };
         file.seek(SeekFrom::End(0))?;
-        Ok(Self { file, path: path.to_path_buf(), next_seq: scan.last_seq.max(floor_seq) + 1 })
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            next_seq: scan.last_seq.max(floor_seq) + 1,
+            durable_len,
+        })
     }
 
     /// The log's path.
@@ -322,7 +336,21 @@ impl Wal {
         self.file.write_all(&framed)?;
         self.file.sync_all()?;
         self.next_seq += 1;
+        self.durable_len += framed.len() as u64;
         Ok(seq)
+    }
+
+    /// Roll the file back to the last durable record boundary,
+    /// discarding any partial frame a failed append left behind. Called
+    /// by the durable layer before retrying a transient append failure;
+    /// a no-op when the file already ends on the boundary.
+    pub fn repair_tail(&mut self) -> io::Result<()> {
+        if self.file.metadata()?.len() != self.durable_len {
+            self.file.set_len(self.durable_len)?;
+            self.file.sync_all()?;
+        }
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
     }
 
     /// Durably append one ingested statement; returns its sequence.
@@ -343,6 +371,7 @@ impl Wal {
         self.file.set_len(HEADER_LEN)?;
         self.file.seek(SeekFrom::End(0))?;
         self.file.sync_all()?;
+        self.durable_len = HEADER_LEN;
         Ok(())
     }
 
@@ -474,6 +503,28 @@ mod tests {
             assert_eq!(scan.entries.len(), expect, "cut at {cut}");
             assert_eq!(scan.torn, cut != 0 && !boundaries.contains(&cut), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn repair_tail_discards_partial_frame_and_appends_continue() {
+        let dir = tmpdir("repair");
+        let path = dir.join("wal.dbwl");
+        let mut wal = Wal::open(&path, 0).expect("open");
+        wal.append_record(1, "SELECT a").expect("append");
+        // Simulate a failed append that wrote half a frame: bytes land
+        // past the durable boundary without the bookkeeping advancing.
+        wal.file.write_all(&[0xDE, 0xAD, 0xBE]).expect("raw write");
+        wal.file.sync_all().expect("sync");
+        wal.repair_tail().expect("repair");
+        let scan = scan_file(&path).expect("scan");
+        assert!(!scan.torn, "repair removed the garbage");
+        assert_eq!(scan.entries.len(), 1);
+        // The retried append goes through cleanly on the repaired tail.
+        wal.append_record(2, "SELECT b").expect("append after repair");
+        let scan = scan_file(&path).expect("rescan");
+        assert!(!scan.torn);
+        assert_eq!(scan.entries.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,6 +17,12 @@ pub enum ShedReason {
     /// The token bucket was empty — offered rate exceeds the configured
     /// sustained rate plus burst allowance.
     RateLimited,
+    /// The submitting tenant exhausted its per-tick quota; other
+    /// tenants' requests are still admitted.
+    TenantQuota,
+    /// The shard owning this template is quarantined and not accepting
+    /// writes; forecasts are still answered (degraded) from its floor.
+    ShardUnavailable,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -24,6 +30,8 @@ impl std::fmt::Display for ShedReason {
         match self {
             ShedReason::QueueFull => write!(f, "queue full"),
             ShedReason::RateLimited => write!(f, "rate limited"),
+            ShedReason::TenantQuota => write!(f, "tenant quota exhausted"),
+            ShedReason::ShardUnavailable => write!(f, "shard unavailable"),
         }
     }
 }

@@ -6,7 +6,7 @@
 //! stand-in ([`SimEngine`]) that the chaos/soak harness can hammer with
 //! millions of simulated requests in milliseconds.
 
-use dbaugur::DbAugur;
+use dbaugur::{DbAugur, DurabilityCounters};
 use dbaugur_exec::Deadline;
 use dbaugur_lifecycle::{LifecycleManager, LifecycleTickReport};
 use dbaugur_sqlproc::canonicalize;
@@ -40,6 +40,15 @@ pub trait Engine {
     fn maintain(&mut self, budget_ms: u64) -> u64 {
         let _ = budget_ms;
         0
+    }
+
+    /// Cumulative durability-event counters (snapshot fallbacks, WAL
+    /// torn-tail salvages, I/O retries) from the engine's durable
+    /// substrate, surfaced into [`ServeStats`](crate::ServeStats) at
+    /// every tick boundary. Purely in-memory engines keep the default
+    /// all-zero answer.
+    fn durability(&self) -> DurabilityCounters {
+        DurabilityCounters::default()
     }
 }
 
@@ -257,6 +266,10 @@ impl Engine for PipelineEngine {
         let attempts = report.attempted as u64;
         self.last_maintenance = Some(report);
         (attempts * cost).min(budget_ms)
+    }
+
+    fn durability(&self) -> DurabilityCounters {
+        self.sys.durability()
     }
 }
 

@@ -150,6 +150,20 @@ pub struct ServeStats {
     pub maintenance_runs: u64,
     /// Clock milliseconds spent on background maintenance (cumulative).
     pub maintenance_ms: u64,
+    /// Corrupt snapshot generations skipped during recovery (engine's
+    /// durable substrate fell back to an older good generation).
+    pub snapshot_fallbacks: u64,
+    /// WAL torn tails salvaged during recovery (partial final frame
+    /// discarded, prefix replayed).
+    pub wal_torn_salvages: u64,
+    /// Transient WAL/snapshot I/O errors absorbed by retry.
+    pub io_retries: u64,
+    /// Durable I/O operations that failed even after retries.
+    pub retry_exhausted: u64,
+    /// Order-sensitive FNV fold of every served forecast (value bits
+    /// plus the degraded flag). Two runs served byte-identical answers
+    /// in the same order iff their digests match.
+    pub value_digest: u64,
 }
 
 impl ServeStats {
@@ -375,6 +389,16 @@ impl<E: Engine, C: Clock> Governor<E, C> {
             }
         }
 
+        // Surface the engine's durability counters (cumulative values
+        // maintained by the durable substrate; zeros for in-memory
+        // engines) so operators see salvage/fallback/retry events in
+        // the same report as serving health.
+        let d = self.engine.durability();
+        self.stats.snapshot_fallbacks = d.snapshot_fallbacks;
+        self.stats.wal_torn_salvages = d.wal_torn_salvages;
+        self.stats.io_retries = d.io_retries;
+        self.stats.retry_exhausted = d.retry_exhausted;
+
         self.health = if report.served_degraded > 0
             || self.forecasts.len() == self.forecasts.capacity()
         {
@@ -393,7 +417,24 @@ impl<E: Engine, C: Clock> Governor<E, C> {
             ForecastOutcome::Fresh(_) => self.stats.completed_fresh += 1,
             ForecastOutcome::DegradedFloor(_) => self.stats.completed_degraded += 1,
         }
+        self.fold_served(&outcome);
         self.latencies.push(latency_ms as f64);
+    }
+
+    /// Fold one served answer into the order-sensitive value digest.
+    /// Also used by the shard supervisor for failover floors it serves
+    /// on a tripped shard's behalf, so those still land in the books.
+    pub(crate) fn fold_served(&mut self, outcome: &ForecastOutcome) {
+        let mut h = self.stats.value_digest ^ 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&outcome.value().to_bits().to_le_bytes());
+        eat(&[u8::from(outcome.is_degraded())]);
+        self.stats.value_digest = h;
     }
 
     /// Cumulative counters.

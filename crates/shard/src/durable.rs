@@ -1,0 +1,625 @@
+//! Sharded durable state: one WAL + snapshot lineage per shard, plus
+//! crash-safe two-phase template migration between shards.
+//!
+//! Each shard owns a private state directory (`shard-<i>/` under the
+//! root) holding its own snapshot generations and write-ahead log —
+//! corrupting one shard's lineage cannot touch a sibling's, which is
+//! the durability half of the bulkhead.
+//!
+//! # Migration protocol
+//!
+//! Draining a (typically quarantined) shard into a healthy one must
+//! survive a crash at any instant without losing or duplicating
+//! observations. The protocol is two-phase with an idempotent resume:
+//!
+//! 1. **Prepare** ([`ShardedDurable::begin_migration`]): spill the
+//!    source shard's template histories non-destructively (spill, then
+//!    restore the same blob in memory), and atomically write a marker
+//!    file `migrate-<from>-<to>.dbmg` carrying the template roster, the
+//!    verbatim spill blob, and a CRC trailer. Until the marker is
+//!    durable, the migration never happened.
+//! 2. **Commit** ([`ShardedDurable::resume_migrations`], also run at
+//!    every [`open`](ShardedDurable::open)): replay the spilled
+//!    observations into the destination's in-memory registry, make them
+//!    durable with one destination checkpoint (atomic at the snapshot
+//!    rename), write the `.done` file, and only then drain the source
+//!    and remove both files.
+//!
+//! A crash between any two steps re-runs commit idempotently: the
+//! destination-count check skips the replay if the checkpoint already
+//! landed, and the `.done` file gates the destructive drain. Routing
+//! overrides (template → non-home shard) are rebuilt from observation
+//! placement at open, so a completed migration keeps routing correctly
+//! with no extra metadata.
+
+use crate::route::shard_of;
+use dbaugur::{DbAugurConfig, DurabilityCounters, DurableDbAugur, RecoveryReport, SnapshotError};
+use dbaugur_sqlproc::{canonicalize, TemplateId};
+use dbaugur_trace::wire::{atomic_write, crc32, WireReader, WireWriter};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Marker-file magic: `"DBMG"` little-endian.
+const MIGRATE_MAGIC: u32 = 0x474D_4244;
+/// Marker wire-format version.
+const MIGRATE_VERSION: u32 = 1;
+
+/// What one completed migration moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Source shard (drained).
+    pub from: usize,
+    /// Destination shard (absorbed the histories).
+    pub to: usize,
+    /// Templates whose histories moved.
+    pub templates: usize,
+    /// Observations moved.
+    pub observations: u64,
+}
+
+/// The decoded body of a migration marker file.
+struct Marker {
+    from: usize,
+    to: usize,
+    /// Canonical template strings, indexed by source-shard template id.
+    roster: Vec<String>,
+    /// Verbatim registry spill blob (source-shard ids + observations).
+    spill: Vec<u8>,
+}
+
+/// N durable pipelines, one per fault domain, under one root directory.
+pub struct ShardedDurable {
+    root: PathBuf,
+    shards: Vec<DurableDbAugur>,
+    reports: Vec<RecoveryReport>,
+    /// Canonical template → shard, for templates living away from their
+    /// hash home after a migration. Rebuilt from observation placement
+    /// at every open.
+    overrides: HashMap<String, usize>,
+}
+
+impl ShardedDurable {
+    /// Open (or create) `cfg.shards` shard directories under `root`,
+    /// recovering each shard's own snapshot + WAL lineage, completing
+    /// any migration that was interrupted by a crash, and rebuilding
+    /// routing overrides from where observations actually live.
+    ///
+    /// Shard recoveries are independent: a corrupt generation or torn
+    /// WAL tail in one shard is salvaged (and surfaced in that shard's
+    /// [`RecoveryReport`] and durability counters) without touching any
+    /// sibling.
+    pub fn open(root: &Path, cfg: DbAugurConfig) -> Result<Self, SnapshotError> {
+        assert!(cfg.shards > 0, "shard count must be positive");
+        std::fs::create_dir_all(root)?;
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut reports = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let (shard, report) = DurableDbAugur::open(&shard_dir(root, i), cfg.clone())?;
+            shards.push(shard);
+            reports.push(report);
+        }
+        let mut this =
+            Self { root: root.to_path_buf(), shards, reports, overrides: HashMap::new() };
+        this.resume_migrations()?;
+        this.rebuild_overrides();
+        Ok(this)
+    }
+
+    /// [`open`](Self::open), with the per-shard recoveries running in
+    /// parallel on `exec`. A panic while recovering one shard surfaces
+    /// as that shard's error; siblings still recover.
+    pub fn open_parallel(
+        root: &Path,
+        cfg: DbAugurConfig,
+        exec: &dbaugur_exec::Executor,
+    ) -> Result<Self, SnapshotError> {
+        assert!(cfg.shards > 0, "shard count must be positive");
+        std::fs::create_dir_all(root)?;
+        let dirs: Vec<(usize, PathBuf)> =
+            (0..cfg.shards).map(|i| (i, shard_dir(root, i))).collect();
+        let cfg_ref = &cfg;
+        let outcomes = exec.try_map(dirs, |_, (_i, dir)| DurableDbAugur::open(&dir, cfg_ref.clone()));
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut reports = Vec::with_capacity(cfg.shards);
+        for outcome in outcomes {
+            let (shard, report) = outcome
+                .map_err(|panic| SnapshotError::from(io::Error::other(panic)))??;
+            shards.push(shard);
+            reports.push(report);
+        }
+        let mut this =
+            Self { root: root.to_path_buf(), shards, reports, overrides: HashMap::new() };
+        this.resume_migrations()?;
+        this.rebuild_overrides();
+        Ok(this)
+    }
+
+    /// Number of shard fault domains.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Root directory holding the shard subdirectories.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// One shard's durable pipeline (read access).
+    pub fn shard(&self, i: usize) -> &DurableDbAugur {
+        &self.shards[i]
+    }
+
+    /// Mutable access to one shard's durable pipeline.
+    pub fn shard_mut(&mut self, i: usize) -> &mut DurableDbAugur {
+        &mut self.shards[i]
+    }
+
+    /// Each shard's recovery report from the last open, in shard order.
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.reports
+    }
+
+    /// One shard's durability counters (salvage events, retries).
+    pub fn durability(&self, i: usize) -> DurabilityCounters {
+        self.shards[i].system().durability()
+    }
+
+    /// The shard that owns `sql`'s template: a migration override if
+    /// one exists, the stable hash home otherwise.
+    pub fn route(&self, sql: &str) -> usize {
+        let canonical = canonicalize(sql);
+        match self.overrides.get(&canonical) {
+            Some(&shard) => shard,
+            None => shard_of(&canonical, self.shards.len()),
+        }
+    }
+
+    /// Migration overrides in force (canonical template → shard).
+    pub fn overrides(&self) -> &HashMap<String, usize> {
+        &self.overrides
+    }
+
+    /// Durably ingest one record into the owning shard. Returns the
+    /// shard that absorbed it.
+    pub fn ingest_record(&mut self, ts_secs: u64, sql: &str) -> io::Result<usize> {
+        let shard = self.route(sql);
+        self.shards[shard].ingest_record(ts_secs, sql)?;
+        Ok(shard)
+    }
+
+    /// Forecast from the owning shard (`None` for unknown templates or
+    /// untrained shards).
+    pub fn forecast(&self, sql: &str) -> Option<f64> {
+        self.shards[self.route(sql)].system().forecast_template(sql)
+    }
+
+    /// Checkpoint every shard sequentially; returns each shard's new
+    /// snapshot generation.
+    pub fn checkpoint_all(&mut self) -> io::Result<Vec<u64>> {
+        self.shards.iter_mut().map(|s| s.checkpoint()).collect()
+    }
+
+    /// Checkpoint every shard in parallel on `exec`.
+    pub fn checkpoint_all_parallel(
+        &mut self,
+        exec: &dbaugur_exec::Executor,
+    ) -> io::Result<Vec<u64>> {
+        let outcomes = exec.try_map_mut(&mut self.shards, |_, shard| shard.checkpoint());
+        outcomes
+            .into_iter()
+            .map(|o| o.map_err(io::Error::other)?)
+            .collect()
+    }
+
+    /// Move every template history from shard `from` to shard `to`,
+    /// crash-safely: prepare (marker) then commit (resume). The usual
+    /// caller quarantines `from` first so no new writes race the drain.
+    pub fn migrate(&mut self, from: usize, to: usize) -> io::Result<MigrationReport> {
+        let began = self.begin_migration(from, to)?;
+        if !began {
+            return Ok(MigrationReport { from, to, templates: 0, observations: 0 });
+        }
+        let completed = self.resume_migrations().map_err(snapshot_to_io)?;
+        completed
+            .into_iter()
+            .find(|r| r.from == from && r.to == to)
+            .ok_or_else(|| io::Error::other("migration marker vanished before commit"))
+    }
+
+    /// Phase 1 only: durably write the migration marker for `from → to`
+    /// and return whether there was anything to migrate. The source is
+    /// not modified (histories are spilled and immediately restored in
+    /// memory). Split out so crash tests can stop between the phases;
+    /// [`migrate`](Self::migrate) is the everyday entry point.
+    pub fn begin_migration(&mut self, from: usize, to: usize) -> io::Result<bool> {
+        let n = self.shards.len();
+        if from >= n || to >= n || from == to {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("bad migration {from} -> {to} with {n} shards"),
+            ));
+        }
+        let src = self.shards[from].system_mut();
+        let spill = match src.evict_cold_templates(0).spill {
+            Some(spill) => {
+                // Non-destructive read: put the histories straight back.
+                src.restore_template_spill(&spill).map_err(wire_to_io)?;
+                spill
+            }
+            None => return Ok(false),
+        };
+        let registry = self.shards[from].system().registry();
+        let mut w = WireWriter::new();
+        w.put_u32(MIGRATE_MAGIC);
+        w.put_u32(MIGRATE_VERSION);
+        w.put_u32(from as u32);
+        w.put_u32(to as u32);
+        w.put_u32(registry.num_templates() as u32);
+        for id in 0..registry.num_templates() {
+            w.put_str(registry.template(TemplateId(id as u32)));
+        }
+        w.put_bytes(&spill);
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        atomic_write(&marker_path(&self.root, from, to), &bytes)?;
+        Ok(true)
+    }
+
+    /// Phase 2: scan the root for migration markers and drive each to
+    /// completion. Idempotent at every step — called from
+    /// [`open`](Self::open) to finish what a crash interrupted, and by
+    /// [`migrate`](Self::migrate) on the live system. A marker that
+    /// fails its CRC is removed untouched: the prepare never finished,
+    /// so the source still owns every observation and nothing is lost.
+    pub fn resume_migrations(&mut self) -> Result<Vec<MigrationReport>, SnapshotError> {
+        let mut markers: Vec<PathBuf> = std::fs::read_dir(&self.root)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "dbmg")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("migrate-"))
+            })
+            .collect();
+        markers.sort();
+        let mut completed = Vec::new();
+        for path in markers {
+            let bytes = std::fs::read(&path)?;
+            match parse_marker(&bytes, self.shards.len()) {
+                Some(marker) => {
+                    let report = self.commit_migration(&marker)?;
+                    let _ = std::fs::remove_file(done_path(&self.root, marker.from, marker.to));
+                    std::fs::remove_file(&path)?;
+                    completed.push(report);
+                }
+                None => {
+                    // Torn or corrupt prepare: the migration never
+                    // happened; the source still owns its histories.
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Drive one decoded marker through commit: import into the
+    /// destination (unless a prior attempt's checkpoint already
+    /// landed), make it durable, fence with the `.done` file, then
+    /// drain the source.
+    fn commit_migration(&mut self, marker: &Marker) -> Result<MigrationReport, SnapshotError> {
+        let entries = parse_spill(&marker.spill, marker.roster.len())
+            .ok_or_else(|| SnapshotError::from(io::Error::other("corrupt migration spill")))?;
+        let templates = entries.len();
+        let observations: u64 = entries.iter().map(|(_, obs)| obs.len() as u64).sum();
+        let done = done_path(&self.root, marker.from, marker.to);
+        if !done.exists() {
+            let dest = self.shards[marker.to].system_mut();
+            let already_imported = entries.iter().all(|(id, obs)| {
+                dest.registry()
+                    .lookup(&marker.roster[*id])
+                    .is_some_and(|tid| dest.registry().count(tid) >= obs.len())
+            });
+            if !already_imported {
+                for (id, obs) in &entries {
+                    let template = &marker.roster[*id];
+                    for &ts in obs {
+                        dest.ingest_record(ts, template);
+                    }
+                }
+            }
+            // One checkpoint makes the whole import durable atomically
+            // (snapshot rename); only then does the fence go down.
+            self.shards[marker.to].checkpoint()?;
+            atomic_write(&done, b"DBMG-DONE")?;
+        }
+        // Past the fence the destination durably owns the histories:
+        // dropping them from the source is now safe (and idempotent).
+        let src = self.shards[marker.from].system_mut();
+        let _ = src.evict_cold_templates(0);
+        self.shards[marker.from].checkpoint()?;
+        for (id, _) in &entries {
+            let canonical = &marker.roster[*id];
+            if shard_of(canonical, self.shards.len()) != marker.to {
+                self.overrides.insert(canonical.clone(), marker.to);
+            }
+        }
+        Ok(MigrationReport { from: marker.from, to: marker.to, templates, observations })
+    }
+
+    /// Recompute routing overrides from observation placement: any
+    /// template whose observations live on a shard other than its hash
+    /// home routes to where the data is.
+    fn rebuild_overrides(&mut self) {
+        self.overrides.clear();
+        let n = self.shards.len();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let registry = shard.system().registry();
+            for id in 0..registry.num_templates() {
+                let tid = TemplateId(id as u32);
+                if registry.count(tid) > 0 {
+                    let canonical = registry.template(tid);
+                    if shard_of(canonical, n) != i {
+                        self.overrides.insert(canonical.to_string(), i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn shard_dir(root: &Path, i: usize) -> PathBuf {
+    root.join(format!("shard-{i}"))
+}
+
+fn marker_path(root: &Path, from: usize, to: usize) -> PathBuf {
+    root.join(format!("migrate-{from}-{to}.dbmg"))
+}
+
+fn done_path(root: &Path, from: usize, to: usize) -> PathBuf {
+    root.join(format!("migrate-{from}-{to}.done"))
+}
+
+fn wire_to_io(e: dbaugur_trace::wire::WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))
+}
+
+fn snapshot_to_io(e: SnapshotError) -> io::Error {
+    io::Error::other(format!("{e}"))
+}
+
+/// Decode and CRC-check a marker file. `None` means torn/corrupt (or a
+/// shard-count mismatch), which resume treats as "never prepared".
+fn parse_marker(bytes: &[u8], shards: usize) -> Option<Marker> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().ok()?);
+    if crc32(body) != stored {
+        return None;
+    }
+    let mut r = WireReader::new(body);
+    if r.u32().ok()? != MIGRATE_MAGIC || r.u32().ok()? != MIGRATE_VERSION {
+        return None;
+    }
+    let from = r.u32().ok()? as usize;
+    let to = r.u32().ok()? as usize;
+    if from >= shards || to >= shards || from == to {
+        return None;
+    }
+    let n = r.u32().ok()? as usize;
+    if n > body.len() {
+        return None;
+    }
+    let mut roster = Vec::with_capacity(n);
+    for _ in 0..n {
+        roster.push(r.str().ok()?);
+    }
+    let spill = r.bytes().ok()?;
+    Some(Marker { from, to, roster, spill })
+}
+
+/// Decode a registry spill blob into `(source template id, timestamps)`
+/// entries; `None` on any wire damage or out-of-roster id.
+fn parse_spill(bytes: &[u8], roster_len: usize) -> Option<Vec<(usize, Vec<u64>)>> {
+    let mut r = WireReader::new(bytes);
+    let n = r.u32().ok()? as usize;
+    if n > bytes.len() {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32().ok()? as usize;
+        if id >= roster_len {
+            return None;
+        }
+        entries.push((id, r.u64_seq().ok()?));
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize) -> DbAugurConfig {
+        let mut cfg = DbAugurConfig::default();
+        cfg.shards = shards;
+        cfg
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dbaugur-shard-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Distinct templates that route to distinct shards under `shards`.
+    fn template_on(shard: usize, shards: usize) -> String {
+        for i in 0..4096 {
+            let sql = format!("SELECT c{i} FROM t{i} WHERE k = {i}");
+            if shard_of(&canonicalize(&sql), shards) == shard {
+                return sql;
+            }
+        }
+        unreachable!("4096 templates always cover {shards} shards");
+    }
+
+    #[test]
+    fn ingestion_routes_and_survives_reopen_per_shard() {
+        let root = tmpdir("reopen");
+        let (a, b) = (template_on(0, 2), template_on(1, 2));
+        {
+            let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+            for ts in 0..10 {
+                assert_eq!(sys.ingest_record(ts, &a).expect("ingest"), 0);
+            }
+            for ts in 0..7 {
+                assert_eq!(sys.ingest_record(ts, &b).expect("ingest"), 1);
+            }
+            // No checkpoint: reopen must replay each shard's own WAL.
+        }
+        let sys = ShardedDurable::open(&root, cfg(2)).expect("reopen");
+        assert_eq!(sys.recovery_reports()[0].wal_applied, 10);
+        assert_eq!(sys.recovery_reports()[1].wal_applied, 7);
+        assert_eq!(sys.shard(0).system().num_templates(), 1);
+        assert_eq!(sys.shard(1).system().num_templates(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_shard_lineage_does_not_touch_siblings() {
+        let root = tmpdir("bulkhead");
+        let (a, b) = (template_on(0, 2), template_on(1, 2));
+        {
+            let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+            for ts in 0..8 {
+                sys.ingest_record(ts, &a).expect("ingest");
+                sys.ingest_record(ts, &b).expect("ingest");
+            }
+        }
+        // Tear shard 0's WAL tail: chop mid-frame.
+        let wal0 = root.join("shard-0").join(dbaugur::WAL_FILE);
+        let bytes = std::fs::read(&wal0).expect("read wal");
+        std::fs::write(&wal0, &bytes[..bytes.len() - 3]).expect("tear wal");
+        let sys = ShardedDurable::open(&root, cfg(2)).expect("reopen");
+        assert!(sys.recovery_reports()[0].wal_torn, "shard 0 tail salvaged");
+        assert_eq!(sys.durability(0).wal_torn_salvages, 1);
+        assert!(!sys.recovery_reports()[1].wal_torn, "sibling untouched");
+        assert_eq!(sys.durability(1).wal_torn_salvages, 0);
+        assert_eq!(sys.recovery_reports()[1].wal_applied, 8);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn migration_moves_histories_and_installs_override() {
+        let root = tmpdir("migrate");
+        let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+        let a = template_on(0, 2);
+        for ts in 0..12 {
+            sys.ingest_record(ts, &a).expect("ingest");
+        }
+        let report = sys.migrate(0, 1).expect("migrate");
+        assert_eq!(report, MigrationReport { from: 0, to: 1, templates: 1, observations: 12 });
+        assert_eq!(sys.route(&a), 1, "override routes to the data");
+        let tid = sys.shard(1).system().registry().lookup(&a).expect("template imported");
+        assert_eq!(sys.shard(1).system().registry().count(tid), 12);
+        let src_tid = sys.shard(0).system().registry().lookup(&a).expect("roster entry stays");
+        assert_eq!(sys.shard(0).system().registry().count(src_tid), 0, "source drained");
+        // New traffic lands on the destination, durably.
+        assert_eq!(sys.ingest_record(99, &a).expect("ingest"), 1);
+        drop(sys);
+        // The override is rebuilt from observation placement at open.
+        let sys = ShardedDurable::open(&root, cfg(2)).expect("reopen");
+        assert_eq!(sys.route(&a), 1);
+        let tid = sys.shard(1).system().registry().lookup(&a).expect("still there");
+        assert_eq!(sys.shard(1).system().registry().count(tid), 13);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn migration_with_empty_source_is_a_noop() {
+        let root = tmpdir("noop");
+        let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+        let report = sys.migrate(0, 1).expect("migrate");
+        assert_eq!(report.templates, 0);
+        assert!(sys.migrate(0, 0).is_err(), "self-migration rejected");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crashed_migration_resumes_to_completion_at_open() {
+        let root = tmpdir("resume");
+        let a = template_on(0, 2);
+        {
+            let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+            for ts in 0..9 {
+                sys.ingest_record(ts, &a).expect("ingest");
+            }
+            // Crash right after the prepare phase: marker durable, no
+            // import, no drain.
+            assert!(sys.begin_migration(0, 1).expect("prepare"));
+        }
+        assert!(marker_path(&root, 0, 1).exists());
+        let sys = ShardedDurable::open(&root, cfg(2)).expect("reopen resumes");
+        assert!(!marker_path(&root, 0, 1).exists(), "marker cleaned up");
+        assert!(!done_path(&root, 0, 1).exists(), "fence cleaned up");
+        assert_eq!(sys.route(&a), 1);
+        let tid = sys.shard(1).system().registry().lookup(&a).expect("imported");
+        assert_eq!(sys.shard(1).system().registry().count(tid), 9);
+        let src_tid = sys.shard(0).system().registry().lookup(&a).expect("roster entry");
+        assert_eq!(sys.shard(0).system().registry().count(src_tid), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_marker_is_discarded_and_source_keeps_its_data() {
+        let root = tmpdir("corrupt-marker");
+        let a = template_on(0, 2);
+        {
+            let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+            for ts in 0..5 {
+                sys.ingest_record(ts, &a).expect("ingest");
+            }
+            assert!(sys.begin_migration(0, 1).expect("prepare"));
+        }
+        // Flip a byte in the marker body: the CRC check must reject it.
+        let path = marker_path(&root, 0, 1);
+        let mut bytes = std::fs::read(&path).expect("read marker");
+        bytes[8] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt marker");
+        let sys = ShardedDurable::open(&root, cfg(2)).expect("reopen");
+        assert!(!path.exists(), "corrupt marker removed");
+        assert_eq!(sys.route(&a), 0, "no migration happened");
+        let tid = sys.shard(0).system().registry().lookup(&a).expect("source keeps data");
+        assert_eq!(sys.shard(0).system().registry().count(tid), 5);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn parallel_open_matches_sequential_open() {
+        let root = tmpdir("par-open");
+        let (a, b) = (template_on(0, 4), template_on(3, 4));
+        {
+            let mut sys = ShardedDurable::open(&root, cfg(4)).expect("open");
+            for ts in 0..6 {
+                sys.ingest_record(ts, &a).expect("ingest");
+                sys.ingest_record(ts, &b).expect("ingest");
+            }
+        }
+        let exec = dbaugur_exec::Executor::new(4);
+        let sys = ShardedDurable::open_parallel(&root, cfg(4), &exec).expect("parallel open");
+        assert_eq!(sys.num_shards(), 4);
+        assert_eq!(sys.recovery_reports()[0].wal_applied, 6);
+        assert_eq!(sys.recovery_reports()[3].wal_applied, 6);
+        assert_eq!(sys.shard(1).system().num_templates(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

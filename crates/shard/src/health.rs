@@ -1,0 +1,346 @@
+//! Per-shard health state machine and the circuit breaker derived
+//! from it.
+//!
+//! ```text
+//!            soft failures ≥ degrade_after     soft failures ≥ quarantine_after
+//!  Healthy ─────────────────────────► Degraded ─────────────────────────┐
+//!     ▲  ▲                               │ success                      ▼
+//!     │  └───────────────────────────────┘                        Quarantined ◄── fatal fault
+//!     │                                                                 │  (panic, corrupt lineage,
+//!     │ probe_ticks clean ticks                                         │   forced)
+//!     └────────────── Recovering ◄──────────────────────────────────────┘
+//!                        │                    quarantine_ticks elapsed
+//!                        └── any failure ──► Quarantined (re-trip)
+//! ```
+//!
+//! The breaker mapping is mechanical: `Quarantined` = open (no ingest
+//! admitted, forecasts answered from the floor at the supervisor),
+//! `Recovering` = half-open (traffic admitted, on probation), anything
+//! else = closed.
+
+/// A shard's position in the supervision lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardState {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Soft failures accumulating (saturated ticks); still serving.
+    Degraded,
+    /// Bulkheaded off: breaker open, ingest shed, forecasts floored.
+    Quarantined,
+    /// Probation after quarantine: serving again, one failure re-trips.
+    Recovering,
+}
+
+impl std::fmt::Display for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardState::Healthy => write!(f, "healthy"),
+            ShardState::Degraded => write!(f, "degraded"),
+            ShardState::Quarantined => write!(f, "quarantined"),
+            ShardState::Recovering => write!(f, "recovering"),
+        }
+    }
+}
+
+/// The circuit breaker a shard's state implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    #[default]
+    Closed,
+    /// No ingest admitted; forecasts answered as marked degraded floors.
+    Open,
+    /// Probation: traffic flows, the next failure re-opens.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Thresholds driving the state machine. Counts are consecutive; any
+/// success resets the soft-failure streak.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Consecutive soft failures (saturated ticks) before `Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive soft failures before a `Degraded` shard trips to
+    /// `Quarantined`. Must be ≥ `degrade_after`.
+    pub quarantine_after: u32,
+    /// Ticks a shard stays `Quarantined` before probing (`Recovering`).
+    pub quarantine_ticks: u64,
+    /// Clean probation ticks required to return to `Healthy`.
+    pub probe_ticks: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self { degrade_after: 2, quarantine_after: 5, quarantine_ticks: 3, probe_ticks: 2 }
+    }
+}
+
+impl HealthPolicy {
+    /// Validate threshold ordering.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.degrade_after == 0 || self.quarantine_after < self.degrade_after {
+            return Err("health policy: need 0 < degrade_after <= quarantine_after".into());
+        }
+        if self.probe_ticks == 0 {
+            return Err("health policy: probe_ticks must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One shard's supervised health: current state plus the counters the
+/// supervisor and benchmarks read (trips, recoveries, recovery time).
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    policy: HealthPolicy,
+    state: ShardState,
+    consecutive_soft: u32,
+    ticks_in_state: u64,
+    ticks_since_trip: u64,
+    trips: u64,
+    recoveries: u64,
+    last_recovery_ticks: Option<u64>,
+}
+
+impl ShardHealth {
+    /// A healthy shard under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        Self {
+            policy,
+            state: ShardState::Healthy,
+            consecutive_soft: 0,
+            ticks_in_state: 0,
+            ticks_since_trip: 0,
+            trips: 0,
+            recoveries: 0,
+            last_recovery_ticks: None,
+        }
+    }
+
+    fn trip(&mut self) {
+        if self.state != ShardState::Quarantined {
+            self.trips += 1;
+            self.ticks_since_trip = 0;
+        }
+        self.state = ShardState::Quarantined;
+        self.ticks_in_state = 0;
+        self.consecutive_soft = 0;
+    }
+
+    /// A fatal fault (pipeline panic, corrupt WAL/snapshot lineage):
+    /// quarantine immediately, no grace.
+    pub fn record_fatal(&mut self) {
+        self.trip();
+    }
+
+    /// Operator- or harness-forced quarantine (chaos kill switch).
+    pub fn force_quarantine(&mut self) {
+        self.trip();
+    }
+
+    /// A soft failure: the shard's tick ended saturated (deadline
+    /// misses or a full forecast queue).
+    pub fn record_soft_failure(&mut self) {
+        match self.state {
+            ShardState::Quarantined => {}
+            ShardState::Recovering => self.trip(),
+            ShardState::Healthy | ShardState::Degraded => {
+                self.consecutive_soft += 1;
+                if self.consecutive_soft >= self.policy.quarantine_after {
+                    self.trip();
+                } else if self.consecutive_soft >= self.policy.degrade_after {
+                    self.state = ShardState::Degraded;
+                    self.ticks_in_state = 0;
+                }
+            }
+        }
+    }
+
+    /// A clean tick. In probation this counts toward `probe_ticks`;
+    /// elsewhere it clears the soft-failure streak.
+    pub fn record_success(&mut self) {
+        match self.state {
+            ShardState::Quarantined => {}
+            ShardState::Recovering => {
+                // `on_tick` has already aged `ticks_in_state` for this
+                // tick, so the comparison is direct, not off-by-one.
+                if self.ticks_in_state >= self.policy.probe_ticks {
+                    self.state = ShardState::Healthy;
+                    self.ticks_in_state = 0;
+                    self.recoveries += 1;
+                    self.last_recovery_ticks = Some(self.ticks_since_trip);
+                }
+            }
+            ShardState::Degraded => {
+                self.consecutive_soft = 0;
+                self.state = ShardState::Healthy;
+                self.ticks_in_state = 0;
+            }
+            ShardState::Healthy => self.consecutive_soft = 0,
+        }
+    }
+
+    /// Advance timers by one supervisor tick: quarantine ages toward
+    /// probation; everything else just ages. Call once per tick, before
+    /// recording the tick's outcome.
+    pub fn on_tick(&mut self) {
+        self.ticks_in_state += 1;
+        if self.state != ShardState::Healthy {
+            self.ticks_since_trip += 1;
+        }
+        if self.state == ShardState::Quarantined
+            && self.ticks_in_state >= self.policy.quarantine_ticks
+        {
+            self.state = ShardState::Recovering;
+            self.ticks_in_state = 0;
+        }
+    }
+
+    /// True when the shard accepts new work (breaker not open).
+    pub fn admits(&self) -> bool {
+        self.state != ShardState::Quarantined
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// The circuit breaker this state implies.
+    pub fn breaker(&self) -> BreakerState {
+        match self.state {
+            ShardState::Quarantined => BreakerState::Open,
+            ShardState::Recovering => BreakerState::HalfOpen,
+            ShardState::Healthy | ShardState::Degraded => BreakerState::Closed,
+        }
+    }
+
+    /// Times the breaker has tripped open (cumulative).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Completed quarantine→healthy recoveries (cumulative).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Ticks the most recent completed recovery took, trip to healthy.
+    pub fn last_recovery_ticks(&self) -> Option<u64> {
+        self.last_recovery_ticks
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health() -> ShardHealth {
+        ShardHealth::new(HealthPolicy::default())
+    }
+
+    #[test]
+    fn default_policy_is_valid() {
+        HealthPolicy::default().validate().expect("default policy valid");
+        assert!(HealthPolicy { degrade_after: 0, ..HealthPolicy::default() }.validate().is_err());
+        assert!(HealthPolicy { quarantine_after: 1, degrade_after: 2, ..HealthPolicy::default() }
+            .validate()
+            .is_err());
+        assert!(HealthPolicy { probe_ticks: 0, ..HealthPolicy::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn soft_failures_walk_healthy_degraded_quarantined() {
+        let mut h = health();
+        assert_eq!(h.state(), ShardState::Healthy);
+        h.on_tick();
+        h.record_soft_failure();
+        assert_eq!(h.state(), ShardState::Healthy, "one soft failure is tolerated");
+        h.on_tick();
+        h.record_soft_failure();
+        assert_eq!(h.state(), ShardState::Degraded);
+        assert_eq!(h.breaker(), BreakerState::Closed, "degraded still serves");
+        for _ in 0..3 {
+            h.on_tick();
+            h.record_soft_failure();
+        }
+        assert_eq!(h.state(), ShardState::Quarantined);
+        assert_eq!(h.breaker(), BreakerState::Open);
+        assert!(!h.admits());
+        assert_eq!(h.trips(), 1);
+    }
+
+    #[test]
+    fn success_clears_the_streak() {
+        let mut h = health();
+        h.on_tick();
+        h.record_soft_failure();
+        h.on_tick();
+        h.record_soft_failure();
+        assert_eq!(h.state(), ShardState::Degraded);
+        h.on_tick();
+        h.record_success();
+        assert_eq!(h.state(), ShardState::Healthy);
+        // The streak restarts from zero after a success.
+        h.on_tick();
+        h.record_soft_failure();
+        assert_eq!(h.state(), ShardState::Healthy);
+    }
+
+    #[test]
+    fn fatal_fault_quarantines_immediately_and_recovers_on_schedule() {
+        let mut h = health();
+        h.record_fatal();
+        assert_eq!(h.state(), ShardState::Quarantined);
+        assert_eq!(h.trips(), 1);
+        // quarantine_ticks = 3 → probation on the third tick.
+        h.on_tick();
+        assert_eq!(h.state(), ShardState::Quarantined);
+        h.on_tick();
+        assert_eq!(h.state(), ShardState::Quarantined);
+        h.on_tick();
+        assert_eq!(h.state(), ShardState::Recovering);
+        assert_eq!(h.breaker(), BreakerState::HalfOpen);
+        assert!(h.admits(), "half-open admits probes");
+        // probe_ticks = 2 clean ticks → healthy.
+        h.on_tick();
+        h.record_success();
+        assert_eq!(h.state(), ShardState::Recovering);
+        h.on_tick();
+        h.record_success();
+        assert_eq!(h.state(), ShardState::Healthy);
+        assert_eq!(h.recoveries(), 1);
+        let ticks = h.last_recovery_ticks().expect("recovery measured");
+        assert!(ticks >= 3, "at least the quarantine window: {ticks}");
+    }
+
+    #[test]
+    fn failure_during_probation_retrips() {
+        let mut h = health();
+        h.record_fatal();
+        for _ in 0..3 {
+            h.on_tick();
+        }
+        assert_eq!(h.state(), ShardState::Recovering);
+        h.on_tick();
+        h.record_soft_failure();
+        assert_eq!(h.state(), ShardState::Quarantined, "probation failure re-opens");
+        assert_eq!(h.trips(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Stable-hash template routing and per-tenant admission quotas.
+//!
+//! Routing is a pure function of the canonical template text and the
+//! shard count — it never looks at shard health, load, or history, so a
+//! faulted run routes every request exactly as the fault-free run does.
+//! Failure handling happens *after* routing (breakers, failover floors),
+//! which is what keeps sibling shards byte-identical under faults.
+
+use std::collections::HashMap;
+
+/// The shard that owns `canonical` under `shards` fault domains:
+/// FNV-1a over the canonical template bytes, avalanched, reduced modulo
+/// the shard count. Stable across runs, processes, and shard-health
+/// changes.
+///
+/// The finalizer matters: in raw FNV-1a, bit `k` of the hash depends
+/// only on bits `0..=k` of the input bytes (XOR and multiply never move
+/// information downward), so `hash % shards` for small shard counts
+/// degenerates on structured template text — e.g. templates differing
+/// only in a digit that appears twice collapse onto one shard mod 2.
+/// The splitmix64-style avalanche mixes high bits back down before the
+/// reduction.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn shard_of(canonical: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in canonical.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % shards as u64) as usize
+}
+
+/// Per-tenant, per-tick admission quotas. A tenant over its quota is
+/// shed with [`ShedReason::TenantQuota`](dbaugur_serve::ShedReason)
+/// while other tenants keep their full allowance — one tenant's flood
+/// cannot crowd out the rest of the front door.
+///
+/// Quota is consumed at submit time for every request, *before* the
+/// owning shard's breaker is consulted, so quota state evolves
+/// identically whether or not a shard is faulted.
+#[derive(Debug)]
+pub struct TenantQuotas {
+    per_tick: u64,
+    used: HashMap<String, u64>,
+}
+
+impl TenantQuotas {
+    /// `per_tick` requests per tenant per tick; `0` disables quotas
+    /// (every take succeeds).
+    pub fn new(per_tick: u64) -> Self {
+        Self { per_tick, used: HashMap::new() }
+    }
+
+    /// Consume one unit of `tenant`'s quota for the current tick.
+    /// Returns `false` (and consumes nothing) once the tenant is at its
+    /// limit. An empty tenant name is a valid (shared) tenant.
+    pub fn try_take(&mut self, tenant: &str) -> bool {
+        if self.per_tick == 0 {
+            return true;
+        }
+        let used = self.used.entry(tenant.to_string()).or_insert(0);
+        if *used >= self.per_tick {
+            return false;
+        }
+        *used += 1;
+        true
+    }
+
+    /// Start a new tick: every tenant's allowance refills.
+    pub fn reset_tick(&mut self) {
+        self.used.clear();
+    }
+
+    /// Units `tenant` has consumed this tick.
+    pub fn used(&self, tenant: &str) -> u64 {
+        self.used.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// The configured per-tick allowance (`0` = unlimited).
+    pub fn per_tick(&self) -> u64 {
+        self.per_tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 8, 32] {
+            for t in ["SELECT a FROM t WHERE x = ?", "INSERT INTO u VALUES (?)", ""] {
+                let s = shard_of(t, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(t, shards), "same input, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_across_shards() {
+        let shards = 8;
+        let mut hit = vec![false; shards];
+        for i in 0..256 {
+            hit[shard_of(&format!("SELECT c{i} FROM t{i}"), shards)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 templates must touch all 8 shards");
+    }
+
+    #[test]
+    fn quotas_bound_each_tenant_independently() {
+        let mut q = TenantQuotas::new(2);
+        assert!(q.try_take("a"));
+        assert!(q.try_take("a"));
+        assert!(!q.try_take("a"), "tenant a exhausted");
+        assert!(q.try_take("b"), "tenant b unaffected");
+        assert_eq!(q.used("a"), 2);
+        q.reset_tick();
+        assert!(q.try_take("a"), "allowance refills at the tick");
+    }
+
+    #[test]
+    fn zero_quota_is_unlimited() {
+        let mut q = TenantQuotas::new(0);
+        for _ in 0..1_000 {
+            assert!(q.try_take("a"));
+        }
+        assert_eq!(q.used("a"), 0, "unlimited mode tracks nothing");
+    }
+}

@@ -1,0 +1,613 @@
+//! The shard supervisor: N independent serving pipelines behind one
+//! front door, with bulkhead isolation between them.
+//!
+//! Each shard is a full [`Governor`] (own queues, token bucket, engine,
+//! virtual clock, stats) — there is no shared mutable state between
+//! shards, so one shard's failure cannot corrupt a sibling. The
+//! supervisor owns what little cross-shard machinery exists:
+//!
+//! * **Routing** — requests fan across shards by stable template hash
+//!   ([`shard_of`]), after a per-tenant quota check that is independent
+//!   of shard health (so quota state evolves identically in faulted and
+//!   fault-free runs);
+//! * **Circuit breakers** — a quarantined shard's breaker is open: its
+//!   ingest is shed with an explicit reason and its forecasts are
+//!   answered *immediately* at the supervisor as marked degraded floors
+//!   ([`ShardDecision::FailoverFloor`]) instead of queueing behind a
+//!   sick pipeline;
+//! * **Panic bulkheads** — each shard's tick runs panic-isolated (on
+//!   the shared executor, so shard ticks also parallelize); a panicking
+//!   shard is torn down and rebuilt from its engine factory, its
+//!   pre-tick books retired and its in-flight queue depth counted as
+//!   lost, while every sibling's tick completes untouched;
+//! * **Supervised recovery** — the per-shard [`ShardHealth`] state
+//!   machine walks the victim through quarantine and probation back to
+//!   healthy on a tick schedule.
+
+use crate::health::{BreakerState, HealthPolicy, ShardHealth, ShardState};
+use crate::route::{shard_of, TenantQuotas};
+use dbaugur_exec::Executor;
+use dbaugur_serve::{
+    AdmissionDecision, Engine, Governor, HealthState, ServeConfig, ServeStats, ShedReason,
+    TickReport, VirtualClock,
+};
+use dbaugur_sqlproc::canonicalize;
+use std::sync::Arc;
+
+/// Supervisor tunables: shard count, the per-shard serving config, the
+/// health policy, and the per-tenant admission quota.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of independent shard pipelines.
+    pub shards: usize,
+    /// Serving configuration applied to every shard's governor.
+    pub serve: ServeConfig,
+    /// Health state-machine thresholds.
+    pub policy: HealthPolicy,
+    /// Per-tenant requests per tick (`0` = unlimited).
+    pub tenant_quota_per_tick: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            serve: ServeConfig::default(),
+            policy: HealthPolicy::default(),
+            tenant_quota_per_tick: 0,
+        }
+    }
+}
+
+/// Where a submitted request ended up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardDecision {
+    /// Admitted into the owning shard's queue.
+    Admitted {
+        /// The shard that owns the template.
+        shard: usize,
+    },
+    /// Refused, with the reason (supervisor-level quota/breaker sheds
+    /// and shard-level queue/rate sheds all land here).
+    Shed {
+        /// The shard that owns the template.
+        shard: usize,
+        /// Why it was refused.
+        reason: ShedReason,
+    },
+    /// The owning shard's breaker is open: answered right now with its
+    /// degraded floor instead of queueing. Never silently dropped.
+    FailoverFloor {
+        /// The quarantined shard the answer substitutes for.
+        shard: usize,
+        /// The marked-degraded floor value served.
+        value: f64,
+    },
+}
+
+impl ShardDecision {
+    /// The shard the request routed to.
+    pub fn shard(&self) -> usize {
+        match self {
+            ShardDecision::Admitted { shard }
+            | ShardDecision::Shed { shard, .. }
+            | ShardDecision::FailoverFloor { shard, .. } => *shard,
+        }
+    }
+
+    /// True when the request was admitted into a queue.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, ShardDecision::Admitted { .. })
+    }
+}
+
+/// Supervisor-level counters (everything decided before a shard's own
+/// governor saw the request, plus bulkhead events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Requests shed by per-tenant quota (never reached a shard).
+    pub shed_tenant_quota: u64,
+    /// Ingest shed because the owning shard's breaker was open.
+    pub shed_shard_unavailable: u64,
+    /// Forecasts answered as failover floors for quarantined shards.
+    pub failover_floors: u64,
+    /// Shard tick panics caught and bulkheaded.
+    pub panics_caught: u64,
+    /// Queued requests lost when a panicking shard was torn down.
+    pub lost_in_flight: u64,
+}
+
+/// One shard's externally visible status line.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Supervision lifecycle state.
+    pub state: ShardState,
+    /// Circuit-breaker position implied by the state.
+    pub breaker: BreakerState,
+    /// The shard governor's own overload posture.
+    pub health: HealthState,
+    /// Merged books: retired (pre-panic) epochs plus the live governor.
+    pub stats: ServeStats,
+    /// Current queue depths `(forecasts, ingest)`.
+    pub queue_depths: (usize, usize),
+    /// Breaker trips (cumulative).
+    pub trips: u64,
+    /// Completed recoveries (cumulative).
+    pub recoveries: u64,
+    /// Ticks the most recent recovery took.
+    pub last_recovery_ticks: Option<u64>,
+}
+
+/// What one supervisor tick did across all shards.
+#[derive(Debug, Clone)]
+pub struct SupervisorTickReport {
+    /// Per-shard tick reports; `None` for a shard whose tick panicked.
+    pub reports: Vec<Option<TickReport>>,
+    /// Shards whose tick panicked this round (torn down and rebuilt).
+    pub panicked: Vec<usize>,
+}
+
+struct Slot<E: Engine> {
+    gov: Governor<E, VirtualClock>,
+    health: ShardHealth,
+    /// Books from epochs that ended in a panic (the replaced governor's
+    /// pre-tick stats). Counters accumulate; the digest is the retired
+    /// epoch's and is not folded into live digests.
+    retired: ServeStats,
+    lost_forecasts: u64,
+    lost_ingest: u64,
+}
+
+/// Sum `b`'s counters into `a`, leaving `a.value_digest` alone (digests
+/// are order-sensitive within one governor epoch and do not compose).
+fn absorb_stats(a: &mut ServeStats, b: &ServeStats) {
+    a.offered_forecasts += b.offered_forecasts;
+    a.offered_ingest += b.offered_ingest;
+    a.admitted_forecasts += b.admitted_forecasts;
+    a.admitted_ingest += b.admitted_ingest;
+    a.shed_forecast_queue_full += b.shed_forecast_queue_full;
+    a.shed_forecast_rate_limited += b.shed_forecast_rate_limited;
+    a.shed_ingest_queue_full += b.shed_ingest_queue_full;
+    a.shed_ingest_rate_limited += b.shed_ingest_rate_limited;
+    a.completed_fresh += b.completed_fresh;
+    a.completed_degraded += b.completed_degraded;
+    a.ingested += b.ingested;
+    a.eviction_passes += b.eviction_passes;
+    a.eviction_bytes += b.eviction_bytes;
+    a.max_resident_bytes = a.max_resident_bytes.max(b.max_resident_bytes);
+    a.maintenance_runs += b.maintenance_runs;
+    a.maintenance_ms += b.maintenance_ms;
+    a.snapshot_fallbacks = a.snapshot_fallbacks.max(b.snapshot_fallbacks);
+    a.wal_torn_salvages = a.wal_torn_salvages.max(b.wal_torn_salvages);
+    a.io_retries = a.io_retries.max(b.io_retries);
+    a.retry_exhausted = a.retry_exhausted.max(b.retry_exhausted);
+}
+
+/// The bulkhead supervisor over `N` shard pipelines.
+pub struct Supervisor<E: Engine + Send> {
+    cfg: SupervisorConfig,
+    exec: Arc<Executor>,
+    factory: Box<dyn Fn(usize) -> E + Send + Sync>,
+    slots: Vec<Slot<E>>,
+    quotas: TenantQuotas,
+    stats: SupervisorStats,
+}
+
+impl<E: Engine + Send> Supervisor<E> {
+    /// Build `cfg.shards` pipelines, each with an engine from
+    /// `factory(shard_index)`. The same factory rebuilds a shard after
+    /// a panic, so it must return a clean-slate engine every call.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards == 0` or the health policy is invalid.
+    pub fn new(
+        cfg: SupervisorConfig,
+        exec: Arc<Executor>,
+        factory: impl Fn(usize) -> E + Send + Sync + 'static,
+    ) -> Self {
+        assert!(cfg.shards > 0, "shard count must be positive");
+        cfg.policy.validate().expect("valid health policy");
+        let slots = (0..cfg.shards)
+            .map(|i| Slot {
+                gov: Governor::new(cfg.serve.clone(), factory(i), VirtualClock::new()),
+                health: ShardHealth::new(cfg.policy.clone()),
+                retired: ServeStats::default(),
+                lost_forecasts: 0,
+                lost_ingest: 0,
+            })
+            .collect();
+        let quotas = TenantQuotas::new(cfg.tenant_quota_per_tick);
+        Self {
+            cfg,
+            exec,
+            factory: Box::new(factory),
+            slots,
+            quotas,
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// Number of shard pipelines.
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shard that owns `sql`'s template.
+    pub fn route(&self, sql: &str) -> usize {
+        shard_of(&canonicalize(sql), self.slots.len())
+    }
+
+    /// Offer one forecast. Quota first (health-independent), then the
+    /// owning shard's breaker: open answers a marked failover floor
+    /// right now, closed/half-open forwards to the shard's governor.
+    pub fn submit_forecast(&mut self, tenant: &str, sql: &str, cost_ms: u64) -> ShardDecision {
+        let shard = self.route(sql);
+        if !self.quotas.try_take(tenant) {
+            self.stats.shed_tenant_quota += 1;
+            return ShardDecision::Shed { shard, reason: ShedReason::TenantQuota };
+        }
+        let slot = &mut self.slots[shard];
+        if !slot.health.admits() {
+            // Breaker open: degrade, don't queue. The floor is O(1) and
+            // explicitly marked; the caller is never left waiting on a
+            // quarantined pipeline.
+            let value = slot.gov.engine_mut().floor(sql);
+            self.stats.failover_floors += 1;
+            return ShardDecision::FailoverFloor { shard, value };
+        }
+        match slot.gov.submit_forecast(sql, cost_ms) {
+            AdmissionDecision::Admitted => ShardDecision::Admitted { shard },
+            AdmissionDecision::Shed(reason) => ShardDecision::Shed { shard, reason },
+        }
+    }
+
+    /// Offer one ingest record. Quota first, then the breaker: an open
+    /// breaker sheds with [`ShedReason::ShardUnavailable`] (ingest has
+    /// no degraded answer — refusing loudly beats queueing silently).
+    pub fn submit_ingest(
+        &mut self,
+        tenant: &str,
+        ts_secs: u64,
+        sql: &str,
+        cost_ms: u64,
+    ) -> ShardDecision {
+        let shard = self.route(sql);
+        if !self.quotas.try_take(tenant) {
+            self.stats.shed_tenant_quota += 1;
+            return ShardDecision::Shed { shard, reason: ShedReason::TenantQuota };
+        }
+        let slot = &mut self.slots[shard];
+        if !slot.health.admits() {
+            self.stats.shed_shard_unavailable += 1;
+            return ShardDecision::Shed { shard, reason: ShedReason::ShardUnavailable };
+        }
+        match slot.gov.submit_ingest(ts_secs, sql, cost_ms) {
+            AdmissionDecision::Admitted => ShardDecision::Admitted { shard },
+            AdmissionDecision::Shed(reason) => ShardDecision::Shed { shard, reason },
+        }
+    }
+
+    /// Run every shard's tick, panic-isolated and in parallel on the
+    /// executor. A panicking shard is torn down: its pre-tick books are
+    /// retired, its queued requests counted lost, its engine rebuilt
+    /// from the factory, and its health tripped to quarantined — while
+    /// every sibling's tick completes exactly as it would have with no
+    /// fault anywhere (shards share no mutable state).
+    pub fn run_tick(&mut self, stall_ms: u64) -> SupervisorTickReport {
+        self.quotas.reset_tick();
+        let pre: Vec<(ServeStats, (usize, usize))> =
+            self.slots.iter().map(|s| (*s.gov.stats(), s.gov.queue_depths())).collect();
+        let exec = Arc::clone(&self.exec);
+        let outcomes = exec.try_map_mut(&mut self.slots, |_, slot| slot.gov.run_tick(stall_ms));
+
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut panicked = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let slot = &mut self.slots[i];
+            slot.health.on_tick();
+            match outcome {
+                Ok(report) => {
+                    if report.health == HealthState::Saturated {
+                        slot.health.record_soft_failure();
+                    } else {
+                        slot.health.record_success();
+                    }
+                    reports.push(Some(report));
+                }
+                Err(_panic_msg) => {
+                    // Bulkhead: retire the books as of tick start, count
+                    // the in-flight queue as lost, rebuild from scratch.
+                    let (stats, (fq, iq)) = pre[i];
+                    absorb_stats(&mut slot.retired, &stats);
+                    slot.retired.value_digest = stats.value_digest;
+                    slot.lost_forecasts += fq as u64;
+                    slot.lost_ingest += iq as u64;
+                    self.stats.panics_caught += 1;
+                    self.stats.lost_in_flight += (fq + iq) as u64;
+                    slot.gov = Governor::new(
+                        self.cfg.serve.clone(),
+                        (self.factory)(i),
+                        VirtualClock::new(),
+                    );
+                    slot.health.record_fatal();
+                    panicked.push(i);
+                    reports.push(None);
+                }
+            }
+        }
+        SupervisorTickReport { reports, panicked }
+    }
+
+    /// Force a shard's breaker open (chaos harness, operator action).
+    pub fn force_quarantine(&mut self, shard: usize) {
+        self.slots[shard].health.force_quarantine();
+    }
+
+    /// A shard's health state machine.
+    pub fn health(&self, shard: usize) -> &ShardHealth {
+        &self.slots[shard].health
+    }
+
+    /// A shard's live governor (read access).
+    pub fn governor(&self, shard: usize) -> &Governor<E, VirtualClock> {
+        &self.slots[shard].gov
+    }
+
+    /// Mutable access to a shard's live governor (training, seeding).
+    pub fn governor_mut(&mut self, shard: usize) -> &mut Governor<E, VirtualClock> {
+        &mut self.slots[shard].gov
+    }
+
+    /// Supervisor-level counters.
+    pub fn stats(&self) -> &SupervisorStats {
+        &self.stats
+    }
+
+    /// A shard's merged books: every retired (panic-ended) epoch plus
+    /// the live governor. The digest is the live epoch's.
+    pub fn merged_stats(&self, shard: usize) -> ServeStats {
+        let slot = &self.slots[shard];
+        let mut merged = slot.retired;
+        absorb_stats(&mut merged, slot.gov.stats());
+        merged.value_digest = slot.gov.stats().value_digest;
+        merged
+    }
+
+    /// Per-shard served-value digests (live epoch). Two runs served the
+    /// same shard byte-identical answers in the same order iff these
+    /// match.
+    pub fn per_shard_digests(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.gov.stats().value_digest).collect()
+    }
+
+    /// Every shard's status line.
+    pub fn statuses(&self) -> Vec<ShardStatus> {
+        (0..self.slots.len())
+            .map(|i| {
+                let slot = &self.slots[i];
+                ShardStatus {
+                    shard: i,
+                    state: slot.health.state(),
+                    breaker: slot.health.breaker(),
+                    health: slot.gov.health(),
+                    stats: self.merged_stats(i),
+                    queue_depths: slot.gov.queue_depths(),
+                    trips: slot.health.trips(),
+                    recoveries: slot.health.recoveries(),
+                    last_recovery_ticks: slot.health.last_recovery_ticks(),
+                }
+            })
+            .collect()
+    }
+
+    /// Check every shard's books, lost work included: offered =
+    /// admitted + shed, and admitted = completed + queued + lost when a
+    /// bulkhead tore the shard down mid-flight.
+    pub fn reconciles(&self) -> bool {
+        self.slots.iter().all(|slot| {
+            let mut m = slot.retired;
+            absorb_stats(&mut m, slot.gov.stats());
+            let (fq, iq) = slot.gov.queue_depths();
+            let f_shed = m.shed_forecast_queue_full + m.shed_forecast_rate_limited;
+            let i_shed = m.shed_ingest_queue_full + m.shed_ingest_rate_limited;
+            m.offered_forecasts == m.admitted_forecasts + f_shed
+                && m.offered_ingest == m.admitted_ingest + i_shed
+                && m.admitted_forecasts
+                    == m.completed_fresh
+                        + m.completed_degraded
+                        + fq as u64
+                        + slot.lost_forecasts
+                && m.admitted_ingest == m.ingested + iq as u64 + slot.lost_ingest
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbaugur_serve::SimEngine;
+
+    fn open_serve() -> ServeConfig {
+        ServeConfig { rate_capacity: 1e9, refill_per_ms: 1e9, ..ServeConfig::default() }
+    }
+
+    fn supervisor(shards: usize, quota: u64) -> Supervisor<SimEngine> {
+        let cfg = SupervisorConfig {
+            shards,
+            serve: open_serve(),
+            policy: HealthPolicy::default(),
+            tenant_quota_per_tick: quota,
+        };
+        Supervisor::new(cfg, Arc::new(Executor::new(1)), |_| SimEngine::new(32))
+    }
+
+    #[test]
+    fn routing_fans_requests_across_shards() {
+        let mut s = supervisor(4, 0);
+        let mut touched = vec![false; 4];
+        for i in 0..64 {
+            let d = s.submit_ingest("t", i, &format!("SELECT c{i} FROM t{i}"), 1);
+            assert!(d.is_admitted());
+            touched[d.shard()] = true;
+        }
+        assert!(touched.iter().all(|&t| t), "64 templates must hit all 4 shards");
+        s.run_tick(0);
+        assert!(s.reconciles());
+    }
+
+    #[test]
+    fn tenant_quota_sheds_before_any_shard_is_touched() {
+        let mut s = supervisor(2, 3);
+        for i in 0..3 {
+            assert!(s.submit_ingest("loud", i, "INSERT INTO a VALUES (1)", 1).is_admitted());
+        }
+        let d = s.submit_ingest("loud", 9, "INSERT INTO a VALUES (1)", 1);
+        assert_eq!(d, ShardDecision::Shed { shard: d.shard(), reason: ShedReason::TenantQuota });
+        assert!(s.submit_ingest("quiet", 9, "INSERT INTO a VALUES (1)", 1).is_admitted());
+        assert_eq!(s.stats().shed_tenant_quota, 1);
+        // The governor books never saw the quota shed.
+        let total_offered: u64 =
+            (0..2).map(|i| s.merged_stats(i).offered_ingest).sum();
+        assert_eq!(total_offered, 4);
+        s.run_tick(0);
+        assert!(s.reconciles());
+        // Quota refills at the tick boundary.
+        for i in 0..3 {
+            assert!(s.submit_ingest("loud", 20 + i, "INSERT INTO a VALUES (1)", 1).is_admitted());
+        }
+    }
+
+    #[test]
+    fn quarantined_shard_floors_forecasts_and_sheds_ingest() {
+        let mut s = supervisor(2, 0);
+        let sql = "SELECT a FROM t WHERE x = 1";
+        let victim = s.route(sql);
+        s.force_quarantine(victim);
+        let d = s.submit_forecast("t", sql, 1);
+        assert!(matches!(d, ShardDecision::FailoverFloor { shard, .. } if shard == victim));
+        let d = s.submit_ingest("t", 1, sql, 1);
+        assert_eq!(d, ShardDecision::Shed { shard: victim, reason: ShedReason::ShardUnavailable });
+        assert_eq!(s.stats().failover_floors, 1);
+        assert_eq!(s.stats().shed_shard_unavailable, 1);
+        assert!(s.reconciles(), "supervisor-level sheds never touch governor books");
+    }
+
+    #[test]
+    fn quarantine_walks_back_to_healthy_on_the_tick_schedule() {
+        let mut s = supervisor(1, 0);
+        s.force_quarantine(0);
+        assert_eq!(s.health(0).state(), ShardState::Quarantined);
+        let mut ticks = 0;
+        while s.health(0).state() != ShardState::Healthy {
+            s.run_tick(0);
+            ticks += 1;
+            assert!(ticks < 32, "recovery must be bounded");
+        }
+        // quarantine_ticks=3 + probe_ticks=2 with the default policy.
+        assert_eq!(ticks, 5);
+        assert_eq!(s.health(0).recoveries(), 1);
+    }
+
+    /// An engine that panics on the first ingest after arming.
+    struct PanicOnce {
+        inner: SimEngine,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Engine for PanicOnce {
+        fn ingest(&mut self, ts_secs: u64, sql: &str) {
+            if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                panic!("injected shard fault");
+            }
+            self.inner.ingest(ts_secs, sql);
+        }
+        fn forecast(&mut self, sql: &str) -> f64 {
+            self.inner.forecast(sql)
+        }
+        fn floor(&mut self, sql: &str) -> f64 {
+            self.inner.floor(sql)
+        }
+        fn resident_bytes(&self) -> usize {
+            self.inner.resident_bytes()
+        }
+        fn evict_to(&mut self, target_bytes: usize) -> usize {
+            self.inner.evict_to(target_bytes)
+        }
+    }
+
+    #[test]
+    fn shard_panic_is_bulkheaded_and_books_stay_balanced() {
+        let armed: Vec<std::sync::Arc<std::sync::atomic::AtomicBool>> = (0..2)
+            .map(|_| std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)))
+            .collect();
+        let flags = armed.clone();
+        let cfg = SupervisorConfig {
+            shards: 2,
+            serve: open_serve(),
+            policy: HealthPolicy::default(),
+            tenant_quota_per_tick: 0,
+        };
+        let mut s = Supervisor::new(cfg, Arc::new(Executor::new(1)), move |i| PanicOnce {
+            inner: SimEngine::new(32),
+            armed: std::sync::Arc::clone(&flags[i]),
+        });
+        // Find one template per shard.
+        let mut sql_for = vec![None, None];
+        for i in 0..64 {
+            let sql = format!("SELECT c{i} FROM t{i}");
+            let shard = s.route(&sql);
+            if sql_for[shard].is_none() {
+                sql_for[shard] = Some(sql);
+            }
+        }
+        let (a, b) = (sql_for[0].clone().unwrap(), sql_for[1].clone().unwrap());
+        assert!(s.submit_ingest("t", 1, &a, 1).is_admitted());
+        assert!(s.submit_ingest("t", 1, &b, 1).is_admitted());
+        armed[0].store(true, std::sync::atomic::Ordering::SeqCst);
+        let rep = s.run_tick(0);
+        assert_eq!(rep.panicked, vec![0], "only shard 0 tore down");
+        assert!(rep.reports[0].is_none());
+        let sibling = rep.reports[1].as_ref().expect("sibling tick completed");
+        assert_eq!(sibling.ingested, 1, "sibling served through the fault");
+        assert_eq!(s.stats().panics_caught, 1);
+        assert_eq!(s.stats().lost_in_flight, 1, "shard 0's queued record was lost");
+        assert_eq!(s.health(0).state(), ShardState::Quarantined);
+        assert_eq!(s.health(1).state(), ShardState::Healthy);
+        assert!(s.reconciles(), "lost work is in the books, not leaked");
+        // The rebuilt shard serves again after supervised recovery.
+        let mut guard = 0;
+        while s.health(0).state() != ShardState::Healthy {
+            s.run_tick(0);
+            guard += 1;
+            assert!(guard < 32);
+        }
+        assert!(s.submit_ingest("t", 2, &a, 1).is_admitted());
+        s.run_tick(0);
+        assert!(s.reconciles());
+    }
+
+    #[test]
+    fn parallel_and_sequential_ticks_are_byte_identical() {
+        let run = |workers: usize| {
+            let cfg = SupervisorConfig {
+                shards: 4,
+                serve: open_serve(),
+                policy: HealthPolicy::default(),
+                tenant_quota_per_tick: 0,
+            };
+            let mut s =
+                Supervisor::new(cfg, Arc::new(Executor::new(workers)), |_| SimEngine::new(32));
+            for tick in 0..20u64 {
+                for i in 0..16 {
+                    s.submit_ingest("t", tick, &format!("INSERT INTO t{i} VALUES (1)"), 1);
+                    s.submit_forecast("t", &format!("SELECT x FROM t{i}"), 1);
+                }
+                s.run_tick(0);
+            }
+            s.per_shard_digests()
+        };
+        assert_eq!(run(1), run(4), "worker count must not change served values");
+    }
+}
