@@ -14,13 +14,13 @@
 //! Output: `BENCH_6.json` in the working directory, or the path in
 //! `DBAUGUR_BENCH_OUT`.
 
-use dbaugur::DbAugurConfig;
+use dbaugur::{DbAugurConfig, DurabilityCounters};
 use dbaugur_bench::datasets::Scale;
 use dbaugur_exec::Executor;
 use dbaugur_serve::SimEngine;
 use dbaugur_shard::{
-    run_shard_soak, shard_of, KillKind, ShardSoakConfig, ShardSoakReport, ShardedDurable,
-    Supervisor, SupervisorConfig,
+    run_shard_soak, shard_of, HealthPolicy, KillKind, ShardHealth, ShardSoakConfig,
+    ShardSoakReport, ShardedDurable, Supervisor, SupervisorConfig,
 };
 use dbaugur_sqlproc::canonicalize;
 use std::fmt::Write as _;
@@ -112,8 +112,11 @@ fn failover_latency(samples: usize) -> (f64, f64) {
 }
 
 /// Crash-safe migration throughput: drain one shard's observation
-/// histories into a sibling through the two-phase marker protocol.
-fn migration_throughput(observations: u64) -> (u64, f64) {
+/// histories into a sibling through the two-phase marker protocol,
+/// gated on the destination's health like a live supervisor would.
+/// Also returns the summed durability counters so the JSON records how
+/// much the retry layer had to work for the run.
+fn migration_throughput(observations: u64) -> (u64, f64, DurabilityCounters) {
     let root = std::env::temp_dir().join(format!("dbaugur-bench6-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let mut cfg = DbAugurConfig::default();
@@ -136,12 +139,18 @@ fn migration_throughput(observations: u64) -> (u64, f64) {
     }
     let dest = (VICTIM + 1) % 8;
     let start = Instant::now();
-    let report = sys.migrate(VICTIM, dest).expect("migrate");
+    let report = sys
+        .migrate_gated(VICTIM, dest, &ShardHealth::new(HealthPolicy::default()))
+        .expect("healthy destination accepts the migration");
     let secs = start.elapsed().as_secs_f64();
     assert_eq!(report.observations, written, "every observation moved");
+    let mut durability = DurabilityCounters::default();
+    for i in 0..8 {
+        durability.absorb(&sys.durability(i));
+    }
     let _ = std::fs::remove_dir_all(&root);
     let per_sec = if secs > 0.0 { report.observations as f64 / secs } else { 0.0 };
-    (report.observations, per_sec)
+    (report.observations, per_sec, durability)
 }
 
 fn main() {
@@ -183,7 +192,7 @@ fn main() {
     let (failover_p50_ms, failover_p99_ms) = failover_latency(failover_samples);
     eprintln!("  failover floor: p50 {failover_p50_ms:.4} ms, p99 {failover_p99_ms:.4} ms");
 
-    let (moved, migration_obs_per_sec) = migration_throughput(migration_obs);
+    let (moved, migration_obs_per_sec, durability) = migration_throughput(migration_obs);
     eprintln!("  migration: {moved} observations at {migration_obs_per_sec:.0}/s");
 
     // The ISSUE's gates.
@@ -216,6 +225,12 @@ fn main() {
     let _ = writeln!(json, "  \"migration\": {{");
     let _ = writeln!(json, "    \"observations\": {moved},");
     let _ = writeln!(json, "    \"observations_per_sec\": {migration_obs_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"durability\": {{");
+    let _ = writeln!(json, "    \"io_retries\": {},", durability.io_retries);
+    let _ = writeln!(json, "    \"retry_exhausted\": {},", durability.retry_exhausted);
+    let _ = writeln!(json, "    \"snapshot_fallbacks\": {},", durability.snapshot_fallbacks);
+    let _ = writeln!(json, "    \"wal_torn_salvages\": {}", durability.wal_torn_salvages);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"gates\": {{");
     let _ = writeln!(json, "    \"recovery_budget_ticks\": {RECOVERY_BUDGET_TICKS},");

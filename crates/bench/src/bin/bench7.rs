@@ -1,0 +1,219 @@
+//! `BENCH_7.json` — global memory-pressure defense: the budget soak
+//! that proves the cross-shard arbiter, the heat-driven auto-rebalance,
+//! and the injectable storage-fault layer working together.
+//!
+//! Two arms run on identical seeds and identical fault schedules —
+//! rebalance off (control) and rebalance on — over a skewed workload
+//! (a hot template set homed on shard 0 above a long uniform cold
+//! tail), with seeded ENOSPC/EIO bursts firing at the front door,
+//! mid-spill, and mid-migration.
+//!
+//! The hard gates of the ISSUE are checked here and fail the process:
+//! the post-enforcement resident total must never exceed the hard
+//! global ceiling at any tick, intake books must reconcile per shard
+//! and globally, no acknowledged observation may be lost, the faults
+//! must actually have fired, and the rebalance arm must measurably
+//! flatten max/mean shard heat versus the control arm.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench7`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`; `full`
+//! is the ISSUE's acceptance scale — 100k distinct templates).
+//! Output: `BENCH_7.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`.
+
+use dbaugur_bench::datasets::Scale;
+use dbaugur_shard::{
+    run_pressure_soak, PressureSoakConfig, PressureSoakReport, RebalanceConfig,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn arm_json(name: &str, r: &PressureSoakReport, wall_secs: f64) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "  \"{name}\": {{");
+    let _ = writeln!(j, "    \"ticks\": {},", r.ticks);
+    let _ = writeln!(j, "    \"shards\": {},", r.shards);
+    let _ = writeln!(j, "    \"distinct_templates\": {},", r.distinct_templates);
+    let _ = writeln!(j, "    \"offered\": {},", r.offered);
+    let _ = writeln!(j, "    \"acked\": {},", r.acked);
+    let _ = writeln!(j, "    \"shed_memory_pressure\": {},", r.shed_pressure);
+    let _ = writeln!(j, "    \"shed_breaker\": {},", r.shed_breaker);
+    let _ = writeln!(j, "    \"shed_io\": {},", r.shed_io);
+    let _ = writeln!(j, "    \"books_reconciled\": {},", r.books_ok);
+    let _ = writeln!(j, "    \"resident_peak_bytes\": {},", r.resident_peak);
+    let _ = writeln!(j, "    \"ceiling_breaches\": {},", r.ceiling_breaches);
+    let _ = writeln!(j, "    \"spilled_observations\": {},", r.spilled_observations);
+    let _ = writeln!(j, "    \"spill_files\": {},", r.spill_files);
+    let _ = writeln!(j, "    \"spill_write_failures\": {},", r.spill_write_failures);
+    let _ = writeln!(j, "    \"pending_spills_final\": {},", r.pending_spills_final);
+    let _ = writeln!(j, "    \"dropped_by_cap\": {},", r.dropped_by_cap);
+    let _ = writeln!(j, "    \"resident_observations\": {},", r.resident_observations);
+    let _ = writeln!(j, "    \"lost_observations\": {},", r.lost_observations);
+    let _ = writeln!(j, "    \"migrations_completed\": {},", r.migrations_completed);
+    let _ = writeln!(j, "    \"migrations_failed\": {},", r.migrations_failed);
+    let _ = writeln!(j, "    \"migrations_refused\": {},", r.migrations_refused);
+    let _ = writeln!(j, "    \"migration_observations\": {},", r.migration_observations);
+    let _ = writeln!(j, "    \"quarantines\": {},", r.quarantines);
+    let _ = writeln!(j, "    \"recoveries\": {},", r.recoveries);
+    let _ = writeln!(j, "    \"enospc_injected\": {},", r.enospc_injected);
+    let _ = writeln!(j, "    \"eio_injected\": {},", r.eio_injected);
+    let _ = writeln!(j, "    \"faults_injected\": {},", r.faults_injected);
+    let _ = writeln!(j, "    \"heat_ratio_tail\": {:.4},", r.heat_ratio_tail);
+    let _ = writeln!(j, "    \"arbiter\": {{");
+    let _ = writeln!(j, "      \"regrants\": {},", r.arbiter.regrants);
+    let _ = writeln!(j, "      \"reclaimed_bytes\": {},", r.arbiter.reclaimed_bytes);
+    let _ = writeln!(j, "      \"exhausted_ticks\": {},", r.arbiter.exhausted_ticks);
+    let _ = writeln!(j, "      \"pressure_sheds_engaged\": {},", r.arbiter.pressure_sheds_engaged);
+    let _ = writeln!(j, "      \"pressure_sheds_released\": {},", r.arbiter.pressure_sheds_released);
+    let _ = writeln!(j, "      \"pressure_quarantines\": {},", r.arbiter.pressure_quarantines);
+    let _ = writeln!(j, "      \"ladder_evicted_bytes\": {},", r.arbiter.ladder_evicted_bytes);
+    let _ = writeln!(j, "      \"ladder_spilled_bytes\": {},", r.arbiter.ladder_spilled_bytes);
+    let _ = writeln!(j, "      \"max_total_resident\": {}", r.arbiter.max_total_resident);
+    let _ = writeln!(j, "    }},");
+    if let Some(rb) = &r.rebalance {
+        let _ = writeln!(j, "    \"rebalance\": {{");
+        let _ = writeln!(j, "      \"proposals\": {},", rb.proposals);
+        let _ = writeln!(j, "      \"suppressed_hysteresis\": {},", rb.suppressed_hysteresis);
+        let _ = writeln!(j, "      \"suppressed_ineligible\": {},", rb.suppressed_ineligible);
+        let _ = writeln!(j, "      \"suppressed_in_flight\": {}", rb.suppressed_in_flight);
+        let _ = writeln!(j, "    }},");
+    } else {
+        let _ = writeln!(j, "    \"rebalance\": null,");
+    }
+    let _ = writeln!(j, "    \"durability\": {{");
+    let _ = writeln!(j, "      \"io_retries\": {},", r.durability.io_retries);
+    let _ = writeln!(j, "      \"retry_exhausted\": {},", r.durability.retry_exhausted);
+    let _ = writeln!(j, "      \"snapshot_fallbacks\": {},", r.durability.snapshot_fallbacks);
+    let _ = writeln!(j, "      \"wal_torn_salvages\": {}", r.durability.wal_torn_salvages);
+    let _ = writeln!(j, "    }},");
+    let _ = writeln!(j, "    \"wall_secs\": {wall_secs:.3}");
+    let _ = write!(j, "  }}");
+    j
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // (templates, ticks, ingest/tick, budget, min grant). The budget
+    // sits ~1.3x above the unevictable template-string floor
+    // (~190 B/template), so the working set genuinely cannot fit and
+    // the whole degradation ladder — evict, spill, shed — is exercised,
+    // while the floor itself stays under the ceiling (breaches gate).
+    let (templates, ticks, ingest, budget, min_grant) = match scale.name {
+        "quick" => (20_000, 48, 30_000, 5 << 20, 512 << 10),
+        "full" => (100_000, 60, 45_000, 24 << 20, 2_500 << 10),
+        _ => (50_000, 44, 35_000, 12 << 20, 1_200 << 10),
+    };
+    eprintln!(
+        "bench7: scale={} templates={templates} ticks={ticks} budget={}MiB",
+        scale.name,
+        budget >> 20
+    );
+
+    let base = PressureSoakConfig {
+        shards: 8,
+        ticks,
+        templates,
+        ingest_per_tick: ingest,
+        hot_templates: 64,
+        hot_permille: 800,
+        global_budget_bytes: budget,
+        min_grant_bytes: min_grant,
+        shed_after: 2,
+        quarantine_after: 1_000,
+        rebalance: None,
+        enospc_ticks: vec![ticks / 4, ticks / 2],
+        eio_ticks: vec![ticks / 3],
+        spill_fault_ticks: vec![ticks / 4 + 2, 2 * ticks / 3],
+        burst_ops: 4,
+        migration_fault_ops: 2,
+        seed: 0xD8A6_0007,
+    };
+
+    let start = Instant::now();
+    let control = run_pressure_soak(&base);
+    let control_wall = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  control: acked={} spilled={} breaches={} heat_tail={:.3} ({control_wall:.1}s)",
+        control.acked, control.spilled_observations, control.ceiling_breaches,
+        control.heat_ratio_tail
+    );
+
+    let start = Instant::now();
+    // Conservative policy: at bench scale the cold tail already spreads
+    // fairly evenly, so an eager trigger over-migrates (each migration
+    // also duplicates roster strings onto the receiver) and the ratio
+    // oscillates instead of settling. A higher threshold plus a long
+    // cooldown corrects the genuine hot-shard skew and then stops.
+    let rebalanced = run_pressure_soak(&PressureSoakConfig {
+        rebalance: Some(RebalanceConfig {
+            imbalance_ratio: 1.35,
+            sustain_ticks: 3,
+            cooldown_ticks: 6,
+        }),
+        ..base.clone()
+    });
+    let rebalanced_wall = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  rebalance: migrations={} (failed={}, resumed later) heat_tail={:.3} ({rebalanced_wall:.1}s)",
+        rebalanced.migrations_completed, rebalanced.migrations_failed,
+        rebalanced.heat_ratio_tail
+    );
+
+    // The ISSUE's gates, on both arms where applicable.
+    let gate_ceiling =
+        control.ceiling_breaches == 0 && rebalanced.ceiling_breaches == 0;
+    let gate_books = control.books_ok && rebalanced.books_ok;
+    let gate_no_loss = control.lost_observations == 0
+        && rebalanced.lost_observations == 0
+        && control.pending_spills_final == 0
+        && rebalanced.pending_spills_final == 0;
+    let gate_faults_fired = rebalanced.enospc_injected > 0
+        && rebalanced.eio_injected > 0
+        && rebalanced.spill_write_failures > 0;
+    let gate_pressure_real = rebalanced.arbiter.exhausted_ticks > 0
+        && rebalanced.arbiter.pressure_sheds_engaged > 0
+        && rebalanced.spilled_observations > 0;
+    let gate_migrations = rebalanced.migrations_completed > 0;
+    let gate_heat_flattened = rebalanced.heat_ratio_tail < control.heat_ratio_tail;
+    let pass = gate_ceiling
+        && gate_books
+        && gate_no_loss
+        && gate_faults_fired
+        && gate_pressure_real
+        && gate_migrations
+        && gate_heat_flattened;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_7\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"global_budget_bytes\": {budget},");
+    let _ = writeln!(json, "  \"seed\": {},", base.seed);
+    let _ = writeln!(json, "{},", arm_json("control", &control, control_wall));
+    let _ = writeln!(json, "{},", arm_json("rebalanced", &rebalanced, rebalanced_wall));
+    let _ = writeln!(json, "  \"gates\": {{");
+    let _ = writeln!(json, "    \"ceiling_never_exceeded\": {gate_ceiling},");
+    let _ = writeln!(json, "    \"books_reconciled\": {gate_books},");
+    let _ = writeln!(json, "    \"no_acked_loss\": {gate_no_loss},");
+    let _ = writeln!(json, "    \"faults_fired\": {gate_faults_fired},");
+    let _ = writeln!(json, "    \"pressure_real\": {gate_pressure_real},");
+    let _ = writeln!(json, "    \"migrations_completed\": {gate_migrations},");
+    let _ = writeln!(json, "    \"heat_flattened\": {gate_heat_flattened},");
+    let _ = writeln!(json, "    \"pass\": {pass}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+    if !pass {
+        eprintln!("error: BENCH_7 gates failed");
+        std::process::exit(1);
+    }
+}

@@ -42,15 +42,15 @@ fn template_traces(train_days: usize, seed: u64) -> (Vec<Vec<f64>>, usize, usize
     let total = eval_start + SAMPLES_PER_DAY;
     let shift_at = eval_start + SAMPLES_PER_DAY / 3; // 08:00
     // Pattern A rates per template, pattern B rates per template.
-    let a = [1200.0, 120.0, 900.0, 80.0];
-    let b = [150.0, 1400.0, 100.0, 1100.0];
+    let a: [f64; 4] = [1200.0, 120.0, 900.0, 80.0];
+    let b: [f64; 4] = [150.0, 1400.0, 100.0, 1100.0];
     let mut traces = vec![Vec::with_capacity(total); a.len()];
     for t in 0..total {
         let tod = (t % SAMPLES_PER_DAY) as f64 / SAMPLES_PER_DAY as f64;
         let day_cycle = 0.6 + 0.4 * (std::f64::consts::TAU * (tod - 0.25)).sin().max(0.0);
         let rates = if t >= shift_at { &b } else { &a };
         for (tr, &r) in traces.iter_mut().zip(rates) {
-            let noise = 1.0 + rng.gen_range(-0.08..0.08);
+            let noise = 1.0 + rng.gen_range(-0.08f64..0.08);
             tr.push((r * day_cycle * noise).max(0.0));
         }
     }

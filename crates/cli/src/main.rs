@@ -13,6 +13,7 @@
 //! dbaugur lifecycle <dir> [--ticks N]           drift-triggered retrain/shadow/promote loop
 //! dbaugur soak [--ticks N] [--seed S]           chaos/soak the serving governor
 //! dbaugur soak --shards N [--kill-shard I]      sharded kill-matrix soak (bulkheads)
+//! dbaugur soak --shards N --mem-budget BYTES    global memory-pressure drill
 //! dbaugur shards <dir>                          per-shard health, lineage, bytes
 //! ```
 //!
@@ -56,6 +57,14 @@ commands:
              the bulkhead promises (siblings byte-identical to the
              fault-free run, bounded recovery, availability above gate);
              exits non-zero when any promise breaks
+  soak --shards N --mem-budget BYTES [--templates T] [--ingest R]
+       [--enospc-at t1,t2] [--eio-at t1,t2] [--spill-fault-at t1,t2]
+       [--rebalance on|off] [--ticks N] [--seed S]
+             global memory-pressure drill: flood past a hard global byte
+             ceiling while seeded ENOSPC/EIO bursts hit the WAL, spill,
+             and migration paths; exits non-zero if the ceiling is ever
+             exceeded after enforcement, the intake books fail to
+             reconcile, or any acknowledged observation is lost
   shards <state-dir> [--shards N] [pipeline flags]
              per-shard fault-domain status: snapshot lineage, resident
              bytes, WAL bytes, durability counters, derived health and

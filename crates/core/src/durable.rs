@@ -14,6 +14,7 @@ use crate::config::DbAugurConfig;
 use crate::pipeline::DbAugur;
 use crate::retry::{DurabilityCounters, RetryExhausted, RetryOutcome, RetryPolicy};
 use crate::snapshot::{RecoveryReport, SnapshotError};
+use crate::vfs::{real_vfs, DynVfs};
 use crate::wal::Wal;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -27,6 +28,7 @@ pub struct DurableDbAugur {
     wal: Wal,
     dir: PathBuf,
     retry: RetryPolicy,
+    vfs: DynVfs,
 }
 
 /// Append one record under the retry policy: a transient write/fsync
@@ -66,12 +68,39 @@ impl DurableDbAugur {
     /// Open (or create) the state directory: recover the newest good
     /// snapshot, replay the log, and reopen the log for appending.
     pub fn open(dir: &Path, cfg: DbAugurConfig) -> Result<(Self, RecoveryReport), SnapshotError> {
-        std::fs::create_dir_all(dir)?;
-        let (sys, report) = DbAugur::recover(dir, cfg)?;
+        Self::open_with_vfs(&real_vfs(), dir, cfg)
+    }
+
+    /// [`DurableDbAugur::open`] against an arbitrary vfs: every byte the
+    /// instance persists (WAL appends, snapshot generations) flows
+    /// through `vfs`, so fault-injection soaks can wrap the whole
+    /// durable pipeline in a [`crate::vfs::FaultyVfs`] or keep it on a
+    /// [`crate::vfs::MemVfs`].
+    pub fn open_with_vfs(
+        vfs: &DynVfs,
+        dir: &Path,
+        cfg: DbAugurConfig,
+    ) -> Result<(Self, RecoveryReport), SnapshotError> {
+        vfs.create_dir_all(dir)?;
+        let (sys, report) = DbAugur::recover_with(vfs, dir, cfg)?;
         // Seed the log's sequence counter past everything already
         // applied so fresh appends never collide with replayed entries.
-        let wal = Wal::open(&dir.join(WAL_FILE), sys.applied_seq())?;
-        Ok((Self { sys, wal, dir: dir.to_path_buf(), retry: RetryPolicy::default() }, report))
+        let wal = Wal::open_with(vfs, &dir.join(WAL_FILE), sys.applied_seq())?;
+        Ok((
+            Self {
+                sys,
+                wal,
+                dir: dir.to_path_buf(),
+                retry: RetryPolicy::default(),
+                vfs: std::sync::Arc::clone(vfs),
+            },
+            report,
+        ))
+    }
+
+    /// The vfs this instance persists through.
+    pub fn vfs(&self) -> &DynVfs {
+        &self.vfs
     }
 
     /// Replace the transient-I/O retry policy (default: 4 attempts with
@@ -172,12 +201,13 @@ impl DurableDbAugur {
         let result = {
             let sys = &mut self.sys;
             let dir = &self.dir;
+            let vfs = &self.vfs;
             crate::retry::with_retry(
                 &self.retry,
                 "snapshot-write",
                 &mut outcome,
                 || Ok(()),
-                || sys.checkpoint(dir),
+                || sys.checkpoint_with(vfs, dir),
             )
         };
         self.sys.durability.io_retries += u64::from(outcome.retried);

@@ -49,6 +49,7 @@ pub mod durable;
 pub mod pipeline;
 pub mod retry;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use config::DbAugurConfig;
@@ -63,6 +64,10 @@ pub use pipeline::{
 };
 pub use snapshot::{
     encode_model_blob, list_generations, snapshot_path, RecoveryReport, SnapshotError,
+};
+pub use vfs::{
+    enospc_error, eio_error, is_enospc, real_vfs, DynVfs, FaultKind, FaultSwitch, FaultyVfs,
+    MemVfs, RealVfs, Vfs, VfsFile,
 };
 pub use wal::{Wal, WalEntry, WalScan};
 

@@ -501,6 +501,14 @@ impl DbAugur {
         self.registry.evict_cold(target_bytes)
     }
 
+    /// Drop one template's observation history (string and id stay
+    /// resident). Returns the observations dropped. This is the partial
+    /// migration drain: the source sheds exactly what the destination
+    /// durably imported, leaving every other history in place.
+    pub fn drop_template_history(&mut self, id: dbaugur_sqlproc::TemplateId) -> usize {
+        self.registry.drop_observations(id)
+    }
+
     /// Restore template histories from a spill blob produced by
     /// [`Self::evict_cold_templates`].
     pub fn restore_template_spill(

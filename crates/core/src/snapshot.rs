@@ -26,11 +26,12 @@
 
 use crate::config::DbAugurConfig;
 use crate::drift::DriftMonitor;
+use crate::vfs::{real_vfs, DynVfs};
 use crate::pipeline::{fallback_season, make_ensemble, ClusterStatus, DbAugur, TrainedCluster};
 use dbaugur_cluster::ClusterSummary;
 use dbaugur_models::{EnsembleSnapshot, Forecaster, SeasonalNaive, TimeSensitiveEnsemble};
 use dbaugur_sqlproc::TemplateRegistry;
-use dbaugur_trace::wire::{atomic_write, crc32, WireError, WireReader, WireWriter};
+use dbaugur_trace::wire::{crc32, WireError, WireReader, WireWriter};
 use dbaugur_trace::WindowSpec;
 use parking_lot::RwLock;
 use std::fmt;
@@ -109,6 +110,23 @@ pub fn list_generations(dir: &Path) -> io::Result<Vec<u64>> {
     for entry in entries {
         let name = entry?.file_name();
         let name = name.to_string_lossy();
+        if let Some(num) = name.strip_prefix("snap-").and_then(|s| s.strip_suffix(".dbag")) {
+            if let Ok(g) = num.parse::<u64>() {
+                gens.push(g);
+            }
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+/// [`list_generations`] against an arbitrary vfs.
+pub fn list_generations_with(vfs: &DynVfs, dir: &Path) -> io::Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for path in vfs.list_dir(dir)? {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
         if let Some(num) = name.strip_prefix("snap-").and_then(|s| s.strip_suffix(".dbag")) {
             if let Ok(g) = num.parse::<u64>() {
                 gens.push(g);
@@ -411,15 +429,22 @@ impl DbAugur {
     /// prune old generations down to [`KEEP_GENERATIONS`]. Returns the
     /// generation number written.
     pub fn checkpoint(&mut self, dir: &Path) -> io::Result<u64> {
-        std::fs::create_dir_all(dir)?;
-        let gens = list_generations(dir)?;
+        self.checkpoint_with(&real_vfs(), dir)
+    }
+
+    /// [`DbAugur::checkpoint`] against an arbitrary vfs — the seam
+    /// fault-injection soaks use to drive checkpoints through a
+    /// [`crate::vfs::FaultyVfs`].
+    pub fn checkpoint_with(&mut self, vfs: &DynVfs, dir: &Path) -> io::Result<u64> {
+        vfs.create_dir_all(dir)?;
+        let gens = list_generations_with(vfs, dir)?;
         let gen = gens.last().copied().unwrap_or(0) + 1;
         let bytes = self.encode_snapshot();
-        atomic_write(&snapshot_path(dir, gen), &bytes)?;
+        vfs.write_atomic(&snapshot_path(dir, gen), &bytes)?;
         // Prune only after the new generation is durable.
         let keep_from = gens.len().saturating_sub(KEEP_GENERATIONS - 1);
         for &old in &gens[..keep_from] {
-            std::fs::remove_file(snapshot_path(dir, old)).ok();
+            vfs.remove_file(&snapshot_path(dir, old)).ok();
         }
         Ok(gen)
     }
@@ -429,12 +454,37 @@ impl DbAugur {
     /// applied sequence). With no usable snapshot the pipeline starts
     /// empty and the whole WAL replays.
     pub fn recover(dir: &Path, cfg: DbAugurConfig) -> Result<(DbAugur, RecoveryReport), SnapshotError> {
+        DbAugur::recover_impl(None, dir, cfg)
+    }
+
+    /// [`DbAugur::recover`] against an arbitrary vfs (snapshot reads and
+    /// WAL replay both go through it).
+    pub fn recover_with(
+        vfs: &DynVfs,
+        dir: &Path,
+        cfg: DbAugurConfig,
+    ) -> Result<(DbAugur, RecoveryReport), SnapshotError> {
+        DbAugur::recover_impl(Some(vfs), dir, cfg)
+    }
+
+    fn recover_impl(
+        vfs: Option<&DynVfs>,
+        dir: &Path,
+        cfg: DbAugurConfig,
+    ) -> Result<(DbAugur, RecoveryReport), SnapshotError> {
         let mut report = RecoveryReport::default();
         let mut sys = None;
-        let mut gens = list_generations(dir)?;
+        let mut gens = match vfs {
+            Some(vfs) => list_generations_with(vfs, dir)?,
+            None => list_generations(dir)?,
+        };
         gens.reverse();
         for gen in gens {
-            match std::fs::read(snapshot_path(dir, gen))
+            let bytes = match vfs {
+                Some(vfs) => vfs.read(&snapshot_path(dir, gen)),
+                None => std::fs::read(snapshot_path(dir, gen)),
+            };
+            match bytes
                 .map_err(SnapshotError::from)
                 .and_then(|bytes| DbAugur::decode_snapshot(cfg.clone(), &bytes))
             {
@@ -456,7 +506,8 @@ impl DbAugur {
         // recovery memory is bounded by the snapshot, not the log.
         let mut wal_applied = 0usize;
         let mut wal_skipped = 0usize;
-        let sum = crate::wal::scan_file_with(&dir.join(crate::durable::WAL_FILE), |entry| {
+        let wal_path = dir.join(crate::durable::WAL_FILE);
+        let mut sink = |entry: crate::wal::WalEntry| {
             if entry.seq() <= sys.applied_seq {
                 wal_skipped += 1;
                 return;
@@ -472,7 +523,12 @@ impl DbAugur {
             }
             sys.applied_seq = seq;
             wal_applied += 1;
-        })?;
+        };
+        let sum = match vfs {
+            Some(vfs) => crate::wal::scan_vfs_with(vfs, &wal_path, &mut sink)?,
+            None => crate::wal::scan_file_with(&wal_path, &mut sink)?,
+        };
+        drop(sink);
         report.wal_torn = sum.torn;
         report.wal_applied = wal_applied;
         report.wal_skipped = wal_skipped;

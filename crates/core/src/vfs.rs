@@ -1,0 +1,664 @@
+//! Virtual filesystem seam for durability IO, with injectable faults.
+//!
+//! Every byte the durable layer persists — WAL appends, snapshot
+//! generations, migration markers, pressure spills — flows through the
+//! [`Vfs`]/[`VfsFile`] traits instead of calling `std::fs` directly.
+//! Production uses [`RealVfs`] (identical behavior to the previous
+//! direct `std::fs` code); tests and soak scenarios wrap any inner vfs
+//! in [`FaultyVfs`] to inject the disk-fault shapes real deployments
+//! meet under memory pressure:
+//!
+//! - **ENOSPC** (`errno 28`): the disk fills mid-write. Non-transient —
+//!   the retry layer fails fast and the caller's salvage path runs.
+//! - **EIO** (`errno 5`): a medium error. Also non-transient.
+//! - **Short write**: a partial frame lands, then the write is
+//!   interrupted. Transient — exercises `Wal::repair_tail` + retry.
+//! - **Slow IO**: the write completes after a stall (throttled device).
+//! - **Transient**: a clean `Interrupted` with no bytes written.
+//!
+//! [`MemVfs`] is an in-memory filesystem for large deterministic soaks
+//! (100k-template runs with free fsyncs). Fault arming is burst-based
+//! and deterministic: the soak driver arms N faulted operations at a
+//! chosen tick, so runs replay bit-for-bit.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs::OpenOptions;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A writable, fsyncable file handle — the subset of `std::fs::File`
+/// the WAL needs.
+pub trait VfsFile: Send {
+    /// Append `buf` at the current end of the file.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Durably flush file contents and metadata.
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncate (or extend with zeros) to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Seek to the end, returning the offset.
+    fn seek_end(&mut self) -> io::Result<u64>;
+    /// Current file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+}
+
+/// Filesystem operations the durable layer performs.
+pub trait Vfs: Send + Sync {
+    /// Open (or create) a file for appending; read state is captured
+    /// separately through [`Vfs::read`].
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read a whole file; `NotFound` when absent.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically replace `path` with `bytes` (tmp + fsync + rename).
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Delete a file; `NotFound` when absent.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// File paths directly inside `path` (no recursion); an absent
+    /// directory lists as empty.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Does `path` exist (file or directory)?
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// Shared-ownership vfs handle threaded through the durable layer.
+pub type DynVfs = Arc<dyn Vfs>;
+
+/// The production vfs (plain `std::fs`).
+pub fn real_vfs() -> DynVfs {
+    Arc::new(RealVfs)
+}
+
+/// `errno` for "no space left on device".
+pub const ENOSPC: i32 = 28;
+/// `errno` for "input/output error".
+pub const EIO: i32 = 5;
+
+/// An `io::Error` carrying ENOSPC (matched by `raw_os_error`, which is
+/// stable across toolchains, unlike `ErrorKind::StorageFull`).
+pub fn enospc_error() -> io::Error {
+    io::Error::from_raw_os_error(ENOSPC)
+}
+
+/// An `io::Error` carrying EIO.
+pub fn eio_error() -> io::Error {
+    io::Error::from_raw_os_error(EIO)
+}
+
+/// Is this error an injected/real ENOSPC?
+pub fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(ENOSPC)
+}
+
+// ---------------------------------------------------------------------
+// RealVfs
+// ---------------------------------------------------------------------
+
+/// Direct `std::fs` implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+struct RealFile(std::fs::File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.0.seek(SeekFrom::End(0))
+    }
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+}
+
+impl Vfs for RealVfs {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        dbaugur_trace::wire::atomic_write(path, bytes)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let rd = match std::fs::read_dir(path) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for entry in rd {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemVfs
+// ---------------------------------------------------------------------
+
+/// In-memory filesystem: free fsyncs, deterministic, shared across
+/// clones. Used by large soak scenarios so 100k-template runs don't
+/// grind a real disk.
+#[derive(Debug, Clone, Default)]
+pub struct MemVfs {
+    inner: Arc<Mutex<MemFs>>,
+}
+
+#[derive(Debug, Default)]
+struct MemFs {
+    files: HashMap<PathBuf, Vec<u8>>,
+    dirs: HashSet<PathBuf>,
+}
+
+impl MemVfs {
+    /// Fresh empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes resident across all files (soak telemetry).
+    pub fn total_bytes(&self) -> u64 {
+        let fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of files present.
+    pub fn file_count(&self) -> usize {
+        let fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files.len()
+    }
+}
+
+struct MemFile {
+    fs: Arc<Mutex<MemFs>>,
+    path: PathBuf,
+}
+
+impl MemFile {
+    fn with<T>(&self, f: impl FnOnce(&mut Vec<u8>) -> T) -> io::Result<T> {
+        let mut fs = self.fs.lock().unwrap_or_else(|e| e.into_inner());
+        match fs.files.get_mut(&self.path) {
+            Some(bytes) => Ok(f(bytes)),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "file removed")),
+        }
+    }
+}
+
+impl VfsFile for MemFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.with(|bytes| bytes.extend_from_slice(buf))
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.with(|bytes| bytes.resize(len as usize, 0))
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.with(|bytes| bytes.len() as u64)
+    }
+    fn len(&self) -> io::Result<u64> {
+        self.with(|bytes| bytes.len() as u64)
+    }
+}
+
+impl Vfs for MemVfs {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(MemFile { fs: Arc::clone(&self.inner), path: path.to_path_buf() }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files.insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut p = path.to_path_buf();
+        loop {
+            fs.dirs.insert(p.clone());
+            match p.parent() {
+                Some(parent) if parent != Path::new("") => p = parent.to_path_buf(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<PathBuf> =
+            fs.files.keys().filter(|p| p.parent() == Some(path)).cloned().collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let fs = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        fs.files.contains_key(path) || fs.dirs.contains(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultyVfs
+// ---------------------------------------------------------------------
+
+/// The disk-fault shapes [`FaultyVfs`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// No space left on device (`errno 28`); half the buffer lands
+    /// before the device fills. Non-transient.
+    Enospc,
+    /// Input/output error (`errno 5`); nothing lands. Non-transient.
+    Eio,
+    /// Partial frame lands, then `Interrupted`. Transient — the retry
+    /// layer repairs the tail and goes again.
+    ShortWrite,
+    /// The operation succeeds after a stall.
+    SlowIo,
+    /// Clean `Interrupted`, no bytes. Transient.
+    Transient,
+}
+
+impl FaultKind {
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Enospc => 0,
+            FaultKind::Eio => 1,
+            FaultKind::ShortWrite => 2,
+            FaultKind::SlowIo => 3,
+            FaultKind::Transient => 4,
+        }
+    }
+}
+
+/// Shared switchboard arming fault bursts. The soak driver holds one
+/// handle; the [`FaultyVfs`] holds another. Bursts apply to the next N
+/// write-class operations (file writes, fsyncs, atomic writes), in
+/// arming order — deterministic given a deterministic op sequence.
+#[derive(Debug, Default)]
+pub struct FaultSwitch {
+    armed: Mutex<VecDeque<(FaultKind, u32)>>,
+    injected: [AtomicU64; 5],
+    write_ops: AtomicU64,
+    stall_micros: AtomicU64,
+}
+
+impl FaultSwitch {
+    /// Fresh switch with no faults armed and a 100µs slow-IO stall.
+    pub fn new() -> Arc<Self> {
+        let s = FaultSwitch::default();
+        s.stall_micros.store(100, Ordering::Relaxed);
+        Arc::new(s)
+    }
+
+    /// Arm `ops` consecutive operations of `kind` (queued after any
+    /// burst already armed).
+    pub fn arm(&self, kind: FaultKind, ops: u32) {
+        if ops > 0 {
+            let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
+            armed.push_back((kind, ops));
+        }
+    }
+
+    /// Drop all armed bursts.
+    pub fn clear(&self) {
+        let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
+        armed.clear();
+    }
+
+    /// Configure the slow-IO stall length.
+    pub fn set_stall_micros(&self, micros: u64) {
+        self.stall_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// How many faults of `kind` have fired.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Write-class operations observed (faulted or clean).
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Any bursts still pending?
+    pub fn armed_remaining(&self) -> u32 {
+        let armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
+        armed.iter().map(|&(_, n)| n).sum()
+    }
+
+    fn next_fault(&self) -> Option<FaultKind> {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
+        let &mut (kind, ref mut remaining) = armed.front_mut()?;
+        *remaining -= 1;
+        if *remaining == 0 {
+            armed.pop_front();
+        }
+        self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
+    fn stall(&self) {
+        let micros = self.stall_micros.load(Ordering::Relaxed);
+        if micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+}
+
+/// A vfs wrapper that injects armed faults into write-class operations
+/// of the inner vfs. Reads, listing, and deletes pass through clean —
+/// the fault model targets the durability write path.
+#[derive(Clone)]
+pub struct FaultyVfs {
+    inner: DynVfs,
+    switch: Arc<FaultSwitch>,
+}
+
+impl FaultyVfs {
+    /// Wrap `inner`, controlled by `switch`.
+    pub fn new(inner: DynVfs, switch: Arc<FaultSwitch>) -> Self {
+        FaultyVfs { inner, switch }
+    }
+
+    /// The controlling switch.
+    pub fn switch(&self) -> &Arc<FaultSwitch> {
+        &self.switch
+    }
+}
+
+struct FaultyFile {
+    inner: Box<dyn VfsFile>,
+    switch: Arc<FaultSwitch>,
+}
+
+impl VfsFile for FaultyFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.switch.next_fault() {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::SlowIo) => {
+                self.switch.stall();
+                self.inner.write_all(buf)
+            }
+            Some(FaultKind::Enospc) => {
+                // The device fills mid-write: a partial frame lands.
+                self.inner.write_all(&buf[..buf.len() / 2])?;
+                Err(enospc_error())
+            }
+            Some(FaultKind::Eio) => Err(eio_error()),
+            Some(FaultKind::ShortWrite) => {
+                self.inner.write_all(&buf[..buf.len() / 2])?;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected short write"))
+            }
+            Some(FaultKind::Transient) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected transient fault"))
+            }
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.switch.next_fault() {
+            None => self.inner.sync_all(),
+            Some(FaultKind::SlowIo) => {
+                self.switch.stall();
+                self.inner.sync_all()
+            }
+            Some(FaultKind::Enospc) => Err(enospc_error()),
+            Some(FaultKind::Eio) => Err(eio_error()),
+            Some(FaultKind::ShortWrite) | Some(FaultKind::Transient) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected fsync interrupt"))
+            }
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.inner.seek_end()
+    }
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+impl Vfs for FaultyVfs {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FaultyFile { inner, switch: Arc::clone(&self.switch) }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.switch.next_fault() {
+            None => self.inner.write_atomic(path, bytes),
+            Some(FaultKind::SlowIo) => {
+                self.switch.stall();
+                self.inner.write_atomic(path, bytes)
+            }
+            // Atomic writes fail cleanly: the tmp file never renames
+            // over the target, so the old contents survive.
+            Some(FaultKind::Enospc) => Err(enospc_error()),
+            Some(FaultKind::Eio) => Err(eio_error()),
+            Some(FaultKind::ShortWrite) | Some(FaultKind::Transient) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected atomic-write interrupt"))
+            }
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_roundtrips_files() {
+        let vfs = MemVfs::new();
+        let dir = Path::new("/state/shard-0");
+        vfs.create_dir_all(dir).expect("mkdir");
+        assert!(vfs.exists(dir));
+        let path = dir.join("wal.dbwl");
+        let mut f = vfs.open_append(&path).expect("open");
+        f.write_all(b"hello").expect("write");
+        f.write_all(b" world").expect("write");
+        assert_eq!(f.len().expect("len"), 11);
+        f.set_len(5).expect("truncate");
+        assert_eq!(vfs.read(&path).expect("read"), b"hello");
+        assert_eq!(vfs.list_dir(dir).expect("list"), vec![path.clone()]);
+        vfs.remove_file(&path).expect("rm");
+        assert!(vfs.read(&path).is_err());
+        assert!(vfs.list_dir(dir).expect("list").is_empty());
+    }
+
+    #[test]
+    fn mem_vfs_write_atomic_replaces() {
+        let vfs = MemVfs::new();
+        let path = Path::new("/x/snap-000001.dbag");
+        vfs.write_atomic(path, b"one").expect("write");
+        vfs.write_atomic(path, b"two").expect("write");
+        assert_eq!(vfs.read(path).expect("read"), b"two");
+    }
+
+    #[test]
+    fn real_vfs_matches_mem_semantics() {
+        let dir = std::env::temp_dir().join(format!("dbag-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let vfs = RealVfs;
+        let path = dir.join("file.bin");
+        let mut f = vfs.open_append(&path).expect("open");
+        f.write_all(b"abcdef").expect("write");
+        f.sync_all().expect("sync");
+        f.set_len(3).expect("truncate");
+        assert_eq!(vfs.read(&path).expect("read"), b"abc");
+        assert!(vfs.list_dir(&dir).expect("list").contains(&path));
+        assert!(vfs.list_dir(Path::new("/nonexistent/dbaugur")).expect("list").is_empty());
+        vfs.remove_file(&path).expect("rm");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_burst_fails_writes_then_clears() {
+        let switch = FaultSwitch::new();
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let path = Path::new("/wal");
+        let mut f = vfs.open_append(path).expect("open");
+        switch.arm(FaultKind::Enospc, 2);
+        let e = f.write_all(b"0123456789").expect_err("enospc");
+        assert!(is_enospc(&e));
+        let e = f.sync_all().expect_err("enospc");
+        assert!(is_enospc(&e));
+        // Burst exhausted: writes work again.
+        f.write_all(b"ok").expect("clean write");
+        assert_eq!(switch.injected(FaultKind::Enospc), 2);
+        assert_eq!(switch.armed_remaining(), 0);
+    }
+
+    #[test]
+    fn enospc_leaves_a_partial_frame() {
+        let switch = FaultSwitch::new();
+        let mem = MemVfs::new();
+        let vfs = FaultyVfs::new(Arc::new(mem.clone()), Arc::clone(&switch));
+        let path = Path::new("/wal");
+        let mut f = vfs.open_append(path).expect("open");
+        f.write_all(b"head").expect("clean");
+        switch.arm(FaultKind::Enospc, 1);
+        f.write_all(b"0123456789").expect_err("enospc");
+        // Half the frame landed — exactly the torn-tail shape the WAL
+        // repair machinery must clean up.
+        assert_eq!(mem.read(path).expect("read"), b"head01234");
+    }
+
+    #[test]
+    fn short_write_is_transient_and_partial() {
+        let switch = FaultSwitch::new();
+        let mem = MemVfs::new();
+        let vfs = FaultyVfs::new(Arc::new(mem.clone()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        switch.arm(FaultKind::ShortWrite, 1);
+        let e = f.write_all(b"abcdef").expect_err("short");
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        assert!(crate::retry::is_transient(e.kind()), "short writes must be retryable");
+        assert_eq!(mem.read(Path::new("/wal")).expect("read"), b"abc");
+    }
+
+    #[test]
+    fn atomic_write_faults_leave_old_contents() {
+        let switch = FaultSwitch::new();
+        let mem = MemVfs::new();
+        let vfs = FaultyVfs::new(Arc::new(mem.clone()), Arc::clone(&switch));
+        let path = Path::new("/snap");
+        vfs.write_atomic(path, b"generation-1").expect("clean");
+        switch.arm(FaultKind::Eio, 1);
+        vfs.write_atomic(path, b"generation-2").expect_err("eio");
+        assert_eq!(mem.read(path).expect("read"), b"generation-1", "atomicity preserved");
+    }
+
+    #[test]
+    fn slow_io_succeeds_after_stall() {
+        let switch = FaultSwitch::new();
+        switch.set_stall_micros(10);
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        switch.arm(FaultKind::SlowIo, 1);
+        f.write_all(b"slow but fine").expect("succeeds");
+        assert_eq!(switch.injected(FaultKind::SlowIo), 1);
+    }
+
+    #[test]
+    fn bursts_queue_in_arming_order() {
+        let switch = FaultSwitch::new();
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        switch.arm(FaultKind::Transient, 1);
+        switch.arm(FaultKind::Eio, 1);
+        assert_eq!(f.write_all(b"x").expect_err("1st").kind(), io::ErrorKind::Interrupted);
+        let e = f.write_all(b"x").expect_err("2nd");
+        assert_eq!(e.raw_os_error(), Some(EIO));
+        f.write_all(b"x").expect("clean after bursts");
+    }
+
+    #[test]
+    fn enospc_is_not_transient() {
+        assert!(!crate::retry::is_transient(enospc_error().kind()));
+        assert!(!crate::retry::is_transient(eio_error().kind()));
+    }
+}

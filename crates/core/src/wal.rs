@@ -25,10 +25,11 @@
 //! open, the torn tail is truncated away so later appends extend the
 //! durable prefix rather than burying garbage.
 
+use crate::vfs::{real_vfs, DynVfs, VfsFile};
 use dbaugur_trace::wire::{crc32, WireError, WireReader, WireWriter};
 use dbaugur_trace::Trace;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Log file magic.
@@ -273,9 +274,28 @@ pub fn scan_file(path: &Path) -> io::Result<WalScan> {
     Ok(WalScan { entries, good_len: sum.good_len, torn: sum.torn })
 }
 
+/// Scan a log held by an arbitrary [`crate::vfs::Vfs`], delivering
+/// entries to `sink`; a missing file is an empty, untorn log. Unlike
+/// [`scan_file_with`] this materializes the file's bytes first — vfs
+/// backends are in-memory or fault-wrapped test filesystems where that
+/// is the natural access path.
+pub fn scan_vfs_with<F>(vfs: &DynVfs, path: &Path, sink: F) -> io::Result<WalScanSummary>
+where
+    F: FnMut(WalEntry),
+{
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalScanSummary { entries: 0, last_seq: 0, good_len: HEADER_LEN, torn: false })
+        }
+        Err(e) => return Err(e),
+    };
+    scan_reader_with(&bytes[..], sink)
+}
+
 /// An append-only, fsynced write-ahead log.
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     next_seq: u64,
     /// Byte length of the durable prefix — everything up to and
@@ -294,11 +314,27 @@ impl Wal {
         // Streaming scan: opening never materializes the log's entries,
         // only the tally (prefix length, last sequence).
         let scan = scan_file_with(path, |_| {})?;
-        // Never truncate here: the tail-repair below keeps every good
+        Self::open_scanned(&real_vfs(), path, floor_seq, scan)
+    }
+
+    /// [`Wal::open`] against an arbitrary vfs — the seam fault-injection
+    /// soaks use to run the full WAL machinery over [`crate::vfs::MemVfs`]
+    /// or a [`crate::vfs::FaultyVfs`] wrapper.
+    pub fn open_with(vfs: &DynVfs, path: &Path, floor_seq: u64) -> io::Result<Self> {
+        let scan = scan_vfs_with(vfs, path, |_| {})?;
+        Self::open_scanned(vfs, path, floor_seq, scan)
+    }
+
+    fn open_scanned(
+        vfs: &DynVfs,
+        path: &Path,
+        floor_seq: u64,
+        scan: WalScanSummary,
+    ) -> io::Result<Self> {
+        // Never truncate on open: the tail-repair below keeps every good
         // entry and drops only a torn final record.
-        let mut file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
-        let len = file.metadata()?.len();
+        let mut file = vfs.open_append(path)?;
+        let len = file.len()?;
         let durable_len = if len < HEADER_LEN {
             file.set_len(0)?;
             file.write_all(&wal_header())?;
@@ -311,7 +347,7 @@ impl Wal {
         } else {
             len
         };
-        file.seek(SeekFrom::End(0))?;
+        file.seek_end()?;
         Ok(Self {
             file,
             path: path.to_path_buf(),
@@ -345,11 +381,11 @@ impl Wal {
     /// by the durable layer before retrying a transient append failure;
     /// a no-op when the file already ends on the boundary.
     pub fn repair_tail(&mut self) -> io::Result<()> {
-        if self.file.metadata()?.len() != self.durable_len {
+        if self.file.len()? != self.durable_len {
             self.file.set_len(self.durable_len)?;
             self.file.sync_all()?;
         }
-        self.file.seek(SeekFrom::End(0))?;
+        self.file.seek_end()?;
         Ok(())
     }
 
@@ -369,7 +405,7 @@ impl Wal {
     /// redundant). Sequence numbering keeps growing.
     pub fn truncate(&mut self) -> io::Result<()> {
         self.file.set_len(HEADER_LEN)?;
-        self.file.seek(SeekFrom::End(0))?;
+        self.file.seek_end()?;
         self.file.sync_all()?;
         self.durable_len = HEADER_LEN;
         Ok(())
@@ -377,7 +413,7 @@ impl Wal {
 
     /// Current byte length of the log file.
     pub fn len_bytes(&self) -> io::Result<u64> {
-        Ok(self.file.metadata()?.len())
+        self.file.len()
     }
 }
 
@@ -525,6 +561,53 @@ mod tests {
         assert!(!scan.torn);
         assert_eq!(scan.entries.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_over_mem_vfs_roundtrips() {
+        use crate::vfs::{DynVfs, MemVfs};
+        use std::sync::Arc;
+        let vfs: DynVfs = Arc::new(MemVfs::new());
+        let path = Path::new("/shard-0/wal.dbwl");
+        let mut wal = Wal::open_with(&vfs, path, 0).expect("open");
+        let s1 = wal.append_record(5, "SELECT 1").expect("append");
+        drop(wal);
+        // Reopen resumes numbering from the durable state.
+        let mut wal = Wal::open_with(&vfs, path, 0).expect("reopen");
+        assert_eq!(wal.next_seq(), s1 + 1);
+        wal.append_record(6, "SELECT 2").expect("append");
+        let mut n = 0;
+        let sum = scan_vfs_with(&vfs, path, |_| n += 1).expect("scan");
+        assert_eq!((n, sum.torn), (2, false));
+    }
+
+    #[test]
+    fn enospc_mid_append_repairs_and_retries() {
+        use crate::vfs::{DynVfs, FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+        use std::sync::Arc;
+        let switch = FaultSwitch::new();
+        let vfs: DynVfs = Arc::new(FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch)));
+        let path = Path::new("/shard-0/wal.dbwl");
+        let mut wal = Wal::open_with(&vfs, path, 0).expect("open");
+        wal.append_record(1, "SELECT a").expect("clean append");
+
+        // The disk fills mid-append: half a frame lands, errno 28 surfaces.
+        switch.arm(FaultKind::Enospc, 1);
+        let e = wal.append_record(2, "SELECT b").expect_err("enospc");
+        assert!(crate::vfs::is_enospc(&e));
+        let sum = scan_vfs_with(&vfs, path, |_| {}).expect("scan");
+        assert!(sum.torn, "partial frame visible as torn tail");
+        assert_eq!(sum.entries, 1, "acknowledged prefix intact");
+
+        // Space returns: repair the tail, retry, and the log is whole.
+        wal.repair_tail().expect("repair");
+        wal.append_record(2, "SELECT b").expect("retry succeeds");
+        let mut seqs = Vec::new();
+        let sum = scan_vfs_with(&vfs, path, |e| seqs.push(e.seq())).expect("scan");
+        assert!(!sum.torn);
+        // The failed append never became durable, so its sequence is
+        // reissued to the retry — no gap, no duplicate.
+        assert_eq!(seqs, vec![1, 2]);
     }
 
     #[test]

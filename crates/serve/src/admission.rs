@@ -23,6 +23,10 @@ pub enum ShedReason {
     /// The shard owning this template is quarantined and not accepting
     /// writes; forecasts are still answered (degraded) from its floor.
     ShardUnavailable,
+    /// The global memory budget is exhausted and eviction/spill could
+    /// not reclaim enough: lowest-priority ingest is shed so resident
+    /// state stops growing. Forecast reads are unaffected.
+    MemoryPressure,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -32,6 +36,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::RateLimited => write!(f, "rate limited"),
             ShedReason::TenantQuota => write!(f, "tenant quota exhausted"),
             ShedReason::ShardUnavailable => write!(f, "shard unavailable"),
+            ShedReason::MemoryPressure => write!(f, "memory pressure"),
         }
     }
 }

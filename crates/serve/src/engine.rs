@@ -32,6 +32,17 @@ pub trait Engine {
     /// bytes freed.
     fn evict_to(&mut self, target_bytes: usize) -> usize;
 
+    /// Spill cold state down to `target_bytes`, preserving what is
+    /// dropped in recoverable form (a spill blob, a disk file) rather
+    /// than discarding it — the budget arbiter's rung between plain
+    /// eviction and shedding ingest. Returns bytes freed; engines
+    /// without a spill path keep the default no-op, and the arbiter
+    /// falls through to the next rung.
+    fn spill_to(&mut self, target_bytes: usize) -> std::io::Result<usize> {
+        let _ = target_bytes;
+        Ok(0)
+    }
+
     /// Opportunistic background maintenance (model lifecycle, retrains)
     /// run with whatever budget is left after all foreground work in a
     /// tick. Returns the clock milliseconds spent, which must never
@@ -249,6 +260,12 @@ impl Engine for PipelineEngine {
             self.last_spill = report.spill;
         }
         report.bytes_freed
+    }
+
+    fn spill_to(&mut self, target_bytes: usize) -> std::io::Result<usize> {
+        // The registry's eviction already produces a spill blob; keeping
+        // it makes this a true spill (recoverable), not a discard.
+        Ok(self.evict_to(target_bytes))
     }
 
     fn maintain(&mut self, budget_ms: u64) -> u64 {

@@ -134,6 +134,10 @@ pub struct ServeStats {
     pub shed_ingest_queue_full: u64,
     /// Ingest shed: rate limited.
     pub shed_ingest_rate_limited: u64,
+    /// Ingest shed: global memory budget exhausted (the budget
+    /// arbiter's last rung before quarantine — resident state must stop
+    /// growing). Forecasts are never shed for this reason.
+    pub shed_ingest_memory_pressure: u64,
     /// Forecasts answered fresh, within deadline.
     pub completed_fresh: u64,
     /// Forecasts answered with the degraded floor.
@@ -173,6 +177,7 @@ impl ServeStats {
             + self.shed_forecast_rate_limited
             + self.shed_ingest_queue_full
             + self.shed_ingest_rate_limited
+            + self.shed_ingest_memory_pressure
     }
 
     /// Verify the books balance given current queue depths: every
@@ -180,7 +185,9 @@ impl ServeStats {
     /// is completed or still queued.
     pub fn reconciles(&self, forecasts_queued: usize, ingest_queued: usize) -> bool {
         let f_shed = self.shed_forecast_queue_full + self.shed_forecast_rate_limited;
-        let i_shed = self.shed_ingest_queue_full + self.shed_ingest_rate_limited;
+        let i_shed = self.shed_ingest_queue_full
+            + self.shed_ingest_rate_limited
+            + self.shed_ingest_memory_pressure;
         self.offered_forecasts == self.admitted_forecasts + f_shed
             && self.offered_ingest == self.admitted_ingest + i_shed
             && self.admitted_forecasts
@@ -235,6 +242,7 @@ pub struct Governor<E: Engine, C: Clock> {
     latencies: HistoryRing,
     shed_since_tick: u64,
     health: HealthState,
+    pressure_shed: bool,
 }
 
 impl<E: Engine, C: Clock> Governor<E, C> {
@@ -255,7 +263,34 @@ impl<E: Engine, C: Clock> Governor<E, C> {
             latencies,
             shed_since_tick: 0,
             health: HealthState::Healthy,
+            pressure_shed: false,
         }
+    }
+
+    /// Replace the engine's byte budget. The budget arbiter calls this
+    /// every arbitration round as it moves slack between shards; the
+    /// next tick's eviction pass enforces the new bound.
+    pub fn set_memory_budget(&mut self, bytes: usize) {
+        self.cfg.memory_budget_bytes = bytes;
+    }
+
+    /// The engine's current byte budget.
+    pub fn memory_budget(&self) -> usize {
+        self.cfg.memory_budget_bytes
+    }
+
+    /// Enter or leave memory-pressure shedding. While set, every
+    /// offered ingest is shed with [`ShedReason::MemoryPressure`] (no
+    /// token is consumed — the request never contends); forecasts are
+    /// unaffected. The arbiter sets this on its shed rung and clears it
+    /// once the global budget recovers.
+    pub fn set_memory_pressure_shed(&mut self, on: bool) {
+        self.pressure_shed = on;
+    }
+
+    /// True while memory-pressure shedding is active.
+    pub fn memory_pressure_shed(&self) -> bool {
+        self.pressure_shed
     }
 
     /// Offer one forecast request (`cost_ms` = the full answer's
@@ -293,6 +328,11 @@ impl<E: Engine, C: Clock> Governor<E, C> {
     /// forecast traffic, but are never dropped once admitted.
     pub fn submit_ingest(&mut self, ts_secs: u64, sql: &str, cost_ms: u64) -> AdmissionDecision {
         self.stats.offered_ingest += 1;
+        if self.pressure_shed {
+            self.stats.shed_ingest_memory_pressure += 1;
+            self.shed_since_tick += 1;
+            return AdmissionDecision::Shed(ShedReason::MemoryPressure);
+        }
         let now = self.clock.now_ms();
         if !self.bucket.try_take(now) {
             self.stats.shed_ingest_rate_limited += 1;
@@ -700,6 +740,48 @@ mod tests {
         assert_eq!(rep.maintenance_ms, 0);
         assert_eq!(g.stats().maintenance_runs, 0);
         assert_eq!(g.stats().maintenance_ms, 0);
+    }
+
+    #[test]
+    fn memory_pressure_sheds_ingest_but_not_forecasts() {
+        let mut g = gov(ServeConfig { tick_budget_ms: 1_000, ..open_cfg() });
+        assert!(g.submit_ingest(0, "INSERT 1", 1).is_admitted());
+        g.set_memory_pressure_shed(true);
+        assert_eq!(
+            g.submit_ingest(1, "INSERT 2", 1),
+            AdmissionDecision::Shed(ShedReason::MemoryPressure)
+        );
+        assert!(g.submit_forecast("SELECT 1", 1).is_admitted(), "reads unaffected");
+        assert_eq!(g.stats().shed_ingest_memory_pressure, 1);
+        g.run_tick(0);
+        assert!(g.reconciles(), "pressure sheds must balance the books");
+        // Pressure lifts: ingest admits again.
+        g.set_memory_pressure_shed(false);
+        assert!(g.submit_ingest(2, "INSERT 3", 1).is_admitted());
+        g.run_tick(0);
+        assert!(g.reconciles());
+    }
+
+    #[test]
+    fn budget_can_be_retargeted_between_ticks() {
+        let mut g = gov(ServeConfig {
+            memory_budget_bytes: 1 << 20,
+            tick_budget_ms: 1_000_000,
+            ..open_cfg()
+        });
+        for i in 0..40 {
+            assert!(g
+                .submit_ingest(i, &format!("SELECT col{i} FROM table{i} WHERE x = 1"), 0)
+                .is_admitted());
+        }
+        let rep = g.run_tick(0);
+        assert_eq!(rep.evicted_bytes, 0, "generous budget: nothing evicted");
+        // The arbiter reclaims slack: the tighter budget bites next tick.
+        g.set_memory_budget(2_000);
+        assert_eq!(g.memory_budget(), 2_000);
+        g.run_tick(0);
+        assert!(g.engine().resident_bytes() <= 2_000);
+        assert!(g.reconciles());
     }
 
     #[test]

@@ -167,8 +167,18 @@ impl SoakReport {
 /// Run one seeded soak scenario to completion.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let mut chaos = FaultInjector::new(cfg.seed);
-    let ingest_plan =
+    let mut ingest_plan =
         chaos.burst_flood(cfg.ticks, cfg.base_ingest_per_tick, cfg.burst_every, cfg.burst_mult);
+    // Recovery is judged on the quiet tail after the last burst, so the
+    // final period must actually be quiet: a seeded burst phase that
+    // floods the last tick would leave nothing to judge and fail the
+    // scenario on alignment, not behavior.
+    if cfg.burst_every > 0 {
+        let quiet_from = cfg.ticks.saturating_sub(cfg.burst_every);
+        for v in &mut ingest_plan[quiet_from..] {
+            *v = cfg.base_ingest_per_tick;
+        }
+    }
     let spike_plan = chaos.latency_spikes(cfg.ticks, cfg.spike_frac, cfg.spike_max_ms);
     let stall_plan =
         chaos.slow_consumer_stalls(cfg.ticks, cfg.stall_frac, cfg.stall_max_run, cfg.stall_ms);

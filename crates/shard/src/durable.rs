@@ -32,10 +32,14 @@
 //! placement at open, so a completed migration keeps routing correctly
 //! with no extra metadata.
 
+use crate::health::{BreakerState, ShardHealth, ShardState};
 use crate::route::shard_of;
-use dbaugur::{DbAugurConfig, DurabilityCounters, DurableDbAugur, RecoveryReport, SnapshotError};
+use dbaugur::{
+    real_vfs, DbAugurConfig, DurabilityCounters, DurableDbAugur, DynVfs, RecoveryReport,
+    SnapshotError,
+};
 use dbaugur_sqlproc::{canonicalize, TemplateId};
-use dbaugur_trace::wire::{atomic_write, crc32, WireReader, WireWriter};
+use dbaugur_trace::wire::{crc32, WireReader, WireWriter};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -44,6 +48,42 @@ use std::path::{Path, PathBuf};
 const MIGRATE_MAGIC: u32 = 0x474D_4244;
 /// Marker wire-format version.
 const MIGRATE_VERSION: u32 = 1;
+
+/// Why a gated migration was refused or failed.
+#[derive(Debug)]
+pub enum MigrateError {
+    /// The destination shard is not accepting writes: its breaker is
+    /// open (quarantined) or it is mid-recovery probation. Draining
+    /// histories into a shard that may be torn down again would risk
+    /// the very data the migration is trying to protect.
+    DestinationUnavailable {
+        /// The refused destination shard.
+        to: usize,
+        /// Its lifecycle state at refusal time.
+        state: ShardState,
+    },
+    /// Underlying storage failure during prepare or commit.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::DestinationUnavailable { to, state } => {
+                write!(f, "destination shard {to} unavailable ({state:?})")
+            }
+            MigrateError::Io(e) => write!(f, "migration I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+impl From<io::Error> for MigrateError {
+    fn from(e: io::Error) -> Self {
+        MigrateError::Io(e)
+    }
+}
 
 /// What one completed migration moved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +117,10 @@ pub struct ShardedDurable {
     /// hash home after a migration. Rebuilt from observation placement
     /// at every open.
     overrides: HashMap<String, usize>,
+    /// The vfs every byte (per-shard lineages, migration markers)
+    /// persists through; fault-injection soaks swap in a
+    /// [`dbaugur::FaultyVfs`].
+    vfs: DynVfs,
 }
 
 impl ShardedDurable {
@@ -90,17 +134,35 @@ impl ShardedDurable {
     /// [`RecoveryReport`] and durability counters) without touching any
     /// sibling.
     pub fn open(root: &Path, cfg: DbAugurConfig) -> Result<Self, SnapshotError> {
+        Self::open_with_vfs(&real_vfs(), root, cfg)
+    }
+
+    /// [`open`](Self::open) against an arbitrary vfs: every shard
+    /// lineage (WAL, snapshots) and every migration marker flows through
+    /// `vfs`, so a soak can run the whole sharded store in memory with
+    /// seeded disk faults injected mid-spill and mid-migration.
+    pub fn open_with_vfs(
+        vfs: &DynVfs,
+        root: &Path,
+        cfg: DbAugurConfig,
+    ) -> Result<Self, SnapshotError> {
         assert!(cfg.shards > 0, "shard count must be positive");
-        std::fs::create_dir_all(root)?;
+        vfs.create_dir_all(root)?;
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut reports = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
-            let (shard, report) = DurableDbAugur::open(&shard_dir(root, i), cfg.clone())?;
+            let (shard, report) =
+                DurableDbAugur::open_with_vfs(vfs, &shard_dir(root, i), cfg.clone())?;
             shards.push(shard);
             reports.push(report);
         }
-        let mut this =
-            Self { root: root.to_path_buf(), shards, reports, overrides: HashMap::new() };
+        let mut this = Self {
+            root: root.to_path_buf(),
+            shards,
+            reports,
+            overrides: HashMap::new(),
+            vfs: std::sync::Arc::clone(vfs),
+        };
         this.resume_migrations()?;
         this.rebuild_overrides();
         Ok(this)
@@ -128,8 +190,13 @@ impl ShardedDurable {
             shards.push(shard);
             reports.push(report);
         }
-        let mut this =
-            Self { root: root.to_path_buf(), shards, reports, overrides: HashMap::new() };
+        let mut this = Self {
+            root: root.to_path_buf(),
+            shards,
+            reports,
+            overrides: HashMap::new(),
+            vfs: real_vfs(),
+        };
         this.resume_migrations()?;
         this.rebuild_overrides();
         Ok(this)
@@ -212,9 +279,54 @@ impl ShardedDurable {
             .collect()
     }
 
+    /// [`migrate`](Self::migrate) with the destination's health gate: a
+    /// destination whose breaker is open (quarantined) or that is still
+    /// in recovery probation is refused with a typed
+    /// [`MigrateError::DestinationUnavailable`] before any byte moves.
+    /// This is the everyday entry point when health is tracked; the
+    /// ungated [`migrate`](Self::migrate) remains for recovery tooling
+    /// that operates on a store with no live supervisor.
+    pub fn migrate_gated(
+        &mut self,
+        from: usize,
+        to: usize,
+        dest: &ShardHealth,
+    ) -> Result<MigrationReport, MigrateError> {
+        check_destination(to, dest)?;
+        self.migrate(from, to).map_err(MigrateError::Io)
+    }
+
+    /// Health-gated partial migration: move only the source's coldest
+    /// histories, keeping roughly `keep_bytes` of the hot set resident
+    /// on the donor. This is the auto-rebalance primitive — a heat
+    /// imbalance is corrected by shedding cold weight, not by draining
+    /// the donor wholesale (which would just invert the imbalance).
+    pub fn migrate_partial_gated(
+        &mut self,
+        from: usize,
+        to: usize,
+        keep_bytes: usize,
+        dest: &ShardHealth,
+    ) -> Result<MigrationReport, MigrateError> {
+        check_destination(to, dest)?;
+        let began = self.begin_migration_partial(from, to, keep_bytes)?;
+        if !began {
+            return Ok(MigrationReport { from, to, templates: 0, observations: 0 });
+        }
+        let completed = self.resume_migrations().map_err(snapshot_to_io)?;
+        completed
+            .into_iter()
+            .find(|r| r.from == from && r.to == to)
+            .ok_or_else(|| {
+                MigrateError::Io(io::Error::other("migration marker vanished before commit"))
+            })
+    }
+
     /// Move every template history from shard `from` to shard `to`,
     /// crash-safely: prepare (marker) then commit (resume). The usual
     /// caller quarantines `from` first so no new writes race the drain.
+    /// Ungated: see [`migrate_gated`](Self::migrate_gated) for the
+    /// health-checked variant.
     pub fn migrate(&mut self, from: usize, to: usize) -> io::Result<MigrationReport> {
         let began = self.begin_migration(from, to)?;
         if !began {
@@ -233,6 +345,18 @@ impl ShardedDurable {
     /// memory). Split out so crash tests can stop between the phases;
     /// [`migrate`](Self::migrate) is the everyday entry point.
     pub fn begin_migration(&mut self, from: usize, to: usize) -> io::Result<bool> {
+        self.begin_migration_partial(from, to, 0)
+    }
+
+    /// Phase 1 of a partial migration: spill only the source's coldest
+    /// histories (down to roughly `keep_bytes` resident) into the
+    /// marker. `keep_bytes == 0` degenerates to a full migration.
+    pub fn begin_migration_partial(
+        &mut self,
+        from: usize,
+        to: usize,
+        keep_bytes: usize,
+    ) -> io::Result<bool> {
         let n = self.shards.len();
         if from >= n || to >= n || from == to {
             return Err(io::Error::new(
@@ -241,7 +365,7 @@ impl ShardedDurable {
             ));
         }
         let src = self.shards[from].system_mut();
-        let spill = match src.evict_cold_templates(0).spill {
+        let spill = match src.evict_cold_templates(keep_bytes).spill {
             Some(spill) => {
                 // Non-destructive read: put the histories straight back.
                 src.restore_template_spill(&spill).map_err(wire_to_io)?;
@@ -263,7 +387,7 @@ impl ShardedDurable {
         let mut bytes = w.into_bytes();
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
-        atomic_write(&marker_path(&self.root, from, to), &bytes)?;
+        self.vfs.write_atomic(&marker_path(&self.root, from, to), &bytes)?;
         Ok(true)
     }
 
@@ -274,9 +398,10 @@ impl ShardedDurable {
     /// fails its CRC is removed untouched: the prepare never finished,
     /// so the source still owns every observation and nothing is lost.
     pub fn resume_migrations(&mut self) -> Result<Vec<MigrationReport>, SnapshotError> {
-        let mut markers: Vec<PathBuf> = std::fs::read_dir(&self.root)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
+        let mut markers: Vec<PathBuf> = self
+            .vfs
+            .list_dir(&self.root)?
+            .into_iter()
             .filter(|p| {
                 p.extension().is_some_and(|x| x == "dbmg")
                     && p.file_name()
@@ -287,18 +412,18 @@ impl ShardedDurable {
         markers.sort();
         let mut completed = Vec::new();
         for path in markers {
-            let bytes = std::fs::read(&path)?;
+            let bytes = self.vfs.read(&path)?;
             match parse_marker(&bytes, self.shards.len()) {
                 Some(marker) => {
                     let report = self.commit_migration(&marker)?;
-                    let _ = std::fs::remove_file(done_path(&self.root, marker.from, marker.to));
-                    std::fs::remove_file(&path)?;
+                    let _ = self.vfs.remove_file(&done_path(&self.root, marker.from, marker.to));
+                    self.vfs.remove_file(&path)?;
                     completed.push(report);
                 }
                 None => {
                     // Torn or corrupt prepare: the migration never
                     // happened; the source still owns its histories.
-                    std::fs::remove_file(&path)?;
+                    self.vfs.remove_file(&path)?;
                 }
             }
         }
@@ -315,7 +440,7 @@ impl ShardedDurable {
         let templates = entries.len();
         let observations: u64 = entries.iter().map(|(_, obs)| obs.len() as u64).sum();
         let done = done_path(&self.root, marker.from, marker.to);
-        if !done.exists() {
+        if !self.vfs.exists(&done) {
             let dest = self.shards[marker.to].system_mut();
             let already_imported = entries.iter().all(|(id, obs)| {
                 dest.registry()
@@ -333,12 +458,16 @@ impl ShardedDurable {
             // One checkpoint makes the whole import durable atomically
             // (snapshot rename); only then does the fence go down.
             self.shards[marker.to].checkpoint()?;
-            atomic_write(&done, b"DBMG-DONE")?;
+            self.vfs.write_atomic(&done, b"DBMG-DONE")?;
         }
         // Past the fence the destination durably owns the histories:
         // dropping them from the source is now safe (and idempotent).
+        // The drain is surgical — only the migrated entries go — so a
+        // partial migration leaves the donor's hot set untouched.
         let src = self.shards[marker.from].system_mut();
-        let _ = src.evict_cold_templates(0);
+        for (id, _) in &entries {
+            src.drop_template_history(TemplateId(*id as u32));
+        }
         self.shards[marker.from].checkpoint()?;
         for (id, _) in &entries {
             let canonical = &marker.roster[*id];
@@ -368,6 +497,18 @@ impl ShardedDurable {
             }
         }
     }
+}
+
+/// The destination gate: a shard whose breaker is open or whose
+/// lifecycle is Quarantined/Recovering must never absorb a migration.
+fn check_destination(to: usize, dest: &ShardHealth) -> Result<(), MigrateError> {
+    let state = dest.state();
+    if dest.breaker() == BreakerState::Open
+        || matches!(state, ShardState::Quarantined | ShardState::Recovering)
+    {
+        return Err(MigrateError::DestinationUnavailable { to, state });
+    }
+    Ok(())
 }
 
 fn shard_dir(root: &Path, i: usize) -> PathBuf {
@@ -601,6 +742,117 @@ mod tests {
         let tid = sys.shard(0).system().registry().lookup(&a).expect("source keeps data");
         assert_eq!(sys.shard(0).system().registry().count(tid), 5);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn migration_refuses_unhealthy_destination() {
+        use crate::health::HealthPolicy;
+        let root = tmpdir("gate");
+        let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+        let a = template_on(0, 2);
+        for ts in 0..6 {
+            sys.ingest_record(ts, &a).expect("ingest");
+        }
+        let mut dest = ShardHealth::new(HealthPolicy::default());
+        dest.force_quarantine();
+        // Quarantined destination (breaker open): refused, typed, no bytes moved.
+        let err = sys.migrate_gated(0, 1, &dest).expect_err("quarantined dest refused");
+        assert!(matches!(
+            err,
+            MigrateError::DestinationUnavailable { to: 1, state: ShardState::Quarantined }
+        ));
+        assert_eq!(sys.route(&a), 0, "nothing migrated");
+        assert!(!marker_path(&root, 0, 1).exists(), "no marker written");
+        // Walk into Recovering (half-open probation): still refused.
+        for _ in 0..3 {
+            dest.on_tick();
+        }
+        assert_eq!(dest.state(), ShardState::Recovering);
+        let err = sys.migrate_gated(0, 1, &dest).expect_err("recovering dest refused");
+        assert!(matches!(
+            err,
+            MigrateError::DestinationUnavailable { to: 1, state: ShardState::Recovering }
+        ));
+        // Healthy again: the same migration goes through.
+        for _ in 0..2 {
+            dest.on_tick();
+            dest.record_success();
+        }
+        assert_eq!(dest.state(), ShardState::Healthy);
+        let report = sys.migrate_gated(0, 1, &dest).expect("healthy dest accepted");
+        assert_eq!(report.observations, 6);
+        assert_eq!(sys.route(&a), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn partial_migration_moves_only_the_cold_tail() {
+        use crate::health::HealthPolicy;
+        let root = tmpdir("partial");
+        let mut sys = ShardedDurable::open(&root, cfg(2)).expect("open");
+        // Two templates on shard 0: one hot (many recent observations),
+        // one cold (few, old).
+        let mut hot = None;
+        let mut cold = None;
+        for i in 0..4096 {
+            let sql = format!("SELECT c{i} FROM t{i} WHERE k = {i}");
+            if shard_of(&canonicalize(&sql), 2) == 0 {
+                if hot.is_none() {
+                    hot = Some(sql);
+                } else if cold.is_none() {
+                    cold = Some(sql);
+                    break;
+                }
+            }
+        }
+        let (hot, cold) = (hot.unwrap(), cold.unwrap());
+        for ts in 0..4 {
+            sys.ingest_record(ts, &cold).expect("ingest cold");
+        }
+        for ts in 100..140 {
+            sys.ingest_record(ts, &hot).expect("ingest hot");
+        }
+        // Keep enough bytes that the hot history stays: evict_cold goes
+        // coldest-first, so only the cold tail lands in the marker.
+        let resident = sys.shard(0).system().registry().approx_bytes();
+        let keep = resident - 8 * 4; // just the cold observations leave
+        let dest = ShardHealth::new(HealthPolicy::default());
+        let report = sys.migrate_partial_gated(0, 1, keep, &dest).expect("partial migrate");
+        assert_eq!(report.observations, 4, "only the cold history moved");
+        assert_eq!(sys.route(&cold), 1, "cold template routes to the receiver");
+        assert_eq!(sys.route(&hot), 0, "hot template stays on the donor");
+        let hot_tid = sys.shard(0).system().registry().lookup(&hot).expect("hot stays");
+        assert_eq!(sys.shard(0).system().registry().count(hot_tid), 40, "hot history intact");
+        let cold_tid = sys.shard(1).system().registry().lookup(&cold).expect("cold imported");
+        assert_eq!(sys.shard(1).system().registry().count(cold_tid), 4);
+        // Survives reopen: overrides rebuilt from placement.
+        drop(sys);
+        let sys = ShardedDurable::open(&root, cfg(2)).expect("reopen");
+        assert_eq!(sys.route(&cold), 1);
+        assert_eq!(sys.route(&hot), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sharded_store_runs_entirely_on_a_mem_vfs() {
+        use dbaugur::MemVfs;
+        let vfs: dbaugur::DynVfs = std::sync::Arc::new(MemVfs::new());
+        let root = PathBuf::from("/mem/sharded");
+        let (a, b) = (template_on(0, 2), template_on(1, 2));
+        {
+            let mut sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("open");
+            for ts in 0..10 {
+                sys.ingest_record(ts, &a).expect("ingest");
+                sys.ingest_record(ts, &b).expect("ingest");
+            }
+            sys.migrate(0, 1).expect("migrate in memory");
+        }
+        // Reopen over the same in-memory tree: state and overrides hold.
+        let sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("reopen");
+        assert_eq!(sys.route(&a), 1, "migration survived the in-memory reopen");
+        let tid = sys.shard(1).system().registry().lookup(&a).expect("imported");
+        assert_eq!(sys.shard(1).system().registry().count(tid), 10);
+        assert!(std::fs::metadata(&root).is_err(), "nothing touched the real filesystem");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Per-shard heat accounting and the hysteresis-guarded auto-rebalance
+//! policy that turns sustained heat imbalance into migration plans.
+//!
+//! Heat blends two signals per shard: an EWMA of its observation
+//! arrival rate (where growth is happening *now*) and its resident
+//! bytes (where weight has already accumulated). The rebalance policy
+//! watches the fleet's max/mean heat ratio and, only when the imbalance
+//! both exceeds a threshold and *sustains* for several consecutive
+//! ticks, proposes one donor→receiver migration. Hysteresis is
+//! everywhere by design: a sustain window before acting, a cooldown
+//! after every migration, and at most one in-flight migration per
+//! (donor, receiver) pair — an auto-balancer that flaps moves more
+//! bytes than it saves. Destination eligibility is the caller's
+//! breaker/health view, so a Quarantined or Recovering shard is never
+//! picked as a receiver.
+
+use std::collections::HashSet;
+
+/// Heat blending tunables.
+#[derive(Debug, Clone)]
+pub struct HeatConfig {
+    /// EWMA smoothing for the arrival-rate term, in `(0, 1]`.
+    pub alpha: f64,
+    /// Bytes-equivalent weight of one observation/tick of arrival rate
+    /// (an observation itself is 8 resident bytes; weighting the rate
+    /// term above that makes heat lead residency, not lag it).
+    pub rate_weight: f64,
+}
+
+impl Default for HeatConfig {
+    fn default() -> Self {
+        Self { alpha: 0.3, rate_weight: 64.0 }
+    }
+}
+
+/// Per-shard heat state.
+#[derive(Debug)]
+pub struct HeatTracker {
+    cfg: HeatConfig,
+    rate: Vec<f64>,
+    resident: Vec<usize>,
+}
+
+impl HeatTracker {
+    /// A cold tracker over `shards` shards.
+    pub fn new(shards: usize, cfg: HeatConfig) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { cfg, rate: vec![0.0; shards], resident: vec![0; shards] }
+    }
+
+    /// Fold one tick's signals for `shard`: observations ingested this
+    /// tick and resident bytes at tick end.
+    pub fn observe(&mut self, shard: usize, ingested_delta: u64, resident_bytes: usize) {
+        let a = self.cfg.alpha;
+        self.rate[shard] = (1.0 - a) * self.rate[shard] + a * ingested_delta as f64;
+        self.resident[shard] = resident_bytes;
+    }
+
+    /// One shard's blended heat score.
+    pub fn heat(&self, shard: usize) -> f64 {
+        self.rate[shard] * self.cfg.rate_weight + self.resident[shard] as f64
+    }
+
+    /// Every shard's heat, in shard order.
+    pub fn heats(&self) -> Vec<f64> {
+        (0..self.rate.len()).map(|i| self.heat(i)).collect()
+    }
+
+    /// Fleet imbalance: max heat over mean heat (1.0 = perfectly even).
+    pub fn max_mean_ratio(&self) -> f64 {
+        let heats = self.heats();
+        let mean = heats.iter().sum::<f64>() / heats.len() as f64;
+        if mean <= f64::EPSILON {
+            return 1.0;
+        }
+        heats.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+/// Rebalance policy tunables.
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// Max/mean heat ratio that counts as imbalanced (> 1.0).
+    pub imbalance_ratio: f64,
+    /// Consecutive imbalanced ticks before a migration is proposed.
+    pub sustain_ticks: u32,
+    /// Ticks after a completed migration during which no new one is
+    /// proposed (lets the heat EWMAs catch up with the move).
+    pub cooldown_ticks: u32,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self { imbalance_ratio: 1.5, sustain_ticks: 3, cooldown_ticks: 5 }
+    }
+}
+
+impl RebalanceConfig {
+    /// Validate threshold sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.imbalance_ratio <= 1.0 {
+            return Err("rebalance: imbalance_ratio must exceed 1.0".into());
+        }
+        if self.sustain_ticks == 0 {
+            return Err("rebalance: sustain_ticks must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One proposed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// The hottest shard: sheds its cold tail.
+    pub donor: usize,
+    /// The coolest eligible shard: absorbs it.
+    pub receiver: usize,
+}
+
+/// Rebalance decision counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceStats {
+    /// Migrations proposed.
+    pub proposals: u64,
+    /// Ticks imbalance was seen but hysteresis (sustain window or
+    /// cooldown) held the trigger.
+    pub suppressed_hysteresis: u64,
+    /// Proposals abandoned because no eligible receiver existed.
+    pub suppressed_ineligible: u64,
+    /// Proposals abandoned because the pair already had a migration in
+    /// flight.
+    pub suppressed_in_flight: u64,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct RebalancePolicy {
+    cfg: RebalanceConfig,
+    sustained: u32,
+    cooldown: u32,
+    in_flight: HashSet<(usize, usize)>,
+    stats: RebalanceStats,
+}
+
+impl RebalancePolicy {
+    /// A quiescent policy.
+    ///
+    /// # Panics
+    /// Panics if the config does not validate.
+    pub fn new(cfg: RebalanceConfig) -> Self {
+        cfg.validate().expect("valid rebalance config");
+        Self { cfg, sustained: 0, cooldown: 0, in_flight: HashSet::new(), stats: RebalanceStats::default() }
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> &RebalanceStats {
+        &self.stats
+    }
+
+    /// Migrations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// One tick of the policy: feed the fleet's heats and each shard's
+    /// destination eligibility (breaker closed, not quarantined or
+    /// recovering); get back at most one migration plan. The caller
+    /// must follow a returned plan with [`migration_started`] (and
+    /// eventually [`migration_finished`]) or the pair will be
+    /// re-proposed next tick.
+    ///
+    /// [`migration_started`]: RebalancePolicy::migration_started
+    /// [`migration_finished`]: RebalancePolicy::migration_finished
+    pub fn on_tick(&mut self, heats: &[f64], eligible_receiver: &[bool]) -> Option<RebalancePlan> {
+        assert_eq!(heats.len(), eligible_receiver.len(), "eligibility must cover every shard");
+        let cooling = self.cooldown > 0;
+        if cooling {
+            self.cooldown -= 1;
+        }
+        let mean = heats.iter().sum::<f64>() / heats.len() as f64;
+        let max = heats.iter().cloned().fold(0.0, f64::max);
+        if mean <= f64::EPSILON || max / mean < self.cfg.imbalance_ratio {
+            self.sustained = 0;
+            return None;
+        }
+        self.sustained += 1;
+        if self.sustained < self.cfg.sustain_ticks || cooling {
+            self.stats.suppressed_hysteresis += 1;
+            return None;
+        }
+        let donor = heats
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)?;
+        let receiver = heats
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != donor && eligible_receiver[*i])
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i);
+        let Some(receiver) = receiver else {
+            self.stats.suppressed_ineligible += 1;
+            return None;
+        };
+        if self.in_flight.contains(&(donor, receiver)) {
+            self.stats.suppressed_in_flight += 1;
+            return None;
+        }
+        self.stats.proposals += 1;
+        Some(RebalancePlan { donor, receiver })
+    }
+
+    /// Register a plan as started: the (donor, receiver) pair is locked
+    /// against duplicate proposals until finished.
+    pub fn migration_started(&mut self, donor: usize, receiver: usize) {
+        self.in_flight.insert((donor, receiver));
+    }
+
+    /// Register a migration as finished (committed or abandoned):
+    /// unlocks the pair and starts the cooldown.
+    pub fn migration_finished(&mut self, donor: usize, receiver: usize) {
+        self.in_flight.remove(&(donor, receiver));
+        self.cooldown = self.cfg.cooldown_ticks;
+        self.sustained = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_fleet() -> Vec<f64> {
+        vec![1000.0, 100.0, 100.0, 100.0]
+    }
+
+    #[test]
+    fn heat_blends_rate_and_bytes_and_decays() {
+        let mut t = HeatTracker::new(2, HeatConfig::default());
+        for _ in 0..10 {
+            t.observe(0, 100, 8_000);
+            t.observe(1, 0, 8_000);
+        }
+        assert!(t.heat(0) > t.heat(1), "rate term separates equal-byte shards");
+        assert!(t.max_mean_ratio() > 1.0);
+        // The hot shard goes quiet: its heat decays toward bytes-only.
+        for _ in 0..30 {
+            t.observe(0, 0, 8_000);
+            t.observe(1, 0, 8_000);
+        }
+        assert!((t.heat(0) - t.heat(1)).abs() < 100.0, "EWMA decays old heat");
+        assert!(t.max_mean_ratio() < 1.01);
+    }
+
+    #[test]
+    fn sustain_window_gates_the_trigger() {
+        let mut p = RebalancePolicy::new(RebalanceConfig::default());
+        let eligible = vec![true; 4];
+        assert_eq!(p.on_tick(&hot_fleet(), &eligible), None, "tick 1 suppressed");
+        assert_eq!(p.on_tick(&hot_fleet(), &eligible), None, "tick 2 suppressed");
+        let plan = p.on_tick(&hot_fleet(), &eligible).expect("tick 3 fires");
+        assert_eq!(plan.donor, 0, "hottest donates");
+        assert_ne!(plan.receiver, 0);
+        assert_eq!(p.stats().suppressed_hysteresis, 2);
+        // A balanced interlude resets the sustain counter.
+        let mut p = RebalancePolicy::new(RebalanceConfig::default());
+        p.on_tick(&hot_fleet(), &eligible);
+        p.on_tick(&hot_fleet(), &eligible);
+        p.on_tick(&[100.0; 4], &eligible);
+        assert_eq!(p.on_tick(&hot_fleet(), &eligible), None, "streak restarted");
+    }
+
+    #[test]
+    fn cooldown_suppresses_after_a_migration() {
+        let cfg = RebalanceConfig { sustain_ticks: 1, cooldown_ticks: 3, ..Default::default() };
+        let mut p = RebalancePolicy::new(cfg);
+        let eligible = vec![true; 4];
+        let plan = p.on_tick(&hot_fleet(), &eligible).expect("fires immediately");
+        p.migration_started(plan.donor, plan.receiver);
+        assert_eq!(p.on_tick(&hot_fleet(), &eligible), None, "pair in flight");
+        assert_eq!(p.stats().suppressed_in_flight, 1);
+        p.migration_finished(plan.donor, plan.receiver);
+        for i in 0..3 {
+            assert_eq!(p.on_tick(&hot_fleet(), &eligible), None, "cooldown tick {i}");
+        }
+        assert!(p.on_tick(&hot_fleet(), &eligible).is_some(), "cooldown expired");
+    }
+
+    #[test]
+    fn unhealthy_shards_are_never_receivers() {
+        let cfg = RebalanceConfig { sustain_ticks: 1, ..Default::default() };
+        let mut p = RebalancePolicy::new(cfg);
+        // The coolest shard (3) is ineligible: next coolest is picked.
+        let heats = vec![1000.0, 300.0, 200.0, 100.0];
+        let plan = p.on_tick(&heats, &[true, true, true, false]).expect("plan");
+        assert_eq!(plan, RebalancePlan { donor: 0, receiver: 2 });
+        // No eligible receiver at all: no plan, counted.
+        let mut p = RebalancePolicy::new(RebalanceConfig { sustain_ticks: 1, ..Default::default() });
+        assert_eq!(p.on_tick(&heats, &[true, false, false, false]), None);
+        assert_eq!(p.stats().suppressed_ineligible, 1);
+    }
+}

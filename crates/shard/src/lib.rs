@@ -27,14 +27,22 @@
 //!   digests match the fault-free run exactly and the victim recovers
 //!   within a bounded number of ticks.
 
+pub mod arbiter;
 pub mod durable;
 pub mod health;
+pub mod heat;
+pub mod pressure;
 pub mod route;
 pub mod soak;
 pub mod supervisor;
 
-pub use durable::{MigrationReport, ShardedDurable};
+pub use arbiter::{ArbiterConfig, ArbiterStats, BudgetArbiter, Escalation, ShardDemand};
+pub use durable::{MigrateError, MigrationReport, ShardedDurable};
 pub use health::{BreakerState, HealthPolicy, ShardHealth, ShardState};
+pub use heat::{
+    HeatConfig, HeatTracker, RebalanceConfig, RebalancePlan, RebalancePolicy, RebalanceStats,
+};
+pub use pressure::{run_pressure_soak, PressureSoakConfig, PressureSoakReport};
 pub use route::{shard_of, TenantQuotas};
 pub use soak::{
     run_shard_soak, KillKind, OutageWindow, ShardSoakConfig, ShardSoakReport,

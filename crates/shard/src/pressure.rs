@@ -1,0 +1,714 @@
+//! The global memory-pressure soak: the proof harness for the
+//! cross-shard budget arbiter, the heat-driven auto-rebalancer, and the
+//! injectable storage-fault layer, all running together.
+//!
+//! The soak drives a full [`ShardedDurable`] store on an in-memory
+//! [`FaultyVfs`] — every WAL append, snapshot, spill file, and
+//! migration marker flows through the fault switch — with a seeded,
+//! skewed workload (a hot template set homed on one shard over a long
+//! uniform cold tail). Each tick it runs the same control loop a
+//! production supervisor would:
+//!
+//! 1. **Intake** with the graded front door: memory-pressure shed
+//!    first (typed, no token burned), then the per-shard breaker, then
+//!    the durable ingest whose I/O failures are themselves typed sheds;
+//! 2. **Regrant** via the [`BudgetArbiter`], then **enforce** the
+//!    grants by evicting each shard's cold observation histories down
+//!    to its grant and persisting the spill blob through the vfs —
+//!    a spill write that hits an injected ENOSPC keeps the blob pending
+//!    in a bounded buffer and retries next tick, so acknowledged
+//!    observations are never lost to a full disk;
+//! 3. **Escalate** on sustained exhaustion: shed rung (stop intake),
+//!    then quarantine rung (worst offender leaves rotation);
+//! 4. **Rebalance**: feed the [`HeatTracker`] into the hysteresis-
+//!    guarded [`RebalancePolicy`] and drive a health-gated partial
+//!    migration for each accepted plan. Faults armed mid-migration
+//!    leave a durable marker that [`ShardedDurable::resume_migrations`]
+//!    completes on a later tick — crash-equivalent recovery, in-process.
+//!
+//! The pass criteria are hard: the post-enforcement global resident
+//! total must never exceed the budget ([`ArbiterStats::ceiling_breaches`]
+//! `== 0` when the budget clears the unevictable template-string
+//! floor), intake books must reconcile per shard *and* globally
+//! (`offered == acked + shed`), and no acknowledged observation may be
+//! lost — every acked record is resident, in a spill file, in a pending
+//! spill buffer, or a sanctioned cap drop.
+
+use crate::arbiter::{ArbiterConfig, ArbiterStats, BudgetArbiter, Escalation, ShardDemand};
+use crate::durable::{MigrateError, ShardedDurable};
+use crate::health::{BreakerState, HealthPolicy, ShardHealth, ShardState};
+use crate::heat::{HeatConfig, HeatTracker, RebalanceConfig, RebalancePolicy, RebalanceStats};
+use dbaugur::{
+    DbAugurConfig, DurabilityCounters, DynVfs, FaultKind, FaultSwitch, FaultyVfs, MemVfs,
+};
+use dbaugur_sqlproc::TemplateId;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Pressure-soak tunables. Everything is seeded and tick-driven, so a
+/// run is exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct PressureSoakConfig {
+    /// Shard fault domains.
+    pub shards: usize,
+    /// Soak length in ticks.
+    pub ticks: u64,
+    /// Distinct templates in the corpus (the cold tail is uniform over
+    /// all of them).
+    pub templates: usize,
+    /// Observations offered per tick.
+    pub ingest_per_tick: usize,
+    /// Size of the hot template set, all homed on shard 0 so the heat
+    /// skew is real and migratable.
+    pub hot_templates: usize,
+    /// Per-mille of traffic aimed at the hot set (e.g. `800` = 80%).
+    pub hot_permille: u32,
+    /// The global hard ceiling on resident registry bytes.
+    pub global_budget_bytes: usize,
+    /// Per-shard grant floor (must clear each shard's template-string
+    /// floor or the ceiling is unsatisfiable and breaches are honest).
+    pub min_grant_bytes: usize,
+    /// Over-budget ticks before the shed rung engages.
+    pub shed_after: u32,
+    /// Over-budget ticks before the quarantine rung fires.
+    pub quarantine_after: u32,
+    /// Auto-rebalance policy; `None` disables rebalancing (the control
+    /// arm of the heat-reduction comparison).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Ticks at which an ENOSPC burst arms at the *front door* (next
+    /// `burst_ops` write-class vfs operations fail with `errno 28` —
+    /// these land on WAL appends during intake).
+    pub enospc_ticks: Vec<u64>,
+    /// Ticks at which an EIO burst arms at the front door.
+    pub eio_ticks: Vec<u64>,
+    /// Ticks at which an ENOSPC burst arms *between intake and grant
+    /// enforcement*, so the fault lands mid-spill: the eviction has
+    /// already freed the registry bytes and the blob's durable write is
+    /// what gets bounced.
+    pub spill_fault_ticks: Vec<u64>,
+    /// Operations per armed burst.
+    pub burst_ops: u32,
+    /// Arm an ENOSPC burst of this many ops immediately before every
+    /// second accepted migration (`0` = no mid-migration faults).
+    pub migration_fault_ops: u32,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PressureSoakConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            ticks: 40,
+            templates: 100_000,
+            ingest_per_tick: 20_000,
+            hot_templates: 64,
+            hot_permille: 800,
+            global_budget_bytes: 48 << 20,
+            min_grant_bytes: 3 << 20,
+            shed_after: 2,
+            quarantine_after: 1_000,
+            rebalance: Some(RebalanceConfig::default()),
+            enospc_ticks: vec![10, 24],
+            eio_ticks: vec![17],
+            spill_fault_ticks: vec![13, 27],
+            burst_ops: 4,
+            migration_fault_ops: 2,
+            seed: 0x9E37,
+        }
+    }
+}
+
+impl PressureSoakConfig {
+    /// Validate shape invariants the driver relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards < 2 {
+            return Err("pressure soak: need at least 2 shards".into());
+        }
+        if self.ticks == 0 || self.templates == 0 || self.ingest_per_tick == 0 {
+            return Err("pressure soak: ticks, templates, ingest_per_tick must be positive".into());
+        }
+        if self.hot_templates == 0 || self.hot_permille > 1_000 {
+            return Err("pressure soak: hot set must be non-empty, permille <= 1000".into());
+        }
+        ArbiterConfig {
+            global_budget_bytes: self.global_budget_bytes,
+            min_grant_bytes: self.min_grant_bytes,
+            alpha: 0.3,
+            shed_after: self.shed_after,
+            quarantine_after: self.quarantine_after,
+        }
+        .validate(self.shards)?;
+        if let Some(r) = &self.rebalance {
+            r.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// What a pressure soak run proved (or failed to).
+#[derive(Debug, Clone)]
+pub struct PressureSoakReport {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Shards driven.
+    pub shards: usize,
+    /// Distinct templates in the corpus.
+    pub distinct_templates: usize,
+    /// Observations offered at the front door.
+    pub offered: u64,
+    /// Observations durably acknowledged (WAL-appended).
+    pub acked: u64,
+    /// Intake refused by the memory-pressure shed rung.
+    pub shed_pressure: u64,
+    /// Intake refused by an open per-shard breaker (quarantine).
+    pub shed_breaker: u64,
+    /// Intake that failed in durable I/O after retries (typed shed:
+    /// the record was never acknowledged).
+    pub shed_io: u64,
+    /// Per-shard offered counts, in shard order.
+    pub per_shard_offered: Vec<u64>,
+    /// Per-shard acked counts.
+    pub per_shard_acked: Vec<u64>,
+    /// Per-shard total shed counts (all three reasons).
+    pub per_shard_shed: Vec<u64>,
+    /// `offered == acked + shed` held per shard and globally.
+    pub books_ok: bool,
+    /// Largest post-enforcement resident total seen (bytes).
+    pub resident_peak: u64,
+    /// Ticks the post-enforcement total exceeded the hard ceiling.
+    pub ceiling_breaches: u64,
+    /// Observations moved to spill files by grant enforcement.
+    pub spilled_observations: u64,
+    /// Spill files written.
+    pub spill_files: u64,
+    /// Spill writes that failed on an injected fault and were held
+    /// pending (each is a retry that eventually landed or is counted in
+    /// `pending_spills_final`).
+    pub spill_write_failures: u64,
+    /// Spill blobs still pending at soak end (gate: 0 — the settle
+    /// phase must drain them once faults clear).
+    pub pending_spills_final: usize,
+    /// Observations dropped by the per-template ring cap (sanctioned).
+    pub dropped_by_cap: u64,
+    /// Observations resident across every shard registry at soak end.
+    pub resident_observations: u64,
+    /// Acked observations unaccounted for at soak end (gate: 0).
+    pub lost_observations: u64,
+    /// Auto-rebalance migrations that committed.
+    pub migrations_completed: u64,
+    /// Migrations that failed mid-flight on an injected fault (their
+    /// markers were resumed to completion on later ticks).
+    pub migrations_failed: u64,
+    /// Migrations refused by the destination health gate.
+    pub migrations_refused: u64,
+    /// Observations moved by completed migrations.
+    pub migration_observations: u64,
+    /// Shards quarantined by the pressure ladder's final rung.
+    pub quarantines: u64,
+    /// Supervised recoveries completed.
+    pub recoveries: u64,
+    /// ENOSPC faults injected.
+    pub enospc_injected: u64,
+    /// EIO faults injected.
+    pub eio_injected: u64,
+    /// All faults injected across kinds.
+    pub faults_injected: u64,
+    /// Mean max/mean heat ratio over the final quarter of the run (the
+    /// rebalance-effect metric: lower is flatter).
+    pub heat_ratio_tail: f64,
+    /// Arbiter counters at soak end.
+    pub arbiter: ArbiterStats,
+    /// Rebalance counters (when rebalancing was enabled).
+    pub rebalance: Option<RebalanceStats>,
+    /// Durability counters summed across shards (retries, salvages).
+    pub durability: DurabilityCounters,
+}
+
+/// Deterministic splitmix64 stream for workload draws.
+struct Draw(u64);
+
+impl Draw {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A spill blob whose durable write failed; retried each tick until the
+/// vfs accepts it.
+struct PendingSpill {
+    path: PathBuf,
+    blob: Vec<u8>,
+    observations: u64,
+    bytes_freed: u64,
+}
+
+/// Run the pressure soak. Deterministic for a given config; never
+/// touches the real filesystem.
+///
+/// # Panics
+/// Panics if the config does not validate.
+pub fn run_pressure_soak(cfg: &PressureSoakConfig) -> PressureSoakReport {
+    cfg.validate().expect("valid pressure soak config");
+    let mem = MemVfs::new();
+    let switch = FaultSwitch::new();
+    switch.set_stall_micros(0);
+    let vfs: DynVfs = Arc::new(FaultyVfs::new(Arc::new(mem), Arc::clone(&switch)));
+    let mut db_cfg = DbAugurConfig::default();
+    db_cfg.shards = cfg.shards;
+    let root = PathBuf::from("/pressure/soak");
+    let mut store =
+        ShardedDurable::open_with_vfs(&vfs, &root, db_cfg).expect("open sharded store on mem vfs");
+
+    let mut arbiter = BudgetArbiter::new(
+        ArbiterConfig {
+            global_budget_bytes: cfg.global_budget_bytes,
+            min_grant_bytes: cfg.min_grant_bytes,
+            alpha: 0.3,
+            shed_after: cfg.shed_after,
+            quarantine_after: cfg.quarantine_after,
+        },
+        cfg.shards,
+    );
+    let mut heat = HeatTracker::new(cfg.shards, HeatConfig::default());
+    let mut policy = cfg.rebalance.clone().map(RebalancePolicy::new);
+    let mut health: Vec<ShardHealth> =
+        (0..cfg.shards).map(|_| ShardHealth::new(HealthPolicy::default())).collect();
+
+    // The corpus: identifiers (not literals) carry the distinctness, so
+    // canonicalization keeps all `templates` templates distinct. The
+    // hot set is the first `hot_templates` indices homed on shard 0.
+    let templates: Vec<String> = (0..cfg.templates)
+        .map(|i| format!("SELECT col{i} FROM relation_{i} WHERE tenant_id = 7"))
+        .collect();
+    let hot: Vec<usize> = (0..cfg.templates)
+        .filter(|&i| crate::route::shard_of(&dbaugur_sqlproc::canonicalize(&templates[i]), cfg.shards) == 0)
+        .take(cfg.hot_templates)
+        .collect();
+    assert!(!hot.is_empty(), "corpus too small to populate the hot set");
+
+    let mut draw = Draw(cfg.seed);
+    let mut offered = vec![0u64; cfg.shards];
+    let mut acked = vec![0u64; cfg.shards];
+    let mut shed_pressure = vec![0u64; cfg.shards];
+    let mut shed_breaker = vec![0u64; cfg.shards];
+    let mut shed_io = vec![0u64; cfg.shards];
+    let mut pending: Vec<PendingSpill> = Vec::new();
+    let mut spill_seq = 0u64;
+    let mut spilled_observations = 0u64;
+    let mut spill_files = 0u64;
+    let mut spill_write_failures = 0u64;
+    let mut migrations_completed = 0u64;
+    let mut migrations_failed = 0u64;
+    let mut migrations_refused = 0u64;
+    let mut migration_observations = 0u64;
+    let mut migrations_accepted = 0u64;
+    let mut quarantines = 0u64;
+    let mut resident_peak = 0u64;
+    let mut heat_ratios: Vec<f64> = Vec::with_capacity(cfg.ticks as usize);
+    let mut books_ok = true;
+
+    for tick in 0..cfg.ticks {
+        if cfg.enospc_ticks.contains(&tick) {
+            switch.arm(FaultKind::Enospc, cfg.burst_ops);
+        }
+        if cfg.eio_ticks.contains(&tick) {
+            switch.arm(FaultKind::Eio, cfg.burst_ops);
+        }
+
+        // Retry spill blobs a faulted disk bounced on earlier ticks:
+        // the observations they hold are acked, so they may not drop.
+        pending.retain(|p| match vfs.write_atomic(&p.path, &p.blob) {
+            Ok(()) => {
+                spilled_observations += p.observations;
+                spill_files += 1;
+                arbiter.note_spilled(p.bytes_freed);
+                false
+            }
+            Err(_) => true,
+        });
+
+        // -- Intake through the graded front door. ---------------------
+        let mut ingested_this_tick = vec![0u64; cfg.shards];
+        let mut io_failed_this_tick = vec![false; cfg.shards];
+        for _ in 0..cfg.ingest_per_tick {
+            let i = if draw.below(1_000) < cfg.hot_permille as usize {
+                hot[draw.below(hot.len())]
+            } else {
+                draw.below(cfg.templates)
+            };
+            let sql = &templates[i];
+            let shard = store.route(sql);
+            offered[shard] += 1;
+            // The per-shard breaker is the more specific cause: a
+            // quarantined shard rejects its own traffic even while the
+            // global pressure shed is engaged, so attribution stays
+            // honest about *why* each record bounced.
+            if !health[shard].admits() {
+                shed_breaker[shard] += 1;
+                continue;
+            }
+            if arbiter.shedding() {
+                shed_pressure[shard] += 1;
+                continue;
+            }
+            match store.ingest_record(tick, sql) {
+                Ok(s) => {
+                    acked[s] += 1;
+                    ingested_this_tick[s] += 1;
+                }
+                Err(_) => {
+                    shed_io[shard] += 1;
+                    io_failed_this_tick[shard] = true;
+                    health[shard].record_soft_failure();
+                }
+            }
+        }
+
+        // -- Regrant, then enforce: evict to grant, persist the spill. --
+        let demands: Vec<ShardDemand> = (0..cfg.shards)
+            .map(|i| ShardDemand {
+                resident_bytes: store.shard(i).system().registry_bytes(),
+                ingested_delta: ingested_this_tick[i],
+            })
+            .collect();
+        if cfg.spill_fault_ticks.contains(&tick) {
+            switch.arm(FaultKind::Enospc, cfg.burst_ops);
+        }
+        let grants = arbiter.regrant(&demands).to_vec();
+        for (i, d) in demands.iter().enumerate() {
+            heat.observe(i, d.ingested_delta, d.resident_bytes);
+        }
+        let total: usize = demands.iter().map(|d| d.resident_bytes).sum();
+        let escalation = arbiter.note_pressure(total);
+
+        // Pass 1 evicts each shard down to its grant; if the total is
+        // still over (a shard's unevictable template-string floor can
+        // exceed its grant, e.g. after migrations duplicated roster
+        // entries onto a cold receiver), pass 2 evicts every remaining
+        // observation so the global ceiling holds at the true floor.
+        for target_grants in [Some(&grants), None] {
+            for i in 0..cfg.shards {
+                let target = target_grants.map_or(0, |g| g[i]);
+                let report = store.shard_mut(i).system_mut().evict_cold_templates(target);
+                let Some(blob) = report.spill else { continue };
+                arbiter.note_evicted(report.bytes_freed as u64);
+                spill_seq += 1;
+                let p = PendingSpill {
+                    path: root.join(format!("spill-{i}-{spill_seq}.dbsp")),
+                    observations: (report.bytes_freed / 8) as u64,
+                    bytes_freed: report.bytes_freed as u64,
+                    blob,
+                };
+                match vfs.write_atomic(&p.path, &p.blob) {
+                    Ok(()) => {
+                        spilled_observations += p.observations;
+                        spill_files += 1;
+                        arbiter.note_spilled(p.bytes_freed);
+                    }
+                    Err(_) => {
+                        // The disk bounced the spill: hold the blob in
+                        // the bounded pending buffer and retry next
+                        // tick. The registry bytes are already freed,
+                        // so the ceiling holds while the disk is full.
+                        spill_write_failures += 1;
+                        health[i].record_soft_failure();
+                        pending.push(p);
+                    }
+                }
+            }
+            let sum: usize =
+                (0..cfg.shards).map(|i| store.shard(i).system().registry_bytes()).sum();
+            if sum <= cfg.global_budget_bytes {
+                break;
+            }
+        }
+        let after: usize = (0..cfg.shards).map(|i| store.shard(i).system().registry_bytes()).sum();
+        arbiter.note_enforced(after);
+        resident_peak = resident_peak.max(after as u64);
+
+        if escalation == Escalation::Quarantine {
+            let worst = (0..cfg.shards)
+                .filter(|&i| health[i].state() != ShardState::Quarantined)
+                .max_by_key(|&i| store.shard(i).system().registry_bytes());
+            if let Some(w) = worst {
+                health[w].force_quarantine();
+                quarantines += 1;
+            }
+        }
+
+        // -- Health schedule: age states, credit clean shards. ----------
+        for (i, h) in health.iter_mut().enumerate() {
+            h.on_tick();
+            if !io_failed_this_tick[i] {
+                h.record_success();
+            }
+        }
+
+        // -- Finish any migration an injected fault interrupted. --------
+        if let Ok(resumed) = store.resume_migrations() {
+            for r in resumed {
+                migrations_completed += 1;
+                migration_observations += r.observations;
+            }
+        }
+
+        // -- Heat-driven auto-rebalance. --------------------------------
+        heat_ratios.push(heat.max_mean_ratio());
+        if let Some(policy) = policy.as_mut() {
+            let eligible: Vec<bool> = health
+                .iter()
+                .map(|h| {
+                    h.breaker() != BreakerState::Open
+                        && !matches!(
+                            h.state(),
+                            ShardState::Quarantined | ShardState::Recovering
+                        )
+                })
+                .collect();
+            if let Some(plan) = policy.on_tick(&heat.heats(), &eligible) {
+                migrations_accepted += 1;
+                if cfg.migration_fault_ops > 0 && migrations_accepted % 2 == 0 {
+                    switch.arm(FaultKind::Enospc, cfg.migration_fault_ops);
+                }
+                policy.migration_started(plan.donor, plan.receiver);
+                // Donate the cold half: the donor keeps its hottest
+                // histories, the receiver (and its future traffic, via
+                // the routing override) absorbs the rest.
+                let keep = store.shard(plan.donor).system().registry_bytes() / 2;
+                match store.migrate_partial_gated(
+                    plan.donor,
+                    plan.receiver,
+                    keep,
+                    &health[plan.receiver],
+                ) {
+                    Ok(r) => {
+                        migrations_completed += 1;
+                        migration_observations += r.observations;
+                    }
+                    Err(MigrateError::DestinationUnavailable { .. }) => migrations_refused += 1,
+                    Err(MigrateError::Io(_)) => migrations_failed += 1,
+                }
+                policy.migration_finished(plan.donor, plan.receiver);
+            }
+        }
+
+        // -- Satellite gate: the books must balance every tick. ---------
+        for i in 0..cfg.shards {
+            if offered[i] != acked[i] + shed_pressure[i] + shed_breaker[i] + shed_io[i] {
+                books_ok = false;
+            }
+        }
+    }
+
+    // Settle: clear all faults, drain pending spills, finish markers.
+    switch.clear();
+    pending.retain(|p| match vfs.write_atomic(&p.path, &p.blob) {
+        Ok(()) => {
+            spilled_observations += p.observations;
+            spill_files += 1;
+            arbiter.note_spilled(p.bytes_freed);
+            false
+        }
+        Err(_) => true,
+    });
+    if let Ok(resumed) = store.resume_migrations() {
+        for r in resumed {
+            migrations_completed += 1;
+            migration_observations += r.observations;
+        }
+    }
+
+    // Final reconciliation: every acked observation is resident, in a
+    // spill file (or the pending buffer), or a sanctioned cap drop.
+    let mut resident_observations = 0u64;
+    let mut dropped_by_cap = 0u64;
+    let mut durability = DurabilityCounters::default();
+    for i in 0..cfg.shards {
+        let registry = store.shard(i).system().registry();
+        for id in 0..registry.num_templates() {
+            resident_observations += registry.count(TemplateId(id as u32)) as u64;
+        }
+        dropped_by_cap += registry.dropped_observations();
+        durability.absorb(&store.durability(i));
+    }
+    let pending_obs: u64 = pending.iter().map(|p| p.observations).sum();
+    let acked_total: u64 = acked.iter().sum();
+    let accounted = resident_observations + spilled_observations + pending_obs + dropped_by_cap;
+    let lost_observations = acked_total.saturating_sub(accounted);
+
+    let offered_total: u64 = offered.iter().sum();
+    let shed_total: u64 = shed_pressure.iter().sum::<u64>()
+        + shed_breaker.iter().sum::<u64>()
+        + shed_io.iter().sum::<u64>();
+    if offered_total != acked_total + shed_total {
+        books_ok = false;
+    }
+
+    let tail = (heat_ratios.len() / 4).max(1);
+    let heat_ratio_tail =
+        heat_ratios.iter().rev().take(tail).sum::<f64>() / tail as f64;
+
+    PressureSoakReport {
+        ticks: cfg.ticks,
+        shards: cfg.shards,
+        distinct_templates: cfg.templates,
+        offered: offered_total,
+        acked: acked_total,
+        shed_pressure: shed_pressure.iter().sum(),
+        shed_breaker: shed_breaker.iter().sum(),
+        shed_io: shed_io.iter().sum(),
+        per_shard_shed: (0..cfg.shards)
+            .map(|i| shed_pressure[i] + shed_breaker[i] + shed_io[i])
+            .collect(),
+        per_shard_offered: offered,
+        per_shard_acked: acked,
+        books_ok,
+        resident_peak,
+        ceiling_breaches: arbiter.stats().ceiling_breaches,
+        spilled_observations,
+        spill_files,
+        spill_write_failures,
+        pending_spills_final: pending.len(),
+        dropped_by_cap,
+        resident_observations,
+        lost_observations,
+        migrations_completed,
+        migrations_failed,
+        migrations_refused,
+        migration_observations,
+        quarantines,
+        recoveries: health.iter().map(|h| h.recoveries()).sum(),
+        enospc_injected: switch.injected(FaultKind::Enospc),
+        eio_injected: switch.injected(FaultKind::Eio),
+        faults_injected: switch.total_injected(),
+        heat_ratio_tail,
+        arbiter: *arbiter.stats(),
+        rebalance: policy.map(|p| *p.stats()),
+        durability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced-scale config that still exercises every rung: real
+    /// pressure (the obs load is several times the budget slack), hot
+    /// skew on shard 0, ENOSPC/EIO bursts, and mid-migration faults.
+    fn small(rebalance: Option<RebalanceConfig>) -> PressureSoakConfig {
+        PressureSoakConfig {
+            shards: 4,
+            ticks: 24,
+            templates: 600,
+            ingest_per_tick: 2_000,
+            hot_templates: 24,
+            hot_permille: 800,
+            global_budget_bytes: 256 << 10,
+            min_grant_bytes: 40 << 10,
+            shed_after: 2,
+            quarantine_after: 1_000,
+            rebalance,
+            enospc_ticks: vec![6, 14],
+            eio_ticks: vec![10],
+            spill_fault_ticks: vec![8, 16],
+            burst_ops: 3,
+            migration_fault_ops: 2,
+            seed: 0xD8A6_0007,
+        }
+    }
+
+    #[test]
+    fn soak_holds_the_ceiling_and_loses_nothing_under_faults() {
+        let report = run_pressure_soak(&small(Some(RebalanceConfig {
+            imbalance_ratio: 1.3,
+            sustain_ticks: 2,
+            cooldown_ticks: 2,
+        })));
+        assert!(report.acked > 10_000, "the soak did real work: {report:?}");
+        assert_eq!(report.ceiling_breaches, 0, "hard ceiling held every tick");
+        assert!(report.resident_peak <= report.arbiter.max_total_resident);
+        assert!(report.books_ok, "offered == acked + shed per shard and globally");
+        assert_eq!(report.lost_observations, 0, "no acked observation lost");
+        assert_eq!(report.pending_spills_final, 0, "pending spills drained after relief");
+        assert!(report.enospc_injected > 0, "ENOSPC bursts actually fired");
+        assert!(report.eio_injected > 0, "EIO burst actually fired");
+        assert!(report.spilled_observations > 0, "the spill rung did real work");
+        assert!(report.arbiter.exhausted_ticks > 0, "the flood actually pressured the budget");
+        assert!(report.arbiter.pressure_sheds_engaged > 0, "the shed rung engaged");
+        assert!(report.shed_pressure > 0, "typed memory-pressure sheds reached the front door");
+        assert!(report.migrations_completed > 0, "auto-rebalance drove real migrations");
+    }
+
+    #[test]
+    fn spill_faults_defer_but_never_drop_acked_observations() {
+        // Hammer the spill path: a burst right before enforcement on
+        // almost every tick.
+        let mut cfg = small(None);
+        cfg.spill_fault_ticks = (2..20).step_by(3).collect();
+        cfg.burst_ops = 6;
+        cfg.migration_fault_ops = 0;
+        let report = run_pressure_soak(&cfg);
+        assert!(report.spill_write_failures > 0, "spill writes were actually bounced");
+        assert_eq!(report.lost_observations, 0);
+        assert_eq!(report.pending_spills_final, 0);
+        assert_eq!(report.ceiling_breaches, 0);
+        assert!(report.books_ok);
+    }
+
+    #[test]
+    fn deep_exhaustion_quarantines_but_never_loses_data() {
+        // A budget below the unevictable template-string floor: the
+        // ladder cannot win, so it must shed, then quarantine — and
+        // still not lose a single acked observation.
+        let mut cfg = small(None);
+        cfg.global_budget_bytes = 64 << 10;
+        cfg.min_grant_bytes = 8 << 10;
+        cfg.shed_after = 1;
+        cfg.quarantine_after = 4;
+        let report = run_pressure_soak(&cfg);
+        assert!(report.arbiter.pressure_quarantines > 0, "final rung fired");
+        assert!(report.quarantines > 0, "a worst offender left rotation");
+        assert!(report.shed_breaker > 0, "quarantined shard's intake shed at the breaker");
+        assert!(report.ceiling_breaches > 0, "an unsatisfiable budget breaches honestly");
+        assert_eq!(report.lost_observations, 0);
+        assert!(report.books_ok);
+    }
+
+    #[test]
+    fn rebalance_measurably_flattens_the_heat() {
+        let without = run_pressure_soak(&small(None));
+        let with = run_pressure_soak(&small(Some(RebalanceConfig {
+            imbalance_ratio: 1.2,
+            sustain_ticks: 2,
+            cooldown_ticks: 1,
+        })));
+        assert!(with.migrations_completed > 0, "rebalance arm actually migrated");
+        assert!(
+            with.heat_ratio_tail < without.heat_ratio_tail,
+            "rebalance must flatten max/mean heat: {} (on) vs {} (off)",
+            with.heat_ratio_tail,
+            without.heat_ratio_tail
+        );
+        assert_eq!(with.lost_observations, 0);
+        assert_eq!(without.lost_observations, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_pressure_soak(&small(None));
+        let b = run_pressure_soak(&small(None));
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.spilled_observations, b.spilled_observations);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.per_shard_acked, b.per_shard_acked);
+    }
+}

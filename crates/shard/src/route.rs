@@ -113,6 +113,67 @@ mod tests {
         assert!(hit.iter().all(|&h| h), "256 templates must touch all 8 shards");
     }
 
+    /// Chi-square uniformity over a synthetic 10k-template corpus. The
+    /// corpus mixes the statement shapes real canonicalized workloads
+    /// produce (point selects, joins, inserts, updates) so the test
+    /// exercises exactly the structured, low-entropy text that raw
+    /// FNV-1a degenerates on. Thresholds are the p=0.001 critical
+    /// values for k-1 degrees of freedom — the corpus is fixed, so a
+    /// failure is a real regression in the hash, not flakiness.
+    #[test]
+    fn routing_is_uniform_by_chi_square() {
+        let corpus: Vec<String> = (0..10_000)
+            .map(|i| match i % 4 {
+                0 => format!("SELECT col{} FROM tab{} WHERE id = ?", i % 97, i / 4),
+                1 => format!("SELECT a.x, b.y FROM t{} a JOIN u{} b ON a.k = b.k", i / 4, i % 53),
+                2 => format!("INSERT INTO log{} VALUES (?, ?, ?)", i / 4),
+                _ => format!("UPDATE acct{} SET bal = bal + ? WHERE id = ?", i / 4),
+            })
+            .collect();
+        for (shards, critical) in [(2usize, 10.83f64), (8, 24.32), (32, 61.10)] {
+            let mut counts = vec![0u64; shards];
+            for t in &corpus {
+                counts[shard_of(t, shards)] += 1;
+            }
+            let expected = corpus.len() as f64 / shards as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            assert!(
+                chi2 < critical,
+                "{shards} shards: chi-square {chi2:.2} exceeds p=0.001 critical {critical} \
+                 (counts {counts:?})"
+            );
+        }
+    }
+
+    /// Golden values: the hash is part of the on-disk contract (routing
+    /// overrides and shard directories persist template placement), so
+    /// any change to the FNV constants or the avalanche finalizer must
+    /// show up here as a deliberate, reviewed break.
+    #[test]
+    fn routing_hash_is_pinned() {
+        let golden: [(&str, usize, usize); 6] = [
+            ("SELECT a FROM t WHERE x = ?", 8, 2),
+            ("SELECT a FROM t WHERE x = ?", 32, 2),
+            ("INSERT INTO u VALUES (?)", 8, 7),
+            ("INSERT INTO u VALUES (?)", 32, 31),
+            ("", 8, 3),
+            ("", 32, 27),
+        ];
+        for (template, shards, want) in golden {
+            assert_eq!(
+                shard_of(template, shards),
+                want,
+                "shard_of({template:?}, {shards}) moved — the routing hash changed"
+            );
+        }
+    }
+
     #[test]
     fn quotas_bound_each_tenant_independently() {
         let mut q = TenantQuotas::new(2);

@@ -236,6 +236,7 @@ pub fn run_shard_soak(cfg: &ShardSoakConfig) -> ShardSoakReport {
         serve: cfg.serve.clone(),
         policy: cfg.policy.clone(),
         tenant_quota_per_tick: cfg.tenant_quota_per_tick,
+        arbiter: None,
     };
     let mut sup = Supervisor::new(sup_cfg, Arc::new(Executor::new(cfg.workers)), move |i| {
         ChaosEngine { inner: SimEngine::new(ring), armed: Arc::clone(&factory_flags[i]) }

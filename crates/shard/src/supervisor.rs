@@ -24,6 +24,7 @@
 //!   machine walks the victim through quarantine and probation back to
 //!   healthy on a tick schedule.
 
+use crate::arbiter::{ArbiterConfig, BudgetArbiter, Escalation, ShardDemand};
 use crate::health::{BreakerState, HealthPolicy, ShardHealth, ShardState};
 use crate::route::{shard_of, TenantQuotas};
 use dbaugur_exec::Executor;
@@ -46,6 +47,11 @@ pub struct SupervisorConfig {
     pub policy: HealthPolicy,
     /// Per-tenant requests per tick (`0` = unlimited).
     pub tenant_quota_per_tick: u64,
+    /// Cross-shard memory-budget arbitration (`None` = each shard keeps
+    /// its static `serve.memory_budget_bytes`). When set, the arbiter
+    /// owns every shard's budget: grants follow heat, and exhaustion
+    /// walks the evict → spill → shed → quarantine ladder.
+    pub arbiter: Option<ArbiterConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -55,6 +61,7 @@ impl Default for SupervisorConfig {
             serve: ServeConfig::default(),
             policy: HealthPolicy::default(),
             tenant_quota_per_tick: 0,
+            arbiter: None,
         }
     }
 }
@@ -171,6 +178,7 @@ fn absorb_stats(a: &mut ServeStats, b: &ServeStats) {
     a.shed_forecast_rate_limited += b.shed_forecast_rate_limited;
     a.shed_ingest_queue_full += b.shed_ingest_queue_full;
     a.shed_ingest_rate_limited += b.shed_ingest_rate_limited;
+    a.shed_ingest_memory_pressure += b.shed_ingest_memory_pressure;
     a.completed_fresh += b.completed_fresh;
     a.completed_degraded += b.completed_degraded;
     a.ingested += b.ingested;
@@ -193,6 +201,11 @@ pub struct Supervisor<E: Engine + Send> {
     slots: Vec<Slot<E>>,
     quotas: TenantQuotas,
     stats: SupervisorStats,
+    /// Cross-shard budget arbiter (None = static per-shard budgets).
+    arbiter: Option<BudgetArbiter>,
+    /// Per-shard merged ingest totals at the last arbiter pass, for
+    /// rate (delta) demand signals.
+    prev_ingested: Vec<u64>,
 }
 
 impl<E: Engine + Send> Supervisor<E> {
@@ -219,6 +232,8 @@ impl<E: Engine + Send> Supervisor<E> {
             })
             .collect();
         let quotas = TenantQuotas::new(cfg.tenant_quota_per_tick);
+        let arbiter = cfg.arbiter.clone().map(|a| BudgetArbiter::new(a, cfg.shards));
+        let prev_ingested = vec![0; cfg.shards];
         Self {
             cfg,
             exec,
@@ -226,6 +241,8 @@ impl<E: Engine + Send> Supervisor<E> {
             slots,
             quotas,
             stats: SupervisorStats::default(),
+            arbiter,
+            prev_ingested,
         }
     }
 
@@ -337,7 +354,91 @@ impl<E: Engine + Send> Supervisor<E> {
                 }
             }
         }
+        self.arbiter_pass();
         SupervisorTickReport { reports, panicked }
+    }
+
+    /// The arbiter's per-tick pass: regrant the global budget by heat,
+    /// then enforce it down the graded ladder — evict over-grant shards
+    /// coldest-first, spill what eviction could not move, engage
+    /// memory-pressure ingest shedding under sustained exhaustion, and
+    /// quarantine the worst offender if even shedding does not relieve
+    /// it. The ceiling is never exceeded silently: a post-ladder
+    /// overrun is counted as a breach in [`ArbiterStats`].
+    ///
+    /// [`ArbiterStats`]: crate::arbiter::ArbiterStats
+    fn arbiter_pass(&mut self) {
+        let Some(arb) = self.arbiter.as_mut() else { return };
+        let slots = &mut self.slots;
+        let demands: Vec<ShardDemand> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let ingested = s.retired.ingested + s.gov.stats().ingested;
+                let delta = ingested.saturating_sub(self.prev_ingested[i]);
+                self.prev_ingested[i] = ingested;
+                ShardDemand {
+                    resident_bytes: s.gov.engine().resident_bytes(),
+                    ingested_delta: delta,
+                }
+            })
+            .collect();
+        let grants = arb.regrant(&demands).to_vec();
+        for (slot, &g) in slots.iter_mut().zip(&grants) {
+            slot.gov.set_memory_budget(g);
+        }
+        let budget = arb.config().global_budget_bytes;
+        let total: usize = slots.iter().map(|s| s.gov.engine().resident_bytes()).sum();
+        let escalation = arb.note_pressure(total);
+        let mut after = total;
+        if total > budget {
+            // Rung 1: every shard over its grant evicts back down to it.
+            for (slot, &g) in slots.iter_mut().zip(&grants) {
+                if slot.gov.engine().resident_bytes() > g {
+                    let freed = slot.gov.engine_mut().evict_to(g);
+                    arb.note_evicted(freed as u64);
+                }
+            }
+            after = slots.iter().map(|s| s.gov.engine().resident_bytes()).sum();
+            if after > budget {
+                // Rung 2: spill whatever plain eviction could not move.
+                // A failed spill (injected disk fault) is tolerated —
+                // the ladder keeps walking instead of panicking.
+                for (slot, &g) in slots.iter_mut().zip(&grants) {
+                    if slot.gov.engine().resident_bytes() > g {
+                        if let Ok(spilled) = slot.gov.engine_mut().spill_to(g) {
+                            arb.note_spilled(spilled as u64);
+                        }
+                    }
+                }
+                after = slots.iter().map(|s| s.gov.engine().resident_bytes()).sum();
+            }
+            if escalation == Escalation::Quarantine {
+                // Rung 4: the worst offender still standing goes.
+                let worst = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.health.state() != ShardState::Quarantined)
+                    .max_by_key(|(_, s)| s.gov.engine().resident_bytes())
+                    .map(|(i, _)| i);
+                if let Some(worst) = worst {
+                    slots[worst].health.force_quarantine();
+                }
+            }
+        }
+        arb.note_enforced(after);
+        // Rung 3 engages (and releases) with the arbiter's ladder state:
+        // while shedding, every shard refuses lowest-priority ingest with
+        // a typed MemoryPressure reason; forecast reads stay open.
+        let shed = arb.shedding();
+        for slot in slots.iter_mut() {
+            slot.gov.set_memory_pressure_shed(shed);
+        }
+    }
+
+    /// The budget arbiter, when configured.
+    pub fn arbiter(&self) -> Option<&BudgetArbiter> {
+        self.arbiter.as_ref()
     }
 
     /// Force a shard's breaker open (chaos harness, operator action).
@@ -411,7 +512,9 @@ impl<E: Engine + Send> Supervisor<E> {
             absorb_stats(&mut m, slot.gov.stats());
             let (fq, iq) = slot.gov.queue_depths();
             let f_shed = m.shed_forecast_queue_full + m.shed_forecast_rate_limited;
-            let i_shed = m.shed_ingest_queue_full + m.shed_ingest_rate_limited;
+            let i_shed = m.shed_ingest_queue_full
+                + m.shed_ingest_rate_limited
+                + m.shed_ingest_memory_pressure;
             m.offered_forecasts == m.admitted_forecasts + f_shed
                 && m.offered_ingest == m.admitted_ingest + i_shed
                 && m.admitted_forecasts
@@ -439,6 +542,7 @@ mod tests {
             serve: open_serve(),
             policy: HealthPolicy::default(),
             tenant_quota_per_tick: quota,
+            arbiter: None,
         };
         Supervisor::new(cfg, Arc::new(Executor::new(1)), |_| SimEngine::new(32))
     }
@@ -548,6 +652,7 @@ mod tests {
             serve: open_serve(),
             policy: HealthPolicy::default(),
             tenant_quota_per_tick: 0,
+            arbiter: None,
         };
         let mut s = Supervisor::new(cfg, Arc::new(Executor::new(1)), move |i| PanicOnce {
             inner: SimEngine::new(32),
@@ -588,6 +693,153 @@ mod tests {
         assert!(s.reconciles());
     }
 
+    fn arbiter_supervisor(
+        shards: usize,
+        budget: usize,
+        shed_after: u32,
+        quarantine_after: u32,
+    ) -> Supervisor<SimEngine> {
+        let cfg = SupervisorConfig {
+            shards,
+            serve: open_serve(),
+            policy: HealthPolicy::default(),
+            tenant_quota_per_tick: 0,
+            arbiter: Some(ArbiterConfig {
+                global_budget_bytes: budget,
+                min_grant_bytes: 256,
+                alpha: 0.3,
+                shed_after,
+                quarantine_after,
+            }),
+        };
+        Supervisor::new(cfg, Arc::new(Executor::new(1)), |_| SimEngine::new(32))
+    }
+
+    /// Flood every shard with fresh templates for one tick.
+    fn flood(s: &mut Supervisor<SimEngine>, tick: u64, templates: usize) {
+        for i in 0..templates {
+            s.submit_ingest("t", tick, &format!("INSERT INTO t{i} VALUES ({tick})"), 1);
+        }
+        s.run_tick(0);
+    }
+
+    #[test]
+    fn arbiter_holds_the_global_ceiling_every_tick() {
+        let budget = 8 << 10;
+        let mut s = arbiter_supervisor(4, budget, 2, 100);
+        for tick in 0..30u64 {
+            flood(&mut s, tick, 64);
+            let total: usize =
+                (0..4).map(|i| s.governor(i).engine().resident_bytes()).sum();
+            assert!(
+                total <= budget,
+                "tick {tick}: {total} B resident exceeds the {budget} B ceiling"
+            );
+        }
+        let arb = s.arbiter().expect("arbiter configured");
+        assert_eq!(arb.stats().ceiling_breaches, 0);
+        assert!(arb.stats().ladder_evicted_bytes > 0, "the evict rung did real work");
+        assert!(arb.stats().exhausted_ticks > 0, "the flood actually pressured the budget");
+        assert_eq!(arb.grants().iter().sum::<usize>(), budget, "grants always sum to budget");
+        assert!(s.reconciles(), "books hold under sustained pressure");
+    }
+
+    #[test]
+    fn sustained_exhaustion_sheds_ingest_with_a_typed_reason() {
+        let budget = 4 << 10;
+        let mut s = arbiter_supervisor(2, budget, 1, 100);
+        // First tick under flood: pressure noted, shedding engages for
+        // the next tick's front door (shed_after = 1).
+        flood(&mut s, 0, 64);
+        assert!(s.arbiter().unwrap().shedding(), "shed rung engaged");
+        let d = s.submit_ingest("t", 1, "INSERT INTO t0 VALUES (1)", 1);
+        assert!(
+            matches!(d, ShardDecision::Shed { reason: ShedReason::MemoryPressure, .. }),
+            "pressure shed is typed, got {d:?}"
+        );
+        // Forecast reads stay open through memory pressure.
+        let f = s.submit_forecast("t", "SELECT x FROM t0", 1);
+        assert!(f.is_admitted(), "forecasts unaffected by pressure, got {f:?}");
+        s.run_tick(0);
+        assert!(s.reconciles(), "memory-pressure sheds are in the books");
+        let shed: u64 = (0..2).map(|i| s.merged_stats(i).shed_ingest_memory_pressure).sum();
+        assert_eq!(shed, 1);
+        // Relief: the flood stops, residency is evicted under budget,
+        // and the shed releases.
+        for tick in 2..8u64 {
+            s.run_tick(0);
+            let _ = tick;
+        }
+        assert!(!s.arbiter().unwrap().shedding(), "shed released after relief");
+        assert!(s
+            .submit_ingest("t", 9, "INSERT INTO t0 VALUES (9)", 1)
+            .is_admitted());
+    }
+
+    /// An engine with a residency floor neither evict nor spill can
+    /// reclaim — models pinned state (open iterators, wired pages).
+    struct Sticky {
+        inner: SimEngine,
+        floor: usize,
+    }
+
+    impl Engine for Sticky {
+        fn ingest(&mut self, ts_secs: u64, sql: &str) {
+            self.inner.ingest(ts_secs, sql);
+        }
+        fn forecast(&mut self, sql: &str) -> f64 {
+            self.inner.forecast(sql)
+        }
+        fn floor(&mut self, sql: &str) -> f64 {
+            self.inner.floor(sql)
+        }
+        fn resident_bytes(&self) -> usize {
+            self.inner.resident_bytes() + self.floor
+        }
+        fn evict_to(&mut self, target_bytes: usize) -> usize {
+            self.inner.evict_to(target_bytes.saturating_sub(self.floor))
+        }
+    }
+
+    #[test]
+    fn exhaustion_past_the_last_rung_quarantines_the_worst_offender() {
+        // Each shard pins 4 KiB the ladder cannot reclaim, so a 2 KiB
+        // global budget stays exhausted no matter how hard the evict and
+        // spill rungs work: the streak must reach the final rung.
+        let cfg = SupervisorConfig {
+            shards: 2,
+            serve: open_serve(),
+            policy: HealthPolicy::default(),
+            tenant_quota_per_tick: 0,
+            arbiter: Some(ArbiterConfig {
+                global_budget_bytes: 2 << 10,
+                min_grant_bytes: 256,
+                alpha: 0.3,
+                shed_after: 1,
+                quarantine_after: 3,
+            }),
+        };
+        let mut s = Supervisor::new(cfg, Arc::new(Executor::new(1)), |i| Sticky {
+            inner: SimEngine::new(32),
+            floor: 4096 + i, // shard 1 is always the worst offender
+        });
+        for tick in 0..6u64 {
+            for i in 0..16 {
+                s.submit_ingest("t", tick, &format!("INSERT INTO t{i} VALUES ({tick})"), 1);
+            }
+            s.run_tick(0);
+        }
+        let arb = s.arbiter().expect("arbiter");
+        assert!(arb.stats().pressure_quarantines > 0, "final rung fired");
+        assert!(arb.stats().ceiling_breaches > 0, "unreclaimable residency is an honest breach");
+        assert!(arb.shedding(), "shed rung stays engaged while exhausted");
+        assert!(
+            (0..2).any(|i| s.health(i).state() != ShardState::Healthy),
+            "the worst offender was taken out of rotation"
+        );
+        assert!(s.reconciles());
+    }
+
     #[test]
     fn parallel_and_sequential_ticks_are_byte_identical() {
         let run = |workers: usize| {
@@ -596,6 +848,7 @@ mod tests {
                 serve: open_serve(),
                 policy: HealthPolicy::default(),
                 tenant_quota_per_tick: 0,
+                arbiter: None,
             };
             let mut s =
                 Supervisor::new(cfg, Arc::new(Executor::new(workers)), |_| SimEngine::new(32));

@@ -185,6 +185,28 @@ impl TemplateRegistry {
         EvictionReport { evicted_templates: evicted.len(), bytes_freed: freed, spill }
     }
 
+    /// Drop one template's observation history (the template string and
+    /// id stay resident, exactly as after [`evict_cold`]). Returns the
+    /// number of observations dropped. Unlike `evict_cold` this is
+    /// surgical: siblings are untouched, which is what a partial
+    /// migration's source drain needs — it must drop exactly the
+    /// histories the destination now durably owns, nothing else.
+    ///
+    /// [`evict_cold`]: TemplateRegistry::evict_cold
+    pub fn drop_observations(&mut self, id: TemplateId) -> usize {
+        let slot = id.0 as usize;
+        if slot >= self.observations.len() {
+            return 0;
+        }
+        let obs = std::mem::take(&mut self.observations[slot]);
+        if obs.is_empty() {
+            return 0;
+        }
+        self.approx_bytes = self.approx_bytes.saturating_sub(8 * obs.len());
+        self.evicted_templates += 1;
+        obs.len()
+    }
+
     /// Restore observation histories evicted by [`evict_cold`] from a
     /// spill blob. Restored timestamps are prepended (they predate
     /// anything observed since the eviction). Returns the number of
@@ -483,6 +505,25 @@ mod tests {
         }
         assert_eq!(vals[11], 1.0);
         assert_eq!(reg.last_seen(id), 11);
+    }
+
+    #[test]
+    fn drop_observations_is_surgical_and_accounted() {
+        let mut reg = TemplateRegistry::new();
+        let a = reg.observe("SELECT a FROM t WHERE x = 1", 1);
+        let b = reg.observe("SELECT b FROM u WHERE x = 1", 1);
+        for ts in 2..=9u64 {
+            reg.observe("SELECT a FROM t WHERE x = 1", ts);
+            reg.observe("SELECT b FROM u WHERE x = 1", ts);
+        }
+        let before = reg.approx_bytes();
+        assert_eq!(reg.drop_observations(a), 9);
+        assert_eq!(reg.count(a), 0, "target history dropped");
+        assert_eq!(reg.count(b), 9, "sibling untouched");
+        assert_eq!(reg.approx_bytes(), before - 8 * 9);
+        assert_eq!(reg.lookup("SELECT a FROM t WHERE x = 5"), Some(a), "string stays");
+        assert_eq!(reg.drop_observations(a), 0, "idempotent on empty");
+        assert_eq!(reg.drop_observations(TemplateId(999)), 0, "unknown id is a no-op");
     }
 
     #[test]

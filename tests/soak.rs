@@ -8,7 +8,7 @@
 //! it runs in virtual time, so this "soak" takes milliseconds and
 //! reproduces exactly from its seed.
 
-use dbaugur_serve::soak::{run_soak, SoakConfig};
+use dbaugur_serve::soak::{run_soak, SoakConfig, SoakReport};
 use dbaugur_serve::{Governor, ServeConfig, SimEngine, VirtualClock};
 
 fn overload_cfg() -> SoakConfig {
@@ -123,13 +123,28 @@ fn drift_shift_recovers_without_shed_regression() {
         .post_shift_recovery_ticks
         .expect("forecasts must recover after the regime shift");
     assert!(recovery <= 50, "recovery within 50 ticks of the shift, took {recovery}");
-    // At volume parity a pure mix shift must not regress shedding
-    // (small absolute slack for burst-phase alignment).
+    // At volume parity a pure mix shift must not regress shedding. The
+    // pre- and post-shift windows of a single run see different chaos
+    // plans (burst phase, stall runs cluster unevenly), so the
+    // controlled comparison is against the same seed with the shift
+    // disabled: the shift is drawn last, leaving every other plan
+    // byte-identical (the invariant pinned by
+    // `disabled_drift_shift_is_identical_to_baseline`). Small absolute
+    // slack for queue-drain timing.
+    let base = run_soak(&overload_cfg());
+    let total_rate = |r: &SoakReport| {
+        let off = r.stats.offered_forecasts + r.stats.offered_ingest;
+        if off == 0 {
+            0.0
+        } else {
+            r.stats.shed_total() as f64 / off as f64
+        }
+    };
     assert!(
-        rep.post_shift_shed_rate <= rep.pre_shift_shed_rate + 0.05,
-        "shed rate regressed across the shift: {} -> {}",
-        rep.pre_shift_shed_rate,
-        rep.post_shift_shed_rate
+        total_rate(&rep) <= total_rate(&base) + 0.05,
+        "shed rate regressed under the shift: baseline {} -> shifted {}",
+        total_rate(&base),
+        total_rate(&rep)
     );
     assert!(rep.passed(&cfg), "composite criteria hold under the shift");
 }

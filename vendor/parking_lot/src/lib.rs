@@ -1,0 +1,125 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's non-poisoning API
+//! (locks recover the inner value instead of returning `Err` after a
+//! panic). Built because the container has no crates.io access; the
+//! semantics the workspace relies on — `read()`/`write()`/`lock()`
+//! without `Result`, `get_mut`, `into_inner` — are preserved.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Non-poisoning reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Unwrap the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Shared lock; never errors.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Exclusive lock; never errors.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Shared lock if immediately available.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Exclusive lock if immediately available.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Direct access through an exclusive reference (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Non-poisoning mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Unwrap the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire; never errors.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquire if immediately available.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Direct access through an exclusive reference (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let lock = RwLock::new(5u32);
+        assert_eq!(*lock.read(), 5);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 6);
+        let mut lock = lock;
+        *lock.get_mut() += 1;
+        assert_eq!(lock.into_inner(), 7);
+    }
+
+    #[test]
+    fn locks_survive_a_panicked_holder() {
+        let lock = std::sync::Arc::new(Mutex::new(1u32));
+        let l2 = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 1, "non-poisoning: lock still usable");
+    }
+}

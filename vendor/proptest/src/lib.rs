@@ -1,0 +1,556 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `proptest` to this implementation of the subset it uses: the
+//! `proptest!` macro, `prop_assert*`/`prop_assume`, range/tuple/vec/
+//! select/map strategies, and `ProptestConfig::with_cases`.
+//!
+//! Instead of shrinking counterexamples, failures report the exact case
+//! number and seed; runs are fully deterministic (seed derived from the
+//! test name), so a failure reproduces by re-running the test.
+
+/// Strategy: something that can generate values from a seeded RNG.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Filter generated values (regenerates until `f` passes, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> strategy::Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Filter { inner: self, f, whence }
+    }
+}
+
+/// Test-runner machinery: config and RNG.
+pub mod test_runner {
+    /// How many cases a `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume`) cases before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_global_rejects: 4096 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG used for all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Seed derived from a test's name, so every test draws a
+        /// distinct but reproducible stream.
+        pub fn for_test(name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Multiply-shift: fine for test-case generation.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Strategy adaptors.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 straight cases: {}", self.whence);
+        }
+    }
+
+    /// Strategy yielding one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub use strategy::Just;
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (s, e) = (*self.start() as i128, *self.end() as i128);
+                assert!(s <= e, "empty range strategy");
+                (s + rng.below((e - s + 1) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                s + (rng.unit_f64() as $t) * (e - s)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// Length bounds accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi_exclusive, "empty size range");
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// Strategy picking uniformly from a fixed set of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty options");
+        Select { options }
+    }
+
+    /// Output of [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Primitive `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> f64 {
+        // Finite, broad but tame: proptest's default f64 includes
+        // specials; tests here only need varied finite values.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> f32 {
+        ((rng.unit_f64() - 0.5) * 2e6) as f32
+    }
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Output of [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The usual wildcard import surface.
+pub mod prelude {
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{any, Arbitrary, Just, Strategy};
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+// `prop::collection`, `prop::sample` resolve through the crate re-export
+// in the prelude (`pub use crate as prop`).
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip a generated case that does not meet a precondition.
+///
+/// Expands to an early `Err` return from the per-case closure the
+/// `proptest!` macro generates, so it must only be used inside
+/// `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(());
+        }
+    };
+}
+
+/// Property-test entry macro: runs each body over `cases` generated
+/// inputs with a deterministic per-test seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr);
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                #[allow(unused_variables)]
+                let strategies = ( $( $strat, )* );
+                let mut rejected: u32 = 0;
+                for case in 0..config.cases as u64 {
+                    #[allow(unused_mut, unused_variables)]
+                    let mut rng = $crate::test_runner::TestRng::for_test(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ( $( $pat, )* ) = $crate::__generate_tuple!(strategies, rng, $($pat),*);
+                    let outcome = (move || -> ::core::result::Result<(), ()> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if outcome.is_err() {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "too many prop_assume rejections"
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __generate_tuple {
+    ($strategies:ident, $rng:ident, ) => { () };
+    ($strategies:ident, $rng:ident, $p0:pat_param) => {
+        ( $crate::Strategy::generate(&$strategies.0, &mut $rng), )
+    };
+    ($strategies:ident, $rng:ident, $p0:pat_param, $p1:pat_param) => {
+        (
+            $crate::Strategy::generate(&$strategies.0, &mut $rng),
+            $crate::Strategy::generate(&$strategies.1, &mut $rng),
+        )
+    };
+    ($strategies:ident, $rng:ident, $p0:pat_param, $p1:pat_param, $p2:pat_param) => {
+        (
+            $crate::Strategy::generate(&$strategies.0, &mut $rng),
+            $crate::Strategy::generate(&$strategies.1, &mut $rng),
+            $crate::Strategy::generate(&$strategies.2, &mut $rng),
+        )
+    };
+    ($strategies:ident, $rng:ident, $p0:pat_param, $p1:pat_param, $p2:pat_param, $p3:pat_param) => {
+        (
+            $crate::Strategy::generate(&$strategies.0, &mut $rng),
+            $crate::Strategy::generate(&$strategies.1, &mut $rng),
+            $crate::Strategy::generate(&$strategies.2, &mut $rng),
+            $crate::Strategy::generate(&$strategies.3, &mut $rng),
+        )
+    };
+    ($strategies:ident, $rng:ident, $p0:pat_param, $p1:pat_param, $p2:pat_param, $p3:pat_param, $p4:pat_param) => {
+        (
+            $crate::Strategy::generate(&$strategies.0, &mut $rng),
+            $crate::Strategy::generate(&$strategies.1, &mut $rng),
+            $crate::Strategy::generate(&$strategies.2, &mut $rng),
+            $crate::Strategy::generate(&$strategies.3, &mut $rng),
+            $crate::Strategy::generate(&$strategies.4, &mut $rng),
+        )
+    };
+    ($strategies:ident, $rng:ident, $p0:pat_param, $p1:pat_param, $p2:pat_param, $p3:pat_param, $p4:pat_param, $p5:pat_param) => {
+        (
+            $crate::Strategy::generate(&$strategies.0, &mut $rng),
+            $crate::Strategy::generate(&$strategies.1, &mut $rng),
+            $crate::Strategy::generate(&$strategies.2, &mut $rng),
+            $crate::Strategy::generate(&$strategies.3, &mut $rng),
+            $crate::Strategy::generate(&$strategies.4, &mut $rng),
+            $crate::Strategy::generate(&$strategies.5, &mut $rng),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in prop::collection::vec((0i64..10, -1.0f64..1.0), 2..6),
+            s in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(s == "a" || s == "b");
+            for (i, f) in v {
+                prop_assert!((0..10).contains(&i));
+                prop_assert!((-1.0..1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn map_transforms(s in (1usize..4).prop_map(|n| "x".repeat(n))) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("t", 1);
+        let mut b = crate::test_runner::TestRng::for_test("t", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits marker-trait impls for the stub `serde` crate (which has
+//! data-model-free `Serialize`/`Deserialize` traits). Generic types get
+//! no impl — nothing in this workspace needs one.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name following `struct`/`enum`/`union`, and whether a
+/// generic parameter list follows it.
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, lifetimes: &str) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl{lifetimes} {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", "")
+}
+
+/// Stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'de>", "<'de>")
+}
