@@ -1,0 +1,306 @@
+//! `BENCH_8.json` — performance trajectory for the fast-kernel PR:
+//! blocked matmul and banded DTW microbenchmarks against the naive
+//! reference kernels (GFLOP/s, cells/sec), batched vs looped forecast
+//! inference, the bench3 worker sweep rerun, and forecast latency with
+//! p50/p99 — plus a regression gate that fails the process on a
+//! reference mismatch or a lost speedup.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench8`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`).
+//! Output: `BENCH_8.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`. Exit status is non-zero when any kernel output
+//! diverges from its reference or the speedup gate is breached.
+
+use dbaugur::exec::Executor;
+use dbaugur::DbAugur;
+use dbaugur_bench::datasets::Scale;
+use dbaugur_bench::kernels::{
+    dtw_band_cells, dtw_case, matmul_case, matmul_gflops, percentile, seeded_mat, time_best_of,
+};
+use dbaugur_bench::parallel::{matrix_workload, trained_pipeline, worker_sweep, MATRIX_TRACES};
+use dbaugur_bench::report::fmt_secs;
+use dbaugur_cluster::{Descender, DescenderParams};
+use dbaugur_dtw::DtwDistance;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct KernelRow {
+    name: &'static str,
+    naive_secs: f64,
+    fast_secs: f64,
+    naive_rate: f64,
+    fast_rate: f64,
+    rate_unit: &'static str,
+    matches: bool,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.fast_secs
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Single-thread kernel speedup the gate demands: the acceptance bar
+    // is 2× at bench scale; the quick CI scale keeps a looser bar so
+    // noisy shared runners don't flake.
+    let (dim, reps, gate_min) = match scale.name {
+        "quick" => (128usize, 3usize, 1.3f64),
+        "full" => (384, 5, 2.0),
+        _ => (256, 5, 2.0),
+    };
+    let (dtw_len, dtw_pairs) = match scale.name {
+        "quick" => (256usize, 32usize),
+        "full" => (1024, 64),
+        _ => (512, 48),
+    };
+    // Production clustering runs `DtwDistance::new(10)`; the microbench
+    // uses the same band so its speedup reflects the deployed workload.
+    let dtw_window = 10usize;
+    eprintln!("bench8: scale={} cores={cores} matmul={dim}³ dtw={dtw_len}x{dtw_pairs}", scale.name);
+
+    // 1. Matmul kernels: blocked vs naive reference, single thread.
+    let a = seeded_mat(dim, dim, 11);
+    let b = seeded_mat(dim, dim, 23);
+    let mut rows: Vec<KernelRow> = Vec::new();
+    for (which, name) in [(0usize, "matmul"), (1, "t_matmul"), (2, "matmul_t")] {
+        let (naive_secs, fast_secs, matches) = matmul_case(&a, &b, which, reps);
+        rows.push(KernelRow {
+            name,
+            naive_secs,
+            fast_secs,
+            naive_rate: matmul_gflops(dim, dim, dim, naive_secs),
+            fast_rate: matmul_gflops(dim, dim, dim, fast_secs),
+            rate_unit: "gflops",
+            matches,
+        });
+        let r = rows.last().unwrap();
+        eprintln!(
+            "  {name}: naive {} ({:.2} GF/s) blocked {} ({:.2} GF/s) x{:.2} match={}",
+            fmt_secs(naive_secs),
+            r.naive_rate,
+            fmt_secs(fast_secs),
+            r.fast_rate,
+            r.speedup(),
+            matches
+        );
+    }
+
+    // 2. Banded DTW kernel vs the pre-optimization reference.
+    let (ref_secs, banded_secs, dtw_matches) = dtw_case(dtw_len, dtw_pairs, dtw_window, reps);
+    let cells = (dtw_band_cells(dtw_len, dtw_len, dtw_window) * dtw_pairs) as f64;
+    rows.push(KernelRow {
+        name: "dtw_banded",
+        naive_secs: ref_secs,
+        fast_secs: banded_secs,
+        naive_rate: cells / ref_secs / 1e6,
+        fast_rate: cells / banded_secs / 1e6,
+        rate_unit: "mcells_per_sec",
+        matches: dtw_matches,
+    });
+    {
+        let r = rows.last().unwrap();
+        eprintln!(
+            "  dtw: reference {} ({:.1} Mc/s) banded {} ({:.1} Mc/s) x{:.2} match={}",
+            fmt_secs(ref_secs),
+            r.naive_rate,
+            fmt_secs(banded_secs),
+            r.fast_rate,
+            r.speedup(),
+            dtw_matches
+        );
+    }
+
+    // 3. Batched vs looped forecast inference on a trained pipeline.
+    let sys: DbAugur = trained_pipeline(0);
+    let sqls: Vec<&str> = vec![
+        "SELECT a FROM t1 WHERE id = 7",
+        "SELECT b FROM t2 WHERE id = 9",
+        "UPDATE t3 SET x = 2 WHERE id = 4",
+        "SELECT a FROM t1 WHERE id = 8",
+        "SELECT b FROM t2 WHERE id = 1",
+    ];
+    let batch_reps = 2000usize;
+    let looped: Vec<Option<f64>> = sqls.iter().map(|s| sys.forecast_template(s)).collect();
+    let batched = sys.forecast_template_batch(&sqls);
+    let batch_matches = looped
+        .iter()
+        .zip(&batched)
+        .all(|(l, b)| l.map(f64::to_bits) == b.map(f64::to_bits));
+    let looped_secs = time_best_of(3, || {
+        for _ in 0..batch_reps {
+            for s in &sqls {
+                black_box(sys.forecast_template(black_box(s)));
+            }
+        }
+    });
+    let batched_secs = time_best_of(3, || {
+        for _ in 0..batch_reps {
+            black_box(sys.forecast_template_batch(black_box(&sqls)));
+        }
+    });
+    let looped_usecs = looped_secs * 1e6 / batch_reps as f64;
+    let batched_usecs = batched_secs * 1e6 / batch_reps as f64;
+    eprintln!(
+        "  batched_forecast: looped {looped_usecs:.2} µs/batch batched {batched_usecs:.2} µs/batch x{:.2} match={batch_matches}",
+        looped_usecs / batched_usecs
+    );
+
+    // 4. Worker sweep rerun (bench3's DTW matrix) with the chunked
+    // row-block granularity underneath.
+    let traces = matrix_workload(MATRIX_TRACES);
+    let sweep = worker_sweep();
+    let matrix_runs: Vec<(usize, f64)> = sweep
+        .iter()
+        .map(|&workers| {
+            let exec = Arc::new(Executor::new(workers));
+            let secs = time_best_of(if scale.name == "quick" { 1 } else { 3 }, || {
+                let params = DescenderParams { rho: 6.0, min_size: 3, normalize: true };
+                let clustering = Descender::new(params, DtwDistance::new(10))
+                    .with_executor(Arc::clone(&exec))
+                    .cluster(black_box(&traces));
+                black_box(clustering);
+            });
+            eprintln!("  dtw_matrix workers={workers}: {}", fmt_secs(secs));
+            (workers, secs)
+        })
+        .collect();
+    let seq_secs = matrix_runs.iter().find(|r| r.0 == 1).map_or(f64::NAN, |r| r.1);
+    let best_multi = matrix_runs
+        .iter()
+        .filter(|r| r.0 > 1)
+        .map(|r| (r.0, seq_secs / r.1))
+        .fold((1usize, f64::NAN), |acc, cur| if acc.1.is_nan() || cur.1 > acc.1 { cur } else { acc });
+
+    // 5. Forecast latency distribution (p50/p99, not just the mean).
+    let calls = 10_000usize;
+    let mut samples = Vec::with_capacity(calls);
+    for _ in 0..calls {
+        let start = Instant::now();
+        black_box(sys.forecast_template(black_box("SELECT a FROM t1 WHERE id = 1")));
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let mean_usecs = samples.iter().sum::<f64>() / samples.len() as f64;
+    let p50 = percentile(&mut samples, 50.0);
+    let p99 = percentile(&mut samples, 99.0);
+    eprintln!("  forecast_latency: mean {mean_usecs:.2} p50 {p50:.2} p99 {p99:.2} µs");
+
+    // Gates.
+    let all_match = rows.iter().all(|r| r.matches) && batch_matches;
+    let best_kernel = rows
+        .iter()
+        .map(|r| (r.name, r.speedup()))
+        .fold(("none", 0.0f64), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+    let kernel_gate_pass = best_kernel.1 >= gate_min;
+    let multi_gate = if cores < 2 {
+        // No second core: report the honest skip marker instead of a
+        // fake 1.0 "pass" (the BENCH_3 trap this PR retires).
+        "\"skipped_single_core\"".to_string()
+    } else {
+        format!(
+            "{{\"best_workers\": {}, \"best_speedup\": {:.3}, \"status\": \"{}\"}}",
+            best_multi.0,
+            best_multi.1,
+            if best_multi.1 > 1.0 { "pass" } else { "fail" }
+        )
+    };
+    // NaN (no multi-worker run) must also count as a failure, hence
+    // the explicit non-NaN pass condition rather than `> 1.0` alone.
+    let multi_pass = best_multi.1 > 1.0;
+    let multi_gate_fail = cores >= 2 && !multi_pass;
+
+    let kernel_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kernel\": \"{}\", \"naive_secs\": {:.6}, \"fast_secs\": {:.6}, \"naive_{u}\": {:.3}, \"fast_{u}\": {:.3}, \"speedup\": {:.3}, \"bitwise_match\": {}}}",
+                r.name,
+                r.naive_secs,
+                r.fast_secs,
+                r.naive_rate,
+                r.fast_rate,
+                r.speedup(),
+                r.matches,
+                u = r.rate_unit,
+            )
+        })
+        .collect();
+    let matrix_json: Vec<String> = matrix_runs
+        .iter()
+        .map(|(w, s)| format!("{{\"workers\": {w}, \"secs\": {s:.6}}}"))
+        .collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_8\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"kernels\": [");
+    let _ = writeln!(json, "{}", kernel_rows.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"matmul_dim\": {dim},");
+    let _ = writeln!(json, "  \"dtw\": {{\"len\": {dtw_len}, \"pairs\": {dtw_pairs}, \"window\": {dtw_window}}},");
+    let _ = writeln!(json, "  \"batched_forecast\": {{");
+    let _ = writeln!(json, "    \"statements\": {},", sqls.len());
+    let _ = writeln!(json, "    \"looped_usecs_per_batch\": {looped_usecs:.3},");
+    let _ = writeln!(json, "    \"batched_usecs_per_batch\": {batched_usecs:.3},");
+    let _ = writeln!(json, "    \"speedup\": {:.3},", looped_usecs / batched_usecs);
+    let _ = writeln!(json, "    \"values_match\": {batch_matches}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dtw_matrix\": {{");
+    let _ = writeln!(json, "    \"traces\": {MATRIX_TRACES},");
+    let _ = writeln!(json, "    \"runs\": [{}],", matrix_json.join(", "));
+    let _ = writeln!(json, "    \"speedup_gate\": {multi_gate}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"forecast_latency\": {{");
+    let _ = writeln!(json, "    \"calls\": {calls},");
+    let _ = writeln!(json, "    \"mean_usecs\": {mean_usecs:.3},");
+    let _ = writeln!(json, "    \"p50_usecs\": {p50:.3},");
+    let _ = writeln!(json, "    \"p99_usecs\": {p99:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"regression_gate\": {{");
+    let _ = writeln!(json, "    \"min_kernel_speedup\": {gate_min},");
+    let _ = writeln!(
+        json,
+        "    \"best_kernel\": {{\"kernel\": \"{}\", \"speedup\": {:.3}}},",
+        best_kernel.0, best_kernel.1
+    );
+    let _ = writeln!(json, "    \"all_bitwise_match\": {all_match},");
+    let _ = writeln!(
+        json,
+        "    \"status\": \"{}\"",
+        if all_match && kernel_gate_pass && !multi_gate_fail { "pass" } else { "fail" }
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_8.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+
+    if !all_match {
+        eprintln!("FAIL: a kernel output diverged from its f64 reference");
+        std::process::exit(1);
+    }
+    if !kernel_gate_pass {
+        eprintln!(
+            "FAIL: best kernel speedup {:.3} below the {gate_min} regression gate",
+            best_kernel.1
+        );
+        std::process::exit(1);
+    }
+    if multi_gate_fail {
+        eprintln!("FAIL: multi-worker speedup {:.3} not above 1.0 on a {cores}-core host", best_multi.1);
+        std::process::exit(1);
+    }
+}

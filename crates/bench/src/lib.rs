@@ -9,6 +9,7 @@
 //! (paper-sized data and epochs).
 
 pub mod datasets;
+pub mod kernels;
 pub mod parallel;
 pub mod report;
 pub mod zoo;

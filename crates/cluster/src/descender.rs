@@ -139,13 +139,28 @@ impl<D: Distance> Descender<D> {
 
         // Phase 1: LB prefilter. Row i scans j > i with the cheap
         // lower bound only; pruned pairs never reach a DTW worker.
-        let candidate_rows: Vec<Vec<usize>> =
-            collect_or_expire(self.exec.try_run_deadline(n, deadline, |i| {
-                let a = &points[i];
-                ((i + 1)..n)
-                    .filter(|&j| metric.lower_bound(a, &points[j]) <= rho)
+        // Rows are grouped into contiguous blocks — one task per row is
+        // too fine to amortize scheduling, and ~8 blocks per worker
+        // still lets work-stealing balance the triangular row costs.
+        // Flattening in block order reproduces the per-row task order
+        // exactly, so the pair list (and the clustering) is unchanged.
+        let row_chunk = n.div_ceil((self.exec.workers() * 8).max(1)).max(1);
+        let num_row_chunks = n.div_ceil(row_chunk);
+        let candidate_blocks: Vec<Vec<Vec<usize>>> =
+            collect_or_expire(self.exec.try_run_deadline(num_row_chunks, deadline, |c| {
+                let lo = c * row_chunk;
+                let hi = (lo + row_chunk).min(n);
+                (lo..hi)
+                    .map(|i| {
+                        let a = &points[i];
+                        ((i + 1)..n)
+                            .filter(|&j| metric.lower_bound(a, &points[j]) <= rho)
+                            .collect()
+                    })
                     .collect()
             }))?;
+        let candidate_rows: Vec<Vec<usize>> =
+            candidate_blocks.into_iter().flatten().collect();
         let pairs: Vec<(usize, usize)> = candidate_rows
             .iter()
             .enumerate()

@@ -38,6 +38,7 @@ use dbaugur_models::{
 use dbaugur_sqlproc::{parse_log_stream, TemplateRegistry};
 use dbaugur_trace::{fill_gaps, Trace, WindowSpec};
 use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -741,6 +742,54 @@ impl DbAugur {
         self.forecast_trace(&format!("template:{}", id.0))
     }
 
+    /// Batched [`Self::forecast_template`]: N statements resolved in one
+    /// pass, with each touched cluster's ensemble evaluated **once** and
+    /// the projection fanned out per member — K ensemble forward passes
+    /// for N templates instead of N. Element `i` is bitwise-equal to
+    /// `self.forecast_template(sqls[i])`: the name and cluster indices
+    /// below reproduce `forecast_trace`'s first-match semantics, and
+    /// `TrainedCluster::forecast` is deterministic for a fixed state, so
+    /// memoizing it cannot change any answer.
+    pub fn forecast_template_batch(&self, sqls: &[&str]) -> Vec<Option<f64>> {
+        if sqls.is_empty() {
+            return Vec::new();
+        }
+        // name → first global trace index (forecast_trace's `position`).
+        let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(self.trace_names.len());
+        for (idx, name) in self.trace_names.iter().enumerate() {
+            by_name.entry(name.as_str()).or_insert(idx);
+        }
+        // global index → first (cluster, member position) holding it.
+        let mut slot: Vec<Option<(usize, usize)>> = vec![None; self.trace_names.len()];
+        for (ci, cluster) in self.trained.iter().enumerate() {
+            for (mp, &g) in cluster.summary.members.iter().enumerate() {
+                if let Some(s) = slot.get_mut(g) {
+                    if s.is_none() {
+                        *s = Some((ci, mp));
+                    }
+                }
+            }
+        }
+        let mut cluster_pred: Vec<Option<f64>> = vec![None; self.trained.len()];
+        sqls.iter()
+            .map(|sql| {
+                let id = self.registry.lookup(sql)?;
+                let name = format!("template:{}", id.0);
+                let global_idx = *by_name.get(name.as_str())?;
+                let (ci, mp) = slot[global_idx]?;
+                let pred = match cluster_pred[ci] {
+                    Some(p) => p,
+                    None => {
+                        let p = self.trained[ci].forecast(self.cfg.history);
+                        cluster_pred[ci] = Some(p);
+                        p
+                    }
+                };
+                Some(self.trained[ci].summary.project(mp, pred))
+            })
+            .collect()
+    }
+
     /// Serving-time health of every trained cluster: training status
     /// plus the drift monitor's verdict and retrain recommendation.
     pub fn drift_report(&self) -> Vec<ClusterHealth> {
@@ -1030,6 +1079,33 @@ mod tests {
         let f = sys.forecast_template("SELECT * FROM bus WHERE route = 777");
         assert!(f.expect("same template, different literal").is_finite());
         assert!(sys.forecast_template("SELECT unknown FROM nowhere").is_none());
+    }
+
+    #[test]
+    fn forecast_template_batch_matches_looped_calls_bitwise() {
+        let mut sys = DbAugur::new(tiny_cfg());
+        feed_periodic(&mut sys, "SELECT * FROM bus WHERE route = 1", 120, 10, 6);
+        feed_periodic(&mut sys, "SELECT name FROM stop WHERE id = 2", 120, 14, 3);
+        feed_periodic(&mut sys, "UPDATE fare SET price = 3 WHERE zone = 4", 120, 7, 2);
+        sys.train(0, 120 * 60).expect("trains");
+        let sqls = [
+            "SELECT * FROM bus WHERE route = 777",
+            "SELECT name FROM stop WHERE id = 9",
+            "SELECT unknown FROM nowhere",
+            "UPDATE fare SET price = 8 WHERE zone = 1",
+            // Repeats hit the memoized cluster prediction.
+            "SELECT * FROM bus WHERE route = 2",
+        ];
+        let batched = sys.forecast_template_batch(&sqls);
+        assert_eq!(batched.len(), sqls.len());
+        for (sql, b) in sqls.iter().zip(&batched) {
+            let single = sys.forecast_template(sql);
+            assert_eq!(
+                single.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "batched forecast diverged for {sql}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,75 @@ pub fn dtw_distance_early_abandon_scratch(
     let mut curr = &mut scratch.curr;
     prev[0] = 0.0;
     for i in 1..=n {
+        let lo = i.saturating_sub(w).max(1);
+        let hi = i.saturating_add(w).min(m);
+        if lo > hi {
+            return f64::INFINITY;
+        }
+        // `reset` filled both rows with +∞ once per call. The band
+        // edges lo(i)/hi(i) are nondecreasing in i, so every in-band
+        // cell of this row is overwritten below before anyone reads it,
+        // and every out-of-band cell the next row consults still holds
+        // +∞ from the initial fill — except `curr[lo − 1]`, which row
+        // i−2 may have left finite. One write replaces the old O(m)
+        // per-row fill.
+        curr[lo - 1] = f64::INFINITY;
+        let ai = a[i - 1];
+        let mut row_min = f64::INFINITY;
+        // Branch-light inner loop: the early-abandon check is hoisted
+        // out of the loop (one comparison per row), the running minimum
+        // compiles to a select, and the left/diagonal neighbours ride
+        // in registers instead of being re-loaded from the row buffers.
+        // `up.min(diag)` is computed off the loop-carried chain, so the
+        // serial dependence per cell is one `min` plus one add; the
+        // reorder is bitwise-safe because every cell is a non-NaN value
+        // in [+0.0, +∞] (no −0.0 can arise from squares and sums of
+        // them), where `min` is exactly associative.
+        let mut diag = prev[lo - 1];
+        let mut left = f64::INFINITY;
+        for j in lo..=hi {
+            let d = ai - b[j - 1];
+            let up = prev[j];
+            let best = up.min(diag).min(left);
+            let v = d * d + best;
+            curr[j] = v;
+            row_min = row_min.min(v);
+            diag = up;
+            left = v;
+        }
+        if row_min > cutoff_sq {
+            return f64::INFINITY;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+/// Reference oracle for [`dtw_distance_early_abandon_scratch`]: the
+/// pre-optimization kernel, kept verbatim (full per-row +∞ fill,
+/// branchy row minimum) so property tests and the bench8 microbench can
+/// prove the banded kernel bitwise-identical and measure the win.
+pub fn dtw_distance_early_abandon_reference(
+    a: &[f64],
+    b: &[f64],
+    window: usize,
+    cutoff: f64,
+) -> f64 {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    let w = window.max(n.abs_diff(m));
+    let cutoff_sq = if cutoff.is_finite() { cutoff * cutoff } else { f64::INFINITY };
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
         curr.fill(f64::INFINITY);
         let lo = i.saturating_sub(w).max(1);
         let hi = i.saturating_add(w).min(m);
@@ -215,6 +284,46 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn euclidean_length_mismatch_panics() {
         euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn banded_kernel_matches_reference_bitwise_over_seeded_corpus() {
+        // The band-footprint clear and branch-light inner loop must
+        // reproduce the old kernel bit-for-bit over a corpus covering
+        // ragged lengths, band widths 0/1/huge, and cut/uncut paths.
+        let mut scratch = DtwScratch::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        let lens = [1usize, 2, 3, 7, 16, 33, 64];
+        let series: Vec<Vec<f64>> =
+            lens.iter().map(|&l| (0..l).map(|_| next()).collect()).collect();
+        for a in &series {
+            for b in &series {
+                for window in [0usize, 1, 4, 1000, usize::MAX] {
+                    for cutoff in [f64::INFINITY, 25.0, 3.0, 0.1] {
+                        let reference =
+                            dtw_distance_early_abandon_reference(a, b, window, cutoff);
+                        let banded = dtw_distance_early_abandon_scratch(
+                            a, b, window, cutoff, &mut scratch,
+                        );
+                        assert_eq!(
+                            reference.to_bits(),
+                            banded.to_bits(),
+                            "len {}x{} window {} cutoff {}",
+                            a.len(),
+                            b.len(),
+                            window,
+                            cutoff
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub mod path;
 pub use balltree::BallTree;
 pub use distance::{CosineDistance, Distance, DtwDistance, EuclideanDistance};
 pub use dtw::{
-    dtw_distance, dtw_distance_early_abandon, dtw_distance_early_abandon_scratch, DtwScratch,
+    dtw_distance, dtw_distance_early_abandon, dtw_distance_early_abandon_reference,
+    dtw_distance_early_abandon_scratch, DtwScratch,
 };
 pub use lb::{lb_keogh, lb_kim, Envelope};
 pub use path::{dba_barycenter, dtw_path, mean_dtw_to};

@@ -545,6 +545,53 @@ impl Forecaster for TimeSensitiveEnsemble {
         }
     }
 
+    fn predict_batch(&self, windows: &[&[f64]]) -> Vec<f64> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let adapted: Vec<Cow<[f64]>> = windows.iter().map(|w| self.adapt_window(w)).collect();
+        let refs: Vec<&[f64]> = adapted.iter().map(|w| w.as_ref()).collect();
+        let weights = self.weights();
+        // Each live member answers the whole batch in one forward pass;
+        // the per-window mixing then walks members in the same order as
+        // `predict`, so every output is bitwise-identical to a loop of
+        // single-window calls.
+        let member_preds: Vec<Option<Vec<f64>>> = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (!self.quarantined[i]).then(|| m.predict_batch(&refs)))
+            .collect();
+        (0..windows.len())
+            .map(|t| {
+                let mut acc = 0.0;
+                let mut wsum = 0.0;
+                for (i, preds) in member_preds.iter().enumerate() {
+                    if let Some(preds) = preds {
+                        let p = preds[t];
+                        if p.is_finite() {
+                            acc += weights[i] * p;
+                            wsum += weights[i];
+                        }
+                    }
+                }
+                if wsum > 0.0 {
+                    return acc / wsum;
+                }
+                let p = if self.history == 0 {
+                    f64::NAN
+                } else {
+                    self.fallback.predict(refs[t])
+                };
+                if p.is_finite() {
+                    p
+                } else {
+                    refs[t].last().copied().unwrap_or(0.0)
+                }
+            })
+            .collect()
+    }
+
     fn observe(&mut self, window: &[f64], actual: f64) {
         if !actual.is_finite() {
             // Poisoned feedback must not corrupt the error histories.
@@ -818,6 +865,39 @@ mod tests {
     #[should_panic(expected = "attenuation")]
     fn bad_delta_panics() {
         TimeSensitiveEnsemble::new("x", vec![Box::new(Naive)], 0.0);
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_predict_loop() {
+        // Real neural member (batched matmul path) + classical members,
+        // with uneven error-history weights: batching must be invisible.
+        let series: Vec<f64> =
+            (0..240).map(|i| 50.0 + 30.0 * (i as f64 * 0.25).sin()).collect();
+        let spec = WindowSpec::new(12, 1);
+        let mut e = TimeSensitiveEnsemble::new(
+            "batch",
+            vec![
+                Box::new(crate::mlp::MlpForecaster::new(3).with_epochs(4)),
+                Box::new(Naive),
+                Box::new(Constant(40.0)),
+            ],
+            0.9,
+        );
+        e.fit(&series[..200], spec);
+        for t in 200..210 {
+            e.observe(&series[t - 12..t], series[t]);
+        }
+        // Mixed lengths exercise the adapt_window paths too.
+        let windows: Vec<&[f64]> = vec![
+            &series[100..112],
+            &series[50..62],
+            &series[0..6],   // short: left-padded
+            &series[0..40],  // long: truncated
+        ];
+        let batched = e.predict_batch(&windows);
+        for (w, b) in windows.iter().zip(&batched) {
+            assert_eq!(e.predict(w).to_bits(), b.to_bits());
+        }
     }
 
     /// A stub whose `fit` always panics (simulated member crash).

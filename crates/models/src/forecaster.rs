@@ -20,6 +20,16 @@ pub trait Forecaster: Send {
     /// [`Forecaster::observe`] instead).
     fn predict(&self, window: &[f64]) -> f64;
 
+    /// Predict many windows at once. The contract is bitwise: element
+    /// `i` must equal `self.predict(windows[i])` exactly — batching is
+    /// a kernel-level optimization (one N-row matmul instead of N
+    /// row-vector matmuls for neural members), never a semantic change.
+    /// The default loops `predict`; models with a batched forward pass
+    /// override it.
+    fn predict_batch(&self, windows: &[&[f64]]) -> Vec<f64> {
+        windows.iter().map(|w| self.predict(w)).collect()
+    }
+
     /// Feed back an observed target for the window that was used to
     /// predict it. Default: no-op. The time-sensitive ensemble uses this
     /// to maintain its per-member error history (Eqn. 7).
@@ -68,6 +78,10 @@ impl Forecaster for Box<dyn Forecaster> {
 
     fn predict(&self, window: &[f64]) -> f64 {
         self.as_ref().predict(window)
+    }
+
+    fn predict_batch(&self, windows: &[&[f64]]) -> Vec<f64> {
+        self.as_ref().predict_batch(windows)
     }
 
     fn observe(&mut self, window: &[f64], actual: f64) {

@@ -180,6 +180,26 @@ impl Forecaster for MlpForecaster {
         self.scaler.inverse(net.infer(&x).get(0, 0))
     }
 
+    fn predict_batch(&self, windows: &[&[f64]]) -> Vec<f64> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        for w in windows {
+            assert_eq!(w.len(), self.history, "window length must match fit history");
+        }
+        let Some(net) = &self.net else {
+            return windows.iter().map(|w| w.last().copied().unwrap_or(0.0)).collect();
+        };
+        // One N-row forward pass instead of N row-vector passes. Row
+        // independence of the blocked matmul kernels makes each output
+        // row bitwise-equal to the single-window `predict`.
+        let x = Mat::from_fn(windows.len(), self.history, |r, c| {
+            self.scaler.transform(windows[r][c])
+        });
+        let y = net.infer(&x);
+        (0..windows.len()).map(|r| self.scaler.inverse(y.get(r, 0))).collect()
+    }
+
     fn storage_bytes(&self) -> usize {
         match &self.net {
             Some(net) => {

@@ -113,22 +113,68 @@ impl Mat {
         self.data.fill(v);
     }
 
-    /// `self @ rhs` — matrix product.
+    /// `self @ rhs` — matrix product, register-blocked.
+    ///
+    /// Bitwise-identical to [`Mat::matmul_reference`]: every output
+    /// element accumulates its `k` terms in the same increasing-`k`
+    /// order the reference uses, so blocking changes which elements are
+    /// in flight, never the order of any one element's sum.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Mat) -> Mat {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
         let mut out = Mat::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: the inner loop walks both `rhs` and `out`
-        // rows contiguously.
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if m > 0 && k > 0 && n > 0 {
+            kernel::matmul(&self.data, &rhs.data, &mut out.data, m, k, n);
+        }
+        out
+    }
+
+    /// `selfᵀ @ rhs` without materializing the transpose,
+    /// register-blocked. Bitwise-identical to
+    /// [`Mat::t_matmul_reference`] (increasing-row accumulation order
+    /// per output element).
+    pub fn t_matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.rows, rhs.rows, "t_matmul requires equal row counts");
+        let mut out = Mat::zeros(self.cols, rhs.cols);
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        if m > 0 && k > 0 && n > 0 {
+            kernel::t_matmul(&self.data, &rhs.data, &mut out.data, m, k, n);
+        }
+        out
+    }
+
+    /// `self @ rhsᵀ` without materializing the transpose,
+    /// register-blocked. Bitwise-identical to
+    /// [`Mat::matmul_t_reference`]: each of the MR×NR dot products in a
+    /// tile keeps its own scalar accumulator walking `k` in order, so
+    /// no partial-sum reassociation happens — the tile buys memory
+    /// reuse (each loaded value feeds MR or NR products) and
+    /// instruction-level parallelism, not SIMD reduction.
+    pub fn matmul_t(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.cols, "matmul_t requires equal col counts");
+        let mut out = Mat::zeros(self.rows, rhs.rows);
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        if m > 0 && k > 0 && n > 0 {
+            kernel::matmul_t(&self.data, &rhs.data, &mut out.data, m, k, n);
+        }
+        out
+    }
+
+    /// Reference oracle for [`Mat::matmul`]: the original naive i-k-j
+    /// triple loop. The historical `a == 0.0` fast-path skip is gone —
+    /// it silently masked IEEE non-finite propagation (`0.0 × inf` and
+    /// `0.0 × NaN` must yield NaN, which TrainGuard's poison detection
+    /// relies on) and the fast kernels never had it.
+    pub fn matmul_reference(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
@@ -138,17 +184,14 @@ impl Mat {
         out
     }
 
-    /// `selfᵀ @ rhs` without materializing the transpose.
-    pub fn t_matmul(&self, rhs: &Mat) -> Mat {
+    /// Reference oracle for [`Mat::t_matmul`] (naive, no zero skip).
+    pub fn t_matmul_reference(&self, rhs: &Mat) -> Mat {
         assert_eq!(self.rows, rhs.rows, "t_matmul requires equal row counts");
         let mut out = Mat::zeros(self.cols, rhs.cols);
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = rhs.row(r);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -158,8 +201,8 @@ impl Mat {
         out
     }
 
-    /// `self @ rhsᵀ` without materializing the transpose.
-    pub fn matmul_t(&self, rhs: &Mat) -> Mat {
+    /// Reference oracle for [`Mat::matmul_t`] (naive dot products).
+    pub fn matmul_t_reference(&self, rhs: &Mat) -> Mat {
         assert_eq!(self.cols, rhs.cols, "matmul_t requires equal col counts");
         let mut out = Mat::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
@@ -247,6 +290,181 @@ impl Mat {
     }
 }
 
+/// The register-blocked kernel bodies behind [`Mat::matmul`],
+/// [`Mat::t_matmul`], and [`Mat::matmul_t`].
+///
+/// Each body is written once as a portable `#[inline(always)]`
+/// function and instantiated twice: the plain baseline build, and an
+/// `#[target_feature(enable = "avx2")]` wrapper selected by runtime
+/// CPU detection so LLVM emits 256-bit `vmulpd`/`vaddpd` for the tile
+/// loops. FMA is deliberately **not** enabled: a fused multiply-add
+/// rounds once where the reference rounds twice, which would break the
+/// bitwise-identity contract with the naive oracles. Plain wider
+/// mul/add lanes keep per-element IEEE semantics and accumulation
+/// order exactly, so both instantiations produce identical bits.
+mod kernel {
+    /// Rows per register tile. A 4×8 f64 accumulator tile fits in
+    /// eight 256-bit vector registers with room left for the broadcast
+    /// operand and the streamed `rhs` panel.
+    const MR: usize = 4;
+    /// Columns per register tile (one cache line of f64).
+    const NR: usize = 8;
+
+    /// `out[m×n] = a[m×k] @ b[k×n]`, all row-major, `out` zeroed.
+    /// Per-element accumulation walks `k` in increasing order — the
+    /// naive reference's order — so blocking changes which elements
+    /// are in flight, never the order of any one element's sum.
+    #[inline(always)]
+    fn matmul_body(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        let mut i0 = 0;
+        while i0 < m {
+            let mh = MR.min(m - i0);
+            let mut j0 = 0;
+            while j0 < n {
+                let nh = NR.min(n - j0);
+                if mh == MR && nh == NR {
+                    // Full MR×NR micro-kernel: the accumulator tile
+                    // lives in registers; each k step broadcasts one
+                    // `a` value per row against a contiguous NR-wide
+                    // panel of `b` — the shape LLVM auto-vectorizes.
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for kk in 0..k {
+                        let brow = &b[kk * n + j0..kk * n + j0 + NR];
+                        for (r, acc_row) in acc.iter_mut().enumerate() {
+                            let av = a[(i0 + r) * k + kk];
+                            for (o, &bv) in acc_row.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_row) in acc.iter().enumerate() {
+                        let base = (i0 + r) * n + j0;
+                        out[base..base + NR].copy_from_slice(acc_row);
+                    }
+                } else {
+                    // Ragged edge tile: same increasing-k order,
+                    // variable width.
+                    for r in 0..mh {
+                        let mut acc = [0.0f64; NR];
+                        for kk in 0..k {
+                            let av = a[(i0 + r) * k + kk];
+                            let brow = &b[kk * n + j0..kk * n + j0 + nh];
+                            for (o, &bv) in acc[..nh].iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                        let base = (i0 + r) * n + j0;
+                        out[base..base + nh].copy_from_slice(&acc[..nh]);
+                    }
+                }
+                j0 += nh;
+            }
+            i0 += mh;
+        }
+    }
+
+    /// `out[m×n] = aᵀ @ b` where `a` is `k×m`: identical tile
+    /// structure to `matmul_body`, only the `a` indexing differs — the
+    /// reduction axis is `a`'s row axis, so the MR values per k step
+    /// are contiguous (`a[kk * m + i0..]`).
+    #[inline(always)]
+    fn t_matmul_body(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        let mut i0 = 0;
+        while i0 < m {
+            let mh = MR.min(m - i0);
+            let mut j0 = 0;
+            while j0 < n {
+                let nh = NR.min(n - j0);
+                if mh == MR && nh == NR {
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for kk in 0..k {
+                        let arow = &a[kk * m + i0..kk * m + i0 + MR];
+                        let brow = &b[kk * n + j0..kk * n + j0 + NR];
+                        for (acc_row, &av) in acc.iter_mut().zip(arow) {
+                            for (o, &bv) in acc_row.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_row) in acc.iter().enumerate() {
+                        let base = (i0 + r) * n + j0;
+                        out[base..base + NR].copy_from_slice(acc_row);
+                    }
+                } else {
+                    for r in 0..mh {
+                        let mut acc = [0.0f64; NR];
+                        for kk in 0..k {
+                            let av = a[kk * m + i0 + r];
+                            let brow = &b[kk * n + j0..kk * n + j0 + nh];
+                            for (o, &bv) in acc[..nh].iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                        let base = (i0 + r) * n + j0;
+                        out[base..base + nh].copy_from_slice(&acc[..nh]);
+                    }
+                }
+                j0 += nh;
+            }
+            i0 += mh;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod avx2 {
+        /// # Safety
+        /// Caller must have verified AVX2 support at runtime.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+            super::matmul_body(a, b, out, m, k, n)
+        }
+
+        /// # Safety
+        /// Caller must have verified AVX2 support at runtime.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn t_matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+            super::t_matmul_body(a, b, out, m, k, n)
+        }
+
+    }
+
+    pub(super) fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence verified on the line above.
+            unsafe { return avx2::matmul(a, b, out, m, k, n) };
+        }
+        matmul_body(a, b, out, m, k, n)
+    }
+
+    pub(super) fn t_matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence verified on the line above.
+            unsafe { return avx2::t_matmul(a, b, out, m, k, n) };
+        }
+        t_matmul_body(a, b, out, m, k, n)
+    }
+
+    /// `out[m×n] = a[m×k] @ bᵀ` where `b` is `n×k`. The `b` operand is
+    /// traversed along `k` per output, which defeats both SIMD across
+    /// columns (stride-`k` gathers) and the register tile (MR×NR scalar
+    /// accumulators spill). Materializing `bᵀ` once costs O(k·n) against
+    /// the O(m·k·n) multiply and lets the hot loop run the contiguous
+    /// `matmul` kernel. Each output element still accumulates in a
+    /// single chain over increasing `k`, so results stay
+    /// bitwise-identical to the dot-product reference.
+    pub(super) fn matmul_t(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        let mut bt = vec![0.0f64; k * n];
+        for (j, brow) in b.chunks_exact(k).enumerate() {
+            for (kk, &bv) in brow.iter().enumerate() {
+                bt[kk * n + j] = bv;
+            }
+        }
+        matmul(a, &bt, out, m, k, n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +544,102 @@ mod tests {
     fn vectors_have_expected_shapes() {
         assert_eq!(Mat::row_vector(vec![1.0, 2.0]).shape(), (1, 2));
         assert_eq!(Mat::col_vector(vec![1.0, 2.0]).shape(), (2, 1));
+    }
+
+    /// Cheap deterministic value stream exercising signs, magnitudes,
+    /// and exact zeros (zeros matter: the old kernels special-cased
+    /// them).
+    fn probe(i: usize) -> f64 {
+        match i % 7 {
+            0 => 0.0,
+            1 => 1.5,
+            2 => -2.25,
+            3 => 1e-8,
+            4 => -3e6,
+            5 => 0.1 + i as f64,
+            _ => -(i as f64) * 0.37,
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_bitwise_over_ragged_shapes() {
+        // Shapes straddle every tile boundary: below/at/above MR and
+        // NR, plus degenerate 0/1 dims.
+        let dims = [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 17];
+        for &m in &dims {
+            for &k in &dims {
+                for &n in &dims {
+                    let a = Mat::from_fn(m, k, |r, c| probe(r * 31 + c));
+                    let b = Mat::from_fn(k, n, |r, c| probe(r * 17 + c + 3));
+                    let bt = b.transpose();
+                    let at = a.transpose();
+                    assert_eq!(
+                        a.matmul(&b).as_slice(),
+                        a.matmul_reference(&b).as_slice(),
+                        "matmul {m}x{k}x{n}"
+                    );
+                    assert_eq!(
+                        at.t_matmul(&b).as_slice(),
+                        at.t_matmul_reference(&b).as_slice(),
+                        "t_matmul {m}x{k}x{n}"
+                    );
+                    assert_eq!(
+                        a.matmul_t(&bt).as_slice(),
+                        a.matmul_t_reference(&bt).as_slice(),
+                        "matmul_t {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nonfinite_through_zero_lhs() {
+        // Regression: the old kernel skipped `a == 0.0` rows, so an
+        // inf/NaN in `rhs` multiplied by an exactly-zero weight was
+        // silently dropped instead of poisoning the output. IEEE says
+        // 0.0 × inf = NaN, and TrainGuard's explosion detection needs
+        // that poison to surface.
+        let a = Mat::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Mat::from_vec(2, 2, vec![f64::INFINITY, f64::NAN, 2.0, 3.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0*inf + 1*2 must be NaN, got {}", c.get(0, 0));
+        assert!(c.get(0, 1).is_nan(), "0*NaN + 1*3 must be NaN, got {}", c.get(0, 1));
+        let r = a.matmul_reference(&b);
+        assert!(r.get(0, 0).is_nan() && r.get(0, 1).is_nan());
+    }
+
+    #[test]
+    fn t_matmul_propagates_nonfinite_through_zero_lhs() {
+        // aᵀ has a zero in the reduction position that meets the inf.
+        let a = Mat::from_vec(2, 1, vec![0.0, 1.0]);
+        let b = Mat::from_vec(2, 1, vec![f64::INFINITY, 1.0]);
+        let c = a.t_matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0*inf + 1*1 must be NaN, got {}", c.get(0, 0));
+        assert!(a.t_matmul_reference(&b).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn matmul_t_propagates_nonfinite() {
+        let a = Mat::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Mat::from_vec(1, 2, vec![f64::NAN, 5.0]);
+        assert!(a.matmul_t(&b).get(0, 0).is_nan());
+        assert!(a.matmul_t_reference(&b).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn batched_rows_match_single_row_calls_bitwise() {
+        // The batched-inference contract: row i of a batched product
+        // equals the product of row i alone — blocking must never leak
+        // state across rows.
+        let k = 13;
+        let n = 9;
+        let batch = Mat::from_fn(6, k, |r, c| probe(r * 41 + c + 1));
+        let w = Mat::from_fn(k, n, |r, c| probe(r * 13 + c + 5));
+        let all = batch.matmul(&w);
+        for r in 0..batch.rows() {
+            let one = Mat::from_vec(1, k, batch.row(r).to_vec()).matmul(&w);
+            assert_eq!(all.row(r), one.as_slice(), "row {r}");
+        }
     }
 }

@@ -21,6 +21,17 @@ pub trait Engine {
     /// A full-quality forecast for the statement's template.
     fn forecast(&mut self, sql: &str) -> f64;
 
+    /// Forecast a run of statements at once. The contract is strict:
+    /// element `i` must equal what `self.forecast(sqls[i])` would have
+    /// returned at that point in a sequential loop, including every
+    /// side effect (floor updates) in the same order — batching may
+    /// only change how many kernel invocations the answers cost. The
+    /// default is that sequential loop; engines with a batched pipeline
+    /// underneath override it.
+    fn forecast_batch(&mut self, sqls: &[&str]) -> Vec<f64> {
+        sqls.iter().map(|s| self.forecast(s)).collect()
+    }
+
     /// The O(1) degraded answer (seasonal-naive floor) served when the
     /// deadline expired before [`Engine::forecast`] could run.
     fn floor(&mut self, sql: &str) -> f64;
@@ -244,6 +255,25 @@ impl Engine for PipelineEngine {
         let v = if v.is_finite() { v } else { 0.0 };
         self.floors.insert(canonicalize(sql), v);
         v
+    }
+
+    fn forecast_batch(&mut self, sqls: &[&str]) -> Vec<f64> {
+        // One pipeline pass for the whole run: each touched cluster's
+        // ensemble is evaluated once instead of once per statement.
+        // `forecast_template` never mutates the pipeline, so batching
+        // it is invisible; the floor inserts below happen in the same
+        // order a sequential loop would produce.
+        self.sys
+            .forecast_template_batch(sqls)
+            .into_iter()
+            .zip(sqls)
+            .map(|(v, sql)| {
+                let v = v.unwrap_or(0.0);
+                let v = if v.is_finite() { v } else { 0.0 };
+                self.floors.insert(canonicalize(sql), v);
+                v
+            })
+            .collect()
     }
 
     fn floor(&mut self, sql: &str) -> f64 {

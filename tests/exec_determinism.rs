@@ -6,8 +6,12 @@
 //! deriving every model seed from the cluster id rather than from
 //! execution order.
 
+use dbaugur::exec::Executor;
 use dbaugur::{DbAugur, DbAugurConfig};
+use dbaugur_cluster::{Descender, DescenderParams};
+use dbaugur_dtw::DtwDistance;
 use dbaugur_trace::{Trace, TraceKind};
+use std::sync::Arc;
 
 const MINUTES: u64 = 180;
 
@@ -120,6 +124,44 @@ fn parallel_training_is_bitwise_identical_to_sequential() {
             baseline,
             "{workers}-worker training diverged from sequential"
         );
+    }
+}
+
+/// The descender's LB-prefilter phase fans out chunked row-blocks
+/// whose size depends on the worker count, so different worker counts
+/// enumerate candidate pairs through differently-shaped tasks. The
+/// clustering must nevertheless be identical: chunk results are
+/// re-flattened in row order before any pair is visited.
+#[test]
+fn chunked_descender_clustering_is_worker_count_invariant() {
+    let traces: Vec<Trace> = (0..40)
+        .map(|i| {
+            let phase = (i % 5) as f64;
+            Trace::new(
+                format!("t{i}"),
+                TraceKind::Query,
+                60,
+                (0..64)
+                    .map(|t| 20.0 + 10.0 * ((t as f64) * 0.3 + phase).sin() + (i as f64) * 0.01)
+                    .collect(),
+            )
+        })
+        .collect();
+    let cluster_at = |workers: usize| {
+        let params = DescenderParams { rho: 6.0, min_size: 3, normalize: true };
+        Descender::new(params, DtwDistance::new(10))
+            .with_executor(Arc::new(Executor::new(workers)))
+            .cluster(&traces)
+    };
+    let sequential = cluster_at(1);
+    assert!(sequential.num_clusters > 0, "workload should produce clusters");
+    for workers in [2, 8] {
+        let parallel = cluster_at(workers);
+        assert_eq!(
+            parallel.assignments, sequential.assignments,
+            "{workers}-worker chunked clustering diverged from sequential"
+        );
+        assert_eq!(parallel.num_clusters, sequential.num_clusters);
     }
 }
 

@@ -1,0 +1,121 @@
+//! Seeded property tests for the fast compute kernels: the blocked
+//! matmul family, the banded DTW inner loop, and batched forecaster
+//! inference must be **bitwise-identical** to their naive references
+//! across ragged shapes, empty inputs, and degenerate band widths.
+//! Every comparison goes through `f64::to_bits`, so "close enough"
+//! can never pass.
+
+use dbaugur_dtw::{
+    dtw_distance_early_abandon_reference, dtw_distance_early_abandon_scratch, DtwScratch,
+};
+use dbaugur_models::{Forecaster, MlpForecaster};
+use dbaugur_nn::Mat;
+use dbaugur_trace::WindowSpec;
+use proptest::prelude::*;
+
+/// Deterministic value stream with exact zeros sprinkled in (every 7th
+/// element), so the kernels are exercised on the zero entries whose
+/// special-casing the old matmul used for its non-finite-masking skip.
+fn probe_mat(rows: usize, cols: usize, seed: usize) -> Mat {
+    Mat::from_fn(rows, cols, |r, c| {
+        let i = r * cols + c + seed;
+        if i.is_multiple_of(7) {
+            0.0
+        } else {
+            ((i as f64) * 0.377).sin() * 10.0
+        }
+    })
+}
+
+fn bits(m: &Mat) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn probe_series(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64;
+            50.0 + 30.0 * ((i as f64) * 0.07).sin() + 10.0 * noise
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked/AVX2 matmul, t_matmul, and matmul_t match the naive
+    /// reference bitwise for arbitrary ragged shapes — including zero
+    /// dimensions, shapes smaller than one register tile, and shapes
+    /// that straddle tile boundaries.
+    #[test]
+    fn blocked_matmul_family_matches_reference_bitwise(
+        m in 0usize..13,
+        k in 0usize..13,
+        n in 0usize..13,
+        seed in 0usize..1000,
+    ) {
+        let a = probe_mat(m, k, seed);
+        let b = probe_mat(k, n, seed + 1);
+        prop_assert_eq!(bits(&a.matmul(&b)), bits(&a.matmul_reference(&b)));
+
+        // t_matmul computes selfᵀ × rhs: self is (k × m), rhs (k × n).
+        let at = probe_mat(k, m, seed + 2);
+        prop_assert_eq!(bits(&at.t_matmul(&b)), bits(&at.t_matmul_reference(&b)));
+
+        // matmul_t computes self × rhsᵀ: self is (m × k), rhs (n × k).
+        let bt = probe_mat(n, k, seed + 3);
+        prop_assert_eq!(bits(&a.matmul_t(&bt)), bits(&a.matmul_t_reference(&bt)));
+    }
+
+    /// The banded DTW kernel matches the pre-optimization reference
+    /// bitwise for ragged lengths (empty series included), band widths
+    /// 0 / 1 / huge, and both finite and infinite early-abandon
+    /// cutoffs.
+    #[test]
+    fn banded_dtw_matches_reference_bitwise(
+        alen in 0usize..40,
+        blen in 0usize..40,
+        window in prop::sample::select(vec![0usize, 1, 3, 9, usize::MAX]),
+        cutoff in prop::sample::select(vec![f64::INFINITY, 40.0, 5.0, 0.5]),
+        seed in 0u64..1000,
+    ) {
+        let a = probe_series(alen, seed);
+        let b = probe_series(blen, seed.wrapping_add(17));
+        let mut scratch = DtwScratch::new();
+        let fast = dtw_distance_early_abandon_scratch(&a, &b, window, cutoff, &mut scratch);
+        let reference = dtw_distance_early_abandon_reference(&a, &b, window, cutoff);
+        prop_assert_eq!(fast.to_bits(), reference.to_bits());
+        // The scratch buffers are reused across calls in production;
+        // a second call on the same scratch must see no stale state.
+        let again = dtw_distance_early_abandon_scratch(&a, &b, window, cutoff, &mut scratch);
+        prop_assert_eq!(again.to_bits(), reference.to_bits());
+    }
+
+    /// Batched MLP inference (one matmul for N windows) returns exactly
+    /// what N independent `predict` calls return, for any batch size
+    /// and seed.
+    #[test]
+    fn batched_mlp_predict_matches_looped_bitwise(
+        seed in 0u64..30,
+        batch in 1usize..8,
+    ) {
+        let series = probe_series(60, seed);
+        let history = 8usize;
+        let mut model = MlpForecaster::new(seed).with_epochs(2);
+        model.fit(&series, WindowSpec::new(history, 1));
+        let windows: Vec<Vec<f64>> = (0..batch)
+            .map(|i| probe_series(history, seed.wrapping_add(100 + i as u64)))
+            .collect();
+        let refs: Vec<&[f64]> = windows.iter().map(Vec::as_slice).collect();
+        let batched = model.predict_batch(&refs);
+        let looped: Vec<f64> = refs.iter().map(|w| model.predict(w)).collect();
+        prop_assert_eq!(
+            batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            looped.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
