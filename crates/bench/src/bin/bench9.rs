@@ -1,0 +1,209 @@
+//! `BENCH_9.json` — the DetSim deterministic-simulation gate: a clean
+//! swarm of seeded compound-fault schedules (including the guaranteed
+//! ENOSPC-during-migration-under-pressure slots) that must pass every
+//! invariant on every tick, plus two canary swarms that plant a known
+//! bug in the migration protocol and require the harness to catch it,
+//! shrink it to a ≤5-event reproducer, and replay that reproducer
+//! byte-identically.
+//!
+//! Usage: `cargo run --release -p dbaugur-bench --bin bench9`
+//! Scale: `DBAUGUR_SCALE=quick|standard|full` (CI uses `quick`).
+//! Output: `BENCH_9.json` in the working directory, or the path in
+//! `DBAUGUR_BENCH_OUT`; shrunk `.plan` reproducers land in
+//! `DBAUGUR_SIM_REPRO_DIR` (default `sim-repros/`). Exit status is
+//! non-zero when the clean swarm finds a violation, any replay or
+//! sibling spot check diverges, or either canary escapes detection.
+
+use dbaugur_bench::datasets::Scale;
+use dbaugur_sim::{run_plan_with, run_swarm, CanaryBug, SimOptions, SwarmConfig, SwarmReport};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One canary swarm's verdict against the self-test gate.
+struct CanaryVerdict {
+    name: &'static str,
+    report: SwarmReport,
+    caught: bool,
+    /// Every shrunk reproducer stayed within the event budget.
+    shrunk_small: bool,
+    /// Smallest reproducer's event count (the headline shrink result).
+    min_events: usize,
+    /// Event-count shrink ratios, `from → to`, one per shrunk failure.
+    ratios: Vec<(usize, usize)>,
+    /// Each reproducer replays to the same digest twice.
+    replay_identical: bool,
+    secs: f64,
+}
+
+/// The acceptance bar: a planted bug must shrink to this few events.
+const SHRINK_EVENT_BUDGET: usize = 5;
+
+fn run_canary(name: &'static str, canary: CanaryBug, schedules: u64, repro_dir: &Path) -> CanaryVerdict {
+    let t0 = Instant::now();
+    let cfg = SwarmConfig { schedules, canary, max_shrinks: 4, ..SwarmConfig::default() };
+    let report = run_swarm(&cfg);
+    let opts = SimOptions { canary, stop_at_first_violation: true };
+    let mut shrunk_small = true;
+    let mut replay_identical = true;
+    let mut min_events = usize::MAX;
+    let mut ratios = Vec::new();
+    for f in &report.failures {
+        let Some(s) = &f.shrunk else { continue };
+        ratios.push((s.from_events, s.to_events));
+        min_events = min_events.min(s.to_events);
+        if s.to_events > SHRINK_EVENT_BUDGET {
+            shrunk_small = false;
+        }
+        // The reproducer must hold the determinism contract on its own.
+        let a = run_plan_with(&s.plan, &opts);
+        let b = run_plan_with(&s.plan, &opts);
+        if a.digest != b.digest {
+            replay_identical = false;
+        }
+        let path = repro_dir.join(format!("canary-{name}-{}.plan", f.index));
+        if let Err(e) = std::fs::write(&path, s.plan.encode()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+    let caught = report.failed > 0 && ratios.iter().any(|_| true);
+    CanaryVerdict {
+        name,
+        report,
+        caught,
+        shrunk_small,
+        min_events: if min_events == usize::MAX { 0 } else { min_events },
+        ratios,
+        replay_identical,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn swarm_json(json: &mut String, key: &str, r: &SwarmReport, secs: f64) {
+    let _ = writeln!(json, "  \"{key}\": {{");
+    let _ = writeln!(json, "    \"schedules\": {},", r.schedules);
+    let _ = writeln!(json, "    \"passed\": {},", r.passed);
+    let _ = writeln!(json, "    \"failed\": {},", r.failed);
+    let _ = writeln!(json, "    \"faults_injected\": {},", r.faults_injected);
+    let _ = writeln!(json, "    \"crashes\": {},", r.crashes);
+    let _ = writeln!(json, "    \"acked_observations\": {},", r.acked);
+    let _ = writeln!(json, "    \"replay_checked\": {},", r.replay_checked);
+    let _ = writeln!(json, "    \"replay_mismatches\": {},", r.replay_mismatches);
+    let _ = writeln!(json, "    \"sibling_checked\": {},", r.sibling_checked);
+    let _ = writeln!(json, "    \"sibling_mismatches\": {},", r.sibling_mismatches);
+    let _ = writeln!(json, "    \"mttr\": {{");
+    let _ = writeln!(json, "      \"samples\": {},", r.mttr.samples);
+    let _ = writeln!(json, "      \"censored\": {},", r.mttr.censored);
+    let _ = writeln!(json, "      \"p50_ticks\": {},", r.mttr.p50_ticks);
+    let _ = writeln!(json, "      \"p99_ticks\": {},", r.mttr.p99_ticks);
+    let _ = writeln!(json, "      \"max_ticks\": {}", r.mttr.max_ticks);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"secs\": {secs:.3}");
+    let _ = writeln!(json, "  }},");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Clean-swarm breadth scales with the tier; canary swarms stay
+    // small because each planted bug only needs to be caught once.
+    let (clean_n, canary_n) = match scale.name {
+        "quick" => (60u64, 16u64),
+        "full" => (500, 32),
+        _ => (200, 24),
+    };
+    let repro_dir = std::env::var("DBAUGUR_SIM_REPRO_DIR").unwrap_or_else(|_| "sim-repros".into());
+    let repro_dir = Path::new(&repro_dir);
+    if let Err(e) = std::fs::create_dir_all(repro_dir) {
+        eprintln!("error: cannot create {}: {e}", repro_dir.display());
+        std::process::exit(1);
+    }
+    eprintln!("bench9: scale={} clean={clean_n} canary={canary_n}x2", scale.name);
+
+    // 1. The clean swarm: the real system under compound fault
+    // schedules must hold every invariant on every tick.
+    let t0 = Instant::now();
+    let clean_cfg = SwarmConfig { schedules: clean_n, ..SwarmConfig::default() };
+    let clean = run_swarm(&clean_cfg);
+    let clean_secs = t0.elapsed().as_secs_f64();
+    for f in &clean.failures {
+        eprintln!("clean swarm FAIL schedule {}: {} — {}", f.index, f.check, f.detail);
+        if let Some(s) = &f.shrunk {
+            let path = repro_dir.join(format!("clean-{}.plan", f.index));
+            let _ = std::fs::write(&path, s.plan.encode());
+            eprintln!("  reproducer ({} events) written to {}", s.to_events, path.display());
+        }
+    }
+    eprintln!(
+        "clean swarm: {}/{} passed in {clean_secs:.1}s (mttr p50 {} p99 {} ticks)",
+        clean.passed, clean.schedules, clean.mttr.p50_ticks, clean.mttr.p99_ticks
+    );
+
+    // 2. Canary swarms: plant a known migration bug and demand the
+    // harness catch it, shrink it small, and replay it exactly.
+    let coarse = run_canary("coarse-import", CanaryBug::CoarseImportCheck, canary_n, repro_dir);
+    let drain = run_canary("whole-drain", CanaryBug::WholeHistoryDrain, canary_n, repro_dir);
+    for v in [&coarse, &drain] {
+        eprintln!(
+            "canary {}: caught={} failed {}/{} min-repro {} events replay-identical={} ({:.1}s)",
+            v.name, v.caught, v.report.failed, v.report.schedules, v.min_events,
+            v.replay_identical, v.secs
+        );
+    }
+
+    let clean_pass = clean.clean();
+    let canary_pass = [&coarse, &drain].iter().all(|v| {
+        v.caught && v.shrunk_small && v.replay_identical
+    });
+    let status = if clean_pass && canary_pass { "pass" } else { "fail" };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"detsim\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"swarm_seed\": {},", clean_cfg.seed);
+    swarm_json(&mut json, "clean_swarm", &clean, clean_secs);
+    for v in [&coarse, &drain] {
+        let key = format!("canary_{}", v.name.replace('-', "_"));
+        swarm_json(&mut json, &key, &v.report, v.secs);
+        let ratios: Vec<String> = v
+            .ratios
+            .iter()
+            .map(|(from, to)| format!("{{\"from_events\": {from}, \"to_events\": {to}}}"))
+            .collect();
+        let _ = writeln!(json, "  \"{key}_shrink\": {{");
+        let _ = writeln!(json, "    \"caught\": {},", v.caught);
+        let _ = writeln!(json, "    \"event_budget\": {SHRINK_EVENT_BUDGET},");
+        let _ = writeln!(json, "    \"min_reproducer_events\": {},", v.min_events);
+        let _ = writeln!(json, "    \"ratios\": [{}],", ratios.join(", "));
+        let _ = writeln!(json, "    \"replay_identical\": {}", v.replay_identical);
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"gate\": {{");
+    let _ = writeln!(json, "    \"clean_swarm_clean\": {clean_pass},");
+    let _ = writeln!(json, "    \"canaries_caught_and_shrunk\": {canary_pass},");
+    let _ = writeln!(json, "    \"status\": \"{status}\"");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("DBAUGUR_BENCH_OUT").unwrap_or_else(|_| "BENCH_9.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("[json] {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+
+    if !clean_pass {
+        eprintln!(
+            "FAIL: clean swarm — {} violation(s), {} replay mismatch(es), {} sibling leak(s)",
+            clean.failed, clean.replay_mismatches, clean.sibling_mismatches
+        );
+        std::process::exit(1);
+    }
+    if !canary_pass {
+        eprintln!("FAIL: a planted canary bug escaped detection, shrank poorly, or replayed unstably");
+        std::process::exit(1);
+    }
+}

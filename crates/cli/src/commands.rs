@@ -16,6 +16,7 @@ use dbaugur_shard::{
     run_pressure_soak, run_shard_soak, BreakerState, KillKind, PressureSoakConfig,
     RebalanceConfig, ShardSoakConfig, ShardState, ShardedDurable,
 };
+use dbaugur_sim::CanaryBug;
 use dbaugur_sqlproc::TemplateRegistry;
 use dbaugur_trace::{io as trace_io, synth, TraceKind, WindowSpec};
 use std::error::Error;
@@ -859,4 +860,161 @@ pub fn synth(args: &Args) -> CmdResult {
         None => print!("{csv}"),
     }
     Ok(())
+}
+
+/// Parse a `--canary` flag into the planted-bug selector.
+fn parse_canary(args: &Args) -> Result<CanaryBug, Box<dyn Error>> {
+    Ok(match args.flag("canary") {
+        None | Some("none") => CanaryBug::None,
+        Some("coarse-import") => CanaryBug::CoarseImportCheck,
+        Some("whole-drain") => CanaryBug::WholeHistoryDrain,
+        Some(other) => {
+            return Err(format!(
+                "unknown canary {other:?} (coarse-import, whole-drain, none)"
+            )
+            .into())
+        }
+    })
+}
+
+/// Print the headline counters of one simulation run.
+fn print_sim_report(run: &dbaugur_sim::SimReport) {
+    println!(
+        "ticks {} | offered {} acked {} | shed pressure/breaker/io {}/{}/{}",
+        run.ticks_run, run.offered, run.acked, run.shed_pressure, run.shed_breaker, run.shed_io
+    );
+    println!(
+        "faults {} | crashes {} (retried recoveries {}) | migrations ok/failed/refused {}/{}/{}",
+        run.faults_injected,
+        run.crashes,
+        run.recovery_retries,
+        run.migrations_completed,
+        run.migrations_failed,
+        run.migrations_refused
+    );
+    println!(
+        "spilled obs {} (write failures {}) | quarantines {} recoveries {} | digest {:016x}",
+        run.spilled_observations, run.spill_write_failures, run.quarantines, run.recoveries,
+        run.digest
+    );
+    for v in &run.violations {
+        println!("VIOLATION {v}");
+    }
+}
+
+/// `sim run|replay|shrink|swarm` — deterministic whole-system
+/// simulation: execute a `.plan` fault schedule against the full
+/// sharded pipeline on a virtual timeline, check invariants after
+/// every tick, and shrink failures to minimal reproducers.
+pub fn sim(args: &Args) -> CmdResult {
+    use dbaugur_sim::{run_plan_with, run_swarm, shrink, SimOptions, SimPlan, SwarmConfig};
+    let sub = args.positional(0, "run|replay|shrink|swarm")?;
+    match sub {
+        "run" | "replay" => {
+            args.check_flags(&["canary"])?;
+            let path = args.positional(1, "plan")?;
+            let plan = SimPlan::parse(&fs::read_to_string(path)?)?;
+            let opts = SimOptions { canary: parse_canary(args)?, stop_at_first_violation: false };
+            let run = run_plan_with(&plan, &opts);
+            print_sim_report(&run);
+            if sub == "replay" {
+                // The determinism contract, checked end to end: a second
+                // execution of the same plan must land on the same digest.
+                let again = run_plan_with(&plan, &opts);
+                if again.digest == run.digest {
+                    println!("replay digest {:016x} — byte-identical", again.digest);
+                } else {
+                    return Err(format!(
+                        "replay diverged: {:016x} then {:016x}",
+                        run.digest, again.digest
+                    )
+                    .into());
+                }
+            }
+            if run.passed() {
+                println!("PASS: every invariant held on every tick");
+                Ok(())
+            } else {
+                Err(format!("{} invariant violation(s)", run.violations.len()).into())
+            }
+        }
+        "shrink" => {
+            args.check_flags(&["canary", "out"])?;
+            let path = args.positional(1, "plan")?;
+            let plan = SimPlan::parse(&fs::read_to_string(path)?)?;
+            let opts = SimOptions { canary: parse_canary(args)?, stop_at_first_violation: true };
+            match shrink(&plan, &opts) {
+                None => {
+                    println!("plan passes every checker — nothing to shrink");
+                    Ok(())
+                }
+                Some(rep) => {
+                    println!(
+                        "shrunk {} → {} events, {} → {} ticks in {} oracle runs (trips {})",
+                        rep.from_events, rep.to_events, rep.from_ticks, rep.to_ticks, rep.runs,
+                        rep.check
+                    );
+                    let encoded = rep.plan.encode();
+                    match args.flag("out") {
+                        Some(out) => {
+                            fs::write(out, &encoded)?;
+                            println!("reproducer written to {out}");
+                        }
+                        None => print!("{encoded}"),
+                    }
+                    Ok(())
+                }
+            }
+        }
+        "swarm" => {
+            args.check_flags(&["schedules", "seed", "canary", "out-dir", "shrinks"])?;
+            let cfg = SwarmConfig {
+                schedules: args.flag_num("schedules", 200u64)?,
+                seed: args.flag_num("seed", 0xD5_5EEDu64)?,
+                canary: parse_canary(args)?,
+                shrink_failures: true,
+                max_shrinks: args.flag_num("shrinks", 4usize)?,
+            };
+            let report = run_swarm(&cfg);
+            println!(
+                "swarm: {} schedules, {} passed, {} failed | faults {} crashes {} acked {}",
+                report.schedules, report.passed, report.failed, report.faults_injected,
+                report.crashes, report.acked
+            );
+            println!(
+                "replay checks {}/{} identical | sibling checks {}/{} isolated",
+                report.replay_checked - report.replay_mismatches,
+                report.replay_checked,
+                report.sibling_checked - report.sibling_mismatches,
+                report.sibling_checked
+            );
+            println!(
+                "mttr: {} samples ({} censored) p50 {} p99 {} max {} ticks",
+                report.mttr.samples, report.mttr.censored, report.mttr.p50_ticks,
+                report.mttr.p99_ticks, report.mttr.max_ticks
+            );
+            for f in &report.failures {
+                println!("FAIL schedule {}: {} — {}", f.index, f.check, f.detail);
+                if let Some(s) = &f.shrunk {
+                    println!(
+                        "  shrunk {} → {} events ({} oracle runs)",
+                        s.from_events, s.to_events, s.runs
+                    );
+                    if let Some(dir) = args.flag("out-dir") {
+                        fs::create_dir_all(dir)?;
+                        let path = Path::new(dir).join(format!("repro-{}.plan", f.index));
+                        fs::write(&path, s.plan.encode())?;
+                        println!("  reproducer written to {}", path.display());
+                    }
+                }
+            }
+            if report.clean() {
+                println!("PASS: swarm clean");
+                Ok(())
+            } else {
+                Err("swarm found violations".into())
+            }
+        }
+        other => Err(format!("unknown sim subcommand {other:?}").into()),
+    }
 }

@@ -15,6 +15,9 @@
 //! dbaugur soak --shards N [--kill-shard I]      sharded kill-matrix soak (bulkheads)
 //! dbaugur soak --shards N --mem-budget BYTES    global memory-pressure drill
 //! dbaugur shards <dir>                          per-shard health, lineage, bytes
+//! dbaugur sim run <plan>                        deterministic full-system simulation
+//! dbaugur sim shrink <plan>                     minimize a failing fault schedule
+//! dbaugur sim swarm [--schedules N]             seeded compound-fault swarm
 //! ```
 //!
 //! Logs use the `<epoch_secs>\t<sql>` format; trace CSVs use the formats
@@ -65,6 +68,23 @@ commands:
              and migration paths; exits non-zero if the ceiling is ever
              exceeded after enforcement, the intake books fail to
              reconcile, or any acknowledged observation is lost
+  sim run <plan.plan> [--canary coarse-import|whole-drain]
+             execute one deterministic fault schedule against the full
+             sharded pipeline on a virtual timeline; every invariant is
+             checked after every tick; exits non-zero on any violation
+  sim replay <plan.plan> [--canary ...]
+             run the plan twice and require byte-identical digests —
+             the determinism contract, checked end to end
+  sim shrink <plan.plan> [--out FILE] [--canary ...]
+             delta-debug a failing schedule to a minimal reproducer that
+             still trips the same invariant, then emit it as a `.plan`
+  sim swarm [--schedules N] [--seed S] [--shrinks K]
+            [--canary coarse-import|whole-drain] [--out-dir DIR]
+             run a seeded swarm of generated compound-fault schedules
+             (guaranteed ENOSPC-during-migration-under-pressure slots,
+             replay-identity and bulkhead-isolation spot checks, MTTR
+             distribution); shrinks failures and writes reproducers to
+             --out-dir; exits non-zero unless the swarm is clean
   shards <state-dir> [--shards N] [pipeline flags]
              per-shard fault-domain status: snapshot lineage, resident
              bytes, WAL bytes, durability counters, derived health and
@@ -103,6 +123,7 @@ fn main() -> ExitCode {
         "lifecycle" => commands::lifecycle(&args),
         "shards" => commands::shards(&args),
         "soak" => commands::soak(&args),
+        "sim" => commands::sim(&args),
         other => Err(format!("unknown command {other:?}").into()),
     };
     match result {

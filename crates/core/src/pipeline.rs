@@ -510,6 +510,20 @@ impl DbAugur {
         self.registry.drop_observations(id)
     }
 
+    /// Remove exactly the listed observation timestamps (multiset
+    /// semantics) from one template's history. This is the *retryable*
+    /// migration drain: when a commit is re-run after a failure, it
+    /// must shed only the observations captured in the migration
+    /// marker, keeping anything acknowledged since — a whole-history
+    /// drop here would silently lose those late arrivals.
+    pub fn remove_template_observations(
+        &mut self,
+        id: dbaugur_sqlproc::TemplateId,
+        timestamps: &[u64],
+    ) -> usize {
+        self.registry.remove_observations(id, timestamps)
+    }
+
     /// Restore template histories from a spill blob produced by
     /// [`Self::evict_cold_templates`].
     pub fn restore_template_spill(

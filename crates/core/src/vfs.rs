@@ -335,6 +335,14 @@ impl FaultKind {
 #[derive(Debug, Default)]
 pub struct FaultSwitch {
     armed: Mutex<VecDeque<(FaultKind, u32)>>,
+    /// Bursts pinned to an absolute write-op index: `(op, kind, ops)`
+    /// activates once the global write-op counter reaches `op`. Kept
+    /// separate from `armed` so relative bursts queued by existing
+    /// drivers are unaffected, and so schedules survive [`clear`]
+    /// (faults can be pinned to land *during* crash recovery).
+    ///
+    /// [`clear`]: FaultSwitch::clear
+    scheduled: Mutex<Vec<(u64, FaultKind, u32)>>,
     injected: [AtomicU64; 5],
     write_ops: AtomicU64,
     stall_micros: AtomicU64,
@@ -357,10 +365,35 @@ impl FaultSwitch {
         }
     }
 
-    /// Drop all armed bursts.
+    /// Arm `ops` consecutive operations of `kind` starting at absolute
+    /// write-op index `op` (0-based over the lifetime of the switch,
+    /// i.e. the op that makes [`write_ops`](FaultSwitch::write_ops)
+    /// read `op + 1`). If that op has already passed, the burst fires
+    /// on the next write-class operation. Scheduled bursts take
+    /// precedence over relative bursts queued with
+    /// [`arm`](FaultSwitch::arm) once due, ordered by `op` (ties by
+    /// arming order).
+    pub fn arm_at(&self, op: u64, kind: FaultKind, ops: u32) {
+        if ops > 0 {
+            let mut scheduled = self.scheduled.lock().unwrap_or_else(|e| e.into_inner());
+            let at = scheduled.partition_point(|&(o, _, _)| o <= op);
+            scheduled.insert(at, (op, kind, ops));
+        }
+    }
+
+    /// Drop all armed bursts (relative queue only — op-scheduled bursts
+    /// survive, so a crash-and-reopen drill keeps its recovery-time
+    /// faults; use [`clear_scheduled`](FaultSwitch::clear_scheduled)
+    /// for those).
     pub fn clear(&self) {
         let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
         armed.clear();
+    }
+
+    /// Drop all op-scheduled bursts that have not yet activated.
+    pub fn clear_scheduled(&self) {
+        let mut scheduled = self.scheduled.lock().unwrap_or_else(|e| e.into_inner());
+        scheduled.clear();
     }
 
     /// Configure the slow-IO stall length.
@@ -383,14 +416,33 @@ impl FaultSwitch {
         self.write_ops.load(Ordering::Relaxed)
     }
 
-    /// Any bursts still pending?
+    /// Any relative bursts still pending?
     pub fn armed_remaining(&self) -> u32 {
         let armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
         armed.iter().map(|&(_, n)| n).sum()
     }
 
+    /// Total ops across op-scheduled bursts not yet fully consumed.
+    pub fn scheduled_remaining(&self) -> u32 {
+        let scheduled = self.scheduled.lock().unwrap_or_else(|e| e.into_inner());
+        scheduled.iter().map(|&(_, _, n)| n).sum()
+    }
+
     fn next_fault(&self) -> Option<FaultKind> {
-        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        let idx = self.write_ops.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut scheduled = self.scheduled.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(&mut (op, kind, ref mut remaining)) = scheduled.first_mut() {
+                if op <= idx {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        scheduled.remove(0);
+                    }
+                    self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+                    return Some(kind);
+                }
+            }
+        }
         let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
         let &mut (kind, ref mut remaining) = armed.front_mut()?;
         *remaining -= 1;
@@ -660,5 +712,65 @@ mod tests {
     fn enospc_is_not_transient() {
         assert!(!crate::retry::is_transient(enospc_error().kind()));
         assert!(!crate::retry::is_transient(eio_error().kind()));
+    }
+
+    #[test]
+    fn arm_at_fires_at_the_exact_write_op_index() {
+        let switch = FaultSwitch::new();
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        // Ops 0 and 1 clean, op 2 EIO, op 3 clean again.
+        switch.arm_at(2, FaultKind::Eio, 1);
+        f.write_all(b"a").expect("op 0");
+        f.write_all(b"b").expect("op 1");
+        let e = f.write_all(b"c").expect_err("op 2 faulted");
+        assert_eq!(e.raw_os_error(), Some(EIO));
+        f.write_all(b"d").expect("op 3 clean");
+        assert_eq!(switch.write_ops(), 4);
+        assert_eq!(switch.injected(FaultKind::Eio), 1);
+        assert_eq!(switch.scheduled_remaining(), 0);
+    }
+
+    #[test]
+    fn arm_at_in_the_past_fires_on_next_op() {
+        let switch = FaultSwitch::new();
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        f.write_all(b"a").expect("op 0");
+        f.write_all(b"b").expect("op 1");
+        switch.arm_at(0, FaultKind::Transient, 1);
+        assert_eq!(f.write_all(b"c").expect_err("due now").kind(), io::ErrorKind::Interrupted);
+        f.write_all(b"d").expect("clean");
+    }
+
+    #[test]
+    fn scheduled_bursts_take_precedence_and_survive_clear() {
+        let switch = FaultSwitch::new();
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        switch.arm(FaultKind::Eio, 5);
+        switch.arm_at(1, FaultKind::Enospc, 2);
+        switch.clear(); // crash: relative bursts die, schedule survives
+        assert_eq!(switch.armed_remaining(), 0);
+        assert_eq!(switch.scheduled_remaining(), 2);
+        f.write_all(b"a").expect("op 0 clean");
+        assert!(is_enospc(&f.write_all(b"b").expect_err("op 1")));
+        assert!(is_enospc(&f.sync_all().expect_err("op 2: burst continues")));
+        f.write_all(b"c").expect("op 3 clean");
+        switch.arm_at(100, FaultKind::Eio, 1);
+        switch.clear_scheduled();
+        assert_eq!(switch.scheduled_remaining(), 0);
+    }
+
+    #[test]
+    fn scheduled_bursts_order_by_op_not_arming_order() {
+        let switch = FaultSwitch::new();
+        let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch));
+        let mut f = vfs.open_append(Path::new("/wal")).expect("open");
+        switch.arm_at(1, FaultKind::Eio, 1);
+        switch.arm_at(0, FaultKind::Transient, 1);
+        assert_eq!(f.write_all(b"a").expect_err("op 0").kind(), io::ErrorKind::Interrupted);
+        assert_eq!(f.write_all(b"b").expect_err("op 1").raw_os_error(), Some(EIO));
+        f.write_all(b"c").expect("clean");
     }
 }

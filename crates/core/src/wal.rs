@@ -303,6 +303,15 @@ pub struct Wal {
     /// leave a partial frame past this point; [`Wal::repair_tail`]
     /// rolls the file back to it before a retry.
     durable_len: u64,
+    /// Set when an append failed and may have left a partial frame past
+    /// `durable_len`. The next append repairs the tail *first*: writing
+    /// a good frame after a torn one would strand it — recovery's
+    /// salvage scan stops at the first tear, so every later record,
+    /// though fsynced and acknowledged, would be silently discarded.
+    /// (Found by deterministic simulation: a one-op ENOSPC burst
+    /// followed ticks later by a crash tripped the conservation
+    /// checker.)
+    dirty_tail: bool,
 }
 
 impl Wal {
@@ -353,6 +362,7 @@ impl Wal {
             path: path.to_path_buf(),
             next_seq: scan.last_seq.max(floor_seq) + 1,
             durable_len,
+            dirty_tail: false,
         })
     }
 
@@ -367,10 +377,15 @@ impl Wal {
     }
 
     fn append(&mut self, payload: Vec<u8>) -> io::Result<u64> {
+        if self.dirty_tail {
+            self.repair_tail()?;
+        }
         let seq = self.next_seq;
         let framed = frame_record(&payload);
-        self.file.write_all(&framed)?;
-        self.file.sync_all()?;
+        if let Err(e) = self.file.write_all(&framed).and_then(|()| self.file.sync_all()) {
+            self.dirty_tail = true;
+            return Err(e);
+        }
         self.next_seq += 1;
         self.durable_len += framed.len() as u64;
         Ok(seq)
@@ -378,14 +393,16 @@ impl Wal {
 
     /// Roll the file back to the last durable record boundary,
     /// discarding any partial frame a failed append left behind. Called
-    /// by the durable layer before retrying a transient append failure;
-    /// a no-op when the file already ends on the boundary.
+    /// by the durable layer before retrying a transient append failure,
+    /// and by [`append`](Self::append) itself when the previous append
+    /// failed; a no-op when the file already ends on the boundary.
     pub fn repair_tail(&mut self) -> io::Result<()> {
         if self.file.len()? != self.durable_len {
             self.file.set_len(self.durable_len)?;
             self.file.sync_all()?;
         }
         self.file.seek_end()?;
+        self.dirty_tail = false;
         Ok(())
     }
 
@@ -408,6 +425,7 @@ impl Wal {
         self.file.seek_end()?;
         self.file.sync_all()?;
         self.durable_len = HEADER_LEN;
+        self.dirty_tail = false;
         Ok(())
     }
 
@@ -608,6 +626,35 @@ mod tests {
         // The failed append never became durable, so its sequence is
         // reissued to the retry — no gap, no duplicate.
         assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn append_after_unrepaired_failure_heals_the_torn_middle() {
+        // Found by deterministic simulation: when a failed append is
+        // *not* retried (the record is shed instead), the partial frame
+        // it left must not strand later appends behind a torn middle —
+        // recovery's salvage scan stops at the first tear, so every
+        // record after it, though fsynced and acknowledged, would be
+        // lost at the next crash.
+        use crate::vfs::{DynVfs, FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+        use std::sync::Arc;
+        let switch = FaultSwitch::new();
+        let vfs: DynVfs = Arc::new(FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch)));
+        let path = Path::new("/shard-0/wal.dbwl");
+        let mut wal = Wal::open_with(&vfs, path, 0).expect("open");
+        wal.append_record(1, "SELECT a").expect("clean append");
+
+        switch.arm(FaultKind::Enospc, 1);
+        wal.append_record(2, "SELECT shed").expect_err("enospc");
+        // No explicit repair_tail: the caller gave up on this record.
+        // The next append must first roll the tail back itself.
+        wal.append_record(3, "SELECT b").expect("append self-heals");
+        wal.append_record(4, "SELECT c").expect("append");
+
+        let mut records = Vec::new();
+        let sum = scan_vfs_with(&vfs, path, |e| records.push(e.seq())).expect("scan");
+        assert!(!sum.torn, "no torn frame may sit between good records");
+        assert_eq!(records, vec![1, 2, 3], "every acknowledged record survives the scan");
     }
 
     #[test]

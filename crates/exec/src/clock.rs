@@ -1,0 +1,134 @@
+//! Pluggable time for deadlines and tick loops.
+//!
+//! Every deadline and latency measurement that wants to be testable
+//! goes through a [`Clock`], so the same code runs identically against
+//! real time ([`MonotonicClock`]) and simulated time ([`VirtualClock`]).
+//! The soak and simulation harnesses drive a `VirtualClock` — a
+//! ten-minute overload scenario executes in microseconds and is exactly
+//! reproducible, which real sleeps can never be.
+//!
+//! The trait lives in `exec` (the lowest layer that owns
+//! [`Deadline`](crate::Deadline)) so deadline expiry itself is drivable
+//! in virtual time; `dbaugur_serve::clock` re-exports everything here,
+//! so serving-layer callers are unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A millisecond clock the governor reads and (for simulated work)
+/// advances.
+pub trait Clock {
+    /// Milliseconds since the clock's epoch.
+    fn now_ms(&self) -> u64;
+
+    /// Account `ms` of simulated work. Real clocks ignore this — the
+    /// work itself took the time; virtual clocks move forward so queued
+    /// deadlines expire exactly as they would under load.
+    fn advance(&self, ms: u64) {
+        let _ = ms;
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now_ms(&self) -> u64 {
+        (**self).now_ms()
+    }
+    fn advance(&self, ms: u64) {
+        (**self).advance(ms);
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
+    fn now_ms(&self) -> u64 {
+        (**self).now_ms()
+    }
+    fn advance(&self, ms: u64) {
+        (**self).advance(ms);
+    }
+}
+
+/// Wall-clock time, anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// Deterministic simulated time: starts at zero, moves only when
+/// advanced. Backed by an atomic so one clock can be shared (via
+/// `Arc`) between a tick loop and the [`Deadline`](crate::Deadline)s it
+/// hands out across threads.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ms: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::Acquire)
+    }
+
+    fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn virtual_clock_moves_only_when_advanced() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now_ms(), 12);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ms();
+        c.advance(1_000_000); // ignored
+        let b = c.now_ms();
+        assert!(b >= a);
+        assert!(b < 1_000_000, "advance must not move a real clock");
+    }
+
+    #[test]
+    fn shared_virtual_clock_is_visible_through_clones() {
+        let c = Arc::new(VirtualClock::new());
+        let view: Arc<dyn Clock + Send + Sync> = c.clone();
+        c.advance(42);
+        assert_eq!(view.now_ms(), 42);
+        view.advance(8);
+        assert_eq!(c.now_ms(), 50);
+    }
+}

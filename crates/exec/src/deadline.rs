@@ -12,7 +12,16 @@
 //! Cloning is cheap (an `Arc`-shared cancel flag plus a copied
 //! instant), and [`Deadline::cancel`] lets any clone expire every other
 //! clone immediately — the same token doubles as a cancellation signal.
+//!
+//! Deadlines can be timed against either real time (`Instant`, the
+//! default — existing constructors are unchanged) or a shared
+//! [`Clock`](crate::Clock) via [`Deadline::at_ms`] /
+//! [`Deadline::after_ms_on`]. The clock-driven form is what the
+//! deterministic simulator uses: a `VirtualClock` advanced by the tick
+//! loop expires maintenance deadlines at exactly the same virtual
+//! millisecond on every replay.
 
+use crate::clock::Clock;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,16 +30,34 @@ use std::time::{Duration, Instant};
 /// A point in time after which work should degrade instead of block,
 /// plus a shared cancellation flag. `Deadline::none()` never expires on
 /// its own but can still be cancelled.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Deadline {
     expires_at: Option<Instant>,
+    /// Virtual-time expiry: the deadline passes once the shared clock
+    /// reads `expires_ms` or later. Composes with `expires_at` —
+    /// whichever source expires first wins.
+    clock_expiry: Option<(Arc<dyn Clock + Send + Sync>, u64)>,
     cancelled: Arc<AtomicBool>,
+}
+
+impl fmt::Debug for Deadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deadline")
+            .field("expires_at", &self.expires_at)
+            .field("clock_expiry_ms", &self.clock_expiry.as_ref().map(|(_, ms)| *ms))
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
 }
 
 impl Deadline {
     /// A deadline that never expires by time (cancellation still works).
     pub fn none() -> Self {
-        Self { expires_at: None, cancelled: Arc::new(AtomicBool::new(false)) }
+        Self {
+            expires_at: None,
+            clock_expiry: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// A deadline `d` from now.
@@ -40,12 +67,34 @@ impl Deadline {
 
     /// A deadline at an explicit instant.
     pub fn at(instant: Instant) -> Self {
-        Self { expires_at: Some(instant), cancelled: Arc::new(AtomicBool::new(false)) }
+        Self {
+            expires_at: Some(instant),
+            clock_expiry: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// Convenience: a deadline `millis` milliseconds from now.
     pub fn in_millis(millis: u64) -> Self {
         Self::after(Duration::from_millis(millis))
+    }
+
+    /// A deadline that expires once `clock` reads `expires_ms` or
+    /// later. Real time plays no part — this is how simulated runs
+    /// drive deadline expiry deterministically.
+    pub fn at_ms(clock: Arc<dyn Clock + Send + Sync>, expires_ms: u64) -> Self {
+        Self {
+            expires_at: None,
+            clock_expiry: Some((clock, expires_ms)),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A deadline `ms` virtual milliseconds from `clock`'s current
+    /// reading.
+    pub fn after_ms_on(clock: Arc<dyn Clock + Send + Sync>, ms: u64) -> Self {
+        let expires = clock.now_ms().saturating_add(ms);
+        Self::at_ms(clock, expires)
     }
 
     /// Expire this deadline (and every clone of it) immediately.
@@ -65,19 +114,37 @@ impl Deadline {
         if self.is_cancelled() {
             return true;
         }
-        match self.expires_at {
-            Some(t) => Instant::now() >= t,
-            None => false,
+        if let Some(t) = self.expires_at {
+            if Instant::now() >= t {
+                return true;
+            }
         }
+        if let Some((clock, ms)) = &self.clock_expiry {
+            if clock.now_ms() >= *ms {
+                return true;
+            }
+        }
+        false
     }
 
     /// Time left before expiry; `None` for an untimed deadline,
-    /// `Some(ZERO)` once expired or cancelled.
+    /// `Some(ZERO)` once expired or cancelled. With both a real and a
+    /// virtual expiry armed, the smaller remaining time is reported.
     pub fn remaining(&self) -> Option<Duration> {
         if self.is_cancelled() {
             return Some(Duration::ZERO);
         }
-        self.expires_at.map(|t| t.saturating_duration_since(Instant::now()))
+        let real = self.expires_at.map(|t| t.saturating_duration_since(Instant::now()));
+        let virt = self
+            .clock_expiry
+            .as_ref()
+            .map(|(clock, ms)| Duration::from_millis(ms.saturating_sub(clock.now_ms())));
+        match (real, virt) {
+            (Some(r), Some(v)) => Some(r.min(v)),
+            (Some(r), None) => Some(r),
+            (None, Some(v)) => Some(v),
+            (None, None) => None,
+        }
     }
 
     /// `Err(DeadlineExceeded)` once expired — for `?`-style early
@@ -113,6 +180,7 @@ impl std::error::Error for DeadlineExceeded {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
 
     #[test]
     fn none_never_expires_by_time() {
@@ -148,5 +216,38 @@ mod tests {
         d.cancel();
         assert!(d.expired());
         assert!(d.check().is_err());
+    }
+
+    #[test]
+    fn virtual_deadline_expires_only_when_clock_advances() {
+        let clock = Arc::new(VirtualClock::new());
+        let d = Deadline::after_ms_on(clock.clone(), 10);
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Some(Duration::from_millis(10)));
+        clock.advance(9);
+        assert!(!d.expired());
+        clock.advance(1);
+        assert!(d.expired(), "expires exactly at the virtual instant");
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(!d.is_cancelled(), "timed out, not cancelled");
+    }
+
+    #[test]
+    fn virtual_deadline_is_shared_across_clones() {
+        let clock = Arc::new(VirtualClock::new());
+        let d = Deadline::at_ms(clock.clone(), 5);
+        let clone = d.clone();
+        clock.advance(5);
+        assert!(clone.expired());
+        assert_eq!(clone.check(), Err(DeadlineExceeded));
+    }
+
+    #[test]
+    fn virtual_deadline_cancel_still_works() {
+        let clock = Arc::new(VirtualClock::new());
+        let d = Deadline::after_ms_on(clock, 1_000);
+        assert!(!d.expired());
+        d.cancel();
+        assert!(d.expired());
     }
 }

@@ -26,8 +26,10 @@
 //! (monomorphized `unsafe fn` + context pointer) so borrowing
 //! closures can cross the pool without `'static` bounds.
 
+pub mod clock;
 pub mod deadline;
 
+pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use deadline::{Deadline, DeadlineExceeded};
 
 use std::any::Any;

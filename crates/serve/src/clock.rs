@@ -6,93 +6,11 @@
 //! ([`VirtualClock`]). The soak harness drives a `VirtualClock` — a
 //! ten-minute overload scenario executes in microseconds and is exactly
 //! reproducible, which real sleeps can never be.
+//!
+//! The implementation now lives in [`dbaugur_exec::clock`] so that
+//! [`dbaugur_exec::Deadline`] expiry itself can be driven in virtual
+//! time (the deterministic simulator shares one `Arc<VirtualClock>`
+//! between its tick loop and the deadlines it hands out). This module
+//! re-exports the same names, so serving-layer callers are unchanged.
 
-use std::cell::Cell;
-use std::time::Instant;
-
-/// A millisecond clock the governor reads and (for simulated work)
-/// advances.
-pub trait Clock {
-    /// Milliseconds since the clock's epoch.
-    fn now_ms(&self) -> u64;
-
-    /// Account `ms` of simulated work. Real clocks ignore this — the
-    /// work itself took the time; virtual clocks move forward so queued
-    /// deadlines expire exactly as they would under load.
-    fn advance(&self, ms: u64) {
-        let _ = ms;
-    }
-}
-
-/// Wall-clock time, anchored at construction.
-#[derive(Debug)]
-pub struct MonotonicClock {
-    epoch: Instant,
-}
-
-impl MonotonicClock {
-    /// A clock whose epoch is now.
-    pub fn new() -> Self {
-        Self { epoch: Instant::now() }
-    }
-}
-
-impl Default for MonotonicClock {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Clock for MonotonicClock {
-    fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
-    }
-}
-
-/// Deterministic simulated time: starts at zero, moves only when
-/// advanced.
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    ms: Cell<u64>,
-}
-
-impl VirtualClock {
-    /// A virtual clock at t = 0 ms.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Clock for VirtualClock {
-    fn now_ms(&self) -> u64 {
-        self.ms.get()
-    }
-
-    fn advance(&self, ms: u64) {
-        self.ms.set(self.ms.get() + ms);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn virtual_clock_moves_only_when_advanced() {
-        let c = VirtualClock::new();
-        assert_eq!(c.now_ms(), 0);
-        c.advance(5);
-        c.advance(7);
-        assert_eq!(c.now_ms(), 12);
-    }
-
-    #[test]
-    fn monotonic_clock_never_goes_backwards() {
-        let c = MonotonicClock::new();
-        let a = c.now_ms();
-        c.advance(1_000_000); // ignored
-        let b = c.now_ms();
-        assert!(b >= a);
-        assert!(b < 1_000_000, "advance must not move a real clock");
-    }
-}
+pub use dbaugur_exec::clock::{Clock, MonotonicClock, VirtualClock};

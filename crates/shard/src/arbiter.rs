@@ -162,6 +162,26 @@ impl BudgetArbiter {
         &self.cfg
     }
 
+    /// Change the global budget mid-flight (a memory-pressure squeeze:
+    /// the host cgroup shrank, or a simulated fault plan demands it)
+    /// and immediately re-split the grants under the current heat. The
+    /// floor is preserved by clamping: the budget never drops below
+    /// `shards × min_grant_bytes`, so the grant invariant (every shard
+    /// keeps its minimum, grants sum to the budget) survives any
+    /// squeeze. Returns the budget actually applied.
+    pub fn set_global_budget(&mut self, bytes: usize) -> usize {
+        let floor = self.cfg.min_grant_bytes.saturating_mul(self.grants.len());
+        let applied = bytes.max(floor).max(1);
+        self.cfg.global_budget_bytes = applied;
+        let heat: Vec<f64> = if self.heat.iter().all(|&h| h <= 0.0) {
+            vec![1.0; self.heat.len()]
+        } else {
+            self.heat.clone()
+        };
+        self.grants = split_exact(applied, &heat, self.cfg.min_grant_bytes);
+        applied
+    }
+
     /// Current per-shard grants; always sums to the global budget.
     pub fn grants(&self) -> &[usize] {
         &self.grants
@@ -337,6 +357,28 @@ mod tests {
             assert_eq!(g.iter().sum::<usize>(), 10_007, "round {round}");
             assert!(g.iter().all(|&g| g >= 100), "floors hold, round {round}");
         }
+    }
+
+    #[test]
+    fn set_global_budget_resplits_and_clamps_to_the_floor() {
+        let mut a = BudgetArbiter::new(cfg(10_000), 4);
+        // Warm up some heat skew first.
+        a.regrant(&[demand(5_000, 50), demand(100, 0), demand(100, 0), demand(100, 0)]);
+        let applied = a.set_global_budget(2_000);
+        assert_eq!(applied, 2_000);
+        assert_eq!(a.config().global_budget_bytes, 2_000);
+        assert_eq!(a.grants().iter().sum::<usize>(), 2_000);
+        assert!(a.grants().iter().all(|&g| g >= 100), "floors hold after squeeze");
+        assert!(a.grants()[0] > a.grants()[1], "heat skew survives the squeeze");
+        // A squeeze below shards x min_grant clamps instead of breaking
+        // the grant invariant.
+        let applied = a.set_global_budget(50);
+        assert_eq!(applied, 400);
+        assert_eq!(a.grants().iter().sum::<usize>(), 400);
+        // Cold-start arbiter (zero heat) still splits evenly.
+        let mut b = BudgetArbiter::new(cfg(8_000), 4);
+        b.set_global_budget(4_000);
+        assert_eq!(b.grants(), &[1_000, 1_000, 1_000, 1_000]);
     }
 
     #[test]

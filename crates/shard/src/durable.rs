@@ -46,8 +46,9 @@ use std::path::{Path, PathBuf};
 
 /// Marker-file magic: `"DBMG"` little-endian.
 const MIGRATE_MAGIC: u32 = 0x474D_4244;
-/// Marker wire-format version.
-const MIGRATE_VERSION: u32 = 1;
+/// Marker wire-format version. v2 added the per-roster destination
+/// baseline counts that make the import-idempotence check exact.
+const MIGRATE_VERSION: u32 = 2;
 
 /// Why a gated migration was refused or failed.
 #[derive(Debug)]
@@ -104,8 +105,47 @@ struct Marker {
     to: usize,
     /// Canonical template strings, indexed by source-shard template id.
     roster: Vec<String>,
+    /// Destination-shard observation count per roster id, captured at
+    /// prepare time. The commit's import-idempotence check compares
+    /// against `baseline + captured` rather than `captured` alone: a
+    /// destination may legitimately hold a *prior* history of a
+    /// migrated template (observations ingested during an earlier open
+    /// marker land at the then-owner and survive the surgical drain),
+    /// and judging "already imported" by raw count would mistake that
+    /// residual for a replayed import — then drain the source anyway,
+    /// destroying acknowledged observations. Found by deterministic
+    /// simulation (conservation checker, single migration-fault event).
+    baselines: Vec<usize>,
     /// Verbatim registry spill blob (source-shard ids + observations).
     spill: Vec<u8>,
+}
+
+/// A deliberately plantable protocol bug, used by the deterministic
+/// simulator's self-test: the invariant swarm must *catch* each of
+/// these, and the delta-debugger must shrink the catching schedule to a
+/// minimal reproducer. Each variant reverts one hardening the commit
+/// protocol carries precisely because the simulator demonstrated the
+/// failure it causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CanaryBug {
+    /// The protocol as shipped.
+    #[default]
+    None,
+    /// Revert the per-entry import idempotence check to the historical
+    /// all-or-nothing form: if *any* migrated template's destination
+    /// count is short, re-import *every* entry. When a commit is
+    /// interrupted by an injected fault and the destination is then
+    /// partially evicted under memory pressure, the retried commit
+    /// doubles the observation histories of every template that
+    /// survived eviction — a permanent phantom the per-template
+    /// `resident <= acked` checker flags.
+    CoarseImportCheck,
+    /// Drain the source with whole-history drops instead of removing
+    /// exactly the observations captured in the marker. A commit
+    /// retried after a mid-commit fault then destroys observations
+    /// acknowledged *after* the marker was cut — a hard loss the
+    /// conservation checker flags.
+    WholeHistoryDrain,
 }
 
 /// N durable pipelines, one per fault domain, under one root directory.
@@ -121,6 +161,8 @@ pub struct ShardedDurable {
     /// persists through; fault-injection soaks swap in a
     /// [`dbaugur::FaultyVfs`].
     vfs: DynVfs,
+    /// Deliberate protocol bug planted by the simulator self-test.
+    canary: CanaryBug,
 }
 
 impl ShardedDurable {
@@ -162,6 +204,7 @@ impl ShardedDurable {
             reports,
             overrides: HashMap::new(),
             vfs: std::sync::Arc::clone(vfs),
+            canary: CanaryBug::None,
         };
         this.resume_migrations()?;
         this.rebuild_overrides();
@@ -196,10 +239,24 @@ impl ShardedDurable {
             reports,
             overrides: HashMap::new(),
             vfs: real_vfs(),
+            canary: CanaryBug::None,
         };
         this.resume_migrations()?;
         this.rebuild_overrides();
         Ok(this)
+    }
+
+    /// Plant (or clear) a deliberate protocol bug. Exists solely so the
+    /// deterministic simulator can prove its invariant swarm catches a
+    /// known defect and shrinks the catching schedule; production code
+    /// never calls this.
+    pub fn inject_canary(&mut self, bug: CanaryBug) {
+        self.canary = bug;
+    }
+
+    /// The currently planted canary bug ([`CanaryBug::None`] normally).
+    pub fn canary(&self) -> CanaryBug {
+        self.canary
     }
 
     /// Number of shard fault domains.
@@ -364,6 +421,21 @@ impl ShardedDurable {
                 format!("bad migration {from} -> {to} with {n} shards"),
             ));
         }
+        // A marker already in flight for either party means an
+        // interrupted commit may still owe that shard imports or
+        // drains; cutting a second capture over the same histories
+        // would double them (both markers import) or destroy them
+        // (the second drain takes what the first already moved).
+        // Resume must clear the field first.
+        for pending in self.pending_migrations()? {
+            if pending.from == from
+                || pending.to == from
+                || pending.from == to
+                || pending.to == to
+            {
+                return Ok(false);
+            }
+        }
         let src = self.shards[from].system_mut();
         let spill = match src.evict_cold_templates(keep_bytes).spill {
             Some(spill) => {
@@ -373,15 +445,34 @@ impl ShardedDurable {
             }
             None => return Ok(false),
         };
-        let registry = self.shards[from].system().registry();
+        // Destination baseline per roster id, captured while the
+        // destination is still untouched: the commit's idempotence
+        // check needs to know what the destination held *before* any
+        // import attempt (see [`Marker::baselines`]).
+        let roster: Vec<String> = {
+            let registry = self.shards[from].system().registry();
+            (0..registry.num_templates())
+                .map(|id| registry.template(TemplateId(id as u32)).to_string())
+                .collect()
+        };
+        let dest_registry = self.shards[to].system().registry();
+        let baselines: Vec<usize> = roster
+            .iter()
+            .map(|canonical| {
+                dest_registry.lookup(canonical).map_or(0, |tid| dest_registry.count(tid))
+            })
+            .collect();
         let mut w = WireWriter::new();
         w.put_u32(MIGRATE_MAGIC);
         w.put_u32(MIGRATE_VERSION);
         w.put_u32(from as u32);
         w.put_u32(to as u32);
-        w.put_u32(registry.num_templates() as u32);
-        for id in 0..registry.num_templates() {
-            w.put_str(registry.template(TemplateId(id as u32)));
+        w.put_u32(roster.len() as u32);
+        for canonical in &roster {
+            w.put_str(canonical);
+        }
+        for &baseline in &baselines {
+            w.put_u32(baseline as u32);
         }
         w.put_bytes(&spill);
         let mut bytes = w.into_bytes();
@@ -440,19 +531,49 @@ impl ShardedDurable {
         let templates = entries.len();
         let observations: u64 = entries.iter().map(|(_, obs)| obs.len() as u64).sum();
         let done = done_path(&self.root, marker.from, marker.to);
+        let canary = self.canary;
         if !self.vfs.exists(&done) {
             let dest = self.shards[marker.to].system_mut();
-            let already_imported = entries.iter().all(|(id, obs)| {
-                dest.registry()
-                    .lookup(&marker.roster[*id])
-                    .is_some_and(|tid| dest.registry().count(tid) >= obs.len())
-            });
-            if !already_imported {
-                for (id, obs) in &entries {
-                    let template = &marker.roster[*id];
-                    for &ts in obs {
-                        dest.ingest_record(ts, template);
-                    }
+            // Import idempotence is judged *per entry*, against the
+            // destination's prepare-time baseline: an entry whose
+            // destination count reaches `baseline + captured` was
+            // imported by an earlier commit attempt and must not be
+            // replayed, while an entry the destination has since lost
+            // (evicted to spill under memory pressure between attempts)
+            // is imported again. Two coarser historical checks both
+            // lose data, and the deterministic simulator catches each:
+            // judging all entries as one block doubles every history
+            // that survived a partial eviction (phantom checker), and
+            // ignoring the baseline mistakes a pre-existing residual
+            // history at the destination for an already-replayed import
+            // — then the drain below destroys the source's observations
+            // (conservation checker).
+            let import: Vec<bool> = match canary {
+                CanaryBug::CoarseImportCheck => {
+                    let all_present = entries.iter().all(|(id, obs)| {
+                        dest.registry()
+                            .lookup(&marker.roster[*id])
+                            .is_some_and(|tid| dest.registry().count(tid) >= obs.len())
+                    });
+                    vec![!all_present; entries.len()]
+                }
+                _ => entries
+                    .iter()
+                    .map(|(id, obs)| {
+                        let baseline = marker.baselines.get(*id).copied().unwrap_or(0);
+                        !dest.registry().lookup(&marker.roster[*id]).is_some_and(|tid| {
+                            dest.registry().count(tid) >= baseline + obs.len()
+                        })
+                    })
+                    .collect(),
+            };
+            for ((id, obs), replay) in entries.iter().zip(&import) {
+                if !replay {
+                    continue;
+                }
+                let template = &marker.roster[*id];
+                for &ts in obs {
+                    dest.ingest_record(ts, template);
                 }
             }
             // One checkpoint makes the whole import durable atomically
@@ -462,20 +583,85 @@ impl ShardedDurable {
         }
         // Past the fence the destination durably owns the histories:
         // dropping them from the source is now safe (and idempotent).
-        // The drain is surgical — only the migrated entries go — so a
-        // partial migration leaves the donor's hot set untouched.
+        // The drain is doubly surgical — only the migrated entries go,
+        // and within each entry only the observations captured in the
+        // marker. A commit retried after a mid-commit fault must not
+        // take the observations acknowledged since the marker was cut;
+        // those still belong to the source (a whole-history drop here
+        // measurably loses them under the deterministic simulator's
+        // conservation checker).
         let src = self.shards[marker.from].system_mut();
-        for (id, _) in &entries {
-            src.drop_template_history(TemplateId(*id as u32));
+        for (id, obs) in &entries {
+            if canary == CanaryBug::WholeHistoryDrain {
+                src.drop_template_history(TemplateId(*id as u32));
+            } else {
+                src.remove_template_observations(TemplateId(*id as u32), obs);
+            }
         }
         self.shards[marker.from].checkpoint()?;
         for (id, _) in &entries {
             let canonical = &marker.roster[*id];
             if shard_of(canonical, self.shards.len()) != marker.to {
                 self.overrides.insert(canonical.clone(), marker.to);
+            } else {
+                // The template is back on its hash home: a stale
+                // override from an earlier hop would keep routing its
+                // ingests to the *old* owner, and the count-based
+                // import-idempotence check above would then mistake
+                // that re-accumulated history for an already-replayed
+                // import on the next migration — silently draining
+                // acknowledged observations. (Reopen rebuilds overrides
+                // from placement and heals this; the live path must
+                // too.)
+                self.overrides.remove(canonical);
             }
         }
         Ok(MigrationReport { from: marker.from, to: marker.to, templates, observations })
+    }
+
+    /// Enumerate migrations that are prepared but not yet committed:
+    /// every valid on-disk marker, decoded into its parties and the
+    /// exact observations it captured. Torn or corrupt markers are
+    /// skipped (resume removes them as "never prepared").
+    ///
+    /// Observability surface for operators and for the deterministic
+    /// simulator, whose invariant checkers need to know (a) which
+    /// shards are parties to an open migration — their histories must
+    /// not be evicted out from under the commit protocol — and (b) how
+    /// many observations may legitimately be double-resident while an
+    /// interrupted commit awaits retry.
+    pub fn pending_migrations(&self) -> io::Result<Vec<PendingMigration>> {
+        let mut markers: Vec<PathBuf> = self
+            .vfs
+            .list_dir(&self.root)?
+            .into_iter()
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "dbmg")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("migrate-"))
+            })
+            .collect();
+        markers.sort();
+        let mut pending = Vec::new();
+        for path in markers {
+            let bytes = self.vfs.read(&path)?;
+            let Some(marker) = parse_marker(&bytes, self.shards.len()) else {
+                continue;
+            };
+            let Some(entries) = parse_spill(&marker.spill, marker.roster.len()) else {
+                continue;
+            };
+            pending.push(PendingMigration {
+                from: marker.from,
+                to: marker.to,
+                entries: entries
+                    .into_iter()
+                    .map(|(id, obs)| (marker.roster[id].clone(), obs))
+                    .collect(),
+            });
+        }
+        Ok(pending)
     }
 
     /// Recompute routing overrides from observation placement: any
@@ -496,6 +682,26 @@ impl ShardedDurable {
                 }
             }
         }
+    }
+}
+
+/// One prepared-but-uncommitted migration, decoded from its on-disk
+/// marker. See [`ShardedDurable::pending_migrations`].
+#[derive(Debug, Clone)]
+pub struct PendingMigration {
+    /// Donor shard index.
+    pub from: usize,
+    /// Receiver shard index.
+    pub to: usize,
+    /// Canonical template string plus the exact observation timestamps
+    /// the marker captured, per migrated template.
+    pub entries: Vec<(String, Vec<u64>)>,
+}
+
+impl PendingMigration {
+    /// Total observations captured across entries.
+    pub fn observations(&self) -> u64 {
+        self.entries.iter().map(|(_, obs)| obs.len() as u64).sum()
     }
 }
 
@@ -559,8 +765,12 @@ fn parse_marker(bytes: &[u8], shards: usize) -> Option<Marker> {
     for _ in 0..n {
         roster.push(r.str().ok()?);
     }
+    let mut baselines = Vec::with_capacity(n);
+    for _ in 0..n {
+        baselines.push(r.u32().ok()? as usize);
+    }
     let spill = r.bytes().ok()?;
-    Some(Marker { from, to, roster, spill })
+    Some(Marker { from, to, roster, baselines, spill })
 }
 
 /// Decode a registry spill blob into `(source template id, timestamps)`
@@ -587,9 +797,7 @@ mod tests {
     use super::*;
 
     fn cfg(shards: usize) -> DbAugurConfig {
-        let mut cfg = DbAugurConfig::default();
-        cfg.shards = shards;
-        cfg
+        DbAugurConfig { shards, ..DbAugurConfig::default() }
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -873,5 +1081,164 @@ mod tests {
         assert_eq!(sys.recovery_reports()[3].wal_applied, 6);
         assert_eq!(sys.shard(1).system().num_templates(), 0);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Drive a 2-shard store into an interrupted migration commit with
+    /// the destination partially evicted between attempts, and return
+    /// the per-template destination counts after the retried commit
+    /// lands. The marker captures four templates with counts 20/30/40/50;
+    /// the coldest (count 20) is evicted from the destination before
+    /// the retry.
+    fn interrupted_commit_counts(canary: CanaryBug) -> Vec<usize> {
+        use dbaugur::{FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+        let switch = FaultSwitch::new();
+        switch.set_stall_micros(0);
+        let vfs: DynVfs = std::sync::Arc::new(FaultyVfs::new(
+            std::sync::Arc::new(MemVfs::new()),
+            std::sync::Arc::clone(&switch),
+        ));
+        let root = PathBuf::from("/canary/commit");
+        let mut sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("open");
+        sys.inject_canary(canary);
+        let mut sqls = Vec::new();
+        for i in 0..4096 {
+            let sql = format!("SELECT c{i} FROM t{i} WHERE k = {i}");
+            if shard_of(&canonicalize(&sql), 2) == 0 {
+                sqls.push(sql);
+                if sqls.len() == 4 {
+                    break;
+                }
+            }
+        }
+        for (j, sql) in sqls.iter().enumerate() {
+            for ts in 0..(20 + 10 * j as u64) {
+                sys.ingest_record(ts, sql).expect("ingest");
+            }
+        }
+        assert!(sys.begin_migration(0, 1).expect("prepare"), "marker written");
+        // The burst outlasts the bounded durability retries, so the
+        // destination checkpoint fails *after* the in-memory import.
+        switch.arm(FaultKind::Eio, 64);
+        assert!(sys.resume_migrations().is_err(), "commit interrupted");
+        switch.clear();
+        // Memory pressure between attempts: the destination sheds its
+        // coldest imported history (count 20, last_seen 19).
+        let dest_bytes = sys.shard(1).system().registry_bytes();
+        let report = sys.shard_mut(1).system_mut().evict_cold_templates(dest_bytes - 100);
+        assert!(report.spill.is_some(), "eviction actually shed a history");
+        let resumed = sys.resume_migrations().expect("retried commit");
+        assert_eq!(resumed.len(), 1);
+        let dest = sys.shard(1).system().registry();
+        sqls.iter()
+            .map(|sql| dest.lookup(sql).map_or(0, |tid| dest.count(tid)))
+            .collect()
+    }
+
+    #[test]
+    fn retried_commit_reimports_only_what_the_destination_lost() {
+        assert_eq!(interrupted_commit_counts(CanaryBug::None), vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn coarse_import_check_canary_doubles_eviction_survivors() {
+        // The historical all-or-nothing idempotence check sees one
+        // short entry and replays the whole marker: every history that
+        // survived the eviction doubles. This is the defect the
+        // simulator's phantom checker exists to catch.
+        assert_eq!(interrupted_commit_counts(CanaryBug::CoarseImportCheck), vec![20, 60, 80, 100]);
+    }
+
+    #[test]
+    fn migrating_home_removes_the_stale_override() {
+        // Found by the deterministic simulator's conservation checker:
+        // a template migrated back to its hash home used to leave the
+        // old override in place, so its new ingests kept landing on the
+        // previous owner — and the count-based import-idempotence check
+        // then mistook that re-accumulated history for an already-
+        // replayed import on the next hop, draining acked observations.
+        use dbaugur::MemVfs;
+        let root = PathBuf::from("/override/home");
+        let vfs: DynVfs = std::sync::Arc::new(MemVfs::new());
+        let mut sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("open");
+        let t = template_on(0, 2);
+        for ts in 0..10 {
+            sys.ingest_record(ts, &t).expect("ingest");
+        }
+        sys.migrate(0, 1).expect("away");
+        assert_eq!(sys.route(&t), 1, "override routes to the new owner");
+        for ts in 10..14 {
+            assert_eq!(sys.ingest_record(ts, &t).expect("ingest"), 1);
+        }
+        sys.migrate(1, 0).expect("home");
+        assert!(sys.overrides().is_empty(), "stale override must not survive the trip home");
+        assert_eq!(sys.ingest_record(14, &t).expect("ingest"), 0);
+        let reg = sys.shard(0).system().registry();
+        let tid = reg.lookup(&canonicalize(&t)).expect("template home again");
+        assert_eq!(reg.count(tid), 15, "every acked observation is resident at home");
+    }
+
+    #[test]
+    fn residual_history_at_destination_does_not_defeat_import() {
+        // Found by deterministic simulation: observations ingested
+        // while a marker is open land at the old owner and survive the
+        // surgical drain — a residual history on a shard that no longer
+        // owns the template. When a later migration picks that shard as
+        // destination, a baseline-less idempotence check reads the
+        // residual as "already imported", skips the import, and the
+        // drain destroys acked observations. The marker's prepare-time
+        // baselines make the check exact.
+        use dbaugur::{FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+        let switch = FaultSwitch::new();
+        switch.set_stall_micros(0);
+        let vfs: DynVfs = std::sync::Arc::new(FaultyVfs::new(
+            std::sync::Arc::new(MemVfs::new()),
+            std::sync::Arc::clone(&switch),
+        ));
+        let root = PathBuf::from("/residual/baseline");
+        let mut sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("open");
+        let t = template_on(0, 2);
+        for ts in 0..6 {
+            sys.ingest_record(ts, &t).expect("ingest");
+        }
+        // Cut the marker, then interrupt the commit mid-flight.
+        assert!(sys.begin_migration(0, 1).expect("prepare"));
+        switch.arm(FaultKind::Eio, 64);
+        assert!(sys.resume_migrations().is_err(), "commit interrupted");
+        switch.clear();
+        // An ingest during the open-marker window routes to the old
+        // owner and is not in the marker's capture.
+        sys.ingest_record(6, &t).expect("straggler");
+        sys.resume_migrations().expect("commit completes");
+        let reg0 = sys.shard(0).system().registry();
+        let residual =
+            reg0.lookup(&canonicalize(&t)).map_or(0, |tid| reg0.count(tid));
+        assert_eq!(residual, 1, "the straggler survives the surgical drain at the old owner");
+        // Migrate back: shard 0 is now a destination that already holds
+        // a residual history of the template.
+        sys.migrate(1, 0).expect("home");
+        let reg0 = sys.shard(0).system().registry();
+        let tid = reg0.lookup(&canonicalize(&t)).expect("template");
+        assert_eq!(reg0.count(tid), 7, "all 7 acked observations are resident — none drained away");
+    }
+
+    #[test]
+    fn begin_refuses_while_a_marker_involves_either_party() {
+        use dbaugur::MemVfs;
+        let root = PathBuf::from("/marker/overlap");
+        let vfs: DynVfs = std::sync::Arc::new(MemVfs::new());
+        let mut sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(4)).expect("open");
+        let (a, c) = (template_on(0, 4), template_on(2, 4));
+        for ts in 0..8 {
+            sys.ingest_record(ts, &a).expect("ingest");
+            sys.ingest_record(ts, &c).expect("ingest");
+        }
+        assert!(sys.begin_migration(0, 1).expect("prepare 0->1"), "marker cut");
+        // Any pair sharing a party with the open 0->1 marker refuses.
+        assert!(!sys.begin_migration(1, 2).expect("overlap donor"), "1 is receiving");
+        assert!(!sys.begin_migration(2, 0).expect("overlap receiver"), "0 is donating");
+        // A disjoint pair proceeds.
+        assert!(sys.begin_migration(2, 3).expect("disjoint"), "2->3 unaffected");
+        let reports = sys.resume_migrations().expect("commit both");
+        assert_eq!(reports.len(), 2);
     }
 }

@@ -37,7 +37,7 @@ pub mod soak;
 pub mod supervisor;
 
 pub use arbiter::{ArbiterConfig, ArbiterStats, BudgetArbiter, Escalation, ShardDemand};
-pub use durable::{MigrateError, MigrationReport, ShardedDurable};
+pub use durable::{CanaryBug, MigrateError, MigrationReport, PendingMigration, ShardedDurable};
 pub use health::{BreakerState, HealthPolicy, ShardHealth, ShardState};
 pub use heat::{
     HeatConfig, HeatTracker, RebalanceConfig, RebalancePlan, RebalancePolicy, RebalanceStats,
@@ -48,6 +48,6 @@ pub use soak::{
     run_shard_soak, KillKind, OutageWindow, ShardSoakConfig, ShardSoakReport,
 };
 pub use supervisor::{
-    ShardDecision, ShardStatus, Supervisor, SupervisorConfig, SupervisorStats,
-    SupervisorTickReport,
+    ShardDecision, ShardStatus, Supervisor, SupervisorConfig, SupervisorConfigError,
+    SupervisorStats, SupervisorTickReport,
 };

@@ -66,6 +66,45 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Typed rejection of an externally-supplied supervisor configuration
+/// or shard index. The panicking entry points ([`Supervisor::new`],
+/// [`Supervisor::force_quarantine`]) delegate to the `try_` variants
+/// that return this, so input arriving from CLI flags or fault-plan
+/// files degrades instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorConfigError {
+    /// `shards == 0`: there would be nothing to route to.
+    ZeroShards,
+    /// The health policy failed [`HealthPolicy::validate`].
+    InvalidPolicy {
+        /// The validator's explanation.
+        reason: String,
+    },
+    /// A shard index at or past the configured shard count.
+    ShardOutOfRange {
+        /// The offending index.
+        shard: usize,
+        /// The configured shard count.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for SupervisorConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisorConfigError::ZeroShards => write!(f, "shard count must be positive"),
+            SupervisorConfigError::InvalidPolicy { reason } => {
+                write!(f, "invalid health policy: {reason}")
+            }
+            SupervisorConfigError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range (have {shards})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorConfigError {}
+
 /// Where a submitted request ended up.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ShardDecision {
@@ -214,14 +253,33 @@ impl<E: Engine + Send> Supervisor<E> {
     /// a panic, so it must return a clean-slate engine every call.
     ///
     /// # Panics
-    /// Panics if `cfg.shards == 0` or the health policy is invalid.
+    /// Panics if `cfg.shards == 0` or the health policy is invalid —
+    /// use [`try_new`](Self::try_new) where the configuration comes
+    /// from outside (CLI flags, plan files) and must degrade typed.
     pub fn new(
         cfg: SupervisorConfig,
         exec: Arc<Executor>,
         factory: impl Fn(usize) -> E + Send + Sync + 'static,
     ) -> Self {
-        assert!(cfg.shards > 0, "shard count must be positive");
-        cfg.policy.validate().expect("valid health policy");
+        match Self::try_new(cfg, exec, factory) {
+            Ok(sup) => sup,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a zero shard count or an invalid
+    /// health policy with a typed error instead of panicking.
+    pub fn try_new(
+        cfg: SupervisorConfig,
+        exec: Arc<Executor>,
+        factory: impl Fn(usize) -> E + Send + Sync + 'static,
+    ) -> Result<Self, SupervisorConfigError> {
+        if cfg.shards == 0 {
+            return Err(SupervisorConfigError::ZeroShards);
+        }
+        cfg.policy
+            .validate()
+            .map_err(|reason| SupervisorConfigError::InvalidPolicy { reason })?;
         let slots = (0..cfg.shards)
             .map(|i| Slot {
                 gov: Governor::new(cfg.serve.clone(), factory(i), VirtualClock::new()),
@@ -234,7 +292,7 @@ impl<E: Engine + Send> Supervisor<E> {
         let quotas = TenantQuotas::new(cfg.tenant_quota_per_tick);
         let arbiter = cfg.arbiter.clone().map(|a| BudgetArbiter::new(a, cfg.shards));
         let prev_ingested = vec![0; cfg.shards];
-        Self {
+        Ok(Self {
             cfg,
             exec,
             factory: Box::new(factory),
@@ -243,7 +301,7 @@ impl<E: Engine + Send> Supervisor<E> {
             stats: SupervisorStats::default(),
             arbiter,
             prev_ingested,
-        }
+        })
     }
 
     /// Number of shard pipelines.
@@ -442,8 +500,28 @@ impl<E: Engine + Send> Supervisor<E> {
     }
 
     /// Force a shard's breaker open (chaos harness, operator action).
+    ///
+    /// # Panics
+    /// On an out-of-range shard index — operator-supplied indices
+    /// (CLI `--kill-shard`, fault plans) should go through
+    /// [`try_force_quarantine`](Self::try_force_quarantine).
     pub fn force_quarantine(&mut self, shard: usize) {
-        self.slots[shard].health.force_quarantine();
+        match self.try_force_quarantine(shard) {
+            Ok(()) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Force a shard's breaker open, rejecting an out-of-range index
+    /// with a typed error instead of panicking. Fault plans and CLI
+    /// drills route operator input through here.
+    pub fn try_force_quarantine(&mut self, shard: usize) -> Result<(), SupervisorConfigError> {
+        let slot = self.slots.get_mut(shard).ok_or(SupervisorConfigError::ShardOutOfRange {
+            shard,
+            shards: self.cfg.shards,
+        })?;
+        slot.health.force_quarantine();
+        Ok(())
     }
 
     /// A shard's health state machine.
@@ -545,6 +623,39 @@ mod tests {
             arbiter: None,
         };
         Supervisor::new(cfg, Arc::new(Executor::new(1)), |_| SimEngine::new(32))
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config_with_typed_errors() {
+        let exec = Arc::new(Executor::new(1));
+        let zero = SupervisorConfig { shards: 0, ..SupervisorConfig::default() };
+        let err = Supervisor::try_new(zero, Arc::clone(&exec), |_| SimEngine::new(8))
+            .err()
+            .expect("zero shards must be rejected");
+        assert_eq!(err, SupervisorConfigError::ZeroShards);
+        let bad_policy = SupervisorConfig {
+            shards: 2,
+            policy: HealthPolicy { degrade_after: 0, ..HealthPolicy::default() },
+            ..SupervisorConfig::default()
+        };
+        let err = Supervisor::try_new(bad_policy, Arc::clone(&exec), |_| SimEngine::new(8))
+            .err()
+            .expect("invalid policy must be rejected");
+        assert!(matches!(err, SupervisorConfigError::InvalidPolicy { .. }), "{err}");
+        assert!(Supervisor::try_new(SupervisorConfig::default(), exec, |_| SimEngine::new(8))
+            .is_ok());
+    }
+
+    #[test]
+    fn try_force_quarantine_bounds_checks_operator_input() {
+        let mut s = supervisor(2, 0);
+        assert_eq!(
+            s.try_force_quarantine(7),
+            Err(SupervisorConfigError::ShardOutOfRange { shard: 7, shards: 2 })
+        );
+        assert!(s.try_force_quarantine(1).is_ok());
+        assert_eq!(s.health(1).state(), ShardState::Quarantined);
+        assert_eq!(s.health(0).state(), ShardState::Healthy, "sibling untouched");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The invariant checker registry: what must hold after every tick.
+//!
+//! Checkers are pure functions over a [`Frame`] — the per-tick
+//! observable snapshot the world assembles after its maintenance phase
+//! — so each can be unit-tested against hand-built frames and the
+//! registry can enable subsets (the sibling-identity check, for
+//! instance, only applies to isolation-mode plans and is run by the
+//! swarm, not per tick).
+//!
+//! The direction conventions matter:
+//!
+//! * **Phantom** is `resident <= acked + pending-migration allowance`.
+//!   Observations legitimately sit on two shards while an interrupted
+//!   migration commit awaits retry (imported to the destination, not
+//!   yet drained from the source); the open marker's captured counts
+//!   bound exactly how much doubling is sanctioned. Once the marker is
+//!   gone, any surplus is a permanent phantom.
+//! * **Conservation** is `acked <= resident + spilled`. Crash recovery
+//!   may *resurrect* evicted observations from the WAL while their
+//!   spill blobs also persist, so over-accounting is expected and
+//!   benign; under-accounting is an acknowledged observation destroyed.
+
+use std::fmt;
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// `offered == acked + shed_pressure + shed_breaker + shed_io`,
+    /// per shard and globally.
+    Books,
+    /// Post-enforcement resident bytes within the global budget,
+    /// whenever the budget clears the unevictable template-string
+    /// floor (an unsatisfiable budget breaches honestly).
+    Ceiling,
+    /// Per-template `resident <= acked + migration allowance`: no
+    /// observation is ever double-resident beyond what an open
+    /// migration marker sanctions.
+    Phantom,
+    /// Per-template `acked <= resident + spilled`: no acknowledged
+    /// observation is ever destroyed.
+    Conservation,
+    /// Post-crash recovery must succeed once injected faults clear.
+    Recovery,
+    /// A replayed plan diverged from its first execution (swarm-level).
+    ReplayDivergence,
+    /// A non-victim shard diverged from the fault-free run in an
+    /// isolation-mode plan (swarm-level).
+    SiblingDivergence,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CheckKind::Books => "books",
+            CheckKind::Ceiling => "ceiling",
+            CheckKind::Phantom => "phantom",
+            CheckKind::Conservation => "conservation",
+            CheckKind::Recovery => "recovery",
+            CheckKind::ReplayDivergence => "replay-divergence",
+            CheckKind::SiblingDivergence => "sibling-divergence",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One invariant violation: the minimal fact a reproducer must rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Tick at which the checker fired.
+    pub tick: u64,
+    /// Which invariant broke.
+    pub check: CheckKind,
+    /// Human-readable specifics (template index, counts, bytes).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tick {}: {} violated: {}", self.tick, self.check, self.detail)
+    }
+}
+
+/// The per-tick observable snapshot the checkers run over.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    /// Tick the frame describes.
+    pub tick: u64,
+    /// Per-shard offered counts.
+    pub offered: &'a [u64],
+    /// Per-shard acked counts.
+    pub acked: &'a [u64],
+    /// Per-shard memory-pressure sheds.
+    pub shed_pressure: &'a [u64],
+    /// Per-shard breaker sheds.
+    pub shed_breaker: &'a [u64],
+    /// Per-shard IO sheds.
+    pub shed_io: &'a [u64],
+    /// Post-enforcement resident byte total and the unevictable floor
+    /// at enforcement time; `None` when no enforcement ran this tick
+    /// (unlimited-budget world).
+    pub enforced: Option<EnforcedState>,
+    /// Per-corpus-template resident observation counts, summed across
+    /// shards.
+    pub resident: &'a [u64],
+    /// Per-corpus-template acknowledged observation counts.
+    pub acked_per_template: &'a [u64],
+    /// Per-corpus-template observations moved to spill blobs (written
+    /// or held pending) by grant enforcement.
+    pub spilled: &'a [u64],
+    /// Per-corpus-template observations captured in open migration
+    /// markers — the sanctioned double-residency allowance.
+    pub allowance: &'a [u64],
+}
+
+/// What grant enforcement left behind this tick.
+#[derive(Debug, Clone, Copy)]
+pub struct EnforcedState {
+    /// Resident bytes right after the enforcement passes.
+    pub resident_bytes: usize,
+    /// The global budget in force at enforcement time.
+    pub budget_bytes: usize,
+    /// The unevictable floor (template strings and registry fixed
+    /// costs) at enforcement time: a budget below this cannot be held
+    /// and breaches are honest, not violations.
+    pub floor_bytes: usize,
+}
+
+/// The books must balance per shard and globally, every tick.
+pub fn check_books(f: &Frame<'_>) -> Option<Violation> {
+    for i in 0..f.offered.len() {
+        let out = f.acked[i] + f.shed_pressure[i] + f.shed_breaker[i] + f.shed_io[i];
+        if f.offered[i] != out {
+            return Some(Violation {
+                tick: f.tick,
+                check: CheckKind::Books,
+                detail: format!("shard {i}: offered {} != acked+shed {}", f.offered[i], out),
+            });
+        }
+    }
+    None
+}
+
+/// The hard byte ceiling must hold after enforcement whenever it is
+/// satisfiable.
+pub fn check_ceiling(f: &Frame<'_>) -> Option<Violation> {
+    let e = f.enforced?;
+    if e.resident_bytes > e.budget_bytes && e.budget_bytes >= e.floor_bytes {
+        return Some(Violation {
+            tick: f.tick,
+            check: CheckKind::Ceiling,
+            detail: format!(
+                "post-enforcement resident {} bytes over satisfiable budget {} (floor {})",
+                e.resident_bytes, e.budget_bytes, e.floor_bytes
+            ),
+        });
+    }
+    None
+}
+
+/// No observation is double-resident beyond the open-marker allowance.
+pub fn check_phantom(f: &Frame<'_>) -> Option<Violation> {
+    for t in 0..f.resident.len() {
+        if f.resident[t] > f.acked_per_template[t] + f.allowance[t] {
+            return Some(Violation {
+                tick: f.tick,
+                check: CheckKind::Phantom,
+                detail: format!(
+                    "template {t}: resident {} > acked {} + migration allowance {}",
+                    f.resident[t], f.acked_per_template[t], f.allowance[t]
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// No acknowledged observation is destroyed.
+pub fn check_conservation(f: &Frame<'_>) -> Option<Violation> {
+    for t in 0..f.acked_per_template.len() {
+        if f.acked_per_template[t] > f.resident[t] + f.spilled[t] {
+            return Some(Violation {
+                tick: f.tick,
+                check: CheckKind::Conservation,
+                detail: format!(
+                    "template {t}: acked {} > resident {} + spilled {}",
+                    f.acked_per_template[t], f.resident[t], f.spilled[t]
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// The per-tick checker registry. Every enabled checker runs after
+/// every tick; the first violation each reports is collected.
+/// A pure per-frame check: reports the first violation it sees.
+type Checker = fn(&Frame<'_>) -> Option<Violation>;
+
+pub struct CheckerRegistry {
+    checkers: Vec<(CheckKind, Checker)>,
+}
+
+impl CheckerRegistry {
+    /// The full per-tick registry.
+    pub fn standard() -> Self {
+        Self {
+            checkers: vec![
+                (CheckKind::Books, check_books),
+                (CheckKind::Ceiling, check_ceiling),
+                (CheckKind::Phantom, check_phantom),
+                (CheckKind::Conservation, check_conservation),
+            ],
+        }
+    }
+
+    /// Names of the enabled checkers, in run order.
+    pub fn enabled(&self) -> Vec<CheckKind> {
+        self.checkers.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Run every checker over the frame.
+    pub fn run(&self, frame: &Frame<'_>) -> Vec<Violation> {
+        self.checkers.iter().filter_map(|(_, c)| c(frame)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame<'a>(
+        resident: &'a [u64],
+        acked_t: &'a [u64],
+        spilled: &'a [u64],
+        allowance: &'a [u64],
+    ) -> Frame<'a> {
+        Frame {
+            tick: 7,
+            offered: &[10],
+            acked: &[10],
+            shed_pressure: &[0],
+            shed_breaker: &[0],
+            shed_io: &[0],
+            enforced: None,
+            resident,
+            acked_per_template: acked_t,
+            spilled,
+            allowance,
+        }
+    }
+
+    #[test]
+    fn phantom_tolerates_open_marker_doubling_only() {
+        let f = frame(&[20], &[10], &[0], &[10]);
+        assert!(check_phantom(&f).is_none(), "doubling under an open marker is sanctioned");
+        let f = frame(&[20], &[10], &[0], &[0]);
+        let v = check_phantom(&f).expect("permanent doubling is a phantom");
+        assert_eq!(v.check, CheckKind::Phantom);
+    }
+
+    #[test]
+    fn conservation_allows_resurrection_but_not_loss() {
+        let f = frame(&[10], &[10], &[10], &[0]);
+        assert!(check_conservation(&f).is_none(), "WAL resurrection over-accounts benignly");
+        let f = frame(&[4], &[10], &[2], &[0]);
+        assert_eq!(check_conservation(&f).unwrap().check, CheckKind::Conservation);
+    }
+
+    #[test]
+    fn ceiling_fires_only_when_satisfiable() {
+        let mut f = frame(&[0], &[0], &[0], &[0]);
+        f.enforced = Some(EnforcedState { resident_bytes: 900, budget_bytes: 800, floor_bytes: 950 });
+        assert!(check_ceiling(&f).is_none(), "budget below the floor breaches honestly");
+        f.enforced = Some(EnforcedState { resident_bytes: 900, budget_bytes: 800, floor_bytes: 700 });
+        assert_eq!(check_ceiling(&f).unwrap().check, CheckKind::Ceiling);
+    }
+
+    #[test]
+    fn books_catch_an_unattributed_record()  {
+        let f = Frame {
+            tick: 1,
+            offered: &[10, 10],
+            acked: &[10, 9],
+            shed_pressure: &[0, 0],
+            shed_breaker: &[0, 0],
+            shed_io: &[0, 0],
+            enforced: None,
+            resident: &[],
+            acked_per_template: &[],
+            spilled: &[],
+            allowance: &[],
+        };
+        assert_eq!(check_books(&f).unwrap().check, CheckKind::Books);
+        assert_eq!(CheckerRegistry::standard().run(&f).len(), 1);
+    }
+}

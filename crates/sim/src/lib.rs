@@ -1,0 +1,41 @@
+//! DetSim: deterministic whole-system simulation for the DBAugur
+//! sharded pipeline.
+//!
+//! FoundationDB-style discrete-event testing, scaled to this codebase:
+//! the *entire* system — sharded durable stores, budget arbiter, heat
+//! tracker, rebalance policy, health supervision — runs on one logical
+//! timeline under one seeded RNG, with every fault layer the repo has
+//! grown (vfs fault switch, crash/reopen recovery, shard panics, budget
+//! squeezes, workload drift, clock jumps) composed through a single
+//! serializable [`SimPlan`]. The flow:
+//!
+//! 1. **Plan** ([`plan`]): a compound fault schedule addressed by
+//!    virtual-time tick and absolute write-op index, serialized as a
+//!    canonical `.plan` text file. Same seed + same plan ⇒
+//!    byte-identical execution.
+//! 2. **Run** ([`world`]): the tick engine executes the plan and the
+//!    invariant checker registry ([`invariant`]) runs after every tick:
+//!    intake books balance, the byte ceiling holds, no observation is
+//!    phantom-duplicated past the open-marker allowance, no acked
+//!    observation is ever destroyed.
+//! 3. **Shrink** ([`shrink`]): on violation, delta-debugging reduces
+//!    the schedule — drop events, halve intensities, shorten the run —
+//!    to a minimal reproducer that still trips the *same* checker.
+//! 4. **Swarm** ([`swarm`]): seeded generation of hundreds of compound
+//!    schedules, with replay-identity and fault-isolation (sibling
+//!    digest) spot checks and an MTTR distribution over the clean-tick
+//!    timeline. Canary bugs ([`CanaryBug`]) planted in the migration
+//!    protocol verify the harness actually catches what it claims to.
+
+pub mod invariant;
+pub mod plan;
+pub mod shrink;
+pub mod swarm;
+pub mod world;
+
+pub use dbaugur_shard::CanaryBug;
+pub use invariant::{CheckKind, CheckerRegistry, EnforcedState, Frame, Violation};
+pub use plan::{EventKind, FaultEvent, SimPlan, PLAN_HEADER};
+pub use shrink::{shrink, ShrinkReport};
+pub use swarm::{generate_plan, run_swarm, MttrStats, SwarmConfig, SwarmReport};
+pub use world::{run_plan, run_plan_with, SimOptions, SimReport};

@@ -1,0 +1,248 @@
+//! Automatic failure shrinking: reduce a violating plan to a minimal
+//! reproducer by delta debugging.
+//!
+//! The oracle is "does the candidate plan still trip the *same*
+//! checker" — not "any checker", so the shrink cannot wander from a
+//! conservation loss to an unrelated books imbalance and report a
+//! reproducer for a different bug. Because execution is deterministic,
+//! the oracle is a pure function of the plan and the search never
+//! flakes.
+//!
+//! Three reduction passes, each run to fixpoint in order of payoff:
+//!
+//! 1. **Event deletion** (classic ddmin): remove complement chunks of
+//!    the schedule, doubling granularity when stuck.
+//! 2. **Intensity weakening**: halve each surviving event's magnitude
+//!    (burst lengths, clock jumps; squeezes and drifts relax toward
+//!    neutral) while the checker still fires.
+//! 3. **Run shortening**: truncate the timeline to just past the last
+//!    event, then halve the per-tick ingest volume.
+
+use crate::invariant::CheckKind;
+use crate::plan::{EventKind, FaultEvent, SimPlan};
+use crate::world::{run_plan_with, SimOptions};
+
+/// Hard cap on oracle executions, so a pathological schedule cannot
+/// stall a swarm; every pass degrades gracefully when the budget runs
+/// out (the plan so far is still a valid reproducer).
+const MAX_RUNS: u64 = 600;
+
+/// Outcome of shrinking one violating plan.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The minimal reproducer: still trips `check` under the same
+    /// options, byte-identically on every replay.
+    pub plan: SimPlan,
+    /// The invariant the reproducer trips.
+    pub check: CheckKind,
+    /// Oracle executions spent.
+    pub runs: u64,
+    /// Fault events before shrinking.
+    pub from_events: usize,
+    /// Fault events in the reproducer.
+    pub to_events: usize,
+    /// Plan ticks before shrinking.
+    pub from_ticks: u64,
+    /// Plan ticks in the reproducer.
+    pub to_ticks: u64,
+}
+
+struct Oracle {
+    opts: SimOptions,
+    check: CheckKind,
+    runs: u64,
+}
+
+impl Oracle {
+    /// Does the candidate still trip the target checker?
+    fn trips(&mut self, candidate: &SimPlan) -> bool {
+        if self.runs >= MAX_RUNS || candidate.validate().is_err() {
+            return false;
+        }
+        self.runs += 1;
+        let report = run_plan_with(candidate, &self.opts);
+        report.violations.iter().any(|v| v.check == self.check)
+    }
+}
+
+/// Shrink a violating plan to a minimal reproducer.
+///
+/// Returns `None` if the plan does not violate anything under `opts`
+/// (there is nothing to reproduce). The options are part of the oracle:
+/// a canary-induced failure shrinks against the same canary.
+pub fn shrink(plan: &SimPlan, opts: &SimOptions) -> Option<ShrinkReport> {
+    let probe = SimOptions { stop_at_first_violation: true, ..*opts };
+    let first = run_plan_with(plan, &probe);
+    let check = first.violations.first()?.check;
+    let mut oracle = Oracle { opts: probe, check, runs: 1 };
+
+    let mut current = plan.clone();
+    current.normalize();
+
+    // Pass 1: ddmin over the event list.
+    current.events = ddmin(&current, &mut oracle);
+
+    // Pass 2: weaken each surviving event's intensity to fixpoint.
+    loop {
+        let mut weakened = false;
+        for i in 0..current.events.len() {
+            while let Some(kind) = weaker(&current.events[i].kind) {
+                let mut candidate = current.clone();
+                candidate.events[i].kind = kind.clone();
+                if oracle.trips(&candidate) {
+                    current = candidate;
+                    weakened = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !weakened {
+            break;
+        }
+    }
+
+    // Pass 3a: truncate the timeline to just past the last event.
+    let floor = current.last_event_tick().map_or(1, |t| t + 1);
+    for extra in [0, 1, 3, 7] {
+        let ticks = floor + extra;
+        if ticks >= current.ticks {
+            break;
+        }
+        let mut candidate = current.clone();
+        candidate.ticks = ticks;
+        if oracle.trips(&candidate) {
+            current = candidate;
+            break;
+        }
+    }
+
+    // Pass 3b: halve the ingest volume while the checker still fires.
+    while current.ingest_per_tick >= 100 {
+        let mut candidate = current.clone();
+        candidate.ingest_per_tick /= 2;
+        if oracle.trips(&candidate) {
+            current = candidate;
+        } else {
+            break;
+        }
+    }
+
+    current.normalize();
+    Some(ShrinkReport {
+        check,
+        runs: oracle.runs,
+        from_events: plan.events.len(),
+        to_events: current.events.len(),
+        from_ticks: plan.ticks,
+        to_ticks: current.ticks,
+        plan: current,
+    })
+}
+
+/// Classic ddmin: find a (1-)minimal violating subset of the events by
+/// repeatedly removing complement chunks, doubling granularity when no
+/// chunk can go.
+fn ddmin(plan: &SimPlan, oracle: &mut Oracle) -> Vec<FaultEvent> {
+    let mut events = plan.events.clone();
+    // An empty schedule that still trips means the bug needs no faults
+    // at all — the minimal reproducer is eventless.
+    let mut candidate = plan.clone();
+    candidate.events = Vec::new();
+    if oracle.trips(&candidate) {
+        return Vec::new();
+    }
+    let mut n = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(n);
+        let mut reduced = false;
+        for i in 0..n {
+            let lo = i * chunk;
+            if lo >= events.len() {
+                break;
+            }
+            let hi = ((i + 1) * chunk).min(events.len());
+            let complement: Vec<FaultEvent> = events
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j < lo || *j >= hi)
+                .map(|(_, e)| e.clone())
+                .collect();
+            let mut c = plan.clone();
+            c.events = complement.clone();
+            if oracle.trips(&c) {
+                events = complement;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            n = (n - 1).max(2);
+        } else {
+            if n >= events.len() {
+                break;
+            }
+            n = (n * 2).min(events.len());
+        }
+    }
+    events
+}
+
+/// One step weaker than `kind`, or `None` when it is already minimal.
+/// Bursts halve toward one op; squeezes and drift multipliers relax
+/// halfway toward neutral (1000‰); jumps halve toward nothing.
+fn weaker(kind: &EventKind) -> Option<EventKind> {
+    match kind {
+        EventKind::Enospc { ops } if *ops > 1 => Some(EventKind::Enospc { ops: ops / 2 }),
+        EventKind::Eio { ops } if *ops > 1 => Some(EventKind::Eio { ops: ops / 2 }),
+        EventKind::ShortWrite { ops } if *ops > 1 => {
+            Some(EventKind::ShortWrite { ops: ops / 2 })
+        }
+        EventKind::SpillFault { ops } if *ops > 1 => Some(EventKind::SpillFault { ops: ops / 2 }),
+        EventKind::MigrationFault { ops } if *ops > 1 => {
+            Some(EventKind::MigrationFault { ops: ops / 2 })
+        }
+        EventKind::VfsAt { op, fault, ops } if *ops > 1 => {
+            Some(EventKind::VfsAt { op: *op, fault: *fault, ops: ops / 2 })
+        }
+        EventKind::BudgetSqueeze { permille } if *permille < 992 => {
+            Some(EventKind::BudgetSqueeze { permille: (permille + 1_000).div_ceil(2) })
+        }
+        EventKind::DriftShift { rotate, mult_permille } if *mult_permille > 1_008 => {
+            Some(EventKind::DriftShift {
+                rotate: *rotate,
+                mult_permille: (mult_permille + 1_000) / 2,
+            })
+        }
+        EventKind::ClockJump { ms } if *ms > 1 => Some(EventKind::ClockJump { ms: ms / 2 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_has_nothing_to_shrink() {
+        let plan = SimPlan { ticks: 6, templates: 200, ingest_per_tick: 300, ..SimPlan::default() };
+        assert!(shrink(&plan, &SimOptions::default()).is_none());
+    }
+
+    #[test]
+    fn weaker_relaxes_toward_neutral_and_stops() {
+        let mut k = EventKind::BudgetSqueeze { permille: 200 };
+        let mut steps = 0;
+        while let Some(w) = weaker(&k) {
+            k = w;
+            steps += 1;
+            assert!(steps < 20, "weakening must terminate");
+        }
+        match k {
+            EventKind::BudgetSqueeze { permille } => assert!(permille >= 992),
+            _ => unreachable!(),
+        }
+        assert!(weaker(&EventKind::Crash).is_none());
+        assert_eq!(weaker(&EventKind::Eio { ops: 8 }), Some(EventKind::Eio { ops: 4 }));
+    }
+}

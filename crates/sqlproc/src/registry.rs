@@ -140,8 +140,11 @@ impl TemplateRegistry {
     }
 
     /// Most recent observation timestamp for `id` (0 = never seen).
+    /// Tolerant of ids this registry never allocated (returns 0):
+    /// foreign ids arrive through migration rosters and spill blobs,
+    /// and a damaged blob must degrade, not panic.
     pub fn last_seen(&self, id: TemplateId) -> u64 {
-        self.last_seen[id.0 as usize]
+        self.last_seen.get(id.0 as usize).copied().unwrap_or(0)
     }
 
     /// Evict cold observation histories until the approximate footprint
@@ -249,8 +252,21 @@ impl TemplateRegistry {
     }
 
     /// The canonical template string for `id`.
+    ///
+    /// # Panics
+    /// On an id this registry never allocated — use
+    /// [`try_template`](TemplateRegistry::try_template) for ids that
+    /// crossed a trust boundary (migration markers, spill files).
     pub fn template(&self, id: TemplateId) -> &str {
         &self.templates[id.0 as usize]
+    }
+
+    /// The canonical template string for `id`, or `None` for an id this
+    /// registry never allocated. The fault-injected paths (decoding a
+    /// spill blob or migration roster written by a different — possibly
+    /// corrupt — incarnation) go through this instead of indexing.
+    pub fn try_template(&self, id: TemplateId) -> Option<&str> {
+        self.templates.get(id.0 as usize).map(String::as_str)
     }
 
     /// Look up the id of an already-registered statement without
@@ -259,9 +275,47 @@ impl TemplateRegistry {
         self.by_template.get(&canonicalize(sql)).copied()
     }
 
-    /// Total observations for a template.
+    /// Remove up to one resident observation per listed timestamp from
+    /// `id`'s history (multiset semantics: a timestamp listed twice
+    /// removes at most two matching observations). Returns how many
+    /// were actually removed; timestamps with no resident match — and
+    /// ids this registry never allocated — are ignored.
+    ///
+    /// This is the migration drain primitive: a source shard must shed
+    /// exactly the observations the destination durably imported, while
+    /// keeping anything that arrived after the migration marker was
+    /// cut. Whole-history drops ([`drop_observations`]) would lose
+    /// those late arrivals if a failed commit is retried.
+    ///
+    /// [`drop_observations`]: TemplateRegistry::drop_observations
+    pub fn remove_observations(&mut self, id: TemplateId, timestamps: &[u64]) -> usize {
+        let slot = id.0 as usize;
+        if slot >= self.observations.len() || timestamps.is_empty() {
+            return 0;
+        }
+        let mut wanted: HashMap<u64, usize> = HashMap::new();
+        for &ts in timestamps {
+            *wanted.entry(ts).or_insert(0) += 1;
+        }
+        let obs = &mut self.observations[slot];
+        let before = obs.len();
+        obs.retain(|ts| match wanted.get_mut(ts) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        });
+        let removed = before - obs.len();
+        self.approx_bytes = self.approx_bytes.saturating_sub(8 * removed);
+        removed
+    }
+
+    /// Total observations for a template. Tolerant of ids this registry
+    /// never allocated (returns 0) for the same reason as
+    /// [`last_seen`](TemplateRegistry::last_seen).
     pub fn count(&self, id: TemplateId) -> usize {
-        self.observations[id.0 as usize].len()
+        self.observations.get(id.0 as usize).map_or(0, Vec::len)
     }
 
     /// Bin every template's observations into arrival-rate traces over
@@ -552,6 +606,39 @@ mod tests {
         let back = TemplateRegistry::decode_from(&mut WireReader::new(&bytes)).unwrap();
         assert_eq!(back.approx_bytes(), reg.approx_bytes());
         assert_eq!(back.last_seen(id), 7);
+    }
+
+    #[test]
+    fn foreign_ids_degrade_instead_of_panicking() {
+        let mut reg = TemplateRegistry::new();
+        reg.observe("SELECT a FROM t", 1);
+        let foreign = TemplateId(999);
+        assert_eq!(reg.count(foreign), 0);
+        assert_eq!(reg.last_seen(foreign), 0);
+        assert_eq!(reg.try_template(foreign), None);
+        assert_eq!(reg.try_template(TemplateId(0)), Some("SELECT a FROM t"));
+        assert_eq!(reg.remove_observations(foreign, &[1, 2]), 0);
+    }
+
+    #[test]
+    fn remove_observations_is_a_multiset_surgical_drain() {
+        let mut reg = TemplateRegistry::new();
+        let id = reg.observe("SELECT a FROM t WHERE x = 1", 10);
+        reg.observe("SELECT a FROM t WHERE x = 2", 10);
+        reg.observe("SELECT a FROM t WHERE x = 3", 20);
+        reg.observe("SELECT a FROM t WHERE x = 4", 30);
+        let bytes_before = reg.approx_bytes();
+        // Remove one of the two ts=10 observations plus ts=20; ts=99
+        // has no match and is ignored.
+        assert_eq!(reg.remove_observations(id, &[10, 20, 99]), 2);
+        assert_eq!(reg.count(id), 2);
+        assert_eq!(reg.approx_bytes(), bytes_before - 16);
+        // The second listed 10 removes the remaining one.
+        assert_eq!(reg.remove_observations(id, &[10, 10]), 1);
+        assert_eq!(reg.count(id), 1);
+        // Late arrival (ts=30) survived the drain.
+        assert_eq!(reg.last_seen(id), 30);
+        assert_eq!(reg.remove_observations(id, &[]), 0);
     }
 
     #[test]

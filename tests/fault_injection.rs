@@ -133,3 +133,154 @@ fn fault_seeds_never_panic_and_reports_stay_consistent() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Op-count fault schedules spanning the crash boundary: bursts armed at
+// an absolute write-op index survive the crash (the switch outlives the
+// store) and land inside recovery — during WAL replay bookkeeping,
+// marker resume, or the post-replay checkpoint — not just in steady
+// state. Recovery must either come back whole or fail cleanly and come
+// back whole on the retry; acked observations must never be lost.
+
+use dbaugur::{DurableDbAugur, DynVfs, FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+use dbaugur_shard::ShardedDurable;
+use dbaugur_sqlproc::canonicalize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn faulty_mem() -> (DynVfs, Arc<FaultSwitch>) {
+    let switch = FaultSwitch::new();
+    switch.set_stall_micros(0);
+    let vfs: DynVfs =
+        Arc::new(FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch)));
+    (vfs, switch)
+}
+
+fn shard_cfg(shards: usize) -> DbAugurConfig {
+    DbAugurConfig { shards, ..DbAugurConfig::default() }
+}
+
+/// Total resident observations of `sql` across every shard.
+fn resident(sys: &ShardedDurable, sql: &str) -> usize {
+    let canonical = canonicalize(sql);
+    (0..sys.num_shards())
+        .map(|i| {
+            let reg = sys.shard(i).system().registry();
+            reg.lookup(&canonical).map_or(0, |tid| reg.count(tid))
+        })
+        .sum()
+}
+
+#[test]
+fn seeded_fault_matrix_spans_the_crash_boundary() {
+    let kinds = [FaultKind::Enospc, FaultKind::Eio, FaultKind::ShortWrite];
+    // Offsets relative to the op counter at arm time. Small offsets hit
+    // the pre-crash ingest tail; large ones outlive it and land in the
+    // recovery write path of the reopen.
+    let offsets = [0u64, 1, 3, 7, 13, 23];
+    let templates = ["SELECT a FROM boundary_a WHERE id = 1", "UPDATE boundary_b SET v = 2"];
+    for (ki, kind) in kinds.into_iter().enumerate() {
+        for (oi, &offset) in offsets.iter().enumerate() {
+            let (vfs, switch) = faulty_mem();
+            let root = PathBuf::from(format!("/boundary/{ki}/{oi}"));
+            let mut sys =
+                ShardedDurable::open_with_vfs(&vfs, &root, shard_cfg(2)).expect("open");
+            let mut acked = [0usize; 2];
+            for ts in 0..30u64 {
+                let t = (ts % 2) as usize;
+                sys.ingest_record(ts, templates[t]).expect("clean ingest");
+                acked[t] += 1;
+            }
+            // Arm the burst at an absolute op index, then keep writing
+            // into (and possibly past) it before the crash.
+            switch.arm_at(switch.write_ops() + offset, kind, 2);
+            for ts in 30..36u64 {
+                let t = (ts % 2) as usize;
+                if sys.ingest_record(ts, templates[t]).is_ok() {
+                    acked[t] += 1;
+                }
+            }
+            drop(sys); // crash: in-memory state gone, the switch survives
+            let sys = match ShardedDurable::open_with_vfs(&vfs, &root, shard_cfg(2)) {
+                Ok(sys) => sys,
+                Err(_) => {
+                    // The scheduled burst fired inside recovery. The
+                    // fault is transient: clear it and recover again.
+                    switch.clear_scheduled();
+                    switch.clear();
+                    ShardedDurable::open_with_vfs(&vfs, &root, shard_cfg(2))
+                        .unwrap_or_else(|e| {
+                            panic!("retry after {kind:?}@+{offset} must recover: {e}")
+                        })
+                }
+            };
+            switch.clear_scheduled();
+            switch.clear();
+            for (t, sql) in templates.iter().enumerate() {
+                let got = resident(&sys, sql);
+                assert!(
+                    got >= acked[t],
+                    "{kind:?}@+{offset}: template {t} lost acked observations \
+                     ({got} resident < {} acked)",
+                    acked[t]
+                );
+            }
+            // Liveness: the recovered system keeps acking new records.
+            let mut sys = sys;
+            sys.ingest_record(1_000, templates[0]).expect("post-recovery ingest");
+            assert!(resident(&sys, templates[0]) > acked[0]);
+        }
+    }
+}
+
+#[test]
+fn recovery_faults_during_wal_replay_and_snapshot_fallback() {
+    for (ci, kind) in [FaultKind::Enospc, FaultKind::Eio].into_iter().enumerate() {
+        let (vfs, switch) = faulty_mem();
+        let dir = PathBuf::from(format!("/fallback/{ci}"));
+        let mut cfg = tiny_cfg();
+        cfg.shards = 1;
+        let (mut durable, _) =
+            DurableDbAugur::open_with_vfs(&vfs, &dir, cfg.clone()).expect("open");
+        for ts in 0..40u64 {
+            durable.ingest_record(ts, "SELECT g1 FROM snapshotted").expect("ingest");
+        }
+        durable.checkpoint().expect("generation 1");
+        // Records that exist only in the WAL at crash time.
+        for i in 0..5u64 {
+            durable
+                .ingest_record(100 + i, &format!("SELECT w{i} FROM wal_only_{i}"))
+                .expect("wal-only ingest");
+        }
+        let pre_templates = durable.system().num_templates();
+        drop(durable);
+
+        // The newest generation lands torn (media error): recovery must
+        // fall back to generation 1 and replay the intact WAL — while a
+        // fault burst scheduled before the crash fires mid-recovery.
+        let gen1 = vfs.read(&dir.join("snap-000001.dbag")).expect("gen1 bytes");
+        vfs.write_atomic(&dir.join("snap-000002.dbag"), &gen1[..gen1.len() / 2])
+            .expect("torn gen2");
+        switch.arm_at(switch.write_ops() + 1, kind, 2);
+        let (recovered, report) = match DurableDbAugur::open_with_vfs(&vfs, &dir, cfg.clone()) {
+            Ok(ok) => ok,
+            Err(_) => {
+                switch.clear_scheduled();
+                switch.clear();
+                DurableDbAugur::open_with_vfs(&vfs, &dir, cfg.clone())
+                    .unwrap_or_else(|e| panic!("{kind:?} retry must recover: {e}"))
+            }
+        };
+        switch.clear_scheduled();
+        switch.clear();
+        assert_eq!(report.generation, Some(1), "{kind:?}: fell back past the torn generation");
+        assert_eq!(report.corrupted_generations, 1, "{kind:?}: torn generation counted");
+        assert!(!report.wal_torn, "{kind:?}: WAL intact");
+        assert_eq!(report.wal_applied, 5, "{kind:?}: every WAL-only record replayed");
+        assert_eq!(
+            recovered.system().num_templates(),
+            pre_templates,
+            "{kind:?}: state matches the pre-crash acked set"
+        );
+    }
+}
