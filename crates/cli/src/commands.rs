@@ -813,6 +813,23 @@ pub fn shards(args: &Args) -> CmdResult {
             "         io: retries {} ok / {} exhausted | snapshot fallbacks {} | torn-tail salvages {}",
             d.io_retries, d.retry_exhausted, d.snapshot_fallbacks, d.wal_torn_salvages
         );
+        if d.wal_group_flushes_coalesced + d.wal_group_flushes_forced > 0 {
+            let flushes = d.wal_group_flushes_coalesced + d.wal_group_flushes_forced;
+            let hist: Vec<String> = ["1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"]
+                .iter()
+                .zip(d.wal_group_batch_hist.iter())
+                .filter(|(_, &n)| n > 0)
+                .map(|(label, n)| format!("{label}:{n}"))
+                .collect();
+            println!(
+                "         group commit: {} records / {} fsyncs ({} coalesced, {} forced) | batch sizes {}",
+                d.wal_group_records,
+                flushes,
+                d.wal_group_flushes_coalesced,
+                d.wal_group_flushes_forced,
+                hist.join(" ")
+            );
+        }
     }
     if sys.overrides().is_empty() {
         println!("routing: all templates on their hash-home shards");

@@ -28,7 +28,7 @@ pub mod online;
 pub mod topk;
 
 pub use descender::{Clustering, Descender, DescenderParams};
-pub use online::OnlineDescender;
+pub use online::{MaintenanceReport, OnlineDescender};
 pub use topk::{
     select_top_k, select_top_k_dba, select_top_k_dba_exec, select_top_k_exec, ClusterSummary,
 };

@@ -15,7 +15,7 @@ use crate::pipeline::DbAugur;
 use crate::retry::{DurabilityCounters, RetryExhausted, RetryOutcome, RetryPolicy};
 use crate::snapshot::{RecoveryReport, SnapshotError};
 use crate::vfs::{real_vfs, DynVfs};
-use crate::wal::Wal;
+use crate::wal::{group_batch_bucket, GroupCommitBuffer, GroupCommitConfig, Wal};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -29,6 +29,26 @@ pub struct DurableDbAugur {
     dir: PathBuf,
     retry: RetryPolicy,
     vfs: DynVfs,
+    /// Group-commit buffer for the streaming front door; `None` until
+    /// [`stream_enable`](Self::stream_enable). Records submitted here
+    /// are *not yet durable, not yet applied, not yet acked* — a flush
+    /// moves the whole batch to the WAL with one fsync and only then
+    /// applies it to memory.
+    stream: Option<GroupCommitBuffer>,
+}
+
+/// One successful group-commit flush: what became durable (and was
+/// therefore acknowledged) in a single fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Records in the flushed batch.
+    pub records: usize,
+    /// WAL sequence of the batch's first record; the batch occupies
+    /// `first_seq .. first_seq + records`.
+    pub first_seq: u64,
+    /// True when a barrier (checkpoint, shutdown, explicit flush)
+    /// forced the flush before the coalescing policy fired.
+    pub forced: bool,
 }
 
 /// Append one record under the retry policy: a transient write/fsync
@@ -93,6 +113,7 @@ impl DurableDbAugur {
                 dir: dir.to_path_buf(),
                 retry: RetryPolicy::default(),
                 vfs: std::sync::Arc::clone(vfs),
+                stream: None,
             },
             report,
         ))
@@ -142,9 +163,11 @@ impl DurableDbAugur {
         let wal = &mut self.wal;
         let sys = &mut self.sys;
         let retry = &self.retry;
+        let hits0 = sys.registry().template_cache_hits();
+        let misses0 = sys.registry().template_cache_misses();
         let stats = dbaugur_sqlproc::try_parse_log_stream(text, |ts_secs, sql| {
             let seq = append_record_retrying(wal, retry, &mut sys.durability, ts_secs, sql)?;
-            sys.ingest_record(ts_secs, sql);
+            sys.ingest_record_streamed(ts_secs, sql);
             sys.applied_seq = seq;
             Ok::<(), io::Error>(())
         })?;
@@ -153,6 +176,8 @@ impl DurableDbAugur {
             ingested: stats.records,
             skipped: stats.skipped,
             first_skipped_offset: stats.first_skipped_offset,
+            template_cache_hits: self.sys.registry().template_cache_hits() - hits0,
+            template_cache_misses: self.sys.registry().template_cache_misses() - misses0,
         })
     }
 
@@ -188,6 +213,9 @@ impl DurableDbAugur {
     /// two merely replays entries the snapshot already contains (replay
     /// is sequence-gated and idempotent).
     pub fn checkpoint(&mut self) -> io::Result<u64> {
+        // Barrier: pending streamed records must reach the WAL (and the
+        // in-memory system) before the snapshot claims their sequences.
+        self.stream_flush()?;
         let gen = self.checkpoint_retrying()?;
         self.wal.truncate()?;
         Ok(gen)
@@ -232,6 +260,7 @@ impl DurableDbAugur {
         if deadline.expired() {
             return Ok(None);
         }
+        self.stream_flush()?;
         let gen = self.checkpoint_retrying()?;
         if deadline.expired() {
             return Ok(Some(gen));
@@ -260,5 +289,252 @@ impl DurableDbAugur {
     /// Bytes currently pending in the write-ahead log.
     pub fn wal_len_bytes(&self) -> io::Result<u64> {
         self.wal.len_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming front door: group-committed per-event ingest.
+    // ------------------------------------------------------------------
+
+    /// Enable the streaming ingest path: records submitted through
+    /// [`stream_submit`](Self::stream_submit) coalesce in a bounded
+    /// buffer and hit the disk `cfg.max_records`-at-a-time (or after
+    /// `cfg.max_delay_us` virtual microseconds), one fsync per batch.
+    pub fn stream_enable(&mut self, cfg: GroupCommitConfig) {
+        self.stream = Some(GroupCommitBuffer::new(cfg));
+    }
+
+    /// True when [`stream_enable`](Self::stream_enable) has been called.
+    pub fn stream_enabled(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Records submitted but not yet flushed (and therefore not acked).
+    pub fn stream_pending(&self) -> usize {
+        self.stream.as_ref().map_or(0, GroupCommitBuffer::len)
+    }
+
+    /// Submit one record on the streaming path at virtual time
+    /// `now_us`. The record is buffered — **not** durable, applied, or
+    /// acknowledged — until a flush covers it; when this submit itself
+    /// trips the coalescing policy (batch full, or the oldest pending
+    /// record timed out), the flush happens inline and its report comes
+    /// back. An `Err` means a flush was due and failed: that whole
+    /// batch was dropped unacknowledged, exactly like a bulk append
+    /// that exhausted its retries.
+    ///
+    /// # Panics
+    /// Panics when streaming was never enabled — submitting without
+    /// [`stream_enable`](Self::stream_enable) is a programming error,
+    /// not a runtime condition.
+    pub fn stream_submit(
+        &mut self,
+        now_us: u64,
+        ts_secs: u64,
+        sql: &str,
+    ) -> io::Result<Option<FlushReport>> {
+        let buf = self.stream.as_mut().expect("stream_submit before stream_enable");
+        buf.submit(now_us, ts_secs, sql);
+        if buf.size_due() || buf.timer_due(now_us) {
+            return self.flush_stream(false);
+        }
+        Ok(None)
+    }
+
+    /// Timer poll: flush if the oldest pending record has waited out
+    /// the configured delay. Call once per tick (or finer) so a trickle
+    /// of submits can never sit unacked past `max_delay_us`.
+    pub fn stream_poll(&mut self, now_us: u64) -> io::Result<Option<FlushReport>> {
+        match &self.stream {
+            Some(buf) if buf.timer_due(now_us) => self.flush_stream(false),
+            _ => Ok(None),
+        }
+    }
+
+    /// Barrier: flush whatever is pending now (counted as a *forced*
+    /// flush). Checkpoints and shutdown call this; `Ok(None)` when the
+    /// buffer is empty or streaming is off.
+    pub fn stream_flush(&mut self) -> io::Result<Option<FlushReport>> {
+        self.flush_stream(true)
+    }
+
+    /// The flush proper: batch-append under the retry policy, then
+    /// apply the batch to memory through the fingerprint fast path.
+    /// Application happens strictly *after* the fsync so nothing
+    /// unflushed is ever visible to forecasts, checkpoints, or books.
+    fn flush_stream(&mut self, forced: bool) -> io::Result<Option<FlushReport>> {
+        let Some(buf) = self.stream.as_mut() else { return Ok(None) };
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let entries = buf.take();
+        let mut outcome = RetryOutcome::default();
+        let result = {
+            let wal_cell = std::cell::RefCell::new(&mut self.wal);
+            let batch = &entries;
+            crate::retry::with_retry(
+                &self.retry,
+                "wal-append-batch",
+                &mut outcome,
+                || wal_cell.borrow_mut().repair_tail(),
+                || wal_cell.borrow_mut().append_record_batch(batch),
+            )
+        };
+        self.sys.durability.io_retries += u64::from(outcome.retried);
+        if let Err(e) = &result {
+            if RetryExhausted::from_io(e).is_some() {
+                self.sys.durability.retry_exhausted += 1;
+            }
+        }
+        let first_seq = result?;
+        for (ts_secs, sql) in &entries {
+            self.sys.ingest_record_streamed(*ts_secs, sql);
+        }
+        self.sys.applied_seq = first_seq + entries.len() as u64 - 1;
+        let d = &mut self.sys.durability;
+        if forced {
+            d.wal_group_flushes_forced += 1;
+        } else {
+            d.wal_group_flushes_coalesced += 1;
+        }
+        d.wal_group_records += entries.len() as u64;
+        d.wal_group_batch_hist[group_batch_bucket(entries.len())] += 1;
+        Ok(Some(FlushReport { records: entries.len(), first_seq, forced }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+    use std::sync::Arc;
+
+    fn cfg() -> DbAugurConfig {
+        let mut cfg = DbAugurConfig {
+            interval_secs: 60,
+            history: 8,
+            horizon: 1,
+            top_k: 3,
+            ..DbAugurConfig::default()
+        };
+        cfg.fast();
+        cfg
+    }
+
+    fn mem_open(vfs: &DynVfs) -> DurableDbAugur {
+        DurableDbAugur::open_with_vfs(vfs, Path::new("/state"), cfg()).expect("open").0
+    }
+
+    #[test]
+    fn streamed_records_ack_only_at_flush_and_survive_restart() {
+        let vfs: DynVfs = Arc::new(MemVfs::new());
+        let mut db = mem_open(&vfs);
+        db.stream_enable(GroupCommitConfig { max_records: 4, max_delay_us: 1_000_000 });
+
+        assert!(db.stream_submit(0, 1, "SELECT a").expect("submit").is_none());
+        assert!(db.stream_submit(1, 2, "SELECT b").expect("submit").is_none());
+        assert!(db.stream_submit(2, 3, "SELECT c").expect("submit").is_none());
+        assert_eq!(db.stream_pending(), 3);
+        assert_eq!(db.system().num_templates(), 0, "unflushed records are invisible");
+
+        // Fourth submit fills the batch: one fsync, everything acked.
+        let flush = db.stream_submit(3, 4, "SELECT d").expect("submit").expect("flush");
+        assert_eq!(flush.records, 4);
+        assert_eq!(flush.first_seq, 1);
+        assert!(!flush.forced);
+        assert_eq!(db.stream_pending(), 0);
+        assert_eq!(db.system().num_templates(), 4);
+        assert_eq!(db.system().applied_seq(), 4);
+        let d = db.system().durability();
+        assert_eq!(d.wal_group_flushes_coalesced, 1);
+        assert_eq!(d.wal_group_records, 4);
+        assert_eq!(d.wal_group_batch_hist[super::group_batch_bucket(4)], 1);
+
+        // A fifth record left pending vanishes on crash: it was never
+        // acked. The flushed four replay.
+        db.stream_submit(10, 5, "SELECT e").expect("submit");
+        drop(db);
+        let (db2, report) =
+            DurableDbAugur::open_with_vfs(&vfs, Path::new("/state"), cfg()).expect("reopen");
+        assert_eq!(report.wal_applied, 4);
+        assert!(!report.wal_torn);
+        assert_eq!(db2.system().num_templates(), 4);
+    }
+
+    #[test]
+    fn timer_poll_flushes_a_trickle() {
+        let vfs: DynVfs = Arc::new(MemVfs::new());
+        let mut db = mem_open(&vfs);
+        db.stream_enable(GroupCommitConfig { max_records: 1_000, max_delay_us: 500 });
+        db.stream_submit(100, 1, "SELECT a").expect("submit");
+        assert!(db.stream_poll(400).expect("poll").is_none(), "300 µs elapsed");
+        let flush = db.stream_poll(600).expect("poll").expect("timer fired");
+        assert_eq!(flush.records, 1);
+        assert!(!flush.forced, "timer flushes count as coalesced");
+        assert!(db.stream_poll(10_000).expect("poll").is_none(), "nothing pending");
+    }
+
+    #[test]
+    fn checkpoint_is_a_stream_barrier() {
+        let vfs: DynVfs = Arc::new(MemVfs::new());
+        let mut db = mem_open(&vfs);
+        db.stream_enable(GroupCommitConfig::default());
+        db.stream_submit(0, 1, "SELECT a").expect("submit");
+        db.stream_submit(1, 2, "SELECT b").expect("submit");
+        let gen = db.checkpoint().expect("checkpoint");
+        assert_eq!(db.stream_pending(), 0, "checkpoint flushed the buffer");
+        assert_eq!(db.system().durability().wal_group_flushes_forced, 1);
+        drop(db);
+        let (db2, report) =
+            DurableDbAugur::open_with_vfs(&vfs, Path::new("/state"), cfg()).expect("reopen");
+        assert_eq!(report.generation, Some(gen));
+        assert_eq!(report.wal_applied, 0, "records live in the snapshot now");
+        assert_eq!(db2.system().num_templates(), 2);
+    }
+
+    #[test]
+    fn failed_flush_drops_the_batch_unacked() {
+        let switch = FaultSwitch::new();
+        let vfs: DynVfs = Arc::new(FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch)));
+        let mut db = mem_open(&vfs).with_retry_policy(RetryPolicy::none());
+        db.stream_enable(GroupCommitConfig { max_records: 2, max_delay_us: 1_000_000 });
+        db.stream_submit(0, 1, "SELECT a").expect("submit");
+        switch.arm(FaultKind::Enospc, 2);
+        db.stream_submit(1, 2, "SELECT b").expect_err("flush hits ENOSPC");
+        switch.clear();
+        assert_eq!(db.stream_pending(), 0, "the failed batch is gone, unacked");
+        assert_eq!(db.system().num_templates(), 0, "nothing applied from a failed flush");
+        // The path heals: the next batch lands and replays cleanly.
+        db.stream_submit(2, 3, "SELECT c").expect("submit");
+        let flush = db.stream_flush().expect("forced flush").expect("report");
+        assert_eq!(flush.records, 1);
+        drop(db);
+        let (db2, report) =
+            DurableDbAugur::open_with_vfs(&vfs, Path::new("/state"), cfg()).expect("reopen");
+        assert_eq!(report.wal_applied, 1);
+        assert_eq!(db2.system().num_templates(), 1);
+    }
+
+    #[test]
+    fn streamed_and_bulk_ingest_reach_identical_registry_state() {
+        let vfs_a: DynVfs = Arc::new(MemVfs::new());
+        let vfs_b: DynVfs = Arc::new(MemVfs::new());
+        let mut bulk = mem_open(&vfs_a);
+        let mut stream = mem_open(&vfs_b);
+        stream.stream_enable(GroupCommitConfig { max_records: 7, max_delay_us: 1_000_000 });
+        for i in 0..50u64 {
+            let sql = format!("SELECT * FROM t{} WHERE id = {i}", i % 4);
+            bulk.ingest_record(i, &sql).expect("bulk");
+            stream.stream_submit(i, i, &sql).expect("stream");
+        }
+        stream.stream_flush().expect("barrier");
+        let (a, b) = (bulk.system(), stream.system());
+        assert_eq!(a.num_templates(), b.num_templates());
+        for i in 0..a.num_templates() {
+            let id = dbaugur_sqlproc::TemplateId(i as u32);
+            assert_eq!(a.registry().template(id), b.registry().template(id));
+            assert_eq!(a.registry().count(id), b.registry().count(id));
+            assert_eq!(a.registry().last_seen(id), b.registry().last_seen(id));
+        }
+        assert_eq!(a.applied_seq(), b.applied_seq());
     }
 }

@@ -54,7 +54,7 @@ pub mod wal;
 
 pub use config::DbAugurConfig;
 pub use drift::{DriftConfig, DriftMonitor, DriftState};
-pub use durable::{DurableDbAugur, WAL_FILE};
+pub use durable::{DurableDbAugur, FlushReport, WAL_FILE};
 pub use retry::{
     is_transient, with_retry, DurabilityCounters, RetryExhausted, RetryOutcome, RetryPolicy,
 };
@@ -69,7 +69,9 @@ pub use vfs::{
     enospc_error, eio_error, is_enospc, real_vfs, DynVfs, FaultKind, FaultSwitch, FaultyVfs,
     MemVfs, RealVfs, Vfs, VfsFile,
 };
-pub use wal::{Wal, WalEntry, WalScan};
+pub use wal::{
+    group_batch_bucket, GroupCommitBuffer, GroupCommitConfig, Wal, WalEntry, WalScan,
+};
 
 // Re-export the component crates under one roof for downstream users.
 pub use dbaugur_cluster as cluster;

@@ -218,6 +218,11 @@ pub struct IngestReport {
     /// Byte offset (into the ingested text) of the first skipped line,
     /// so damaged-log triage can seek straight to it.
     pub first_skipped_offset: Option<usize>,
+    /// Records this call answered from the fingerprint template cache
+    /// (no canonicalizer run) — the streaming fast path's hit count.
+    pub template_cache_hits: u64,
+    /// Records this call pushed through the full canonicalizer.
+    pub template_cache_misses: u64,
 }
 
 /// One cluster's serving-time health (training status + drift).
@@ -422,6 +427,13 @@ impl DbAugur {
         self.registry.observe(sql, ts_secs);
     }
 
+    /// Ingest one statement through the fingerprint fast path: repeat
+    /// token skeletons skip the canonicalizer entirely. Reaches exactly
+    /// the same registry state as [`Self::ingest_record`].
+    pub fn ingest_record_streamed(&mut self, ts_secs: u64, sql: &str) {
+        self.registry.observe_streamed(sql, ts_secs);
+    }
+
     /// Ingest a whole log text in the `<epoch>\t<sql>` format, skipping
     /// malformed lines. Returns the number of records ingested; see
     /// [`Self::ingest_log_report`] for the damage tally.
@@ -436,14 +448,18 @@ impl DbAugur {
     /// the log text.
     pub fn ingest_log_report(&mut self, text: &str) -> IngestReport {
         let registry = &mut self.registry;
+        let hits0 = registry.template_cache_hits();
+        let misses0 = registry.template_cache_misses();
         let stats = parse_log_stream(text, |ts_secs, sql| {
-            registry.observe(sql, ts_secs);
+            registry.observe_streamed(sql, ts_secs);
         });
         self.skipped_log_lines += stats.skipped;
         IngestReport {
             ingested: stats.records,
             skipped: stats.skipped,
             first_skipped_offset: stats.first_skipped_offset,
+            template_cache_hits: self.registry.template_cache_hits() - hits0,
+            template_cache_misses: self.registry.template_cache_misses() - misses0,
         }
     }
 
@@ -726,6 +742,16 @@ impl DbAugur {
     /// The trained representative clusters (largest volume first).
     pub fn clusters(&self) -> &[TrainedCluster] {
         &self.trained
+    }
+
+    /// Name of the `i`-th trace the last training round clustered
+    /// (`template:<id>` for arrival-rate traces, the registered name for
+    /// resource traces) — the index space [`ClusterSummary::members`]
+    /// refers into. `None` before training or out of range.
+    ///
+    /// [`ClusterSummary::members`]: dbaugur_cluster::ClusterSummary
+    pub fn trace_name(&self, i: usize) -> Option<&str> {
+        self.trace_names.get(i).map(String::as_str)
     }
 
     /// Forecast the representative of cluster `i`.
@@ -1266,7 +1292,13 @@ mod tests {
         let rep = sys.ingest_log_report("1\tSELECT 1\ngarbage line\n# comment\n2\tSELECT 1\n");
         assert_eq!(
             rep,
-            IngestReport { ingested: 2, skipped: 1, first_skipped_offset: Some(11) }
+            IngestReport {
+                ingested: 2,
+                skipped: 1,
+                first_skipped_offset: Some(11),
+                template_cache_hits: 1,
+                template_cache_misses: 1,
+            }
         );
         assert_eq!(sys.skipped_log_lines(), 1);
         let rep2 = sys.ingest_log_report("more garbage\n");

@@ -36,6 +36,18 @@ pub struct DurabilityCounters {
     pub io_retries: u64,
     /// Retry budgets exhausted — the typed failure the caller saw.
     pub retry_exhausted: u64,
+    /// Group-commit WAL flushes triggered by the coalescing policy
+    /// itself — the batch reached its record cap or its age bound.
+    pub wal_group_flushes_coalesced: u64,
+    /// Group-commit WAL flushes forced by a barrier (checkpoint,
+    /// shutdown, explicit flush) before the policy would have fired.
+    pub wal_group_flushes_forced: u64,
+    /// Records made durable through group-committed flushes.
+    pub wal_group_records: u64,
+    /// Records-per-fsync histogram over group-commit flushes, in the
+    /// power-of-two buckets of [`crate::wal::group_batch_bucket`]:
+    /// `1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+`.
+    pub wal_group_batch_hist: [u64; 8],
 }
 
 impl DurabilityCounters {
@@ -46,6 +58,12 @@ impl DurabilityCounters {
         self.wal_replayed += other.wal_replayed;
         self.io_retries += other.io_retries;
         self.retry_exhausted += other.retry_exhausted;
+        self.wal_group_flushes_coalesced += other.wal_group_flushes_coalesced;
+        self.wal_group_flushes_forced += other.wal_group_flushes_forced;
+        self.wal_group_records += other.wal_group_records;
+        for (slot, v) in self.wal_group_batch_hist.iter_mut().zip(&other.wal_group_batch_hist) {
+            *slot += v;
+        }
     }
 }
 
@@ -328,16 +346,29 @@ mod tests {
     #[test]
     fn counters_absorb_adds_fields() {
         let mut a = DurabilityCounters { io_retries: 1, ..Default::default() };
+        let mut hist = [0u64; 8];
+        hist[0] = 2;
+        hist[3] = 7;
         let b = DurabilityCounters {
             snapshot_fallbacks: 2,
             wal_torn_salvages: 1,
             wal_replayed: 5,
             io_retries: 3,
             retry_exhausted: 1,
+            wal_group_flushes_coalesced: 4,
+            wal_group_flushes_forced: 2,
+            wal_group_records: 60,
+            wal_group_batch_hist: hist,
         };
         a.absorb(&b);
-        assert_eq!(a.io_retries, 4);
-        assert_eq!(a.snapshot_fallbacks, 2);
-        assert_eq!(a.wal_replayed, 5);
+        a.absorb(&b);
+        assert_eq!(a.io_retries, 7);
+        assert_eq!(a.snapshot_fallbacks, 4);
+        assert_eq!(a.wal_replayed, 10);
+        assert_eq!(a.wal_group_flushes_coalesced, 8);
+        assert_eq!(a.wal_group_flushes_forced, 4);
+        assert_eq!(a.wal_group_records, 120);
+        assert_eq!(a.wal_group_batch_hist[0], 4);
+        assert_eq!(a.wal_group_batch_hist[3], 14);
     }
 }

@@ -418,6 +418,42 @@ impl Wal {
         self.append(payload)
     }
 
+    /// Durably append a whole batch of ingested statements with **one**
+    /// `write` and **one** fsync — the group-commit primitive. Records
+    /// take consecutive sequences starting at the returned value.
+    ///
+    /// Each record keeps its own length + CRC frame, so a batch torn
+    /// mid-write salvages exactly like any other torn tail: the scan
+    /// replays every fully-framed prefix record and truncates the rest.
+    /// On failure nothing is acknowledged — the sequence counter and
+    /// durable length are untouched and the next append repairs the
+    /// tail first — so callers uphold acked-only-after-fsync by simply
+    /// not acking until this returns `Ok`.
+    pub fn append_record_batch(&mut self, entries: &[(u64, String)]) -> io::Result<u64> {
+        if self.dirty_tail {
+            self.repair_tail()?;
+        }
+        let first = self.next_seq;
+        let mut buf = Vec::new();
+        for (i, (ts_secs, sql)) in entries.iter().enumerate() {
+            let payload = encode_payload(
+                first + i as u64,
+                &WalEntryBody::Record { ts_secs: *ts_secs, sql: sql.as_str() },
+            );
+            buf.extend_from_slice(&frame_record(&payload));
+        }
+        if entries.is_empty() {
+            return Ok(first);
+        }
+        if let Err(e) = self.file.write_all(&buf).and_then(|()| self.file.sync_all()) {
+            self.dirty_tail = true;
+            return Err(e);
+        }
+        self.next_seq += entries.len() as u64;
+        self.durable_len += buf.len() as u64;
+        Ok(first)
+    }
+
     /// Drop every entry (after a successful checkpoint made them
     /// redundant). Sequence numbering keeps growing.
     pub fn truncate(&mut self) -> io::Result<()> {
@@ -433,6 +469,95 @@ impl Wal {
     pub fn len_bytes(&self) -> io::Result<u64> {
         self.file.len()
     }
+}
+
+/// Group-commit coalescing policy: flush the pending batch once it
+/// holds `max_records` records or once its oldest record has waited
+/// `max_delay_us` microseconds (virtual time — the caller supplies the
+/// clock, so deterministic simulation replays exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Records per fsync at most; reaching it flushes immediately.
+    pub max_records: usize,
+    /// Longest a submitted record may sit unflushed (and therefore
+    /// unacked), in virtual microseconds.
+    pub max_delay_us: u64,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        // 64 records ≈ the tree-rebuild amortization grain elsewhere;
+        // 2 ms keeps worst-case ack latency well under a tick.
+        Self { max_records: 64, max_delay_us: 2_000 }
+    }
+}
+
+/// The bounded append buffer in front of a [`Wal`]: records accumulate
+/// here between fsyncs and are only acknowledged when a flush writes
+/// the whole batch with [`Wal::append_record_batch`]. The buffer holds
+/// raw `(ts, sql)` submissions, not encoded frames, so a failed flush
+/// leaves nothing half-assigned: sequences are taken from the WAL at
+/// flush time.
+#[derive(Debug)]
+pub struct GroupCommitBuffer {
+    cfg: GroupCommitConfig,
+    pending: Vec<(u64, String)>,
+    /// Virtual timestamp of the oldest pending submit.
+    oldest_us: u64,
+}
+
+impl GroupCommitBuffer {
+    /// An empty buffer under `cfg`.
+    pub fn new(cfg: GroupCommitConfig) -> Self {
+        Self { cfg, pending: Vec::new(), oldest_us: 0 }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> GroupCommitConfig {
+        self.cfg
+    }
+
+    /// Buffer one record submitted at virtual time `now_us`.
+    pub fn submit(&mut self, now_us: u64, ts_secs: u64, sql: &str) {
+        if self.pending.is_empty() {
+            self.oldest_us = now_us;
+        }
+        self.pending.push((ts_secs, sql.to_owned()));
+    }
+
+    /// True once the batch reached its record cap.
+    pub fn size_due(&self) -> bool {
+        self.cfg.max_records > 0 && self.pending.len() >= self.cfg.max_records
+    }
+
+    /// True once the oldest pending record has waited out the delay.
+    pub fn timer_due(&self, now_us: u64) -> bool {
+        !self.pending.is_empty() && now_us.saturating_sub(self.oldest_us) >= self.cfg.max_delay_us
+    }
+
+    /// Pending (unflushed, unacked) record count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drain the batch for a flush attempt. The caller owns the records
+    /// from here: on a successful [`Wal::append_record_batch`] they are
+    /// acked; on failure they are dropped *unacked* (exactly the bulk
+    /// path's contract when a single append exhausts its retries).
+    pub fn take(&mut self) -> Vec<(u64, String)> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// Histogram bucket for a records-per-fsync count: power-of-two rungs
+/// `1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+` → indices `0..8`.
+pub fn group_batch_bucket(records: usize) -> usize {
+    (records.max(1).next_power_of_two().trailing_zeros() as usize).min(7)
 }
 
 #[cfg(test)]
@@ -665,5 +790,135 @@ mod tests {
         let scan = scan_bytes(&[]);
         assert!(scan.entries.is_empty());
         assert!(!scan.torn);
+    }
+
+    #[test]
+    fn batch_append_matches_single_appends_byte_for_byte() {
+        use crate::vfs::{DynVfs, MemVfs, Vfs};
+        use std::sync::Arc;
+        let mem = Arc::new(MemVfs::new());
+        let vfs: DynVfs = mem.clone();
+        let entries: Vec<(u64, String)> =
+            (0..5).map(|i| (10 + i, format!("SELECT {i}"))).collect();
+
+        let mut one = Wal::open_with(&vfs, Path::new("/one.dbwl"), 0).expect("open");
+        for (ts, sql) in &entries {
+            one.append_record(*ts, sql).expect("append");
+        }
+        let mut batch = Wal::open_with(&vfs, Path::new("/batch.dbwl"), 0).expect("open");
+        let first = batch.append_record_batch(&entries).expect("batch");
+        assert_eq!(first, 1, "sequences start after the floor");
+        assert_eq!(batch.next_seq(), one.next_seq());
+        assert_eq!(
+            mem.read(Path::new("/one.dbwl")).expect("read"),
+            mem.read(Path::new("/batch.dbwl")).expect("read"),
+            "group commit changes fsync cadence, never bytes"
+        );
+    }
+
+    #[test]
+    fn torn_batch_salvages_its_framed_prefix() {
+        use crate::vfs::{DynVfs, MemVfs, Vfs};
+        use std::sync::Arc;
+        let mem = Arc::new(MemVfs::new());
+        let vfs: DynVfs = mem.clone();
+        let path = Path::new("/wal.dbwl");
+        let mut wal = Wal::open_with(&vfs, path, 0).expect("open");
+        wal.append_record(1, "SELECT before").expect("append");
+        let flushed_len = wal.len_bytes().expect("len");
+        let entries: Vec<(u64, String)> =
+            (0..8).map(|i| (100 + i, format!("SELECT batch {i}"))).collect();
+        wal.append_record_batch(&entries).expect("batch");
+        let bytes = mem.read(path).expect("read");
+
+        // Cut at every byte inside the batch region: the salvage keeps
+        // the pre-batch record plus every fully-framed batch record.
+        for cut in flushed_len as usize..bytes.len() {
+            let scan = scan_bytes(&bytes[..cut]);
+            assert!(scan.entries.len() >= 1, "cut {cut}: the flushed record survives");
+            if scan.torn {
+                assert!(scan.entries.len() < 1 + 8, "cut {cut}: a torn scan lost the tail");
+            } else {
+                assert_eq!(scan.good_len, cut as u64, "cut {cut}: clean cuts sit on a frame edge");
+            }
+            for (i, e) in scan.entries.iter().enumerate() {
+                assert_eq!(e.seq(), 1 + i as u64, "cut {cut}: prefix records replay in order");
+            }
+        }
+        let whole = scan_bytes(&bytes);
+        assert!(!whole.torn);
+        assert_eq!(whole.entries.len(), 9);
+    }
+
+    #[test]
+    fn failed_batch_append_acks_nothing_and_heals() {
+        use crate::vfs::{DynVfs, FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+        use std::sync::Arc;
+        let switch = FaultSwitch::new();
+        let vfs: DynVfs = Arc::new(FaultyVfs::new(Arc::new(MemVfs::new()), Arc::clone(&switch)));
+        let path = Path::new("/wal.dbwl");
+        let mut wal = Wal::open_with(&vfs, path, 0).expect("open");
+        wal.append_record(1, "SELECT a").expect("append");
+        let entries: Vec<(u64, String)> =
+            (0..4).map(|i| (i, format!("SELECT doomed {i}"))).collect();
+        switch.arm(FaultKind::ShortWrite, 1);
+        wal.append_record_batch(&entries).expect_err("short write fails the flush");
+        assert_eq!(wal.next_seq(), 2, "no sequence consumed by the failed batch");
+        // The next batch self-heals the torn tail and lands cleanly.
+        let ok: Vec<(u64, String)> = vec![(7, "SELECT after".into())];
+        let first = wal.append_record_batch(&ok).expect("self-heals");
+        assert_eq!(first, 2);
+        let mut seqs = Vec::new();
+        let sum = scan_vfs_with(&vfs, path, |e| seqs.push(e.seq())).expect("scan");
+        assert!(!sum.torn);
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let dir = tmpdir("emptybatch");
+        let path = dir.join("wal.dbwl");
+        let mut wal = Wal::open(&path, 0).expect("open");
+        let first = wal.append_record_batch(&[]).expect("empty");
+        assert_eq!(first, wal.next_seq());
+        assert_eq!(wal.len_bytes().expect("len"), HEADER_LEN);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_buffer_policy_triggers() {
+        let cfg = GroupCommitConfig { max_records: 3, max_delay_us: 100 };
+        let mut buf = GroupCommitBuffer::new(cfg);
+        assert!(buf.is_empty() && !buf.size_due() && !buf.timer_due(1_000_000));
+        buf.submit(50, 1, "SELECT a");
+        assert!(!buf.size_due());
+        assert!(!buf.timer_due(149), "49 µs elapsed, delay is 100");
+        assert!(buf.timer_due(150), "oldest waited the full delay");
+        buf.submit(60, 2, "SELECT b");
+        buf.submit(70, 3, "SELECT c");
+        assert!(buf.size_due());
+        let batch = buf.take();
+        assert_eq!(batch.len(), 3);
+        assert!(buf.is_empty() && !buf.size_due());
+        // The timer tracks the *new* oldest after a drain.
+        buf.submit(500, 4, "SELECT d");
+        assert!(!buf.timer_due(599));
+        assert!(buf.timer_due(600));
+    }
+
+    #[test]
+    fn batch_histogram_buckets() {
+        assert_eq!(group_batch_bucket(0), 0);
+        assert_eq!(group_batch_bucket(1), 0);
+        assert_eq!(group_batch_bucket(2), 1);
+        assert_eq!(group_batch_bucket(3), 2);
+        assert_eq!(group_batch_bucket(4), 2);
+        assert_eq!(group_batch_bucket(5), 3);
+        assert_eq!(group_batch_bucket(8), 3);
+        assert_eq!(group_batch_bucket(16), 4);
+        assert_eq!(group_batch_bucket(33), 6);
+        assert_eq!(group_batch_bucket(64), 6);
+        assert_eq!(group_batch_bucket(65), 7);
+        assert_eq!(group_batch_bucket(10_000), 7);
     }
 }

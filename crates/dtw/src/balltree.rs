@@ -158,6 +158,11 @@ impl<D: Distance> BallTree<D> {
         &self.points[i]
     }
 
+    /// The distance metric the tree was built with.
+    pub fn metric(&self) -> &D {
+        &self.metric
+    }
+
     /// Insert a point online. The point descends to the closer child at
     /// each level; node radii are enlarged so pruning stays valid with
     /// respect to the (unchanged) stored centers.

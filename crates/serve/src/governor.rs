@@ -164,6 +164,16 @@ pub struct ServeStats {
     pub io_retries: u64,
     /// Durable I/O operations that failed even after retries.
     pub retry_exhausted: u64,
+    /// Group-commit flushes triggered by coalescing policy (batch size
+    /// or delay); zero on bulk-only engines.
+    pub wal_group_flushes_coalesced: u64,
+    /// Group-commit flushes forced by a barrier (checkpoint, shutdown).
+    pub wal_group_flushes_forced: u64,
+    /// Records made durable through group-commit batches.
+    pub wal_group_records: u64,
+    /// Records-per-fsync histogram: buckets 1, 2, 3–4, 5–8, 9–16,
+    /// 17–32, 33–64, 65+.
+    pub wal_group_batch_hist: [u64; 8],
     /// Order-sensitive FNV fold of every served forecast (value bits
     /// plus the degraded flag). Two runs served byte-identical answers
     /// in the same order iff their digests match.
@@ -451,6 +461,10 @@ impl<E: Engine, C: Clock> Governor<E, C> {
         self.stats.wal_torn_salvages = d.wal_torn_salvages;
         self.stats.io_retries = d.io_retries;
         self.stats.retry_exhausted = d.retry_exhausted;
+        self.stats.wal_group_flushes_coalesced = d.wal_group_flushes_coalesced;
+        self.stats.wal_group_flushes_forced = d.wal_group_flushes_forced;
+        self.stats.wal_group_records = d.wal_group_records;
+        self.stats.wal_group_batch_hist = d.wal_group_batch_hist;
 
         self.health = if report.served_degraded > 0
             || self.forecasts.len() == self.forecasts.capacity()

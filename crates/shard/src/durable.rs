@@ -35,8 +35,8 @@
 use crate::health::{BreakerState, ShardHealth, ShardState};
 use crate::route::shard_of;
 use dbaugur::{
-    real_vfs, DbAugurConfig, DurabilityCounters, DurableDbAugur, DynVfs, RecoveryReport,
-    SnapshotError,
+    real_vfs, DbAugurConfig, DurabilityCounters, DurableDbAugur, DynVfs, FlushReport,
+    GroupCommitConfig, RecoveryReport, SnapshotError,
 };
 use dbaugur_sqlproc::{canonicalize, TemplateId};
 use dbaugur_trace::wire::{crc32, WireReader, WireWriter};
@@ -316,6 +316,80 @@ impl ShardedDurable {
     /// untrained shards).
     pub fn forecast(&self, sql: &str) -> Option<f64> {
         self.shards[self.route(sql)].system().forecast_template(sql)
+    }
+
+    /// Switch every shard to group-committed streaming ingest: records
+    /// coalesce per shard and fsync in batches. See
+    /// [`DurableDbAugur::stream_enable`] for the ack contract.
+    pub fn stream_enable(&mut self, cfg: GroupCommitConfig) {
+        for shard in &mut self.shards {
+            shard.stream_enable(cfg);
+        }
+    }
+
+    /// True when the shards accept [`stream_submit`](Self::stream_submit).
+    pub fn stream_enabled(&self) -> bool {
+        self.shards.iter().all(|s| s.stream_enabled())
+    }
+
+    /// Route one record to its owning shard's group-commit buffer.
+    /// Returns the shard plus the flush report when this submission
+    /// tipped the shard's batch over a coalescing threshold. The record
+    /// is acked — durable and applied — only once a flush report covers
+    /// it; a crash before then loses it silently, exactly like an
+    /// unacknowledged bulk ingest.
+    pub fn stream_submit(
+        &mut self,
+        now_us: u64,
+        ts_secs: u64,
+        sql: &str,
+    ) -> io::Result<(usize, Option<FlushReport>)> {
+        let shard = self.route(sql);
+        let report = self.stream_submit_to(shard, now_us, ts_secs, sql)?;
+        Ok((shard, report))
+    }
+
+    /// [`stream_submit`](Self::stream_submit) with the routing decision
+    /// supplied by the caller — the fast path for front doors that cache
+    /// template → shard routing and only fall back to
+    /// [`route`](Self::route) on a cache miss.
+    pub fn stream_submit_to(
+        &mut self,
+        shard: usize,
+        now_us: u64,
+        ts_secs: u64,
+        sql: &str,
+    ) -> io::Result<Option<FlushReport>> {
+        self.shards[shard].stream_submit(now_us, ts_secs, sql)
+    }
+
+    /// Flush any shard whose oldest buffered record has aged past the
+    /// group-commit delay. Returns `(shard, report)` per flush.
+    pub fn stream_poll(&mut self, now_us: u64) -> io::Result<Vec<(usize, FlushReport)>> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(report) = shard.stream_poll(now_us)? {
+                out.push((i, report));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Force-flush every shard's buffer — the streaming barrier before
+    /// checkpoints, migrations, or shutdown.
+    pub fn stream_flush_all(&mut self) -> io::Result<Vec<(usize, FlushReport)>> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(report) = shard.stream_flush()? {
+                out.push((i, report));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Buffered-but-unacked records across all shards.
+    pub fn stream_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.stream_pending()).sum()
     }
 
     /// Checkpoint every shard sequentially; returns each shard's new
@@ -1219,6 +1293,43 @@ mod tests {
         let reg0 = sys.shard(0).system().registry();
         let tid = reg0.lookup(&canonicalize(&t)).expect("template");
         assert_eq!(reg0.count(tid), 7, "all 7 acked observations are resident — none drained away");
+    }
+
+    #[test]
+    fn streamed_records_route_coalesce_and_survive_reopen() {
+        use dbaugur::MemVfs;
+        let vfs: DynVfs = std::sync::Arc::new(MemVfs::new());
+        let root = PathBuf::from("/stream/sharded");
+        let (a, b) = (template_on(0, 2), template_on(1, 2));
+        {
+            let mut sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("open");
+            assert!(!sys.stream_enabled());
+            sys.stream_enable(GroupCommitConfig { max_records: 4, max_delay_us: 1_000 });
+            assert!(sys.stream_enabled());
+            let mut flushes = 0;
+            for ts in 0..10u64 {
+                let (shard, report) = sys.stream_submit(ts, ts, &a).expect("submit");
+                assert_eq!(shard, 0, "routing is unchanged by streaming");
+                flushes += report.is_some() as usize;
+                let (shard, _) = sys.stream_submit(ts, ts, &b).expect("submit");
+                assert_eq!(shard, 1);
+            }
+            assert_eq!(flushes, 2, "10 records coalesce into batches of 4");
+            // Timer poll picks up shard 1's aged stragglers too.
+            let timed = sys.stream_poll(5_000).expect("poll");
+            assert!(!timed.is_empty());
+            // Barrier drains whatever remains on both shards.
+            sys.stream_flush_all().expect("barrier");
+            assert_eq!(sys.stream_pending(), 0);
+            let d0 = sys.durability(0);
+            assert!(d0.wal_group_records >= 8, "shard 0 absorbed its records in groups");
+        }
+        let sys = ShardedDurable::open_with_vfs(&vfs, &root, cfg(2)).expect("reopen");
+        assert_eq!(sys.recovery_reports()[0].wal_applied, 10, "every acked record replays");
+        assert_eq!(sys.recovery_reports()[1].wal_applied, 10);
+        let reg = sys.shard(0).system().registry();
+        let tid = reg.lookup(&canonicalize(&a)).expect("template");
+        assert_eq!(reg.count(tid), 10);
     }
 
     #[test]

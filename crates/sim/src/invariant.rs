@@ -95,6 +95,10 @@ pub struct Frame<'a> {
     pub shed_breaker: &'a [u64],
     /// Per-shard IO sheds.
     pub shed_io: &'a [u64],
+    /// Per-shard records sitting in a group-commit buffer: offered and
+    /// admitted, but not yet durably acknowledged (all zeros in bulk
+    /// worlds, where every ingest fsyncs synchronously).
+    pub in_flight: &'a [u64],
     /// Post-enforcement resident byte total and the unevictable floor
     /// at enforcement time; `None` when no enforcement ran this tick
     /// (unlimited-budget world).
@@ -125,15 +129,25 @@ pub struct EnforcedState {
     pub floor_bytes: usize,
 }
 
-/// The books must balance per shard and globally, every tick.
+/// The books must balance per shard and globally, every tick. A record
+/// buffered for group commit is *in flight* — offered but neither acked
+/// nor shed — and the ledger carries it explicitly until its flush
+/// lands (acked) or its batch dies (typed shed).
 pub fn check_books(f: &Frame<'_>) -> Option<Violation> {
     for i in 0..f.offered.len() {
-        let out = f.acked[i] + f.shed_pressure[i] + f.shed_breaker[i] + f.shed_io[i];
+        let out = f.acked[i]
+            + f.shed_pressure[i]
+            + f.shed_breaker[i]
+            + f.shed_io[i]
+            + f.in_flight[i];
         if f.offered[i] != out {
             return Some(Violation {
                 tick: f.tick,
                 check: CheckKind::Books,
-                detail: format!("shard {i}: offered {} != acked+shed {}", f.offered[i], out),
+                detail: format!(
+                    "shard {i}: offered {} != acked+shed+in-flight {}",
+                    f.offered[i], out
+                ),
             });
         }
     }
@@ -241,6 +255,7 @@ mod tests {
             shed_pressure: &[0],
             shed_breaker: &[0],
             shed_io: &[0],
+            in_flight: &[0],
             enforced: None,
             resident,
             acked_per_template: acked_t,
@@ -284,6 +299,7 @@ mod tests {
             shed_pressure: &[0, 0],
             shed_breaker: &[0, 0],
             shed_io: &[0, 0],
+            in_flight: &[0, 0],
             enforced: None,
             resident: &[],
             acked_per_template: &[],
@@ -292,5 +308,30 @@ mod tests {
         };
         assert_eq!(check_books(&f).unwrap().check, CheckKind::Books);
         assert_eq!(CheckerRegistry::standard().run(&f).len(), 1);
+    }
+
+    #[test]
+    fn books_carry_in_flight_group_commit_records() {
+        let mut f = Frame {
+            tick: 2,
+            offered: &[10],
+            acked: &[6],
+            shed_pressure: &[0],
+            shed_breaker: &[0],
+            shed_io: &[1],
+            in_flight: &[3],
+            enforced: None,
+            resident: &[],
+            acked_per_template: &[],
+            spilled: &[],
+            allowance: &[],
+        };
+        assert!(check_books(&f).is_none(), "buffered records balance the ledger");
+        f.in_flight = &[0];
+        assert_eq!(
+            check_books(&f).unwrap().check,
+            CheckKind::Books,
+            "dropping them from the ledger is an unattributed record"
+        );
     }
 }

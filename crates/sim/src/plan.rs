@@ -172,6 +172,13 @@ pub struct SimPlan {
     /// (migration resume + rebalance); an expired deadline defers
     /// maintenance to a later tick.
     pub maintenance_ms: u64,
+    /// Group-commit batch size for streaming intake: records per fsync
+    /// before the coalescing buffer flushes. `0` keeps the classic
+    /// bulk path (one fsync per record). Streaming worlds ack records
+    /// only at flush, so a crash pinned inside a batch loses exactly
+    /// the unflushed suffix — which the books then ledger as typed
+    /// sheds, never as silent loss.
+    pub group_commit: usize,
     /// The fault schedule.
     pub events: Vec<FaultEvent>,
 }
@@ -191,6 +198,7 @@ impl Default for SimPlan {
             rebalance: true,
             tick_ms: 100,
             maintenance_ms: 20,
+            group_commit: 0,
             events: Vec::new(),
         }
     }
@@ -255,6 +263,11 @@ impl SimPlan {
         out.push_str(&format!("rebalance {}\n", if plan.rebalance { "on" } else { "off" }));
         out.push_str(&format!("tick-ms {}\n", plan.tick_ms));
         out.push_str(&format!("maintenance-ms {}\n", plan.maintenance_ms));
+        // Omitted when zero so pre-streaming plans re-encode verbatim
+        // (the encode-fixpoint gate runs over the pinned swarm stream).
+        if plan.group_commit > 0 {
+            out.push_str(&format!("group-commit {}\n", plan.group_commit));
+        }
         for e in &plan.events {
             out.push_str(&format!("event {} {}\n", e.tick, encode_event(e)));
         }
@@ -303,6 +316,7 @@ impl SimPlan {
                 }
                 "tick-ms" => plan.tick_ms = one("tick-ms")?,
                 "maintenance-ms" => plan.maintenance_ms = one("maintenance-ms")?,
+                "group-commit" => plan.group_commit = one("group-commit")? as usize,
                 "event" => {
                     let tick = rest
                         .first()
@@ -423,6 +437,7 @@ mod tests {
                 FaultEvent { tick: 22, kind: EventKind::SpillFault { ops: 5 } },
                 FaultEvent { tick: 22, kind: EventKind::ShortWrite { ops: 2 } },
             ],
+            group_commit: 6,
             ..SimPlan::default()
         }
     }

@@ -156,6 +156,7 @@ pub fn generate_plan(seed: u64, idx: u64) -> SimPlan {
         rebalance: true,
         tick_ms: 100,
         maintenance_ms: 20,
+        group_commit: 0,
         events: Vec::new(),
     };
 

@@ -21,7 +21,9 @@
 
 use crate::invariant::{CheckKind, CheckerRegistry, EnforcedState, Frame, Violation};
 use crate::plan::{EventKind, SimPlan};
-use dbaugur::{DbAugurConfig, DynVfs, FaultKind, FaultSwitch, FaultyVfs, MemVfs};
+use dbaugur::{
+    DbAugurConfig, DynVfs, FaultKind, FaultSwitch, FaultyVfs, GroupCommitConfig, MemVfs,
+};
 use dbaugur_exec::{Clock, Deadline, VirtualClock};
 use dbaugur_shard::{
     ArbiterConfig, BreakerState, BudgetArbiter, CanaryBug, Escalation, HealthPolicy, HeatConfig,
@@ -29,7 +31,7 @@ use dbaugur_shard::{
     ShardState, ShardedDurable,
 };
 use dbaugur_sqlproc::{canonicalize, TemplateId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -108,6 +110,12 @@ pub struct SimReport {
     pub virtual_end_ms: u64,
     /// Cumulative write-class vfs operations.
     pub write_ops: u64,
+    /// Group-commit flushes that acked streamed records (0 in bulk
+    /// worlds). Streaming coalesces, so this stays well under `acked`.
+    pub stream_flushes: u64,
+    /// Streamed records that died unflushed in a crash or a dropped
+    /// batch — ledgered under `shed_io`, never silently lost.
+    pub stream_lost: u64,
 }
 
 impl SimReport {
@@ -145,6 +153,15 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
 
 fn fnv_u64(h: &mut u64, v: u64) {
     fnv(h, &v.to_le_bytes());
+}
+
+/// Group-commit shape for streaming plans: the plan's batch size, with
+/// a one-tick timer so nothing outlives the end-of-tick barrier anyway.
+fn stream_cfg(plan: &SimPlan) -> GroupCommitConfig {
+    GroupCommitConfig {
+        max_records: plan.group_commit,
+        max_delay_us: plan.tick_ms.saturating_mul(1_000),
+    }
 }
 
 /// A spill blob whose durable write failed; retried until the vfs
@@ -197,6 +214,16 @@ struct World {
     spill_seq: u64,
     spilled_observations: u64,
     spill_write_failures: u64,
+    // Streaming intake (plan.group_commit > 0): template index of every
+    // record sitting in a shard's group-commit buffer, in submit order.
+    // Flush reports credit from the front; crashes and dropped batches
+    // drain to shed_io. `stream_credited` mirrors each shard's
+    // `wal_group_records` counter so flushes the store performs
+    // internally (checkpoint barriers during migrations) reconcile too.
+    stream_fifo: Vec<VecDeque<usize>>,
+    stream_credited: Vec<u64>,
+    stream_flushes: u64,
+    stream_lost: u64,
     // One-shot arm for the next accepted migration.
     migration_fault_ops: u32,
     // Pending mid-intake crash trigger (absolute write-op index).
@@ -262,6 +289,9 @@ impl World {
         store.inject_canary(opts.canary);
         for i in 0..plan.shards {
             store.shard_mut(i).system_mut().set_observation_cap(OBS_CAP);
+        }
+        if plan.group_commit > 0 {
+            store.stream_enable(stream_cfg(&plan));
         }
 
         let arbiter = (plan.budget_bytes > 0).then(|| {
@@ -337,6 +367,10 @@ impl World {
             shed_io: vec![0; shards],
             acked_per_template: vec![0; templates],
             spilled_per_template: vec![0; templates],
+            stream_fifo: vec![VecDeque::new(); shards],
+            stream_credited: vec![0; shards],
+            stream_flushes: 0,
+            stream_lost: 0,
             pending: Vec::new(),
             spill_seq: 0,
             spilled_observations: 0,
@@ -366,6 +400,19 @@ impl World {
     /// recovery failed even after clearing every fault — a Recovery
     /// violation.
     fn reopen(&mut self, tick: u64) -> bool {
+        // Streamed records still sitting in a group-commit buffer die
+        // with the process — they were never acked, so the books carry
+        // them as typed IO sheds, not as loss.
+        for (i, fifo) in self.stream_fifo.iter_mut().enumerate() {
+            let lost = fifo.len() as u64;
+            if lost > 0 {
+                self.shed_io[i] += lost;
+                self.stream_lost += lost;
+                fifo.clear();
+            }
+        }
+        // The reopened store's durability counters restart at zero.
+        self.stream_credited.iter_mut().for_each(|c| *c = 0);
         let db_cfg = DbAugurConfig { shards: self.plan.shards, ..DbAugurConfig::default() };
         self.switch.clear();
         let opened = match ShardedDurable::open_with_vfs(&self.vfs, &self.root, db_cfg.clone()) {
@@ -394,6 +441,9 @@ impl World {
                 s.inject_canary(self.opts.canary);
                 for i in 0..self.plan.shards {
                     s.shard_mut(i).system_mut().set_observation_cap(OBS_CAP);
+                }
+                if self.plan.group_commit > 0 {
+                    s.stream_enable(stream_cfg(&self.plan));
                 }
                 self.store = s;
                 true
@@ -476,6 +526,22 @@ impl World {
         let n = (self.plan.ingest_per_tick as u64 * self.ingest_mult_permille as u64 / 1_000)
             .max(1) as usize;
         let hot = self.hot_sets[self.hot_home].clone();
+        // Timer poll first: anything buffered a full tick ago flushes
+        // before new records pile on.
+        if self.plan.group_commit > 0 {
+            let now_us = self.clock.now_ms().saturating_mul(1_000);
+            for shard in 0..self.plan.shards {
+                match self.store.shard_mut(shard).stream_poll(now_us) {
+                    Ok(Some(report)) => self.credit_flush(shard, report.records, ingested),
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.drop_stream_batch(shard);
+                        io_failed[shard] = true;
+                        self.health[shard].record_soft_failure();
+                    }
+                }
+            }
+        }
         for _ in 0..n {
             if let Some(op) = self.crash_at {
                 if self.switch.write_ops() >= op {
@@ -501,6 +567,25 @@ impl World {
                 self.shed_pressure[shard] += 1;
                 continue;
             }
+            if self.plan.group_commit > 0 {
+                // Streaming path: the record coalesces in the shard's
+                // group-commit buffer and is acked only when a flush
+                // report covers it. A failed flush drops the whole
+                // batch unacked (matching the durable layer's retry-
+                // exhausted semantics), so the fifo drains to shed_io.
+                let now_us = self.clock.now_ms().saturating_mul(1_000);
+                self.stream_fifo[shard].push_back(i);
+                match self.store.shard_mut(shard).stream_submit(now_us, tick, &self.corpus[i]) {
+                    Ok(Some(report)) => self.credit_flush(shard, report.records, ingested),
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.drop_stream_batch(shard);
+                        io_failed[shard] = true;
+                        self.health[shard].record_soft_failure();
+                    }
+                }
+                continue;
+            }
             match self.store.ingest_record(tick, &self.corpus[i]) {
                 Ok(s) => {
                     self.acked[s] += 1;
@@ -515,6 +600,78 @@ impl World {
             }
         }
         Flow::Continue
+    }
+
+    /// A flush report covers the `records` oldest pending records on
+    /// `shard`: credit them as acked, in submit order.
+    fn credit_flush(&mut self, shard: usize, records: usize, ingested: &mut [u64]) {
+        self.stream_flushes += 1;
+        self.stream_credited[shard] += records as u64;
+        for _ in 0..records {
+            let idx = self.stream_fifo[shard]
+                .pop_front()
+                .expect("flush report covers only records the world submitted");
+            self.acked[shard] += 1;
+            self.acked_per_template[idx] += 1;
+            ingested[shard] += 1;
+        }
+    }
+
+    /// A failed flush dropped the shard's whole buffered batch unacked.
+    fn drop_stream_batch(&mut self, shard: usize) {
+        let dropped = self.stream_fifo[shard].len() as u64;
+        self.shed_io[shard] += dropped;
+        self.stream_lost += dropped;
+        self.stream_fifo[shard].clear();
+    }
+
+    /// Reconcile flushes the store performed *internally* — checkpoint
+    /// barriers inside migration commits and resumes flush the stream
+    /// without returning a report to the control loop. The per-shard
+    /// `wal_group_records` counter is the ground truth for how many
+    /// records durably landed; anything the fifo still holds beyond the
+    /// store's pending count was dropped by a failed barrier.
+    fn reconcile_stream(&mut self, ingested: &mut [u64], io_failed: &mut [bool]) {
+        if self.plan.group_commit == 0 {
+            return;
+        }
+        for shard in 0..self.plan.shards {
+            let flushed = self.store.durability(shard).wal_group_records;
+            let newly = flushed.saturating_sub(self.stream_credited[shard]) as usize;
+            if newly > 0 {
+                self.credit_flush(shard, newly, ingested);
+            }
+            let pending = self.store.shard(shard).stream_pending();
+            if self.stream_fifo[shard].len() > pending {
+                let extra = (self.stream_fifo[shard].len() - pending) as u64;
+                for _ in 0..extra {
+                    self.stream_fifo[shard].pop_front();
+                }
+                self.shed_io[shard] += extra;
+                self.stream_lost += extra;
+                io_failed[shard] = true;
+                self.health[shard].record_soft_failure();
+            }
+        }
+    }
+
+    /// Stream barrier: force every shard's buffer down (settle and
+    /// teardown). No-op in bulk worlds.
+    fn stream_barrier(&mut self, ingested: &mut [u64], io_failed: &mut [bool]) {
+        if self.plan.group_commit == 0 {
+            return;
+        }
+        for shard in 0..self.plan.shards {
+            match self.store.shard_mut(shard).stream_flush() {
+                Ok(Some(report)) => self.credit_flush(shard, report.records, ingested),
+                Ok(None) => {}
+                Err(_) => {
+                    self.drop_stream_batch(shard);
+                    io_failed[shard] = true;
+                    self.health[shard].record_soft_failure();
+                }
+            }
+        }
     }
 
     /// Regrant and enforce: evict each shard to its grant (then to the
@@ -738,9 +895,16 @@ impl World {
             self.deferred_maintenance += 1;
         }
 
+        // -- Credit stream flushes maintenance performed internally. ----
+        let mut late_ingested = vec![0u64; self.plan.shards];
+        let mut late_failed = vec![false; self.plan.shards];
+        self.reconcile_stream(&mut late_ingested, &mut late_failed);
+
         // -- The invariant registry runs after every tick. --------------
         let scan = self.scan();
         let allowance = self.allowance();
+        let in_flight: Vec<u64> =
+            self.stream_fifo.iter().map(|f| f.len() as u64).collect();
         let frame = Frame {
             tick,
             offered: &self.offered,
@@ -748,6 +912,7 @@ impl World {
             shed_pressure: &self.shed_pressure,
             shed_breaker: &self.shed_breaker,
             shed_io: &self.shed_io,
+            in_flight: &in_flight,
             enforced: self.last_enforced,
             resident: &scan.counts,
             acked_per_template: &self.acked_per_template,
@@ -796,6 +961,9 @@ impl World {
     fn settle(&mut self) {
         self.switch.clear();
         self.switch.clear_scheduled();
+        let mut scratch_ingested = vec![0u64; self.plan.shards];
+        let mut scratch_failed = vec![false; self.plan.shards];
+        self.stream_barrier(&mut scratch_ingested, &mut scratch_failed);
         self.retry_pending_spills();
         match self.store.resume_migrations() {
             Ok(resumed) => {
@@ -808,6 +976,8 @@ impl World {
         }
         let scan = self.scan();
         let allowance = self.allowance();
+        let in_flight: Vec<u64> =
+            self.stream_fifo.iter().map(|f| f.len() as u64).collect();
         let frame = Frame {
             tick: self.ticks_run,
             offered: &self.offered,
@@ -815,6 +985,7 @@ impl World {
             shed_pressure: &self.shed_pressure,
             shed_breaker: &self.shed_breaker,
             shed_io: &self.shed_io,
+            in_flight: &in_flight,
             enforced: None,
             resident: &scan.counts,
             acked_per_template: &self.acked_per_template,
@@ -899,6 +1070,8 @@ impl World {
             clean_ticks: self.clean_ticks.clone(),
             virtual_end_ms: self.clock.now_ms(),
             write_ops: self.switch.write_ops(),
+            stream_flushes: self.stream_flushes,
+            stream_lost: self.stream_lost,
         }
     }
 }
@@ -922,6 +1095,7 @@ mod tests {
             rebalance: true,
             tick_ms: 100,
             maintenance_ms: 20,
+            group_commit: 0,
             events: Vec::new(),
         }
     }
@@ -968,6 +1142,49 @@ mod tests {
         let report = run_plan(&plan);
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert_eq!(report.crashes, 2);
+    }
+
+    #[test]
+    fn streaming_world_coalesces_and_holds_every_invariant() {
+        let mut plan = small_plan();
+        plan.group_commit = 8;
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.digest, b.digest, "streaming worlds replay byte-identically");
+        assert_eq!(a.per_shard_digests, b.per_shard_digests);
+        assert!(a.stream_flushes > 0, "streaming intake actually engaged");
+        assert!(
+            a.acked >= a.stream_flushes * 2,
+            "group commit coalesces: {} flushes for {} acks",
+            a.stream_flushes,
+            a.acked
+        );
+        assert!(a.acked > 3_000, "the run did real work");
+    }
+
+    #[test]
+    fn crash_and_faulted_flush_lose_only_unacked_records() {
+        let mut plan = small_plan();
+        plan.group_commit = 7; // 600 % 7 != 0: every tick leaves a partial batch buffered
+        plan.budget_bytes = 0;
+        plan.rebalance = false;
+        plan.events = vec![
+            FaultEvent { tick: 5, kind: EventKind::Crash },
+            FaultEvent { tick: 7, kind: EventKind::Enospc { ops: 4 } },
+            FaultEvent { tick: 9, kind: EventKind::ShortWrite { ops: 1 } },
+        ];
+        let report = run_plan(&plan);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 1);
+        assert!(
+            report.stream_lost > 0,
+            "the crash killed a non-empty group-commit buffer: {report:?}"
+        );
+        assert!(
+            report.shed_io >= report.stream_lost,
+            "every lost record is ledgered as a typed shed"
+        );
     }
 
     #[test]

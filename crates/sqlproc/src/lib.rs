@@ -20,12 +20,14 @@
 //!    log generator used by the examples and case studies.
 
 pub mod canon;
+pub mod fingerprint;
 pub mod log;
 pub mod registry;
 pub mod template;
 pub mod token;
 
 pub use canon::canonicalize;
+pub use fingerprint::fingerprint;
 pub use log::{
     parse_log_line, parse_log_report, parse_log_stream, try_parse_log_stream, LogRecord,
     LogStreamStats, ParsedLog,

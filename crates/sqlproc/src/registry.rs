@@ -49,7 +49,7 @@ pub struct EvictionReport {
 ///
 /// [`set_observation_cap`]: TemplateRegistry::set_observation_cap
 /// [`evict_cold`]: TemplateRegistry::evict_cold
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TemplateRegistry {
     by_template: HashMap<String, TemplateId>,
     templates: Vec<String>,
@@ -65,6 +65,50 @@ pub struct TemplateRegistry {
     dropped_observations: u64,
     /// Template histories evicted by `evict_cold` (cumulative).
     evicted_templates: u64,
+    /// Bounded fingerprint → id cache backing [`observe_streamed`]: the
+    /// O(1) fast path past the full canonicalizer. Advisory only —
+    /// entries never dangle (ids are stable for the registry's life)
+    /// and clearing it costs nothing but recomputation.
+    ///
+    /// [`observe_streamed`]: TemplateRegistry::observe_streamed
+    fp_cache: HashMap<u64, TemplateId>,
+    /// Cache capacity; at the cap the whole cache is reset (wholesale
+    /// reset keeps the bound O(1) amortized and needs no LRU links).
+    fp_cache_cap: usize,
+    /// Fast-path statements answered from the fingerprint cache.
+    fp_hits: u64,
+    /// Fast-path statements that fell back to the full canonicalizer.
+    fp_misses: u64,
+}
+
+/// Default fingerprint-cache capacity: big enough that realistic
+/// workloads (thousands of distinct skeletons) never cycle, small
+/// enough (~40 B/entry → ~320 KiB) to stay a rounding error against
+/// the registry's observation footprint.
+const FP_CACHE_CAP: usize = 8192;
+
+/// Approximate bytes one fingerprint-cache entry costs (key + id +
+/// hash-map overhead), folded into [`TemplateRegistry::approx_bytes`]
+/// so the memory arbiter sees the cache too.
+const FP_ENTRY_BYTES: usize = 40;
+
+impl Default for TemplateRegistry {
+    fn default() -> Self {
+        Self {
+            by_template: HashMap::new(),
+            templates: Vec::new(),
+            observations: Vec::new(),
+            last_seen: Vec::new(),
+            obs_cap: None,
+            approx_bytes: 0,
+            dropped_observations: 0,
+            evicted_templates: 0,
+            fp_cache: HashMap::new(),
+            fp_cache_cap: FP_CACHE_CAP,
+            fp_hits: 0,
+            fp_misses: 0,
+        }
+    }
 }
 
 impl TemplateRegistry {
@@ -77,7 +121,73 @@ impl TemplateRegistry {
     /// id (allocating a new template when the canonical form is unseen).
     pub fn observe(&mut self, sql: &str, ts_secs: u64) -> TemplateId {
         let canonical = canonicalize(sql);
-        let id = match self.by_template.get(&canonical) {
+        let id = self.intern(canonical);
+        self.record(id, ts_secs);
+        id
+    }
+
+    /// The streaming fast path: record one statement, answering repeat
+    /// token skeletons from the bounded fingerprint cache and running
+    /// the full canonicalizer only on a cache miss. Produces exactly
+    /// the same template ids, observations, and `approx_bytes` growth
+    /// as [`observe`] (plus the bounded cache itself), so bulk and
+    /// streamed ingest of the same records reach identical state.
+    ///
+    /// [`observe`]: TemplateRegistry::observe
+    pub fn observe_streamed(&mut self, sql: &str, ts_secs: u64) -> TemplateId {
+        if self.fp_cache_cap == 0 {
+            self.fp_misses += 1;
+            return self.observe(sql, ts_secs);
+        }
+        let fp = crate::fingerprint(sql);
+        if let Some(&id) = self.fp_cache.get(&fp) {
+            self.fp_hits += 1;
+            self.record(id, ts_secs);
+            return id;
+        }
+        self.fp_misses += 1;
+        let id = self.observe(sql, ts_secs);
+        if self.fp_cache.len() >= self.fp_cache_cap {
+            // Wholesale reset: O(1) amortized, no LRU bookkeeping. The
+            // next few statements re-warm as misses.
+            self.approx_bytes =
+                self.approx_bytes.saturating_sub(FP_ENTRY_BYTES * self.fp_cache.len());
+            self.fp_cache.clear();
+        }
+        self.fp_cache.insert(fp, id);
+        self.approx_bytes += FP_ENTRY_BYTES;
+        id
+    }
+
+    /// Statements the fingerprint fast path answered without
+    /// canonicalizing (cumulative).
+    pub fn template_cache_hits(&self) -> u64 {
+        self.fp_hits
+    }
+
+    /// Statements the fast path handed to the full canonicalizer
+    /// (cumulative; also counts every bulk-path statement as zero —
+    /// only [`observe_streamed`] touches the cache).
+    ///
+    /// [`observe_streamed`]: TemplateRegistry::observe_streamed
+    pub fn template_cache_misses(&self) -> u64 {
+        self.fp_misses
+    }
+
+    /// Override the fingerprint-cache capacity (0 disables the cache;
+    /// every streamed statement then canonicalizes).
+    pub fn set_template_cache_cap(&mut self, cap: usize) {
+        self.fp_cache_cap = cap;
+        if self.fp_cache.len() > cap {
+            self.approx_bytes =
+                self.approx_bytes.saturating_sub(FP_ENTRY_BYTES * self.fp_cache.len());
+            self.fp_cache.clear();
+        }
+    }
+
+    /// Intern a canonical template string, returning its stable id.
+    fn intern(&mut self, canonical: String) -> TemplateId {
+        match self.by_template.get(&canonical) {
             Some(&id) => id,
             None => {
                 let id = TemplateId(self.templates.len() as u32);
@@ -89,7 +199,11 @@ impl TemplateRegistry {
                 self.last_seen.push(0);
                 id
             }
-        };
+        }
+    }
+
+    /// Append one observation to an already-interned template.
+    fn record(&mut self, id: TemplateId, ts_secs: u64) {
         let slot = id.0 as usize;
         self.observations[slot].push(ts_secs);
         self.approx_bytes += 8;
@@ -109,7 +223,30 @@ impl TemplateRegistry {
                 self.approx_bytes = self.approx_bytes.saturating_sub(8 * drop);
             }
         }
-        id
+    }
+
+    /// Observations of template `id` with timestamps in `[start, end)`,
+    /// counted from the resident history's tail (observations arrive in
+    /// roughly ascending order, so a recent bin costs O(bin), not
+    /// O(history)). The streaming front door uses this to feed closed
+    /// arrival-rate bins to trained ensembles incrementally.
+    pub fn arrivals_between(&self, id: TemplateId, start_secs: u64, end_secs: u64) -> u64 {
+        let slot = id.0 as usize;
+        let Some(obs) = self.observations.get(slot) else { return 0 };
+        let mut n = 0u64;
+        for &ts in obs.iter().rev() {
+            if ts >= end_secs {
+                continue;
+            }
+            if ts < start_secs {
+                // History is appended in arrival order; once the scan
+                // crosses below `start` only out-of-order stragglers
+                // could match, and those are bounded by log jitter.
+                break;
+            }
+            n += 1;
+        }
+        n
     }
 
     /// Cap each template's in-memory observation history. When a push
@@ -639,6 +776,82 @@ mod tests {
         // Late arrival (ts=30) survived the drain.
         assert_eq!(reg.last_seen(id), 30);
         assert_eq!(reg.remove_observations(id, &[]), 0);
+    }
+
+    #[test]
+    fn streamed_and_bulk_observe_reach_identical_state() {
+        let statements: Vec<String> = (0..200)
+            .map(|i| match i % 4 {
+                0 => format!("SELECT * FROM stu WHERE id = {i}"),
+                1 => format!("select name from STU where id={i} -- c"),
+                2 => format!("INSERT INTO t (a, b) VALUES ({i}, '{i}')"),
+                _ => format!("UPDATE t SET a = {i} WHERE b >= {i}"),
+            })
+            .collect();
+        let mut bulk = TemplateRegistry::new();
+        let mut streamed = TemplateRegistry::new();
+        for (i, sql) in statements.iter().enumerate() {
+            let a = bulk.observe(sql, i as u64);
+            let b = streamed.observe_streamed(sql, i as u64);
+            assert_eq!(a, b, "ids assign in the same order");
+        }
+        assert_eq!(bulk.num_templates(), streamed.num_templates());
+        for i in 0..bulk.num_templates() {
+            let id = TemplateId(i as u32);
+            assert_eq!(bulk.template(id), streamed.template(id));
+            assert_eq!(bulk.count(id), streamed.count(id));
+            assert_eq!(bulk.last_seen(id), streamed.last_seen(id));
+        }
+        // Four statement shapes → four skeletons: after first sight the
+        // cache answers every repeat without canonicalizing.
+        assert!(streamed.template_cache_hits() >= 190);
+        assert!(streamed.template_cache_misses() <= 10);
+        assert_eq!(
+            streamed.template_cache_hits() + streamed.template_cache_misses(),
+            200
+        );
+        assert_eq!(bulk.template_cache_hits(), 0, "bulk path never touches the cache");
+    }
+
+    #[test]
+    fn fingerprint_cache_stays_bounded() {
+        let mut reg = TemplateRegistry::new();
+        reg.set_template_cache_cap(8);
+        for i in 0..100 {
+            // Every statement a fresh skeleton: distinct column name.
+            reg.observe_streamed(&format!("SELECT col{i} FROM t"), i);
+        }
+        assert_eq!(reg.template_cache_misses(), 100);
+        // Capacity held: the resets kept the map at or under cap + 1.
+        assert!(reg.template_cache_hits() == 0);
+        // Re-observing a recently-cached skeleton still hits.
+        reg.observe_streamed("SELECT col99 FROM t", 200);
+        assert_eq!(reg.template_cache_hits(), 1);
+    }
+
+    #[test]
+    fn zero_cap_disables_the_cache() {
+        let mut reg = TemplateRegistry::new();
+        reg.set_template_cache_cap(0);
+        for i in 0..10 {
+            reg.observe_streamed("SELECT a FROM t WHERE x = 1", i);
+        }
+        assert_eq!(reg.template_cache_hits(), 0);
+        assert_eq!(reg.template_cache_misses(), 10);
+        assert_eq!(reg.count(TemplateId(0)), 10);
+    }
+
+    #[test]
+    fn arrivals_between_counts_recent_bins_cheaply() {
+        let mut reg = TemplateRegistry::new();
+        let mut id = TemplateId(0);
+        for ts in [5u64, 12, 13, 19, 20, 27, 31] {
+            id = reg.observe("SELECT a FROM t WHERE x = 1", ts);
+        }
+        assert_eq!(reg.arrivals_between(id, 10, 20), 3);
+        assert_eq!(reg.arrivals_between(id, 20, 30), 2);
+        assert_eq!(reg.arrivals_between(id, 40, 50), 0);
+        assert_eq!(reg.arrivals_between(TemplateId(99), 0, 100), 0);
     }
 
     #[test]

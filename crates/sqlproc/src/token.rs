@@ -7,7 +7,7 @@ use std::fmt;
 
 /// SQL keywords recognized by the lexer. Anything alphabetic that is not
 /// in this list is treated as an identifier.
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
     "DELETE", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "GROUP", "BY",
     "ORDER", "HAVING", "LIMIT", "OFFSET", "AS", "IN", "IS", "NULL", "LIKE", "BETWEEN", "UNION",
@@ -61,11 +61,40 @@ impl fmt::Display for Token {
     }
 }
 
+std::thread_local! {
+    /// Per-thread character scratch shared by [`tokenize`] and the
+    /// fingerprint scanner, so the hot ingest path stops allocating a
+    /// fresh `Vec<char>` for every statement it sees.
+    static CHAR_SCRATCH: std::cell::RefCell<Vec<char>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` over `sql` decoded into the per-thread char scratch buffer.
+/// Falls back to a one-off allocation if the scratch is already borrowed
+/// (re-entrant use), so correctness never depends on the optimization.
+pub(crate) fn with_chars<R>(sql: &str, f: impl FnOnce(&[char]) -> R) -> R {
+    CHAR_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut buf) => {
+            buf.clear();
+            buf.extend(sql.chars());
+            f(&buf)
+        }
+        Err(_) => {
+            let buf: Vec<char> = sql.chars().collect();
+            f(&buf)
+        }
+    })
+}
+
 /// Lex a SQL string into tokens, skipping whitespace and both comment
 /// styles (`-- …` and `/* … */`). Unterminated strings are closed at end
 /// of input rather than erroring — logs get truncated in the wild.
 pub fn tokenize(sql: &str) -> Vec<Token> {
-    let chars: Vec<char> = sql.chars().collect();
+    with_chars(sql, tokenize_chars)
+}
+
+/// The lexer proper, over an already-decoded character slice.
+fn tokenize_chars(chars: &[char]) -> Vec<Token> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < chars.len() {

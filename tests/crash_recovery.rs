@@ -7,7 +7,7 @@
 //! cluster — as needing retraining.
 
 use dbaugur::wal::scan_bytes;
-use dbaugur::{DbAugur, DbAugurConfig, DriftState, DurableDbAugur, WAL_FILE};
+use dbaugur::{DbAugur, DbAugurConfig, DriftState, DurableDbAugur, GroupCommitConfig, WAL_FILE};
 use dbaugur_exec::Deadline;
 use dbaugur_lifecycle::{registry_path, LifecycleConfig, LifecycleManager};
 use dbaugur_trace::wire::tmp_path;
@@ -120,6 +120,103 @@ fn wal_crash_matrix_recovers_every_prefix() {
         );
         assert_eq!(sys.clusters().len(), 2, "trained clusters survive at cut {cut}");
         assert_finite_forecasts(&sys);
+        std::fs::remove_dir_all(&case).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_kill_matrix_acks_only_after_fsync() {
+    // Stream 20 records through a group-commit buffer of 8: two full
+    // batches flush (16 acked), 4 die in the buffer at crash time. The
+    // matrix then kills the WAL at seeded offsets *inside* the second
+    // coalesced batch and proves (a) the first batch always replays
+    // whole, (b) a torn batch salvages exactly its framed prefix, and
+    // (c) records never covered by a flush report leave no trace — the
+    // acked-only-after-fsync contract, byte for byte.
+    let dir = tmpdir("group_commit_matrix");
+    let (mut durable, _) = DurableDbAugur::open(&dir, cfg()).expect("open");
+    for m in 0..30u64 {
+        durable.ingest_record(m * 60, "SELECT a FROM bus WHERE id = 1").expect("ingest");
+    }
+    durable.checkpoint().expect("checkpoint");
+
+    durable.stream_enable(GroupCommitConfig { max_records: 8, max_delay_us: 1_000_000 });
+    let mut acked = 0usize;
+    let mut batch1_len = 0u64;
+    for i in 0..20u64 {
+        let report = durable
+            .stream_submit(i, 2_000 + i, &format!("SELECT g{i} FROM gc_only{i}"))
+            .expect("submit");
+        if let Some(r) = report {
+            acked += r.records;
+            if batch1_len == 0 {
+                batch1_len =
+                    std::fs::metadata(dir.join(WAL_FILE)).expect("wal exists").len();
+            }
+        }
+    }
+    assert_eq!(acked, 16, "two size-triggered flushes covered 16 of 20 records");
+    assert!(batch1_len > 0);
+    drop(durable); // crash: 4 buffered records were never acked
+
+    let wal_bytes = std::fs::read(dir.join(WAL_FILE)).expect("read wal");
+    assert!((wal_bytes.len() as u64) > batch1_len, "the second batch landed after the first");
+
+    // (c) with the full WAL: exactly the acked set replays — the 4
+    // unflushed records left no bytes behind.
+    let full = scan_bytes(&wal_bytes);
+    assert_eq!(full.entries.len(), acked, "unacked records leave no trace in the WAL");
+    assert!(!full.torn);
+
+    let snapshot_templates = {
+        let refdir = tmpdir("group_commit_ref");
+        copy_dir(&dir, &refdir);
+        std::fs::remove_file(refdir.join(WAL_FILE)).expect("drop wal");
+        let (sys, _) = DbAugur::recover(&refdir, cfg()).expect("recover");
+        let n = sys.num_templates();
+        std::fs::remove_dir_all(&refdir).ok();
+        n
+    };
+
+    // Kill offsets pinned strictly inside the second batch's byte span.
+    let span = wal_bytes.len() - batch1_len as usize;
+    let mut inj = FaultInjector::new(0xC0FFEE);
+    let mut cuts: Vec<usize> = inj
+        .kill_offsets(span.saturating_sub(1), 16)
+        .into_iter()
+        .map(|o| batch1_len as usize + 1 + o % span.max(1))
+        .filter(|&c| c < wal_bytes.len())
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    assert!(cuts.len() >= 8, "enough batch-interior crash points: {cuts:?}");
+    for &cut in &cuts {
+        let case = tmpdir(&format!("gc_cut_{cut}"));
+        copy_dir(&dir, &case);
+        std::fs::write(case.join(WAL_FILE), &wal_bytes[..cut]).expect("torn wal");
+
+        let salvage = scan_bytes(&wal_bytes[..cut]);
+        assert!(
+            salvage.entries.len() >= 8,
+            "the first fsynced batch always replays whole at cut {cut}"
+        );
+        assert!(
+            salvage.entries.len() < 16,
+            "a cut inside batch 2 loses its unflushed tail at cut {cut}"
+        );
+        let (sys, report) = DbAugur::recover(&case, cfg())
+            .unwrap_or_else(|e| panic!("recovery must succeed at cut {cut}: {e}"));
+        assert_eq!(
+            report.wal_applied + report.wal_skipped,
+            salvage.entries.len(),
+            "replay matches the salvageable prefix exactly at cut {cut}"
+        );
+        assert_eq!(
+            sys.num_templates(),
+            snapshot_templates + report.wal_applied,
+            "state is pre-crash truth up to the last durable record at cut {cut}"
+        );
         std::fs::remove_dir_all(&case).ok();
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -68,6 +68,35 @@ fn pinned_canary_is_caught_shrunk_small_and_replays() {
 }
 
 #[test]
+fn pinned_group_commit_plan_survives_batch_boundary_faults() {
+    // The streaming-front-door reproducer: group-committed intake under
+    // a short write torn into a batch, an ENOSPC burst that drops a
+    // whole coalesced batch unacked, and two crashes that land while
+    // partial batches sit in the buffer. The checkers prove the ack
+    // contract — acked only after fsync, every lost record a typed
+    // shed, no acknowledged observation destroyed.
+    let text = include_str!("plans/stream_group_commit.plan");
+    let plan = SimPlan::parse(text).expect("pinned plan parses");
+    assert_eq!(plan.encode(), text, "the pinned plan is canonically encoded");
+    assert_eq!(plan.group_commit, 7, "batch size stays off the per-tick alignment");
+    let a = run_plan(&plan);
+    let b = run_plan(&plan);
+    assert!(a.passed(), "violations: {:?}", a.violations);
+    assert_eq!(a.digest, b.digest, "the streaming reproducer replays byte-identically");
+    assert_eq!(a.per_shard_digests, b.per_shard_digests);
+    assert_eq!(a.crashes, 2);
+    assert!(a.stream_flushes > 0, "group commit actually engaged");
+    assert!(
+        a.acked >= a.stream_flushes * 2,
+        "batches coalesced: {} flushes for {} acks",
+        a.stream_flushes,
+        a.acked
+    );
+    assert!(a.stream_lost > 0, "faults landed inside coalesced batches");
+    assert!(a.shed_io >= a.stream_lost, "lost records are ledgered, not vanished");
+}
+
+#[test]
 fn small_clean_swarm_holds_every_invariant() {
     let cfg = SwarmConfig {
         schedules: 12,
